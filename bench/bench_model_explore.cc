@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks of the verification substrate itself:
+// exhaustive exploration throughput on the SC and Promising machines, the
+// condition-checker pipeline, and the transactional-page-table checker. These
+// quantify the cost of the bounded-checking approach (the reproduction's
+// stand-in for the paper's Coq proof effort discussion).
+
+#include <benchmark/benchmark.h>
+
+#include "src/litmus/classics.h"
+#include "src/litmus/paper_examples.h"
+#include "src/model/explorer.h"
+#include "src/model/promising_machine.h"
+#include "src/model/sc_machine.h"
+#include "src/sekvm/tinyarm_primitives.h"
+#include "src/vrm/conditions.h"
+#include "src/vrm/sc_construction.h"
+#include "src/vrm/txn_pt_checker.h"
+
+namespace vrm {
+namespace {
+
+void BM_ScExplore_Mp(benchmark::State& state) {
+  const LitmusTest test = ClassicMp(Strength::kPlain, Strength::kPlain);
+  uint64_t states = 0;
+  for (auto _ : state) {
+    ScMachine machine(test.program, test.config);
+    const ExploreResult result = Explore(machine, test.config);
+    states = result.stats.states;
+    benchmark::DoNotOptimize(result.outcomes.size());
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_ScExplore_Mp);
+
+void BM_PromisingExplore_Mp(benchmark::State& state) {
+  const LitmusTest test = ClassicMp(Strength::kPlain, Strength::kPlain);
+  uint64_t states = 0;
+  for (auto _ : state) {
+    PromisingMachine machine(test.program, test.config);
+    const ExploreResult result = Explore(machine, test.config);
+    states = result.stats.states;
+    benchmark::DoNotOptimize(result.outcomes.size());
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_PromisingExplore_Mp);
+
+void BM_PromisingExplore_Example1(benchmark::State& state) {
+  const LitmusTest test = Example1OutOfOrderWrite(false);
+  for (auto _ : state) {
+    PromisingMachine machine(test.program, test.config);
+    benchmark::DoNotOptimize(Explore(machine, test.config).outcomes.size());
+  }
+}
+BENCHMARK(BM_PromisingExplore_Example1);
+
+void BM_PromisingExplore_TicketLock(benchmark::State& state) {
+  // The fixed gen_vmid lock — the heaviest routinely-explored program.
+  const LitmusTest test = Example2VmBooting(true);
+  for (auto _ : state) {
+    PromisingMachine machine(test.program, test.config);
+    benchmark::DoNotOptimize(Explore(machine, test.config).outcomes.size());
+  }
+}
+BENCHMARK(BM_PromisingExplore_TicketLock)->Unit(benchmark::kMillisecond);
+
+void BM_PromisingExplore_PorAblation(benchmark::State& state) {
+  // state.range(0) == 1 disables the partial-order reduction.
+  LitmusTest test = Example1OutOfOrderWrite(false);
+  test.config.disable_por = state.range(0) == 1;
+  uint64_t states = 0;
+  for (auto _ : state) {
+    PromisingMachine machine(test.program, test.config);
+    const ExploreResult result = Explore(machine, test.config);
+    states = result.stats.states;
+    benchmark::DoNotOptimize(result.outcomes.size());
+  }
+  state.counters["states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_PromisingExplore_PorAblation)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("por_disabled");
+
+void BM_CheckWdrf_VcpuContext(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckWdrf(VcpuContextKernelSpec(true)).AllHold());
+  }
+}
+BENCHMARK(BM_CheckWdrf_VcpuContext)->Unit(benchmark::kMillisecond);
+
+void BM_TxnPtChecker_SetS2pt(benchmark::State& state) {
+  const PtWriteSequence seq = SetS2ptWriteSequence(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckTransactionalWrites(seq.mmu, seq.initial, seq.writes, seq.probe_vpages)
+            .transactional);
+  }
+}
+BENCHMARK(BM_TxnPtChecker_SetS2pt)->Arg(2)->Arg(3);
+
+void BM_ScConstruction_LockedCounter(benchmark::State& state) {
+  const LockedCounterProgram lc = MakeLockedCounter(2, true);
+  uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ConstructAndReplay(lc.program, lc.config, seed++).results_match);
+  }
+}
+BENCHMARK(BM_ScConstruction_LockedCounter)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vrm
+
+BENCHMARK_MAIN();

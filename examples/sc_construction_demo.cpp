@@ -1,0 +1,79 @@
+// Figure 6 live: sample a relaxed execution of a lock-protected program on the
+// push/pull Promising machine, derive the critical-section partial order from
+// the pull/push events, linearize it, replay the program on the SC machine in
+// that order, and confirm the execution results coincide — Section 4.1's
+// SC-execution construction, end to end.
+//
+//   ./build/examples/sc_construction_demo [seed]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/sekvm/tinyarm_primitives.h"
+#include "src/vrm/sc_construction.h"
+
+namespace vrm {
+namespace {
+
+int Main(int argc, char** argv) {
+  const uint64_t base_seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+  const LockedCounterProgram lc = MakeLockedCounter(/*rounds=*/2, /*verified=*/true);
+  std::printf("Program: 2 CPUs, each incrementing a lock-protected counter twice\n"
+              "(ticket lock with ldar/stlr; pull/push ghosts mark the critical "
+              "sections).\n\n");
+
+  int shown = 0;
+  for (uint64_t seed = base_seed; shown < 3 && seed < base_seed + 500; ++seed) {
+    PromisingMachine machine(lc.program, lc.config);
+    const RandomWalkResult walk = RandomWalk(machine, seed);
+    if (!walk.completed) {
+      continue;
+    }
+    ++shown;
+    std::printf("=== sampled RM execution (seed %llu) ===\n",
+                (unsigned long long)seed);
+    // Show the promise-order of the pull/push events (the promise list of
+    // Section 4.1) plus the critical sections' data accesses.
+    for (size_t pos = 0; pos < walk.trace.size(); ++pos) {
+      const StepInfo& step = walk.trace[pos];
+      if (step.op == Op::kPull) {
+        std::printf("  @%-3zu CPU %d pull  (enters critical section)\n", pos,
+                    step.tid + 1);
+      } else if (step.op == Op::kPush) {
+        std::printf("  @%-3zu CPU %d push  (exits critical section)\n", pos,
+                    step.tid + 1);
+      } else if (step.is_promise) {
+        std::printf("  @%-3zu CPU %d promises [%u] := %llu\n", pos, step.tid + 1,
+                    step.loc, (unsigned long long)step.val);
+      } else if ((step.is_write || step.is_read) && step.loc == lc.counter_cell) {
+        std::printf("  @%-3zu CPU %d %s counter %s %llu\n", pos, step.tid + 1,
+                    step.is_write ? "writes" : "reads ",
+                    step.is_write ? ":=" : "->", (unsigned long long)step.val);
+      }
+    }
+
+    const ScConstructionResult result =
+        ReplayFromWalk(lc.program, lc.config, walk);
+    std::printf("  partial order (critical-section instances, linearized):\n   ");
+    for (const CsInstance& instance : result.instances) {
+      std::printf(" CPU%d[@%zu..@%zu]", instance.tid + 1, instance.pull_pos,
+                  instance.push_pos);
+    }
+    std::printf("\n  SC replay in that order: %s\n",
+                result.replay_completed ? "completed" : "stalled");
+    std::printf("  RM result: %s\n  SC result: %s\n  execution results %s\n\n",
+                result.rm_outcome.ToString(lc.program).c_str(),
+                result.sc_outcome.ToString(lc.program).c_str(),
+                result.results_match ? "MATCH (Theorem 2's conclusion)"
+                                     : "DIFFER (construction failed!)");
+    if (!result.results_match) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace vrm
+
+int main(int argc, char** argv) { return vrm::Main(argc, argv); }

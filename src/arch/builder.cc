@@ -1,0 +1,299 @@
+#include "src/arch/builder.h"
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+ThreadBuilder& ThreadBuilder::Emit(Inst inst) {
+  VRM_CHECK(!finished_);
+  code_.code.push_back(inst);
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::Nop() { return Emit({.op = Op::kNop}); }
+
+ThreadBuilder& ThreadBuilder::MovImm(Reg rd, Word imm) {
+  return Emit({.op = Op::kMovImm, .rd = rd, .imm = static_cast<int64_t>(imm)});
+}
+
+ThreadBuilder& ThreadBuilder::Mov(Reg rd, Reg rs) {
+  return Emit({.op = Op::kMov, .rd = rd, .rs = rs});
+}
+
+ThreadBuilder& ThreadBuilder::Add(Reg rd, Reg rs, Reg rt) {
+  return Emit({.op = Op::kAdd, .rd = rd, .rs = rs, .rt = rt});
+}
+
+ThreadBuilder& ThreadBuilder::AddImm(Reg rd, Reg rs, int64_t imm) {
+  return Emit({.op = Op::kAddImm, .rd = rd, .rs = rs, .imm = imm});
+}
+
+ThreadBuilder& ThreadBuilder::Sub(Reg rd, Reg rs, Reg rt) {
+  return Emit({.op = Op::kSub, .rd = rd, .rs = rs, .rt = rt});
+}
+
+ThreadBuilder& ThreadBuilder::And(Reg rd, Reg rs, Reg rt) {
+  return Emit({.op = Op::kAnd, .rd = rd, .rs = rs, .rt = rt});
+}
+
+ThreadBuilder& ThreadBuilder::Eor(Reg rd, Reg rs, Reg rt) {
+  return Emit({.op = Op::kEor, .rd = rd, .rs = rs, .rt = rt});
+}
+
+ThreadBuilder& ThreadBuilder::Load(Reg rd, Reg rs, int64_t imm, MemOrder order) {
+  VRM_CHECK(order == MemOrder::kPlain || order == MemOrder::kAcquire);
+  return Emit({.op = Op::kLoad, .rd = rd, .rs = rs, .imm = imm, .order = order});
+}
+
+ThreadBuilder& ThreadBuilder::Store(Reg rs, int64_t imm, Reg rt, MemOrder order) {
+  VRM_CHECK(order == MemOrder::kPlain || order == MemOrder::kRelease);
+  return Emit({.op = Op::kStore, .rs = rs, .rt = rt, .imm = imm, .order = order});
+}
+
+ThreadBuilder& ThreadBuilder::FetchAdd(Reg rd, Reg rs, int64_t add, MemOrder order) {
+  return Emit({.op = Op::kFetchAdd, .rd = rd, .rs = rs, .imm = add, .order = order});
+}
+
+ThreadBuilder& ThreadBuilder::LoadEx(Reg rd, Reg rs, MemOrder order) {
+  VRM_CHECK(order == MemOrder::kPlain || order == MemOrder::kAcquire);
+  return Emit({.op = Op::kLoadEx, .rd = rd, .rs = rs, .order = order});
+}
+
+ThreadBuilder& ThreadBuilder::StoreEx(Reg rd_status, Reg rs, Reg rt, MemOrder order) {
+  VRM_CHECK(order == MemOrder::kPlain || order == MemOrder::kRelease);
+  VRM_CHECK_MSG(rd_status != rt && rd_status != rs,
+                "status register clashes with an operand");
+  return Emit({.op = Op::kStoreEx, .rd = rd_status, .rs = rs, .rt = rt, .order = order});
+}
+
+ThreadBuilder& ThreadBuilder::LoadExAddr(Reg rd, Addr addr, MemOrder order) {
+  MovImm(kAddrReg, addr);
+  return LoadEx(rd, kAddrReg, order);
+}
+
+ThreadBuilder& ThreadBuilder::StoreExAddr(Reg rd_status, Addr addr, Reg rt,
+                                          MemOrder order) {
+  VRM_CHECK(rt != kAddrReg && rd_status != kAddrReg);
+  MovImm(kAddrReg, addr);
+  return StoreEx(rd_status, kAddrReg, rt, order);
+}
+
+ThreadBuilder& ThreadBuilder::LoadAddr(Reg rd, Addr addr, MemOrder order) {
+  MovImm(kAddrReg, addr);
+  return Load(rd, kAddrReg, 0, order);
+}
+
+ThreadBuilder& ThreadBuilder::StoreAddr(Addr addr, Reg rt, MemOrder order) {
+  VRM_CHECK_MSG(rt != kAddrReg, "value register clashes with the address scratch");
+  MovImm(kAddrReg, addr);
+  return Store(kAddrReg, 0, rt, order);
+}
+
+ThreadBuilder& ThreadBuilder::StoreImm(Addr addr, Word value, Reg scratch, MemOrder order) {
+  VRM_CHECK(scratch != kAddrReg);
+  MovImm(scratch, value);
+  return StoreAddr(addr, scratch, order);
+}
+
+ThreadBuilder& ThreadBuilder::FetchAddAddr(Reg rd, Addr addr, int64_t add, MemOrder order) {
+  MovImm(kAddrReg, addr);
+  return FetchAdd(rd, kAddrReg, add, order);
+}
+
+ThreadBuilder& ThreadBuilder::OracleLoadAddr(Reg rd, Addr addr) {
+  MovImm(kAddrReg, addr);
+  return Emit({.op = Op::kOracleLoad, .rd = rd, .rs = kAddrReg});
+}
+
+ThreadBuilder& ThreadBuilder::Dmb(BarrierKind kind) {
+  return Emit({.op = Op::kDmb, .barrier = kind});
+}
+
+ThreadBuilder& ThreadBuilder::Dsb() { return Emit({.op = Op::kDsb}); }
+
+ThreadBuilder& ThreadBuilder::Isb() { return Emit({.op = Op::kIsb}); }
+
+ThreadBuilder& ThreadBuilder::Label(const std::string& name) {
+  VRM_CHECK_MSG(labels_.emplace(name, static_cast<int>(code_.code.size())).second,
+                "duplicate label");
+  return *this;
+}
+
+ThreadBuilder& ThreadBuilder::EmitBranch(Op op, Reg rs, Reg rt, const std::string& label) {
+  fixups_.emplace_back(static_cast<int>(code_.code.size()), label);
+  return Emit({.op = op, .rs = rs, .rt = rt});
+}
+
+ThreadBuilder& ThreadBuilder::Beq(Reg rs, Reg rt, const std::string& label) {
+  return EmitBranch(Op::kBeq, rs, rt, label);
+}
+
+ThreadBuilder& ThreadBuilder::Bne(Reg rs, Reg rt, const std::string& label) {
+  return EmitBranch(Op::kBne, rs, rt, label);
+}
+
+ThreadBuilder& ThreadBuilder::Cbz(Reg rs, const std::string& label) {
+  return EmitBranch(Op::kCbz, rs, 0, label);
+}
+
+ThreadBuilder& ThreadBuilder::Cbnz(Reg rs, const std::string& label) {
+  return EmitBranch(Op::kCbnz, rs, 0, label);
+}
+
+ThreadBuilder& ThreadBuilder::Jmp(const std::string& label) {
+  return EmitBranch(Op::kJmp, 0, 0, label);
+}
+
+ThreadBuilder& ThreadBuilder::LoadVa(Reg rd, VirtAddr va) {
+  MovImm(kAddrReg, va);
+  return Emit({.op = Op::kLoadV, .rd = rd, .rs = kAddrReg});
+}
+
+ThreadBuilder& ThreadBuilder::StoreVa(VirtAddr va, Reg rt) {
+  VRM_CHECK(rt != kAddrReg);
+  MovImm(kAddrReg, va);
+  return Emit({.op = Op::kStoreV, .rs = kAddrReg, .rt = rt});
+}
+
+ThreadBuilder& ThreadBuilder::StoreVaImm(VirtAddr va, Word value, Reg scratch) {
+  VRM_CHECK(scratch != kAddrReg);
+  MovImm(scratch, value);
+  return StoreVa(va, scratch);
+}
+
+ThreadBuilder& ThreadBuilder::TlbiVa(VirtAddr va) {
+  MovImm(kAddrReg, va);
+  return Emit({.op = Op::kTlbiVa, .rs = kAddrReg});
+}
+
+ThreadBuilder& ThreadBuilder::TlbiAll() { return Emit({.op = Op::kTlbiAll}); }
+
+ThreadBuilder& ThreadBuilder::Pull(int region) {
+  return Emit({.op = Op::kPull, .region = region});
+}
+
+ThreadBuilder& ThreadBuilder::Push(int region) {
+  return Emit({.op = Op::kPush, .region = region});
+}
+
+ThreadBuilder& ThreadBuilder::Panic() { return Emit({.op = Op::kPanic}); }
+
+ThreadBuilder& ThreadBuilder::Halt() { return Emit({.op = Op::kHalt}); }
+
+ThreadBuilder& ThreadBuilder::Raw(const Inst& inst) { return Emit(inst); }
+
+void ThreadBuilder::Finish() {
+  VRM_CHECK(!finished_);
+  for (const auto& [index, label] : fixups_) {
+    auto it = labels_.find(label);
+    VRM_CHECK_MSG(it != labels_.end(), "undefined label");
+    code_.code[static_cast<size_t>(index)].target = it->second;
+  }
+  finished_ = true;
+}
+
+ProgramBuilder::ProgramBuilder(std::string name) { program_.name = std::move(name); }
+
+ProgramBuilder::~ProgramBuilder() {
+  for (ThreadBuilder* thread : threads_) {
+    delete thread;
+  }
+}
+
+ThreadBuilder& ProgramBuilder::NewThread(bool user) {
+  VRM_CHECK(!built_);
+  threads_.push_back(new ThreadBuilder(user));
+  return *threads_.back();
+}
+
+ProgramBuilder& ProgramBuilder::MemSize(Addr cells) {
+  program_.mem_size = cells;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::Init(Addr addr, Word value) {
+  program_.init[addr] = value;
+  return *this;
+}
+
+int ProgramBuilder::AddRegion(const std::string& name, std::vector<Addr> locs) {
+  program_.regions.push_back({name, std::move(locs)});
+  return static_cast<int>(program_.regions.size()) - 1;
+}
+
+ProgramBuilder& ProgramBuilder::Mmu(const MmuConfig& mmu) {
+  program_.mmu = mmu;
+  program_.mmu.enabled = true;
+  return *this;
+}
+
+Addr ProgramBuilder::TableBase(VirtAddr vpage, int level) const {
+  const auto& mmu = program_.mmu;
+  VRM_CHECK(mmu.enabled && level >= 0 && level < mmu.levels);
+  const Word entries = static_cast<Word>(mmu.table_entries);
+  // Tables of all levels live in a contiguous arena at mmu.root, laid out level by
+  // level: 1 top-level table, then E level-1 tables, then E^2 level-2 tables, ...
+  Word tables_before = 0;
+  Word level_count = 1;
+  for (int l = 0; l < level; ++l) {
+    tables_before += level_count;
+    level_count *= entries;
+  }
+  // The level-l table serving `vpage` is identified by the vpage's leading l
+  // indices, i.e. vpage / E^(levels - l).
+  Word tindex = vpage;
+  for (int l = 0; l < mmu.levels - level; ++l) {
+    tindex /= entries;
+  }
+  return mmu.root + static_cast<Addr>((tables_before + tindex) * entries);
+}
+
+Addr ProgramBuilder::PteAddr(VirtAddr vpage, int level) const {
+  return TableBase(vpage, level) +
+         static_cast<Addr>(program_.mmu.LevelIndex(vpage, level));
+}
+
+ProgramBuilder& ProgramBuilder::MapPage(VirtAddr vpage, Addr ppage) {
+  const auto& mmu = program_.mmu;
+  VRM_CHECK_MSG(mmu.enabled, "MapPage requires Mmu() first");
+  for (int level = 0; level + 1 < mmu.levels; ++level) {
+    const Addr pte = PteAddr(vpage, level);
+    const Word entry = MmuConfig::MakeEntry(TableBase(vpage, level + 1));
+    auto it = program_.init.find(pte);
+    if (it != program_.init.end()) {
+      VRM_CHECK_MSG(it->second == entry, "conflicting intermediate page-table entry");
+    } else {
+      program_.init[pte] = entry;
+    }
+  }
+  program_.init[PteAddr(vpage, mmu.levels - 1)] = MmuConfig::MakeEntry(ppage);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::ObserveReg(ThreadId tid, Reg reg) {
+  program_.observed_regs.push_back({tid, reg});
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::ObserveLoc(Addr addr) {
+  program_.observed_locs.push_back(addr);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::ObserveTlbs() {
+  program_.observe_tlbs = true;
+  return *this;
+}
+
+Program ProgramBuilder::Build() {
+  VRM_CHECK(!built_);
+  built_ = true;
+  for (ThreadBuilder* thread : threads_) {
+    thread->Finish();
+    program_.threads.push_back(std::move(thread->code_));
+  }
+  program_.Validate();
+  return std::move(program_);
+}
+
+}  // namespace vrm

@@ -1,0 +1,150 @@
+// Fluent builders for TinyArm programs.
+//
+// Usage:
+//   ProgramBuilder pb("mp");
+//   auto& t0 = pb.NewThread();
+//   t0.MovImm(0, 1).Store(kX, 0).Dmb(BarrierKind::kSy).MovImm(1, 1).Store(kY, 1);
+//   auto& t1 = pb.NewThread();
+//   t1.LoadAddr(0, kY).LoadAddr(1, kX);
+//   pb.ObserveReg(1, 0).ObserveReg(1, 1);
+//   Program p = pb.Build();
+//
+// Address operands: most memory helpers take a literal Addr and synthesize the
+// base register internally via a scratch register (kAddrReg); register-addressed
+// forms are available for dependent-address patterns.
+
+#ifndef SRC_ARCH_BUILDER_H_
+#define SRC_ARCH_BUILDER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/arch/program.h"
+
+namespace vrm {
+
+// Scratch register used by literal-address helpers. Programs that use those
+// helpers must not use this register for live data.
+inline constexpr Reg kAddrReg = kNumRegs - 1;
+
+class ProgramBuilder;
+
+class ThreadBuilder {
+ public:
+  ThreadBuilder(const ThreadBuilder&) = delete;
+  ThreadBuilder& operator=(const ThreadBuilder&) = delete;
+
+  ThreadBuilder& Nop();
+  ThreadBuilder& MovImm(Reg rd, Word imm);
+  ThreadBuilder& Mov(Reg rd, Reg rs);
+  ThreadBuilder& Add(Reg rd, Reg rs, Reg rt);
+  ThreadBuilder& AddImm(Reg rd, Reg rs, int64_t imm);
+  ThreadBuilder& Sub(Reg rd, Reg rs, Reg rt);
+  ThreadBuilder& And(Reg rd, Reg rs, Reg rt);
+  ThreadBuilder& Eor(Reg rd, Reg rs, Reg rt);
+
+  // Register-addressed memory operations ([rs + imm]).
+  ThreadBuilder& Load(Reg rd, Reg rs, int64_t imm = 0, MemOrder order = MemOrder::kPlain);
+  ThreadBuilder& Store(Reg rs, int64_t imm, Reg rt, MemOrder order = MemOrder::kPlain);
+  ThreadBuilder& FetchAdd(Reg rd, Reg rs, int64_t add, MemOrder order = MemOrder::kPlain);
+  // Exclusive pair (ldxr/stxr). `rd` of StoreEx receives the status: 0 on
+  // success, 1 on failure.
+  ThreadBuilder& LoadEx(Reg rd, Reg rs, MemOrder order = MemOrder::kPlain);
+  ThreadBuilder& StoreEx(Reg rd_status, Reg rs, Reg rt,
+                         MemOrder order = MemOrder::kPlain);
+
+  // Literal-addressed conveniences (synthesize kAddrReg := addr).
+  ThreadBuilder& LoadAddr(Reg rd, Addr addr, MemOrder order = MemOrder::kPlain);
+  ThreadBuilder& StoreAddr(Addr addr, Reg rt, MemOrder order = MemOrder::kPlain);
+  ThreadBuilder& StoreImm(Addr addr, Word value, Reg scratch,
+                          MemOrder order = MemOrder::kPlain);
+  ThreadBuilder& FetchAddAddr(Reg rd, Addr addr, int64_t add,
+                              MemOrder order = MemOrder::kPlain);
+  ThreadBuilder& LoadExAddr(Reg rd, Addr addr, MemOrder order = MemOrder::kPlain);
+  ThreadBuilder& StoreExAddr(Reg rd_status, Addr addr, Reg rt,
+                             MemOrder order = MemOrder::kPlain);
+  ThreadBuilder& OracleLoadAddr(Reg rd, Addr addr);
+
+  ThreadBuilder& Dmb(BarrierKind kind);
+  ThreadBuilder& Dsb();
+  ThreadBuilder& Isb();
+
+  ThreadBuilder& Label(const std::string& name);
+  ThreadBuilder& Beq(Reg rs, Reg rt, const std::string& label);
+  ThreadBuilder& Bne(Reg rs, Reg rt, const std::string& label);
+  ThreadBuilder& Cbz(Reg rs, const std::string& label);
+  ThreadBuilder& Cbnz(Reg rs, const std::string& label);
+  ThreadBuilder& Jmp(const std::string& label);
+
+  // MMU-translated accesses at a literal virtual address.
+  ThreadBuilder& LoadVa(Reg rd, VirtAddr va);
+  ThreadBuilder& StoreVa(VirtAddr va, Reg rt);
+  ThreadBuilder& StoreVaImm(VirtAddr va, Word value, Reg scratch);
+
+  ThreadBuilder& TlbiVa(VirtAddr va);
+  ThreadBuilder& TlbiAll();
+
+  ThreadBuilder& Pull(int region);
+  ThreadBuilder& Push(int region);
+  ThreadBuilder& Panic();
+  ThreadBuilder& Halt();
+
+  // Appends a pre-built instruction verbatim (used by program transformers).
+  ThreadBuilder& Raw(const Inst& inst);
+
+ private:
+  friend class ProgramBuilder;
+  explicit ThreadBuilder(bool user) { code_.user = user; }
+
+  ThreadBuilder& Emit(Inst inst);
+  ThreadBuilder& EmitBranch(Op op, Reg rs, Reg rt, const std::string& label);
+  void Finish();  // resolve labels; called by ProgramBuilder::Build
+
+  ThreadCode code_;
+  std::map<std::string, int> labels_;
+  std::vector<std::pair<int, std::string>> fixups_;  // (inst index, label)
+  bool finished_ = false;
+};
+
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name);
+  ~ProgramBuilder();
+  ProgramBuilder(const ProgramBuilder&) = delete;
+  ProgramBuilder& operator=(const ProgramBuilder&) = delete;
+
+  // Adds a thread. `user` threads translate kLoadV/kStoreV through the MMU.
+  ThreadBuilder& NewThread(bool user = false);
+
+  ProgramBuilder& MemSize(Addr cells);
+  ProgramBuilder& Init(Addr addr, Word value);
+  // Declares a push/pull region; returns its index for Pull()/Push().
+  int AddRegion(const std::string& name, std::vector<Addr> locs);
+  ProgramBuilder& Mmu(const MmuConfig& mmu);
+  // Installs a valid PTE chain so that `vpage` maps to `ppage`, allocating
+  // intermediate tables at fixed positions derived from `mmu.root`. Requires
+  // Mmu() to have been called first.
+  ProgramBuilder& MapPage(VirtAddr vpage, Addr ppage);
+
+  ProgramBuilder& ObserveReg(ThreadId tid, Reg reg);
+  ProgramBuilder& ObserveLoc(Addr addr);
+  ProgramBuilder& ObserveTlbs();
+
+  // Cell address of the level-`level` page-table entry on the walk path of
+  // `vpage` (level 0 = top). Usable for litmus programs that write PTEs directly.
+  Addr PteAddr(VirtAddr vpage, int level) const;
+
+  Program Build();
+
+ private:
+  Addr TableBase(VirtAddr vpage, int level) const;
+
+  Program program_;
+  std::vector<ThreadBuilder*> threads_;
+  bool built_ = false;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_ARCH_BUILDER_H_

@@ -1,0 +1,140 @@
+#include "src/arch/inst.h"
+
+#include <cstdio>
+
+namespace vrm {
+
+namespace {
+
+const char* OrderSuffix(MemOrder order) {
+  switch (order) {
+    case MemOrder::kPlain:
+      return "";
+    case MemOrder::kAcquire:
+      return ".acq";
+    case MemOrder::kRelease:
+      return ".rel";
+    case MemOrder::kAcqRel:
+      return ".acqrel";
+  }
+  return "";
+}
+
+const char* BarrierName(BarrierKind kind) {
+  switch (kind) {
+    case BarrierKind::kLd:
+      return "ld";
+    case BarrierKind::kSt:
+      return "st";
+    case BarrierKind::kSy:
+      return "sy";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ToString(const Inst& inst) {
+  char buf[128];
+  switch (inst.op) {
+    case Op::kNop:
+      return "nop";
+    case Op::kMovImm:
+      std::snprintf(buf, sizeof(buf), "mov r%u, #%lld", inst.rd,
+                    static_cast<long long>(inst.imm));
+      return buf;
+    case Op::kMov:
+      std::snprintf(buf, sizeof(buf), "mov r%u, r%u", inst.rd, inst.rs);
+      return buf;
+    case Op::kAdd:
+      std::snprintf(buf, sizeof(buf), "add r%u, r%u, r%u", inst.rd, inst.rs, inst.rt);
+      return buf;
+    case Op::kAddImm:
+      std::snprintf(buf, sizeof(buf), "add r%u, r%u, #%lld", inst.rd, inst.rs,
+                    static_cast<long long>(inst.imm));
+      return buf;
+    case Op::kSub:
+      std::snprintf(buf, sizeof(buf), "sub r%u, r%u, r%u", inst.rd, inst.rs, inst.rt);
+      return buf;
+    case Op::kAnd:
+      std::snprintf(buf, sizeof(buf), "and r%u, r%u, r%u", inst.rd, inst.rs, inst.rt);
+      return buf;
+    case Op::kEor:
+      std::snprintf(buf, sizeof(buf), "eor r%u, r%u, r%u", inst.rd, inst.rs, inst.rt);
+      return buf;
+    case Op::kLoad:
+      std::snprintf(buf, sizeof(buf), "ldr%s r%u, [r%u, #%lld]", OrderSuffix(inst.order),
+                    inst.rd, inst.rs, static_cast<long long>(inst.imm));
+      return buf;
+    case Op::kStore:
+      std::snprintf(buf, sizeof(buf), "str%s r%u, [r%u, #%lld]", OrderSuffix(inst.order),
+                    inst.rt, inst.rs, static_cast<long long>(inst.imm));
+      return buf;
+    case Op::kFetchAdd:
+      std::snprintf(buf, sizeof(buf), "fetchadd%s r%u, [r%u], #%lld",
+                    OrderSuffix(inst.order), inst.rd, inst.rs,
+                    static_cast<long long>(inst.imm));
+      return buf;
+    case Op::kLoadEx:
+      std::snprintf(buf, sizeof(buf), "ldxr%s r%u, [r%u]", OrderSuffix(inst.order),
+                    inst.rd, inst.rs);
+      return buf;
+    case Op::kStoreEx:
+      std::snprintf(buf, sizeof(buf), "stxr%s r%u, r%u, [r%u]",
+                    OrderSuffix(inst.order), inst.rd, inst.rt, inst.rs);
+      return buf;
+    case Op::kDmb:
+      std::snprintf(buf, sizeof(buf), "dmb %s", BarrierName(inst.barrier));
+      return buf;
+    case Op::kDsb:
+      return "dsb sy";
+    case Op::kIsb:
+      return "isb";
+    case Op::kBeq:
+      std::snprintf(buf, sizeof(buf), "beq r%u, r%u, @%d", inst.rs, inst.rt, inst.target);
+      return buf;
+    case Op::kBne:
+      std::snprintf(buf, sizeof(buf), "bne r%u, r%u, @%d", inst.rs, inst.rt, inst.target);
+      return buf;
+    case Op::kCbz:
+      std::snprintf(buf, sizeof(buf), "cbz r%u, @%d", inst.rs, inst.target);
+      return buf;
+    case Op::kCbnz:
+      std::snprintf(buf, sizeof(buf), "cbnz r%u, @%d", inst.rs, inst.target);
+      return buf;
+    case Op::kJmp:
+      std::snprintf(buf, sizeof(buf), "b @%d", inst.target);
+      return buf;
+    case Op::kLoadV:
+      std::snprintf(buf, sizeof(buf), "ldrv r%u, [va r%u, #%lld]", inst.rd, inst.rs,
+                    static_cast<long long>(inst.imm));
+      return buf;
+    case Op::kStoreV:
+      std::snprintf(buf, sizeof(buf), "strv r%u, [va r%u, #%lld]", inst.rt, inst.rs,
+                    static_cast<long long>(inst.imm));
+      return buf;
+    case Op::kTlbiVa:
+      std::snprintf(buf, sizeof(buf), "tlbi vae, [r%u, #%lld]", inst.rs,
+                    static_cast<long long>(inst.imm));
+      return buf;
+    case Op::kTlbiAll:
+      return "tlbi all";
+    case Op::kPull:
+      std::snprintf(buf, sizeof(buf), "pull #%d", inst.region);
+      return buf;
+    case Op::kPush:
+      std::snprintf(buf, sizeof(buf), "push #%d", inst.region);
+      return buf;
+    case Op::kOracleLoad:
+      std::snprintf(buf, sizeof(buf), "ldr.oracle r%u, [r%u, #%lld]", inst.rd, inst.rs,
+                    static_cast<long long>(inst.imm));
+      return buf;
+    case Op::kPanic:
+      return "panic";
+    case Op::kHalt:
+      return "halt";
+  }
+  return "?";
+}
+
+}  // namespace vrm

@@ -1,0 +1,106 @@
+// TinyArm instruction definitions.
+
+#ifndef SRC_ARCH_INST_H_
+#define SRC_ARCH_INST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/arch/types.h"
+
+namespace vrm {
+
+enum class Op : uint8_t {
+  kNop,
+  // Arithmetic / moves. All create data dependencies from source registers.
+  kMovImm,  // rd := imm
+  kMov,     // rd := rs
+  kAdd,     // rd := rs + rt
+  kAddImm,  // rd := rs + imm
+  kSub,     // rd := rs - rt
+  kAnd,     // rd := rs & rt
+  kEor,     // rd := rs ^ rt (Eor rs,rs is the classic zero-with-a-dependency idiom)
+  // Memory accesses to physical cells.
+  kLoad,      // rd := [rs + imm]; order Plain or Acquire (ldr / ldar)
+  kStore,     // [rs + imm] := rt; order Plain or Release (str / stlr)
+  kFetchAdd,  // rd := [rs]; [rs] := rd + imm, atomically; order per MemOrder
+  kLoadEx,    // load-exclusive (ldxr/ldaxr): rd := [rs], arms the monitor
+  kStoreEx,   // store-exclusive (stxr/stlxr): rd := 0 and [rs] := rt on success,
+              // rd := 1 on failure (monitor lost). Success requires no write to
+              // [rs] between the exclusive pair (strong LL/SC: no spurious
+              // failures — see DESIGN.md).
+  // Barriers.
+  kDmb,  // barrier kind Ld / St / Sy
+  kDsb,  // full barrier that additionally completes TLB invalidations
+  kIsb,  // instruction barrier (orders later fetches after prior context changes)
+  // Control flow. Branch conditions contribute to the control view (vCAP).
+  kBeq,   // if rs == rt goto target
+  kBne,   // if rs != rt goto target
+  kCbz,   // if rs == 0 goto target
+  kCbnz,  // if rs != 0 goto target
+  kJmp,   // goto target
+  // MMU-translated accesses (virtual addresses; translated via TLB / page walk).
+  kLoadV,   // rd := [translate(rs + imm)]
+  kStoreV,  // [translate(rs + imm)] := rt
+  // TLB maintenance (broadcast, like Arm's TLBI ...IS instructions).
+  kTlbiVa,   // invalidate TLB entries for the virtual page containing (rs + imm)
+  kTlbiAll,  // invalidate all TLB entries
+  // Ghost instructions for the push/pull Promising model (Section 4.1). They have
+  // no architectural effect; they carry the ownership-transfer protocol that the
+  // DRF-Kernel and No-Barrier-Misuse checkers validate.
+  kPull,  // acquire ownership of region #imm
+  kPush,  // release ownership of region #imm
+  // Ghost marker for reads the proofs mask with data oracles
+  // (Weak-Memory-Isolation): architecturally a plain load, but exempted from the
+  // isolation checker.
+  kOracleLoad,  // rd := [rs + imm], declared information flow
+  kPanic,       // explicit panic (the `else panic()` arms in Figures 1-2)
+  kHalt,
+};
+
+enum class MemOrder : uint8_t {
+  kPlain,
+  kAcquire,  // load-acquire (ldar) / acquire half of an RMW
+  kRelease,  // store-release (stlr) / release half of an RMW
+  kAcqRel,   // both (RMW only)
+};
+
+enum class BarrierKind : uint8_t {
+  kLd,  // dmb ld: orders prior reads before later reads and writes
+  kSt,  // dmb st: orders prior writes before later writes
+  kSy,  // dmb sy: full barrier
+};
+
+struct Inst {
+  Op op = Op::kNop;
+  Reg rd = 0;
+  Reg rs = 0;
+  Reg rt = 0;
+  int64_t imm = 0;
+  MemOrder order = MemOrder::kPlain;
+  BarrierKind barrier = BarrierKind::kSy;
+  int target = -1;  // branch target (instruction index), resolved by the builder
+  int region = -1;  // push/pull region index
+
+  bool IsBranch() const {
+    return op == Op::kBeq || op == Op::kBne || op == Op::kCbz || op == Op::kCbnz ||
+           op == Op::kJmp;
+  }
+
+  bool IsLoadLike() const {
+    return op == Op::kLoad || op == Op::kLoadV || op == Op::kFetchAdd ||
+           op == Op::kOracleLoad || op == Op::kLoadEx;
+  }
+
+  bool IsStoreLike() const {
+    return op == Op::kStore || op == Op::kStoreV || op == Op::kFetchAdd ||
+           op == Op::kStoreEx;
+  }
+};
+
+// Human-readable rendering, used by trace dumps and failure messages.
+std::string ToString(const Inst& inst);
+
+}  // namespace vrm
+
+#endif  // SRC_ARCH_INST_H_

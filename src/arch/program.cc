@@ -1,0 +1,65 @@
+#include "src/arch/program.h"
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+int MmuConfig::LevelIndex(VirtAddr vpage, int level) const {
+  VRM_CHECK(level >= 0 && level < levels);
+  VirtAddr v = vpage;
+  for (int l = levels - 1; l > level; --l) {
+    v /= static_cast<VirtAddr>(table_entries);
+  }
+  return static_cast<int>(v % static_cast<VirtAddr>(table_entries));
+}
+
+int Program::RegionOf(Addr a) const {
+  for (size_t r = 0; r < regions.size(); ++r) {
+    for (Addr loc : regions[r].locs) {
+      if (loc == a) {
+        return static_cast<int>(r);
+      }
+    }
+  }
+  return -1;
+}
+
+void Program::Validate() const {
+  VRM_CHECK_MSG(!threads.empty(), "program has no threads");
+  for (const auto& thread : threads) {
+    for (const auto& inst : thread.code) {
+      VRM_CHECK(inst.rd < kNumRegs && inst.rs < kNumRegs && inst.rt < kNumRegs);
+      if (inst.IsBranch()) {
+        VRM_CHECK_MSG(inst.target >= 0 &&
+                          inst.target <= static_cast<int>(thread.code.size()),
+                      "unresolved or out-of-range branch target");
+      }
+      if (inst.op == Op::kPull || inst.op == Op::kPush) {
+        VRM_CHECK_MSG(inst.region >= 0 && inst.region < static_cast<int>(regions.size()),
+                      "push/pull references an undeclared region");
+      }
+    }
+  }
+  for (const auto& [addr, value] : init) {
+    (void)value;
+    VRM_CHECK_MSG(addr < mem_size, "initial value outside memory");
+  }
+  for (const auto& region : regions) {
+    for (Addr loc : region.locs) {
+      VRM_CHECK_MSG(loc < mem_size, "region cell outside memory");
+    }
+  }
+  for (const auto& obs : observed_regs) {
+    VRM_CHECK(obs.tid < threads.size() && obs.reg < kNumRegs);
+  }
+  for (Addr loc : observed_locs) {
+    VRM_CHECK(loc < mem_size);
+  }
+  if (mmu.enabled) {
+    VRM_CHECK(mmu.levels >= 1 && mmu.levels <= 4);
+    VRM_CHECK(mmu.table_entries >= 2 && mmu.page_size >= 1);
+    VRM_CHECK(mmu.root < mem_size);
+  }
+}
+
+}  // namespace vrm

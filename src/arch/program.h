@@ -1,0 +1,98 @@
+// Multi-threaded TinyArm programs: per-thread code, initial memory, push/pull
+// regions, MMU geometry, and the observation specification that defines a
+// program's "observable behaviour" (final register/memory values, faults, and
+// panics — the notion Theorem 1 quantifies over).
+
+#ifndef SRC_ARCH_PROGRAM_H_
+#define SRC_ARCH_PROGRAM_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/arch/inst.h"
+#include "src/arch/types.h"
+
+namespace vrm {
+
+// Geometry of the page tables that MMU-translated accesses walk. A virtual
+// address decomposes as (vpage, offset) with offset = va % page_size; vpage
+// indexes `levels` levels of tables with `table_entries` entries each, most
+// significant level first. Page-table entries are encoded as:
+//   0                      — EMPTY (walk faults)
+//   (target << 1) | 1      — valid; target is the next-level table's base cell,
+//                            or the physical page number at the leaf level.
+struct MmuConfig {
+  bool enabled = false;
+  Addr root = 0;          // base cell of the top-level table
+  int levels = 2;         // 1..4
+  int table_entries = 4;  // entries per table
+  int page_size = 2;      // cells per page
+
+  static constexpr Word kEmpty = 0;
+
+  static Word MakeEntry(Addr target) { return (static_cast<Word>(target) << 1) | 1; }
+
+  static bool EntryValid(Word entry) { return (entry & 1) != 0; }
+
+  static Addr EntryTarget(Word entry) { return static_cast<Addr>(entry >> 1); }
+
+  VirtAddr PageOf(VirtAddr va) const { return va / static_cast<VirtAddr>(page_size); }
+
+  int OffsetOf(VirtAddr va) const { return static_cast<int>(va % page_size); }
+
+  // Index into the table at `level` (0 = top) for the given virtual page.
+  int LevelIndex(VirtAddr vpage, int level) const;
+};
+
+// A named set of cells governed by the push/pull ownership protocol. Regions are
+// the "shared objects" of the DRF-Kernel condition: every access to a region cell
+// must happen while the accessing CPU owns the region.
+struct Region {
+  std::string name;
+  std::vector<Addr> locs;
+};
+
+struct ThreadCode {
+  std::vector<Inst> code;
+  // When true, kLoadV/kStoreV accesses by this thread translate through the MMU
+  // (the thread models a user program / VM); plain accesses remain physical.
+  bool user = false;
+};
+
+struct ObservedReg {
+  ThreadId tid;
+  Reg reg;
+};
+
+struct Program {
+  std::string name;
+  std::vector<ThreadCode> threads;
+  Addr mem_size = 32;          // physical cells 0..mem_size-1, zero-initialized
+  std::map<Addr, Word> init;   // nonzero initial cell values
+  std::vector<Region> regions;
+  MmuConfig mmu;
+
+  // Observation specification.
+  std::vector<ObservedReg> observed_regs;
+  std::vector<Addr> observed_locs;
+  bool observe_tlbs = false;  // include final TLB contents (Example 6's post-state)
+
+  int num_threads() const { return static_cast<int>(threads.size()); }
+
+  Word InitValue(Addr a) const {
+    auto it = init.find(a);
+    return it == init.end() ? 0 : it->second;
+  }
+
+  // Returns the region containing `a`, or -1 if none does.
+  int RegionOf(Addr a) const;
+
+  // Internal consistency checks (targets resolved, registers/addresses in range).
+  // Aborts via VRM_CHECK on malformed programs; builder output always passes.
+  void Validate() const;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_ARCH_PROGRAM_H_

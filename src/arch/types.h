@@ -1,0 +1,45 @@
+// Fundamental types shared by the TinyArm ISA and the memory models.
+//
+// TinyArm is a deliberately small Armv8-flavoured register machine: enough to
+// express the paper's litmus tests (Examples 1-7), the SeKVM synchronization and
+// page-table primitives, and the barrier/ordering distinctions the wDRF conditions
+// talk about — loads/stores with acquire/release, DMB LD/ST/SY, DSB, ISB, atomic
+// fetch-add, TLB invalidation, and MMU-translated accesses.
+
+#ifndef SRC_ARCH_TYPES_H_
+#define SRC_ARCH_TYPES_H_
+
+#include <cstdint>
+
+namespace vrm {
+
+// Machine word. Memory is word-granular: one addressable cell holds one Word.
+using Word = uint64_t;
+
+// Physical address of a memory cell (a cell index, not a byte address).
+using Addr = uint32_t;
+
+// Virtual address used by MMU-translated accesses.
+using VirtAddr = uint32_t;
+
+// Register index. TinyArm has kNumRegs general-purpose registers.
+using Reg = uint8_t;
+
+inline constexpr int kNumRegs = 12;
+
+// Hardware thread (CPU) index.
+using ThreadId = uint8_t;
+
+// Timestamp into the global message list of the Promising machine. Timestamp 0 is
+// the initial memory; messages occupy 1..N.
+using View = uint32_t;
+
+// Value a translated load produces when the page-table walk faults. The walk
+// result domain in the Transactional-Page-Table condition is
+// {before-state, after-state, fault}; faults are made observable via this
+// sentinel plus a per-thread fault counter.
+inline constexpr Word kFaultValue = ~0ull;
+
+}  // namespace vrm
+
+#endif  // SRC_ARCH_TYPES_H_

@@ -1,0 +1,246 @@
+#include "src/litmus/classics.h"
+
+#include "src/arch/builder.h"
+#include "src/support/check.h"
+
+namespace vrm {
+
+namespace {
+
+constexpr Addr kX = 0;
+constexpr Addr kY = 1;
+constexpr Reg r0 = 0;
+constexpr Reg r1 = 1;
+constexpr Reg r2 = 2;
+constexpr Reg r3 = 3;
+
+const char* Name(Strength s) {
+  switch (s) {
+    case Strength::kPlain:
+      return "plain";
+    case Strength::kDmb:
+      return "dmb";
+    case Strength::kDmbLd:
+      return "dmbld";
+    case Strength::kAcqRel:
+      return "acqrel";
+    case Strength::kAddrDep:
+      return "addr";
+    case Strength::kDataDep:
+      return "data";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LitmusTest ClassicSb(Strength strength) {
+  ProgramBuilder pb(std::string("SB+") + Name(strength));
+  pb.MemSize(2);
+  for (int i = 0; i < 2; ++i) {
+    const Addr mine = i == 0 ? kX : kY;
+    const Addr other = i == 0 ? kY : kX;
+    auto& t = pb.NewThread();
+    t.StoreImm(mine, 1, r2);
+    if (strength == Strength::kDmb) {
+      t.Dmb(BarrierKind::kSy);
+    }
+    t.LoadAddr(r0, other);
+  }
+  pb.ObserveReg(0, r0).ObserveReg(1, r0);
+  return {pb.Build(), {}, "store buffering"};
+}
+
+LitmusTest ClassicSbRelAcq() {
+  ProgramBuilder pb("SB+rel+acq");
+  pb.MemSize(2);
+  for (int i = 0; i < 2; ++i) {
+    const Addr mine = i == 0 ? kX : kY;
+    const Addr other = i == 0 ? kY : kX;
+    auto& t = pb.NewThread();
+    t.StoreImm(mine, 1, r2, MemOrder::kRelease);
+    t.LoadAddr(r0, other, MemOrder::kAcquire);
+  }
+  pb.ObserveReg(0, r0).ObserveReg(1, r0);
+  return {pb.Build(), {}, "store buffering, release/acquire"};
+}
+
+LitmusTest ClassicMp(Strength writer, Strength reader) {
+  ProgramBuilder pb(std::string("MP+") + Name(writer) + "+" + Name(reader));
+  pb.MemSize(2);
+
+  auto& w = pb.NewThread();
+  w.StoreImm(kX, 1, r2);
+  if (writer == Strength::kDmb) {
+    w.Dmb(BarrierKind::kSy);
+  }
+  w.StoreImm(kY, 1, r3, writer == Strength::kAcqRel ? MemOrder::kRelease
+                                                    : MemOrder::kPlain);
+
+  auto& r = pb.NewThread();
+  r.LoadAddr(r0, kY,
+             reader == Strength::kAcqRel ? MemOrder::kAcquire : MemOrder::kPlain);
+  switch (reader) {
+    case Strength::kDmbLd:
+      r.Dmb(BarrierKind::kLd);
+      r.LoadAddr(r1, kX);
+      break;
+    case Strength::kDmb:
+      r.Dmb(BarrierKind::kSy);
+      r.LoadAddr(r1, kX);
+      break;
+    case Strength::kAddrDep:
+      // r2 := r0 ^ r0 (always 0, but view-dependent); read [x + r2].
+      r.Eor(r2, r0, r0);
+      r.MovImm(r3, kX);
+      r.Add(r3, r3, r2);
+      r.Load(r1, r3);
+      break;
+    default:
+      r.LoadAddr(r1, kX);
+      break;
+  }
+  pb.ObserveReg(1, r0).ObserveReg(1, r1);
+  return {pb.Build(), {}, "message passing"};
+}
+
+LitmusTest ClassicLb(Strength strength) {
+  ProgramBuilder pb(std::string("LB+") + Name(strength));
+  pb.MemSize(2);
+  for (int i = 0; i < 2; ++i) {
+    const Addr mine = i == 0 ? kX : kY;
+    const Addr other = i == 0 ? kY : kX;
+    auto& t = pb.NewThread();
+    t.LoadAddr(r0, other);
+    switch (strength) {
+      case Strength::kDataDep:
+        t.StoreAddr(mine, r0);  // write the value read: thin-air candidate
+        break;
+      case Strength::kDmb:
+        t.Dmb(BarrierKind::kSy);
+        t.StoreImm(mine, 1, r2);
+        break;
+      default:
+        t.StoreImm(mine, 1, r2);
+        break;
+    }
+  }
+  pb.ObserveReg(0, r0).ObserveReg(1, r0);
+  return {pb.Build(), {}, "load buffering"};
+}
+
+LitmusTest ClassicCoRR() {
+  ProgramBuilder pb("CoRR");
+  pb.MemSize(1);
+  auto& w = pb.NewThread();
+  w.StoreImm(kX, 1, r2);
+  auto& r = pb.NewThread();
+  r.LoadAddr(r0, kX);
+  r.LoadAddr(r1, kX);
+  pb.ObserveReg(1, r0).ObserveReg(1, r1);
+  return {pb.Build(), {}, "coherent read-read: 1 then 0 forbidden"};
+}
+
+LitmusTest ClassicCoWW() {
+  ProgramBuilder pb("CoWW");
+  pb.MemSize(1);
+  auto& w = pb.NewThread();
+  w.StoreImm(kX, 1, r2);
+  w.StoreImm(kX, 2, r3);
+  pb.ObserveLoc(kX);
+  return {pb.Build(), {}, "coherent write-write: final x must be 2"};
+}
+
+LitmusTest Classic2Plus2W(Strength strength) {
+  ProgramBuilder pb(std::string("2+2W+") + Name(strength));
+  pb.MemSize(2);
+  for (int i = 0; i < 2; ++i) {
+    const Addr first = i == 0 ? kX : kY;
+    const Addr second = i == 0 ? kY : kX;
+    auto& t = pb.NewThread();
+    t.StoreImm(first, 1, r2);
+    if (strength == Strength::kDmb) {
+      t.Dmb(BarrierKind::kSy);
+    }
+    t.StoreImm(second, 2, r3);
+  }
+  pb.ObserveLoc(kX).ObserveLoc(kY);
+  return {pb.Build(), {}, "2+2W: x=1,y=1 allowed only without barriers"};
+}
+
+LitmusTest ClassicWrc(Strength middle, Strength reader) {
+  ProgramBuilder pb(std::string("WRC+") + Name(middle) + "+" + Name(reader));
+  pb.MemSize(2);
+
+  auto& t0 = pb.NewThread();
+  t0.StoreImm(kX, 1, r2);
+
+  auto& t1 = pb.NewThread();
+  t1.LoadAddr(r1, kX);
+  if (middle == Strength::kDmb) {
+    t1.Dmb(BarrierKind::kSy);
+  }
+  t1.StoreImm(kY, 1, r2);
+
+  auto& t2 = pb.NewThread();
+  t2.LoadAddr(r2, kY);
+  if (reader == Strength::kAddrDep) {
+    t2.Eor(r3, r2, r2);
+    t2.MovImm(r0, kX);
+    t2.Add(r0, r0, r3);
+    t2.Load(r3, r0);
+  } else {
+    if (reader == Strength::kDmb) {
+      t2.Dmb(BarrierKind::kSy);
+    }
+    t2.LoadAddr(r3, kX);
+  }
+
+  pb.ObserveReg(1, r1).ObserveReg(2, r2).ObserveReg(2, r3);
+  return {pb.Build(), {}, "write-to-read causality"};
+}
+
+LitmusTest ClassicIriw(Strength readers) {
+  ProgramBuilder pb(std::string("IRIW+") + Name(readers));
+  pb.MemSize(2);
+  pb.NewThread().StoreImm(kX, 1, r2);
+  pb.NewThread().StoreImm(kY, 1, r2);
+  for (int i = 0; i < 2; ++i) {
+    const Addr first = i == 0 ? kX : kY;
+    const Addr second = i == 0 ? kY : kX;
+    auto& t = pb.NewThread();
+    t.LoadAddr(r0, first);
+    if (readers == Strength::kDmb) {
+      t.Dmb(BarrierKind::kSy);
+    }
+    t.LoadAddr(r1, second);
+  }
+  pb.ObserveReg(2, r0).ObserveReg(2, r1).ObserveReg(3, r0).ObserveReg(3, r1);
+  LitmusTest test{pb.Build(), {}, "independent reads of independent writes"};
+  return test;
+}
+
+LitmusTest ClassicS(Strength strength) {
+  ProgramBuilder pb(std::string("S+") + Name(strength));
+  pb.MemSize(2);
+
+  auto& t0 = pb.NewThread();
+  t0.StoreImm(kX, 2, r2);
+  if (strength == Strength::kDmb) {
+    t0.Dmb(BarrierKind::kSy);
+  }
+  t0.StoreImm(kY, 1, r3);
+
+  auto& t1 = pb.NewThread();
+  t1.LoadAddr(r0, kY);
+  if (strength == Strength::kDataDep || strength == Strength::kDmb) {
+    // Data dependency: write r0 (which must be 1 for the interesting outcome).
+    t1.StoreAddr(kX, r0);
+  } else {
+    t1.StoreImm(kX, 1, r2);
+  }
+  pb.ObserveReg(1, r0).ObserveLoc(kX);
+  return {pb.Build(), {}, "S: r0=1 with final x=2"};
+}
+
+}  // namespace vrm

@@ -1,0 +1,69 @@
+// Classic Armv8 litmus patterns, used to validate the Promising machine against
+// the well-known allowed/forbidden results of the Armv8 memory model (Pulte et
+// al. 2017/2019). Each factory documents the expected verdicts.
+
+#ifndef SRC_LITMUS_CLASSICS_H_
+#define SRC_LITMUS_CLASSICS_H_
+
+#include "src/litmus/litmus.h"
+
+namespace vrm {
+
+enum class Strength {
+  kPlain,    // no ordering
+  kDmb,      // dmb sy between the accesses
+  kDmbLd,    // dmb ld on the read side (load-load ordering)
+  kAcqRel,   // load-acquire / store-release
+  kAddrDep,  // artificial address dependency on the read side
+  kDataDep,  // data dependency (LB only)
+};
+
+// SB (store buffering): Wx=1; Ry || Wy=1; Rx. r0=r1=0 allowed plain, forbidden
+// with dmb sy on both sides.
+LitmusTest ClassicSb(Strength strength);
+
+// MP (message passing): Wx=1; Wy=1 || Ry; Rx. r0=1,r1=0 allowed plain; forbidden
+// with dmb sy on the writer and dmb ld / acquire / address dependency on the
+// reader.
+LitmusTest ClassicMp(Strength writer, Strength reader);
+
+// LB (load buffering): Rx; Wy=1 || Ry; Wx=1. r0=r1=1 allowed plain; forbidden
+// when both writes carry a data dependency on the local read (no out-of-thin-air).
+LitmusTest ClassicLb(Strength strength);
+
+// CoRR (coherent read-read): Wx=1 || Rx; Rx. New-then-old (r0=1, r1=0) forbidden
+// by the coherence constraint on any Armv8 implementation.
+LitmusTest ClassicCoRR();
+
+// CoWW + same-location write ordering witness: two writes by one thread to one
+// location must be observed in program order ([x] final = 2).
+LitmusTest ClassicCoWW();
+
+// 2+2W: Wx=1;Wy=2 || Wy=1;Wx=2. Final x=1,y=1 allowed plain, forbidden with
+// dmb sy on both sides.
+LitmusTest Classic2Plus2W(Strength strength);
+
+// S: Wx=2; Wy=1 || Ry; Wx=1 with dependency variations. The outcome r0=1 with
+// final x=2 requires the second thread's write to be ordered after its read;
+// allowed plain, forbidden with a dmb on the writer and data dependency reader.
+LitmusTest ClassicS(Strength strength);
+
+// WRC (write-to-read causality): Wx=1 || Rx; dmb; Wy=1 || Ry; dep Rx.
+// The outcome r1=1 (T1 saw x), r2=1 (T2 saw y), r3=0 (T2 missed x) is forbidden
+// on multicopy-atomic Armv8 when T1 has a dmb and T2 an address dependency;
+// allowed when both are plain.
+LitmusTest ClassicWrc(Strength middle, Strength reader);
+
+// IRIW (independent reads of independent writes): two writers, two readers
+// observing them in opposite orders. Forbidden with dmb sy on both readers
+// (multicopy atomicity); allowed with plain readers.
+LitmusTest ClassicIriw(Strength readers);
+
+// SB with release/acquire: r0=r1=0 is forbidden on Armv8 — STLR/LDAR are RCsc
+// (an acquire load is ordered after prior release stores), which is what makes
+// them usable for C++ seq_cst.
+LitmusTest ClassicSbRelAcq();
+
+}  // namespace vrm
+
+#endif  // SRC_LITMUS_CLASSICS_H_

@@ -1,0 +1,58 @@
+#include "src/litmus/litmus.h"
+
+#include "src/model/explorer.h"
+#include "src/model/promising_machine.h"
+#include "src/model/sc_machine.h"
+#include "src/model/tso_machine.h"
+
+namespace vrm {
+
+ExploreResult RunSc(const LitmusTest& test) {
+  ScMachine machine(test.program, test.config);
+  return Explore(machine, test.config);
+}
+
+ExploreResult RunPromising(const LitmusTest& test) {
+  PromisingMachine machine(test.program, test.config);
+  return Explore(machine, test.config);
+}
+
+ExploreResult RunTso(const LitmusTest& test) {
+  TsoMachine machine(test.program, test.config);
+  return Explore(machine, test.config);
+}
+
+bool AnyOutcome(const ExploreResult& result, const OutcomePredicate& predicate) {
+  for (const auto& [key, outcome] : result.outcomes) {
+    (void)key;
+    if (predicate(outcome)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RmRefinesSc(const ExploreResult& rm, const ExploreResult& sc) {
+  return OutcomesBeyond(rm, sc).empty();
+}
+
+std::string CompareModels(const LitmusTest& test, const ExploreResult& rm,
+                          const ExploreResult& sc) {
+  std::string out = "litmus: " + test.program.name + " — " + test.description + "\n";
+  out += "SC outcomes (" + std::to_string(sc.outcomes.size()) + "):\n";
+  out += sc.Describe(test.program);
+  out += "Promising-Arm outcomes (" + std::to_string(rm.outcomes.size()) + "):\n";
+  out += rm.Describe(test.program);
+  const auto extra = OutcomesBeyond(rm, sc);
+  if (extra.empty()) {
+    out += "RM ⊆ SC: every relaxed behaviour is SC-observable.\n";
+  } else {
+    out += "RM-only behaviours (" + std::to_string(extra.size()) + "):\n";
+    for (const Outcome& outcome : extra) {
+      out += "  " + outcome.ToString(test.program) + "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace vrm

@@ -1,0 +1,50 @@
+// Litmus-test harness: run a TinyArm program on both hardware models and compare
+// observable-behaviour sets.
+//
+// A litmus test pairs a program with the exploration configuration and names the
+// "relaxed outcome" of interest — the behaviour the paper's examples show is
+// observable on Arm RM hardware but not on an SC model.
+
+#ifndef SRC_LITMUS_LITMUS_H_
+#define SRC_LITMUS_LITMUS_H_
+
+#include <functional>
+#include <string>
+
+#include "src/arch/program.h"
+#include "src/model/config.h"
+#include "src/model/outcome.h"
+
+namespace vrm {
+
+struct LitmusTest {
+  Program program;
+  ModelConfig config;
+  std::string description;
+};
+
+// Exhaustively explores the test on the SC model.
+ExploreResult RunSc(const LitmusTest& test);
+
+// Exhaustively explores the test on the Promising-Arm model.
+ExploreResult RunPromising(const LitmusTest& test);
+
+// Exhaustively explores the test on the x86-TSO model (store buffers). Used by
+// the model-comparison tests and the paper's TSO-vs-Arm motivation.
+ExploreResult RunTso(const LitmusTest& test);
+
+// Convenience predicate evaluation over an outcome set.
+using OutcomePredicate = std::function<bool(const Outcome&)>;
+bool AnyOutcome(const ExploreResult& result, const OutcomePredicate& predicate);
+
+// True when every RM-observable behaviour is SC-observable — the conclusion of
+// the wDRF theorem for this program.
+bool RmRefinesSc(const ExploreResult& rm, const ExploreResult& sc);
+
+// Side-by-side summary for examples and failure messages.
+std::string CompareModels(const LitmusTest& test, const ExploreResult& rm,
+                          const ExploreResult& sc);
+
+}  // namespace vrm
+
+#endif  // SRC_LITMUS_LITMUS_H_

@@ -1,0 +1,285 @@
+#include "src/litmus/paper_examples.h"
+
+#include "src/arch/builder.h"
+
+namespace vrm {
+
+namespace {
+
+// Shared register conventions inside this file.
+constexpr Reg r0 = 0;
+constexpr Reg r1 = 1;
+constexpr Reg r2 = 2;
+constexpr Reg r3 = 3;
+constexpr Reg r4 = 4;
+
+}  // namespace
+
+LitmusTest Example1OutOfOrderWrite(bool fixed) {
+  constexpr Addr kX = 0;
+  constexpr Addr kY = 1;
+  ProgramBuilder pb(fixed ? "example1-fixed" : "example1");
+  pb.MemSize(2);
+
+  auto& cpu1 = pb.NewThread();
+  cpu1.LoadAddr(r0, kX);  // (a)
+  if (fixed) {
+    cpu1.Dmb(BarrierKind::kSy);
+  }
+  cpu1.StoreImm(kY, 1, r2);  // (b)
+
+  auto& cpu2 = pb.NewThread();
+  cpu2.LoadAddr(r1, kY);  // (c)
+  if (fixed) {
+    cpu2.Dmb(BarrierKind::kSy);
+  }
+  cpu2.StoreAddr(kX, r1);  // (d) [x] := r1
+
+  pb.ObserveReg(0, r0).ObserveReg(1, r1);
+  return {pb.Build(), {}, "out-of-order write: RM allows r0=r1=1"};
+}
+
+namespace {
+
+// Emits gen_vmid() (Figure 1): ticket-lock acquire, read-and-increment
+// next_vmid, ticket-lock release. The returned vmid lands in r2.
+void EmitGenVmid(ThreadBuilder& t, bool barriers) {
+  const MemOrder load_order = barriers ? MemOrder::kAcquire : MemOrder::kPlain;
+  const MemOrder store_order = barriers ? MemOrder::kRelease : MemOrder::kPlain;
+
+  // acquire_lock(): my_ticket = fetch_and_incr(ticket); while (my_ticket != now);
+  t.FetchAddAddr(r0, kVmidTicket, 1, load_order);
+  t.Label("spin");
+  t.LoadAddr(r1, kVmidNow, load_order);
+  t.Bne(r0, r1, "spin");
+  // critical section: vmid = next_vmid; if (vmid < MAX_VM) next_vmid++;
+  t.LoadAddr(r2, kVmidNext);
+  t.MovImm(r3, 4);  // MAX_VM
+  t.Beq(r2, r3, "overflow");
+  t.AddImm(r4, r2, 1);
+  t.StoreAddr(kVmidNext, r4);
+  // release_lock(): now++;
+  t.LoadAddr(r1, kVmidNow);
+  t.AddImm(r1, r1, 1);
+  t.StoreAddr(kVmidNow, r1, store_order);
+  t.Halt();
+  t.Label("overflow");
+  t.Panic();
+}
+
+}  // namespace
+
+LitmusTest Example2VmBooting(bool fixed) {
+  ProgramBuilder pb(fixed ? "example2-fixed" : "example2");
+  pb.MemSize(3);
+  EmitGenVmid(pb.NewThread(), fixed);
+  EmitGenVmid(pb.NewThread(), fixed);
+  pb.ObserveReg(0, r2).ObserveReg(1, r2);
+  LitmusTest test{pb.Build(), {}, "VM booting: RM allows duplicate vmids"};
+  // The spin loop plus critical section needs a bigger budget than a straight-
+  // line litmus test.
+  test.config.max_steps_per_thread = 48;
+  return test;
+}
+
+LitmusTest Example3VmContextSwitch(bool fixed) {
+  constexpr Addr kCtx = 0;    // vCPU context slot
+  constexpr Addr kState = 1;  // vcpu_state: 1 = INACTIVE, 2 = ACTIVE
+  constexpr Word kInactive = 1;
+  ProgramBuilder pb(fixed ? "example3-fixed" : "example3");
+  pb.MemSize(2);
+  pb.Init(kState, 2);  // vCPU currently ACTIVE on CPU 1
+
+  // CPU 1: save_vm() — save the context, then publish INACTIVE.
+  auto& cpu1 = pb.NewThread();
+  cpu1.StoreImm(kCtx, 7, r2);  // (a) save the vCPU context (7 = the saved state)
+  cpu1.StoreImm(kState, kInactive, r3,
+                fixed ? MemOrder::kRelease : MemOrder::kPlain);  // (b)
+
+  // CPU 2: restore_vm() — check INACTIVE, then restore the context.
+  auto& cpu2 = pb.NewThread();
+  cpu2.LoadAddr(r0, kState, fixed ? MemOrder::kAcquire : MemOrder::kPlain);  // (c)
+  cpu2.MovImm(r3, kInactive);
+  cpu2.MovImm(r1, 99);  // sentinel: "did not restore"
+  cpu2.Bne(r0, r3, "skip");
+  cpu2.LoadAddr(r1, kCtx);  // restore the vCPU context
+  cpu2.Label("skip");
+  cpu2.Halt();
+
+  pb.ObserveReg(1, r0).ObserveReg(1, r1);
+  return {pb.Build(), {},
+          "VM context switch: RM allows restoring a stale context (r1=0)"};
+}
+
+LitmusTest Example4PageTableReads() {
+  // Single-level kernel page table at cells 8..11; physical pages are single
+  // cells. Pages 0x10/0x11 hold 0, pages 0x20/0x21 hold 1 (paper's all-0/all-1).
+  MmuConfig mmu;
+  mmu.root = 8;
+  mmu.levels = 1;
+  mmu.table_entries = 4;
+  mmu.page_size = 1;
+
+  ProgramBuilder pb("example4");
+  pb.MemSize(12).Mmu(mmu);
+  pb.Init(0, 0).Init(1, 0);  // pages "0x10", "0x11": all zeros
+  pb.Init(2, 1).Init(3, 1);  // pages "0x20", "0x21": all ones
+  pb.MapPage(/*vpage=*/0, /*ppage=*/0);  // 0x80 -> 0x10
+  pb.MapPage(/*vpage=*/1, /*ppage=*/1);  // 0x81 -> 0x11
+  const Addr pte_x = pb.PteAddr(0, 0);
+  const Addr pte_y = pb.PteAddr(1, 0);
+
+  // CPU 1 (kernel): remap both pages to the all-1 frames.
+  auto& cpu1 = pb.NewThread();
+  cpu1.StoreImm(pte_x, MmuConfig::MakeEntry(2), r2);  // (a) pte[0x80] := 0x20
+  cpu1.StoreImm(pte_y, MmuConfig::MakeEntry(3), r3);  // (b) pte[0x81] := 0x21
+
+  // CPU 2: two independent reads through the shared page table.
+  auto& cpu2 = pb.NewThread(/*user=*/true);
+  cpu2.LoadVa(r0, 1);  // (c) r0 := [y]
+  cpu2.LoadVa(r1, 0);  // (d) r1 := [x]
+
+  pb.ObserveReg(1, r0).ObserveReg(1, r1);
+  return {pb.Build(), {},
+          "out-of-order page table reads: RM allows r0=1, r1=0"};
+}
+
+LitmusTest Example5PageTableWrites(bool transactional) {
+  // Two-level table: PGD at cells 8..9, PTE tables at 10..11 and 12..13.
+  MmuConfig mmu;
+  mmu.root = 8;
+  mmu.levels = 2;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+
+  ProgramBuilder pb(transactional ? "example5-transactional" : "example5");
+  pb.MemSize(14).Mmu(mmu);
+  pb.Init(0, 5);  // old physical page q
+  pb.Init(1, 7);  // physical page p — must stay invisible
+  const Addr pgd_x = pb.PteAddr(0, 0);
+  const Addr pte_y = pb.PteAddr(0, 1);
+
+  auto& cpu1 = pb.NewThread();
+  if (!transactional) {
+    // Pre: vpage 0 maps old page q through pgd x / pte y.
+    pb.MapPage(/*vpage=*/0, /*ppage=*/0);
+    cpu1.StoreImm(pgd_x, MmuConfig::kEmpty, r2);          // (a) pgd[x] := EMPTY
+    cpu1.StoreImm(pte_y, MmuConfig::MakeEntry(1), r3);    // (b) pte[y] := p
+  } else {
+    // set_s2pt discipline: populate the leaf in the (detached, all-zero) table,
+    // then link the table into the PGD. Pre: PGD empty.
+    cpu1.StoreImm(pte_y, MmuConfig::MakeEntry(1), r3);
+    cpu1.StoreImm(pgd_x, MmuConfig::MakeEntry(10), r2);   // link table at cell 10
+  }
+
+  auto& cpu2 = pb.NewThread(/*user=*/true);
+  cpu2.LoadVa(r0, 0);  // (c) access z
+
+  pb.ObserveReg(1, r0);
+  return {pb.Build(), {},
+          transactional
+              ? "transactional page-table writes: every view is before/after/fault"
+              : "out-of-order page table writes: RM exposes physical page p (r0=7)"};
+}
+
+LitmusTest Example6TlbInvalidation(bool fixed) {
+  // Single-level table at cells 4..5; page "0x10" is cell 0 holding 42.
+  MmuConfig mmu;
+  mmu.root = kEx6PtePage0;
+  mmu.levels = 1;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+
+  ProgramBuilder pb(fixed ? "example6-fixed" : "example6");
+  pb.MemSize(6).Mmu(mmu);
+  pb.Init(kEx6DataPage, kEx6DataValue);
+  pb.MapPage(/*vpage=*/0, /*ppage=*/kEx6DataPage);  // 0x80 -> 0x10
+
+  auto& cpu1 = pb.NewThread();
+  cpu1.StoreImm(kEx6PtePage0, MmuConfig::kEmpty, r2);  // (a) pte[0x80] := EMPTY
+  if (fixed) {
+    cpu1.Dsb();
+  }
+  cpu1.TlbiVa(0);  // (b) invalidate TLB entries for 0x80
+  if (fixed) {
+    cpu1.Dsb();
+  }
+
+  auto& cpu2 = pb.NewThread(/*user=*/true);
+  cpu2.LoadVa(r0, 0);  // (c) r0 := [y]
+  cpu2.LoadVa(r1, 0);  // (d) r1 := [y]
+
+  pb.ObserveReg(1, r0).ObserveReg(1, r1).ObserveLoc(kEx6PtePage0).ObserveTlbs();
+  return {pb.Build(), {},
+          "TLB invalidation: RM allows a stale TLB entry to survive the TLBI"};
+}
+
+namespace {
+
+void EmitExample7User(ThreadBuilder& t, bool reads_first_var) {
+  constexpr Addr kX = 0;
+  constexpr Addr kY = 1;
+  // Example 1's code, then: if my read returned 1, atomically bump [z].
+  if (reads_first_var) {
+    t.LoadAddr(r0, kX);
+    t.StoreImm(kY, 1, r2);
+  } else {
+    t.LoadAddr(r0, kY);
+    t.StoreAddr(kX, r0);
+  }
+  t.Cbz(r0, "done");
+  t.FetchAddAddr(r3, kEx7Z, 1);
+  t.Label("done");
+  t.Halt();
+}
+
+void EmitExample7Kernel(ThreadBuilder& t, bool oracle) {
+  t.MovImm(r2, 1);  // (a) r2 := 1
+  if (oracle) {
+    t.OracleLoadAddr(r3, kEx7Z);
+  } else {
+    t.LoadAddr(r3, kEx7Z);
+  }
+  t.MovImm(r4, 2);
+  t.Bne(r3, r4, "ok");  // (b) if [z] == 2 then r2 := 0
+  t.MovImm(r2, 0);
+  t.Label("ok");
+  t.Halt();  // (c) r2 := 1 / r2 — r2 == 0 is the divide-by-zero
+}
+
+}  // namespace
+
+LitmusTest Example7UserKernelFlow(bool oracle) {
+  ProgramBuilder pb(oracle ? "example7-oracle" : "example7");
+  pb.MemSize(3);
+  EmitExample7User(pb.NewThread(), /*reads_first_var=*/true);
+  EmitExample7User(pb.NewThread(), /*reads_first_var=*/false);
+  EmitExample7Kernel(pb.NewThread(), oracle);
+  pb.ObserveReg(2, r2);
+  LitmusTest test{pb.Build(), {},
+                  "user->kernel information flow: RM allows r2=0 in the kernel"};
+  test.config.max_steps_per_thread = 32;
+  return test;
+}
+
+LitmusTest Example7KernelWithHavocUser(Word z_value) {
+  ProgramBuilder pb("example7-havoc-" + std::to_string(z_value));
+  pb.MemSize(3);
+  // Q': a user program that simply writes the required value into [z]
+  // (Section 3's construction for WEAK-MEMORY-ISOLATION).
+  auto& user = pb.NewThread();
+  user.StoreImm(kEx7Z, z_value, r2);
+  auto& kernel = pb.NewThread();
+  EmitExample7Kernel(kernel, /*oracle=*/false);
+  pb.ObserveReg(1, r2);
+  return {pb.Build(), {}, "kernel piece with havoc user program Q'"};
+}
+
+std::vector<LitmusTest> AllBuggyExamples() {
+  return {Example1OutOfOrderWrite(false), Example2VmBooting(false),
+          Example3VmContextSwitch(false), Example4PageTableReads(),
+          Example5PageTableWrites(false), Example6TlbInvalidation(false),
+          Example7UserKernelFlow(false)};
+}
+
+}  // namespace vrm

@@ -1,0 +1,76 @@
+// The paper's Examples 1-7 as litmus tests, each in the buggy form the paper
+// shows misbehaving on RM hardware and (where the paper gives one) the
+// wDRF-respecting fixed form.
+
+#ifndef SRC_LITMUS_PAPER_EXAMPLES_H_
+#define SRC_LITMUS_PAPER_EXAMPLES_H_
+
+#include <vector>
+
+#include "src/litmus/litmus.h"
+
+namespace vrm {
+
+// Example 1 (out-of-order write): CPU1: r0:=[x]; [y]:=1 | CPU2: r1:=[y]; [x]:=r1.
+// RM allows r0=r1=1; SC forbids it. `fixed` inserts DMB SY on both CPUs.
+LitmusTest Example1OutOfOrderWrite(bool fixed);
+
+// Example 2 (VM booting): gen_vmid() under a ticket lock. `fixed` uses Linux's
+// Figure-7 lock (load-acquire / store-release); the buggy form uses plain
+// accesses, letting two CPUs observe the same next_vmid. Registers r2 hold the
+// returned vmid; the relaxed outcome is vmid_1 == vmid_2.
+LitmusTest Example2VmBooting(bool fixed);
+// Cell addresses used by Example 2's program (exposed for the condition tests).
+inline constexpr Addr kVmidTicket = 0;
+inline constexpr Addr kVmidNow = 1;
+inline constexpr Addr kVmidNext = 2;
+
+// Example 3 (VM context switch): the vCPU-context ownership protocol via the
+// ACTIVE/INACTIVE state variable. Buggy: plain stores/loads allow restoring a
+// stale context (r1 = 0). Fixed: store-release INACTIVE + load-acquire check.
+LitmusTest Example3VmContextSwitch(bool fixed);
+
+// Example 4 (out-of-order page table reads): a kernel remaps two pages of its
+// own (shared) page table; a second CPU's dependent-free reads through the MMU
+// observe the remaps out of order (r0 = 1, r1 = 0). This program violates
+// WRITE-ONCE-KERNEL-MAPPING (it overwrites live entries); the checker tests use
+// the same program.
+LitmusTest Example4PageTableReads();
+
+// Example 5 (out-of-order page table writes). `transactional` = false: unmap the
+// PGD then set the leaf PTE — reordering exposes physical page p to the
+// concurrent walker. `transactional` = true: the set_s2pt discipline (fill the
+// leaf in a detached table, then link it), for which every partial view is
+// before/after/fault.
+LitmusTest Example5PageTableWrites(bool transactional);
+
+// Example 6 (out-of-order page table and TLB reads): unmap + TLBI. Buggy: no DSB
+// between them — a concurrent walk can refill the TLB from the stale PTE after
+// the invalidation, leaving "TLB: 0x80 -> 0x10, memory: EMPTY". Fixed:
+// unmap; DSB; TLBI; DSB per SEQUENTIAL-TLB-INVALIDATION.
+LitmusTest Example6TlbInvalidation(bool fixed);
+// Example 6 geometry (exposed for outcome predicates in tests).
+inline constexpr Addr kEx6PtePage0 = 4;   // single-level PTE cell for vpage 0
+inline constexpr Addr kEx6DataPage = 0;   // physical page backing vpage 0
+inline constexpr Word kEx6DataValue = 42;
+
+// Example 7 (information flow between kernel and user programs): CPUs 0-1 run
+// Example 1 as user code and bump [z] when their read returned 1; kernel CPU 2
+// reads [z] and clears r2 when [z] == 2. SC keeps r2 = 1; RM allows r2 = 0 (the
+// divide-by-zero of the paper). `oracle` marks the kernel read as data-oracle
+// masked (Weak-Memory-Isolation).
+LitmusTest Example7UserKernelFlow(bool oracle);
+inline constexpr Addr kEx7Z = 2;
+
+// The user-program havoc variants Q' used to validate Theorem 4: the same
+// kernel piece P composed with a user program that simply writes `z_value` into
+// [z]. The union of SC outcomes over all z_value in {0,1,2} must cover the RM
+// outcomes of P with the real racy user program.
+LitmusTest Example7KernelWithHavocUser(Word z_value);
+
+// All paper examples in buggy form, for gallery-style iteration.
+std::vector<LitmusTest> AllBuggyExamples();
+
+}  // namespace vrm
+
+#endif  // SRC_LITMUS_PAPER_EXAMPLES_H_

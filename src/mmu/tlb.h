@@ -1,0 +1,69 @@
+// Per-CPU TLB used by both hardware models.
+//
+// The TLB caches virtual-page -> leaf-PTE-value translations filled in by page
+// walks. Entries persist until an explicit broadcast invalidation (Arm's
+// TLBI ...IS). The models do not evict spontaneously: a cached translation is a
+// source of staleness only until software invalidates it, which is exactly the
+// discipline the Sequential-TLB-Invalidation condition governs.
+
+#ifndef SRC_MMU_TLB_H_
+#define SRC_MMU_TLB_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "src/arch/types.h"
+#include "src/support/hash.h"
+
+namespace vrm {
+
+class Tlb {
+ public:
+  // Returns the cached leaf entry for vpage, or nullptr on a miss.
+  const Word* Lookup(VirtAddr vpage) const {
+    for (const auto& e : entries_) {
+      if (e.first == vpage) {
+        return &e.second;
+      }
+    }
+    return nullptr;
+  }
+
+  void Insert(VirtAddr vpage, Word leaf_entry) {
+    for (auto& e : entries_) {
+      if (e.first == vpage) {
+        e.second = leaf_entry;
+        return;
+      }
+    }
+    entries_.emplace_back(vpage, leaf_entry);
+    std::sort(entries_.begin(), entries_.end());
+  }
+
+  void InvalidatePage(VirtAddr vpage) {
+    entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                  [&](const auto& e) { return e.first == vpage; }),
+                   entries_.end());
+  }
+
+  void InvalidateAll() { entries_.clear(); }
+
+  const std::vector<std::pair<VirtAddr, Word>>& entries() const { return entries_; }
+
+  void SerializeInto(StateSerializer* s) const {
+    s->U32(static_cast<uint32_t>(entries_.size()));
+    for (const auto& [vpage, entry] : entries_) {
+      s->U32(vpage);
+      s->U64(entry);
+    }
+  }
+
+ private:
+  // Sorted by vpage so serialization is canonical.
+  std::vector<std::pair<VirtAddr, Word>> entries_;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_MMU_TLB_H_

@@ -1,0 +1,88 @@
+// Exploration configuration shared by the SC and Promising machines.
+
+#ifndef SRC_MODEL_CONFIG_H_
+#define SRC_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/types.h"
+
+namespace vrm {
+
+struct ModelConfig {
+  // Per-thread executed-instruction budget. Spin loops are explored up to this
+  // bound; exceeding it prunes the path and sets stats.truncated. All
+  // "exhaustive" verdicts are exhaustive up to this bound (bounded model
+  // checking).
+  int max_steps_per_thread = 96;
+
+  // Exploration caps. Exceeding either sets stats.truncated.
+  uint64_t max_states = 4'000'000;
+  int max_messages = 48;  // Promising machine: global message-list cap
+
+  // Promising machine: cap on a thread's outstanding (unfulfilled) promises.
+  // Litmus-scale relaxed behaviours need very few simultaneous promises; the cap
+  // bounds the search. Raising it widens the explored behaviour set.
+  int max_promises_per_thread = 2;
+
+  // Enables the push/pull ownership protocol (DRF-Kernel + No-Barrier-Misuse
+  // checking). Programs must declare regions and contain kPull/kPush.
+  bool pushpull = false;
+
+  // Disables the local-step partial-order reduction (ablation only: the
+  // explorer then interleaves register-local steps too). Outcome sets are
+  // identical either way; state counts and runtime are not.
+  bool disable_por = false;
+
+  // Write-once monitoring (Write-Once-Kernel-Mapping): stores to these cells must
+  // only ever overwrite the EMPTY value.
+  std::vector<Addr> write_once_cells;
+
+  // Sequential-TLB-Invalidation monitoring: each watched cell is a page-table
+  // entry on the walk path of `vpage`. A store that unmaps or remaps a watched
+  // cell (overwrites a non-EMPTY value) must be followed, in program order and
+  // before the critical section or thread ends, by a DSB and then a TLBI
+  // covering the page.
+  struct PtWatch {
+    Addr cell;
+    VirtAddr vpage;
+  };
+  std::vector<PtWatch> pt_watch;
+
+  // Memory-Isolation monitoring: `user_cells` is user-program memory (kernel
+  // threads may not read it except through declared data oracles);
+  // `kernel_cells` is kernel-private memory (user threads may not write it).
+  std::vector<Addr> user_cells;
+  std::vector<Addr> kernel_cells;
+
+  bool IsWriteOnceCell(Addr a) const { return Contains(write_once_cells, a); }
+
+  bool IsUserCell(Addr a) const { return Contains(user_cells, a); }
+
+  bool IsKernelCell(Addr a) const { return Contains(kernel_cells, a); }
+
+  // Returns the watched vpage for a PT cell, or -1.
+  int64_t WatchedPage(Addr a) const {
+    for (const PtWatch& w : pt_watch) {
+      if (w.cell == a) {
+        return w.vpage;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  static bool Contains(const std::vector<Addr>& v, Addr a) {
+    for (Addr c : v) {
+      if (c == a) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace vrm
+
+#endif  // SRC_MODEL_CONFIG_H_

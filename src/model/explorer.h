@@ -1,0 +1,86 @@
+// Generic exhaustive state-space explorer.
+//
+// Both machines expose the same interface:
+//   using State = ...;                       // copyable
+//   State Initial() const;
+//   bool IsTerminal(const State&) const;     // all threads halted
+//   Outcome Extract(const State&) const;
+//   void Successors(const State&, std::vector<State>* out,
+//                   ExploreResult* agg) const;  // may note violations / truncation
+//   std::string Serialize(const State&) const; // canonical dedup key
+//
+// The explorer runs a worklist search with deduplication keyed by a 128-bit
+// digest of the canonical state serialization (two independent 64-bit FNV-1a
+// passes). At litmus-scale state counts (<= 10^7) the collision probability is
+// below 10^-24, while keeping the visited-set memory bounded.
+
+#ifndef SRC_MODEL_EXPLORER_H_
+#define SRC_MODEL_EXPLORER_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/model/outcome.h"
+#include "src/support/hash.h"
+
+namespace vrm {
+
+// 128-bit digest of a canonical state serialization, packed into a uint64 pair.
+inline std::pair<uint64_t, uint64_t> StateDigest(const std::string& bytes) {
+  const uint64_t a = Fnv1a64(bytes.data(), bytes.size(), 0xcbf29ce484222325ull);
+  const uint64_t b = Fnv1a64(bytes.data(), bytes.size(), 0x9e3779b97f4a7c15ull);
+  return {a, HashCombine(b, bytes.size())};
+}
+
+struct DigestHash {
+  size_t operator()(const std::pair<uint64_t, uint64_t>& d) const {
+    return static_cast<size_t>(d.first ^ (d.second * 0x9e3779b97f4a7c15ull));
+  }
+};
+
+template <typename Machine>
+ExploreResult Explore(const Machine& machine, const ModelConfig& config) {
+  ExploreResult result;
+  std::unordered_set<std::pair<uint64_t, uint64_t>, DigestHash> seen;
+  std::vector<typename Machine::State> stack;
+
+  auto visit = [&](typename Machine::State&& state) {
+    if (seen.insert(StateDigest(machine.Serialize(state))).second) {
+      stack.push_back(std::move(state));
+    }
+  };
+
+  visit(machine.Initial());
+
+  std::vector<typename Machine::State> next;
+  while (!stack.empty()) {
+    if (seen.size() > config.max_states) {
+      result.stats.truncated = true;
+      break;
+    }
+    typename Machine::State state = std::move(stack.back());
+    stack.pop_back();
+    ++result.stats.states;
+
+    if (machine.IsTerminal(state)) {
+      machine.AuditTerminal(state, &result);
+      Outcome outcome = machine.Extract(state);
+      result.outcomes.emplace(outcome.Key(), std::move(outcome));
+      continue;
+    }
+
+    next.clear();
+    machine.Successors(state, &next, &result);
+    result.stats.transitions += next.size();
+    for (auto& successor : next) {
+      visit(std::move(successor));
+    }
+  }
+  return result;
+}
+
+}  // namespace vrm
+
+#endif  // SRC_MODEL_EXPLORER_H_

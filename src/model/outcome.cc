@@ -1,0 +1,96 @@
+#include "src/model/outcome.h"
+
+#include <cstdio>
+
+#include "src/support/hash.h"
+
+namespace vrm {
+
+std::string Outcome::Key() const {
+  StateSerializer s;
+  s.U32(static_cast<uint32_t>(regs.size()));
+  for (Word w : regs) {
+    s.U64(w);
+  }
+  s.U32(static_cast<uint32_t>(locs.size()));
+  for (Word w : locs) {
+    s.U64(w);
+  }
+  for (uint8_t f : faults) {
+    s.U8(f);
+  }
+  for (uint8_t p : panics) {
+    s.U8(p);
+  }
+  s.U32(static_cast<uint32_t>(tlbs.size()));
+  for (const auto& tlb : tlbs) {
+    s.U32(static_cast<uint32_t>(tlb.size()));
+    for (const auto& [vpage, entry] : tlb) {
+      s.U32(vpage);
+      s.U64(entry);
+    }
+  }
+  return s.Take();
+}
+
+std::string Outcome::ToString(const Program& program) const {
+  std::string out;
+  char buf[96];
+  for (size_t i = 0; i < regs.size(); ++i) {
+    const auto& obs = program.observed_regs[i];
+    std::snprintf(buf, sizeof(buf), "%s%u:r%u=%llu", out.empty() ? "" : " ", obs.tid,
+                  obs.reg, static_cast<unsigned long long>(regs[i]));
+    out += buf;
+  }
+  for (size_t i = 0; i < locs.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s[%u]=%llu", out.empty() ? "" : " ",
+                  program.observed_locs[i], static_cast<unsigned long long>(locs[i]));
+    out += buf;
+  }
+  for (size_t t = 0; t < faults.size(); ++t) {
+    if (faults[t] != 0) {
+      std::snprintf(buf, sizeof(buf), "%sT%zu:faults=%u", out.empty() ? "" : " ", t,
+                    faults[t]);
+      out += buf;
+    }
+  }
+  for (size_t t = 0; t < panics.size(); ++t) {
+    if (panics[t] != 0) {
+      std::snprintf(buf, sizeof(buf), "%sT%zu:PANIC", out.empty() ? "" : " ", t);
+      out += buf;
+    }
+  }
+  for (size_t t = 0; t < tlbs.size(); ++t) {
+    for (const auto& [vpage, entry] : tlbs[t]) {
+      std::snprintf(buf, sizeof(buf), "%sT%zu:tlb[%u]=%llu", out.empty() ? "" : " ", t,
+                    vpage, static_cast<unsigned long long>(entry));
+      out += buf;
+    }
+  }
+  if (out.empty()) {
+    out = "(empty)";
+  }
+  return out;
+}
+
+std::string ExploreResult::Describe(const Program& program) const {
+  std::string out;
+  for (const auto& [key, outcome] : outcomes) {
+    (void)key;
+    out += outcome.ToString(program);
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<Outcome> OutcomesBeyond(const ExploreResult& rm, const ExploreResult& sc) {
+  std::vector<Outcome> extra;
+  for (const auto& [key, outcome] : rm.outcomes) {
+    if (sc.outcomes.count(key) == 0) {
+      extra.push_back(outcome);
+    }
+  }
+  return extra;
+}
+
+}  // namespace vrm

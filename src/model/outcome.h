@@ -1,0 +1,94 @@
+// Observable behaviours and exploration results.
+//
+// An Outcome is the paper's "observable behaviour" of a program execution: the
+// final values of the observed registers and memory cells, per-thread page-fault
+// counts and panic flags, and (optionally) the final TLB contents — the latter is
+// how Example 6's "CPU 2's TLB still maps 0x80 -> 0x10" post-state is made
+// observable. Theorem 1 is validated empirically as set inclusion between the
+// Outcome sets of the Promising-Arm and SC machines.
+
+#ifndef SRC_MODEL_OUTCOME_H_
+#define SRC_MODEL_OUTCOME_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/arch/program.h"
+#include "src/arch/types.h"
+
+namespace vrm {
+
+struct Outcome {
+  std::vector<Word> regs;  // parallel to Program::observed_regs
+  std::vector<Word> locs;  // parallel to Program::observed_locs
+  std::vector<uint8_t> faults;  // per thread, saturating
+  std::vector<uint8_t> panics;  // per thread, 0/1
+  // Per thread, sorted (vpage, leaf entry) pairs; empty unless observe_tlbs.
+  std::vector<std::vector<std::pair<VirtAddr, Word>>> tlbs;
+
+  // Canonical byte key: equal outcomes have equal keys.
+  std::string Key() const;
+
+  // Human-readable form, e.g. "1:r0=1 1:r1=0 [x]=2 T0:fault".
+  std::string ToString(const Program& program) const;
+};
+
+// Violations of the wDRF side conditions observed during exploration. These are
+// aggregated over all executions: a single violating execution suffices for a
+// condition to fail (the conditions quantify over all hardware behaviours).
+struct ConditionViolations {
+  struct Flag {
+    bool set = false;
+    std::string detail;  // first violating observation
+
+    explicit operator bool() const { return set; }
+  };
+
+  Flag drf;         // push/pull ownership panic (DRF-Kernel)
+  Flag barrier;     // pull/push not fulfilled by a barrier (No-Barrier-Misuse)
+  Flag write_once;  // non-empty kernel PT entry overwritten
+  Flag tlbi;        // unmap/remap without DSB+TLBI (Sequential-TLB-Invalidation)
+  Flag isolation;   // kernel read of user memory / user write of kernel memory
+
+  bool Any() const { return drf.set || barrier.set || write_once.set || tlbi.set ||
+                            isolation.set; }
+
+  void Note(Flag* flag, const std::string& what) {
+    if (!flag->set) {
+      flag->detail = what;
+    }
+    flag->set = true;
+  }
+};
+
+struct ExploreStats {
+  uint64_t states = 0;
+  uint64_t transitions = 0;
+  // True when a bound (state cap, step budget, or message cap) cut exploration
+  // short; outcome sets are then under-approximations.
+  bool truncated = false;
+};
+
+struct ExploreResult {
+  std::map<std::string, Outcome> outcomes;  // keyed by Outcome::Key()
+  ConditionViolations violations;
+  ExploreStats stats;
+
+  bool Contains(const Outcome& outcome) const {
+    return outcomes.count(outcome.Key()) != 0;
+  }
+
+  // All outcomes, rendered one per line (sorted by key), for test expectations.
+  std::string Describe(const Program& program) const;
+};
+
+// Returns outcomes present in `rm` but not in `sc` — the "additional observable
+// behaviours" that Theorem 1 says a wDRF program must not have.
+std::vector<Outcome> OutcomesBeyond(const ExploreResult& rm, const ExploreResult& sc);
+
+}  // namespace vrm
+
+#endif  // SRC_MODEL_OUTCOME_H_

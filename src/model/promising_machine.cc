@@ -1,0 +1,1367 @@
+#include "src/model/promising_machine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/model/explorer.h"
+#include "src/support/check.h"
+#include "src/support/hash.h"
+
+namespace vrm {
+
+namespace {
+
+View Join(View a, View b) { return a > b ? a : b; }
+
+// Node caps for the auxiliary solo searches (certification and promise-candidate
+// collection). Hitting a cap makes certification fail conservatively, which can
+// only under-approximate the relaxed behaviour set; litmus-scale programs stay
+// far below these caps.
+constexpr int kCertNodeCap = 60000;
+constexpr int kCollectNodeCap = 60000;
+
+bool IsAcquireBarrierEvent(const Inst& inst) {
+  switch (inst.op) {
+    case Op::kLoad:
+    case Op::kLoadEx:
+      return inst.order == MemOrder::kAcquire;
+    case Op::kFetchAdd:
+      return inst.order == MemOrder::kAcquire || inst.order == MemOrder::kAcqRel;
+    case Op::kDmb:
+      return inst.barrier == BarrierKind::kLd || inst.barrier == BarrierKind::kSy;
+    case Op::kDsb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// A step is "local" when it touches no shared structure (memory, ownership map,
+// TLBs): pure register ops, branches, barriers (they only raise the thread's own
+// views), halt/panic, and push/pull when the ghost protocol is disabled. Local
+// steps are deterministic and commute with every transition of every other
+// thread, so the explorer prioritizes them (a persistent-set partial-order
+// reduction): when some thread's next instruction is local, only that thread is
+// expanded.
+bool IsLocalStep(const Inst& inst, bool pushpull) {
+  switch (inst.op) {
+    case Op::kNop:
+    case Op::kMovImm:
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kAddImm:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kEor:
+    case Op::kDmb:
+    case Op::kDsb:
+    case Op::kIsb:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kCbz:
+    case Op::kCbnz:
+    case Op::kJmp:
+    case Op::kPanic:
+    case Op::kHalt:
+      return true;
+    case Op::kPull:
+    case Op::kPush:
+      return !pushpull;
+    default:
+      return false;
+  }
+}
+
+bool IsReleaseBarrierEvent(const Inst& inst) {
+  switch (inst.op) {
+    case Op::kStore:
+    case Op::kStoreEx:
+      return inst.order == MemOrder::kRelease;
+    case Op::kFetchAdd:
+      return inst.order == MemOrder::kRelease || inst.order == MemOrder::kAcqRel;
+    case Op::kDmb:
+      return inst.barrier == BarrierKind::kSt || inst.barrier == BarrierKind::kSy;
+    case Op::kDsb:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+PromisingMachine::PromisingMachine(const Program& program, const ModelConfig& config)
+    : program_(program), config_(config) {
+  program_.Validate();
+}
+
+PromisingMachine::State PromisingMachine::Initial() const {
+  State state;
+  state.threads.resize(program_.threads.size());
+  for (auto& thread : state.threads) {
+    thread.coh.assign(program_.mem_size, 0);
+    thread.fwd.assign(program_.mem_size, {0, 0});
+  }
+  state.region_owner.assign(program_.regions.size(), -1);
+  state.tlbs.resize(program_.threads.size());
+  return state;
+}
+
+bool PromisingMachine::IsTerminal(const State& state) const {
+  for (size_t t = 0; t < state.threads.size(); ++t) {
+    const auto& thread = state.threads[t];
+    const bool done =
+        thread.halted || thread.pc >= static_cast<int>(program_.threads[t].code.size());
+    if (!done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+View PromisingMachine::LatestTimestamp(const State& state, Addr loc) const {
+  for (size_t i = state.mem.size(); i > 0; --i) {
+    if (state.mem[i - 1].loc == loc) {
+      return static_cast<View>(i);
+    }
+  }
+  return 0;
+}
+
+Word PromisingMachine::ValueAt(const State& state, Addr loc, View ts) const {
+  if (ts == 0) {
+    return program_.InitValue(loc);
+  }
+  VRM_CHECK(ts <= state.mem.size() && state.mem[ts - 1].loc == loc);
+  return state.mem[ts - 1].val;
+}
+
+Outcome PromisingMachine::Extract(const State& state) const {
+  Outcome outcome;
+  for (const auto& obs : program_.observed_regs) {
+    outcome.regs.push_back(state.threads[obs.tid].regs[obs.reg]);
+  }
+  for (Addr loc : program_.observed_locs) {
+    outcome.locs.push_back(ValueAt(state, loc, LatestTimestamp(state, loc)));
+  }
+  for (const auto& thread : state.threads) {
+    VRM_CHECK_MSG(thread.promises.empty(), "terminal state with unfulfilled promises");
+    outcome.faults.push_back(thread.faults);
+    outcome.panics.push_back(thread.panicked ? 1 : 0);
+  }
+  if (program_.observe_tlbs) {
+    for (const auto& tlb : state.tlbs) {
+      outcome.tlbs.push_back(tlb.entries());
+    }
+  }
+  return outcome;
+}
+
+void PromisingMachine::ReadableMessages(const State& state, ThreadId tid, Addr loc,
+                                        View lb, std::vector<ReadChoice>* out) const {
+  const auto& promises = state.threads[tid].promises;
+  auto own_promise = [&](View ts) {
+    return std::binary_search(promises.begin(), promises.end(), ts);
+  };
+  // Largest loc-timestamp <= lb (0 = initial memory).
+  View base = 0;
+  for (size_t i = std::min<size_t>(lb, state.mem.size()); i > 0; --i) {
+    if (state.mem[i - 1].loc == loc) {
+      base = static_cast<View>(i);
+      break;
+    }
+  }
+  if (!own_promise(base)) {
+    out->push_back({base, ValueAt(state, loc, base)});
+  }
+  for (size_t i = lb; i < state.mem.size(); ++i) {
+    const View ts = static_cast<View>(i + 1);
+    if (state.mem[i].loc == loc && ts > lb && !own_promise(ts)) {
+      out->push_back({ts, state.mem[i].val});
+    }
+  }
+}
+
+View PromisingMachine::FloorFor(const State& state, VirtAddr vpage) const {
+  View floor = state.global_floor;
+  for (const auto& [page, view] : state.tlb_floor) {
+    if (page == vpage) {
+      floor = Join(floor, view);
+    }
+  }
+  return floor;
+}
+
+void PromisingMachine::EnumerateWalks(const State& state, ThreadId tid, VirtAddr vpage,
+                                      std::vector<WalkChoice>* out) const {
+  const MmuConfig& mmu = program_.mmu;
+  VRM_CHECK_MSG(mmu.enabled, "translated access without MMU configuration");
+  if (const Word* cached = state.tlbs[tid].Lookup(vpage)) {
+    out->push_back({.fault = false, .leaf = *cached, .from_tlb = true});
+    return;
+  }
+  const View floor = FloorFor(state, vpage);
+  // Depth-first over per-level read choices. The next level's PTE address is
+  // computed from the previous level's value (the walk's address dependency).
+  std::vector<WalkChoice>& results = *out;
+  auto walk = [&](auto&& self, Addr table, int level) -> void {
+    const Addr pte = table + static_cast<Addr>(mmu.LevelIndex(vpage, level));
+    VRM_CHECK(pte < program_.mem_size);
+    std::vector<ReadChoice> choices;
+    ReadableMessages(state, tid, pte, floor, &choices);
+    for (const ReadChoice& choice : choices) {
+      if (!MmuConfig::EntryValid(choice.val)) {
+        results.push_back({.fault = true});
+        continue;
+      }
+      if (level + 1 == mmu.levels) {
+        results.push_back({.fault = false, .leaf = choice.val, .from_tlb = false});
+      } else {
+        self(self, MmuConfig::EntryTarget(choice.val), level + 1);
+      }
+    }
+  };
+  walk(walk, mmu.root, 0);
+}
+
+void PromisingMachine::AuditTerminal(const State& state, ExploreResult* agg) const {
+  for (Addr cell : config_.write_once_cells) {
+    Word prev = program_.InitValue(cell);
+    for (const Msg& msg : state.mem) {
+      if (msg.loc != cell) {
+        continue;
+      }
+      if (prev != MmuConfig::kEmpty) {
+        agg->violations.Note(&agg->violations.write_once,
+                             "RM: overwrite of a non-empty kernel page-table entry");
+        return;
+      }
+      prev = msg.val;
+    }
+  }
+}
+
+Word PromisingMachine::PrevValueBefore(const State& state, Addr loc, View ts) const {
+  const size_t limit = std::min<size_t>(ts > 0 ? ts - 1 : 0, state.mem.size());
+  for (size_t i = limit; i > 0; --i) {
+    if (state.mem[i - 1].loc == loc) {
+      return state.mem[i - 1].val;
+    }
+  }
+  return program_.InitValue(loc);
+}
+
+void PromisingMachine::ExecInst(const State& state, ThreadId tid,
+                                std::vector<AnnotatedStep>* out, ExploreResult* agg,
+                                bool ghost) const {
+  const PromThread& self = state.threads[tid];
+  const auto& code = program_.threads[tid].code;
+  if (self.halted || self.pc >= static_cast<int>(code.size())) {
+    return;
+  }
+  if (self.steps >= config_.max_steps_per_thread) {
+    if (!ghost) {
+      agg->stats.truncated = true;
+    }
+    return;
+  }
+  const Inst& inst = code[self.pc];
+
+  // Clones the state, advances pc/steps, and returns the successor + thread.
+  auto fresh = [&]() {
+    AnnotatedStep step;
+    step.next = state;
+    step.info.tid = tid;
+    step.info.pc = self.pc;
+    step.info.op = inst.op;
+    PromThread& t = step.next.threads[tid];
+    t.pc = self.pc + 1;
+    ++t.steps;
+    return step;
+  };
+
+  // Applies ghost-protocol barrier bookkeeping and end-of-thread checks, then
+  // appends the step.
+  auto emit = [&](AnnotatedStep&& step) {
+    PromThread& t = step.next.threads[tid];
+    if (config_.pushpull && !ghost) {
+      if (IsAcquireBarrierEvent(inst)) {
+        t.acq_clean = true;
+      }
+      if (IsReleaseBarrierEvent(inst)) {
+        t.push_pending = false;
+      }
+      const bool done = t.halted || t.pc >= static_cast<int>(code.size());
+      if (done && t.push_pending) {
+        agg->violations.Note(&agg->violations.barrier,
+                             "push promise never fulfilled by a release barrier "
+                             "before the CPU finished");
+      }
+    }
+    if (!ghost && !config_.pt_watch.empty()) {
+      const bool done = t.halted || t.pc >= static_cast<int>(code.size());
+      if (done && !t.pending_inval.empty()) {
+        agg->violations.Note(&agg->violations.tlbi,
+                             "page unmapped/remapped without a completed DSB+TLBI "
+                             "sequence before the CPU finished");
+      }
+    }
+    out->push_back(std::move(step));
+  };
+
+  // Checks region ownership for a physical data access (DRF-Kernel). Returns
+  // false (and notes a violation) when the access is a data race.
+  auto region_ok = [&](Addr loc) {
+    if (!config_.pushpull || ghost) {
+      return true;
+    }
+    const int region = program_.RegionOf(loc);
+    if (region < 0) {
+      return true;
+    }
+    if (state.region_owner[region] != static_cast<int8_t>(tid)) {
+      agg->violations.Note(&agg->violations.drf,
+                           "RM: access to region '" + program_.regions[region].name +
+                               "' by a non-owner CPU");
+      return false;
+    }
+    return true;
+  };
+
+  // ---- Data read at a physical address: enumerates all readable messages. ----
+  auto do_read = [&](Addr loc, Reg rd, View v_addr, bool acquire, bool oracle) {
+    if (!oracle && !region_ok(loc)) {
+      return;
+    }
+    if (!ghost && !oracle && !program_.threads[tid].user && config_.IsUserCell(loc)) {
+      agg->violations.Note(&agg->violations.isolation,
+                           "kernel read of user memory without a data oracle");
+    }
+    View v_pre = Join(self.vr_new, v_addr);
+    if (acquire) {
+      v_pre = Join(v_pre, self.v_rel);
+    }
+    const View lb = Join(v_pre, self.coh[loc]);
+    std::vector<ReadChoice> choices;
+    ReadableMessages(state, tid, loc, lb, &choices);
+    for (const ReadChoice& choice : choices) {
+      AnnotatedStep step = fresh();
+      PromThread& t = step.next.threads[tid];
+      const bool forwarded = self.fwd[loc].first != 0 && self.fwd[loc].first == choice.ts;
+      const View v_post = Join(v_pre, forwarded ? self.fwd[loc].second : choice.ts);
+      t.regs[rd] = choice.val;
+      t.rview[rd] = v_post;
+      t.coh[loc] = Join(t.coh[loc], choice.ts);
+      t.vr_old = Join(t.vr_old, v_post);
+      if (acquire) {
+        t.vr_new = Join(t.vr_new, v_post);
+        t.vw_new = Join(t.vw_new, v_post);
+      }
+      step.info.is_read = true;
+      step.info.loc = loc;
+      step.info.val = choice.val;
+      step.info.ts = choice.ts;
+      emit(std::move(step));
+    }
+  };
+
+  // ---- Data write at a physical address: append or fulfil an own promise. ----
+  auto do_write = [&](Addr loc, Word value, View v_addr, View v_data, bool release) {
+    if (!region_ok(loc)) {
+      return;
+    }
+    if (!ghost && program_.threads[tid].user && config_.IsKernelCell(loc)) {
+      agg->violations.Note(&agg->violations.isolation,
+                           "user write reached kernel memory");
+    }
+    View v_pre = Join(Join(self.vw_new, v_addr), Join(v_data, self.v_cap));
+    if (release) {
+      v_pre = Join(v_pre, Join(Join(self.vr_old, self.vw_old), self.v_rel));
+    }
+    const View lb = Join(v_pre, self.coh[loc]);
+
+    auto finish = [&](AnnotatedStep&& step, View ts) {
+      PromThread& t = step.next.threads[tid];
+      t.coh[loc] = ts;
+      t.vw_old = Join(t.vw_old, ts);
+      if (release) {
+        t.v_rel = Join(t.v_rel, ts);
+      }
+      t.fwd[loc] = {ts, Join(v_addr, v_data)};
+      if (!ghost) {
+        const int64_t vpage = config_.WatchedPage(loc);
+        if (vpage >= 0 && PrevValueBefore(state, loc, ts) != MmuConfig::kEmpty) {
+          t.pending_inval.emplace_back(static_cast<VirtAddr>(vpage), 0);
+        }
+      }
+      step.info.is_write = true;
+      step.info.loc = loc;
+      step.info.val = value;
+      step.info.ts = ts;
+      emit(std::move(step));
+    };
+
+    // Append a fresh message.
+    if (static_cast<int>(state.mem.size()) < config_.max_messages) {
+      AnnotatedStep step = fresh();
+      step.next.mem.push_back({loc, value, tid});
+      finish(std::move(step), static_cast<View>(step.next.mem.size()));
+    } else if (!ghost) {
+      agg->stats.truncated = true;
+    }
+    // Fulfil an outstanding own promise.
+    for (View p : self.promises) {
+      if (state.mem[p - 1].loc == loc && state.mem[p - 1].val == value && p > lb) {
+        AnnotatedStep step = fresh();
+        PromThread& t = step.next.threads[tid];
+        t.promises.erase(std::find(t.promises.begin(), t.promises.end(), p));
+        finish(std::move(step), p);
+      }
+    }
+  };
+
+  int branch_target = -1;
+  switch (inst.op) {
+    case Op::kNop:
+      emit(fresh());
+      return;
+    case Op::kMovImm: {
+      AnnotatedStep step = fresh();
+      step.next.threads[tid].regs[inst.rd] = static_cast<Word>(inst.imm);
+      step.next.threads[tid].rview[inst.rd] = 0;
+      emit(std::move(step));
+      return;
+    }
+    case Op::kMov: {
+      AnnotatedStep step = fresh();
+      step.next.threads[tid].regs[inst.rd] = self.regs[inst.rs];
+      step.next.threads[tid].rview[inst.rd] = self.rview[inst.rs];
+      emit(std::move(step));
+      return;
+    }
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kEor: {
+      AnnotatedStep step = fresh();
+      PromThread& t = step.next.threads[tid];
+      const Word a = self.regs[inst.rs];
+      const Word b = self.regs[inst.rt];
+      Word r = 0;
+      switch (inst.op) {
+        case Op::kAdd:
+          r = a + b;
+          break;
+        case Op::kSub:
+          r = a - b;
+          break;
+        case Op::kAnd:
+          r = a & b;
+          break;
+        default:
+          r = a ^ b;
+          break;
+      }
+      t.regs[inst.rd] = r;
+      t.rview[inst.rd] = Join(self.rview[inst.rs], self.rview[inst.rt]);
+      emit(std::move(step));
+      return;
+    }
+    case Op::kAddImm: {
+      AnnotatedStep step = fresh();
+      PromThread& t = step.next.threads[tid];
+      t.regs[inst.rd] = self.regs[inst.rs] + static_cast<Word>(inst.imm);
+      t.rview[inst.rd] = self.rview[inst.rs];
+      emit(std::move(step));
+      return;
+    }
+    case Op::kLoad:
+    case Op::kOracleLoad: {
+      const Word a = self.regs[inst.rs] + static_cast<Word>(inst.imm);
+      VRM_CHECK_MSG(a < program_.mem_size, "physical access outside memory");
+      do_read(static_cast<Addr>(a), inst.rd, self.rview[inst.rs],
+              inst.order == MemOrder::kAcquire, inst.op == Op::kOracleLoad);
+      return;
+    }
+    case Op::kStore: {
+      const Word a = self.regs[inst.rs] + static_cast<Word>(inst.imm);
+      VRM_CHECK_MSG(a < program_.mem_size, "physical access outside memory");
+      do_write(static_cast<Addr>(a), self.regs[inst.rt], self.rview[inst.rs],
+               self.rview[inst.rt], inst.order == MemOrder::kRelease);
+      return;
+    }
+    case Op::kFetchAdd: {
+      const Word a = self.regs[inst.rs];
+      VRM_CHECK_MSG(a < program_.mem_size, "physical access outside memory");
+      const Addr loc = static_cast<Addr>(a);
+      if (!region_ok(loc)) {
+        return;
+      }
+      if (!ghost && program_.threads[tid].user && config_.IsKernelCell(loc)) {
+        agg->violations.Note(&agg->violations.isolation,
+                             "user write reached kernel memory");
+      }
+      const bool acquire =
+          inst.order == MemOrder::kAcquire || inst.order == MemOrder::kAcqRel;
+      const bool release =
+          inst.order == MemOrder::kRelease || inst.order == MemOrder::kAcqRel;
+      const View v_addr = self.rview[inst.rs];
+      View v_pre_r = Join(self.vr_new, v_addr);
+      if (acquire) {
+        v_pre_r = Join(v_pre_r, self.v_rel);
+      }
+      const View lb_r = Join(v_pre_r, self.coh[loc]);
+      std::vector<ReadChoice> reads;
+      ReadableMessages(state, tid, loc, lb_r, &reads);
+      for (const ReadChoice& read : reads) {
+        const bool forwarded =
+            self.fwd[loc].first != 0 && self.fwd[loc].first == read.ts;
+        const View v_post_r = Join(v_pre_r, forwarded ? self.fwd[loc].second : read.ts);
+        const Word wval = read.val + static_cast<Word>(inst.imm);
+        View v_pre_w = Join(Join(self.vw_new, v_addr), Join(v_post_r, self.v_cap));
+        if (release) {
+          v_pre_w = Join(v_pre_w, Join(Join(self.vr_old, self.vw_old), self.v_rel));
+        }
+        const View lb_w = Join(v_pre_w, Join(self.coh[loc], read.ts));
+
+        // RMW atomicity: the write must be coherence-adjacent to the read — no
+        // other message to loc in (read.ts, write.ts).
+        auto adjacent = [&](View wts) {
+          for (View t = read.ts + 1; t < wts; ++t) {
+            if (state.mem[t - 1].loc == loc) {
+              return false;
+            }
+          }
+          return true;
+        };
+
+        auto finish_rmw = [&](AnnotatedStep&& step, View wts) {
+          PromThread& t = step.next.threads[tid];
+          t.regs[inst.rd] = read.val;
+          t.rview[inst.rd] = v_post_r;
+          t.coh[loc] = wts;
+          t.vr_old = Join(t.vr_old, v_post_r);
+          t.vw_old = Join(t.vw_old, wts);
+          if (acquire) {
+            t.vr_new = Join(t.vr_new, v_post_r);
+            t.vw_new = Join(t.vw_new, v_post_r);
+          }
+          if (release) {
+            t.v_rel = Join(t.v_rel, wts);
+          }
+          t.fwd[loc] = {wts, Join(v_addr, v_post_r)};
+          if (!ghost) {
+            const int64_t vpage = config_.WatchedPage(loc);
+            if (vpage >= 0 && PrevValueBefore(state, loc, wts) != MmuConfig::kEmpty) {
+              t.pending_inval.emplace_back(static_cast<VirtAddr>(vpage), 0);
+            }
+          }
+          step.info.is_read = true;
+          step.info.is_write = true;
+          step.info.loc = loc;
+          step.info.val = wval;
+          step.info.ts = wts;
+          emit(std::move(step));
+        };
+
+        // Append: requires the read to have seen the globally-latest message.
+        if (static_cast<int>(state.mem.size()) < config_.max_messages) {
+          const View append_ts = static_cast<View>(state.mem.size() + 1);
+          if (adjacent(append_ts) && append_ts > lb_w) {
+            AnnotatedStep step = fresh();
+            step.next.mem.push_back({loc, wval, tid});
+            finish_rmw(std::move(step), append_ts);
+          }
+        } else if (!ghost) {
+          agg->stats.truncated = true;
+        }
+        // Fulfil an own promise.
+        for (View p : self.promises) {
+          if (state.mem[p - 1].loc == loc && state.mem[p - 1].val == wval &&
+              p > lb_w && p > read.ts && adjacent(p)) {
+            AnnotatedStep step = fresh();
+            PromThread& t = step.next.threads[tid];
+            t.promises.erase(std::find(t.promises.begin(), t.promises.end(), p));
+            finish_rmw(std::move(step), p);
+          }
+        }
+      }
+      return;
+    }
+    case Op::kLoadEx: {
+      const Word a = self.regs[inst.rs];
+      VRM_CHECK_MSG(a < program_.mem_size, "physical access outside memory");
+      const Addr loc = static_cast<Addr>(a);
+      if (!region_ok(loc)) {
+        return;
+      }
+      const bool acquire = inst.order == MemOrder::kAcquire;
+      View v_pre = Join(self.vr_new, self.rview[inst.rs]);
+      if (acquire) {
+        v_pre = Join(v_pre, self.v_rel);
+      }
+      const View lb = Join(v_pre, self.coh[loc]);
+      std::vector<ReadChoice> choices;
+      ReadableMessages(state, tid, loc, lb, &choices);
+      for (const ReadChoice& choice : choices) {
+        AnnotatedStep step = fresh();
+        PromThread& t = step.next.threads[tid];
+        const bool forwarded =
+            self.fwd[loc].first != 0 && self.fwd[loc].first == choice.ts;
+        const View v_post = Join(v_pre, forwarded ? self.fwd[loc].second : choice.ts);
+        t.regs[inst.rd] = choice.val;
+        t.rview[inst.rd] = v_post;
+        t.coh[loc] = Join(t.coh[loc], choice.ts);
+        t.vr_old = Join(t.vr_old, v_post);
+        if (acquire) {
+          t.vr_new = Join(t.vr_new, v_post);
+          t.vw_new = Join(t.vw_new, v_post);
+        }
+        t.ex_valid = 1;
+        t.ex_loc = loc;
+        t.ex_ts = choice.ts;
+        step.info.is_read = true;
+        step.info.loc = loc;
+        step.info.val = choice.val;
+        step.info.ts = choice.ts;
+        emit(std::move(step));
+      }
+      return;
+    }
+    case Op::kStoreEx: {
+      const Word a = self.regs[inst.rs];
+      VRM_CHECK_MSG(a < program_.mem_size, "physical access outside memory");
+      const Addr loc = static_cast<Addr>(a);
+      if (!region_ok(loc)) {
+        return;
+      }
+      const bool release = inst.order == MemOrder::kRelease;
+      const Word value = self.regs[inst.rt];
+      const bool armed = self.ex_valid != 0 && self.ex_loc == loc;
+
+      // Failure path: always available when the pair cannot commit; the status
+      // register carries no interesting view.
+      auto emit_failure = [&]() {
+        AnnotatedStep step = fresh();
+        PromThread& t = step.next.threads[tid];
+        t.regs[inst.rd] = 1;
+        t.rview[inst.rd] = 0;
+        t.ex_valid = 0;
+        emit(std::move(step));
+      };
+      if (!armed) {
+        emit_failure();
+        return;
+      }
+
+      View v_pre = Join(Join(self.vw_new, self.rview[inst.rs]),
+                        Join(self.rview[inst.rt], self.v_cap));
+      if (release) {
+        v_pre = Join(v_pre, Join(Join(self.vr_old, self.vw_old), self.v_rel));
+      }
+      const View lb = Join(v_pre, self.coh[loc]);
+      // Exclusivity: the write must be coherence-adjacent to the armed read.
+      auto adjacent = [&](View wts) {
+        for (View t = self.ex_ts + 1; t < wts; ++t) {
+          if (state.mem[t - 1].loc == loc) {
+            return false;
+          }
+        }
+        return true;
+      };
+      auto finish_ex = [&](AnnotatedStep&& step, View wts) {
+        PromThread& t = step.next.threads[tid];
+        t.regs[inst.rd] = 0;
+        t.rview[inst.rd] = 0;
+        t.coh[loc] = wts;
+        t.vw_old = Join(t.vw_old, wts);
+        if (release) {
+          t.v_rel = Join(t.v_rel, wts);
+        }
+        t.fwd[loc] = {wts, Join(self.rview[inst.rs], self.rview[inst.rt])};
+        t.ex_valid = 0;
+        step.info.is_write = true;
+        step.info.loc = loc;
+        step.info.val = value;
+        step.info.ts = wts;
+        emit(std::move(step));
+      };
+
+      bool success_possible = false;
+      if (static_cast<int>(state.mem.size()) < config_.max_messages) {
+        const View append_ts = static_cast<View>(state.mem.size() + 1);
+        if (adjacent(append_ts) && append_ts > lb) {
+          success_possible = true;
+          AnnotatedStep step = fresh();
+          step.next.mem.push_back({loc, value, tid});
+          finish_ex(std::move(step), append_ts);
+        }
+      } else if (!ghost) {
+        agg->stats.truncated = true;
+      }
+      for (View p : self.promises) {
+        if (state.mem[p - 1].loc == loc && state.mem[p - 1].val == value &&
+            p > lb && p > self.ex_ts && adjacent(p)) {
+          success_possible = true;
+          AnnotatedStep step = fresh();
+          PromThread& t = step.next.threads[tid];
+          t.promises.erase(std::find(t.promises.begin(), t.promises.end(), p));
+          finish_ex(std::move(step), p);
+        }
+      }
+      // Strong LL/SC: the pair fails only when it cannot commit (no spurious
+      // failures), keeping exhaustive exploration of retry loops bounded.
+      if (!success_possible) {
+        emit_failure();
+      }
+      return;
+    }
+    case Op::kDmb: {
+      AnnotatedStep step = fresh();
+      PromThread& t = step.next.threads[tid];
+      switch (inst.barrier) {
+        case BarrierKind::kSy:
+          t.vr_new = Join(t.vr_new, Join(self.vr_old, self.vw_old));
+          t.vw_new = Join(t.vw_new, Join(self.vr_old, self.vw_old));
+          break;
+        case BarrierKind::kLd:
+          t.vr_new = Join(t.vr_new, self.vr_old);
+          t.vw_new = Join(t.vw_new, self.vr_old);
+          break;
+        case BarrierKind::kSt:
+          t.vw_new = Join(t.vw_new, self.vw_old);
+          break;
+      }
+      emit(std::move(step));
+      return;
+    }
+    case Op::kDsb: {
+      AnnotatedStep step = fresh();
+      PromThread& t = step.next.threads[tid];
+      const View all = Join(self.vr_old, self.vw_old);
+      t.vr_new = Join(t.vr_new, all);
+      t.vw_new = Join(t.vw_new, all);
+      t.v_dsb = Join(t.v_dsb, all);
+      if (!ghost) {
+        for (auto& [page, stage] : t.pending_inval) {
+          (void)page;
+          stage = 1;
+        }
+      }
+      emit(std::move(step));
+      return;
+    }
+    case Op::kIsb: {
+      AnnotatedStep step = fresh();
+      PromThread& t = step.next.threads[tid];
+      t.vr_new = Join(t.vr_new, self.v_cap);
+      emit(std::move(step));
+      return;
+    }
+    case Op::kBeq:
+      branch_target = self.regs[inst.rs] == self.regs[inst.rt] ? inst.target : -1;
+      break;
+    case Op::kBne:
+      branch_target = self.regs[inst.rs] != self.regs[inst.rt] ? inst.target : -1;
+      break;
+    case Op::kCbz:
+      branch_target = self.regs[inst.rs] == 0 ? inst.target : -1;
+      break;
+    case Op::kCbnz:
+      branch_target = self.regs[inst.rs] != 0 ? inst.target : -1;
+      break;
+    case Op::kJmp: {
+      AnnotatedStep step = fresh();
+      step.next.threads[tid].pc = inst.target;
+      emit(std::move(step));
+      return;
+    }
+    case Op::kLoadV:
+    case Op::kStoreV: {
+      const VirtAddr va =
+          static_cast<VirtAddr>(self.regs[inst.rs] + static_cast<Word>(inst.imm));
+      const VirtAddr vpage = program_.mmu.PageOf(va);
+      const int offset = program_.mmu.OffsetOf(va);
+      std::vector<WalkChoice> walks;
+      EnumerateWalks(state, tid, vpage, &walks);
+      for (const WalkChoice& walk : walks) {
+        if (walk.fault) {
+          AnnotatedStep step = fresh();
+          PromThread& t = step.next.threads[tid];
+          if (inst.op == Op::kLoadV) {
+            t.regs[inst.rd] = kFaultValue;
+            t.rview[inst.rd] = Join(self.vr_new, self.rview[inst.rs]);
+          }
+          if (t.faults < 255) {
+            ++t.faults;
+          }
+          emit(std::move(step));
+          continue;
+        }
+        const Addr pa =
+            MmuConfig::EntryTarget(walk.leaf) *
+                static_cast<Addr>(program_.mmu.page_size) +
+            static_cast<Addr>(offset);
+        VRM_CHECK_MSG(pa < program_.mem_size, "translated address outside memory");
+        // The data access runs on a copy of the state with the TLB refilled; the
+        // read/write helpers then enumerate message choices from there.
+        State filled = state;
+        if (!walk.from_tlb) {
+          filled.tlbs[tid].Insert(vpage, walk.leaf);
+        }
+        // Re-dispatch the data access on the filled state via a nested machine
+        // call. To avoid recursion complexity, inline the read/write here.
+        const PromThread& fself = filled.threads[tid];
+        if (inst.op == Op::kLoadV) {
+          const View v_pre = Join(fself.vr_new, fself.rview[inst.rs]);
+          const View lb = Join(v_pre, fself.coh[pa]);
+          std::vector<ReadChoice> choices;
+          ReadableMessages(filled, tid, pa, lb, &choices);
+          for (const ReadChoice& choice : choices) {
+            AnnotatedStep step;
+            step.next = filled;
+            step.info.tid = tid;
+            step.info.pc = self.pc;
+            step.info.op = inst.op;
+            PromThread& t = step.next.threads[tid];
+            t.pc = self.pc + 1;
+            ++t.steps;
+            const bool forwarded =
+                fself.fwd[pa].first != 0 && fself.fwd[pa].first == choice.ts;
+            const View v_post = Join(v_pre, forwarded ? fself.fwd[pa].second : choice.ts);
+            t.regs[inst.rd] = choice.val;
+            t.rview[inst.rd] = v_post;
+            t.coh[pa] = Join(t.coh[pa], choice.ts);
+            t.vr_old = Join(t.vr_old, v_post);
+            step.info.is_read = true;
+            step.info.loc = pa;
+            step.info.val = choice.val;
+            step.info.ts = choice.ts;
+            emit(std::move(step));
+          }
+        } else {
+          const Word value = fself.regs[inst.rt];
+          const View v_pre = Join(Join(fself.vw_new, fself.rview[inst.rs]),
+                                  Join(fself.rview[inst.rt], fself.v_cap));
+          const View lb = Join(v_pre, fself.coh[pa]);
+          if (!ghost && program_.threads[tid].user && config_.IsKernelCell(pa)) {
+            agg->violations.Note(&agg->violations.isolation,
+                                 "user write reached kernel memory");
+          }
+          // Append choice.
+          if (static_cast<int>(filled.mem.size()) < config_.max_messages) {
+            {
+              AnnotatedStep step;
+              step.next = filled;
+              step.info.tid = tid;
+              step.info.pc = self.pc;
+              step.info.op = inst.op;
+              PromThread& t = step.next.threads[tid];
+              t.pc = self.pc + 1;
+              ++t.steps;
+              step.next.mem.push_back({pa, value, tid});
+              const View ts = static_cast<View>(step.next.mem.size());
+              t.coh[pa] = ts;
+              t.vw_old = Join(t.vw_old, ts);
+              t.fwd[pa] = {ts, Join(fself.rview[inst.rs], fself.rview[inst.rt])};
+              if (!ghost) {
+                const int64_t wpage = config_.WatchedPage(pa);
+                if (wpage >= 0 && PrevValueBefore(filled, pa, ts) != MmuConfig::kEmpty) {
+                  t.pending_inval.emplace_back(static_cast<VirtAddr>(wpage), 0);
+                }
+              }
+              step.info.is_write = true;
+              step.info.loc = pa;
+              step.info.val = value;
+              step.info.ts = ts;
+              emit(std::move(step));
+            }
+          } else if (!ghost) {
+            agg->stats.truncated = true;
+          }
+          // Fulfil an own promise.
+          for (View p : fself.promises) {
+            if (filled.mem[p - 1].loc == pa && filled.mem[p - 1].val == value &&
+                p > lb) {
+              AnnotatedStep step;
+              step.next = filled;
+              step.info.tid = tid;
+              step.info.pc = self.pc;
+              step.info.op = inst.op;
+              PromThread& t = step.next.threads[tid];
+              t.pc = self.pc + 1;
+              ++t.steps;
+              t.promises.erase(std::find(t.promises.begin(), t.promises.end(), p));
+              t.coh[pa] = p;
+              t.vw_old = Join(t.vw_old, p);
+              t.fwd[pa] = {p, Join(fself.rview[inst.rs], fself.rview[inst.rt])};
+              if (!ghost) {
+                const int64_t wpage = config_.WatchedPage(pa);
+                if (wpage >= 0 && PrevValueBefore(filled, pa, p) != MmuConfig::kEmpty) {
+                  t.pending_inval.emplace_back(static_cast<VirtAddr>(wpage), 0);
+                }
+              }
+              step.info.is_write = true;
+              step.info.loc = pa;
+              step.info.val = value;
+              step.info.ts = p;
+              emit(std::move(step));
+            }
+          }
+        }
+      }
+      return;
+    }
+    case Op::kTlbiVa:
+    case Op::kTlbiAll: {
+      AnnotatedStep step = fresh();
+      const View floor = self.v_dsb;
+      if (!ghost && !config_.pt_watch.empty()) {
+        PromThread& t = step.next.threads[tid];
+        const bool all = inst.op == Op::kTlbiAll;
+        const VirtAddr vpage =
+            all ? 0
+                : program_.mmu.PageOf(static_cast<VirtAddr>(
+                      self.regs[inst.rs] + static_cast<Word>(inst.imm)));
+        auto it = t.pending_inval.begin();
+        while (it != t.pending_inval.end()) {
+          if (all || it->first == vpage) {
+            if (it->second == 0) {
+              agg->violations.Note(&agg->violations.tlbi,
+                                   "TLBI not preceded by a DSB after the unmap");
+            }
+            it = t.pending_inval.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+      if (inst.op == Op::kTlbiVa) {
+        const VirtAddr va =
+            static_cast<VirtAddr>(self.regs[inst.rs] + static_cast<Word>(inst.imm));
+        const VirtAddr vpage = program_.mmu.PageOf(va);
+        for (auto& tlb : step.next.tlbs) {
+          tlb.InvalidatePage(vpage);
+        }
+        bool found = false;
+        for (auto& [page, view] : step.next.tlb_floor) {
+          if (page == vpage) {
+            view = Join(view, floor);
+            found = true;
+          }
+        }
+        if (!found) {
+          step.next.tlb_floor.emplace_back(vpage, floor);
+          std::sort(step.next.tlb_floor.begin(), step.next.tlb_floor.end());
+        }
+      } else {
+        for (auto& tlb : step.next.tlbs) {
+          tlb.InvalidateAll();
+        }
+        step.next.global_floor = Join(step.next.global_floor, floor);
+      }
+      emit(std::move(step));
+      return;
+    }
+    case Op::kPull: {
+      AnnotatedStep step = fresh();
+      PromThread& t = step.next.threads[tid];
+      step.info.region = inst.region;
+      if (config_.pushpull && !ghost) {
+        if (t.push_pending) {
+          agg->violations.Note(&agg->violations.barrier,
+                               "pull while a prior push is unfulfilled by a "
+                               "release barrier");
+        }
+        if (!t.acq_clean) {
+          agg->violations.Note(&agg->violations.barrier,
+                               "pull of region '" + program_.regions[inst.region].name +
+                                   "' not fulfilled by an acquire barrier");
+        }
+        int8_t& owner = step.next.region_owner[inst.region];
+        if (owner != -1) {
+          agg->violations.Note(&agg->violations.drf,
+                               "RM: pull of region '" +
+                                   program_.regions[inst.region].name +
+                                   "' already owned");
+          return;  // ownership corrupt; prune this execution
+        }
+        owner = static_cast<int8_t>(tid);
+        t.acq_clean = false;
+      }
+      emit(std::move(step));
+      return;
+    }
+    case Op::kPush: {
+      AnnotatedStep step = fresh();
+      PromThread& t = step.next.threads[tid];
+      step.info.region = inst.region;
+      if (!ghost && !config_.pt_watch.empty() && !t.pending_inval.empty()) {
+        agg->violations.Note(&agg->violations.tlbi,
+                             "critical section ended with an unmap/remap whose "
+                             "DSB+TLBI sequence is incomplete");
+      }
+      if (config_.pushpull && !ghost) {
+        int8_t& owner = step.next.region_owner[inst.region];
+        if (owner != static_cast<int8_t>(tid)) {
+          agg->violations.Note(&agg->violations.drf,
+                               "RM: push of region '" +
+                                   program_.regions[inst.region].name +
+                                   "' not owned by the pushing CPU");
+          return;
+        }
+        owner = -1;
+        if (t.push_pending) {
+          agg->violations.Note(&agg->violations.barrier,
+                               "two pushes pending on one release barrier");
+        }
+        t.push_pending = true;
+      }
+      emit(std::move(step));
+      return;
+    }
+    case Op::kPanic: {
+      AnnotatedStep step = fresh();
+      PromThread& t = step.next.threads[tid];
+      t.panicked = true;
+      t.halted = true;
+      emit(std::move(step));
+      return;
+    }
+    case Op::kHalt: {
+      AnnotatedStep step = fresh();
+      step.next.threads[tid].halted = true;
+      emit(std::move(step));
+      return;
+    }
+  }
+
+  // Conditional branches funnel here: update v_cap with the condition views.
+  AnnotatedStep step = fresh();
+  PromThread& t = step.next.threads[tid];
+  View cond_view = self.rview[inst.rs];
+  if (inst.op == Op::kBeq || inst.op == Op::kBne) {
+    cond_view = Join(cond_view, self.rview[inst.rt]);
+  }
+  t.v_cap = Join(t.v_cap, cond_view);
+  if (branch_target >= 0) {
+    t.pc = branch_target;
+  }
+  emit(std::move(step));
+}
+
+std::pair<uint64_t, uint64_t> PromisingMachine::SoloDigest(const State& state,
+                                                           ThreadId tid) const {
+  StateSerializer s;
+  s.U32(static_cast<uint32_t>(state.mem.size()));
+  for (const Msg& msg : state.mem) {
+    s.U32(msg.loc);
+    s.U64(msg.val);
+    s.U8(msg.tid);
+  }
+  const PromThread& thread = state.threads[tid];
+  s.U8(tid);
+  s.U32(static_cast<uint32_t>(thread.pc));
+  s.U32(thread.steps);
+  s.U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0)));
+  for (int r = 0; r < kNumRegs; ++r) {
+    s.U64(thread.regs[r]);
+    s.U32(thread.rview[r]);
+  }
+  for (Addr a = 0; a < thread.coh.size(); ++a) {
+    if (thread.coh[a] != 0) {
+      s.U32(a);
+      s.U32(thread.coh[a]);
+    }
+  }
+  s.U32(0xffffffffu);
+  s.U32(thread.vr_old);
+  s.U32(thread.vr_new);
+  s.U32(thread.vw_old);
+  s.U32(thread.vw_new);
+  s.U32(thread.v_cap);
+  s.U32(thread.v_rel);
+  s.U32(thread.v_dsb);
+  for (Addr a = 0; a < thread.fwd.size(); ++a) {
+    if (thread.fwd[a].first != 0) {
+      s.U32(a);
+      s.U32(thread.fwd[a].first);
+      s.U32(thread.fwd[a].second);
+    }
+  }
+  s.U32(0xffffffffu);
+  s.U32(static_cast<uint32_t>(thread.promises.size()));
+  for (View p : thread.promises) {
+    s.U32(p);
+  }
+  s.U8(thread.ex_valid);
+  s.U32(thread.ex_loc);
+  s.U32(thread.ex_ts);
+  state.tlbs[tid].SerializeInto(&s);
+  s.U32(static_cast<uint32_t>(state.tlb_floor.size()));
+  for (const auto& [vpage, view] : state.tlb_floor) {
+    s.U32(vpage);
+    s.U32(view);
+  }
+  s.U32(state.global_floor);
+  return StateDigest(s.bytes());
+}
+
+bool PromisingMachine::Certify(const State& state, ThreadId tid) const {
+  if (state.threads[tid].promises.empty()) {
+    return true;
+  }
+  const auto key = SoloDigest(state, tid);
+  if (auto it = cert_cache_.find(key); it != cert_cache_.end()) {
+    return it->second;
+  }
+  std::unordered_set<std::pair<uint64_t, uint64_t>, DigestHash> seen;
+  std::vector<State> stack;
+  stack.push_back(state);
+  seen.insert(StateDigest(Serialize(state)));
+  ExploreResult scratch;
+  std::vector<AnnotatedStep> steps;
+  int nodes = 0;
+  bool certified = false;
+  while (!stack.empty()) {
+    if (++nodes > kCertNodeCap) {
+      break;  // conservative: treat as uncertifiable
+    }
+    State current = std::move(stack.back());
+    stack.pop_back();
+    if (current.threads[tid].promises.empty()) {
+      certified = true;
+      break;
+    }
+    steps.clear();
+    ExecInst(current, tid, &steps, &scratch, /*ghost=*/true);
+    for (auto& step : steps) {
+      if (seen.insert(StateDigest(Serialize(step.next))).second) {
+        stack.push_back(std::move(step.next));
+      }
+    }
+  }
+  cert_cache_.emplace(key, certified);
+  return certified;
+}
+
+void PromisingMachine::CollectPromisable(const State& state, ThreadId tid,
+                                         std::vector<std::pair<Addr, Word>>* out) const {
+  const auto key = SoloDigest(state, tid);
+  if (auto it = collect_cache_.find(key); it != collect_cache_.end()) {
+    *out = it->second;
+    return;
+  }
+  std::unordered_set<std::pair<uint64_t, uint64_t>, DigestHash> seen;
+  std::unordered_set<uint64_t> found;
+  std::vector<State> stack;
+  stack.push_back(state);
+  seen.insert(StateDigest(Serialize(state)));
+  ExploreResult scratch;
+  std::vector<AnnotatedStep> steps;
+  int nodes = 0;
+  while (!stack.empty()) {
+    if (++nodes > kCollectNodeCap) {
+      break;
+    }
+    State current = std::move(stack.back());
+    stack.pop_back();
+    // Ghost instructions are promise fences: the push/pull Promising model
+    // inserts ownership-transfer promises at critical-section boundaries in
+    // promise-list order, so a thread must not promise a write that lies beyond
+    // an unexecuted pull/push — otherwise another CPU could read (e.g.) the
+    // releasing store before the push promise exists, and the execution-order
+    // ownership bookkeeping would report a spurious race.
+    if (config_.pushpull) {
+      const PromThread& t = current.threads[tid];
+      if (!t.halted && t.pc < static_cast<int>(program_.threads[tid].code.size())) {
+        const Op op = program_.threads[tid].code[t.pc].op;
+        if (op == Op::kPull || op == Op::kPush) {
+          continue;
+        }
+      }
+    }
+    steps.clear();
+    ExecInst(current, tid, &steps, &scratch, /*ghost=*/true);
+    for (auto& step : steps) {
+      if (step.info.is_write) {
+        const uint64_t key =
+            (static_cast<uint64_t>(step.info.loc) << 32) ^ (step.info.val * 0x9e3779b9u);
+        if (found.insert(key).second) {
+          out->emplace_back(step.info.loc, step.info.val);
+        }
+      }
+      if (seen.insert(StateDigest(Serialize(step.next))).second) {
+        stack.push_back(std::move(step.next));
+      }
+    }
+  }
+  collect_cache_.emplace(key, *out);
+}
+
+void PromisingMachine::PromiseSteps(const State& state, ThreadId tid,
+                                    std::vector<AnnotatedStep>* out,
+                                    ExploreResult* agg) const {
+  const PromThread& self = state.threads[tid];
+  if (static_cast<int>(self.promises.size()) >= config_.max_promises_per_thread) {
+    return;
+  }
+  if (static_cast<int>(state.mem.size()) >= config_.max_messages) {
+    agg->stats.truncated = true;
+    return;
+  }
+  std::vector<std::pair<Addr, Word>> candidates;
+  CollectPromisable(state, tid, &candidates);
+  for (const auto& [loc, val] : candidates) {
+    AnnotatedStep step;
+    step.next = state;
+    step.next.mem.push_back({loc, val, tid});
+    const View ts = static_cast<View>(step.next.mem.size());
+    PromThread& t = step.next.threads[tid];
+    t.promises.push_back(ts);
+    std::sort(t.promises.begin(), t.promises.end());
+    step.info.tid = tid;
+    step.info.op = Op::kNop;
+    step.info.is_promise = true;
+    step.info.loc = loc;
+    step.info.val = val;
+    step.info.ts = ts;
+    out->push_back(std::move(step));
+  }
+}
+
+void PromisingMachine::EnumerateSteps(const State& state, std::vector<AnnotatedStep>* out,
+                                      ExploreResult* agg) const {
+  std::vector<AnnotatedStep> raw;
+  // Partial-order reduction: if some runnable thread's next instruction is
+  // local (commutes with everything), expand only that thread. Promise steps of
+  // the same thread also commute with its local step, so they can be deferred.
+  for (ThreadId tid = 0; !config_.disable_por && tid < state.threads.size(); ++tid) {
+    const PromThread& thread = state.threads[tid];
+    if (thread.halted || thread.pc >= static_cast<int>(program_.threads[tid].code.size())) {
+      continue;
+    }
+    if (!IsLocalStep(program_.threads[tid].code[thread.pc], config_.pushpull)) {
+      continue;
+    }
+    ExecInst(state, tid, &raw, agg, /*ghost=*/false);
+    // The local step is deterministic: at most one successor. It must still
+    // certify (a halt with outstanding promises is a dead end).
+    if (!raw.empty()) {
+      VRM_CHECK(raw.size() == 1);
+      if (state.threads[tid].promises.empty() || Certify(raw[0].next, tid)) {
+        out->push_back(std::move(raw[0]));
+        return;
+      }
+    }
+    raw.clear();
+  }
+  for (ThreadId tid = 0; tid < state.threads.size(); ++tid) {
+    ExecInst(state, tid, &raw, agg, /*ghost=*/false);
+    PromiseSteps(state, tid, &raw, agg);
+  }
+  for (auto& step : raw) {
+    const ThreadId tid = step.info.tid;
+    // Certification: the stepping thread must still be able to fulfil its
+    // promises solo. TLBI steps can invalidate other threads' certifications
+    // (their translated accesses may now fault or be floor-constrained), so they
+    // re-certify every promising thread.
+    if (!step.next.threads[tid].promises.empty() && !Certify(step.next, tid)) {
+      continue;
+    }
+    if (step.info.op == Op::kTlbiVa || step.info.op == Op::kTlbiAll) {
+      bool all_ok = true;
+      for (ThreadId other = 0; other < step.next.threads.size(); ++other) {
+        if (other != tid && !step.next.threads[other].promises.empty() &&
+            !Certify(step.next, other)) {
+          all_ok = false;
+          break;
+        }
+      }
+      if (!all_ok) {
+        continue;
+      }
+    }
+    out->push_back(std::move(step));
+  }
+}
+
+void PromisingMachine::Successors(const State& state, std::vector<State>* out,
+                                  ExploreResult* agg) const {
+  std::vector<AnnotatedStep> steps;
+  EnumerateSteps(state, &steps, agg);
+  out->reserve(out->size() + steps.size());
+  for (auto& step : steps) {
+    out->push_back(std::move(step.next));
+  }
+}
+
+std::string PromisingMachine::Serialize(const State& state) const {
+  StateSerializer s;
+  s.U32(static_cast<uint32_t>(state.mem.size()));
+  for (const Msg& msg : state.mem) {
+    s.U32(msg.loc);
+    s.U64(msg.val);
+    s.U8(msg.tid);
+  }
+  for (const auto& thread : state.threads) {
+    s.U32(static_cast<uint32_t>(thread.pc));
+    s.U32(thread.steps);
+    s.U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0) |
+                              (thread.acq_clean ? 4 : 0) | (thread.push_pending ? 8 : 0)));
+    s.U8(thread.faults);
+    for (int r = 0; r < kNumRegs; ++r) {
+      s.U64(thread.regs[r]);
+      s.U32(thread.rview[r]);
+    }
+    for (Addr a = 0; a < thread.coh.size(); ++a) {
+      if (thread.coh[a] != 0) {
+        s.U32(a);
+        s.U32(thread.coh[a]);
+      }
+    }
+    s.U32(0xffffffffu);  // coh terminator
+    s.U32(thread.vr_old);
+    s.U32(thread.vr_new);
+    s.U32(thread.vw_old);
+    s.U32(thread.vw_new);
+    s.U32(thread.v_cap);
+    s.U32(thread.v_rel);
+    s.U32(thread.v_dsb);
+    for (Addr a = 0; a < thread.fwd.size(); ++a) {
+      if (thread.fwd[a].first != 0) {
+        s.U32(a);
+        s.U32(thread.fwd[a].first);
+        s.U32(thread.fwd[a].second);
+      }
+    }
+    s.U32(0xffffffffu);  // fwd terminator
+    s.U32(static_cast<uint32_t>(thread.promises.size()));
+    for (View p : thread.promises) {
+      s.U32(p);
+    }
+    s.U8(thread.ex_valid);
+    s.U32(thread.ex_loc);
+    s.U32(thread.ex_ts);
+    s.U32(static_cast<uint32_t>(thread.pending_inval.size()));
+    for (const auto& [page, stage] : thread.pending_inval) {
+      s.U32(page);
+      s.U8(stage);
+    }
+  }
+  for (int8_t owner : state.region_owner) {
+    s.U8(static_cast<uint8_t>(owner));
+  }
+  for (const auto& tlb : state.tlbs) {
+    tlb.SerializeInto(&s);
+  }
+  s.U32(static_cast<uint32_t>(state.tlb_floor.size()));
+  for (const auto& [vpage, view] : state.tlb_floor) {
+    s.U32(vpage);
+    s.U32(view);
+  }
+  s.U32(state.global_floor);
+  return s.Take();
+}
+
+}  // namespace vrm

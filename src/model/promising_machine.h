@@ -1,0 +1,231 @@
+// Promising-Arm relaxed memory model, extended with the system features VRM adds
+// (MMU page-table walks, TLBs, TLB invalidation) and with the push/pull promise
+// protocol of Section 4.1.
+//
+// The machine follows the view-based operational model of Pulte et al.,
+// "Promising-ARM/RISC-V" (PLDI 2019), which the paper uses as its bottom-layer
+// hardware model (proved there equivalent to the Armv8 axiomatic model):
+//
+//  * Memory is a global, append-only list of write messages; the message at list
+//    index i has timestamp i+1, and timestamp 0 denotes initial memory.
+//  * Threads execute their instructions in program order. Relaxed behaviour
+//    arises from (a) *promises*: a thread may append a write message before
+//    program order reaches the store, provided it can *certify* — running solo —
+//    that it will fulfil every outstanding promise; and (b) *view-constrained
+//    reads*: a load may read any message for its location that is not superseded
+//    between its timestamp and the thread's relevant view lower bound.
+//  * Per-thread views implement exactly the paper's four Armv8 constraint
+//    classes: per-location coherence views (coherence constraint), register
+//    views propagated through arithmetic (data/address dependency constraints),
+//    and barrier views vr_new/vw_new raised by DMB LD/ST/SY, DSB, ISB,
+//    load-acquire and store-release (barrier constraint). Branch conditions
+//    raise v_cap, which orders *writes* (no speculative writes become visible)
+//    but not reads — read speculation past a branch is what makes Example 2's
+//    unbarriered ticket lock hand out duplicate VMIDs.
+//
+// VRM's system-level extension is modelled as:
+//  * kLoadV/kStoreV translate through a per-CPU TLB; on a miss, the MMU walks the
+//    page tables by issuing reads *unordered with the CPU pipeline* (their only
+//    lower bound is the TLB-invalidation floor, below), with address dependencies
+//    between walk levels arising naturally from using each level's value to
+//    address the next. Successful walks refill the TLB (Example 6's refill).
+//  * kTlbiVa/kTlbiAll broadcast-invalidate TLB entries and raise a per-page
+//    *floor view* to the issuing thread's v_dsb (the join of its reads/writes at
+//    its last DSB). Subsequent walks of an invalidated page must read PTE
+//    messages no older than the floor. A store is therefore only guaranteed
+//    visible to post-invalidation walks when a DSB separates it from the TLBI —
+//    the Sequential-TLB-Invalidation condition's barrier requirement.
+
+#ifndef SRC_MODEL_PROMISING_MACHINE_H_
+#define SRC_MODEL_PROMISING_MACHINE_H_
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/arch/program.h"
+#include "src/arch/types.h"
+#include "src/mmu/tlb.h"
+#include "src/model/config.h"
+#include "src/model/outcome.h"
+
+namespace vrm {
+
+// A write message. Timestamp = index in PromState::mem + 1.
+struct Msg {
+  Addr loc = 0;
+  Word val = 0;
+  ThreadId tid = 0;
+};
+
+struct PromThread {
+  int pc = 0;
+  uint16_t steps = 0;
+  bool halted = false;
+  bool panicked = false;
+  uint8_t faults = 0;
+  std::array<Word, kNumRegs> regs{};
+  std::array<View, kNumRegs> rview{};  // dependency view of each register
+
+  std::vector<View> coh;  // per-location coherence view (indexed by Addr)
+  View vr_old = 0;        // join of all read post-views (DMB LD source)
+  View vr_new = 0;        // lower bound on future read pre-views
+  View vw_old = 0;        // join of all write timestamps (DMB ST source)
+  View vw_new = 0;        // lower bound on future write pre-views
+  View v_cap = 0;         // join of branch-condition views (control dependencies)
+  View v_rel = 0;         // join of release-write timestamps (RCsc)
+  View v_dsb = 0;         // join of reads/writes at the last DSB (TLBI floors)
+
+  // Store-forwarding bank: per location, (timestamp, data/address view) of this
+  // thread's latest write. A read satisfied by its own forwarded write takes the
+  // write's view, not its timestamp (the paper's note that forwarded reads need
+  // no barrier protection).
+  std::vector<std::pair<View, View>> fwd;
+
+  std::vector<View> promises;  // outstanding promise timestamps, sorted
+
+  // Exclusive monitor (ldxr/stxr): location and the timestamp the load-exclusive
+  // read from. A store-exclusive succeeds only coherence-adjacent to it.
+  uint8_t ex_valid = 0;
+  Addr ex_loc = 0;
+  View ex_ts = 0;
+
+  // push/pull barrier-fulfilment protocol (No-Barrier-Misuse):
+  bool acq_clean = false;     // an acquire-type barrier fired, unconsumed by a pull
+  bool push_pending = false;  // a push awaits a release-type barrier
+
+  // Sequential-TLB-Invalidation monitor: pages whose watched PT entry this
+  // thread unmapped/remapped and that still await (stage 0) a DSB or (stage 1)
+  // a covering TLBI.
+  std::vector<std::pair<VirtAddr, uint8_t>> pending_inval;
+};
+
+struct PromState {
+  std::vector<Msg> mem;
+  std::vector<PromThread> threads;
+  std::vector<int8_t> region_owner;  // -1 = free
+  std::vector<Tlb> tlbs;
+  // TLB invalidation floors: walks of vpage must not read PTE messages
+  // superseded at or before max(global_floor, floor[vpage]).
+  std::vector<std::pair<VirtAddr, View>> tlb_floor;  // sorted by vpage
+  View global_floor = 0;                             // raised by TLBI-all
+};
+
+// Description of one transition, consumed by the random-walk executor and the
+// SC-trace construction of Section 4.1.
+struct StepInfo {
+  ThreadId tid = 0;
+  int pc = -1;              // -1 for promise steps
+  Op op = Op::kNop;
+  bool is_promise = false;  // promise-creation step
+  bool is_read = false;     // performed a data read (loc/val/ts valid)
+  bool is_write = false;    // performed a data write (loc/val/ts valid)
+  Addr loc = 0;
+  Word val = 0;
+  View ts = 0;
+  int region = -1;  // kPull/kPush region
+};
+
+class PromisingMachine {
+ public:
+  using State = PromState;
+
+  PromisingMachine(const Program& program, const ModelConfig& config);
+
+  State Initial() const;
+  bool IsTerminal(const State& state) const;
+  Outcome Extract(const State& state) const;
+  // Terminal-state condition audit. WRITE-ONCE-KERNEL-MAPPING is validated here
+  // rather than per-write: in a terminal state every message is a committed
+  // write (promises all fulfilled), so checking that no message to a watched
+  // cell has a non-EMPTY coherence predecessor is exact — per-write monitoring
+  // would false-positive on the transient promise+append states of doomed
+  // execution prefixes.
+  void AuditTerminal(const State& state, ExploreResult* agg) const;
+  void Successors(const State& state, std::vector<State>* out, ExploreResult* agg) const;
+  std::string Serialize(const State& state) const;
+
+  // Annotated successor enumeration: every valid transition from `state`,
+  // including promise steps, with its StepInfo. Used by RandomWalkExecutor.
+  struct AnnotatedStep {
+    State next;
+    StepInfo info;
+  };
+  void EnumerateSteps(const State& state, std::vector<AnnotatedStep>* out,
+                      ExploreResult* agg) const;
+
+  const Program& program() const { return program_; }
+
+ private:
+  // Enumerates all architectural next-states for one instruction of `tid`.
+  // `ghost` disables condition monitoring (used during certification and
+  // promise-candidate collection, which execute hypothetical steps).
+  void ExecInst(const State& state, ThreadId tid, std::vector<AnnotatedStep>* out,
+                ExploreResult* agg, bool ghost) const;
+
+  // Promise steps for `tid`: append each certifiable solo-reachable write.
+  void PromiseSteps(const State& state, ThreadId tid, std::vector<AnnotatedStep>* out,
+                    ExploreResult* agg) const;
+
+  // True if `tid` can fulfil all its outstanding promises running solo.
+  bool Certify(const State& state, ThreadId tid) const;
+
+  // Collects (loc, val) pairs of writes `tid` can perform running solo.
+  void CollectPromisable(const State& state, ThreadId tid,
+                         std::vector<std::pair<Addr, Word>>* out) const;
+
+  // Read helpers.
+  struct ReadChoice {
+    View ts;
+    Word val;
+  };
+  // All timestamps a read of `loc` with lower bound `lb` may take, excluding
+  // `tid`'s own unfulfilled promises.
+  void ReadableMessages(const State& state, ThreadId tid, Addr loc, View lb,
+                        std::vector<ReadChoice>* out) const;
+  Word ValueAt(const State& state, Addr loc, View ts) const;
+  View LatestTimestamp(const State& state, Addr loc) const;
+
+  View FloorFor(const State& state, VirtAddr vpage) const;
+
+  // MMU walk: enumerates (leaf entry readable by the walk, or fault) choices.
+  struct WalkChoice {
+    bool fault = false;
+    Word leaf = 0;     // valid leaf PTE when !fault
+    bool from_tlb = false;
+  };
+  void EnumerateWalks(const State& state, ThreadId tid, VirtAddr vpage,
+                      std::vector<WalkChoice>* out) const;
+
+  // Value of the latest message to `loc` strictly below timestamp `ts` (the
+  // value a write at `ts` overwrites in coherence order).
+  Word PrevValueBefore(const State& state, Addr loc, View ts) const;
+
+  // Digest of the thread-solo projection of a state: global memory + the
+  // thread's own architectural state + its TLB + the invalidation floors.
+  // Certification and promise-candidate collection depend on exactly this
+  // projection, so their results are memoized under it.
+  std::pair<uint64_t, uint64_t> SoloDigest(const State& state, ThreadId tid) const;
+
+  // Owned copies: machines outlive the expressions that construct them, so
+  // holding references would dangle when callers pass temporaries.
+  const Program program_;
+  const ModelConfig config_;
+
+  // Memoization caches for the solo searches. The machine is not thread-safe.
+  struct PairHash {
+    size_t operator()(const std::pair<uint64_t, uint64_t>& d) const {
+      return static_cast<size_t>(d.first ^ (d.second * 0x9e3779b97f4a7c15ull));
+    }
+  };
+  mutable std::unordered_map<std::pair<uint64_t, uint64_t>, bool, PairHash> cert_cache_;
+  mutable std::unordered_map<std::pair<uint64_t, uint64_t>,
+                             std::vector<std::pair<Addr, Word>>, PairHash>
+      collect_cache_;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_MODEL_PROMISING_MACHINE_H_

@@ -1,0 +1,53 @@
+#include "src/model/random_walk.h"
+
+namespace vrm {
+
+RandomWalkResult RandomWalk(const PromisingMachine& machine, uint64_t seed,
+                            double promise_bias) {
+  Rng rng(seed);
+  RandomWalkResult result;
+  ExploreResult agg;
+
+  PromState state = machine.Initial();
+  std::vector<PromisingMachine::AnnotatedStep> steps;
+  while (true) {
+    if (machine.IsTerminal(state)) {
+      result.completed = true;
+      result.outcome = machine.Extract(state);
+      break;
+    }
+    steps.clear();
+    machine.EnumerateSteps(state, &steps, &agg);
+    if (steps.empty()) {
+      break;  // dead end (budget exhaustion or pruned promises)
+    }
+    // Split the enabled transitions into promise and non-promise groups so the
+    // bias can steer towards relaxed executions.
+    size_t promise_count = 0;
+    for (const auto& step : steps) {
+      if (step.info.is_promise) {
+        ++promise_count;
+      }
+    }
+    size_t pick;
+    if (promise_count > 0 && promise_count < steps.size() && rng.Chance(promise_bias)) {
+      size_t nth = rng.Below(promise_count);
+      pick = 0;
+      for (size_t i = 0; i < steps.size(); ++i) {
+        if (steps[i].info.is_promise && nth-- == 0) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      pick = rng.Below(steps.size());
+    }
+    result.trace.push_back(steps[pick].info);
+    state = std::move(steps[pick].next);
+  }
+  result.final_state = std::move(state);
+  result.violations = agg.violations;
+  return result;
+}
+
+}  // namespace vrm

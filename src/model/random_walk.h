@@ -1,0 +1,37 @@
+// Single-execution random-walk runner for the Promising machine.
+//
+// Exhaustive exploration enumerates all behaviours; the random walk samples one
+// valid execution and records its full event trace. The SC-trace construction of
+// Section 4.1 (partial order from push/pull promises -> topological sort -> SC
+// replay) consumes these traces, and the stress tests use many seeds to sample
+// executions of programs too large to explore exhaustively.
+
+#ifndef SRC_MODEL_RANDOM_WALK_H_
+#define SRC_MODEL_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "src/model/promising_machine.h"
+#include "src/support/rng.h"
+
+namespace vrm {
+
+struct RandomWalkResult {
+  bool completed = false;  // all threads halted with promises fulfilled
+  Outcome outcome;         // valid when completed
+  std::vector<StepInfo> trace;
+  PromState final_state;
+  ConditionViolations violations;
+};
+
+// Runs one execution picking uniformly among all enabled transitions. A walk can
+// dead-end (e.g. a promise path pruned by certification leaves no enabled
+// transition); `completed` is false in that case and callers retry with a new
+// seed. `promise_bias` in [0,1] is the probability of preferring a promise step
+// when one is enabled — biasing upward samples more relaxed executions.
+RandomWalkResult RandomWalk(const PromisingMachine& machine, uint64_t seed,
+                            double promise_bias = 0.3);
+
+}  // namespace vrm
+
+#endif  // SRC_MODEL_RANDOM_WALK_H_

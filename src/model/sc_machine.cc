@@ -1,0 +1,474 @@
+#include "src/model/sc_machine.h"
+
+#include "src/support/check.h"
+#include "src/support/hash.h"
+
+namespace vrm {
+
+ScMachine::ScMachine(const Program& program, const ModelConfig& config)
+    : program_(program), config_(config) {
+  program_.Validate();
+}
+
+ScMachine::State ScMachine::Initial() const {
+  State state;
+  state.mem.assign(program_.mem_size, 0);
+  for (const auto& [addr, value] : program_.init) {
+    state.mem[addr] = value;
+  }
+  state.threads.resize(program_.threads.size());
+  state.region_owner.assign(program_.regions.size(), -1);
+  state.tlbs.resize(program_.threads.size());
+  return state;
+}
+
+bool ScMachine::IsTerminal(const State& state) const {
+  for (size_t t = 0; t < state.threads.size(); ++t) {
+    const auto& thread = state.threads[t];
+    const bool done =
+        thread.halted || thread.pc >= static_cast<int>(program_.threads[t].code.size());
+    if (!done) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Outcome ScMachine::Extract(const State& state) const {
+  Outcome outcome;
+  for (const auto& obs : program_.observed_regs) {
+    outcome.regs.push_back(state.threads[obs.tid].regs[obs.reg]);
+  }
+  for (Addr loc : program_.observed_locs) {
+    outcome.locs.push_back(state.mem[loc]);
+  }
+  for (const auto& thread : state.threads) {
+    outcome.faults.push_back(thread.faults);
+    outcome.panics.push_back(thread.panicked ? 1 : 0);
+  }
+  if (program_.observe_tlbs) {
+    for (const auto& tlb : state.tlbs) {
+      outcome.tlbs.push_back(tlb.entries());
+    }
+  }
+  return outcome;
+}
+
+bool ScMachine::TranslateOrFault(State* state, ThreadId tid, VirtAddr va,
+                                 Addr* paddr) const {
+  const MmuConfig& mmu = program_.mmu;
+  VRM_CHECK_MSG(mmu.enabled, "translated access without MMU configuration");
+  const VirtAddr vpage = mmu.PageOf(va);
+  const int offset = mmu.OffsetOf(va);
+
+  Word leaf = 0;
+  if (const Word* cached = state->tlbs[tid].Lookup(vpage)) {
+    leaf = *cached;
+  } else {
+    Addr table = mmu.root;
+    for (int level = 0; level < mmu.levels; ++level) {
+      const Addr pte = table + static_cast<Addr>(mmu.LevelIndex(vpage, level));
+      VRM_CHECK(pte < state->mem.size());
+      const Word entry = state->mem[pte];
+      if (!MmuConfig::EntryValid(entry)) {
+        return false;
+      }
+      if (level + 1 == mmu.levels) {
+        leaf = entry;
+      } else {
+        table = MmuConfig::EntryTarget(entry);
+      }
+    }
+    state->tlbs[tid].Insert(vpage, leaf);
+  }
+  const Addr pa = MmuConfig::EntryTarget(leaf) * static_cast<Addr>(mmu.page_size) +
+                  static_cast<Addr>(offset);
+  VRM_CHECK_MSG(pa < state->mem.size(), "translated address outside memory");
+  *paddr = pa;
+  return true;
+}
+
+bool ScMachine::CheckRegionAccess(const State& state, ThreadId tid, Addr addr,
+                                  ExploreResult* agg) const {
+  if (!config_.pushpull) {
+    return true;
+  }
+  const int region = program_.RegionOf(addr);
+  if (region < 0) {
+    return true;
+  }
+  if (state.region_owner[region] != static_cast<int8_t>(tid)) {
+    agg->violations.Note(&agg->violations.drf,
+                         "SC: access to region '" + program_.regions[region].name +
+                             "' by a non-owner CPU");
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Any committed store to `addr` clears every CPU's exclusive monitor on it
+// (the global monitor snoops coherence traffic).
+void ClearMonitors(ScState* state, Addr addr) {
+  for (ScThread& thread : state->threads) {
+    if (thread.ex_valid && thread.ex_addr == addr) {
+      thread.ex_valid = false;
+    }
+  }
+}
+
+}  // namespace
+
+bool ScMachine::StepThread(State* state, ThreadId tid, ExploreResult* agg) const {
+  ScThread& thread = state->threads[tid];
+  const auto& code = program_.threads[tid].code;
+  if (thread.halted || thread.pc >= static_cast<int>(code.size())) {
+    return false;
+  }
+  if (thread.steps >= config_.max_steps_per_thread) {
+    agg->stats.truncated = true;
+    return false;
+  }
+  ++thread.steps;
+
+  const Inst& inst = code[thread.pc];
+  int next_pc = thread.pc + 1;
+  auto addr_of = [&](Reg base, int64_t imm) {
+    const Word a = thread.regs[base] + static_cast<Word>(imm);
+    VRM_CHECK_MSG(a < state->mem.size(), "physical access outside memory");
+    return static_cast<Addr>(a);
+  };
+
+  switch (inst.op) {
+    case Op::kNop:
+      break;
+    case Op::kMovImm:
+      thread.regs[inst.rd] = static_cast<Word>(inst.imm);
+      break;
+    case Op::kMov:
+      thread.regs[inst.rd] = thread.regs[inst.rs];
+      break;
+    case Op::kAdd:
+      thread.regs[inst.rd] = thread.regs[inst.rs] + thread.regs[inst.rt];
+      break;
+    case Op::kAddImm:
+      thread.regs[inst.rd] = thread.regs[inst.rs] + static_cast<Word>(inst.imm);
+      break;
+    case Op::kSub:
+      thread.regs[inst.rd] = thread.regs[inst.rs] - thread.regs[inst.rt];
+      break;
+    case Op::kAnd:
+      thread.regs[inst.rd] = thread.regs[inst.rs] & thread.regs[inst.rt];
+      break;
+    case Op::kEor:
+      thread.regs[inst.rd] = thread.regs[inst.rs] ^ thread.regs[inst.rt];
+      break;
+    case Op::kLoad:
+    case Op::kOracleLoad: {
+      const Addr a = addr_of(inst.rs, inst.imm);
+      if (inst.op == Op::kLoad && !CheckRegionAccess(*state, tid, a, agg)) {
+        return false;
+      }
+      if (inst.op == Op::kLoad && !program_.threads[tid].user && config_.IsUserCell(a)) {
+        agg->violations.Note(&agg->violations.isolation,
+                             "SC: kernel read of user memory without a data oracle");
+      }
+      thread.regs[inst.rd] = state->mem[a];
+      break;
+    }
+    case Op::kStore: {
+      const Addr a = addr_of(inst.rs, inst.imm);
+      if (!CheckRegionAccess(*state, tid, a, agg)) {
+        return false;
+      }
+      if (config_.IsWriteOnceCell(a) && state->mem[a] != MmuConfig::kEmpty) {
+        agg->violations.Note(&agg->violations.write_once,
+                             "SC: overwrite of a non-empty kernel page-table entry");
+        return false;
+      }
+      if (program_.threads[tid].user && config_.IsKernelCell(a)) {
+        agg->violations.Note(&agg->violations.isolation,
+                             "SC: user write reached kernel memory");
+      }
+      const int64_t vpage = config_.WatchedPage(a);
+      if (vpage >= 0 && state->mem[a] != MmuConfig::kEmpty) {
+        thread.pending_inval.emplace_back(static_cast<VirtAddr>(vpage), 0);
+      }
+      state->mem[a] = thread.regs[inst.rt];
+      ClearMonitors(state, a);
+      break;
+    }
+    case Op::kFetchAdd: {
+      const Addr a = addr_of(inst.rs, 0);
+      if (!CheckRegionAccess(*state, tid, a, agg)) {
+        return false;
+      }
+      thread.regs[inst.rd] = state->mem[a];
+      state->mem[a] += static_cast<Word>(inst.imm);
+      ClearMonitors(state, a);
+      break;
+    }
+    case Op::kLoadEx: {
+      const Addr a = addr_of(inst.rs, 0);
+      if (!CheckRegionAccess(*state, tid, a, agg)) {
+        return false;
+      }
+      thread.regs[inst.rd] = state->mem[a];
+      thread.ex_valid = true;
+      thread.ex_addr = a;
+      break;
+    }
+    case Op::kStoreEx: {
+      const Addr a = addr_of(inst.rs, 0);
+      if (!CheckRegionAccess(*state, tid, a, agg)) {
+        return false;
+      }
+      if (thread.ex_valid && thread.ex_addr == a) {
+        state->mem[a] = thread.regs[inst.rt];
+        ClearMonitors(state, a);
+        thread.regs[inst.rd] = 0;  // success
+      } else {
+        thread.regs[inst.rd] = 1;  // monitor lost
+      }
+      thread.ex_valid = false;
+      break;
+    }
+    case Op::kDmb:
+    case Op::kIsb:
+      break;  // architecturally invisible on SC
+    case Op::kDsb:
+      for (auto& [page, stage] : thread.pending_inval) {
+        (void)page;
+        stage = 1;
+      }
+      break;
+    case Op::kBeq:
+      if (thread.regs[inst.rs] == thread.regs[inst.rt]) {
+        next_pc = inst.target;
+      }
+      break;
+    case Op::kBne:
+      if (thread.regs[inst.rs] != thread.regs[inst.rt]) {
+        next_pc = inst.target;
+      }
+      break;
+    case Op::kCbz:
+      if (thread.regs[inst.rs] == 0) {
+        next_pc = inst.target;
+      }
+      break;
+    case Op::kCbnz:
+      if (thread.regs[inst.rs] != 0) {
+        next_pc = inst.target;
+      }
+      break;
+    case Op::kJmp:
+      next_pc = inst.target;
+      break;
+    case Op::kLoadV: {
+      const VirtAddr va = static_cast<VirtAddr>(thread.regs[inst.rs] +
+                                                static_cast<Word>(inst.imm));
+      Addr pa = 0;
+      if (TranslateOrFault(state, tid, va, &pa)) {
+        thread.regs[inst.rd] = state->mem[pa];
+      } else {
+        thread.regs[inst.rd] = kFaultValue;
+        if (thread.faults < 255) {
+          ++thread.faults;
+        }
+      }
+      break;
+    }
+    case Op::kStoreV: {
+      const VirtAddr va = static_cast<VirtAddr>(thread.regs[inst.rs] +
+                                                static_cast<Word>(inst.imm));
+      Addr pa = 0;
+      if (TranslateOrFault(state, tid, va, &pa)) {
+        state->mem[pa] = thread.regs[inst.rt];
+        ClearMonitors(state, pa);
+      } else if (thread.faults < 255) {
+        ++thread.faults;
+      }
+      break;
+    }
+    case Op::kTlbiVa:
+    case Op::kTlbiAll: {
+      const bool all = inst.op == Op::kTlbiAll;
+      VirtAddr vpage = 0;
+      if (!all) {
+        const VirtAddr va = static_cast<VirtAddr>(thread.regs[inst.rs] +
+                                                  static_cast<Word>(inst.imm));
+        vpage = program_.mmu.PageOf(va);
+      }
+      for (auto& tlb : state->tlbs) {
+        if (all) {
+          tlb.InvalidateAll();
+        } else {
+          tlb.InvalidatePage(vpage);
+        }
+      }
+      auto it = thread.pending_inval.begin();
+      while (it != thread.pending_inval.end()) {
+        if (all || it->first == vpage) {
+          if (it->second == 0) {
+            agg->violations.Note(&agg->violations.tlbi,
+                                 "SC: TLBI not preceded by a DSB after the unmap");
+          }
+          it = thread.pending_inval.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      break;
+    }
+    case Op::kPull: {
+      if (config_.pushpull) {
+        int8_t& owner = state->region_owner[inst.region];
+        if (owner != -1) {
+          agg->violations.Note(&agg->violations.drf,
+                               "SC: pull of region '" +
+                                   program_.regions[inst.region].name +
+                                   "' already owned");
+          return false;
+        }
+        owner = static_cast<int8_t>(tid);
+      }
+      break;
+    }
+    case Op::kPush: {
+      if (!config_.pt_watch.empty() && !thread.pending_inval.empty()) {
+        agg->violations.Note(&agg->violations.tlbi,
+                             "SC: critical section ended with an incomplete "
+                             "DSB+TLBI sequence");
+      }
+      if (config_.pushpull) {
+        int8_t& owner = state->region_owner[inst.region];
+        if (owner != static_cast<int8_t>(tid)) {
+          agg->violations.Note(&agg->violations.drf,
+                               "SC: push of region '" +
+                                   program_.regions[inst.region].name +
+                                   "' not owned by the pushing CPU");
+          return false;
+        }
+        owner = -1;
+      }
+      break;
+    }
+    case Op::kPanic:
+      thread.panicked = true;
+      thread.halted = true;
+      break;
+    case Op::kHalt:
+      thread.halted = true;
+      break;
+  }
+  thread.pc = next_pc;
+  if (!config_.pt_watch.empty()) {
+    const bool done = thread.halted || thread.pc >= static_cast<int>(code.size());
+    if (done && !thread.pending_inval.empty()) {
+      agg->violations.Note(&agg->violations.tlbi,
+                           "SC: page unmapped/remapped without a completed "
+                           "DSB+TLBI sequence before the CPU finished");
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// A step is "local" when it touches no shared structure: pure register ops,
+// branches, barriers (no-ops on SC), halt/panic, and push/pull when the ghost
+// protocol is disabled. Local steps are deterministic and commute with every
+// other thread's transitions, so the explorer expands only the first thread
+// whose next instruction is local (persistent-set partial-order reduction).
+bool ScLocalStep(const Inst& inst, bool pushpull) {
+  switch (inst.op) {
+    case Op::kNop:
+    case Op::kMovImm:
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kAddImm:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kEor:
+    case Op::kDmb:
+    case Op::kDsb:
+    case Op::kIsb:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kCbz:
+    case Op::kCbnz:
+    case Op::kJmp:
+    case Op::kPanic:
+    case Op::kHalt:
+      return true;
+    case Op::kPull:
+    case Op::kPush:
+      return !pushpull;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+void ScMachine::Successors(const State& state, std::vector<State>* out,
+                           ExploreResult* agg) const {
+  for (ThreadId tid = 0; !config_.disable_por && tid < state.threads.size(); ++tid) {
+    const auto& thread = state.threads[tid];
+    if (thread.halted || thread.pc >= static_cast<int>(program_.threads[tid].code.size())) {
+      continue;
+    }
+    if (!ScLocalStep(program_.threads[tid].code[thread.pc], config_.pushpull)) {
+      continue;
+    }
+    State next = state;
+    if (StepThread(&next, tid, agg)) {
+      out->push_back(std::move(next));
+      return;
+    }
+  }
+  for (ThreadId tid = 0; tid < state.threads.size(); ++tid) {
+    const auto& thread = state.threads[tid];
+    if (thread.halted || thread.pc >= static_cast<int>(program_.threads[tid].code.size())) {
+      continue;
+    }
+    State next = state;
+    if (StepThread(&next, tid, agg)) {
+      out->push_back(std::move(next));
+    }
+  }
+}
+
+std::string ScMachine::Serialize(const State& state) const {
+  StateSerializer s;
+  for (Word w : state.mem) {
+    s.U64(w);
+  }
+  for (const auto& thread : state.threads) {
+    s.U32(static_cast<uint32_t>(thread.pc));
+    s.U32(thread.steps);
+    s.U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0)));
+    s.U8(thread.faults);
+    for (Word r : thread.regs) {
+      s.U64(r);
+    }
+    s.U8(thread.ex_valid ? 1 : 0);
+    s.U32(thread.ex_addr);
+    s.U32(static_cast<uint32_t>(thread.pending_inval.size()));
+    for (const auto& [page, stage] : thread.pending_inval) {
+      s.U32(page);
+      s.U8(stage);
+    }
+  }
+  for (int8_t owner : state.region_owner) {
+    s.U8(static_cast<uint8_t>(owner));
+  }
+  for (const auto& tlb : state.tlbs) {
+    tlb.SerializeInto(&s);
+  }
+  return s.Take();
+}
+
+}  // namespace vrm

@@ -1,0 +1,86 @@
+// Sequentially consistent hardware model.
+//
+// The SC machine is the verification-friendly model of the paper: memory is a
+// single flat array, each step executes one instruction of one thread atomically,
+// and the only nondeterminism is the interleaving. MMU hardware is still present
+// (page walks and TLBs exist on the SC model too — Section 4.2 reasons about page
+// table states visible at critical-section boundaries), but walks always read the
+// current memory contents.
+
+#ifndef SRC_MODEL_SC_MACHINE_H_
+#define SRC_MODEL_SC_MACHINE_H_
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/arch/program.h"
+#include "src/arch/types.h"
+#include "src/mmu/tlb.h"
+#include "src/model/config.h"
+#include "src/model/outcome.h"
+
+namespace vrm {
+
+struct ScThread {
+  int pc = 0;
+  uint16_t steps = 0;
+  bool halted = false;
+  bool panicked = false;
+  uint8_t faults = 0;
+  std::array<Word, kNumRegs> regs{};
+  // Exclusive monitor (ldxr/stxr): armed address, cleared by any store to it.
+  bool ex_valid = false;
+  Addr ex_addr = 0;
+  // Sequential-TLB-Invalidation monitor: pages whose watched PT entry this
+  // thread unmapped/remapped, awaiting (stage 0) a DSB or (stage 1) a TLBI.
+  std::vector<std::pair<VirtAddr, uint8_t>> pending_inval;
+};
+
+struct ScState {
+  std::vector<Word> mem;
+  std::vector<ScThread> threads;
+  std::vector<int8_t> region_owner;  // -1 = free
+  std::vector<Tlb> tlbs;             // per thread
+};
+
+class ScMachine {
+ public:
+  using State = ScState;
+
+  ScMachine(const Program& program, const ModelConfig& config);
+
+  State Initial() const;
+  bool IsTerminal(const State& state) const;
+  Outcome Extract(const State& state) const;
+  // No-op: SC has no promises, so the per-write WRITE-ONCE check is exact.
+  void AuditTerminal(const State& state, ExploreResult* agg) const {
+    (void)state;
+    (void)agg;
+  }
+  void Successors(const State& state, std::vector<State>* out, ExploreResult* agg) const;
+  std::string Serialize(const State& state) const;
+
+  // Executes one instruction of `tid` in place. Returns false if the step was
+  // invalid (budget exhausted or a condition violation, noted in `agg`). Exposed
+  // for the deterministic replay used by the SC-trace construction (Section 4.1).
+  bool StepThread(State* state, ThreadId tid, ExploreResult* agg) const;
+
+ private:
+  // Walks the page tables for va against current memory. Returns true and sets
+  // *paddr on success; false on fault. Fills the walking thread's TLB.
+  bool TranslateOrFault(State* state, ThreadId tid, VirtAddr va, Addr* paddr) const;
+
+  bool CheckRegionAccess(const State& state, ThreadId tid, Addr addr,
+                         ExploreResult* agg) const;
+
+  // Owned copies: machines outlive the expressions that construct them, so
+  // holding references would dangle when callers pass temporaries.
+  const Program program_;
+  const ModelConfig config_;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_MODEL_SC_MACHINE_H_

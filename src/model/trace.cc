@@ -1,0 +1,69 @@
+#include "src/model/trace.h"
+
+#include <cstdio>
+
+namespace vrm {
+
+std::string RenderStep(const StepInfo& step) {
+  char buf[128];
+  if (step.is_promise) {
+    std::snprintf(buf, sizeof(buf), "CPU %d promises  [%u] := %llu   @%u",
+                  step.tid + 1, step.loc, (unsigned long long)step.val, step.ts);
+    return buf;
+  }
+  if (step.op == Op::kPull) {
+    std::snprintf(buf, sizeof(buf), "CPU %d pull region #%d (enters critical section)",
+                  step.tid + 1, step.region);
+    return buf;
+  }
+  if (step.op == Op::kPush) {
+    std::snprintf(buf, sizeof(buf), "CPU %d push region #%d (exits critical section)",
+                  step.tid + 1, step.region);
+    return buf;
+  }
+  if (step.is_read && step.is_write) {
+    std::snprintf(buf, sizeof(buf), "CPU %d rmw       [%u] := %llu   @%u",
+                  step.tid + 1, step.loc, (unsigned long long)step.val, step.ts);
+    return buf;
+  }
+  if (step.is_write) {
+    std::snprintf(buf, sizeof(buf), "CPU %d writes    [%u] := %llu   @%u",
+                  step.tid + 1, step.loc, (unsigned long long)step.val, step.ts);
+    return buf;
+  }
+  if (step.is_read) {
+    std::snprintf(buf, sizeof(buf), "CPU %d reads     [%u] -> %llu   from @%u",
+                  step.tid + 1, step.loc, (unsigned long long)step.val, step.ts);
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "CPU %d %s", step.tid + 1,
+                ToString(Inst{.op = step.op}).c_str());
+  return buf;
+}
+
+std::string RenderTrace(const Program& program, const std::vector<StepInfo>& trace,
+                        const TraceRenderOptions& options) {
+  (void)program;
+  std::string out;
+  char prefix[32];
+  for (size_t pos = 0; pos < trace.size(); ++pos) {
+    const StepInfo& step = trace[pos];
+    const bool interesting = step.is_promise || step.is_read || step.is_write ||
+                             step.op == Op::kPull || step.op == Op::kPush ||
+                             step.op == Op::kTlbiVa || step.op == Op::kTlbiAll ||
+                             step.op == Op::kDsb;
+    if (!interesting && !options.show_local_steps) {
+      continue;
+    }
+    if (options.show_positions) {
+      std::snprintf(prefix, sizeof(prefix), "@%-4zu ", pos);
+      out += prefix;
+    }
+    out += "  ";
+    out += RenderStep(step);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace vrm

@@ -1,0 +1,30 @@
+// Human-readable rendering of recorded executions (Figure 3-style promise
+// diagrams): one line per event — promises, reads with the timestamp they read
+// from, writes with the timestamp they occupy, and critical-section pull/push
+// markers.
+
+#ifndef SRC_MODEL_TRACE_H_
+#define SRC_MODEL_TRACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/arch/program.h"
+#include "src/model/promising_machine.h"
+
+namespace vrm {
+
+struct TraceRenderOptions {
+  bool show_local_steps = false;  // include register-only instructions
+  bool show_positions = false;    // prefix each line with its trace index
+};
+
+std::string RenderTrace(const Program& program, const std::vector<StepInfo>& trace,
+                        const TraceRenderOptions& options = {});
+
+// Renders a single event (used by examples that interleave commentary).
+std::string RenderStep(const StepInfo& step);
+
+}  // namespace vrm
+
+#endif  // SRC_MODEL_TRACE_H_

@@ -1,0 +1,384 @@
+#include "src/model/tso_machine.h"
+
+#include "src/support/check.h"
+#include "src/support/hash.h"
+
+namespace vrm {
+
+namespace {
+
+// Register-only operations commute with every other thread's transitions; the
+// explorer expands only the first thread whose next step is local.
+bool TsoLocalStep(const Inst& inst) {
+  switch (inst.op) {
+    case Op::kNop:
+    case Op::kMovImm:
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kAddImm:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kEor:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kCbz:
+    case Op::kCbnz:
+    case Op::kJmp:
+    case Op::kIsb:
+    case Op::kPull:
+    case Op::kPush:
+    case Op::kPanic:
+    case Op::kHalt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+TsoMachine::TsoMachine(const Program& program, const ModelConfig& config)
+    : program_(program), config_(config) {
+  program_.Validate();
+  VRM_CHECK_MSG(program_.regions.empty() || !config.pushpull,
+                "the TSO machine does not support the push/pull protocol");
+}
+
+TsoMachine::State TsoMachine::Initial() const {
+  State state;
+  state.mem.assign(program_.mem_size, 0);
+  for (const auto& [addr, value] : program_.init) {
+    state.mem[addr] = value;
+  }
+  state.threads.resize(program_.threads.size());
+  state.tlbs.resize(program_.threads.size());
+  return state;
+}
+
+bool TsoMachine::IsTerminal(const State& state) const {
+  for (size_t t = 0; t < state.threads.size(); ++t) {
+    const auto& thread = state.threads[t];
+    const bool done =
+        thread.halted || thread.pc >= static_cast<int>(program_.threads[t].code.size());
+    if (!done || !thread.store_buffer.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Outcome TsoMachine::Extract(const State& state) const {
+  Outcome outcome;
+  for (const auto& obs : program_.observed_regs) {
+    outcome.regs.push_back(state.threads[obs.tid].regs[obs.reg]);
+  }
+  for (Addr loc : program_.observed_locs) {
+    outcome.locs.push_back(state.mem[loc]);
+  }
+  for (const auto& thread : state.threads) {
+    outcome.faults.push_back(thread.faults);
+    outcome.panics.push_back(thread.panicked ? 1 : 0);
+  }
+  if (program_.observe_tlbs) {
+    for (const auto& tlb : state.tlbs) {
+      outcome.tlbs.push_back(tlb.entries());
+    }
+  }
+  return outcome;
+}
+
+Word TsoMachine::VisibleValue(const State& state, ThreadId tid, Addr addr) const {
+  const auto& buffer = state.threads[tid].store_buffer;
+  for (auto it = buffer.rbegin(); it != buffer.rend(); ++it) {
+    if (it->first == addr) {
+      return it->second;
+    }
+  }
+  return state.mem[addr];
+}
+
+void TsoMachine::DrainOne(State* state, ThreadId tid) const {
+  auto& buffer = state->threads[tid].store_buffer;
+  VRM_CHECK(!buffer.empty());
+  const Addr addr = buffer.front().first;
+  state->mem[addr] = buffer.front().second;
+  buffer.erase(buffer.begin());
+  // Committed stores clear every CPU's exclusive monitor on the address.
+  for (TsoThread& thread : state->threads) {
+    if (thread.ex_valid && thread.ex_addr == addr) {
+      thread.ex_valid = false;
+    }
+  }
+}
+
+void TsoMachine::DrainAll(State* state, ThreadId tid) const {
+  while (!state->threads[tid].store_buffer.empty()) {
+    DrainOne(state, tid);
+  }
+}
+
+bool TsoMachine::TranslateOrFault(State* state, ThreadId tid, VirtAddr va,
+                                  Addr* paddr) const {
+  const MmuConfig& mmu = program_.mmu;
+  VRM_CHECK_MSG(mmu.enabled, "translated access without MMU configuration");
+  const VirtAddr vpage = mmu.PageOf(va);
+  Word leaf = 0;
+  if (const Word* cached = state->tlbs[tid].Lookup(vpage)) {
+    leaf = *cached;
+  } else {
+    Addr table = mmu.root;
+    for (int level = 0; level < mmu.levels; ++level) {
+      const Word entry =
+          state->mem[table + static_cast<Addr>(mmu.LevelIndex(vpage, level))];
+      if (!MmuConfig::EntryValid(entry)) {
+        return false;
+      }
+      if (level + 1 == mmu.levels) {
+        leaf = entry;
+      } else {
+        table = MmuConfig::EntryTarget(entry);
+      }
+    }
+    state->tlbs[tid].Insert(vpage, leaf);
+  }
+  *paddr = MmuConfig::EntryTarget(leaf) * static_cast<Addr>(mmu.page_size) +
+           static_cast<Addr>(mmu.OffsetOf(va));
+  VRM_CHECK(*paddr < state->mem.size());
+  return true;
+}
+
+bool TsoMachine::StepThread(State* state, ThreadId tid, ExploreResult* agg) const {
+  TsoThread& thread = state->threads[tid];
+  const auto& code = program_.threads[tid].code;
+  if (thread.halted || thread.pc >= static_cast<int>(code.size())) {
+    return false;
+  }
+  if (thread.steps >= config_.max_steps_per_thread) {
+    agg->stats.truncated = true;
+    return false;
+  }
+  ++thread.steps;
+
+  const Inst& inst = code[thread.pc];
+  int next_pc = thread.pc + 1;
+  auto addr_of = [&](Reg base, int64_t imm) {
+    const Word a = thread.regs[base] + static_cast<Word>(imm);
+    VRM_CHECK_MSG(a < state->mem.size(), "physical access outside memory");
+    return static_cast<Addr>(a);
+  };
+
+  switch (inst.op) {
+    case Op::kNop:
+    case Op::kPull:
+    case Op::kPush:
+      break;
+    case Op::kMovImm:
+      thread.regs[inst.rd] = static_cast<Word>(inst.imm);
+      break;
+    case Op::kMov:
+      thread.regs[inst.rd] = thread.regs[inst.rs];
+      break;
+    case Op::kAdd:
+      thread.regs[inst.rd] = thread.regs[inst.rs] + thread.regs[inst.rt];
+      break;
+    case Op::kAddImm:
+      thread.regs[inst.rd] = thread.regs[inst.rs] + static_cast<Word>(inst.imm);
+      break;
+    case Op::kSub:
+      thread.regs[inst.rd] = thread.regs[inst.rs] - thread.regs[inst.rt];
+      break;
+    case Op::kAnd:
+      thread.regs[inst.rd] = thread.regs[inst.rs] & thread.regs[inst.rt];
+      break;
+    case Op::kEor:
+      thread.regs[inst.rd] = thread.regs[inst.rs] ^ thread.regs[inst.rt];
+      break;
+    case Op::kLoad:
+    case Op::kOracleLoad:
+      thread.regs[inst.rd] = VisibleValue(*state, tid, addr_of(inst.rs, inst.imm));
+      break;
+    case Op::kStore:
+      thread.store_buffer.emplace_back(addr_of(inst.rs, inst.imm), thread.regs[inst.rt]);
+      break;
+    case Op::kFetchAdd: {
+      // Locked RMW: drains the buffer and operates on memory atomically.
+      DrainAll(state, tid);
+      const Addr a = addr_of(inst.rs, 0);
+      thread.regs[inst.rd] = state->mem[a];
+      state->mem[a] += static_cast<Word>(inst.imm);
+      for (TsoThread& other : state->threads) {
+        if (other.ex_valid && other.ex_addr == a) {
+          other.ex_valid = false;
+        }
+      }
+      break;
+    }
+    case Op::kLoadEx: {
+      // Exclusive accesses behave like locked operations on TSO: drain first.
+      DrainAll(state, tid);
+      const Addr a = addr_of(inst.rs, 0);
+      thread.regs[inst.rd] = state->mem[a];
+      thread.ex_valid = true;
+      thread.ex_addr = a;
+      break;
+    }
+    case Op::kStoreEx: {
+      DrainAll(state, tid);
+      const Addr a = addr_of(inst.rs, 0);
+      if (thread.ex_valid && thread.ex_addr == a) {
+        state->mem[a] = thread.regs[inst.rt];
+        for (TsoThread& other : state->threads) {
+          if (other.ex_valid && other.ex_addr == a) {
+            other.ex_valid = false;
+          }
+        }
+        thread.regs[inst.rd] = 0;
+      } else {
+        thread.regs[inst.rd] = 1;
+      }
+      thread.ex_valid = false;
+      break;
+    }
+    case Op::kDmb:
+    case Op::kDsb:
+      DrainAll(state, tid);  // MFENCE
+      break;
+    case Op::kIsb:
+      break;
+    case Op::kBeq:
+      if (thread.regs[inst.rs] == thread.regs[inst.rt]) {
+        next_pc = inst.target;
+      }
+      break;
+    case Op::kBne:
+      if (thread.regs[inst.rs] != thread.regs[inst.rt]) {
+        next_pc = inst.target;
+      }
+      break;
+    case Op::kCbz:
+      if (thread.regs[inst.rs] == 0) {
+        next_pc = inst.target;
+      }
+      break;
+    case Op::kCbnz:
+      if (thread.regs[inst.rs] != 0) {
+        next_pc = inst.target;
+      }
+      break;
+    case Op::kJmp:
+      next_pc = inst.target;
+      break;
+    case Op::kLoadV: {
+      const VirtAddr va =
+          static_cast<VirtAddr>(thread.regs[inst.rs] + static_cast<Word>(inst.imm));
+      Addr pa = 0;
+      if (TranslateOrFault(state, tid, va, &pa)) {
+        thread.regs[inst.rd] = VisibleValue(*state, tid, pa);
+      } else {
+        thread.regs[inst.rd] = kFaultValue;
+        if (thread.faults < 255) {
+          ++thread.faults;
+        }
+      }
+      break;
+    }
+    case Op::kStoreV: {
+      const VirtAddr va =
+          static_cast<VirtAddr>(thread.regs[inst.rs] + static_cast<Word>(inst.imm));
+      Addr pa = 0;
+      if (TranslateOrFault(state, tid, va, &pa)) {
+        thread.store_buffer.emplace_back(pa, thread.regs[inst.rt]);
+      } else if (thread.faults < 255) {
+        ++thread.faults;
+      }
+      break;
+    }
+    case Op::kTlbiVa: {
+      const VirtAddr va =
+          static_cast<VirtAddr>(thread.regs[inst.rs] + static_cast<Word>(inst.imm));
+      const VirtAddr vpage = program_.mmu.PageOf(va);
+      for (auto& tlb : state->tlbs) {
+        tlb.InvalidatePage(vpage);
+      }
+      break;
+    }
+    case Op::kTlbiAll:
+      for (auto& tlb : state->tlbs) {
+        tlb.InvalidateAll();
+      }
+      break;
+    case Op::kPanic:
+      thread.panicked = true;
+      thread.halted = true;
+      break;
+    case Op::kHalt:
+      thread.halted = true;
+      break;
+  }
+  thread.pc = next_pc;
+  return true;
+}
+
+void TsoMachine::Successors(const State& state, std::vector<State>* out,
+                            ExploreResult* agg) const {
+  // Local-step prioritization (see TsoLocalStep).
+  for (ThreadId tid = 0; tid < state.threads.size(); ++tid) {
+    const auto& thread = state.threads[tid];
+    if (thread.halted || thread.pc >= static_cast<int>(program_.threads[tid].code.size())) {
+      continue;
+    }
+    if (!TsoLocalStep(program_.threads[tid].code[thread.pc])) {
+      continue;
+    }
+    State next = state;
+    if (StepThread(&next, tid, agg)) {
+      out->push_back(std::move(next));
+      return;
+    }
+  }
+  for (ThreadId tid = 0; tid < state.threads.size(); ++tid) {
+    const auto& thread = state.threads[tid];
+    // Drain step: commit the oldest buffered store to memory.
+    if (!thread.store_buffer.empty()) {
+      State next = state;
+      DrainOne(&next, tid);
+      out->push_back(std::move(next));
+    }
+    if (thread.halted || thread.pc >= static_cast<int>(program_.threads[tid].code.size())) {
+      continue;
+    }
+    State next = state;
+    if (StepThread(&next, tid, agg)) {
+      out->push_back(std::move(next));
+    }
+  }
+}
+
+std::string TsoMachine::Serialize(const State& state) const {
+  StateSerializer s;
+  for (Word w : state.mem) {
+    s.U64(w);
+  }
+  for (const auto& thread : state.threads) {
+    s.U32(static_cast<uint32_t>(thread.pc));
+    s.U32(thread.steps);
+    s.U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0)));
+    s.U8(thread.faults);
+    for (Word r : thread.regs) {
+      s.U64(r);
+    }
+    s.U8(thread.ex_valid ? 1 : 0);
+    s.U32(thread.ex_addr);
+    s.U32(static_cast<uint32_t>(thread.store_buffer.size()));
+    for (const auto& [addr, value] : thread.store_buffer) {
+      s.U32(addr);
+      s.U64(value);
+    }
+  }
+  for (const auto& tlb : state.tlbs) {
+    tlb.SerializeInto(&s);
+  }
+  return s.Take();
+}
+
+}  // namespace vrm

@@ -1,0 +1,96 @@
+// x86-TSO hardware model (Owens/Sarkar/Sewell, TPHOLs'09).
+//
+// The paper's Section 1 contrasts Arm with x86-TSO: the *local DRF* theorem's
+// architectural constraints hold on TSO — so SC-model verification of
+// lock-protected code transfers there — but not on Arm, which is why VRM is
+// needed. This machine makes that contrast executable: each hardware thread
+// owns a FIFO store buffer; stores enqueue locally, nondeterministically drain
+// to memory, loads snoop their own buffer (youngest matching store) before
+// memory, RMWs and MFENCE (mapped from TinyArm's DMB/DSB) drain the buffer.
+//
+// Expected verdicts (validated by tests/model/tso_machine_test.cc):
+//   * SB's r0=r1=0 is observable (the one classic TSO relaxation),
+//   * MP, LB and the paper's Examples 1/3 relaxed outcomes are NOT observable —
+//     the bugs VRM targets simply cannot happen on TSO.
+//
+// TinyArm's Arm-specific operations are given TSO-sensible meanings: acquire/
+// release decorations are no-ops (TSO loads/stores are already ordered enough),
+// all barrier flavours drain the store buffer, and MMU walks read committed
+// memory (no translated-access litmus tests target TSO). Push/pull ghosts and
+// the condition monitors are not supported here; the TSO machine exists for
+// model comparison, not condition checking.
+
+#ifndef SRC_MODEL_TSO_MACHINE_H_
+#define SRC_MODEL_TSO_MACHINE_H_
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/arch/program.h"
+#include "src/arch/types.h"
+#include "src/mmu/tlb.h"
+#include "src/model/config.h"
+#include "src/model/outcome.h"
+
+namespace vrm {
+
+struct TsoThread {
+  int pc = 0;
+  uint16_t steps = 0;
+  bool halted = false;
+  bool panicked = false;
+  uint8_t faults = 0;
+  std::array<Word, kNumRegs> regs{};
+  // Exclusive monitor: armed address, cleared by any committed store to it.
+  bool ex_valid = false;
+  Addr ex_addr = 0;
+  // FIFO store buffer: oldest first.
+  std::vector<std::pair<Addr, Word>> store_buffer;
+};
+
+struct TsoState {
+  std::vector<Word> mem;
+  std::vector<TsoThread> threads;
+  std::vector<Tlb> tlbs;
+};
+
+class TsoMachine {
+ public:
+  using State = TsoState;
+
+  TsoMachine(const Program& program, const ModelConfig& config);
+
+  State Initial() const;
+  bool IsTerminal(const State& state) const;
+  Outcome Extract(const State& state) const;
+  void AuditTerminal(const State& state, ExploreResult* agg) const {
+    (void)state;
+    (void)agg;
+  }
+  void Successors(const State& state, std::vector<State>* out, ExploreResult* agg) const;
+  std::string Serialize(const State& state) const;
+
+ private:
+  // Executes the next instruction of `tid` in place; returns false when the
+  // step is invalid (budget exhausted). Buffered stores are NOT drained here.
+  bool StepThread(State* state, ThreadId tid, ExploreResult* agg) const;
+
+  void DrainOne(State* state, ThreadId tid) const;
+  void DrainAll(State* state, ThreadId tid) const;
+
+  // Value visible to `tid` at `addr`: youngest store-buffer entry, else memory.
+  Word VisibleValue(const State& state, ThreadId tid, Addr addr) const;
+
+  bool TranslateOrFault(State* state, ThreadId tid, VirtAddr va, Addr* paddr) const;
+
+  // Owned copies: machines outlive the expressions that construct them, so
+  // holding references would dangle when callers pass temporaries.
+  const Program program_;
+  const ModelConfig config_;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_MODEL_TSO_MACHINE_H_

@@ -1,0 +1,29 @@
+#include "src/perf/app_sim.h"
+
+namespace vrm {
+
+double ExitOverheadSeconds(const Platform& platform, Hypervisor hv,
+                           const AppWorkload& workload, const SimOptions& options) {
+  const double hz = platform.cpu_ghz * 1e9;
+  double cycles = 0;
+  cycles += workload.hypercall_rate *
+            SimulateMicro(platform, hv, Micro::kHypercall, options).cycles;
+  cycles += workload.io_kernel_rate *
+            SimulateMicro(platform, hv, Micro::kIoKernel, options).cycles;
+  cycles += workload.io_user_rate *
+            SimulateMicro(platform, hv, Micro::kIoUser, options).cycles;
+  cycles += workload.ipi_rate *
+            SimulateMicro(platform, hv, Micro::kVirtualIpi, options).cycles;
+  return cycles / hz;
+}
+
+AppPerfResult SimulateApp(const Platform& platform, Hypervisor hv,
+                          const AppWorkload& workload, const SimOptions& options) {
+  AppPerfResult result;
+  result.exit_overhead = ExitOverheadSeconds(platform, hv, workload, options);
+  result.overhead_fraction = workload.base_virt_overhead + result.exit_overhead;
+  result.normalized = 1.0 / (1.0 + result.overhead_fraction);
+  return result;
+}
+
+}  // namespace vrm

@@ -1,0 +1,36 @@
+// Single-VM application benchmark model (Figure 8).
+//
+// Performance is reported as in the paper: normalized to native execution on
+// the same platform (1.0 = native speed). A virtualized run spends, per second
+// of native-equivalent work, the native second itself plus the exit costs
+// (event rates x simulated microbenchmark cycles) plus the baseline
+// virtualization overhead:
+//
+//   normalized = 1 / (1 + base_virt_overhead + sum_e rate_e * cycles_e / f_cpu)
+
+#ifndef SRC_PERF_APP_SIM_H_
+#define SRC_PERF_APP_SIM_H_
+
+#include "src/perf/cost_model.h"
+#include "src/perf/micro_sim.h"
+#include "src/perf/workload.h"
+
+namespace vrm {
+
+struct AppPerfResult {
+  double normalized = 0;        // throughput relative to native
+  double overhead_fraction = 0;  // total virtualization overhead
+  double exit_overhead = 0;      // portion attributable to hypervisor exits
+};
+
+AppPerfResult SimulateApp(const Platform& platform, Hypervisor hv,
+                          const AppWorkload& workload, const SimOptions& options = {});
+
+// Per-second cost (in seconds) of the workload's hypervisor exits under the
+// given configuration — shared with the multi-VM simulator.
+double ExitOverheadSeconds(const Platform& platform, Hypervisor hv,
+                           const AppWorkload& workload, const SimOptions& options);
+
+}  // namespace vrm
+
+#endif  // SRC_PERF_APP_SIM_H_

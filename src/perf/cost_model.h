@@ -1,0 +1,41 @@
+// Shared vocabulary for the performance model.
+
+#ifndef SRC_PERF_COST_MODEL_H_
+#define SRC_PERF_COST_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/perf/platform.h"
+
+namespace vrm {
+
+enum class Hypervisor : uint8_t { kKvm, kSeKvm };
+
+inline const char* ToString(Hypervisor hv) {
+  return hv == Hypervisor::kKvm ? "KVM" : "SeKVM";
+}
+
+// The two kernels of the evaluation (Figures 8-9 run both).
+enum class LinuxVersion : uint8_t { k418, k54 };
+
+inline const char* ToString(LinuxVersion v) {
+  return v == LinuxVersion::k418 ? "4.18" : "5.4";
+}
+
+// Host-software path improvement between 4.18 and 5.4 (scheduler/vhost work in
+// mainline; small, and identical for KVM and SeKVM — Figure 8 shows no
+// substantial relative change across versions).
+inline double VersionSoftwareFactor(LinuxVersion v) {
+  return v == LinuxVersion::k418 ? 1.0 : 0.97;
+}
+
+struct SimOptions {
+  LinuxVersion version = LinuxVersion::k418;
+  int s2_levels = 4;         // stage 2 depth (Section 5.6: 3 or 4)
+  int warm_iterations = 8;   // microbenchmark warm-up loops before measuring
+};
+
+}  // namespace vrm
+
+#endif  // SRC_PERF_COST_MODEL_H_

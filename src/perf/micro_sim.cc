@@ -1,0 +1,135 @@
+#include "src/perf/micro_sim.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/perf/tlb_model.h"
+#include "src/support/check.h"
+
+namespace vrm {
+
+const char* MicroDescription(Micro m) {
+  switch (m) {
+    case Micro::kHypercall:
+      return "Transition from a VM to the hypervisor and return to the VM without "
+             "doing any work in the hypervisor.";
+    case Micro::kIoKernel:
+      return "Trap from a VM to the emulated interrupt controller in the hypervisor "
+             "OS kernel, then return to the VM.";
+    case Micro::kIoUser:
+      return "Trap from a VM to the emulated UART in QEMU and then return to the VM.";
+    case Micro::kVirtualIpi:
+      return "Issue virtual IPI from a VCPU to another VCPU running on a different "
+             "CPU, both CPUs executing VM code.";
+  }
+  return "?";
+}
+
+namespace {
+
+// A host-side work segment: base cycles plus a working set of `footprint`
+// distinct 4 KB pages in its own address region.
+struct Segment {
+  uint64_t base_cycles = 0;
+  int footprint = 0;     // distinct 4 KB pages touched
+  bool host_side = true;  // runs in KServ / host kernel (granule depends on hv)
+};
+
+// Host footprints per microbenchmark (pages). Calibrated jointly with the
+// platform base costs; identical for KVM and SeKVM — only the mapping granule
+// differs.
+int HostFootprint(const Platform& p, Micro micro) {
+  switch (micro) {
+    case Micro::kHypercall:
+      return p.footprint_hypercall;
+    case Micro::kIoKernel:
+      return p.footprint_io_kernel;
+    case Micro::kIoUser:
+      return p.footprint_io_user;
+    case Micro::kVirtualIpi:
+      return p.footprint_ipi;
+  }
+  return 0;
+}
+
+// Number of extra KCore crossing *pairs* (entry+exit plus a KServ stage 2
+// context switch each way) the SeKVM path adds over unmodified KVM.
+int SeKvmCrossingPairs(Micro micro) {
+  switch (micro) {
+    case Micro::kHypercall:
+    case Micro::kIoKernel:
+      return 1;  // VM -> KCore -> KServ -> KCore -> VM
+    case Micro::kIoUser:
+      return 2;  // + QEMU's get/set vCPU-state hypercalls through KCore
+    case Micro::kVirtualIpi:
+      return 2;  // sender and receiver CPUs each cross KCore
+  }
+  return 1;
+}
+
+}  // namespace
+
+MicroResult SimulateMicro(const Platform& platform, Hypervisor hv, Micro micro,
+                          const SimOptions& options) {
+  VRM_CHECK(options.s2_levels == 3 || options.s2_levels == 4);
+  const double soft = VersionSoftwareFactor(options.version);
+
+  // Structural path: identical skeleton for both hypervisors (Table 3's KVM
+  // calibration), plus SeKVM's crossings.
+  double base = platform.vm_to_el2_trap * 2.0 + platform.el2_to_host_switch;
+  switch (micro) {
+    case Micro::kHypercall:
+      base += platform.host_handler_hypercall * soft;
+      break;
+    case Micro::kIoKernel:
+      base += platform.host_handler_hypercall * soft + platform.gic_emulation * soft;
+      break;
+    case Micro::kIoUser:
+      base += platform.host_handler_hypercall * soft +
+              platform.userspace_roundtrip * soft;
+      break;
+    case Micro::kVirtualIpi:
+      base += platform.host_handler_hypercall * soft + platform.ipi_injection +
+              platform.sched_ipi_wakeup * soft;
+      break;
+  }
+  if (hv == Hypervisor::kSeKvm) {
+    base += SeKvmCrossingPairs(micro) *
+            2.0 * (platform.kcore_entry_exit + platform.kserv_stage2_switch);
+    if (micro == Micro::kVirtualIpi) {
+      base += 230;  // vGIC maintenance hypercall on the receiver side
+    }
+  }
+
+  // Translation overhead: replay the host working set against the TLB. Under
+  // KVM the host kernel runs on huge-page mappings (one entry per 2 MB); under
+  // SeKVM KServ runs on 4 KB stage 2 granules.
+  TlbSim tlb(platform.tlb_entries, platform.tlb_ways);
+  const int footprint = HostFootprint(platform, micro);
+  const int granule_pages = hv == Hypervisor::kKvm ? 512 : 1;
+  const uint64_t region = 1ull << 40;  // host region, distinct from guest pages
+  uint64_t measured_misses = 0;
+  for (int iter = 0; iter <= options.warm_iterations; ++iter) {
+    const uint64_t before = tlb.misses();
+    for (int page = 0; page < footprint; ++page) {
+      tlb.Access((region + static_cast<uint64_t>(page)) /
+                 static_cast<uint64_t>(granule_pages));
+    }
+    if (iter == options.warm_iterations) {
+      measured_misses = tlb.misses() - before;
+    }
+  }
+  // Walker caches cover the top two levels; each miss walks the rest.
+  const uint64_t miss_cycles =
+      measured_misses *
+      static_cast<uint64_t>(platform.walk_cycles_per_level * (options.s2_levels - 2));
+
+  MicroResult result;
+  result.base_cycles = static_cast<uint64_t>(std::llround(base));
+  result.tlb_misses = measured_misses;
+  result.tlb_miss_cycles = miss_cycles;
+  result.cycles = result.base_cycles + miss_cycles;
+  return result;
+}
+
+}  // namespace vrm

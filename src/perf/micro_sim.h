@@ -1,0 +1,60 @@
+// Microbenchmark simulation (Tables 2 and 3).
+//
+// Each microbenchmark is a sequence of path segments — trap entry, world
+// switch, handler work, returns — with a base cycle cost and a memory
+// footprint. Base costs come from the platform calibration (matched against the
+// *unmodified KVM* column of Table 3); every SeKVM cost is derived:
+//
+//   * each KServ involvement costs two extra KCore crossings (full EL2
+//     entry/exit) plus a KServ stage 2 context switch, and the I/O User and
+//     Virtual IPI paths cross KCore additional times (QEMU's vCPU-state
+//     hypercalls; sender + receiver sides);
+//   * KServ's working set is touched through 4 KB stage 2 granules, so its
+//     footprint is replayed against the platform TLB simulation, while
+//     unmodified KVM's host runs on huge-page kernel mappings (one TLB entry
+//     per 2 MB region). The m400's tiny TLB is what blows this term up —
+//     Section 6's explanation of the m400/Seattle asymmetry.
+//
+// A TLB miss costs walk_cycles_per_level x (s2_levels - 2): the walker caches
+// cover the top two levels, which is also why the 3-level stage 2 configuration
+// (Section 5.6) helps on small-TLB CPUs — the ablation bench sweeps this.
+
+#ifndef SRC_PERF_MICRO_SIM_H_
+#define SRC_PERF_MICRO_SIM_H_
+
+#include "src/perf/cost_model.h"
+
+namespace vrm {
+
+enum class Micro : uint8_t { kHypercall, kIoKernel, kIoUser, kVirtualIpi };
+
+inline const char* ToString(Micro m) {
+  switch (m) {
+    case Micro::kHypercall:
+      return "Hypercall";
+    case Micro::kIoKernel:
+      return "I/O Kernel";
+    case Micro::kIoUser:
+      return "I/O User";
+    case Micro::kVirtualIpi:
+      return "Virtual IPI";
+  }
+  return "?";
+}
+
+// One-line description of each microbenchmark (Table 2).
+const char* MicroDescription(Micro m);
+
+struct MicroResult {
+  uint64_t cycles = 0;           // end-to-end cost
+  uint64_t base_cycles = 0;      // structural path cost
+  uint64_t tlb_miss_cycles = 0;  // translation overhead from the TLB simulation
+  uint64_t tlb_misses = 0;
+};
+
+MicroResult SimulateMicro(const Platform& platform, Hypervisor hv, Micro micro,
+                          const SimOptions& options = {});
+
+}  // namespace vrm
+
+#endif  // SRC_PERF_MICRO_SIM_H_

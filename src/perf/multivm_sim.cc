@@ -1,0 +1,154 @@
+#include "src/perf/multivm_sim.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+namespace {
+
+struct Vcpu {
+  double work_done = 0;     // native-equivalent seconds completed after warm-up
+  double cycle_start = -1;  // when the current cycle entered the core queue
+};
+
+enum class EventKind { kBurstDone, kIoDone };
+
+struct Event {
+  double time;
+  EventKind kind;
+  int vcpu;
+
+  bool operator>(const Event& other) const { return time > other.time; }
+};
+
+}  // namespace
+
+MultiVmResult SimulateMultiVm(const Platform& platform, Hypervisor hv,
+                              const AppWorkload& workload, int num_vms,
+                              const MultiVmOptions& options) {
+  VRM_CHECK(num_vms >= 1);
+  const int total_vcpus = num_vms * options.vcpus_per_vm;
+  const double u = options.native_cycle_seconds;
+
+  // Per-cycle CPU demand: the native CPU portion inflated by virtualization
+  // overhead (exit costs from the simulated microbenchmarks + baseline).
+  const double exit_ovh =
+      ExitOverheadSeconds(platform, hv, workload, options.sim);
+  const double burst =
+      u * workload.cpu_fraction * (1.0 + workload.base_virt_overhead + exit_ovh);
+
+  // Per-cycle aggregate I/O: native latency plus shared-backend service.
+  const double io_native = u * (1.0 - workload.cpu_fraction);
+  const double io_service = workload.io_ops_rate * u / options.backend_capacity_ops;
+
+  // Per-cycle KCore lock demand (SeKVM only): every exit serializes briefly.
+  const double exits_per_cycle =
+      (workload.hypercall_rate + workload.io_kernel_rate + workload.io_user_rate +
+       workload.ipi_rate) *
+      u;
+  const double lock_service =
+      hv == Hypervisor::kSeKvm
+          ? exits_per_cycle * options.kcore_lock_hold_cycles / (platform.cpu_ghz * 1e9)
+          : 0.0;
+
+  std::vector<Vcpu> vcpus(static_cast<size_t>(total_vcpus));
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events;
+  std::queue<int> core_queue;
+  int free_cores = platform.cores;
+  double backend_free = 0;  // shared I/O backend FIFO horizon
+  double lock_free = 0;     // KCore lock FIFO horizon
+  double core_busy = 0;
+  double backend_busy = 0;
+  double lock_busy = 0;
+  Summary latency;
+
+  // Starts a vCPU's CPU burst if a core is free, else queues it.
+  auto start_burst = [&](int vcpu, double now) {
+    if (free_cores == 0) {
+      core_queue.push(vcpu);
+      return;
+    }
+    --free_cores;
+    // The burst serializes on the KCore lock for `lock_service` of its time;
+    // if the lock horizon is ahead of us, the burst stretches by the wait.
+    double duration = burst;
+    if (lock_service > 0) {
+      const double lock_start = std::max(now, lock_free);
+      lock_free = lock_start + lock_service;
+      lock_busy += lock_service;
+      duration += lock_start - now;
+    }
+    core_busy += duration;
+    events.push({now + duration, EventKind::kBurstDone, vcpu});
+  };
+
+  for (int v = 0; v < total_vcpus; ++v) {
+    // Stagger starts a little so queues do not open in lockstep.
+    events.push({1e-6 * v, EventKind::kIoDone, v});
+  }
+
+  double now = 0;
+  while (!events.empty() && now < options.sim_seconds) {
+    const Event event = events.top();
+    events.pop();
+    now = event.time;
+    if (now >= options.sim_seconds) {
+      break;
+    }
+    switch (event.kind) {
+      case EventKind::kBurstDone: {
+        // CPU burst complete; hand the core over and go do the cycle's I/O.
+        ++free_cores;
+        if (!core_queue.empty()) {
+          const int next = core_queue.front();
+          core_queue.pop();
+          start_burst(next, now);
+        }
+        const double service_start = std::max(now, backend_free);
+        backend_free = service_start + io_service;
+        backend_busy += io_service;
+        const double done = std::max(service_start + io_service, now + io_native);
+        events.push({done, EventKind::kIoDone, event.vcpu});
+        break;
+      }
+      case EventKind::kIoDone: {
+        // Cycle complete: credit one unit of native-equivalent work.
+        Vcpu& vcpu = vcpus[static_cast<size_t>(event.vcpu)];
+        if (now > options.warmup_seconds) {
+          vcpu.work_done += u;
+          if (vcpu.cycle_start >= 0) {
+            latency.Add(now - vcpu.cycle_start);
+          }
+        }
+        vcpu.cycle_start = now;
+        start_burst(event.vcpu, now);
+        break;
+      }
+    }
+  }
+
+  const double measured = options.sim_seconds - options.warmup_seconds;
+  // Native rate of one instance: `vcpus_per_vm` CPUs each completing a cycle
+  // of native length u per u (CPU and I/O overlap at native speed).
+  const double native_rate = static_cast<double>(options.vcpus_per_vm);
+
+  double total_work = 0;
+  for (const Vcpu& vcpu : vcpus) {
+    total_work += vcpu.work_done;
+  }
+  MultiVmResult result;
+  result.num_vms = num_vms;
+  result.normalized = (total_work / num_vms) / (native_rate * measured);
+  result.cpu_utilization = core_busy / (platform.cores * options.sim_seconds);
+  result.backend_utilization = std::min(1.0, backend_busy / options.sim_seconds);
+  result.lock_utilization = std::min(1.0, lock_busy / options.sim_seconds);
+  result.latency_p50 = latency.Percentile(50);
+  result.latency_p99 = latency.Percentile(99);
+  return result;
+}
+
+}  // namespace vrm

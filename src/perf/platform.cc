@@ -1,0 +1,59 @@
+#include "src/perf/platform.h"
+
+namespace vrm {
+
+Platform PlatformM400() {
+  Platform p;
+  p.name = "m400";
+  p.cpu_ghz = 2.4;
+  p.cores = 8;
+  // X-Gene's "tiny TLB" ([46]): a small unified second level.
+  p.tlb_entries = 48;
+  p.tlb_ways = 4;
+  p.walk_cycles_per_level = 8;
+  // Calibration against Table 3's m400 KVM column (2,275 / 3,144 / 7,864 /
+  // 7,915 cycles).
+  p.vm_to_el2_trap = 520;
+  p.el2_to_host_switch = 920;
+  p.host_handler_hypercall = 315;
+  p.gic_emulation = 869;
+  p.userspace_roundtrip = 5589;
+  p.ipi_injection = 3040;
+  p.sched_ipi_wakeup = 2600;
+  p.kcore_entry_exit = 330;
+  p.kserv_stage2_switch = 130;
+  p.footprint_hypercall = 94;
+  p.footprint_io_kernel = 198;
+  p.footprint_io_user = 362;
+  p.footprint_ipi = 245;
+  return p;
+}
+
+Platform PlatformSeattle() {
+  Platform p;
+  p.name = "Seattle";
+  p.cpu_ghz = 2.0;
+  p.cores = 8;
+  // Cortex-A57-class TLB hierarchy: misses are rare at these footprints.
+  p.tlb_entries = 1024;
+  p.tlb_ways = 4;
+  p.walk_cycles_per_level = 6;
+  // Calibration against Table 3's Seattle KVM column (2,896 / 3,831 / 9,288 /
+  // 8,816 cycles).
+  p.vm_to_el2_trap = 640;
+  p.el2_to_host_switch = 1260;
+  p.host_handler_hypercall = 356;
+  p.gic_emulation = 935;
+  p.userspace_roundtrip = 6392;
+  p.ipi_injection = 3190;
+  p.sched_ipi_wakeup = 2730;
+  p.kcore_entry_exit = 300;
+  p.kserv_stage2_switch = 112;
+  p.footprint_hypercall = 94;
+  p.footprint_io_kernel = 198;
+  p.footprint_io_user = 362;
+  p.footprint_ipi = 245;
+  return p;
+}
+
+}  // namespace vrm

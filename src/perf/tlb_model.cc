@@ -1,0 +1,41 @@
+#include "src/perf/tlb_model.h"
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+TlbSim::TlbSim(int entries, int ways) : ways_(ways) {
+  VRM_CHECK(entries > 0 && ways > 0 && entries % ways == 0);
+  num_sets_ = entries / ways;
+  slots_.resize(static_cast<size_t>(entries));
+}
+
+bool TlbSim::Access(uint64_t vpage) {
+  ++clock_;
+  const size_t set = static_cast<size_t>(vpage % static_cast<uint64_t>(num_sets_));
+  Way* base = &slots_[set * static_cast<size_t>(ways_)];
+  Way* victim = base;
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].vpage == vpage) {
+      base[w].stamp = clock_;
+      ++hits_;
+      return true;
+    }
+    if (base[w].stamp < victim->stamp) {
+      victim = &base[w];
+    }
+  }
+  ++misses_;
+  victim->vpage = vpage;
+  victim->stamp = clock_;
+  return false;
+}
+
+void TlbSim::Flush() {
+  for (Way& way : slots_) {
+    way.vpage = ~0ull;
+    way.stamp = 0;
+  }
+}
+
+}  // namespace vrm

@@ -1,0 +1,48 @@
+// Set-associative LRU TLB simulation.
+//
+// Used by the microbenchmark cost model: each hypervisor operation touches a
+// working set of pages; the TLB simulation decides how many of those touches
+// miss, and the miss count times the walk cost is the operation's translation
+// overhead. This is where the m400's tiny TLB turns SeKVM's 4 KB KServ
+// mappings into the large Table 3 gaps.
+
+#ifndef SRC_PERF_TLB_MODEL_H_
+#define SRC_PERF_TLB_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace vrm {
+
+class TlbSim {
+ public:
+  // `entries` total, LRU replacement within `ways`-way sets.
+  TlbSim(int entries, int ways);
+
+  // Touches a page; returns true on hit. Misses install the entry.
+  bool Access(uint64_t vpage);
+
+  void Flush();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t accesses() const { return hits_ + misses_; }
+  int entries() const { return ways_ * num_sets_; }
+
+ private:
+  struct Way {
+    uint64_t vpage = ~0ull;
+    uint64_t stamp = 0;
+  };
+
+  int ways_;
+  int num_sets_;
+  std::vector<Way> slots_;  // num_sets_ * ways_
+  uint64_t clock_ = 0;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_PERF_TLB_MODEL_H_

@@ -1,0 +1,81 @@
+#include "src/perf/workload.h"
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+const std::vector<AppWorkload>& AllAppWorkloads() {
+  static const std::vector<AppWorkload> kWorkloads = {
+      {
+          .name = "Hackbench",
+          .description = "hackbench, Unix domain sockets, process groups, 500 loops "
+                         "(m400: 20 groups, Seattle: 100 groups)",
+          .hypercall_rate = 4000,
+          .io_kernel_rate = 9000,
+          .io_user_rate = 40,
+          .ipi_rate = 22000,  // scheduler wakeups across vCPUs
+          .base_virt_overhead = 0.04,
+          .io_ops_rate = 200,
+          .cpu_fraction = 0.97,
+      },
+      {
+          .name = "Kernbench",
+          .description = "Linux kernel compile, allnoconfig for Arm "
+                         "(m400: v4.18/GCC 7.5.0, Seattle: v4.9/GCC 5.4.0)",
+          .hypercall_rate = 600,
+          .io_kernel_rate = 1800,
+          .io_user_rate = 15,
+          .ipi_rate = 1600,
+          .base_virt_overhead = 0.02,
+          .io_ops_rate = 500,
+          .cpu_fraction = 0.95,
+      },
+      {
+          .name = "Apache",
+          .description = "Apache serving the GCC manual over TLS to a remote "
+                         "ApacheBench v2.3 client",
+          .hypercall_rate = 2500,
+          .io_kernel_rate = 16000,  // vhost notifications for network traffic
+          .io_user_rate = 120,
+          .ipi_rate = 9000,
+          .base_virt_overhead = 0.10,
+          .io_ops_rate = 9000,
+          .cpu_fraction = 0.70,
+      },
+      {
+          .name = "MongoDB",
+          .description = "MongoDB under remote YCSB v0.17.0 workload A, 16 threads",
+          .hypercall_rate = 2000,
+          .io_kernel_rate = 12000,
+          .io_user_rate = 100,
+          .ipi_rate = 7000,
+          .base_virt_overhead = 0.08,
+          .io_ops_rate = 7000,
+          .cpu_fraction = 0.75,
+      },
+      {
+          .name = "Redis",
+          .description = "Redis under remote YCSB v0.17.0 workload A",
+          .hypercall_rate = 3000,
+          .io_kernel_rate = 20000,  // per-request vhost kicks dominate
+          .io_user_rate = 80,
+          .ipi_rate = 11000,
+          .base_virt_overhead = 0.12,
+          .io_ops_rate = 12000,
+          .cpu_fraction = 0.55,
+      },
+  };
+  return kWorkloads;
+}
+
+const AppWorkload& WorkloadByName(const std::string& name) {
+  for (const AppWorkload& workload : AllAppWorkloads()) {
+    if (workload.name == name) {
+      return workload;
+    }
+  }
+  VRM_CHECK_MSG(false, "unknown workload");
+  __builtin_unreachable();
+}
+
+}  // namespace vrm

@@ -1,0 +1,501 @@
+#include "src/sekvm/crypto/ed25519.h"
+
+#include <cstring>
+
+#include "src/sekvm/crypto/sha512.h"
+#include "src/support/check.h"
+
+namespace vrm {
+
+namespace {
+
+using uint128 = unsigned __int128;
+
+// ---------------------------------------------------------------------------
+// Field arithmetic mod p = 2^255 - 19, radix-51 representation: five limbs of
+// 51 bits each.
+
+struct Fe {
+  uint64_t v[5];
+};
+
+constexpr uint64_t kMask51 = (1ull << 51) - 1;
+
+Fe FeZero() { return {{0, 0, 0, 0, 0}}; }
+
+Fe FeOne() { return {{1, 0, 0, 0, 0}}; }
+
+Fe FeFromU64(uint64_t x) { return {{x & kMask51, x >> 51, 0, 0, 0}}; }
+
+// One pass of carry propagation (keeps limbs just above 51 bits at most).
+void FeCarry(Fe* f) {
+  for (int i = 0; i < 4; ++i) {
+    f->v[i + 1] += f->v[i] >> 51;
+    f->v[i] &= kMask51;
+  }
+  const uint64_t top = f->v[4] >> 51;
+  f->v[4] &= kMask51;
+  f->v[0] += top * 19;
+  f->v[1] += f->v[0] >> 51;
+  f->v[0] &= kMask51;
+}
+
+Fe FeAdd(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) {
+    r.v[i] = a.v[i] + b.v[i];
+  }
+  FeCarry(&r);
+  return r;
+}
+
+// a - b, computed as a + (2p - b) to stay non-negative.
+Fe FeSub(const Fe& a, const Fe& b) {
+  static constexpr uint64_t kTwoP[5] = {
+      0xfffffffffffda, 0xffffffffffffe, 0xffffffffffffe, 0xffffffffffffe,
+      0xffffffffffffe};
+  Fe r;
+  for (int i = 0; i < 5; ++i) {
+    r.v[i] = a.v[i] + kTwoP[i] - b.v[i];
+  }
+  FeCarry(&r);
+  return r;
+}
+
+Fe FeNeg(const Fe& a) { return FeSub(FeZero(), a); }
+
+Fe FeMul(const Fe& a, const Fe& b) {
+  const uint64_t a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const uint64_t b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  // Limbs that wrap past 2^255 are folded back with the factor 19.
+  const uint64_t b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19, b4_19 = b4 * 19;
+
+  uint128 c0 = (uint128)a0 * b0 + (uint128)a1 * b4_19 + (uint128)a2 * b3_19 +
+               (uint128)a3 * b2_19 + (uint128)a4 * b1_19;
+  uint128 c1 = (uint128)a0 * b1 + (uint128)a1 * b0 + (uint128)a2 * b4_19 +
+               (uint128)a3 * b3_19 + (uint128)a4 * b2_19;
+  uint128 c2 = (uint128)a0 * b2 + (uint128)a1 * b1 + (uint128)a2 * b0 +
+               (uint128)a3 * b4_19 + (uint128)a4 * b3_19;
+  uint128 c3 = (uint128)a0 * b3 + (uint128)a1 * b2 + (uint128)a2 * b1 +
+               (uint128)a3 * b0 + (uint128)a4 * b4_19;
+  uint128 c4 = (uint128)a0 * b4 + (uint128)a1 * b3 + (uint128)a2 * b2 +
+               (uint128)a3 * b1 + (uint128)a4 * b0;
+
+  Fe r;
+  uint64_t carry;
+  r.v[0] = (uint64_t)c0 & kMask51;
+  carry = (uint64_t)(c0 >> 51);
+  c1 += carry;
+  r.v[1] = (uint64_t)c1 & kMask51;
+  carry = (uint64_t)(c1 >> 51);
+  c2 += carry;
+  r.v[2] = (uint64_t)c2 & kMask51;
+  carry = (uint64_t)(c2 >> 51);
+  c3 += carry;
+  r.v[3] = (uint64_t)c3 & kMask51;
+  carry = (uint64_t)(c3 >> 51);
+  c4 += carry;
+  r.v[4] = (uint64_t)c4 & kMask51;
+  carry = (uint64_t)(c4 >> 51);
+  r.v[0] += carry * 19;
+  r.v[1] += r.v[0] >> 51;
+  r.v[0] &= kMask51;
+  return r;
+}
+
+Fe FeSquare(const Fe& a) { return FeMul(a, a); }
+
+// Full reduction to the canonical representative in [0, p).
+void FeToBytes(uint8_t out[32], const Fe& a) {
+  Fe t = a;
+  FeCarry(&t);
+  FeCarry(&t);
+  // Compute t + 19, and if that overflows 2^255, the canonical value is
+  // t - p = t + 19 - 2^255.
+  uint64_t q = (t.v[0] + 19) >> 51;
+  q = (t.v[1] + q) >> 51;
+  q = (t.v[2] + q) >> 51;
+  q = (t.v[3] + q) >> 51;
+  q = (t.v[4] + q) >> 51;
+  t.v[0] += 19 * q;
+  for (int i = 0; i < 4; ++i) {
+    t.v[i + 1] += t.v[i] >> 51;
+    t.v[i] &= kMask51;
+  }
+  t.v[4] &= kMask51;
+
+  uint64_t words[4];
+  words[0] = t.v[0] | (t.v[1] << 51);
+  words[1] = (t.v[1] >> 13) | (t.v[2] << 38);
+  words[2] = (t.v[2] >> 26) | (t.v[3] << 25);
+  words[3] = (t.v[3] >> 39) | (t.v[4] << 12);
+  std::memcpy(out, words, 32);
+}
+
+Fe FeFromBytes(const uint8_t in[32]) {
+  uint64_t words[4];
+  std::memcpy(words, in, 32);
+  Fe r;
+  r.v[0] = words[0] & kMask51;
+  r.v[1] = ((words[0] >> 51) | (words[1] << 13)) & kMask51;
+  r.v[2] = ((words[1] >> 38) | (words[2] << 26)) & kMask51;
+  r.v[3] = ((words[2] >> 25) | (words[3] << 39)) & kMask51;
+  r.v[4] = (words[3] >> 12) & kMask51;  // top bit dropped by the caller
+  return r;
+}
+
+bool FeIsZero(const Fe& a) {
+  uint8_t bytes[32];
+  FeToBytes(bytes, a);
+  uint8_t acc = 0;
+  for (uint8_t b : bytes) {
+    acc |= b;
+  }
+  return acc == 0;
+}
+
+bool FeEqual(const Fe& a, const Fe& b) { return FeIsZero(FeSub(a, b)); }
+
+bool FeIsNegative(const Fe& a) {
+  uint8_t bytes[32];
+  FeToBytes(bytes, a);
+  return (bytes[0] & 1) != 0;
+}
+
+// a^e where e is a 255-bit exponent given as 32 little-endian bytes.
+Fe FePow(const Fe& a, const uint8_t exponent[32]) {
+  Fe result = FeOne();
+  for (int bit = 254; bit >= 0; --bit) {
+    result = FeSquare(result);
+    if ((exponent[bit / 8] >> (bit % 8)) & 1) {
+      result = FeMul(result, a);
+    }
+  }
+  return result;
+}
+
+Fe FeInvert(const Fe& a) {
+  // p - 2 = 2^255 - 21.
+  uint8_t exponent[32];
+  std::memset(exponent, 0xff, 32);
+  exponent[0] = 0xeb;
+  exponent[31] = 0x7f;
+  return FePow(a, exponent);
+}
+
+// (p - 5) / 8 = (2^255 - 24) / 8 = 2^252 - 3.
+Fe FePowP58(const Fe& a) {
+  uint8_t exponent[32];
+  std::memset(exponent, 0xff, 32);
+  exponent[0] = 0xfd;
+  exponent[31] = 0x0f;
+  return FePow(a, exponent);
+}
+
+// Curve constants, computed once from first principles.
+struct Constants {
+  Fe d;        // -121665/121666
+  Fe d2;       // 2d
+  Fe sqrt_m1;  // sqrt(-1) = 2^((p-1)/4)
+};
+
+const Constants& GetConstants() {
+  static const Constants kConstants = [] {
+    Constants c;
+    c.d = FeMul(FeNeg(FeFromU64(121665)), FeInvert(FeFromU64(121666)));
+    c.d2 = FeAdd(c.d, c.d);
+    // (p - 1) / 4 = (2^255 - 20) / 4 = 2^253 - 5.
+    uint8_t exponent[32];
+    std::memset(exponent, 0xff, 32);
+    exponent[0] = 0xfb;
+    exponent[31] = 0x1f;
+    c.sqrt_m1 = FePow(FeFromU64(2), exponent);
+    return c;
+  }();
+  return kConstants;
+}
+
+// ---------------------------------------------------------------------------
+// Twisted Edwards points, extended homogeneous coordinates (X:Y:Z:T) with
+// x = X/Z, y = Y/Z, xy = T/Z, on -x^2 + y^2 = 1 + d x^2 y^2.
+
+struct Point {
+  Fe x, y, z, t;
+};
+
+Point PointIdentity() { return {FeZero(), FeOne(), FeOne(), FeZero()}; }
+
+// Unified addition ("add-2008-hwcd-3" for a = -1); also valid for doubling.
+Point PointAdd(const Point& p, const Point& q) {
+  const Constants& c = GetConstants();
+  const Fe a = FeMul(FeSub(p.y, p.x), FeSub(q.y, q.x));
+  const Fe b = FeMul(FeAdd(p.y, p.x), FeAdd(q.y, q.x));
+  const Fe cc = FeMul(FeMul(p.t, c.d2), q.t);
+  const Fe dd = FeMul(FeAdd(p.z, p.z), q.z);
+  const Fe e = FeSub(b, a);
+  const Fe f = FeSub(dd, cc);
+  const Fe g = FeAdd(dd, cc);
+  const Fe h = FeAdd(b, a);
+  return {FeMul(e, f), FeMul(g, h), FeMul(f, g), FeMul(e, h)};
+}
+
+// Scalar multiplication, scalar as 32 little-endian bytes (up to 256 bits).
+Point PointScalarMul(const Point& p, const uint8_t scalar[32]) {
+  Point r = PointIdentity();
+  for (int bit = 255; bit >= 0; --bit) {
+    r = PointAdd(r, r);
+    if ((scalar[bit / 8] >> (bit % 8)) & 1) {
+      r = PointAdd(r, p);
+    }
+  }
+  return r;
+}
+
+void PointEncode(uint8_t out[32], const Point& p) {
+  const Fe zinv = FeInvert(p.z);
+  const Fe x = FeMul(p.x, zinv);
+  const Fe y = FeMul(p.y, zinv);
+  FeToBytes(out, y);
+  if (FeIsNegative(x)) {
+    out[31] |= 0x80;
+  }
+}
+
+// Decompresses an encoded point; returns false for invalid encodings.
+bool PointDecode(Point* out, const uint8_t in[32]) {
+  const Constants& c = GetConstants();
+  const Fe y = FeFromBytes(in);
+  const bool sign = (in[31] & 0x80) != 0;
+
+  // x^2 = (y^2 - 1) / (d y^2 + 1) = u / v.
+  const Fe y2 = FeSquare(y);
+  const Fe u = FeSub(y2, FeOne());
+  const Fe v = FeAdd(FeMul(c.d, y2), FeOne());
+
+  // Candidate root: x = u v^3 (u v^7)^((p-5)/8).
+  const Fe v3 = FeMul(FeSquare(v), v);
+  const Fe v7 = FeMul(FeSquare(v3), v);
+  Fe x = FeMul(FeMul(u, v3), FePowP58(FeMul(u, v7)));
+
+  const Fe vx2 = FeMul(v, FeSquare(x));
+  if (!FeEqual(vx2, u)) {
+    if (FeEqual(vx2, FeNeg(u))) {
+      x = FeMul(x, c.sqrt_m1);
+    } else {
+      return false;  // not a square: no such point
+    }
+  }
+  if (FeIsZero(x) && sign) {
+    return false;  // -0 is not a valid encoding
+  }
+  if (FeIsNegative(x) != sign) {
+    x = FeNeg(x);
+  }
+  *out = {x, y, FeOne(), FeMul(x, y)};
+  return true;
+}
+
+const Point& BasePoint() {
+  static const Point kBase = [] {
+    // B = (x, 4/5) with x non-negative: encode y = 4/5 with sign bit 0.
+    const Fe y = FeMul(FeFromU64(4), FeInvert(FeFromU64(5)));
+    uint8_t encoded[32];
+    FeToBytes(encoded, y);
+    Point base;
+    VRM_CHECK_MSG(PointDecode(&base, encoded), "base point decompression failed");
+    return base;
+  }();
+  return kBase;
+}
+
+// ---------------------------------------------------------------------------
+// Scalar arithmetic mod the group order
+// L = 2^252 + 27742317777372353535851937790883648493.
+
+struct U256 {
+  uint64_t w[4];
+};
+
+constexpr U256 kOrderL = {{0x5812631a5cf5d3edull, 0x14def9dea2f79cd6ull, 0ull,
+                           0x1000000000000000ull}};
+
+int U256Compare(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.w[i] != b.w[i]) {
+      return a.w[i] < b.w[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+void U256SubInPlace(U256* a, const U256& b) {
+  uint128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const uint128 diff = (uint128)a->w[i] - b.w[i] - borrow;
+    a->w[i] = (uint64_t)diff;
+    borrow = (diff >> 64) & 1;
+  }
+}
+
+// Reduces a 512-bit value (little-endian 64 bytes) mod L by binary long
+// division. L > 2^252, so the running remainder r < L keeps 2r + 1 < 2^254:
+// no overflow past four words.
+U256 ReduceBytesModL(const uint8_t* bytes, size_t len) {
+  U256 r = {{0, 0, 0, 0}};
+  for (int bit = static_cast<int>(len) * 8 - 1; bit >= 0; --bit) {
+    // r = 2r + bit
+    for (int i = 3; i > 0; --i) {
+      r.w[i] = (r.w[i] << 1) | (r.w[i - 1] >> 63);
+    }
+    r.w[0] <<= 1;
+    r.w[0] |= (bytes[bit / 8] >> (bit % 8)) & 1;
+    if (U256Compare(r, kOrderL) >= 0) {
+      U256SubInPlace(&r, kOrderL);
+    }
+  }
+  return r;
+}
+
+U256 AddModL(const U256& a, const U256& b) {
+  U256 r;
+  uint128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const uint128 sum = (uint128)a.w[i] + b.w[i] + carry;
+    r.w[i] = (uint64_t)sum;
+    carry = sum >> 64;
+  }
+  // a, b < L < 2^253 so the sum fits in 254 bits: one conditional subtract.
+  if (carry != 0 || U256Compare(r, kOrderL) >= 0) {
+    U256SubInPlace(&r, kOrderL);
+  }
+  return r;
+}
+
+U256 MulModL(const U256& a, const U256& b) {
+  uint64_t product[8] = {0};
+  for (int i = 0; i < 4; ++i) {
+    uint128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const uint128 cur = (uint128)a.w[i] * b.w[j] + product[i + j] + carry;
+      product[i + j] = (uint64_t)cur;
+      carry = cur >> 64;
+    }
+    product[i + 4] += (uint64_t)carry;
+  }
+  uint8_t bytes[64];
+  std::memcpy(bytes, product, 64);
+  return ReduceBytesModL(bytes, 64);
+}
+
+void U256ToBytes(uint8_t out[32], const U256& a) { std::memcpy(out, a.w, 32); }
+
+U256 U256FromBytes(const uint8_t in[32]) {
+  U256 r;
+  std::memcpy(r.w, in, 32);
+  return r;
+}
+
+// SHA-512 of the concatenation of up to three byte ranges, reduced mod L.
+U256 HashModL(const void* a, size_t alen, const void* b, size_t blen, const void* m,
+              size_t mlen) {
+  Sha512 hasher;
+  hasher.Update(a, alen);
+  hasher.Update(b, blen);
+  hasher.Update(m, mlen);
+  const Sha512Digest digest = hasher.Finish();
+  return ReduceBytesModL(digest.data(), digest.size());
+}
+
+struct ExpandedSecret {
+  uint8_t scalar[32];  // clamped s
+  uint8_t prefix[32];
+};
+
+ExpandedSecret ExpandSecret(const Ed25519SecretKey& secret) {
+  const Sha512Digest h = Sha512::Hash(secret.data(), secret.size());
+  ExpandedSecret expanded;
+  std::memcpy(expanded.scalar, h.data(), 32);
+  std::memcpy(expanded.prefix, h.data() + 32, 32);
+  expanded.scalar[0] &= 248;
+  expanded.scalar[31] &= 127;
+  expanded.scalar[31] |= 64;
+  return expanded;
+}
+
+}  // namespace
+
+Ed25519PublicKey Ed25519DerivePublicKey(const Ed25519SecretKey& secret) {
+  const ExpandedSecret expanded = ExpandSecret(secret);
+  const Point a = PointScalarMul(BasePoint(), expanded.scalar);
+  Ed25519PublicKey public_key;
+  PointEncode(public_key.data(), a);
+  return public_key;
+}
+
+Ed25519Signature Ed25519Sign(const Ed25519SecretKey& secret, const void* message,
+                             size_t len) {
+  const ExpandedSecret expanded = ExpandSecret(secret);
+  const Ed25519PublicKey public_key = Ed25519DerivePublicKey(secret);
+
+  // r = SHA512(prefix || M) mod L;  R = rB.
+  const U256 r = HashModL(expanded.prefix, 32, message, len, nullptr, 0);
+  uint8_t r_bytes[32];
+  U256ToBytes(r_bytes, r);
+  const Point rb = PointScalarMul(BasePoint(), r_bytes);
+  Ed25519Signature signature{};
+  PointEncode(signature.data(), rb);
+
+  // k = SHA512(R || A || M) mod L;  S = (r + k s) mod L.
+  Sha512 hasher;
+  hasher.Update(signature.data(), 32);
+  hasher.Update(public_key.data(), 32);
+  hasher.Update(message, len);
+  const Sha512Digest kd = hasher.Finish();
+  const U256 k = ReduceBytesModL(kd.data(), kd.size());
+  const U256 s_scalar = ReduceBytesModL(expanded.scalar, 32);
+  const U256 big_s = AddModL(r, MulModL(k, s_scalar));
+  U256ToBytes(signature.data() + 32, big_s);
+  return signature;
+}
+
+bool Ed25519Verify(const Ed25519PublicKey& public_key, const void* message,
+                   size_t len, const Ed25519Signature& signature) {
+  // Decode R and A; reject S >= L (malleability check per RFC 8032).
+  Point a;
+  if (!PointDecode(&a, public_key.data())) {
+    return false;
+  }
+  Point r;
+  if (!PointDecode(&r, signature.data())) {
+    return false;
+  }
+  const U256 s = U256FromBytes(signature.data() + 32);
+  if (U256Compare(s, kOrderL) >= 0) {
+    return false;
+  }
+
+  // k = SHA512(R || A || M) mod L; check [S]B == R + [k]A.
+  Sha512 hasher;
+  hasher.Update(signature.data(), 32);
+  hasher.Update(public_key.data(), 32);
+  hasher.Update(message, len);
+  const Sha512Digest kd = hasher.Finish();
+  const U256 k = ReduceBytesModL(kd.data(), kd.size());
+
+  uint8_t s_bytes[32];
+  U256ToBytes(s_bytes, s);
+  uint8_t k_bytes[32];
+  U256ToBytes(k_bytes, k);
+
+  const Point sb = PointScalarMul(BasePoint(), s_bytes);
+  const Point ka = PointScalarMul(a, k_bytes);
+  const Point rhs = PointAdd(r, ka);
+
+  uint8_t lhs_enc[32];
+  uint8_t rhs_enc[32];
+  PointEncode(lhs_enc, sb);
+  PointEncode(rhs_enc, rhs);
+  return std::memcmp(lhs_enc, rhs_enc, 32) == 0;
+}
+
+}  // namespace vrm

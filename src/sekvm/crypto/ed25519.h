@@ -1,0 +1,39 @@
+// Ed25519 signatures (RFC 8032).
+//
+// SeKVM integrates Ed25519 for VM image authentication (Section 5.1): KCore
+// hashes the image remapped into its EL2 address space and verifies the boot
+// image's signature before the VM may run. This is a from-scratch
+// implementation — curve25519 field arithmetic (5x51-bit limbs), twisted
+// Edwards points in extended coordinates, scalar arithmetic mod the group
+// order via a small fixed-width bignum — validated against the RFC 8032 test
+// vectors. It favours clarity over speed (no precomputed tables, no
+// constant-time hardening): image verification in the simulator is not a
+// side-channel target.
+
+#ifndef SRC_SEKVM_CRYPTO_ED25519_H_
+#define SRC_SEKVM_CRYPTO_ED25519_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace vrm {
+
+using Ed25519PublicKey = std::array<uint8_t, 32>;
+using Ed25519SecretKey = std::array<uint8_t, 32>;  // the RFC 8032 seed
+using Ed25519Signature = std::array<uint8_t, 64>;
+
+// Derives the public key for a secret seed.
+Ed25519PublicKey Ed25519DerivePublicKey(const Ed25519SecretKey& secret);
+
+// Signs `message` with the secret seed (RFC 8032, Ed25519 / PureEdDSA).
+Ed25519Signature Ed25519Sign(const Ed25519SecretKey& secret, const void* message,
+                             size_t len);
+
+// Verifies a signature. Rejects malformed points and out-of-range S.
+bool Ed25519Verify(const Ed25519PublicKey& public_key, const void* message,
+                   size_t len, const Ed25519Signature& signature);
+
+}  // namespace vrm
+
+#endif  // SRC_SEKVM_CRYPTO_ED25519_H_

@@ -1,0 +1,162 @@
+#include "src/sekvm/crypto/sha512.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+namespace {
+
+constexpr std::array<uint64_t, 80> kRoundConstants = {
+    0x428a2f98d728ae22ull, 0x7137449123ef65cdull, 0xb5c0fbcfec4d3b2full,
+    0xe9b5dba58189dbbcull, 0x3956c25bf348b538ull, 0x59f111f1b605d019ull,
+    0x923f82a4af194f9bull, 0xab1c5ed5da6d8118ull, 0xd807aa98a3030242ull,
+    0x12835b0145706fbeull, 0x243185be4ee4b28cull, 0x550c7dc3d5ffb4e2ull,
+    0x72be5d74f27b896full, 0x80deb1fe3b1696b1ull, 0x9bdc06a725c71235ull,
+    0xc19bf174cf692694ull, 0xe49b69c19ef14ad2ull, 0xefbe4786384f25e3ull,
+    0x0fc19dc68b8cd5b5ull, 0x240ca1cc77ac9c65ull, 0x2de92c6f592b0275ull,
+    0x4a7484aa6ea6e483ull, 0x5cb0a9dcbd41fbd4ull, 0x76f988da831153b5ull,
+    0x983e5152ee66dfabull, 0xa831c66d2db43210ull, 0xb00327c898fb213full,
+    0xbf597fc7beef0ee4ull, 0xc6e00bf33da88fc2ull, 0xd5a79147930aa725ull,
+    0x06ca6351e003826full, 0x142929670a0e6e70ull, 0x27b70a8546d22ffcull,
+    0x2e1b21385c26c926ull, 0x4d2c6dfc5ac42aedull, 0x53380d139d95b3dfull,
+    0x650a73548baf63deull, 0x766a0abb3c77b2a8ull, 0x81c2c92e47edaee6ull,
+    0x92722c851482353bull, 0xa2bfe8a14cf10364ull, 0xa81a664bbc423001ull,
+    0xc24b8b70d0f89791ull, 0xc76c51a30654be30ull, 0xd192e819d6ef5218ull,
+    0xd69906245565a910ull, 0xf40e35855771202aull, 0x106aa07032bbd1b8ull,
+    0x19a4c116b8d2d0c8ull, 0x1e376c085141ab53ull, 0x2748774cdf8eeb99ull,
+    0x34b0bcb5e19b48a8ull, 0x391c0cb3c5c95a63ull, 0x4ed8aa4ae3418acbull,
+    0x5b9cca4f7763e373ull, 0x682e6ff3d6b2b8a3ull, 0x748f82ee5defb2fcull,
+    0x78a5636f43172f60ull, 0x84c87814a1f0ab72ull, 0x8cc702081a6439ecull,
+    0x90befffa23631e28ull, 0xa4506cebde82bde9ull, 0xbef9a3f7b2c67915ull,
+    0xc67178f2e372532bull, 0xca273eceea26619cull, 0xd186b8c721c0c207ull,
+    0xeada7dd6cde0eb1eull, 0xf57d4f7fee6ed178ull, 0x06f067aa72176fbaull,
+    0x0a637dc5a2c898a6ull, 0x113f9804bef90daeull, 0x1b710b35131c471bull,
+    0x28db77f523047d84ull, 0x32caab7b40c72493ull, 0x3c9ebe0a15c9bebcull,
+    0x431d67c49c100d4cull, 0x4cc5d4becb3e42b6ull, 0x597f299cfc657e2aull,
+    0x5fcb6fab3ad6faecull, 0x6c44198c4a475817ull};
+
+uint64_t Rotr(uint64_t x, int n) { return (x >> n) | (x << (64 - n)); }
+
+uint64_t LoadBe64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v = (v << 8) | p[i];
+  }
+  return v;
+}
+
+void StoreBe64(uint8_t* p, uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    p[i] = static_cast<uint8_t>(v & 0xff);
+    v >>= 8;
+  }
+}
+
+}  // namespace
+
+Sha512::Sha512()
+    : state_{0x6a09e667f3bcc908ull, 0xbb67ae8584caa73bull, 0x3c6ef372fe94f82bull,
+             0xa54ff53a5f1d36f1ull, 0x510e527fade682d1ull, 0x9b05688c2b3e6c1full,
+             0x1f83d9abfb41bd6bull, 0x5be0cd19137e2179ull} {}
+
+void Sha512::ProcessBlock(const uint8_t* block) {
+  uint64_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = LoadBe64(block + 8 * t);
+  }
+  for (int t = 16; t < 80; ++t) {
+    const uint64_t s0 = Rotr(w[t - 15], 1) ^ Rotr(w[t - 15], 8) ^ (w[t - 15] >> 7);
+    const uint64_t s1 = Rotr(w[t - 2], 19) ^ Rotr(w[t - 2], 61) ^ (w[t - 2] >> 6);
+    w[t] = w[t - 16] + s0 + w[t - 7] + s1;
+  }
+  uint64_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  uint64_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int t = 0; t < 80; ++t) {
+    const uint64_t big_s1 = Rotr(e, 14) ^ Rotr(e, 18) ^ Rotr(e, 41);
+    const uint64_t ch = (e & f) ^ (~e & g);
+    const uint64_t temp1 = h + big_s1 + ch + kRoundConstants[t] + w[t];
+    const uint64_t big_s0 = Rotr(a, 28) ^ Rotr(a, 34) ^ Rotr(a, 39);
+    const uint64_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const uint64_t temp2 = big_s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + temp1;
+    d = c;
+    c = b;
+    b = a;
+    a = temp1 + temp2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha512::Update(const void* data, size_t len) {
+  VRM_CHECK(!finished_);
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  total_len_ += len;
+  while (len > 0) {
+    const size_t take = std::min(len, buffer_.size() - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == buffer_.size()) {
+      ProcessBlock(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+}
+
+Sha512Digest Sha512::Finish() {
+  VRM_CHECK(!finished_);
+  finished_ = true;
+  const uint64_t bit_len = total_len_ * 8;
+  // Pad: 0x80, zeros, 128-bit big-endian length (we only use the low 64 bits).
+  uint8_t pad = 0x80;
+  finished_ = false;
+  Update(&pad, 1);
+  const uint8_t zero = 0;
+  while (buffer_len_ != 112) {
+    Update(&zero, 1);
+  }
+  uint8_t len_block[16] = {0};
+  StoreBe64(len_block + 8, bit_len);
+  Update(len_block, 16);
+  finished_ = true;
+  VRM_CHECK(buffer_len_ == 0);
+
+  Sha512Digest digest;
+  for (int i = 0; i < 8; ++i) {
+    StoreBe64(digest.data() + 8 * i, state_[i]);
+  }
+  return digest;
+}
+
+Sha512Digest Sha512::Hash(const void* data, size_t len) {
+  Sha512 hasher;
+  hasher.Update(data, len);
+  return hasher.Finish();
+}
+
+std::string ToHex(const Sha512Digest& digest) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  out.reserve(128);
+  for (uint8_t byte : digest) {
+    out.push_back(kHex[byte >> 4]);
+    out.push_back(kHex[byte & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace vrm

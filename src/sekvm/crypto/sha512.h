@@ -1,0 +1,46 @@
+// SHA-512 (FIPS 180-4).
+//
+// SeKVM integrates a crypto library (Ed25519) whose role in the paper is to
+// "calculate a hash of the memory content for VM image authentication"
+// (Section 5.1). This is that hash: KCore hashes the remapped VM image pages
+// and compares against the expected digest registered at VM creation.
+
+#ifndef SRC_SEKVM_CRYPTO_SHA512_H_
+#define SRC_SEKVM_CRYPTO_SHA512_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace vrm {
+
+using Sha512Digest = std::array<uint8_t, 64>;
+
+class Sha512 {
+ public:
+  Sha512();
+
+  // Streaming interface.
+  void Update(const void* data, size_t len);
+  Sha512Digest Finish();
+
+  // One-shot convenience.
+  static Sha512Digest Hash(const void* data, size_t len);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint64_t, 8> state_;
+  std::array<uint8_t, 128> buffer_;
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;  // bytes; image sizes here never overflow 2^61
+  bool finished_ = false;
+};
+
+// Lowercase hex rendering of a digest (for logs and test vectors).
+std::string ToHex(const Sha512Digest& digest);
+
+}  // namespace vrm
+
+#endif  // SRC_SEKVM_CRYPTO_SHA512_H_

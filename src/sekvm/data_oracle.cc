@@ -1,0 +1,28 @@
+#include "src/sekvm/data_oracle.h"
+
+#include <cstring>
+
+namespace vrm {
+
+DataOracle::DataOracle(Mode mode, uint64_t seed) : mode_(mode), rng_(seed) {}
+
+uint64_t DataOracle::Read(PageOwner source_owner, Pfn pfn, uint64_t offset,
+                          uint64_t actual) {
+  log_.push_back({source_owner, pfn, offset});
+  return mode_ == Mode::kPassthrough ? actual : rng_.Next();
+}
+
+void DataOracle::ReadPage(PageOwner source_owner, Pfn pfn, const uint8_t* actual,
+                          uint8_t* out) {
+  log_.push_back({source_owner, pfn, ~0ull});
+  if (mode_ == Mode::kPassthrough) {
+    std::memcpy(out, actual, kPageBytes);
+    return;
+  }
+  for (uint64_t off = 0; off < kPageBytes; off += 8) {
+    const uint64_t v = rng_.Next();
+    std::memcpy(out + off, &v, sizeof(v));
+  }
+}
+
+}  // namespace vrm

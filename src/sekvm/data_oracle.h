@@ -1,0 +1,61 @@
+// Data oracles (Section 5.3 / Li et al. 2021).
+//
+// In the SeKVM proofs, every KCore read of VM or KServ memory is modelled by a
+// data oracle — a value source independent of the concrete user-program
+// implementation — so the proofs cannot depend on user memory contents. That
+// independence is exactly what makes WEAK-MEMORY-ISOLATION hold: any RM
+// behaviour of user programs is covered by some oracle value sequence on SC.
+//
+// The simulator renders this executable in two ways:
+//  * kPassthrough: the oracle returns the real memory value but *logs the
+//    declared information flow*, so tests can audit that every KCore read of
+//    untrusted memory is oracle-mediated (KCore has no other read path to
+//    user-owned frames).
+//  * kFuzz: the oracle returns deterministic pseudo-random values instead. The
+//    property tests run entire boot/exit flows under fuzzed oracles and assert
+//    that KCore's security invariants hold for arbitrary user memory contents —
+//    the executable analogue of "the proofs do not rely on the implementation
+//    of user programs".
+
+#ifndef SRC_SEKVM_DATA_ORACLE_H_
+#define SRC_SEKVM_DATA_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sekvm/types.h"
+#include "src/support/rng.h"
+
+namespace vrm {
+
+class DataOracle {
+ public:
+  enum class Mode { kPassthrough, kFuzz };
+
+  explicit DataOracle(Mode mode = Mode::kPassthrough, uint64_t seed = 1);
+
+  // Masks one 8-byte read of untrusted memory. `actual` is the value in the
+  // simulated RAM; the returned value is what KCore observes.
+  uint64_t Read(PageOwner source_owner, Pfn pfn, uint64_t offset, uint64_t actual);
+
+  // Masks a whole-page read (image hashing). Fills `out[kPageBytes]`.
+  void ReadPage(PageOwner source_owner, Pfn pfn, const uint8_t* actual, uint8_t* out);
+
+  struct FlowRecord {
+    PageOwner source;
+    Pfn pfn;
+    uint64_t offset;  // ~0 for whole-page reads
+  };
+  const std::vector<FlowRecord>& log() const { return log_; }
+  uint64_t reads() const { return static_cast<uint64_t>(log_.size()); }
+  Mode mode() const { return mode_; }
+
+ private:
+  Mode mode_;
+  Rng rng_;
+  std::vector<FlowRecord> log_;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SEKVM_DATA_ORACLE_H_

@@ -1,0 +1,129 @@
+#include "src/sekvm/invariants.h"
+
+#include <cstdio>
+#include <map>
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+std::string InvariantReport::ToString() const {
+  if (ok) {
+    return "all security invariants hold";
+  }
+  std::string out = "INVARIANT FAILURES:\n";
+  for (const std::string& failure : failures) {
+    out += "  " + failure + "\n";
+  }
+  return out;
+}
+
+InvariantReport CheckSecurityInvariants(const KCore& kcore) {
+  InvariantReport report;
+  if (!kcore.booted()) {
+    report.Fail("KCore not booted");
+    return report;
+  }
+  const S2PageDb& db = kcore.s2pages();
+  char buf[160];
+
+  // Gather every leaf mapping from every stage 2 and SMMU table.
+  std::map<Pfn, uint32_t> mapping_count;
+  auto audit_table = [&](const PageTable* table, const PageOwner& required_owner,
+                         const char* what) {
+    if (table == nullptr || !table->initialized()) {
+      return;
+    }
+    table->ForEachMapping([&](Gfn gfn, Pfn pfn, uint64_t attrs) {
+      (void)attrs;
+      ++mapping_count[pfn];
+      // I2: KCore pages never appear as mapping targets.
+      if (db.Owner(pfn) == PageOwner::KCore()) {
+        std::snprintf(buf, sizeof(buf), "I2: KCore page %llu mapped in %s at gfn %llu",
+                      (unsigned long long)pfn, what, (unsigned long long)gfn);
+        report.Fail(buf);
+      }
+      // I3/I4/I5: mapped pages belong to the table's principal.
+      if (!(db.Owner(pfn) == required_owner)) {
+        std::snprintf(buf, sizeof(buf),
+                      "ownership: page %llu mapped in %s but owned by %s",
+                      (unsigned long long)pfn, what, db.Owner(pfn).ToString().c_str());
+        report.Fail(buf);
+      }
+    });
+  };
+
+  for (VmId vmid = 0; vmid < kcore.num_vms(); ++vmid) {
+    if (kcore.vm_state(vmid) == VmState::kDestroyed) {
+      continue;
+    }
+    std::string what = "VM" + std::to_string(vmid) + " stage2";
+    audit_table(kcore.vm_s2_table(vmid), PageOwner::Vm(vmid), what.c_str());
+  }
+  audit_table(&kcore.kserv_s2_table(), PageOwner::KServ(), "KServ stage2");
+  if (kcore.smmu() != nullptr) {
+    for (int unit = 0; unit < kcore.smmu()->num_units(); ++unit) {
+      const SmmuUnit& u = kcore.smmu()->unit(unit);
+      // I6: SMMU units stay enabled.
+      if (!u.enabled) {
+        std::snprintf(buf, sizeof(buf), "I6: SMMU unit %d disabled", unit);
+        report.Fail(buf);
+      }
+      if (u.assigned) {
+        std::string what = "SMMU unit " + std::to_string(unit);
+        audit_table(u.table.get(), u.assignee, what.c_str());
+      } else {
+        // Unassigned units must map nothing.
+        u.table->ForEachMapping([&](Gfn gfn, Pfn pfn, uint64_t attrs) {
+          (void)attrs;
+          std::snprintf(buf, sizeof(buf),
+                        "I5: unassigned SMMU unit %d maps gfn %llu -> page %llu",
+                        unit, (unsigned long long)gfn, (unsigned long long)pfn);
+          report.Fail(buf);
+        });
+      }
+    }
+  }
+
+  // I1: recorded map counts match the audited mapping counts.
+  for (Pfn pfn = 0; pfn < db.num_pages(); ++pfn) {
+    const uint32_t actual =
+        mapping_count.count(pfn) != 0 ? mapping_count.at(pfn) : 0;
+    if (db.MapCount(pfn) != actual) {
+      std::snprintf(buf, sizeof(buf),
+                    "I1: page %llu map_count=%u but %u mappings found",
+                    (unsigned long long)pfn, db.MapCount(pfn), actual);
+      report.Fail(buf);
+    }
+  }
+
+  // I6: stage 2 translation enabled.
+  if (!kcore.stage2_enabled()) {
+    report.Fail("I6: stage 2 translation disabled");
+  }
+
+  // I7: the boot linear map is intact (write-once means it cannot have been
+  // remapped; verify a sample plus the pool region fully).
+  const KCoreConfig& config = kcore.config();
+  for (Pfn pfn = 0; pfn < config.total_pages;
+       pfn += (pfn < config.kcore_pool_start + config.kcore_pool_pages ? 1 : 17)) {
+    const auto mapped = kcore.el2_table().Walk(pfn);
+    if (!mapped || *mapped != pfn) {
+      std::snprintf(buf, sizeof(buf), "I7: EL2 linear map broken at frame %llu",
+                    (unsigned long long)pfn);
+      report.Fail(buf);
+      break;
+    }
+  }
+  return report;
+}
+
+Sha512Digest RehashVmImage(const KCore& kcore, VmId vmid) {
+  Sha512 hasher;
+  for (Pfn pfn : kcore.vm_image_pfns(vmid)) {
+    hasher.Update(kcore.mem().PageData(pfn), kPageBytes);
+  }
+  return hasher.Finish();
+}
+
+}  // namespace vrm

@@ -1,0 +1,55 @@
+// The security invariants behind SeKVM's confidentiality and integrity
+// guarantees (Section 5.3), as an executable whole-state checker.
+//
+// The Coq proofs establish these as inductive invariants of every KCore
+// transition; the simulator re-validates them after arbitrary hypercall
+// sequences (including adversarial ones from MaliciousKServ in the tests):
+//
+//   I1  Every physical page has exactly one owner, and its recorded map count
+//       matches the number of stage-2/SMMU leaf entries referencing it.
+//   I2  No KCore-owned page is mapped in any stage 2 or SMMU page table (the
+//       page-table pages themselves are KCore-owned and read by MMU/SMMU
+//       hardware, but never appear as a *mapping target*).
+//   I3  A page mapped in VM v's stage 2 table is owned by VM v.
+//   I4  A page mapped in KServ's stage 2 table is owned by KServ.
+//   I5  A page mapped in an SMMU unit's table is owned by that unit's assignee.
+//   I6  Stage 2 translation and every SMMU unit remain enabled.
+//   I7  The EL2 table maps each physical frame (boot linear map) and remapped
+//       image frames; since it is write-once, no virtual page was ever remapped.
+//
+// Boot-image integrity (the paper's I8-style property) is time-dependent — a
+// running guest legitimately modifies its own pages — so it is exposed as
+// RehashVmImage() and asserted by the tests at quiescent points (after
+// verification, and after adversarial KServ activity with the VM not running).
+
+#ifndef SRC_SEKVM_INVARIANTS_H_
+#define SRC_SEKVM_INVARIANTS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/sekvm/kcore.h"
+
+namespace vrm {
+
+struct InvariantReport {
+  bool ok = true;
+  std::vector<std::string> failures;
+
+  void Fail(std::string what) {
+    ok = false;
+    failures.push_back(std::move(what));
+  }
+
+  std::string ToString() const;
+};
+
+InvariantReport CheckSecurityInvariants(const KCore& kcore);
+
+// Recomputes the SHA-512 of a VM's image pages directly from physical memory.
+// Matches the digest recorded at verification while the image is unmodified.
+Sha512Digest RehashVmImage(const KCore& kcore, VmId vmid);
+
+}  // namespace vrm
+
+#endif  // SRC_SEKVM_INVARIANTS_H_

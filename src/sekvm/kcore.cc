@@ -1,0 +1,583 @@
+#include "src/sekvm/kcore.h"
+
+#include <cstring>
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+KCore::KCore(PhysMemory* mem, const KCoreConfig& config, DataOracle::Mode oracle_mode,
+             uint64_t oracle_seed)
+    : mem_(mem),
+      config_(config),
+      s2pages_(mem->num_pages()),
+      pool_(mem, config.kcore_pool_start, config.kcore_pool_pages),
+      oracle_(oracle_mode, oracle_seed) {
+  VRM_CHECK(config.total_pages == mem->num_pages());
+  VRM_CHECK(config.s2_levels == 3 || config.s2_levels == 4);
+}
+
+HvRet KCore::Boot() {
+  VRM_CHECK(!booted_);
+  // Claim the pool region: these pages hold page tables and KCore metadata and
+  // must never be reachable from KServ or any VM.
+  for (Pfn pfn = config_.kcore_pool_start;
+       pfn < config_.kcore_pool_start + config_.kcore_pool_pages; ++pfn) {
+    VRM_CHECK(s2pages_.Transfer(pfn, PageOwner::KServ(), PageOwner::KCore()));
+  }
+
+  // Build the EL2 page table: all physical memory mapped to a contiguous
+  // virtual region at boot (Section 5.1), in write-once mode.
+  el2_table_ = std::make_unique<PageTable>(mem_, &pool_, config_.el2_levels,
+                                           /*write_once=*/true);
+  if (el2_table_->Init() != HvRet::kOk) {
+    return HvRet::kNoMemory;
+  }
+  for (Pfn pfn = 0; pfn < config_.total_pages; ++pfn) {
+    const HvRet ret = el2_table_->Set(pfn, pfn, Pte::kWritable);
+    if (ret != HvRet::kOk) {
+      return ret;
+    }
+  }
+  el2_remap_base_ = config_.total_pages;
+
+  // Enable stage 2 for KServ. Its table starts empty; pages are mapped through
+  // MapKServPage faults.
+  kserv_s2_table_ = std::make_unique<PageTable>(mem_, &pool_, config_.s2_levels);
+  if (kserv_s2_table_->Init() != HvRet::kOk) {
+    return HvRet::kNoMemory;
+  }
+  stage2_enabled_ = true;
+
+  if (config_.smmu_present) {
+    smmu_ = std::make_unique<Smmu>(mem_, &pool_, config_.smmu_units,
+                                   config_.smmu_levels);
+  }
+  booted_ = true;
+  return HvRet::kOk;
+}
+
+KCore::VmMeta* KCore::GetVm(VmId vmid) {
+  if (vmid >= vms_.size()) {
+    return nullptr;
+  }
+  return &vms_[vmid];
+}
+
+const KCore::VmMeta* KCore::GetVm(VmId vmid) const {
+  if (vmid >= vms_.size()) {
+    return nullptr;
+  }
+  return &vms_[vmid];
+}
+
+HvRet KCore::RegisterVm(VmId* vmid_out) {
+  ++stats_.hypercalls;
+  TicketGuard guard(vmid_lock_);
+  // gen_vmid (Figure 1): the critical section reads and increments next_vmid.
+  if (next_vmid_ >= kMaxVms) {
+    return Reject(HvRet::kNoMemory);
+  }
+  const VmId vmid = next_vmid_++;
+  vms_.resize(next_vmid_);
+  VmMeta& vm = vms_[vmid];
+  vm.state = VmState::kRegistered;
+  vm.lock = std::make_unique<TicketLock>();
+  vm.s2_table = std::make_unique<PageTable>(mem_, &pool_, config_.s2_levels);
+  if (vm.s2_table->Init() != HvRet::kOk) {
+    return Reject(HvRet::kNoMemory);
+  }
+  *vmid_out = vmid;
+  return HvRet::kOk;
+}
+
+HvRet KCore::RegisterVcpu(VmId vmid, VcpuId* vcpuid_out) {
+  ++stats_.hypercalls;
+  VmMeta* vm = GetVm(vmid);
+  if (vm == nullptr || vm->state == VmState::kDestroyed) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  TicketGuard guard(*vm->lock);
+  if (vm->vcpus.size() >= kMaxVcpusPerVm) {
+    return Reject(HvRet::kNoMemory);
+  }
+  if (vm->state != VmState::kRegistered && vm->state != VmState::kBooting) {
+    return Reject(HvRet::kBadState);
+  }
+  vm->vcpus.emplace_back();
+  *vcpuid_out = static_cast<VcpuId>(vm->vcpus.size() - 1);
+  return HvRet::kOk;
+}
+
+HvRet KCore::SetVmImageHash(VmId vmid, const Sha512Digest& digest) {
+  ++stats_.hypercalls;
+  VmMeta* vm = GetVm(vmid);
+  if (vm == nullptr) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  TicketGuard guard(*vm->lock);
+  if (vm->state != VmState::kRegistered && vm->state != VmState::kBooting) {
+    return Reject(HvRet::kBadState);
+  }
+  // The digest arrives from KServ's signed boot metadata: an untrusted-memory
+  // read, logged as a data-oracle flow (a tampered digest merely fails
+  // authentication later).
+  uint64_t first_word;
+  std::memcpy(&first_word, digest.data(), sizeof(first_word));
+  oracle_.Read(PageOwner::KServ(), 0, 0, first_word);
+  vm->expected_hash = digest;
+  vm->has_expected_hash = true;
+  return HvRet::kOk;
+}
+
+HvRet KCore::SetVmImageSignature(VmId vmid, const Ed25519Signature& signature) {
+  ++stats_.hypercalls;
+  VmMeta* vm = GetVm(vmid);
+  if (vm == nullptr) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  TicketGuard guard(*vm->lock);
+  if (vm->state != VmState::kRegistered && vm->state != VmState::kBooting) {
+    return Reject(HvRet::kBadState);
+  }
+  if (!config_.require_signature) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  // The signature blob arrives from untrusted KServ memory (oracle-logged); a
+  // corrupted one simply fails verification later.
+  uint64_t first_word;
+  std::memcpy(&first_word, signature.data(), sizeof(first_word));
+  oracle_.Read(PageOwner::KServ(), 0, 0, first_word);
+  vm->image_signature = signature;
+  vm->has_signature = true;
+  return HvRet::kOk;
+}
+
+HvRet KCore::DonateImagePage(VmId vmid, Pfn pfn) {
+  ++stats_.hypercalls;
+  VmMeta* vm = GetVm(vmid);
+  if (vm == nullptr || pfn >= mem_->num_pages()) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  TicketGuard guard(s2_lock_);
+  if (vm->state != VmState::kRegistered && vm->state != VmState::kBooting) {
+    return Reject(HvRet::kBadState);
+  }
+  if (pool_.Contains(pfn)) {
+    return Reject(HvRet::kDenied);
+  }
+  // Ownership transfer: the page must be an unmapped KServ page. After this
+  // point KServ can no longer map (and thus write) it — boot-image integrity.
+  if (!s2pages_.Transfer(pfn, PageOwner::KServ(), PageOwner::Vm(vmid),
+                         /*gfn=*/vm->image_pfns.size())) {
+    return Reject(HvRet::kDenied);
+  }
+  // remap_pfn: map the (possibly discontiguous) image page into the contiguous
+  // EL2 remap region so the crypto library can hash it (Section 5.1). The EL2
+  // table is write-once; remap_pfn never unmaps or remaps a virtual page.
+  const uint64_t va_page = el2_remap_base_ + el2_remap_used_;
+  const HvRet ret = el2_table_->Set(va_page, pfn, 0);
+  if (ret != HvRet::kOk) {
+    return Reject(ret);
+  }
+  ++el2_remap_used_;
+  vm->state = VmState::kBooting;
+  vm->image_pfns.push_back(pfn);
+  vm->el2_remap_next = el2_remap_used_;
+  return HvRet::kOk;
+}
+
+HvRet KCore::VerifyVmImage(VmId vmid) {
+  ++stats_.hypercalls;
+  VmMeta* vm = GetVm(vmid);
+  if (vm == nullptr) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  TicketGuard guard(*vm->lock);
+  const bool has_root = config_.require_signature ? vm->has_signature
+                                                  : vm->has_expected_hash;
+  if (vm->state != VmState::kBooting || !has_root || vm->image_pfns.empty()) {
+    return Reject(HvRet::kBadState);
+  }
+  // Read the image through the EL2 remap region: walk KCore's own page table
+  // for each remapped virtual page, then read the frame via the data oracle
+  // (a VM-owned memory read).
+  Sha512 hasher;
+  std::vector<uint8_t> image_bytes;
+  if (config_.require_signature) {
+    image_bytes.reserve(vm->image_pfns.size() * kPageBytes);
+  }
+  const uint64_t base = el2_remap_base_ + vm->el2_remap_next - vm->image_pfns.size();
+  std::vector<uint8_t> masked(kPageBytes);
+  for (uint64_t i = 0; i < vm->image_pfns.size(); ++i) {
+    const auto pfn = el2_table_->Walk(base + i);
+    VRM_CHECK_MSG(pfn.has_value(), "EL2 remap region lost a mapping");
+    VRM_CHECK(*pfn == vm->image_pfns[i]);
+    oracle_.ReadPage(PageOwner::Vm(vmid), *pfn, mem_->PageData(*pfn), masked.data());
+    hasher.Update(masked.data(), kPageBytes);
+    if (config_.require_signature) {
+      image_bytes.insert(image_bytes.end(), masked.begin(), masked.end());
+    }
+  }
+  const Sha512Digest digest = hasher.Finish();
+  if (config_.require_signature) {
+    // Ed25519 (PureEdDSA) over the whole image with the embedded vendor key.
+    if (!Ed25519Verify(config_.vendor_key, image_bytes.data(), image_bytes.size(),
+                       vm->image_signature)) {
+      return Reject(HvRet::kAuthFailed);
+    }
+  } else if (digest != vm->expected_hash) {
+    return Reject(HvRet::kAuthFailed);
+  }
+  vm->verified_hash = digest;
+  vm->state = VmState::kVerified;
+  // Map the authenticated image into the VM's stage 2 space at gfn 0..n-1.
+  for (uint64_t i = 0; i < vm->image_pfns.size(); ++i) {
+    const HvRet ret = vm->s2_table->Set(i, vm->image_pfns[i], Pte::kWritable);
+    if (ret != HvRet::kOk) {
+      return Reject(ret);
+    }
+    s2pages_.AddMapping(vm->image_pfns[i]);
+    ++stats_.vm_page_maps;
+  }
+  return HvRet::kOk;
+}
+
+HvRet KCore::MapVmPage(VmId vmid, Gfn gfn, Pfn pfn) {
+  ++stats_.hypercalls;
+  VmMeta* vm = GetVm(vmid);
+  if (vm == nullptr || pfn >= mem_->num_pages()) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  TicketGuard guard(s2_lock_);
+  if (vm->state != VmState::kVerified && vm->state != VmState::kActive) {
+    return Reject(HvRet::kBadState);
+  }
+  if (pool_.Contains(pfn)) {
+    return Reject(HvRet::kDenied);
+  }
+  // KCore always checks it is not the owner before mapping (Section 5.3), and
+  // only accepts unmapped KServ pages here.
+  if (!s2pages_.Transfer(pfn, PageOwner::KServ(), PageOwner::Vm(vmid), gfn)) {
+    return Reject(HvRet::kDenied);
+  }
+  // Scrub before handing to the VM: no KServ (or stale) data may leak in.
+  mem_->ZeroPage(pfn);
+  ++stats_.scrubbed_pages;
+  const HvRet ret = vm->s2_table->Set(gfn, pfn, Pte::kWritable);
+  if (ret != HvRet::kOk) {
+    // Roll the ownership transfer back; the mapping never existed.
+    VRM_CHECK(s2pages_.Transfer(pfn, PageOwner::Vm(vmid), PageOwner::KServ()));
+    return Reject(ret);
+  }
+  s2pages_.AddMapping(pfn);
+  ++stats_.vm_page_maps;
+  return HvRet::kOk;
+}
+
+HvRet KCore::UnmapVmPage(VmId vmid, Gfn gfn) {
+  ++stats_.hypercalls;
+  VmMeta* vm = GetVm(vmid);
+  if (vm == nullptr) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  TicketGuard guard(s2_lock_);
+  const auto pfn = vm->s2_table->Walk(gfn);
+  if (!pfn) {
+    return Reject(HvRet::kNotMapped);
+  }
+  const HvRet ret = vm->s2_table->Clear(gfn);  // clear_s2pt: zero + DSB + TLBI
+  if (ret != HvRet::kOk) {
+    return Reject(ret);
+  }
+  s2pages_.RemoveMapping(*pfn);
+  ++stats_.vm_page_unmaps;
+  return HvRet::kOk;
+}
+
+HvRet KCore::MapKServPage(Gfn gfn, Pfn pfn) {
+  ++stats_.hypercalls;
+  if (pfn >= mem_->num_pages()) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  TicketGuard guard(s2_lock_);
+  if (!(s2pages_.Owner(pfn) == PageOwner::KServ())) {
+    // KServ can only map pages it owns — a VM's or KCore's pages never enter
+    // KServ's stage 2 table.
+    return Reject(HvRet::kDenied);
+  }
+  const HvRet ret = kserv_s2_table_->Set(gfn, pfn, Pte::kWritable);
+  if (ret != HvRet::kOk) {
+    return Reject(ret);
+  }
+  s2pages_.AddMapping(pfn);
+  return HvRet::kOk;
+}
+
+ExitReason KCore::SimulateGuest(VmId vmid, Vcpu* vcpu) {
+  VmMeta* vm = GetVm(vmid);
+  VRM_CHECK(vm != nullptr);
+  // One deterministic quantum of guest work: bump a counter in the page backing
+  // gfn 0 (the image's first page) through the stage 2 mapping, and advance the
+  // architectural context so save/restore mismatches are observable.
+  vcpu->ctxt.regs[0] += 1;
+  vcpu->ctxt.pc += 4;
+  ++vcpu->runs;
+  const auto pfn = vm->s2_table->Walk(0);
+  if (!pfn) {
+    return ExitReason::kPageFault;
+  }
+  mem_->WriteU64(*pfn, kPageBytes - 8, mem_->ReadU64(*pfn, kPageBytes - 8) + 1);
+  switch (vcpu->runs % 4) {
+    case 0:
+      return ExitReason::kHypercall;
+    case 1:
+      return ExitReason::kMmio;
+    case 2:
+      return ExitReason::kWfe;
+    default:
+      return ExitReason::kIpi;
+  }
+}
+
+HvRet KCore::RunVcpu(VmId vmid, VcpuId vcpuid, int pcpu, ExitReason* exit_out) {
+  ++stats_.hypercalls;
+  VmMeta* vm = GetVm(vmid);
+  if (vm == nullptr || vcpuid >= vm->vcpus.size()) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  if (vm->state != VmState::kVerified && vm->state != VmState::kActive) {
+    // Unverified images never run — the boot-protocol guarantee.
+    return Reject(HvRet::kBadState);
+  }
+  Vcpu& vcpu = vm->vcpus[vcpuid];
+  {
+    // restore_vm (Figure 2, fixed protocol): under the VM lock, check INACTIVE
+    // and claim the context by setting ACTIVE.
+    TicketGuard guard(*vm->lock);
+    if (vcpu.state != VcpuState::kInactive) {
+      return Reject(HvRet::kBadState);  // the `else panic()` arm
+    }
+    vcpu.state = VcpuState::kActive;
+    vcpu.running_on = pcpu;
+    vm->state = VmState::kActive;
+  }
+  // Context restored; run the guest.
+  const ExitReason exit = SimulateGuest(vmid, &vcpu);
+  // save_vm: save the context *before* publishing INACTIVE (the store-release
+  // ordering whose violation Example 3 exhibits).
+  {
+    TicketGuard guard(*vm->lock);
+    vcpu.running_on = -1;
+    vcpu.state = VcpuState::kInactive;
+  }
+  if (exit_out != nullptr) {
+    *exit_out = exit;
+  }
+  return HvRet::kOk;
+}
+
+HvRet KCore::DestroyVm(VmId vmid) {
+  ++stats_.hypercalls;
+  VmMeta* vm = GetVm(vmid);
+  if (vm == nullptr || vm->state == VmState::kDestroyed) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  TicketGuard guard(s2_lock_);
+  // Any vCPU still marked active means a physical CPU is inside the guest.
+  for (const Vcpu& vcpu : vm->vcpus) {
+    if (vcpu.state != VcpuState::kInactive) {
+      return Reject(HvRet::kBadState);
+    }
+  }
+  // Unmap everything from the VM's stage 2 table (clear_s2pt + TLBI each).
+  std::vector<Gfn> mapped;
+  vm->s2_table->ForEachMapping(
+      [&](Gfn gfn, Pfn pfn, uint64_t attrs) {
+        (void)pfn;
+        (void)attrs;
+        mapped.push_back(gfn);
+      });
+  for (Gfn gfn : mapped) {
+    const auto pfn = vm->s2_table->Walk(gfn);
+    VRM_CHECK(pfn.has_value());
+    VRM_CHECK(vm->s2_table->Clear(gfn) == HvRet::kOk);
+    s2pages_.RemoveMapping(*pfn);
+    ++stats_.vm_page_unmaps;
+  }
+  // Tear down SMMU assignments serving this VM.
+  if (smmu_ != nullptr) {
+    for (int unit = 0; unit < smmu_->num_units(); ++unit) {
+      SmmuUnit& u = smmu_->unit(unit);
+      if (u.assigned && u.assignee == PageOwner::Vm(vmid)) {
+        std::vector<Gfn> io_mapped;
+        u.table->ForEachMapping([&](Gfn iofn, Pfn pfn, uint64_t attrs) {
+          (void)pfn;
+          (void)attrs;
+          io_mapped.push_back(iofn);
+        });
+        for (Gfn iofn : io_mapped) {
+          const auto pfn = u.table->Walk(iofn);
+          VRM_CHECK(pfn.has_value());
+          VRM_CHECK(u.table->Clear(iofn) == HvRet::kOk);
+          s2pages_.RemoveMapping(*pfn);
+        }
+        u.assigned = false;
+        u.assignee = PageOwner::KServ();
+      }
+    }
+  }
+  // Scrub every page the VM owned and return it to KServ — VM confidentiality
+  // across the page's next life.
+  for (Pfn pfn = 0; pfn < mem_->num_pages(); ++pfn) {
+    if (s2pages_.Owner(pfn) == PageOwner::Vm(vmid)) {
+      mem_->ZeroPage(pfn);
+      ++stats_.scrubbed_pages;
+      VRM_CHECK(s2pages_.Transfer(pfn, PageOwner::Vm(vmid), PageOwner::KServ()));
+    }
+  }
+  vm->state = VmState::kDestroyed;
+  vm->image_pfns.clear();
+  return HvRet::kOk;
+}
+
+HvRet KCore::AssignSmmuDevice(int unit, VmId vmid) {
+  ++stats_.hypercalls;
+  if (smmu_ == nullptr || unit < 0 || unit >= smmu_->num_units()) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  VmMeta* vm = GetVm(vmid);
+  if (vm == nullptr || vm->state == VmState::kDestroyed) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  TicketGuard guard(smmu_lock_);
+  SmmuUnit& u = smmu_->unit(unit);
+  if (u.assigned) {
+    return Reject(HvRet::kBadState);
+  }
+  u.assigned = true;
+  u.assignee = PageOwner::Vm(vmid);
+  return HvRet::kOk;
+}
+
+HvRet KCore::AssignSmmuDeviceToKServ(int unit) {
+  ++stats_.hypercalls;
+  if (smmu_ == nullptr || unit < 0 || unit >= smmu_->num_units()) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  TicketGuard guard(smmu_lock_);
+  SmmuUnit& u = smmu_->unit(unit);
+  if (u.assigned) {
+    return Reject(HvRet::kBadState);
+  }
+  u.assigned = true;
+  u.assignee = PageOwner::KServ();
+  return HvRet::kOk;
+}
+
+HvRet KCore::MapSmmu(int unit, Gfn iofn, Pfn pfn) {
+  ++stats_.hypercalls;
+  if (smmu_ == nullptr || unit < 0 || unit >= smmu_->num_units() ||
+      pfn >= mem_->num_pages()) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  TicketGuard guard(smmu_lock_);
+  SmmuUnit& u = smmu_->unit(unit);
+  if (!u.assigned) {
+    return Reject(HvRet::kBadState);
+  }
+  if (pool_.Contains(pfn)) {
+    return Reject(HvRet::kDenied);
+  }
+  // A device DMAs on behalf of its assignee: only the assignee's own pages may
+  // appear in its SMMU table, and never KCore's (Section 5.3).
+  if (!(s2pages_.Owner(pfn) == u.assignee)) {
+    return Reject(HvRet::kDenied);
+  }
+  const HvRet ret = u.table->Set(iofn, pfn, Pte::kWritable);  // set_spt
+  if (ret != HvRet::kOk) {
+    return Reject(ret);
+  }
+  s2pages_.AddMapping(pfn);
+  return HvRet::kOk;
+}
+
+HvRet KCore::UnmapSmmu(int unit, Gfn iofn) {
+  ++stats_.hypercalls;
+  if (smmu_ == nullptr || unit < 0 || unit >= smmu_->num_units()) {
+    return Reject(HvRet::kInvalidArg);
+  }
+  TicketGuard guard(smmu_lock_);
+  SmmuUnit& u = smmu_->unit(unit);
+  const auto pfn = u.table->Walk(iofn);
+  if (!pfn) {
+    return Reject(HvRet::kNotMapped);
+  }
+  const HvRet ret = u.table->Clear(iofn);  // clear_spt: zero + SMMU TLBI
+  if (ret != HvRet::kOk) {
+    return Reject(ret);
+  }
+  s2pages_.RemoveMapping(*pfn);
+  return HvRet::kOk;
+}
+
+const PageTable* KCore::vm_s2_table(VmId vmid) const {
+  const VmMeta* vm = GetVm(vmid);
+  return vm == nullptr ? nullptr : vm->s2_table.get();
+}
+
+VmState KCore::vm_state(VmId vmid) const {
+  const VmMeta* vm = GetVm(vmid);
+  VRM_CHECK(vm != nullptr);
+  return vm->state;
+}
+
+const Vcpu* KCore::vcpu(VmId vmid, VcpuId vcpuid) const {
+  const VmMeta* vm = GetVm(vmid);
+  if (vm == nullptr || vcpuid >= vm->vcpus.size()) {
+    return nullptr;
+  }
+  return &vm->vcpus[vcpuid];
+}
+
+const std::vector<Pfn>& KCore::vm_image_pfns(VmId vmid) const {
+  const VmMeta* vm = GetVm(vmid);
+  VRM_CHECK(vm != nullptr);
+  return vm->image_pfns;
+}
+
+std::optional<Sha512Digest> KCore::vm_verified_hash(VmId vmid) const {
+  const VmMeta* vm = GetVm(vmid);
+  if (vm == nullptr || vm->state == VmState::kRegistered ||
+      vm->state == VmState::kBooting) {
+    return std::nullopt;
+  }
+  if (vm->state == VmState::kDestroyed) {
+    return std::nullopt;
+  }
+  return vm->verified_hash;
+}
+
+const char* ToString(HvRet ret) {
+  switch (ret) {
+    case HvRet::kOk:
+      return "ok";
+    case HvRet::kInvalidArg:
+      return "invalid-arg";
+    case HvRet::kNoMemory:
+      return "no-memory";
+    case HvRet::kDenied:
+      return "denied";
+    case HvRet::kAlreadyMapped:
+      return "already-mapped";
+    case HvRet::kNotMapped:
+      return "not-mapped";
+    case HvRet::kBadState:
+      return "bad-state";
+    case HvRet::kAuthFailed:
+      return "auth-failed";
+  }
+  return "?";
+}
+
+}  // namespace vrm

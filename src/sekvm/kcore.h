@@ -1,0 +1,209 @@
+// KCore: the small trusted core of SeKVM (Section 5).
+//
+// KCore runs at EL2, owns the s2page ownership database, all stage 2 and SMMU
+// page tables, and its own write-once EL2 page table. KServ (the untrusted host
+// Linux) and VMs interact with it only through the hypercall methods below;
+// every request is validated against page ownership before any mapping changes,
+// which is what reduces VM confidentiality and integrity to the invariants in
+// invariants.h.
+//
+// Simplifications relative to the real SeKVM (documented per DESIGN.md):
+//  * The EL2 virtual address space is a linear map (va = pfn * 4K) plus a remap
+//    region for VM images, mirroring Section 5.1's layout.
+//  * Guest execution is simulated: RunVcpu performs a deterministic quantum of
+//    guest work (memory writes through the VM's stage 2 mappings) and returns an
+//    exit reason.
+//  * Crypto: VM images are authenticated either with Ed25519 signatures under
+//    a vendor key embedded in KCore (require_signature mode — the paper's
+//    integrated crypto library) or against a SHA-512 digest registered at
+//    creation (the lighter default for tests).
+
+#ifndef SRC_SEKVM_KCORE_H_
+#define SRC_SEKVM_KCORE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/sekvm/crypto/ed25519.h"
+#include "src/sekvm/crypto/sha512.h"
+#include "src/sekvm/data_oracle.h"
+#include "src/sekvm/page_table.h"
+#include "src/sekvm/phys_mem.h"
+#include "src/sekvm/s2page.h"
+#include "src/sekvm/smmu.h"
+#include "src/sekvm/ticket_lock.h"
+#include "src/sekvm/types.h"
+
+namespace vrm {
+
+struct KCoreConfig {
+  Pfn total_pages = 2048;
+  // When set, VM images must carry an Ed25519 signature by this key (the
+  // vendor key embedded in KCore); otherwise a registered SHA-512 digest is
+  // the authentication root.
+  bool require_signature = false;
+  Ed25519PublicKey vendor_key{};
+  // KCore-private region: page-table pool + metadata. Everything else initially
+  // belongs to KServ.
+  Pfn kcore_pool_start = 8;
+  Pfn kcore_pool_pages = 512;
+  int s2_levels = 4;  // 3 or 4 (Section 5.6)
+  int el2_levels = 4;
+  int smmu_units = 2;
+  int smmu_levels = 4;
+  bool smmu_present = true;
+};
+
+struct VcpuContext {
+  std::array<uint64_t, 16> regs{};
+  uint64_t pc = 0;
+  uint64_t spsr = 0;
+};
+
+struct Vcpu {
+  VcpuState state = VcpuState::kInactive;
+  VcpuContext ctxt;
+  int running_on = -1;  // physical CPU id while ACTIVE
+  uint64_t runs = 0;
+};
+
+// Reasons a simulated vCPU quantum ends.
+enum class ExitReason : uint8_t { kHypercall, kMmio, kWfe, kIpi, kPageFault };
+
+class KCore {
+ public:
+  KCore(PhysMemory* mem, const KCoreConfig& config,
+        DataOracle::Mode oracle_mode = DataOracle::Mode::kPassthrough,
+        uint64_t oracle_seed = 1);
+
+  // --- Boot (Section 5.1) -------------------------------------------------
+  // Claims the pool region, builds the EL2 page table with all physical memory
+  // mapped linearly, and enables stage 2 translation for KServ.
+  HvRet Boot();
+
+  // --- VM lifecycle hypercalls (from KServ) --------------------------------
+  HvRet RegisterVm(VmId* vmid_out);
+  HvRet RegisterVcpu(VmId vmid, VcpuId* vcpuid_out);
+  // Registers the authenticated image digest (read from KServ's signed boot
+  // metadata through the data oracle).
+  HvRet SetVmImageHash(VmId vmid, const Sha512Digest& digest);
+  // Registers the image's Ed25519 signature (signature mode; the vendor public
+  // key is embedded in KCore at build time — Section 5.1's crypto library).
+  HvRet SetVmImageSignature(VmId vmid, const Ed25519Signature& signature);
+  // Donates a KServ page carrying part of the VM image: ownership moves
+  // KServ -> VM and the page is remapped into KCore's EL2 remap region
+  // (remap_pfn, Section 5.1) for hashing.
+  HvRet DonateImagePage(VmId vmid, Pfn pfn);
+  // Hashes the remapped image and compares against the registered digest.
+  HvRet VerifyVmImage(VmId vmid);
+
+  // Stage 2 fault path: KServ proposes a page to back `gfn`. KCore validates
+  // ownership (must be an unmapped KServ page), scrubs it, transfers it to the
+  // VM and maps it (set_s2pt).
+  HvRet MapVmPage(VmId vmid, Gfn gfn, Pfn pfn);
+  // Unmaps a VM page (clear_s2pt + DSB/TLBI) without changing ownership.
+  HvRet UnmapVmPage(VmId vmid, Gfn gfn);
+
+  // KServ's own stage 2 mappings (4 KB granules; see the Table 3 discussion of
+  // KServ TLB pressure).
+  HvRet MapKServPage(Gfn gfn, Pfn pfn);
+
+  // Runs one quantum of a vCPU on physical CPU `pcpu`: checks INACTIVE, marks
+  // ACTIVE, restores the context, simulates guest work, saves the context and
+  // marks INACTIVE again (the Example 3 protocol, with the fixed ordering).
+  HvRet RunVcpu(VmId vmid, VcpuId vcpuid, int pcpu, ExitReason* exit_out);
+
+  // Tears a VM down: unmaps everything, scrubs every VM-owned page, and returns
+  // the pages to KServ.
+  HvRet DestroyVm(VmId vmid);
+
+  // --- SMMU hypercalls (Section 5.4/5.5) ------------------------------------
+  HvRet AssignSmmuDevice(int unit, VmId vmid);
+  HvRet AssignSmmuDeviceToKServ(int unit);
+  HvRet MapSmmu(int unit, Gfn iofn, Pfn pfn);     // set_spt
+  HvRet UnmapSmmu(int unit, Gfn iofn);            // clear_spt
+
+  // --- Introspection (tests, invariant checker, perf model) ----------------
+  const S2PageDb& s2pages() const { return s2pages_; }
+  S2PageDb& s2pages() { return s2pages_; }
+  const PageTable& el2_table() const { return *el2_table_; }
+  const PageTable* vm_s2_table(VmId vmid) const;
+  const PageTable& kserv_s2_table() const { return *kserv_s2_table_; }
+  const Smmu* smmu() const { return smmu_.get(); }
+  Smmu* smmu() { return smmu_.get(); }
+  PhysMemory& mem() { return *mem_; }
+  const PhysMemory& mem() const { return *mem_; }
+  const KCoreConfig& config() const { return config_; }
+  DataOracle& oracle() { return oracle_; }
+
+  VmState vm_state(VmId vmid) const;
+  const Vcpu* vcpu(VmId vmid, VcpuId vcpuid) const;
+  bool stage2_enabled() const { return stage2_enabled_; }
+  bool booted() const { return booted_; }
+  uint32_t num_vms() const { return next_vmid_; }
+  const std::vector<Pfn>& vm_image_pfns(VmId vmid) const;
+  std::optional<Sha512Digest> vm_verified_hash(VmId vmid) const;
+
+  struct Stats {
+    uint64_t hypercalls = 0;
+    uint64_t vm_page_maps = 0;
+    uint64_t vm_page_unmaps = 0;
+    uint64_t scrubbed_pages = 0;
+    uint64_t rejected = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct VmMeta {
+    VmState state = VmState::kRegistered;
+    std::vector<Vcpu> vcpus;
+    std::unique_ptr<PageTable> s2_table;
+    std::unique_ptr<TicketLock> lock;  // per-VM lock (vm_lock in SeKVM)
+    Sha512Digest expected_hash{};
+    bool has_expected_hash = false;
+    Ed25519Signature image_signature{};
+    bool has_signature = false;
+    Sha512Digest verified_hash{};
+    std::vector<Pfn> image_pfns;
+    uint64_t el2_remap_next = 0;  // next slot in the EL2 remap region
+  };
+
+  VmMeta* GetVm(VmId vmid);
+  const VmMeta* GetVm(VmId vmid) const;
+  HvRet Reject(HvRet ret) {
+    ++stats_.rejected;
+    return ret;
+  }
+
+  // Simulates one quantum of guest execution through the VM's stage 2 table.
+  ExitReason SimulateGuest(VmId vmid, Vcpu* vcpu);
+
+  PhysMemory* mem_;
+  KCoreConfig config_;
+  S2PageDb s2pages_;
+  PagePool pool_;
+  DataOracle oracle_;
+
+  std::unique_ptr<PageTable> el2_table_;
+  std::unique_ptr<PageTable> kserv_s2_table_;
+  std::unique_ptr<Smmu> smmu_;
+  std::vector<VmMeta> vms_;
+
+  TicketLock vmid_lock_;   // protects next_vmid (Figure 1's gen_vmid lock)
+  TicketLock s2_lock_;     // global stage-2/ownership lock (npt_lock)
+  TicketLock smmu_lock_;
+
+  VmId next_vmid_ = 0;
+  bool booted_ = false;
+  bool stage2_enabled_ = false;
+  // EL2 remap region base (in EL2 page units). The linear map covers
+  // [0, total_pages); the remap region sits above it.
+  uint64_t el2_remap_base_ = 0;
+  uint64_t el2_remap_used_ = 0;
+  Stats stats_;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SEKVM_KCORE_H_

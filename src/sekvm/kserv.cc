@@ -1,0 +1,194 @@
+#include "src/sekvm/kserv.h"
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+KServ::KServ(KCore* kcore, PhysMemory* mem) : kcore_(kcore), mem_(mem) {}
+
+std::optional<Pfn> KServ::AllocPage() {
+  const S2PageDb& db = kcore_->s2pages();
+  for (Pfn pfn = next_alloc_hint_; pfn < db.num_pages(); ++pfn) {
+    if (db.Owner(pfn) == PageOwner::KServ() && db.MapCount(pfn) == 0) {
+      next_alloc_hint_ = pfn + 1;
+      return pfn;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<VmId> KServ::CreateAndBootVm(int vcpus, int image_pages, uint64_t seed) {
+  VmId vmid = 0;
+  if (kcore_->RegisterVm(&vmid) != HvRet::kOk) {
+    return std::nullopt;
+  }
+  for (int i = 0; i < vcpus; ++i) {
+    VcpuId vcpuid = 0;
+    if (kcore_->RegisterVcpu(vmid, &vcpuid) != HvRet::kOk) {
+      return std::nullopt;
+    }
+  }
+  // Fabricate the image in KServ pages and compute the authentication root the
+  // signed boot metadata would carry (an Ed25519 signature when KCore requires
+  // one, else the SHA-512 digest).
+  Sha512 hasher;
+  std::vector<Pfn> image;
+  std::vector<uint8_t> image_bytes;
+  const bool sign = kcore_->config().require_signature;
+  for (int i = 0; i < image_pages; ++i) {
+    const auto pfn = AllocPage();
+    if (!pfn) {
+      return std::nullopt;
+    }
+    mem_->FillPattern(*pfn, seed + static_cast<uint64_t>(i));
+    hasher.Update(mem_->PageData(*pfn), kPageBytes);
+    if (sign) {
+      image_bytes.insert(image_bytes.end(), mem_->PageData(*pfn),
+                         mem_->PageData(*pfn) + kPageBytes);
+    }
+    image.push_back(*pfn);
+  }
+  if (sign) {
+    if (!has_vendor_secret_) {
+      return std::nullopt;
+    }
+    const Ed25519Signature signature =
+        Ed25519Sign(vendor_secret_, image_bytes.data(), image_bytes.size());
+    if (kcore_->SetVmImageSignature(vmid, signature) != HvRet::kOk) {
+      return std::nullopt;
+    }
+  } else if (kcore_->SetVmImageHash(vmid, hasher.Finish()) != HvRet::kOk) {
+    return std::nullopt;
+  }
+  for (Pfn pfn : image) {
+    if (kcore_->DonateImagePage(vmid, pfn) != HvRet::kOk) {
+      return std::nullopt;
+    }
+  }
+  if (kcore_->VerifyVmImage(vmid) != HvRet::kOk) {
+    return std::nullopt;
+  }
+  vms_.push_back(vmid);
+  return vmid;
+}
+
+HvRet KServ::HandleVmFault(VmId vmid, Gfn gfn) {
+  const auto pfn = AllocPage();
+  if (!pfn) {
+    return HvRet::kNoMemory;
+  }
+  return kcore_->MapVmPage(vmid, gfn, *pfn);
+}
+
+HvRet KServ::RunVmOnce(VmId vmid) {
+  const KCoreConfig& config = kcore_->config();
+  (void)config;
+  for (VcpuId vcpuid = 0;; ++vcpuid) {
+    const Vcpu* vcpu = kcore_->vcpu(vmid, vcpuid);
+    if (vcpu == nullptr) {
+      break;
+    }
+    ExitReason exit = ExitReason::kHypercall;
+    HvRet ret = kcore_->RunVcpu(vmid, vcpuid, static_cast<int>(vcpuid % 8), &exit);
+    if (ret != HvRet::kOk) {
+      return ret;
+    }
+    if (exit == ExitReason::kPageFault) {
+      // The guest touched an unmapped gfn; in this simulation that is gfn 0
+      // before any image mapping exists, or a data gfn. Service and retry once.
+      ret = HandleVmFault(vmid, /*gfn=*/0);
+      if (ret != HvRet::kOk && ret != HvRet::kAlreadyMapped) {
+        return ret;
+      }
+      ret = kcore_->RunVcpu(vmid, vcpuid, static_cast<int>(vcpuid % 8), &exit);
+      if (ret != HvRet::kOk) {
+        return ret;
+      }
+    }
+  }
+  return HvRet::kOk;
+}
+
+HvRet KServ::TryMapKCorePage() {
+  // The page-table pool is KCore-owned; pick its first page.
+  const Pfn target = kcore_->config().kcore_pool_start;
+  return kcore_->MapKServPage(/*gfn=*/target, target);
+}
+
+HvRet KServ::TryDoubleDonate(VmId vm_a, VmId vm_b) {
+  const auto pfn = AllocPage();
+  if (!pfn) {
+    return HvRet::kNoMemory;
+  }
+  mem_->FillPattern(*pfn, 0xd0d0);
+  HvRet ret = kcore_->DonateImagePage(vm_a, *pfn);
+  if (ret != HvRet::kOk) {
+    return ret;
+  }
+  // Second donation of the same physical page must be rejected: the page is now
+  // owned by vm_a.
+  return kcore_->DonateImagePage(vm_b, *pfn);
+}
+
+HvRet KServ::TryMapVmPage(VmId victim) {
+  const auto& image = kcore_->vm_image_pfns(victim);
+  if (image.empty()) {
+    return HvRet::kInvalidArg;
+  }
+  return kcore_->MapKServPage(/*gfn=*/image[0], image[0]);
+}
+
+HvRet KServ::TrySmmuSteal(int unit, VmId victim) {
+  HvRet ret = kcore_->AssignSmmuDeviceToKServ(unit);
+  if (ret != HvRet::kOk && ret != HvRet::kBadState) {
+    return ret;
+  }
+  const auto& image = kcore_->vm_image_pfns(victim);
+  if (image.empty()) {
+    return HvRet::kInvalidArg;
+  }
+  return kcore_->MapSmmu(unit, /*iofn=*/1, image[0]);
+}
+
+HvRet KServ::TryRunUnverified() {
+  VmId vmid = 0;
+  HvRet ret = kcore_->RegisterVm(&vmid);
+  if (ret != HvRet::kOk) {
+    return ret;
+  }
+  VcpuId vcpuid = 0;
+  ret = kcore_->RegisterVcpu(vmid, &vcpuid);
+  if (ret != HvRet::kOk) {
+    return ret;
+  }
+  return kcore_->RunVcpu(vmid, vcpuid, /*pcpu=*/0, nullptr);
+}
+
+HvRet KServ::TryBootTamperedVm() {
+  VmId vmid = 0;
+  HvRet ret = kcore_->RegisterVm(&vmid);
+  if (ret != HvRet::kOk) {
+    return ret;
+  }
+  const auto pfn = AllocPage();
+  if (!pfn) {
+    return HvRet::kNoMemory;
+  }
+  mem_->FillPattern(*pfn, 0x600d);
+  Sha512 hasher;
+  hasher.Update(mem_->PageData(*pfn), kPageBytes);
+  ret = kcore_->SetVmImageHash(vmid, hasher.Finish());
+  if (ret != HvRet::kOk) {
+    return ret;
+  }
+  // Tamper *before* donation (after donation KServ has no write path at all —
+  // the page is VM-owned and unmapped from KServ's stage 2 space).
+  mem_->WriteU64(*pfn, 0, 0xbadbadbadull);
+  ret = kcore_->DonateImagePage(vmid, *pfn);
+  if (ret != HvRet::kOk) {
+    return ret;
+  }
+  return kcore_->VerifyVmImage(vmid);  // must be kAuthFailed
+}
+
+}  // namespace vrm

@@ -1,0 +1,78 @@
+// KServ: the untrusted host-Linux side of SeKVM, simulated.
+//
+// KServ performs all the complex hypervisor-support work (resource allocation,
+// scheduling, device emulation) but holds no capability beyond the hypercall
+// interface. The simulation drives realistic VM lifecycles through that
+// interface, and the `Try*` methods implement the adversarial behaviours the
+// paper's threat model covers — the tests assert that KCore rejects each one
+// and that the security invariants survive.
+
+#ifndef SRC_SEKVM_KSERV_H_
+#define SRC_SEKVM_KSERV_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/sekvm/kcore.h"
+
+namespace vrm {
+
+class KServ {
+ public:
+  KServ(KCore* kcore, PhysMemory* mem);
+
+  // Image-signing credentials, used when KCore requires signed images. In the
+  // deployment model the vendor signs images offline; the simulator's KServ
+  // plays both roles.
+  void SetVendorSecret(const Ed25519SecretKey& secret) {
+    vendor_secret_ = secret;
+    has_vendor_secret_ = true;
+  }
+
+  // Allocates a KServ-owned frame (linear scan of the ownership database,
+  // skipping pages already handed out by this allocator).
+  std::optional<Pfn> AllocPage();
+
+  // Full boot flow: register the VM and its vCPUs, fabricate an image of
+  // `image_pages` pages (deterministic content from `seed`), donate the pages,
+  // register the correct digest, and verify. Returns the vmid.
+  std::optional<VmId> CreateAndBootVm(int vcpus, int image_pages, uint64_t seed);
+
+  // Handles a stage-2 fault by donating a fresh page for `gfn`.
+  HvRet HandleVmFault(VmId vmid, Gfn gfn);
+
+  // Runs every vCPU of the VM once on round-robin physical CPUs, servicing
+  // page-fault exits.
+  HvRet RunVmOnce(VmId vmid);
+
+  HvRet DestroyVm(VmId vmid) { return kcore_->DestroyVm(vmid); }
+
+  // --- Adversarial surface (must all be rejected by KCore) -----------------
+  // Attempt to map a KCore-owned page (from the page-table pool) into KServ's
+  // own stage 2 space.
+  HvRet TryMapKCorePage();
+  // Attempt to donate the same page to two different VMs.
+  HvRet TryDoubleDonate(VmId vm_a, VmId vm_b);
+  // Attempt to map a page owned by `victim` into KServ's stage 2 space.
+  HvRet TryMapVmPage(VmId victim);
+  // Attempt to DMA-map a victim VM's page into an SMMU unit serving KServ.
+  HvRet TrySmmuSteal(int unit, VmId victim);
+  // Attempt to run a vCPU of a VM whose image was never verified.
+  HvRet TryRunUnverified();
+  // Attempt to boot a VM with a tampered image (digest mismatch).
+  HvRet TryBootTamperedVm();
+
+  uint64_t pages_allocated() const { return next_alloc_hint_; }
+
+ private:
+  KCore* kcore_;
+  PhysMemory* mem_;
+  Pfn next_alloc_hint_ = 0;
+  std::vector<VmId> vms_;
+  Ed25519SecretKey vendor_secret_{};
+  bool has_vendor_secret_ = false;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SEKVM_KSERV_H_

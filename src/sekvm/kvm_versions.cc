@@ -1,0 +1,97 @@
+#include "src/sekvm/kvm_versions.h"
+
+#include "src/sekvm/invariants.h"
+#include "src/sekvm/kserv.h"
+
+namespace vrm {
+
+const std::vector<KvmVersion>& AllKvmVersions() {
+  static const std::vector<KvmVersion> kVersions = {
+      {"4.18", false, true, "original verified SeKVM baseline (4-level stage 2)"},
+      {"4.20", true, true, "port with modest KServ changes"},
+      {"5.0", true, true, "port with modest KServ changes"},
+      {"5.1", true, true, "port with modest KServ changes"},
+      {"5.2", true, true, "port with modest KServ changes"},
+      {"5.3", true, true, "port with modest KServ changes"},
+      {"5.4", true, true, "evaluation kernel (Figures 8-9)"},
+      {"5.5", true, true, "latest verified port"},
+  };
+  return kVersions;
+}
+
+std::vector<KCoreConfig> ConfigsFor(const KvmVersion& version) {
+  std::vector<KCoreConfig> configs;
+  auto base = [] {
+    KCoreConfig config;
+    config.total_pages = 1024;
+    config.kcore_pool_start = 8;
+    config.kcore_pool_pages = 256;
+    config.smmu_units = 2;
+    return config;
+  };
+  if (version.supports_4level) {
+    KCoreConfig config = base();
+    config.s2_levels = 4;
+    configs.push_back(config);
+  }
+  if (version.supports_3level) {
+    // 3-level stage 2: fewer intermediate entries to cache, better on CPUs with
+    // small TLBs (Section 5.6).
+    KCoreConfig config = base();
+    config.s2_levels = 3;
+    configs.push_back(config);
+  }
+  return configs;
+}
+
+namespace {
+
+VersionCheckResult RunBattery(const KvmVersion& version, const KCoreConfig& config) {
+  VersionCheckResult result;
+  result.linux_version = version.linux_version;
+  result.s2_levels = config.s2_levels;
+
+  PhysMemory mem(config.total_pages);
+  KCore kcore(&mem, config);
+  result.boot_ok = kcore.Boot() == HvRet::kOk;
+  if (!result.boot_ok) {
+    return result;
+  }
+  KServ kserv(&kcore, &mem);
+
+  // Lifecycle: boot two SMP VMs, run them, destroy one.
+  const auto vm_a = kserv.CreateAndBootVm(/*vcpus=*/2, /*image_pages=*/3, /*seed=*/7);
+  const auto vm_b = kserv.CreateAndBootVm(/*vcpus=*/2, /*image_pages=*/2, /*seed=*/9);
+  result.lifecycle_ok = vm_a.has_value() && vm_b.has_value() &&
+                        kserv.RunVmOnce(*vm_a) == HvRet::kOk &&
+                        kserv.RunVmOnce(*vm_b) == HvRet::kOk &&
+                        kserv.DestroyVm(*vm_b) == HvRet::kOk;
+
+  // Adversarial probes.
+  bool rejected = true;
+  rejected &= kserv.TryMapKCorePage() == HvRet::kDenied;
+  if (vm_a) {
+    rejected &= kserv.TryMapVmPage(*vm_a) == HvRet::kDenied;
+    rejected &= kserv.TrySmmuSteal(/*unit=*/0, *vm_a) == HvRet::kDenied;
+  }
+  rejected &= kserv.TryRunUnverified() == HvRet::kBadState;
+  rejected &= kserv.TryBootTamperedVm() == HvRet::kAuthFailed;
+  result.attacks_rejected = rejected;
+
+  result.invariants_ok = CheckSecurityInvariants(kcore).ok;
+  return result;
+}
+
+}  // namespace
+
+std::vector<VersionCheckResult> VerifyVersionMatrix() {
+  std::vector<VersionCheckResult> results;
+  for (const KvmVersion& version : AllKvmVersions()) {
+    for (const KCoreConfig& config : ConfigsFor(version)) {
+      results.push_back(RunBattery(version, config));
+    }
+  }
+  return results;
+}
+
+}  // namespace vrm

@@ -1,0 +1,155 @@
+#include "src/sekvm/page_table.h"
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+PagePool::PagePool(PhysMemory* mem, Pfn start, Pfn count)
+    : mem_(mem), start_(start), count_(count) {
+  VRM_CHECK(start + count <= mem->num_pages());
+  for (Pfn pfn = start; pfn < start + count; ++pfn) {
+    mem_->ZeroPage(pfn);  // scrub at initialization
+  }
+}
+
+std::optional<Pfn> PagePool::Alloc() {
+  if (used_ == count_) {
+    return std::nullopt;
+  }
+  return start_ + used_++;
+}
+
+PageTable::PageTable(PhysMemory* mem, PagePool* pool, int levels, bool write_once)
+    : mem_(mem), pool_(pool), levels_(levels), write_once_(write_once) {
+  VRM_CHECK(levels >= 2 && levels <= 4);
+}
+
+HvRet PageTable::Init() {
+  VRM_CHECK(!initialized());
+  auto page = pool_->Alloc();
+  if (!page) {
+    return HvRet::kNoMemory;
+  }
+  root_ = *page;
+  ++stats_.tables_allocated;
+  return HvRet::kOk;
+}
+
+HvRet PageTable::Set(Gfn gfn, Pfn pfn, uint64_t attrs) {
+  VRM_CHECK(initialized());
+  // Walk from the root to the leaf table, allocating missing levels. The whole
+  // walk-allocate-set sequence runs inside the caller's critical section; its
+  // transactionality proof is Section 5.4's argument (a racing hardware walk
+  // sees a fault until the final link is written).
+  Pfn table = root_;
+  for (int level = 0; level + 1 < levels_; ++level) {
+    const uint64_t offset = static_cast<uint64_t>(IndexAt(gfn, level)) * 8;
+    const uint64_t entry = mem_->ReadU64(table, offset);
+    if (Pte::Valid(entry)) {
+      table = Pte::Frame(entry);
+      continue;
+    }
+    auto fresh = pool_->Alloc();
+    if (!fresh) {
+      return HvRet::kNoMemory;
+    }
+    ++stats_.tables_allocated;
+    // The new table is fully populated (here: zeroed == all EMPTY) before the
+    // link that makes it reachable is written — the write order that makes the
+    // sequence transactional.
+    mem_->WriteU64(table, offset, Pte::Make(*fresh, 0));
+    table = *fresh;
+  }
+  const uint64_t leaf_offset = static_cast<uint64_t>(IndexAt(gfn, levels_ - 1)) * 8;
+  const uint64_t existing = mem_->ReadU64(table, leaf_offset);
+  if (Pte::Valid(existing)) {
+    ++stats_.rejected_overwrites;
+    return HvRet::kAlreadyMapped;
+  }
+  mem_->WriteU64(table, leaf_offset, Pte::Make(pfn, attrs));
+  ++stats_.sets;
+  return HvRet::kOk;
+}
+
+HvRet PageTable::Clear(Gfn gfn) {
+  VRM_CHECK(initialized());
+  if (write_once_) {
+    // The EL2 table is never unmapped or remapped (Section 5.1).
+    return HvRet::kDenied;
+  }
+  Pfn table = root_;
+  for (int level = 0; level + 1 < levels_; ++level) {
+    const uint64_t entry =
+        mem_->ReadU64(table, static_cast<uint64_t>(IndexAt(gfn, level)) * 8);
+    if (!Pte::Valid(entry)) {
+      return HvRet::kNotMapped;
+    }
+    table = Pte::Frame(entry);
+  }
+  const uint64_t leaf_offset = static_cast<uint64_t>(IndexAt(gfn, levels_ - 1)) * 8;
+  if (!Pte::Valid(mem_->ReadU64(table, leaf_offset))) {
+    return HvRet::kNotMapped;
+  }
+  mem_->WriteU64(table, leaf_offset, 0);
+  // DSB; TLBI covering the unmapped frame; DSB — the sequence
+  // SEQUENTIAL-TLB-INVALIDATION requires after every unmap (Section 5.5). The
+  // simulator records it; the TinyArm rendition proves the ordering on the
+  // relaxed model.
+  ++stats_.tlb_invalidations;
+  invalidation_log_.push_back(gfn);
+  ++stats_.clears;
+  return HvRet::kOk;
+}
+
+std::optional<uint64_t> PageTable::WalkEntry(Gfn gfn) const {
+  if (!initialized()) {
+    return std::nullopt;
+  }
+  Pfn table = root_;
+  for (int level = 0; level + 1 < levels_; ++level) {
+    const uint64_t entry =
+        mem_->ReadU64(table, static_cast<uint64_t>(IndexAt(gfn, level)) * 8);
+    if (!Pte::Valid(entry)) {
+      return std::nullopt;
+    }
+    table = Pte::Frame(entry);
+  }
+  const uint64_t leaf =
+      mem_->ReadU64(table, static_cast<uint64_t>(IndexAt(gfn, levels_ - 1)) * 8);
+  if (!Pte::Valid(leaf)) {
+    return std::nullopt;
+  }
+  return leaf;
+}
+
+std::optional<Pfn> PageTable::Walk(Gfn gfn) const {
+  auto entry = WalkEntry(gfn);
+  if (!entry) {
+    return std::nullopt;
+  }
+  return Pte::Frame(*entry);
+}
+
+void PageTable::ScanTable(Pfn table, int level, Gfn prefix,
+                          const std::function<void(Gfn, Pfn, uint64_t)>& fn) const {
+  for (uint64_t index = 0; index < 512; ++index) {
+    const uint64_t entry = mem_->ReadU64(table, index * 8);
+    if (!Pte::Valid(entry)) {
+      continue;
+    }
+    const Gfn gfn = (prefix << kBitsPerLevel) | index;
+    if (level + 1 == levels_) {
+      fn(gfn, Pte::Frame(entry), Pte::Attrs(entry));
+    } else {
+      ScanTable(Pte::Frame(entry), level + 1, gfn, fn);
+    }
+  }
+}
+
+void PageTable::ForEachMapping(const std::function<void(Gfn, Pfn, uint64_t)>& fn) const {
+  if (initialized()) {
+    ScanTable(root_, 0, 0, fn);
+  }
+}
+
+}  // namespace vrm

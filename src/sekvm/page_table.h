@@ -1,0 +1,130 @@
+// Multi-level page tables built inside simulated physical memory.
+//
+// One mechanism backs all three table families KCore manages:
+//   * stage 2 tables for VMs and KServ (set_s2pt / clear_s2pt, Section 5.4),
+//   * SMMU tables for DMA protection (set_spt / clear_spt),
+//   * KCore's own EL2 table (set_el2_pt), which runs in write-once mode:
+//     only EMPTY entries may be written and nothing is ever unmapped
+//     (WRITE-ONCE-KERNEL-MAPPING, Section 5.1).
+//
+// Tables are 4 KB pages of 512 eight-byte entries allocated from a pool of
+// KCore-owned pages scrubbed at initialization. Set() walks from the root,
+// allocating missing intermediate tables, and refuses to overwrite a valid leaf;
+// Clear() zeroes the leaf and never reclaims tables — exactly the discipline
+// whose TRANSACTIONAL-PAGE-TABLE proof Section 5.4 gives. Clear() also performs
+// the DSB + TLBI sequence (recorded in the invalidation log) required by
+// SEQUENTIAL-TLB-INVALIDATION.
+
+#ifndef SRC_SEKVM_PAGE_TABLE_H_
+#define SRC_SEKVM_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/sekvm/phys_mem.h"
+#include "src/sekvm/types.h"
+
+namespace vrm {
+
+// Pool of KCore-private pages used for page-table nodes. All pages are zeroed
+// up front ("KCore scrubs the pool of memory during initialization").
+class PagePool {
+ public:
+  PagePool(PhysMemory* mem, Pfn start, Pfn count);
+
+  std::optional<Pfn> Alloc();  // returns a zeroed page
+  size_t available() const { return count_ - used_; }
+  bool Contains(Pfn pfn) const { return pfn >= start_ && pfn < start_ + count_; }
+  Pfn start() const { return start_; }
+  Pfn count() const { return count_; }
+
+ private:
+  PhysMemory* mem_;
+  Pfn start_;
+  Pfn count_;
+  Pfn used_ = 0;
+};
+
+// Page-table entry encoding (a simplified Armv8 descriptor).
+struct Pte {
+  static constexpr uint64_t kValid = 1ull << 0;
+  static constexpr uint64_t kWritable = 1ull << 1;
+  static constexpr uint64_t kAttrMask = 0xffeull;  // bits 1..11
+
+  static uint64_t Make(Pfn pfn, uint64_t attrs) {
+    return (pfn << 12) | (attrs & kAttrMask) | kValid;
+  }
+  static bool Valid(uint64_t entry) { return (entry & kValid) != 0; }
+  static Pfn Frame(uint64_t entry) { return entry >> 12; }
+  static uint64_t Attrs(uint64_t entry) { return entry & kAttrMask; }
+};
+
+class PageTable {
+ public:
+  // `levels` in {2, 3, 4}: 9 bits of the frame number per level (Section 5.6's
+  // 3-level vs 4-level stage 2 configurations).
+  PageTable(PhysMemory* mem, PagePool* pool, int levels, bool write_once = false);
+
+  // Allocates the root table. Must be called before any other operation.
+  HvRet Init();
+
+  // set_s2pt / set_spt / set_el2_pt: establish gfn -> pfn. Allocates missing
+  // intermediate tables; fails with kAlreadyMapped when the leaf holds a valid
+  // entry (never overwrites an existing mapping).
+  HvRet Set(Gfn gfn, Pfn pfn, uint64_t attrs);
+
+  // clear_s2pt / clear_spt: zero an existing leaf entry and perform the
+  // DSB + TLBI sequence. Rejected (kDenied) in write-once mode.
+  HvRet Clear(Gfn gfn);
+
+  // Hardware walk against current memory.
+  std::optional<Pfn> Walk(Gfn gfn) const;
+  std::optional<uint64_t> WalkEntry(Gfn gfn) const;
+
+  // Invokes fn(gfn, pfn, attrs) for every valid leaf mapping (invariant checker).
+  void ForEachMapping(const std::function<void(Gfn, Pfn, uint64_t)>& fn) const;
+
+  int levels() const { return levels_; }
+  Pfn root() const { return root_; }
+  bool initialized() const { return root_ != kNoRoot; }
+
+  // Statistics for the perf model and the condition tests.
+  struct Stats {
+    uint64_t sets = 0;
+    uint64_t clears = 0;
+    uint64_t tables_allocated = 0;
+    uint64_t tlb_invalidations = 0;  // DSB+TLBI sequences issued by Clear()
+    uint64_t rejected_overwrites = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  // Gfns invalidated, in order (Sequential-TLB-Invalidation audit).
+  const std::vector<Gfn>& invalidation_log() const { return invalidation_log_; }
+
+ private:
+  static constexpr Pfn kNoRoot = ~0ull;
+  static constexpr int kBitsPerLevel = 9;
+  static constexpr uint64_t kIndexMask = (1ull << kBitsPerLevel) - 1;
+
+  int IndexAt(Gfn gfn, int level) const {
+    const int shift = kBitsPerLevel * (levels_ - 1 - level);
+    return static_cast<int>((gfn >> shift) & kIndexMask);
+  }
+
+  void ScanTable(Pfn table, int level, Gfn prefix,
+                 const std::function<void(Gfn, Pfn, uint64_t)>& fn) const;
+
+  PhysMemory* mem_;
+  PagePool* pool_;
+  int levels_;
+  bool write_once_;
+  Pfn root_ = kNoRoot;
+  Stats stats_;
+  std::vector<Gfn> invalidation_log_;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SEKVM_PAGE_TABLE_H_

@@ -1,0 +1,47 @@
+#include "src/sekvm/phys_mem.h"
+
+#include <cstring>
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+PhysMemory::PhysMemory(Pfn num_pages) : num_pages_(num_pages) {
+  VRM_CHECK(num_pages > 0);
+  bytes_.assign(num_pages * kPageBytes, 0);
+}
+
+uint8_t* PhysMemory::PageData(Pfn pfn) {
+  VRM_CHECK_MSG(pfn < num_pages_, "pfn out of range");
+  return bytes_.data() + pfn * kPageBytes;
+}
+
+const uint8_t* PhysMemory::PageData(Pfn pfn) const {
+  VRM_CHECK_MSG(pfn < num_pages_, "pfn out of range");
+  return bytes_.data() + pfn * kPageBytes;
+}
+
+uint64_t PhysMemory::ReadU64(Pfn pfn, uint64_t offset) const {
+  VRM_CHECK(offset + 8 <= kPageBytes && offset % 8 == 0);
+  uint64_t value;
+  std::memcpy(&value, PageData(pfn) + offset, sizeof(value));
+  return value;
+}
+
+void PhysMemory::WriteU64(Pfn pfn, uint64_t offset, uint64_t value) {
+  VRM_CHECK(offset + 8 <= kPageBytes && offset % 8 == 0);
+  std::memcpy(PageData(pfn) + offset, &value, sizeof(value));
+}
+
+void PhysMemory::ZeroPage(Pfn pfn) { std::memset(PageData(pfn), 0, kPageBytes); }
+
+void PhysMemory::FillPattern(Pfn pfn, uint64_t seed) {
+  for (uint64_t off = 0; off < kPageBytes; off += 8) {
+    // Simple mixing so distinct (pfn, seed) pairs produce distinct contents.
+    uint64_t v = seed * 0x9e3779b97f4a7c15ull + off * 0xbf58476d1ce4e5b9ull + pfn;
+    v ^= v >> 29;
+    WriteU64(pfn, off, v);
+  }
+}
+
+}  // namespace vrm

@@ -1,0 +1,38 @@
+// Simulated physical memory: a flat array of 4 KB frames.
+
+#ifndef SRC_SEKVM_PHYS_MEM_H_
+#define SRC_SEKVM_PHYS_MEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sekvm/types.h"
+
+namespace vrm {
+
+class PhysMemory {
+ public:
+  explicit PhysMemory(Pfn num_pages);
+
+  Pfn num_pages() const { return num_pages_; }
+
+  uint8_t* PageData(Pfn pfn);
+  const uint8_t* PageData(Pfn pfn) const;
+
+  uint64_t ReadU64(Pfn pfn, uint64_t offset) const;
+  void WriteU64(Pfn pfn, uint64_t offset, uint64_t value);
+
+  void ZeroPage(Pfn pfn);
+
+  // Fills a page with a deterministic pattern derived from `seed` (used by the
+  // tests to fabricate VM images and detect leaks).
+  void FillPattern(Pfn pfn, uint64_t seed);
+
+ private:
+  Pfn num_pages_;
+  std::vector<uint8_t> bytes_;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SEKVM_PHYS_MEM_H_

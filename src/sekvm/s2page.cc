@@ -1,0 +1,50 @@
+#include "src/sekvm/s2page.h"
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+S2PageDb::S2PageDb(Pfn num_pages) { pages_.resize(num_pages); }
+
+PageOwner S2PageDb::Owner(Pfn pfn) const {
+  VRM_CHECK(pfn < pages_.size());
+  return pages_[pfn].owner;
+}
+
+uint32_t S2PageDb::MapCount(Pfn pfn) const {
+  VRM_CHECK(pfn < pages_.size());
+  return pages_[pfn].map_count;
+}
+
+Gfn S2PageDb::GfnOf(Pfn pfn) const {
+  VRM_CHECK(pfn < pages_.size());
+  return pages_[pfn].gfn;
+}
+
+bool S2PageDb::Transfer(Pfn pfn, PageOwner expected, PageOwner next, Gfn gfn) {
+  VRM_CHECK(pfn < pages_.size());
+  S2PageInfo& info = pages_[pfn];
+  if (!(info.owner == expected)) {
+    return false;
+  }
+  if (info.map_count != 0) {
+    // A page still mapped somewhere must not change hands; unmap first.
+    return false;
+  }
+  info.owner = next;
+  info.gfn = gfn;
+  return true;
+}
+
+void S2PageDb::AddMapping(Pfn pfn) {
+  VRM_CHECK(pfn < pages_.size());
+  ++pages_[pfn].map_count;
+}
+
+void S2PageDb::RemoveMapping(Pfn pfn) {
+  VRM_CHECK(pfn < pages_.size());
+  VRM_CHECK_MSG(pages_[pfn].map_count > 0, "unbalanced mapping removal");
+  --pages_[pfn].map_count;
+}
+
+}  // namespace vrm

@@ -1,0 +1,51 @@
+// The s2page database: per-physical-page ownership tracking (Section 5.3).
+//
+// KCore tracks the owner of each 4 KB physical page. A page has exactly one
+// owner at any time — KCore, KServ, or a VM — and KCore consults this database
+// before mapping any page into a stage 2 or SMMU page table, which is how VM
+// confidentiality and integrity reduce to ownership invariants.
+
+#ifndef SRC_SEKVM_S2PAGE_H_
+#define SRC_SEKVM_S2PAGE_H_
+
+#include <vector>
+
+#include "src/sekvm/ticket_lock.h"
+#include "src/sekvm/types.h"
+
+namespace vrm {
+
+struct S2PageInfo {
+  PageOwner owner = PageOwner::KServ();
+  uint32_t map_count = 0;  // stage-2/SMMU mappings referencing the page
+  Gfn gfn = 0;             // guest frame it backs when owned by a VM
+};
+
+class S2PageDb {
+ public:
+  explicit S2PageDb(Pfn num_pages);
+
+  PageOwner Owner(Pfn pfn) const;
+  uint32_t MapCount(Pfn pfn) const;
+  Gfn GfnOf(Pfn pfn) const;
+
+  // Ownership transfer. Callers (KCore) hold the s2page lock around a
+  // check-then-transfer sequence; these methods validate the expected current
+  // owner and fail rather than trust the caller.
+  bool Transfer(Pfn pfn, PageOwner expected, PageOwner next, Gfn gfn = 0);
+
+  void AddMapping(Pfn pfn);
+  void RemoveMapping(Pfn pfn);
+
+  Pfn num_pages() const { return static_cast<Pfn>(pages_.size()); }
+
+  TicketLock& lock() { return lock_; }
+
+ private:
+  std::vector<S2PageInfo> pages_;
+  TicketLock lock_;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SEKVM_S2PAGE_H_

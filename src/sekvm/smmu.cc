@@ -1,0 +1,37 @@
+#include "src/sekvm/smmu.h"
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+Smmu::Smmu(PhysMemory* mem, PagePool* pool, int num_units, int levels) {
+  units_.resize(static_cast<size_t>(num_units));
+  for (int id = 0; id < num_units; ++id) {
+    units_[id].unit_id = id;
+    units_[id].table = std::make_unique<PageTable>(mem, pool, levels);
+    VRM_CHECK(units_[id].table->Init() == HvRet::kOk);
+  }
+}
+
+SmmuUnit& Smmu::unit(int id) {
+  VRM_CHECK(id >= 0 && id < num_units());
+  return units_[static_cast<size_t>(id)];
+}
+
+const SmmuUnit& Smmu::unit(int id) const {
+  VRM_CHECK(id >= 0 && id < num_units());
+  return units_[static_cast<size_t>(id)];
+}
+
+std::optional<Pfn> Smmu::TranslateDma(int unit_id, Gfn iofn) {
+  SmmuUnit& u = unit(unit_id);
+  if (!u.enabled) {
+    // The invariant checker flags any disabled unit; a disabled SMMU would let
+    // DMA bypass translation entirely. Model it as untranslated failure.
+    return std::nullopt;
+  }
+  ++u.dma_translations;
+  return u.table->Walk(iofn);
+}
+
+}  // namespace vrm

@@ -1,0 +1,45 @@
+// SMMU (Arm's I/O MMU) simulation: per-device translation units with their own
+// page tables, used by KCore for DMA protection. A DMA-capable device assigned
+// to a VM (or to KServ) can only reach physical memory mapped in its unit's
+// SMMU table (Section 5.3).
+
+#ifndef SRC_SEKVM_SMMU_H_
+#define SRC_SEKVM_SMMU_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/sekvm/page_table.h"
+#include "src/sekvm/types.h"
+
+namespace vrm {
+
+struct SmmuUnit {
+  int unit_id = 0;
+  bool enabled = true;           // invariant: never disabled while in use
+  bool assigned = false;
+  PageOwner assignee = PageOwner::KServ();  // VM or KServ the device serves
+  std::unique_ptr<PageTable> table;          // set_spt / clear_spt target
+  uint64_t dma_translations = 0;
+};
+
+class Smmu {
+ public:
+  Smmu(PhysMemory* mem, PagePool* pool, int num_units, int levels);
+
+  int num_units() const { return static_cast<int>(units_.size()); }
+  SmmuUnit& unit(int id);
+  const SmmuUnit& unit(int id) const;
+
+  // Simulated device DMA: translate an IO frame through the unit's table and
+  // return the physical frame, or nullopt on SMMU fault.
+  std::optional<Pfn> TranslateDma(int unit_id, Gfn iofn);
+
+ private:
+  std::vector<SmmuUnit> units_;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SEKVM_SMMU_H_

@@ -1,0 +1,24 @@
+#include "src/sekvm/ticket_lock.h"
+
+namespace vrm {
+
+void TicketLock::Acquire() {
+  // my_ticket = fetch_and_incr(ticket)  — acquire, like Arm's ldaxr-based RMW.
+  const uint32_t my_ticket = ticket_.fetch_add(1, std::memory_order_acquire);
+  // while (my_ticket != now) {}  — load-acquire per Figure 7.
+  while (now_.load(std::memory_order_acquire) != my_ticket) {
+    // Spin. The simulator's critical sections are short; no backoff needed.
+  }
+}
+
+void TicketLock::Release() {
+  // now++  — store-release per Figure 7. Only the holder writes `now`, so a
+  // relaxed read before the releasing store is the verified pattern.
+  now_.store(now_.load(std::memory_order_relaxed) + 1, std::memory_order_release);
+}
+
+bool TicketLock::Free() const {
+  return ticket_.load(std::memory_order_relaxed) == now_.load(std::memory_order_relaxed);
+}
+
+}  // namespace vrm

@@ -1,0 +1,53 @@
+// The ticket lock of Figure 7, in real C++.
+//
+// KCore serializes all hypercall paths that touch shared metadata with Linux's
+// arm64 ticket lock. The verified implementation uses load-acquire on `ticket`
+// and `now` and store-release on `now`; the C++ rendition below maps those
+// instructions onto the equivalent std::atomic orderings, so running the
+// simulator under TSAN exercises the same synchronization structure the Coq
+// proof covers (the TinyArm rendition in tinyarm_primitives.h is the one the
+// wDRF checkers verify on the Promising machine).
+
+#ifndef SRC_SEKVM_TICKET_LOCK_H_
+#define SRC_SEKVM_TICKET_LOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace vrm {
+
+class TicketLock {
+ public:
+  TicketLock() = default;
+  TicketLock(const TicketLock&) = delete;
+  TicketLock& operator=(const TicketLock&) = delete;
+
+  void Acquire();
+  void Release();
+
+  // True when no CPU holds the lock (diagnostic; racy by nature).
+  bool Free() const;
+
+  // Total acquisitions so far (for the contention statistics in the perf model).
+  uint64_t acquisitions() const { return now_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint32_t> ticket_{0};  // next ticket to hand out
+  std::atomic<uint32_t> now_{0};     // ticket currently being served
+};
+
+// RAII guard.
+class TicketGuard {
+ public:
+  explicit TicketGuard(TicketLock& lock) : lock_(lock) { lock_.Acquire(); }
+  ~TicketGuard() { lock_.Release(); }
+  TicketGuard(const TicketGuard&) = delete;
+  TicketGuard& operator=(const TicketGuard&) = delete;
+
+ private:
+  TicketLock& lock_;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SEKVM_TICKET_LOCK_H_

@@ -1,0 +1,402 @@
+#include "src/sekvm/tinyarm_primitives.h"
+
+#include "src/arch/builder.h"
+
+namespace vrm {
+
+namespace {
+
+constexpr Reg r0 = 0;
+constexpr Reg r1 = 1;
+constexpr Reg r2 = 2;
+constexpr Reg r3 = 3;
+constexpr Reg r4 = 4;
+constexpr Reg r5 = 5;
+constexpr Reg r6 = 6;
+
+// Lock-word cells shared by the lock-based programs.
+constexpr Addr kTicket = 0;
+constexpr Addr kNow = 1;
+
+bool HasAcquire(LockStrength s) {
+  return s == LockStrength::kFull || s == LockStrength::kAcquireOnly;
+}
+
+bool HasRelease(LockStrength s) {
+  return s == LockStrength::kFull || s == LockStrength::kReleaseOnly;
+}
+
+// Ticket-lock acquire (Figure 7) followed by pull of `region`.
+void EmitLockAcquire(ThreadBuilder& t, LockStrength strength, int region) {
+  const MemOrder order = HasAcquire(strength) ? MemOrder::kAcquire : MemOrder::kPlain;
+  t.FetchAddAddr(r0, kTicket, 1, order);
+  t.Label("spin");
+  t.LoadAddr(r1, kNow, order);
+  t.Bne(r0, r1, "spin");
+  t.Pull(region);
+}
+
+void EmitLockAcquire(ThreadBuilder& t, bool verified, int region) {
+  EmitLockAcquire(t, verified ? LockStrength::kFull : LockStrength::kNone, region);
+}
+
+// Push of `region` followed by ticket-lock release (now++ with store-release).
+void EmitLockRelease(ThreadBuilder& t, LockStrength strength, int region) {
+  t.Push(region);
+  t.LoadAddr(r1, kNow);
+  t.AddImm(r1, r1, 1);
+  t.StoreAddr(kNow, r1,
+              HasRelease(strength) ? MemOrder::kRelease : MemOrder::kPlain);
+}
+
+void EmitLockRelease(ThreadBuilder& t, bool verified, int region) {
+  EmitLockRelease(t, verified ? LockStrength::kFull : LockStrength::kNone, region);
+}
+
+}  // namespace
+
+KernelSpec GenVmidKernelSpec(bool verified) {
+  return GenVmidKernelSpecWithStrength(verified ? LockStrength::kFull
+                                                : LockStrength::kNone);
+}
+
+KernelSpec GenVmidKernelSpecWithStrength(LockStrength strength) {
+  constexpr Addr kNextVmid = 2;
+  ProgramBuilder pb(strength == LockStrength::kFull ? "gen_vmid"
+                                                    : "gen_vmid-weakened");
+  pb.MemSize(3);
+  const int region = pb.AddRegion("next_vmid", {kNextVmid});
+  for (int cpu = 0; cpu < 2; ++cpu) {
+    auto& t = pb.NewThread();
+    EmitLockAcquire(t, strength, region);
+    // vmid = next_vmid; if (vmid < MAX_VM) next_vmid++; else panic();
+    t.LoadAddr(r2, kNextVmid);
+    t.MovImm(r3, 4);  // MAX_VM
+    t.Beq(r2, r3, "overflow");
+    t.AddImm(r4, r2, 1);
+    t.StoreAddr(kNextVmid, r4);
+    EmitLockRelease(t, strength, region);
+    t.Halt();
+    t.Label("overflow");
+    t.Panic();
+  }
+  pb.ObserveReg(0, r2).ObserveReg(1, r2).ObserveLoc(kNextVmid);
+
+  KernelSpec spec;
+  spec.program = pb.Build();
+  spec.base_config.max_steps_per_thread = 48;
+  return spec;
+}
+
+KernelSpec GenVmidLlscKernelSpec(bool verified) {
+  constexpr Addr kNextVmid = 2;
+  const MemOrder load_order = verified ? MemOrder::kAcquire : MemOrder::kPlain;
+  ProgramBuilder pb(verified ? "gen_vmid-llsc" : "gen_vmid-llsc-unverified");
+  pb.MemSize(3);
+  const int region = pb.AddRegion("next_vmid", {kNextVmid});
+  for (int cpu = 0; cpu < 2; ++cpu) {
+    auto& t = pb.NewThread();
+    // acquire_lock(): my_ticket = ldaxr/stxr increment of ticket; spin on now.
+    t.Label("retry");
+    t.LoadExAddr(r0, kTicket, load_order);
+    t.AddImm(r4, r0, 1);
+    t.StoreExAddr(r5, kTicket, r4);
+    t.Cbnz(r5, "retry");
+    t.Label("spin");
+    t.LoadAddr(r1, kNow, load_order);
+    t.Bne(r0, r1, "spin");
+    t.Pull(region);
+    // critical section
+    t.LoadAddr(r2, kNextVmid);
+    t.AddImm(r4, r2, 1);
+    t.StoreAddr(kNextVmid, r4);
+    // release_lock()
+    t.Push(region);
+    t.LoadAddr(r1, kNow);
+    t.AddImm(r1, r1, 1);
+    t.StoreAddr(kNow, r1, verified ? MemOrder::kRelease : MemOrder::kPlain);
+    t.Halt();
+  }
+  pb.ObserveReg(0, r2).ObserveReg(1, r2).ObserveLoc(kNextVmid);
+  KernelSpec spec;
+  spec.program = pb.Build();
+  spec.base_config.max_steps_per_thread = 64;
+  return spec;
+}
+
+KernelSpec VcpuContextKernelSpec(bool verified) {
+  constexpr Addr kCtx = 0;
+  constexpr Addr kState = 1;
+  constexpr Word kInactive = 1;
+  constexpr Word kActive = 2;
+  ProgramBuilder pb(verified ? "vcpu_context" : "vcpu_context-unverified");
+  pb.MemSize(2);
+  pb.Init(kState, kActive);  // the vCPU starts ACTIVE on CPU 0
+  const int region = pb.AddRegion("vcpu_ctxt", {kCtx});
+
+  // CPU 0: save_vm — owns the context from the start (boot barrier + pull),
+  // saves it, pushes, then publishes INACTIVE.
+  auto& cpu0 = pb.NewThread();
+  cpu0.Dmb(BarrierKind::kSy);
+  cpu0.Pull(region);
+  cpu0.StoreImm(kCtx, 7, r2);  // save the vCPU context
+  cpu0.Push(region);
+  cpu0.StoreImm(kState, kInactive, r3,
+                verified ? MemOrder::kRelease : MemOrder::kPlain);
+
+  // CPU 1: restore_vm — observes INACTIVE, claims the context.
+  auto& cpu1 = pb.NewThread();
+  cpu1.LoadAddr(r0, kState, verified ? MemOrder::kAcquire : MemOrder::kPlain);
+  cpu1.MovImm(r3, kInactive);
+  cpu1.MovImm(r1, 99);  // sentinel: did not restore
+  cpu1.Bne(r0, r3, "skip");
+  cpu1.StoreImm(kState, kActive, r4);
+  cpu1.Pull(region);
+  cpu1.LoadAddr(r1, kCtx);  // restore the context
+  cpu1.Label("skip");
+  cpu1.Halt();
+
+  pb.ObserveReg(1, r0).ObserveReg(1, r1);
+  KernelSpec spec;
+  spec.program = pb.Build();
+  return spec;
+}
+
+KernelSpec ClearS2ptKernelSpec(bool verified) {
+  // Single-level stage 2 table at cells 4..5; the VM's page is cell 0.
+  constexpr Addr kVmPage = 0;
+  constexpr Addr kPteCell = 4;
+  MmuConfig mmu;
+  mmu.root = kPteCell;
+  mmu.levels = 1;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+
+  ProgramBuilder pb(verified ? "clear_s2pt" : "clear_s2pt-unverified");
+  pb.MemSize(6).Mmu(mmu);
+  pb.Init(kVmPage, 42);
+  pb.MapPage(/*vpage=*/0, /*ppage=*/kVmPage);
+
+  auto& kcore = pb.NewThread();
+  kcore.StoreImm(kPteCell, MmuConfig::kEmpty, r2);  // clear the leaf
+  if (verified) {
+    kcore.Dsb();
+    kcore.TlbiVa(0);
+    kcore.Dsb();
+  }
+
+  auto& vm = pb.NewThread(/*user=*/true);
+  vm.LoadVa(r0, 0);
+  vm.LoadVa(r1, 0);
+
+  pb.ObserveReg(1, r0).ObserveReg(1, r1).ObserveLoc(kPteCell).ObserveTlbs();
+  KernelSpec spec;
+  spec.program = pb.Build();
+  spec.pt_watch = {{kPteCell, 0}};
+  return spec;
+}
+
+KernelSpec RemapPfnKernelSpec(bool verified) {
+  // Single-level EL2 table at cells 4..7; image frames are cells 0 and 1.
+  MmuConfig mmu;
+  mmu.root = 4;
+  mmu.levels = 1;
+  mmu.table_entries = 4;
+  mmu.page_size = 1;
+
+  ProgramBuilder pb(verified ? "remap_pfn" : "remap_pfn-unverified");
+  pb.MemSize(8).Mmu(mmu);
+  pb.Init(0, 11);  // image frame already mapped at boot
+  pb.Init(1, 22);  // frame being remapped into the EL2 remap region
+  pb.MapPage(/*vpage=*/0, /*ppage=*/0);
+  const Addr pte0 = pb.PteAddr(0, 0);
+  const Addr pte1 = pb.PteAddr(1, 0);
+
+  auto& cpu0 = pb.NewThread();
+  if (verified) {
+    // set_el2_pt fills a previously-EMPTY entry: the only EL2 update SeKVM
+    // ever performs after boot (Section 5.1).
+    cpu0.StoreImm(pte1, MmuConfig::MakeEntry(1), r2);
+  } else {
+    // Overwriting the live entry re-creates Example 4's precondition.
+    cpu0.StoreImm(pte0, MmuConfig::MakeEntry(1), r2);
+  }
+
+  auto& cpu1 = pb.NewThread(/*user=*/true);  // KCore on another CPU, reading
+  cpu1.LoadVa(r0, 0);                        // through the kernel page table
+  cpu1.LoadVa(r1, 1);
+
+  pb.ObserveReg(1, r0).ObserveReg(1, r1);
+  KernelSpec spec;
+  spec.program = pb.Build();
+  spec.kernel_pt_cells = {4, 5, 6, 7};
+  return spec;
+}
+
+namespace {
+
+// Rebuilds the page-table arena layout used by ProgramBuilder for a standalone
+// MmuConfig (tables laid out level by level starting at mmu.root).
+Addr ArenaTableBase(const MmuConfig& mmu, VirtAddr vpage, int level) {
+  const Word entries = static_cast<Word>(mmu.table_entries);
+  Word tables_before = 0;
+  Word level_count = 1;
+  for (int l = 0; l < level; ++l) {
+    tables_before += level_count;
+    level_count *= entries;
+  }
+  Word tindex = vpage;
+  for (int l = 0; l < mmu.levels - level; ++l) {
+    tindex /= entries;
+  }
+  return mmu.root + static_cast<Addr>((tables_before + tindex) * entries);
+}
+
+Addr ArenaPteAddr(const MmuConfig& mmu, VirtAddr vpage, int level) {
+  return ArenaTableBase(mmu, vpage, level) +
+         static_cast<Addr>(mmu.LevelIndex(vpage, level));
+}
+
+}  // namespace
+
+PtWriteSequence SetS2ptWriteSequence(int levels) {
+  PtWriteSequence seq;
+  seq.mmu.enabled = true;
+  seq.mmu.root = 8;
+  seq.mmu.levels = levels;
+  seq.mmu.table_entries = 2;
+  seq.mmu.page_size = 1;
+  // Fresh tree: everything EMPTY. set_s2pt walks from the root, linking a fresh
+  // zeroed table at each missing level, then sets the leaf — writes in
+  // program order are top-down (Section 5.4).
+  for (int level = 0; level + 1 < levels; ++level) {
+    seq.writes.push_back({ArenaPteAddr(seq.mmu, 0, level),
+                          MmuConfig::MakeEntry(ArenaTableBase(seq.mmu, 0, level + 1))});
+  }
+  seq.writes.push_back({ArenaPteAddr(seq.mmu, 0, levels - 1), MmuConfig::MakeEntry(1)});
+  seq.probe_vpages = {0, 1};
+  return seq;
+}
+
+PtWriteSequence ClearS2ptWriteSequence(int levels) {
+  PtWriteSequence seq;
+  seq.mmu.enabled = true;
+  seq.mmu.root = 8;
+  seq.mmu.levels = levels;
+  seq.mmu.table_entries = 2;
+  seq.mmu.page_size = 1;
+  // Existing mapping vpage 0 -> frame 1; clear_s2pt zeroes only the leaf.
+  for (int level = 0; level + 1 < levels; ++level) {
+    seq.initial[ArenaPteAddr(seq.mmu, 0, level)] =
+        MmuConfig::MakeEntry(ArenaTableBase(seq.mmu, 0, level + 1));
+  }
+  seq.initial[ArenaPteAddr(seq.mmu, 0, levels - 1)] = MmuConfig::MakeEntry(1);
+  seq.writes.push_back({ArenaPteAddr(seq.mmu, 0, levels - 1), MmuConfig::kEmpty});
+  seq.probe_vpages = {0, 1};
+  return seq;
+}
+
+PtWriteSequence NonTransactionalWriteSequence() {
+  // Example 5: unmap the directory, then point the (still-linked) leaf at a new
+  // frame. The reordered prefix [leaf write] exposes frame 1 with the old
+  // directory intact — neither the before- nor the after-mapping.
+  PtWriteSequence seq;
+  seq.mmu.enabled = true;
+  seq.mmu.root = 8;
+  seq.mmu.levels = 2;
+  seq.mmu.table_entries = 2;
+  seq.mmu.page_size = 1;
+  const Addr pgd = ArenaPteAddr(seq.mmu, 0, 0);
+  const Addr pte = ArenaPteAddr(seq.mmu, 0, 1);
+  seq.initial[pgd] = MmuConfig::MakeEntry(ArenaTableBase(seq.mmu, 0, 1));
+  seq.initial[pte] = MmuConfig::MakeEntry(0);  // old frame 0
+  seq.writes.push_back({pgd, MmuConfig::kEmpty});
+  seq.writes.push_back({pte, MmuConfig::MakeEntry(1)});
+  seq.probe_vpages = {0};
+  return seq;
+}
+
+KernelSpec SeqlockKernelSpec(bool verified) {
+  constexpr Addr kSeq = 0;
+  constexpr Addr kData1 = 1;
+  constexpr Addr kData2 = 2;
+  ProgramBuilder pb(verified ? "seqlock" : "seqlock-unverified");
+  pb.MemSize(3);
+  const int region = pb.AddRegion("seq_data", {kData1, kData2});
+
+  // Writer: seq++ (odd = in progress); write both cells; seq++ (even).
+  auto& writer = pb.NewThread();
+  writer.Dmb(BarrierKind::kSy);
+  writer.Pull(region);  // the writer side is well-synchronized (sole writer)
+  writer.LoadAddr(r0, kSeq);
+  writer.AddImm(r0, r0, 1);
+  writer.StoreAddr(kSeq, r0);
+  if (verified) {
+    writer.Dmb(BarrierKind::kSt);  // smp_wmb: seq-odd before the data
+  }
+  writer.StoreImm(kData1, 1, r2);
+  writer.StoreImm(kData2, 1, r2);
+  writer.Push(region);
+  writer.AddImm(r0, r0, 1);
+  writer.StoreAddr(kSeq, r0, verified ? MemOrder::kRelease : MemOrder::kPlain);
+
+  // Reader: retry until an even, unchanged sequence brackets the snapshot.
+  auto& reader = pb.NewThread();
+  reader.MovImm(r5, 0);  // retry counter
+  reader.MovImm(r6, 0);  // success flag
+  reader.Label("retry");
+  reader.AddImm(r5, r5, 1);
+  reader.MovImm(r4, 4);
+  reader.Beq(r5, r4, "giveup");
+  reader.LoadAddr(r1, kSeq, verified ? MemOrder::kAcquire : MemOrder::kPlain);
+  reader.MovImm(r4, 1);
+  reader.And(r4, r1, r4);
+  reader.Cbnz(r4, "retry");  // odd: writer in progress
+  reader.LoadAddr(r2, kData1);
+  reader.LoadAddr(r3, kData2);
+  if (verified) {
+    reader.Dmb(BarrierKind::kLd);  // smp_rmb: the data before the re-check
+  }
+  reader.LoadAddr(r4, kSeq);
+  reader.Bne(r1, r4, "retry");  // sequence moved: torn snapshot, retry
+  reader.MovImm(r6, 1);
+  reader.Label("giveup");
+  reader.Halt();
+
+  pb.ObserveReg(1, r2).ObserveReg(1, r3).ObserveReg(1, r6);
+  KernelSpec spec;
+  spec.program = pb.Build();
+  spec.base_config.max_steps_per_thread = 64;
+  return spec;
+}
+
+LockedCounterProgram MakeLockedCounter(int rounds, bool verified) {
+  constexpr Addr kCounter = 2;
+  ProgramBuilder pb("locked_counter");
+  pb.MemSize(3);
+  const int region = pb.AddRegion("counter", {kCounter});
+  for (int cpu = 0; cpu < 2; ++cpu) {
+    auto& t = pb.NewThread();
+    t.MovImm(r5, 0);
+    t.MovImm(r6, static_cast<Word>(rounds));
+    t.Label("loop");
+    EmitLockAcquire(t, verified, region);
+    t.LoadAddr(r2, kCounter);
+    t.AddImm(r2, r2, 1);
+    t.StoreAddr(kCounter, r2);
+    EmitLockRelease(t, verified, region);
+    t.AddImm(r5, r5, 1);
+    t.Bne(r5, r6, "loop");
+    t.Halt();
+  }
+  pb.ObserveLoc(kCounter);
+
+  LockedCounterProgram out;
+  out.counter_cell = kCounter;
+  out.program = pb.Build();
+  out.config.max_steps_per_thread = 40 + 50 * rounds;
+  out.config.pushpull = true;
+  return out;
+}
+
+}  // namespace vrm

@@ -1,0 +1,105 @@
+// KCore's concurrency- and MMU-critical primitives as TinyArm programs.
+//
+// This is the artifact Section 5 verifies: the ticket lock (Figure 7), the vCPU
+// context ownership protocol, set_s2pt/clear_s2pt, set_el2_pt/remap_pfn — each
+// expressed at the instruction level with its real barriers, annotated with
+// push/pull ghosts and region/PT metadata, so the src/vrm checkers can validate
+// the wDRF conditions for them on the Promising-Arm machine and the refinement
+// checker can validate the wDRF theorem's conclusion. Every factory takes a
+// `verified` flag: true builds the barrier discipline the proofs cover; false
+// builds the subtly broken variant the paper's examples show misbehaving, which
+// the checkers must flag.
+
+#ifndef SRC_SEKVM_TINYARM_PRIMITIVES_H_
+#define SRC_SEKVM_TINYARM_PRIMITIVES_H_
+
+#include <map>
+#include <vector>
+
+#include "src/litmus/litmus.h"
+#include "src/vrm/conditions.h"
+#include "src/vrm/txn_pt_checker.h"
+
+namespace vrm {
+
+// Barrier-placement strength of the ticket lock, for the ablation sweeps: the
+// full Figure 7 discipline, each half alone, or plain accesses throughout.
+enum class LockStrength {
+  kFull,         // acquire loads + release store (verified SeKVM)
+  kAcquireOnly,  // acquire loads, plain release store
+  kReleaseOnly,  // plain loads, release store
+  kNone,         // plain everything (Example 2's bug)
+};
+
+// gen_vmid (Figures 1 and 7): two CPUs allocate VMIDs under the ticket lock.
+// Region: next_vmid. `verified` selects load-acquire/store-release in the lock.
+KernelSpec GenVmidKernelSpec(bool verified);
+KernelSpec GenVmidKernelSpecWithStrength(LockStrength strength);
+
+// gen_vmid under the pre-LSE arm64 ticket lock: the ticket is taken with a
+// ldaxr/stxr retry loop instead of an atomic fetch-add — the actual Linux 4.18
+// spinlock shape the paper's Figure 7 pseudocode abstracts. `verified` selects
+// ldaxr (acquire) vs plain ldxr in the exclusive pair and the acquire spin.
+KernelSpec GenVmidLlscKernelSpec(bool verified);
+
+// The vCPU context protocol (Section 5.2 / Example 3): CPU 0 saves a vCPU
+// context and publishes INACTIVE; CPU 1 claims it by observing INACTIVE and
+// setting ACTIVE. Region: the context slot. `verified` selects the
+// release/acquire pair on the state variable.
+KernelSpec VcpuContextKernelSpec(bool verified);
+
+// clear_s2pt racing a VM's MMU walk (Example 6 in SeKVM clothing): CPU 0 unmaps
+// a stage 2 leaf; the VM on CPU 1 keeps accessing the page. `verified` inserts
+// the DSB + TLBI + DSB sequence. The spec arms pt_watch so
+// SEQUENTIAL-TLB-INVALIDATION is checked.
+KernelSpec ClearS2ptKernelSpec(bool verified);
+
+// set_el2_pt / remap_pfn (Section 5.1): CPU 0 remaps VM image pages into the
+// EL2 remap region; CPU 1 (KCore on another CPU) reads through the kernel page
+// table. `verified` writes only EMPTY entries; the buggy variant remaps a live
+// entry (Example 4's precondition). kernel_pt_cells arm WRITE-ONCE monitoring.
+KernelSpec RemapPfnKernelSpec(bool verified);
+
+// set_s2pt's write sequence for the TRANSACTIONAL-PAGE-TABLE checker: the
+// walk-allocate-link-set order of Section 5.4, parameterized by table depth
+// (2 or 3 TinyArm levels standing for the 3- and 4-level stage 2 configs).
+struct PtWriteSequence {
+  MmuConfig mmu;
+  std::map<Addr, Word> initial;
+  std::vector<PtWrite> writes;
+  std::vector<VirtAddr> probe_vpages;
+};
+PtWriteSequence SetS2ptWriteSequence(int levels);
+
+// clear_s2pt's (single) write, for the same checker.
+PtWriteSequence ClearS2ptWriteSequence(int levels);
+
+// The non-transactional update of Example 5 (unmap the directory, then reuse
+// the leaf), which the checker must reject.
+PtWriteSequence NonTransactionalWriteSequence();
+
+// A seqlock: writer bumps a sequence counter around its updates; readers retry
+// until they observe an even, unchanged sequence. Seqlocks deliberately let
+// readers race with the writer, so DRF-KERNEL does NOT hold — yet with the
+// right barriers the observable behaviour still refines SC. This is Section
+// 3's point that the wDRF conditions are sufficient but not necessary: such
+// systems fall outside VRM and need direct RM reasoning (here: the refinement
+// checker run directly). `verified` selects the acquire/dmb-protected reader
+// and writer; the broken variant lets readers accept torn snapshots.
+// Observables: reader r2/r3 = the two data cells, r6 = 1 if a snapshot was
+// accepted (0 if it gave up retrying).
+KernelSpec SeqlockKernelSpec(bool verified);
+
+// Two CPUs incrementing a shared counter `rounds` times each under the ticket
+// lock with pull/push ghosts — the workhorse program for the SC-construction
+// demo (Figure 6) and the DRF checker. Exposes the counter cell for assertions.
+struct LockedCounterProgram {
+  Program program;
+  ModelConfig config;
+  Addr counter_cell;
+};
+LockedCounterProgram MakeLockedCounter(int rounds, bool verified);
+
+}  // namespace vrm
+
+#endif  // SRC_SEKVM_TINYARM_PRIMITIVES_H_

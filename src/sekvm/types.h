@@ -1,0 +1,87 @@
+// Core types for the SeKVM hypervisor simulation.
+//
+// SeKVM (Li et al., IEEE S&P'21) retrofits KVM into KCore — a small trusted core
+// running at EL2 that controls stage 2 and SMMU page tables and tracks page
+// ownership — and KServ, the untrusted remainder of the host Linux kernel. This
+// library simulates that system faithfully enough to (a) run the paper's
+// security-invariant checks, (b) express KCore's synchronization and page-table
+// primitives as TinyArm programs for the wDRF condition checkers, and (c) drive
+// the performance model.
+
+#ifndef SRC_SEKVM_TYPES_H_
+#define SRC_SEKVM_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vrm {
+
+using VmId = uint32_t;
+using VcpuId = uint32_t;
+using Pfn = uint64_t;  // physical frame number
+using Gfn = uint64_t;  // guest frame number
+
+inline constexpr uint64_t kPageBytes = 4096;
+inline constexpr VmId kMaxVms = 64;
+inline constexpr VcpuId kMaxVcpusPerVm = 8;
+
+// Owner of a physical page in the s2page database. A page has exactly one owner
+// at any time (Section 5.3).
+struct PageOwner {
+  enum class Kind : uint8_t { kKCore, kKServ, kVm };
+  Kind kind = Kind::kKServ;
+  VmId vm = 0;  // valid when kind == kVm
+
+  static PageOwner KCore() { return {Kind::kKCore, 0}; }
+  static PageOwner KServ() { return {Kind::kKServ, 0}; }
+  static PageOwner Vm(VmId vm) { return {Kind::kVm, vm}; }
+
+  bool operator==(const PageOwner& other) const {
+    return kind == other.kind && (kind != Kind::kVm || vm == other.vm);
+  }
+
+  std::string ToString() const {
+    switch (kind) {
+      case Kind::kKCore:
+        return "KCore";
+      case Kind::kKServ:
+        return "KServ";
+      case Kind::kVm:
+        return "VM" + std::to_string(vm);
+    }
+    return "?";
+  }
+};
+
+// Hypercall / primitive result codes. KCore rejects rather than trusts: every
+// invalid request from KServ or a VM returns an error without mutating state.
+enum class HvRet : uint8_t {
+  kOk,
+  kInvalidArg,
+  kNoMemory,
+  kDenied,          // ownership / isolation violation attempt
+  kAlreadyMapped,   // set_*pt refusing to overwrite an existing mapping
+  kNotMapped,
+  kBadState,        // VM lifecycle violation (e.g. run before verification)
+  kAuthFailed,      // VM image hash mismatch
+};
+
+const char* ToString(HvRet ret);
+
+// VM lifecycle (a simplified rendition of SeKVM's boot protocol).
+enum class VmState : uint8_t {
+  kRegistered,   // vmid allocated
+  kBooting,      // image pages donated and remapped into KCore's EL2 space
+  kVerified,     // image authenticated; vCPUs may run
+  kActive,       // has run at least once
+  kDestroyed,    // pages scrubbed and returned to KServ
+};
+
+enum class VcpuState : uint8_t {
+  kInactive = 1,  // context saved, not running on any physical CPU
+  kActive = 2,    // owned by a physical CPU
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SEKVM_TYPES_H_

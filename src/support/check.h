@@ -1,0 +1,38 @@
+// Lightweight always-on invariant checks for the VRM libraries.
+//
+// These fire in all build types: the model-exploration code relies on internal
+// invariants whose violation would silently corrupt verification verdicts, so the
+// cost of keeping them enabled is accepted.
+
+#ifndef SRC_SUPPORT_CHECK_H_
+#define SRC_SUPPORT_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vrm {
+
+[[noreturn]] inline void CheckFailed(const char* cond, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "VRM_CHECK failed: %s at %s:%d%s%s\n", cond, file, line,
+               msg[0] != '\0' ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace vrm
+
+#define VRM_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::vrm::CheckFailed(#cond, __FILE__, __LINE__, "");       \
+    }                                                          \
+  } while (0)
+
+#define VRM_CHECK_MSG(cond, msg)                               \
+  do {                                                         \
+    if (!(cond)) {                                             \
+      ::vrm::CheckFailed(#cond, __FILE__, __LINE__, (msg));    \
+    }                                                          \
+  } while (0)
+
+#endif  // SRC_SUPPORT_CHECK_H_

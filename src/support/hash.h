@@ -1,0 +1,55 @@
+// Hash helpers used for state deduplication in the model explorers.
+
+#ifndef SRC_SUPPORT_HASH_H_
+#define SRC_SUPPORT_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace vrm {
+
+// 64-bit FNV-1a over an arbitrary byte range.
+inline uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed = 0xcbf29ce484222325ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  // Boost-style combiner widened to 64 bits.
+  a ^= b + 0x9e3779b97f4a7c15ull + (a << 12) + (a >> 4);
+  return a;
+}
+
+// Accumulates a canonical byte serialization of explorer states. The serialized
+// form doubles as the exact deduplication key (no reliance on hash uniqueness).
+class StateSerializer {
+ public:
+  void U8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+
+  void Raw(const void* data, size_t len) {
+    const char* p = static_cast<const char*>(data);
+    bytes_.append(p, len);
+  }
+
+  const std::string& bytes() const { return bytes_; }
+
+  std::string Take() { return std::move(bytes_); }
+
+ private:
+  std::string bytes_;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SUPPORT_HASH_H_

@@ -1,0 +1,16 @@
+#include "src/support/rng.h"
+
+#include <cmath>
+
+namespace vrm {
+
+double Rng::NextExp(double mean) {
+  // Inverse-CDF sampling; clamp the uniform away from 0 to keep log() finite.
+  double u = NextDouble();
+  if (u < 1e-12) {
+    u = 1e-12;
+  }
+  return -mean * std::log(u);
+}
+
+}  // namespace vrm

@@ -1,0 +1,62 @@
+// Deterministic pseudo-random number generator.
+//
+// Used by the random-walk executors and the performance simulator. Deterministic
+// and seed-stable across platforms so that test expectations and benchmark tables
+// reproduce exactly.
+
+#ifndef SRC_SUPPORT_RNG_H_
+#define SRC_SUPPORT_RNG_H_
+
+#include <cstdint>
+
+namespace vrm {
+
+// xorshift128+ — fast, passes BigCrush for the uses here (scheduling choices and
+// workload synthesis, not cryptography).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding to avoid weak low-entropy states.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+    s0_ = Mix(&z);
+    s1_ = Mix(&z);
+    if (s0_ == 0 && s1_ == 0) {
+      s1_ = 1;
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  // Uniform in [0, n). n must be nonzero.
+  uint64_t Below(uint64_t n) { return Next() % n; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  // Exponentially distributed with the given mean.
+  double NextExp(double mean);
+
+  bool Chance(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Mix(uint64_t* z) {
+    uint64_t x = *z += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+  }
+
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SUPPORT_RNG_H_

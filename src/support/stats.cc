@@ -1,0 +1,50 @@
+#include "src/support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+void Summary::Add(double sample) {
+  samples_.push_back(sample);
+  sum_ += sample;
+  sorted_ = samples_.size() <= 1;
+}
+
+double Summary::mean() const {
+  return samples_.empty() ? 0.0 : sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::min() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Summary::Percentile(double p) const {
+  VRM_CHECK(p >= 0.0 && p <= 100.0);
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const size_t low = static_cast<size_t>(std::floor(rank));
+  const size_t high = static_cast<size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(low);
+  return samples_[low] * (1.0 - frac) + samples_[high] * frac;
+}
+
+}  // namespace vrm

@@ -1,0 +1,35 @@
+// Streaming summary statistics (count / mean / min / max / percentiles).
+//
+// Used by the discrete-event simulator to report per-cycle completion-latency
+// distributions, which is how oversubscription shows up before throughput
+// collapses. Samples are retained (simulations are bounded), so percentiles are
+// exact.
+
+#ifndef SRC_SUPPORT_STATS_H_
+#define SRC_SUPPORT_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace vrm {
+
+class Summary {
+ public:
+  void Add(double sample);
+
+  size_t count() const { return samples_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  // Exact percentile by nearest-rank; `p` in [0, 100]. Zero samples -> 0.
+  double Percentile(double p) const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+  double sum_ = 0;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SUPPORT_STATS_H_

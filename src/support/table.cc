@@ -1,0 +1,125 @@
+#include "src/support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+namespace {
+
+bool LooksNumeric(const std::string& s) {
+  if (s.empty()) {
+    return false;
+  }
+  for (char c : s) {
+    if (!(c == '.' || c == '-' || c == '+' || c == ',' || c == '%' || c == 'x' ||
+          (c >= '0' && c <= '9'))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  VRM_CHECK_MSG(row.size() == header_.size(), "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::Render() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](std::string* out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      const bool right = c > 0 && LooksNumeric(row[c]);
+      const size_t pad = widths[c] - row[c].size();
+      out->append("| ");
+      if (right) {
+        out->append(pad, ' ');
+      }
+      out->append(row[c]);
+      if (!right) {
+        out->append(pad, ' ');
+      }
+      out->append(" ");
+    }
+    out->append("|\n");
+  };
+
+  std::string out;
+  emit_row(&out, header_);
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out.append("|");
+    out.append(widths[c] + 2, '-');
+  }
+  out.append("|\n");
+  for (const auto& row : rows_) {
+    emit_row(&out, row);
+  }
+  return out;
+}
+
+std::string TextTable::RenderCsv() const {
+  auto emit = [](std::string* out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        out->append(",");
+      }
+      // Cells never contain commas except formatted numbers; strip separators so
+      // the CSV stays parseable.
+      for (char ch : row[c]) {
+        if (ch != ',') {
+          out->push_back(ch);
+        }
+      }
+    }
+    out->append("\n");
+  };
+  std::string out;
+  emit(&out, header_);
+  for (const auto& row : rows_) {
+    emit(&out, row);
+  }
+  return out;
+}
+
+std::string FormatDouble(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string FormatWithCommas(int64_t v) {
+  const bool neg = v < 0;
+  uint64_t mag = neg ? static_cast<uint64_t>(-v) : static_cast<uint64_t>(v);
+  std::string digits = std::to_string(mag);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) {
+      out.push_back(',');
+    }
+    out.push_back(*it);
+    ++count;
+  }
+  if (neg) {
+    out.push_back('-');
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace vrm

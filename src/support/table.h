@@ -1,0 +1,44 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every bench binary regenerates one of the paper's tables or figures as an
+// aligned text table plus a machine-readable CSV block, so results can be diffed
+// and re-plotted.
+
+#ifndef SRC_SUPPORT_TABLE_H_
+#define SRC_SUPPORT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace vrm {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+
+  // Renders with padded, right-aligned numeric-looking cells and a rule under the
+  // header.
+  std::string Render() const;
+
+  // Renders as CSV (header + rows) for downstream plotting.
+  std::string RenderCsv() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimal places.
+std::string FormatDouble(double v, int decimals);
+
+// Formats an integer with thousands separators (e.g. 15,501) as in the paper's
+// cycle-count tables.
+std::string FormatWithCommas(int64_t v);
+
+}  // namespace vrm
+
+#endif  // SRC_SUPPORT_TABLE_H_

@@ -1,0 +1,106 @@
+#include "src/vrm/conditions.h"
+
+#include "src/model/explorer.h"
+#include "src/model/promising_machine.h"
+#include "src/support/check.h"
+
+namespace vrm {
+
+const char* ConditionName(WdrfCondition condition) {
+  switch (condition) {
+    case WdrfCondition::kDrfKernel:
+      return "DRF-KERNEL";
+    case WdrfCondition::kNoBarrierMisuse:
+      return "NO-BARRIER-MISUSE";
+    case WdrfCondition::kWriteOnceKernelMapping:
+      return "WRITE-ONCE-KERNEL-MAPPING";
+    case WdrfCondition::kTransactionalPageTable:
+      return "TRANSACTIONAL-PAGE-TABLE";
+    case WdrfCondition::kSequentialTlbInvalidation:
+      return "SEQUENTIAL-TLB-INVALIDATION";
+    case WdrfCondition::kMemoryIsolation:
+      return "MEMORY-ISOLATION";
+  }
+  return "?";
+}
+
+bool WdrfReport::AllHold() const {
+  for (const ConditionVerdict& verdict : verdicts) {
+    if (verdict.checked && !verdict.holds) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const ConditionVerdict& WdrfReport::Verdict(WdrfCondition condition) const {
+  for (const ConditionVerdict& verdict : verdicts) {
+    if (verdict.condition == condition) {
+      return verdict;
+    }
+  }
+  VRM_CHECK_MSG(false, "condition missing from report");
+  __builtin_unreachable();
+}
+
+std::string WdrfReport::ToString() const {
+  std::string out;
+  for (const ConditionVerdict& verdict : verdicts) {
+    out += ConditionName(verdict.condition);
+    out += ": ";
+    if (!verdict.checked) {
+      out += "not checked";
+    } else {
+      out += verdict.holds ? "HOLDS" : "VIOLATED";
+    }
+    if (!verdict.detail.empty()) {
+      out += " (" + verdict.detail + ")";
+    }
+    out += "\n";
+  }
+  if (truncated) {
+    out += "[exploration truncated: verdicts are bounded]\n";
+  }
+  return out;
+}
+
+WdrfReport CheckWdrf(const KernelSpec& spec) {
+  ModelConfig config = spec.base_config;
+  config.pushpull = !spec.program.regions.empty();
+  config.write_once_cells = spec.kernel_pt_cells;
+  config.pt_watch = spec.pt_watch;
+  config.user_cells = spec.user_cells;
+  config.kernel_cells = spec.kernel_cells;
+
+  PromisingMachine machine(spec.program, config);
+  ExploreResult result = Explore(machine, config);
+
+  WdrfReport report;
+  report.stats = result.stats;
+  report.truncated = result.stats.truncated;
+  const ConditionViolations& v = result.violations;
+
+  auto add = [&](WdrfCondition condition, bool checked, bool violated,
+                 std::string detail) {
+    report.verdicts.push_back(
+        {condition, checked && !violated, checked, std::move(detail)});
+  };
+
+  add(WdrfCondition::kDrfKernel, config.pushpull, v.drf.set, v.drf.detail);
+  add(WdrfCondition::kNoBarrierMisuse, config.pushpull, v.barrier.set,
+      v.barrier.detail);
+  add(WdrfCondition::kWriteOnceKernelMapping, !spec.kernel_pt_cells.empty(),
+      v.write_once.set, v.write_once.detail);
+  add(WdrfCondition::kTransactionalPageTable, false, false,
+      "checked separately over write reorderings (txn_pt_checker)");
+  add(WdrfCondition::kSequentialTlbInvalidation, !spec.pt_watch.empty(), v.tlbi.set,
+      v.tlbi.detail);
+  add(WdrfCondition::kMemoryIsolation,
+      !spec.user_cells.empty() || !spec.kernel_cells.empty(), v.isolation.set,
+      v.isolation.detail.empty() && spec.weak_isolation
+          ? "weak form: oracle reads permitted"
+          : v.isolation.detail);
+  return report;
+}
+
+}  // namespace vrm

@@ -1,0 +1,84 @@
+// The six wDRF conditions (Section 3) as executable checkers.
+//
+// The paper discharges each condition with a Coq proof over the Promising-Arm
+// model; this library discharges them with exhaustive bounded checking over the
+// same model. A KernelSpec describes the kernel program under check and the
+// metadata the conditions quantify over (which cells are kernel shared objects,
+// kernel page-table entries, user memory, and user-facing PT entries). CheckWdrf
+// explores every behaviour of the program on the Promising machine with all
+// monitors armed and reports a per-condition verdict.
+
+#ifndef SRC_VRM_CONDITIONS_H_
+#define SRC_VRM_CONDITIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/arch/program.h"
+#include "src/model/config.h"
+#include "src/model/outcome.h"
+
+namespace vrm {
+
+// What a kernel program must declare so the conditions can be checked.
+struct KernelSpec {
+  Program program;
+
+  // Exploration bounds.
+  ModelConfig base_config;
+
+  // WRITE-ONCE-KERNEL-MAPPING: cells of the kernel's own page table.
+  std::vector<Addr> kernel_pt_cells;
+
+  // SEQUENTIAL-TLB-INVALIDATION: user-facing page-table entries and the virtual
+  // page each covers.
+  std::vector<ModelConfig::PtWatch> pt_watch;
+
+  // MEMORY-ISOLATION: user memory (kernel must not read it except via oracles)
+  // and kernel-private memory (users must not write it).
+  std::vector<Addr> user_cells;
+  std::vector<Addr> kernel_cells;
+
+  // Whether kernel reads of user memory are declared as data-oracle reads
+  // (WEAK-MEMORY-ISOLATION). Informational: the program encodes oracle reads as
+  // kOracleLoad; this flag selects which isolation condition the report claims.
+  bool weak_isolation = false;
+};
+
+enum class WdrfCondition {
+  kDrfKernel,
+  kNoBarrierMisuse,
+  kWriteOnceKernelMapping,
+  kTransactionalPageTable,
+  kSequentialTlbInvalidation,
+  kMemoryIsolation,
+};
+
+const char* ConditionName(WdrfCondition condition);
+
+struct ConditionVerdict {
+  WdrfCondition condition;
+  bool holds = false;
+  bool checked = false;  // false when the spec provides nothing to check
+  std::string detail;
+};
+
+struct WdrfReport {
+  std::vector<ConditionVerdict> verdicts;  // one per condition, in enum order
+  ExploreStats stats;
+  bool truncated = false;
+
+  bool AllHold() const;
+  std::string ToString() const;
+  const ConditionVerdict& Verdict(WdrfCondition condition) const;
+};
+
+// Explores the kernel program on the Promising-Arm machine with every monitor
+// armed and fills a per-condition report. TRANSACTIONAL-PAGE-TABLE is checked
+// separately (it quantifies over write reorderings, not executions) via
+// CheckTransactionalWrites in txn_pt_checker.h; CheckWdrf marks it unchecked.
+WdrfReport CheckWdrf(const KernelSpec& spec);
+
+}  // namespace vrm
+
+#endif  // SRC_VRM_CONDITIONS_H_

@@ -1,0 +1,71 @@
+#include "src/vrm/refinement.h"
+
+#include <set>
+
+namespace vrm {
+
+namespace {
+
+// Projection of an outcome onto observed register/location values only, so
+// programs with different thread counts can be compared (Theorem 4 composes the
+// kernel with different user programs).
+std::string ProjectKey(const Outcome& outcome) {
+  std::string key;
+  for (Word w : outcome.regs) {
+    key += std::to_string(w);
+    key += ",";
+  }
+  key += "|";
+  for (Word w : outcome.locs) {
+    key += std::to_string(w);
+    key += ",";
+  }
+  return key;
+}
+
+}  // namespace
+
+std::string RefinementResult::Describe(const Program& program) const {
+  std::string out = refines ? "RM ⊆ SC holds" : "RM ⊄ SC";
+  out += " (SC: " + std::to_string(sc.outcomes.size()) +
+         " outcomes, RM: " + std::to_string(rm.outcomes.size()) + ")\n";
+  for (const Outcome& outcome : rm_only) {
+    out += "  RM-only: " + outcome.ToString(program) + "\n";
+  }
+  return out;
+}
+
+RefinementResult CheckRefinement(const LitmusTest& test) {
+  RefinementResult result;
+  result.sc = RunSc(test);
+  result.rm = RunPromising(test);
+  result.rm_only = OutcomesBeyond(result.rm, result.sc);
+  result.refines = result.rm_only.empty();
+  return result;
+}
+
+WeakIsolationResult CheckWeakIsolationRefinement(
+    const LitmusTest& kernel_with_user,
+    const std::vector<LitmusTest>& kernel_with_havoc) {
+  std::set<std::string> sc_union;
+  for (const LitmusTest& havoc : kernel_with_havoc) {
+    ExploreResult sc = RunSc(havoc);
+    for (const auto& [key, outcome] : sc.outcomes) {
+      (void)key;
+      sc_union.insert(ProjectKey(outcome));
+    }
+  }
+  WeakIsolationResult result;
+  result.covered = true;
+  ExploreResult rm = RunPromising(kernel_with_user);
+  for (const auto& [key, outcome] : rm.outcomes) {
+    (void)key;
+    if (sc_union.count(ProjectKey(outcome)) == 0) {
+      result.covered = false;
+      result.uncovered.push_back(outcome.ToString(kernel_with_user.program));
+    }
+  }
+  return result;
+}
+
+}  // namespace vrm

@@ -1,0 +1,46 @@
+// The wDRF theorem as an executable check (Theorems 1, 2 and 4).
+//
+// For a program claimed to satisfy the wDRF conditions, every observable
+// behaviour on the Promising-Arm model must already be observable on the SC
+// model. CheckRefinement explores both models exhaustively (bounded) and reports
+// inclusion plus any counterexample behaviours.
+
+#ifndef SRC_VRM_REFINEMENT_H_
+#define SRC_VRM_REFINEMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/litmus/litmus.h"
+
+namespace vrm {
+
+struct RefinementResult {
+  bool refines = false;  // RM outcome set ⊆ SC outcome set
+  std::vector<Outcome> rm_only;
+  ExploreResult sc;
+  ExploreResult rm;
+
+  std::string Describe(const Program& program) const;
+};
+
+// Theorem 2-style check: one program, both models, outcome-set inclusion.
+RefinementResult CheckRefinement(const LitmusTest& test);
+
+// Theorem 4-style check: the RM outcome set of `kernel_with_user` (a kernel
+// program composed with an arbitrary user program), projected onto the observed
+// registers, must be covered by the union of SC outcome sets of the
+// `kernel_with_havoc` variants, each of which composes the same kernel piece
+// with a deterministic user program Q' (Section 4.3's construction). Programs
+// may differ in thread count, so only observed register/location values are
+// compared.
+struct WeakIsolationResult {
+  bool covered = false;
+  std::vector<std::string> uncovered;  // rendered RM-only projections
+};
+WeakIsolationResult CheckWeakIsolationRefinement(
+    const LitmusTest& kernel_with_user, const std::vector<LitmusTest>& kernel_with_havoc);
+
+}  // namespace vrm
+
+#endif  // SRC_VRM_REFINEMENT_H_

@@ -1,0 +1,146 @@
+#include "src/vrm/sc_construction.h"
+
+#include "src/model/sc_machine.h"
+#include "src/support/check.h"
+
+namespace vrm {
+
+namespace {
+
+// Safety valve for the replay scheduler; generous relative to litmus sizes.
+constexpr int kReplayStepCap = 100000;
+
+}  // namespace
+
+ScConstructionResult ReplayFromWalk(const Program& program, const ModelConfig& config,
+                                    const RandomWalkResult& walk) {
+  ScConstructionResult result;
+  result.rm_walk_completed = walk.completed;
+  if (!walk.completed) {
+    result.detail = "sampled RM execution dead-ended; retry with another seed";
+    return result;
+  }
+  result.rm_outcome = walk.outcome;
+
+  // 1. Locate critical-section instances. Nested sections are outside the
+  //    supported scope (see header).
+  std::vector<int> open(program.num_threads(), -1);  // index into result.instances
+  for (size_t pos = 0; pos < walk.trace.size(); ++pos) {
+    const StepInfo& info = walk.trace[pos];
+    if (info.op == Op::kPull && !info.is_promise) {
+      VRM_CHECK_MSG(open[info.tid] < 0,
+                    "nested critical sections are outside the construction's scope");
+      open[info.tid] = static_cast<int>(result.instances.size());
+      result.instances.push_back({info.tid, info.region, pos, pos});
+    } else if (info.op == Op::kPush && !info.is_promise) {
+      VRM_CHECK_MSG(open[info.tid] >= 0, "push without a matching pull");
+      result.instances[static_cast<size_t>(open[info.tid])].push_pos = pos;
+      open[info.tid] = -1;
+    }
+  }
+  for (int o : open) {
+    VRM_CHECK_MSG(o < 0, "critical section left open at the end of the execution");
+  }
+  // Instances were appended in pull order, which is a topological sort of the
+  // partial order (program order per thread + push-before-pull per region):
+  // ownership exclusivity makes same-region instances disjoint in trace time.
+
+  // 2. Replay on the SC machine: schedule each instance's thread until its
+  //    closing push executes, in linearized order; then drain the tails.
+  ScMachine machine(program, config);
+  ExploreResult scratch;
+  ScState state = machine.Initial();
+  std::vector<int> pushes_done(program.num_threads(), 0);
+  std::vector<int> pushes_target(program.num_threads(), 0);
+
+  int steps = 0;
+  auto run_until = [&](ThreadId tid, int push_count) -> bool {
+    while (pushes_done[tid] < push_count) {
+      if (++steps > kReplayStepCap) {
+        return false;
+      }
+      const int pc = state.threads[tid].pc;
+      const auto& code = program.threads[tid].code;
+      if (state.threads[tid].halted || pc >= static_cast<int>(code.size())) {
+        return false;  // thread ended before reaching its push
+      }
+      const bool is_push = code[pc].op == Op::kPush;
+      if (!machine.StepThread(&state, tid, &scratch)) {
+        return false;
+      }
+      if (is_push) {
+        ++pushes_done[tid];
+      }
+    }
+    // Run the critical-section epilogue (Figure 7 pushes *before* the releasing
+    // store, so the lock hand-off code sits after the push). Stop before the
+    // thread starts acquiring its next lock (a FetchAdd) or pulls again, so the
+    // next scheduled instance can proceed.
+    while (true) {
+      const int pc = state.threads[tid].pc;
+      const auto& code = program.threads[tid].code;
+      if (state.threads[tid].halted || pc >= static_cast<int>(code.size())) {
+        break;
+      }
+      const Op op = code[pc].op;
+      if (op == Op::kPull || op == Op::kFetchAdd) {
+        break;
+      }
+      if (++steps > kReplayStepCap) {
+        return false;
+      }
+      if (!machine.StepThread(&state, tid, &scratch)) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  for (const CsInstance& instance : result.instances) {
+    ++pushes_target[instance.tid];
+    if (!run_until(instance.tid, pushes_target[instance.tid])) {
+      result.detail = "SC replay stalled inside a critical-section segment";
+      return result;
+    }
+  }
+  // Drain tails round-robin until every thread halts.
+  bool progressed = true;
+  while (!machine.IsTerminal(state) && progressed) {
+    progressed = false;
+    for (ThreadId tid = 0; tid < state.threads.size(); ++tid) {
+      const auto& code = program.threads[tid].code;
+      while (!state.threads[tid].halted &&
+             state.threads[tid].pc < static_cast<int>(code.size())) {
+        if (++steps > kReplayStepCap) {
+          result.detail = "SC replay exceeded the step cap in the tail";
+          return result;
+        }
+        if (!machine.StepThread(&state, tid, &scratch)) {
+          break;
+        }
+        progressed = true;
+      }
+    }
+  }
+  if (!machine.IsTerminal(state)) {
+    result.detail = "SC replay did not reach a terminal state";
+    return result;
+  }
+  result.replay_completed = true;
+  result.sc_outcome = machine.Extract(state);
+  result.results_match = result.sc_outcome.Key() == result.rm_outcome.Key();
+  if (!result.results_match) {
+    result.detail = "RM: " + result.rm_outcome.ToString(program) +
+                    " vs SC: " + result.sc_outcome.ToString(program);
+  }
+  return result;
+}
+
+ScConstructionResult ConstructAndReplay(const Program& program, const ModelConfig& config,
+                                        uint64_t seed) {
+  PromisingMachine machine(program, config);
+  RandomWalkResult walk = RandomWalk(machine, seed);
+  return ReplayFromWalk(program, config, walk);
+}
+
+}  // namespace vrm

@@ -1,0 +1,60 @@
+// Executable rendition of Section 4.1's SC-execution construction.
+//
+// Given one recorded execution of a wDRF program on the push/pull Promising
+// machine, the construction:
+//   1. locates the critical-section instances (pull..push windows) in the
+//      global promise order (= the trace order of the pull/push events),
+//   2. derives the partial order of Figure 6: program order within each CPU,
+//      plus "instance i before instance j" whenever i's push precedes j's pull
+//      for the same region,
+//   3. linearizes it (pull-position order is one valid topological sort), and
+//   4. replays the program on the SC machine, scheduling each CPU's
+//      critical-section segment atomically in that order,
+// then checks that the SC replay produces the same execution results (the paper
+// proves this always succeeds for wDRF programs; the tests validate it across
+// many sampled executions and seeds).
+//
+// Scope: programs whose shared-object accesses all occur inside non-nested
+// pull/push critical sections with real synchronization (e.g. the ticket lock),
+// matching the setting of the paper's construction.
+
+#ifndef SRC_VRM_SC_CONSTRUCTION_H_
+#define SRC_VRM_SC_CONSTRUCTION_H_
+
+#include <string>
+#include <vector>
+
+#include "src/model/config.h"
+#include "src/model/random_walk.h"
+
+namespace vrm {
+
+struct CsInstance {
+  ThreadId tid = 0;
+  int region = -1;
+  size_t pull_pos = 0;  // index into the recorded trace
+  size_t push_pos = 0;
+};
+
+struct ScConstructionResult {
+  bool rm_walk_completed = false;  // the sampled RM execution reached a final state
+  bool replay_completed = false;   // the SC replay reached a final state
+  bool results_match = false;      // identical observable outcome
+  std::vector<CsInstance> instances;  // in linearized (pull-position) order
+  Outcome rm_outcome;
+  Outcome sc_outcome;
+  std::string detail;
+};
+
+// Samples one RM execution with the given seed, constructs the SC execution, and
+// replays it. `config` must match the configuration used for the walk's machine.
+ScConstructionResult ConstructAndReplay(const Program& program, const ModelConfig& config,
+                                        uint64_t seed);
+
+// Construction + replay for an already-recorded walk.
+ScConstructionResult ReplayFromWalk(const Program& program, const ModelConfig& config,
+                                    const RandomWalkResult& walk);
+
+}  // namespace vrm
+
+#endif  // SRC_VRM_SC_CONSTRUCTION_H_

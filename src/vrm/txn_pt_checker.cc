@@ -1,0 +1,87 @@
+#include "src/vrm/txn_pt_checker.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/support/check.h"
+
+namespace vrm {
+
+WalkOutcome WalkSnapshot(const MmuConfig& mmu, const std::map<Addr, Word>& memory,
+                         VirtAddr vpage) {
+  VRM_CHECK(mmu.enabled || mmu.levels >= 1);
+  auto read = [&](Addr cell) -> Word {
+    auto it = memory.find(cell);
+    return it == memory.end() ? MmuConfig::kEmpty : it->second;
+  };
+  Addr table = mmu.root;
+  for (int level = 0; level < mmu.levels; ++level) {
+    const Word entry = read(table + static_cast<Addr>(mmu.LevelIndex(vpage, level)));
+    if (!MmuConfig::EntryValid(entry)) {
+      return {.fault = true};
+    }
+    table = MmuConfig::EntryTarget(entry);
+  }
+  return {.fault = false, .ppage = table};
+}
+
+TxnCheckResult CheckTransactionalWrites(const MmuConfig& mmu,
+                                        const std::map<Addr, Word>& initial,
+                                        const std::vector<PtWrite>& writes,
+                                        const std::vector<VirtAddr>& probe_vpages) {
+  TxnCheckResult result;
+
+  // Reference results: before any write, and after all writes in program order.
+  std::map<Addr, Word> after = initial;
+  for (const PtWrite& write : writes) {
+    after[write.cell] = write.value;
+  }
+  std::vector<WalkOutcome> before_walk;
+  std::vector<WalkOutcome> after_walk;
+  for (VirtAddr vpage : probe_vpages) {
+    before_walk.push_back(WalkSnapshot(mmu, initial, vpage));
+    after_walk.push_back(WalkSnapshot(mmu, after, vpage));
+  }
+
+  // Enumerate permutations by index so duplicate (cell, value) pairs do not
+  // collapse distinct orderings.
+  std::vector<size_t> order(writes.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  do {
+    ++result.permutations_checked;
+    std::map<Addr, Word> memory = initial;
+    // Prefix length 0 equals `initial`; check prefixes 1..n-1 (n equals the
+    // program-order result only when the permutation is the identity, so check
+    // every prefix including the full one).
+    for (size_t len = 1; len <= order.size(); ++len) {
+      const PtWrite& write = writes[order[len - 1]];
+      memory[write.cell] = write.value;
+      for (size_t p = 0; p < probe_vpages.size(); ++p) {
+        ++result.walks_checked;
+        const WalkOutcome walk = WalkSnapshot(mmu, memory, probe_vpages[p]);
+        if (walk.fault || walk == before_walk[p] || walk == after_walk[p]) {
+          continue;
+        }
+        result.transactional = false;
+        if (result.detail.empty()) {
+          char buf[160];
+          std::string perm;
+          for (size_t k = 0; k < len; ++k) {
+            perm += std::to_string(order[k]);
+            perm += " ";
+          }
+          std::snprintf(buf, sizeof(buf),
+                        "vpage %u walks to ppage %u after reordered prefix [%s] — "
+                        "neither the before- nor the after-mapping",
+                        probe_vpages[p], walk.ppage, perm.c_str());
+          result.detail = buf;
+        }
+      }
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return result;
+}
+
+}  // namespace vrm

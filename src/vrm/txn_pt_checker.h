@@ -1,0 +1,63 @@
+// TRANSACTIONAL-PAGE-TABLE checker (condition 4, Section 3).
+//
+// A series of page-table writes inside one critical section is *transactional*
+// if, under arbitrary reordering of the writes, any page-table walk observes
+// only (1) the walk result before all writes, (2) the result after all writes in
+// program order, or (3) a page fault. This checker enumerates every permutation
+// of the write sequence and every prefix of every permutation, walks each probed
+// virtual page against that intermediate memory, and verifies the result is in
+// {before, after, fault}.
+//
+// This matches the quantification in the paper's proof for set_s2pt/clear_s2pt
+// (Section 5.4): reorderings of the writes are exactly the states an MMU walk
+// racing with the critical section can observe on RM hardware.
+
+#ifndef SRC_VRM_TXN_PT_CHECKER_H_
+#define SRC_VRM_TXN_PT_CHECKER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/arch/program.h"
+#include "src/arch/types.h"
+
+namespace vrm {
+
+struct PtWrite {
+  Addr cell;
+  Word value;
+};
+
+// Deterministic page-table walk against a memory snapshot. Returns true and the
+// physical page on success, false on fault.
+struct WalkOutcome {
+  bool fault = true;
+  Addr ppage = 0;
+
+  bool operator==(const WalkOutcome& other) const {
+    return fault == other.fault && (fault || ppage == other.ppage);
+  }
+};
+WalkOutcome WalkSnapshot(const MmuConfig& mmu, const std::map<Addr, Word>& memory,
+                         VirtAddr vpage);
+
+struct TxnCheckResult {
+  bool transactional = true;
+  // First counterexample: the permutation prefix and the offending walk.
+  std::string detail;
+  uint64_t permutations_checked = 0;
+  uint64_t walks_checked = 0;
+};
+
+// Checks the write sequence against every probed vpage. `initial` is the memory
+// at the start of the critical section (only page-table cells need be present;
+// absent cells read as EMPTY).
+TxnCheckResult CheckTransactionalWrites(const MmuConfig& mmu,
+                                        const std::map<Addr, Word>& initial,
+                                        const std::vector<PtWrite>& writes,
+                                        const std::vector<VirtAddr>& probe_vpages);
+
+}  // namespace vrm
+
+#endif  // SRC_VRM_TXN_PT_CHECKER_H_

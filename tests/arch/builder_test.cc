@@ -1,0 +1,128 @@
+// Tests for the TinyArm program builder, label resolution, MMU geometry, and
+// program validation.
+
+#include "src/arch/builder.h"
+
+#include <gtest/gtest.h>
+
+namespace vrm {
+namespace {
+
+TEST(Builder, LabelsResolveForwardAndBackward) {
+  ProgramBuilder pb("labels");
+  auto& t = pb.NewThread();
+  t.Label("top");
+  t.MovImm(0, 1);
+  t.Cbz(1, "end");     // forward
+  t.Cbnz(0, "top");    // backward
+  t.Label("end");
+  t.Halt();
+  const Program p = pb.Build();
+  ASSERT_EQ(p.threads[0].code.size(), 4u);
+  EXPECT_EQ(p.threads[0].code[1].target, 3);  // "end"
+  EXPECT_EQ(p.threads[0].code[2].target, 0);  // "top"
+}
+
+TEST(Builder, LiteralAddressHelpersSynthesizeScratch) {
+  ProgramBuilder pb("lit");
+  auto& t = pb.NewThread();
+  t.LoadAddr(0, 7);
+  const Program p = pb.Build();
+  ASSERT_EQ(p.threads[0].code.size(), 2u);
+  EXPECT_EQ(p.threads[0].code[0].op, Op::kMovImm);
+  EXPECT_EQ(p.threads[0].code[0].rd, kAddrReg);
+  EXPECT_EQ(p.threads[0].code[1].op, Op::kLoad);
+  EXPECT_EQ(p.threads[0].code[1].rs, kAddrReg);
+}
+
+TEST(Builder, RegionsAndObservations) {
+  ProgramBuilder pb("obs");
+  pb.MemSize(8);
+  const int r = pb.AddRegion("shared", {3, 4});
+  pb.NewThread().Pull(r).Push(r);
+  pb.ObserveLoc(3).ObserveReg(0, 1);
+  const Program p = pb.Build();
+  EXPECT_EQ(p.RegionOf(3), 0);
+  EXPECT_EQ(p.RegionOf(4), 0);
+  EXPECT_EQ(p.RegionOf(5), -1);
+  EXPECT_EQ(p.observed_locs.size(), 1u);
+  EXPECT_EQ(p.observed_regs.size(), 1u);
+}
+
+TEST(Builder, PteEncoding) {
+  const Word entry = MmuConfig::MakeEntry(13);
+  EXPECT_TRUE(MmuConfig::EntryValid(entry));
+  EXPECT_EQ(MmuConfig::EntryTarget(entry), 13u);
+  EXPECT_FALSE(MmuConfig::EntryValid(MmuConfig::kEmpty));
+}
+
+TEST(Builder, MmuLevelIndexing) {
+  MmuConfig mmu;
+  mmu.enabled = true;
+  mmu.levels = 2;
+  mmu.table_entries = 4;
+  mmu.page_size = 2;
+  // vpage 6 = idx (1, 2) with 4 entries per level.
+  EXPECT_EQ(mmu.LevelIndex(6, 0), 1);
+  EXPECT_EQ(mmu.LevelIndex(6, 1), 2);
+  EXPECT_EQ(mmu.PageOf(13), 6u);
+  EXPECT_EQ(mmu.OffsetOf(13), 1);
+}
+
+TEST(Builder, MapPageBuildsConsistentChain) {
+  MmuConfig mmu;
+  mmu.root = 8;
+  mmu.levels = 2;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+  ProgramBuilder pb("map");
+  pb.MemSize(16).Mmu(mmu);
+  pb.MapPage(0, 3);
+  pb.MapPage(1, 4);  // shares the level-1 table with vpage 0
+  pb.NewThread().Halt();
+  const Program p = pb.Build();
+  // Top-level entry 0 points at the level-1 table; both leaf entries present.
+  const Addr top = pb.PteAddr(0, 0);
+  const Word top_entry = p.InitValue(top);
+  ASSERT_TRUE(MmuConfig::EntryValid(top_entry));
+  const Addr table = MmuConfig::EntryTarget(top_entry);
+  EXPECT_EQ(p.InitValue(table + 0), MmuConfig::MakeEntry(3));
+  EXPECT_EQ(p.InitValue(table + 1), MmuConfig::MakeEntry(4));
+}
+
+TEST(Builder, InstToStringCoversOps) {
+  EXPECT_EQ(ToString(Inst{.op = Op::kNop}), "nop");
+  EXPECT_EQ(ToString(Inst{.op = Op::kDsb}), "dsb sy");
+  EXPECT_EQ(ToString(Inst{.op = Op::kDmb, .barrier = BarrierKind::kLd}), "dmb ld");
+  const Inst load{.op = Op::kLoad, .rd = 1, .rs = 2, .order = MemOrder::kAcquire};
+  EXPECT_EQ(ToString(load), "ldr.acq r1, [r2, #0]");
+  const Inst store{.op = Op::kStore, .rs = 3, .rt = 4, .order = MemOrder::kRelease};
+  EXPECT_EQ(ToString(store), "str.rel r4, [r3, #0]");
+}
+
+using BuilderDeath = ::testing::Test;
+
+TEST(BuilderDeath, UndefinedLabelAborts) {
+  EXPECT_DEATH(
+      {
+        ProgramBuilder pb("bad");
+        pb.NewThread().Jmp("nowhere");
+        pb.Build();
+      },
+      "undefined label");
+}
+
+TEST(BuilderDeath, RegionOutsideMemoryAborts) {
+  EXPECT_DEATH(
+      {
+        ProgramBuilder pb("bad");
+        pb.MemSize(2);
+        pb.AddRegion("r", {5});
+        pb.NewThread().Halt();
+        pb.Build();
+      },
+      "region cell outside memory");
+}
+
+}  // namespace
+}  // namespace vrm

@@ -1,0 +1,136 @@
+// Validation of the Promising-Arm machine against the canonical Armv8 litmus
+// results (allowed/forbidden verdicts from Pulte et al. 2017/2019). These tests
+// pin the model's fidelity: if the machine drifted (lost a relaxation or gained
+// an unsound one), one of these verdicts would flip.
+
+#include "src/litmus/classics.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/model/outcome.h"
+
+namespace vrm {
+namespace {
+
+struct ClassicCase {
+  const char* name;
+  std::function<LitmusTest()> make;
+  std::function<bool(const Outcome&)> relaxed;  // the outcome of interest
+  bool allowed_on_rm;
+  bool allowed_on_sc;
+};
+
+class ClassicLitmus : public ::testing::TestWithParam<ClassicCase> {};
+
+TEST_P(ClassicLitmus, VerdictMatchesArmv8) {
+  const ClassicCase& c = GetParam();
+  const LitmusTest test = c.make();
+  const ExploreResult sc = RunSc(test);
+  const ExploreResult rm = RunPromising(test);
+  EXPECT_EQ(AnyOutcome(rm, c.relaxed), c.allowed_on_rm)
+      << test.program.name << " on Promising-Arm:\n"
+      << rm.Describe(test.program);
+  EXPECT_EQ(AnyOutcome(sc, c.relaxed), c.allowed_on_sc)
+      << test.program.name << " on SC:\n"
+      << sc.Describe(test.program);
+  // SC is always a subset of RM.
+  EXPECT_TRUE(OutcomesBeyond(sc, rm).empty()) << test.program.name;
+}
+
+const auto kBothZero = [](const Outcome& o) { return o.regs[0] == 0 && o.regs[1] == 0; };
+const auto kBothOne = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 1; };
+const auto kOneThenZero = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 0; };
+const auto kLocsOneOne = [](const Outcome& o) { return o.locs[0] == 1 && o.locs[1] == 1; };
+const auto kSShape = [](const Outcome& o) { return o.regs[0] == 1 && o.locs[0] == 2; };
+const auto kFinalTwo = [](const Outcome& o) { return o.locs[0] == 2; };
+// WRC: T1 saw x, T2 saw y but missed x.
+const auto kWrcShape = [](const Outcome& o) {
+  return o.regs[0] == 1 && o.regs[1] == 1 && o.regs[2] == 0;
+};
+// IRIW: the two readers observe the two writes in opposite orders.
+const auto kIriwShape = [](const Outcome& o) {
+  return o.regs[0] == 1 && o.regs[1] == 0 && o.regs[2] == 1 && o.regs[3] == 0;
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Armv8Catalog, ClassicLitmus,
+    ::testing::Values(
+        // SB: r0=r1=0 allowed relaxed, forbidden with dmb sy.
+        ClassicCase{"SB_plain", [] { return ClassicSb(Strength::kPlain); }, kBothZero,
+                    true, false},
+        ClassicCase{"SB_dmb", [] { return ClassicSb(Strength::kDmb); }, kBothZero,
+                    false, false},
+        // SB with release/acquire: forbidden — Armv8's STLR/LDAR are RCsc (an
+        // LDAR is ordered after prior STLRs), which is why C++ seq_cst maps to
+        // them on Arm.
+        ClassicCase{"SB_rel_acq", [] { return ClassicSbRelAcq(); }, kBothZero, false,
+                    false},
+        // MP: r0=1 (flag seen), r1=0 (payload missed).
+        ClassicCase{"MP_plain",
+                    [] { return ClassicMp(Strength::kPlain, Strength::kPlain); },
+                    kOneThenZero, true, false},
+        ClassicCase{"MP_dmb_dmbld",
+                    [] { return ClassicMp(Strength::kDmb, Strength::kDmbLd); },
+                    kOneThenZero, false, false},
+        ClassicCase{"MP_dmb_dmb",
+                    [] { return ClassicMp(Strength::kDmb, Strength::kDmb); },
+                    kOneThenZero, false, false},
+        ClassicCase{"MP_rel_acq",
+                    [] { return ClassicMp(Strength::kAcqRel, Strength::kAcqRel); },
+                    kOneThenZero, false, false},
+        ClassicCase{"MP_dmb_addr",
+                    [] { return ClassicMp(Strength::kDmb, Strength::kAddrDep); },
+                    kOneThenZero, false, false},
+        // Writer barrier alone does not save the reader.
+        ClassicCase{"MP_dmb_plain",
+                    [] { return ClassicMp(Strength::kDmb, Strength::kPlain); },
+                    kOneThenZero, true, false},
+        // Reader dependency alone does not save the writer.
+        ClassicCase{"MP_plain_addr",
+                    [] { return ClassicMp(Strength::kPlain, Strength::kAddrDep); },
+                    kOneThenZero, true, false},
+        // LB: r0=r1=1 allowed with independent writes, forbidden with data
+        // dependencies on both sides (no out-of-thin-air) or dmb.
+        ClassicCase{"LB_plain", [] { return ClassicLb(Strength::kPlain); }, kBothOne,
+                    true, false},
+        ClassicCase{"LB_data", [] { return ClassicLb(Strength::kDataDep); }, kBothOne,
+                    false, false},
+        ClassicCase{"LB_dmb", [] { return ClassicLb(Strength::kDmb); }, kBothOne,
+                    false, false},
+        // Coherence: new-then-old reads of one location are forbidden even
+        // relaxed; two same-thread writes commit in order.
+        ClassicCase{"CoRR", [] { return ClassicCoRR(); }, kOneThenZero, false, false},
+        ClassicCase{"CoWW", [] { return ClassicCoWW(); }, kFinalTwo, true, true},
+        // 2+2W: both locations ending at 1 requires reordering.
+        ClassicCase{"W2plus2_plain", [] { return Classic2Plus2W(Strength::kPlain); },
+                    kLocsOneOne, true, false},
+        ClassicCase{"W2plus2_dmb", [] { return Classic2Plus2W(Strength::kDmb); },
+                    kLocsOneOne, false, false},
+        // WRC: multicopy atomicity + dmb/addr forbids the causality violation;
+        // plain is allowed (T2's reads reorder).
+        ClassicCase{"WRC_plain",
+                    [] { return ClassicWrc(Strength::kPlain, Strength::kPlain); },
+                    kWrcShape, true, false},
+        ClassicCase{"WRC_dmb_addr",
+                    [] { return ClassicWrc(Strength::kDmb, Strength::kAddrDep); },
+                    kWrcShape, false, false},
+        ClassicCase{"WRC_dmb_dmb",
+                    [] { return ClassicWrc(Strength::kDmb, Strength::kDmb); },
+                    kWrcShape, false, false},
+        // IRIW: the readers disagree about the write order — forbidden with
+        // dmb sy readers on multicopy-atomic Armv8, allowed plain.
+        ClassicCase{"IRIW_plain", [] { return ClassicIriw(Strength::kPlain); },
+                    kIriwShape, true, false},
+        ClassicCase{"IRIW_dmb", [] { return ClassicIriw(Strength::kDmb); },
+                    kIriwShape, false, false},
+        // S: allowed plain, forbidden with dmb writer + data-dependent write.
+        ClassicCase{"S_plain", [] { return ClassicS(Strength::kPlain); }, kSShape,
+                    true, false},
+        ClassicCase{"S_dmb_data", [] { return ClassicS(Strength::kDmb); }, kSShape,
+                    false, false}),
+    [](const ::testing::TestParamInfo<ClassicCase>& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace vrm

@@ -1,0 +1,201 @@
+// Reproduction tests for the paper's Examples 1-7 (Section 2).
+//
+// Each buggy example must exhibit its relaxed outcome on the Promising-Arm
+// machine and not on the SC machine; each fixed variant must refine SC.
+
+#include "src/litmus/paper_examples.h"
+
+#include <gtest/gtest.h>
+
+#include "src/litmus/litmus.h"
+#include "src/vrm/refinement.h"
+
+namespace vrm {
+namespace {
+
+// Example 1: out-of-order write. RM allows r0 = r1 = 1.
+TEST(Example1, RelaxedOutcomeOnRmOnly) {
+  const LitmusTest test = Example1OutOfOrderWrite(/*fixed=*/false);
+  const ExploreResult sc = RunSc(test);
+  const ExploreResult rm = RunPromising(test);
+  const auto both_one = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 1; };
+  EXPECT_FALSE(AnyOutcome(sc, both_one)) << sc.Describe(test.program);
+  EXPECT_TRUE(AnyOutcome(rm, both_one)) << rm.Describe(test.program);
+  // SC behaviours are a subset of RM behaviours.
+  EXPECT_TRUE(OutcomesBeyond(sc, rm).empty());
+}
+
+TEST(Example1, DmbRestoresScBehaviour) {
+  const RefinementResult result = CheckRefinement(Example1OutOfOrderWrite(/*fixed=*/true));
+  EXPECT_TRUE(result.refines) << result.Describe(Example1OutOfOrderWrite(true).program);
+}
+
+// Example 2: VM booting. The unbarriered ticket lock hands out duplicate vmids
+// on RM hardware (CPU 2's spin-loop read speculation).
+TEST(Example2, DuplicateVmidsOnRmOnly) {
+  const LitmusTest test = Example2VmBooting(/*fixed=*/false);
+  const ExploreResult sc = RunSc(test);
+  const ExploreResult rm = RunPromising(test);
+  const auto duplicate = [](const Outcome& o) { return o.regs[0] == o.regs[1]; };
+  EXPECT_FALSE(AnyOutcome(sc, duplicate)) << sc.Describe(test.program);
+  EXPECT_TRUE(AnyOutcome(rm, duplicate)) << rm.Describe(test.program);
+}
+
+TEST(Example2, Figure7LockIsCorrectOnRm) {
+  const LitmusTest test = Example2VmBooting(/*fixed=*/true);
+  const RefinementResult result = CheckRefinement(test);
+  EXPECT_TRUE(result.refines) << result.Describe(test.program);
+  // Every RM execution hands out unique vmids 0 and 1.
+  for (const auto& [key, outcome] : result.rm.outcomes) {
+    (void)key;
+    EXPECT_NE(outcome.regs[0], outcome.regs[1]);
+    EXPECT_EQ(outcome.regs[0] + outcome.regs[1], 1u);
+  }
+}
+
+// Example 3: VM context switch. RM allows restoring a stale context (r1 = 0
+// with the INACTIVE flag observed).
+TEST(Example3, StaleContextOnRmOnly) {
+  const LitmusTest test = Example3VmContextSwitch(/*fixed=*/false);
+  const ExploreResult sc = RunSc(test);
+  const ExploreResult rm = RunPromising(test);
+  const auto stale = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 0; };
+  EXPECT_FALSE(AnyOutcome(sc, stale));
+  EXPECT_TRUE(AnyOutcome(rm, stale)) << rm.Describe(test.program);
+}
+
+TEST(Example3, ReleaseAcquireRestoresScBehaviour) {
+  const LitmusTest test = Example3VmContextSwitch(/*fixed=*/true);
+  const RefinementResult result = CheckRefinement(test);
+  EXPECT_TRUE(result.refines) << result.Describe(test.program);
+  // The restored context is never stale: whenever INACTIVE was observed, the
+  // saved value 7 is read.
+  for (const auto& [key, outcome] : result.rm.outcomes) {
+    (void)key;
+    if (outcome.regs[0] == 1) {
+      EXPECT_EQ(outcome.regs[1], 7u);
+    }
+  }
+}
+
+// Example 4: out-of-order page table reads through the MMU.
+TEST(Example4, OutOfOrderPtReadsOnRmOnly) {
+  const LitmusTest test = Example4PageTableReads();
+  const ExploreResult sc = RunSc(test);
+  const ExploreResult rm = RunPromising(test);
+  const auto reordered = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 0; };
+  EXPECT_FALSE(AnyOutcome(sc, reordered)) << sc.Describe(test.program);
+  EXPECT_TRUE(AnyOutcome(rm, reordered)) << rm.Describe(test.program);
+}
+
+// Example 5: out-of-order page table writes expose physical page p (value 7).
+TEST(Example5, LeakedPageOnRmOnly) {
+  const LitmusTest test = Example5PageTableWrites(/*transactional=*/false);
+  const ExploreResult sc = RunSc(test);
+  const ExploreResult rm = RunPromising(test);
+  const auto leaked = [](const Outcome& o) { return o.regs[0] == 7; };
+  EXPECT_FALSE(AnyOutcome(sc, leaked)) << sc.Describe(test.program);
+  EXPECT_TRUE(AnyOutcome(rm, leaked)) << rm.Describe(test.program);
+  // On SC the walk either uses the old table (5) or faults — the paper's text.
+  for (const auto& [key, outcome] : sc.outcomes) {
+    (void)key;
+    EXPECT_TRUE(outcome.regs[0] == 5 || outcome.regs[0] == kFaultValue);
+  }
+}
+
+TEST(Example5, TransactionalOrderRefinesSc) {
+  const LitmusTest test = Example5PageTableWrites(/*transactional=*/true);
+  const RefinementResult result = CheckRefinement(test);
+  EXPECT_TRUE(result.refines) << result.Describe(test.program);
+  // Every observable result is before (fault: the PGD starts empty) or after.
+  for (const auto& [key, outcome] : result.rm.outcomes) {
+    (void)key;
+    EXPECT_TRUE(outcome.regs[0] == 7 || outcome.regs[0] == kFaultValue);
+  }
+}
+
+// Example 6: stale TLB refill after an invalidation without DSB.
+namespace {
+
+bool StaleTlbSurvives(const Outcome& outcome) {
+  // Post-state of the paper: memory unmapped but CPU 2's TLB still maps the
+  // page (entry value encodes the old frame).
+  if (outcome.locs[0] != MmuConfig::kEmpty) {
+    return false;
+  }
+  for (const auto& [vpage, entry] : outcome.tlbs[1]) {
+    if (vpage == 0 && MmuConfig::EntryValid(entry) &&
+        MmuConfig::EntryTarget(entry) == kEx6DataPage) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+TEST(Example6, StaleTlbOnRmOnly) {
+  const LitmusTest test = Example6TlbInvalidation(/*fixed=*/false);
+  const ExploreResult sc = RunSc(test);
+  const ExploreResult rm = RunPromising(test);
+  EXPECT_FALSE(AnyOutcome(sc, StaleTlbSurvives)) << sc.Describe(test.program);
+  EXPECT_TRUE(AnyOutcome(rm, StaleTlbSurvives)) << rm.Describe(test.program);
+}
+
+TEST(Example6, DsbTlbiDsbPreventsStaleTlb) {
+  const LitmusTest test = Example6TlbInvalidation(/*fixed=*/true);
+  const ExploreResult rm = RunPromising(test);
+  // No execution leaves a stale TLB entry behind the completed invalidation.
+  EXPECT_FALSE(AnyOutcome(rm, StaleTlbSurvives)) << rm.Describe(test.program);
+  // Each individual user access still sees only {before, after(fault)} — the
+  // page-table-state guarantee of Section 4.2. (Access *sequences* may differ
+  // from SC: user programs are exempt from the theorem, see DESIGN.md.)
+  for (const auto& [key, outcome] : rm.outcomes) {
+    (void)key;
+    EXPECT_TRUE(outcome.regs[0] == kEx6DataValue || outcome.regs[0] == kFaultValue);
+    EXPECT_TRUE(outcome.regs[1] == kEx6DataValue || outcome.regs[1] == kFaultValue);
+  }
+  // The kernel-observable state (the PTE cell) refines SC.
+  const ExploreResult sc = RunSc(test);
+  for (const auto& [key, outcome] : rm.outcomes) {
+    (void)key;
+    EXPECT_EQ(outcome.locs[0], MmuConfig::kEmpty);
+  }
+  (void)sc;
+}
+
+// Example 7: user -> kernel information flow.
+TEST(Example7, KernelObservesUserRmBehaviour) {
+  const LitmusTest test = Example7UserKernelFlow(/*oracle=*/false);
+  const ExploreResult sc = RunSc(test);
+  const ExploreResult rm = RunPromising(test);
+  const auto div_zero = [](const Outcome& o) { return o.regs[0] == 0; };
+  EXPECT_FALSE(AnyOutcome(sc, div_zero)) << sc.Describe(test.program);
+  EXPECT_TRUE(AnyOutcome(rm, div_zero)) << rm.Describe(test.program);
+}
+
+// Theorem 4: the kernel piece's RM behaviours are covered by SC executions with
+// some deterministic user program Q' writing the required value.
+TEST(Example7, WeakMemoryIsolationCoversKernelBehaviours) {
+  const LitmusTest with_user = Example7UserKernelFlow(/*oracle=*/true);
+  std::vector<LitmusTest> havoc;
+  for (Word z = 0; z <= 2; ++z) {
+    havoc.push_back(Example7KernelWithHavocUser(z));
+  }
+  const WeakIsolationResult result = CheckWeakIsolationRefinement(with_user, havoc);
+  EXPECT_TRUE(result.covered);
+  for (const std::string& missing : result.uncovered) {
+    ADD_FAILURE() << "uncovered RM behaviour: " << missing;
+  }
+}
+
+// Every buggy example demonstrates an RM-only behaviour (gallery sweep).
+TEST(AllExamples, EveryBuggyExampleHasRmOnlyBehaviour) {
+  for (const LitmusTest& test : AllBuggyExamples()) {
+    const RefinementResult result = CheckRefinement(test);
+    EXPECT_FALSE(result.refines) << test.program.name << " unexpectedly refines SC";
+  }
+}
+
+}  // namespace
+}  // namespace vrm

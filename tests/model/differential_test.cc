@@ -1,0 +1,156 @@
+// Differential property tests over randomly generated programs: the three
+// hardware models must stand in strength order SC ⊆ TSO ⊆ Promising-Arm, a
+// fully-fenced program behaves identically on all of them, and single-threaded
+// programs are deterministic everywhere. These invariants catch soundness or
+// completeness drift in any machine without hand-written expectations.
+
+#include <gtest/gtest.h>
+
+#include "src/arch/builder.h"
+#include "src/litmus/litmus.h"
+#include "src/support/rng.h"
+
+namespace vrm {
+namespace {
+
+constexpr Addr kCells = 3;
+
+// Appends one random instruction from a terminating subset (no branches; the
+// literal-address helpers keep every access in range).
+void EmitRandomInst(ThreadBuilder& t, Rng& rng, bool fence_after_each) {
+  const Reg rd = static_cast<Reg>(rng.Below(4));
+  const Reg rs = static_cast<Reg>(rng.Below(4));
+  const Addr addr = static_cast<Addr>(rng.Below(kCells));
+  switch (rng.Below(8)) {
+    case 0:
+      t.MovImm(rd, rng.Below(4));
+      break;
+    case 1:
+      t.Add(rd, rs, static_cast<Reg>(rng.Below(4)));
+      break;
+    case 2:
+    case 3:
+      t.LoadAddr(rd, addr,
+                 rng.Chance(0.3) ? MemOrder::kAcquire : MemOrder::kPlain);
+      break;
+    case 4:
+    case 5: {
+      // StoreAddr's value register must not be the scratch register.
+      const Reg value = static_cast<Reg>(rng.Below(4));
+      t.StoreAddr(addr, value,
+                  rng.Chance(0.3) ? MemOrder::kRelease : MemOrder::kPlain);
+      break;
+    }
+    case 6:
+      t.FetchAddAddr(rd, addr, 1 + static_cast<int64_t>(rng.Below(2)),
+                     rng.Chance(0.5) ? MemOrder::kAcqRel : MemOrder::kPlain);
+      break;
+    default:
+      t.Dmb(rng.Chance(0.5) ? BarrierKind::kSy
+                            : (rng.Chance(0.5) ? BarrierKind::kLd : BarrierKind::kSt));
+      break;
+  }
+  if (fence_after_each) {
+    t.Dmb(BarrierKind::kSy);
+  }
+}
+
+LitmusTest RandomProgram(uint64_t seed, int threads, bool fenced) {
+  Rng rng(seed);
+  ProgramBuilder pb("random-" + std::to_string(seed) + (fenced ? "-fenced" : ""));
+  pb.MemSize(kCells);
+  for (int thread = 0; thread < threads; ++thread) {
+    auto& t = pb.NewThread();
+    const int len = 3 + static_cast<int>(rng.Below(3));
+    for (int i = 0; i < len; ++i) {
+      EmitRandomInst(t, rng, fenced);
+    }
+  }
+  for (ThreadId tid = 0; tid < static_cast<ThreadId>(threads); ++tid) {
+    for (Reg reg = 0; reg < 4; ++reg) {
+      pb.ObserveReg(tid, reg);
+    }
+  }
+  for (Addr a = 0; a < kCells; ++a) {
+    pb.ObserveLoc(a);
+  }
+  LitmusTest test{pb.Build(), {}, "random differential program"};
+  test.config.max_messages = 40;
+  return test;
+}
+
+class DifferentialSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialSweep, ModelStrengthOrder) {
+  // SC ⊆ TSO ⊆ Promising-Arm on every random two-thread program.
+  for (uint64_t seed = GetParam(); seed < GetParam() + 12; ++seed) {
+    const LitmusTest test = RandomProgram(seed, /*threads=*/2, /*fenced=*/false);
+    const ExploreResult sc = RunSc(test);
+    const ExploreResult tso = RunTso(test);
+    const ExploreResult rm = RunPromising(test);
+    ASSERT_FALSE(rm.stats.truncated) << test.program.name;
+    EXPECT_TRUE(OutcomesBeyond(sc, tso).empty())
+        << test.program.name << ": SC outcome missing on TSO";
+    EXPECT_TRUE(OutcomesBeyond(tso, rm).empty())
+        << test.program.name << ": TSO outcome missing on Promising-Arm";
+    EXPECT_GE(sc.outcomes.size(), 1u);
+  }
+}
+
+TEST_P(DifferentialSweep, FullyFencedProgramsAgreeEverywhere) {
+  // A DMB SY after every instruction collapses all three models to the same
+  // outcome set — the executable core of "wDRF programs verify on SC".
+  for (uint64_t seed = GetParam(); seed < GetParam() + 8; ++seed) {
+    const LitmusTest test = RandomProgram(seed, /*threads=*/2, /*fenced=*/true);
+    const ExploreResult sc = RunSc(test);
+    const ExploreResult tso = RunTso(test);
+    const ExploreResult rm = RunPromising(test);
+    ASSERT_FALSE(rm.stats.truncated) << test.program.name;
+    EXPECT_EQ(sc.outcomes.size(), tso.outcomes.size()) << test.program.name;
+    EXPECT_EQ(sc.outcomes.size(), rm.outcomes.size()) << test.program.name;
+    EXPECT_TRUE(OutcomesBeyond(rm, sc).empty()) << test.program.name;
+    EXPECT_TRUE(OutcomesBeyond(sc, rm).empty()) << test.program.name;
+  }
+}
+
+TEST_P(DifferentialSweep, SingleThreadDeterministicEverywhere) {
+  for (uint64_t seed = GetParam(); seed < GetParam() + 10; ++seed) {
+    const LitmusTest test = RandomProgram(seed, /*threads=*/1, /*fenced=*/false);
+    const ExploreResult sc = RunSc(test);
+    const ExploreResult tso = RunTso(test);
+    const ExploreResult rm = RunPromising(test);
+    EXPECT_EQ(sc.outcomes.size(), 1u) << test.program.name;
+    EXPECT_EQ(tso.outcomes.size(), 1u) << test.program.name;
+    EXPECT_EQ(rm.outcomes.size(), 1u) << test.program.name;
+    EXPECT_EQ(sc.outcomes.begin()->first, rm.outcomes.begin()->first)
+        << test.program.name;
+    EXPECT_EQ(sc.outcomes.begin()->first, tso.outcomes.begin()->first)
+        << test.program.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialSweep,
+                         ::testing::Values(1000, 2000, 3000, 4000, 5000));
+
+// The partial-order reduction is a pure optimization: disabling it must leave
+// every outcome set unchanged (while visiting at least as many states).
+TEST(PartialOrderReduction, OutcomeSetsIdenticalWithAndWithoutPor) {
+  for (uint64_t seed = 7000; seed < 7010; ++seed) {
+    for (int threads : {1, 2}) {
+      LitmusTest test = RandomProgram(seed, threads, /*fenced=*/false);
+      const ExploreResult with_por_sc = RunSc(test);
+      const ExploreResult with_por_rm = RunPromising(test);
+      test.config.disable_por = true;
+      const ExploreResult without_por_sc = RunSc(test);
+      const ExploreResult without_por_rm = RunPromising(test);
+      EXPECT_TRUE(OutcomesBeyond(with_por_sc, without_por_sc).empty());
+      EXPECT_TRUE(OutcomesBeyond(without_por_sc, with_por_sc).empty());
+      EXPECT_TRUE(OutcomesBeyond(with_por_rm, without_por_rm).empty());
+      EXPECT_TRUE(OutcomesBeyond(without_por_rm, with_por_rm).empty());
+      EXPECT_GE(without_por_sc.stats.states, with_por_sc.stats.states);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vrm

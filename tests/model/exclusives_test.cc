@@ -1,0 +1,179 @@
+// Load/store-exclusive semantics across the three machines, and the LL/SC
+// ticket lock (the actual pre-LSE arm64 spinlock shape) through the wDRF
+// pipeline.
+
+#include <gtest/gtest.h>
+
+#include "src/arch/builder.h"
+#include "src/litmus/litmus.h"
+#include "src/sekvm/tinyarm_primitives.h"
+#include "src/vrm/conditions.h"
+#include "src/vrm/refinement.h"
+
+namespace vrm {
+namespace {
+
+// Uncontended pair: always succeeds, the store lands.
+LitmusTest UncontendedPair() {
+  ProgramBuilder pb("llsc-uncontended");
+  pb.MemSize(1);
+  pb.Init(0, 5);
+  auto& t = pb.NewThread();
+  t.LoadExAddr(0, 0);
+  t.AddImm(1, 0, 1);
+  t.StoreExAddr(2, 0, 1);
+  pb.ObserveReg(0, 0).ObserveReg(0, 2).ObserveLoc(0);
+  return {pb.Build(), {}, ""};
+}
+
+TEST(Exclusives, UncontendedPairSucceedsOnAllMachines) {
+  const LitmusTest test = UncontendedPair();
+  for (const ExploreResult& result : {RunSc(test), RunTso(test), RunPromising(test)}) {
+    ASSERT_EQ(result.outcomes.size(), 1u);
+    const Outcome& o = result.outcomes.begin()->second;
+    EXPECT_EQ(o.regs[0], 5u);  // loaded value
+    EXPECT_EQ(o.regs[1], 0u);  // success status
+    EXPECT_EQ(o.locs[0], 6u);  // incremented
+  }
+}
+
+// Interfering store between the pair: the store-exclusive must fail in that
+// interleaving, and the increment is then lost by design (no retry loop here).
+LitmusTest InterferedPair() {
+  ProgramBuilder pb("llsc-interfered");
+  pb.MemSize(1);
+  auto& t0 = pb.NewThread();
+  t0.LoadExAddr(0, 0);
+  t0.AddImm(1, 0, 1);
+  t0.StoreExAddr(2, 0, 1);
+  auto& t1 = pb.NewThread();
+  t1.StoreImm(0, 40, 3);
+  pb.ObserveReg(0, 2).ObserveLoc(0);
+  return {pb.Build(), {}, ""};
+}
+
+TEST(Exclusives, InterferenceFailsThePair) {
+  const LitmusTest test = InterferedPair();
+  for (const ExploreResult& result : {RunSc(test), RunTso(test), RunPromising(test)}) {
+    bool saw_success = false;
+    bool saw_failure = false;
+    for (const auto& [key, o] : result.outcomes) {
+      (void)key;
+      if (o.regs[0] == 0) {
+        saw_success = true;
+      } else {
+        saw_failure = true;
+        // On failure nothing was written by the exclusive: the final value is
+        // the interferer's (or, on the Promising machine, possibly the
+        // pre-interference value if the pair ran first — but then it succeeded).
+        EXPECT_EQ(o.locs[0], 40u);
+      }
+    }
+    EXPECT_TRUE(saw_success);
+    EXPECT_TRUE(saw_failure);
+  }
+}
+
+// Two CPUs incrementing via LL/SC retry loops: atomicity must hold — no lost
+// updates on any machine.
+LitmusTest LlscCounter() {
+  ProgramBuilder pb("llsc-counter");
+  pb.MemSize(1);
+  for (int cpu = 0; cpu < 2; ++cpu) {
+    auto& t = pb.NewThread();
+    t.Label("retry");
+    t.LoadExAddr(0, 0);
+    t.AddImm(1, 0, 1);
+    t.StoreExAddr(2, 0, 1);
+    t.Cbnz(2, "retry");
+  }
+  pb.ObserveLoc(0);
+  LitmusTest test{pb.Build(), {}, ""};
+  test.config.max_steps_per_thread = 40;
+  return test;
+}
+
+TEST(Exclusives, RetryLoopCounterNeverLosesUpdates) {
+  const LitmusTest test = LlscCounter();
+  for (const ExploreResult& result : {RunSc(test), RunTso(test), RunPromising(test)}) {
+    ASSERT_GE(result.outcomes.size(), 1u);
+    for (const auto& [key, o] : result.outcomes) {
+      (void)key;
+      EXPECT_EQ(o.locs[0], 2u);
+    }
+  }
+}
+
+TEST(Exclusives, OwnInterveningStoreBreaksThePair) {
+  ProgramBuilder pb("llsc-self-break");
+  pb.MemSize(1);
+  auto& t = pb.NewThread();
+  t.LoadExAddr(0, 0);
+  t.StoreImm(0, 9, 1);  // own plain store to the monitored cell
+  t.MovImm(1, 7);
+  t.StoreExAddr(2, 0, 1);
+  pb.ObserveReg(0, 2).ObserveLoc(0);
+  const LitmusTest test{pb.Build(), {}, ""};
+  for (const ExploreResult& result : {RunSc(test), RunTso(test), RunPromising(test)}) {
+    ASSERT_EQ(result.outcomes.size(), 1u);
+    const Outcome& o = result.outcomes.begin()->second;
+    EXPECT_EQ(o.regs[0], 1u);  // failed
+    EXPECT_EQ(o.locs[0], 9u);  // only the plain store landed
+  }
+}
+
+TEST(Exclusives, StoreExWithoutLoadExFails) {
+  ProgramBuilder pb("llsc-unarmed");
+  pb.MemSize(1);
+  auto& t = pb.NewThread();
+  t.MovImm(1, 7);
+  t.StoreExAddr(2, 0, 1);
+  pb.ObserveReg(0, 2).ObserveLoc(0);
+  const LitmusTest test{pb.Build(), {}, ""};
+  for (const ExploreResult& result : {RunSc(test), RunTso(test), RunPromising(test)}) {
+    ASSERT_EQ(result.outcomes.size(), 1u);
+    EXPECT_EQ(result.outcomes.begin()->second.regs[0], 1u);
+    EXPECT_EQ(result.outcomes.begin()->second.locs[0], 0u);
+  }
+}
+
+TEST(Exclusives, MismatchedAddressFails) {
+  ProgramBuilder pb("llsc-mismatch");
+  pb.MemSize(2);
+  auto& t = pb.NewThread();
+  t.LoadExAddr(0, 0);
+  t.MovImm(1, 7);
+  t.StoreExAddr(2, 1, 1);  // different cell
+  pb.ObserveReg(0, 2).ObserveLoc(1);
+  const LitmusTest test{pb.Build(), {}, ""};
+  for (const ExploreResult& result : {RunSc(test), RunTso(test), RunPromising(test)}) {
+    ASSERT_EQ(result.outcomes.size(), 1u);
+    EXPECT_EQ(result.outcomes.begin()->second.regs[0], 1u);
+  }
+}
+
+// The real arm64 spinlock shape through the full wDRF pipeline (Section 5.2).
+TEST(LlscTicketLock, VerifiedLockSatisfiesConditionsAndRefines) {
+  KernelSpec spec = GenVmidLlscKernelSpec(/*verified=*/true);
+  const WdrfReport report = CheckWdrf(spec);
+  EXPECT_TRUE(report.Verdict(WdrfCondition::kDrfKernel).holds)
+      << report.ToString();
+  EXPECT_TRUE(report.Verdict(WdrfCondition::kNoBarrierMisuse).holds)
+      << report.ToString();
+
+  LitmusTest test{std::move(spec.program), spec.base_config, ""};
+  const RefinementResult refinement = CheckRefinement(test);
+  EXPECT_TRUE(refinement.refines) << refinement.Describe(test.program);
+  for (const auto& [key, o] : refinement.rm.outcomes) {
+    (void)key;
+    EXPECT_NE(o.regs[0], o.regs[1]) << "duplicate vmid under the LL/SC lock";
+  }
+}
+
+TEST(LlscTicketLock, UnverifiedLockMisusesBarriers) {
+  const WdrfReport report = CheckWdrf(GenVmidLlscKernelSpec(/*verified=*/false));
+  EXPECT_FALSE(report.Verdict(WdrfCondition::kNoBarrierMisuse).holds);
+}
+
+}  // namespace
+}  // namespace vrm

@@ -1,0 +1,68 @@
+// Explorer-level behaviour: state caps, digesting, and outcome bookkeeping.
+
+#include "src/model/explorer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/arch/builder.h"
+#include "src/model/sc_machine.h"
+
+namespace vrm {
+namespace {
+
+TEST(Explorer, StateCapSetsTruncated) {
+  // Three threads of interleaving stores exceed a tiny state cap.
+  ProgramBuilder pb("cap");
+  pb.MemSize(3);
+  for (int i = 0; i < 3; ++i) {
+    auto& t = pb.NewThread();
+    t.StoreImm(static_cast<Addr>(i), 1, 1).StoreImm(static_cast<Addr>(i), 2, 1);
+  }
+  ModelConfig config;
+  config.max_states = 5;
+  ScMachine machine(pb.Build(), config);
+  const ExploreResult result = Explore(machine, config);
+  EXPECT_TRUE(result.stats.truncated);
+}
+
+TEST(Explorer, StateDigestIsStable) {
+  const auto a = StateDigest("hello");
+  const auto b = StateDigest("hello");
+  const auto c = StateDigest("hellp");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  // Length participates (no trivial prefix collisions).
+  EXPECT_NE(StateDigest(""), StateDigest(std::string(1, '\0')));
+}
+
+TEST(Explorer, DeduplicationCollapsesConfluentPaths) {
+  // Two independent stores to different cells: 2 interleavings, 1 final state.
+  ProgramBuilder pb("confluent");
+  pb.MemSize(2);
+  pb.NewThread().StoreImm(0, 1, 1);
+  pb.NewThread().StoreImm(1, 1, 1);
+  pb.ObserveLoc(0).ObserveLoc(1);
+  ModelConfig config;
+  ScMachine machine(pb.Build(), config);
+  const ExploreResult result = Explore(machine, config);
+  EXPECT_EQ(result.outcomes.size(), 1u);
+  // The diamond joins: strictly fewer states than the full interleaving tree.
+  EXPECT_LE(result.stats.states, 12u);
+}
+
+TEST(Explorer, OutcomeContainsAndDescribe) {
+  ProgramBuilder pb("desc");
+  pb.MemSize(1);
+  pb.NewThread().StoreImm(0, 7, 1);
+  pb.ObserveLoc(0);
+  const Program program = pb.Build();
+  ModelConfig config;
+  ScMachine machine(program, config);
+  const ExploreResult result = Explore(machine, config);
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_TRUE(result.Contains(result.outcomes.begin()->second));
+  EXPECT_NE(result.Describe(program).find("[0]=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vrm

@@ -1,0 +1,278 @@
+// Unit tests for the Promising-Arm machine's semantics: dependency tracking,
+// coherence, forwarding, barriers, promises/certification, RMW atomicity, and
+// the MMU extension.
+
+#include "src/model/promising_machine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/arch/builder.h"
+#include "src/litmus/litmus.h"
+#include "src/model/explorer.h"
+
+namespace vrm {
+namespace {
+
+ExploreResult RunProgram(const Program& program, ModelConfig config = {}) {
+  PromisingMachine machine(program, config);
+  return Explore(machine, config);
+}
+
+TEST(PromisingSemantics, StraightLineArithmetic) {
+  ProgramBuilder pb("arith");
+  auto& t = pb.NewThread();
+  t.MovImm(0, 5).MovImm(1, 3).Add(2, 0, 1).Sub(3, 0, 1).And(4, 0, 1).Eor(5, 0, 0);
+  pb.ObserveReg(0, 2).ObserveReg(0, 3).ObserveReg(0, 4).ObserveReg(0, 5);
+  const ExploreResult result = RunProgram(pb.Build());
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  const Outcome& o = result.outcomes.begin()->second;
+  EXPECT_EQ(o.regs[0], 8u);
+  EXPECT_EQ(o.regs[1], 2u);
+  EXPECT_EQ(o.regs[2], 1u);
+  EXPECT_EQ(o.regs[3], 0u);
+}
+
+TEST(PromisingSemantics, StoreForwardingSeesOwnWrite) {
+  // A thread always reads its own latest program-order write (coherence).
+  ProgramBuilder pb("fwd");
+  auto& t = pb.NewThread();
+  t.StoreImm(0, 41, 1).LoadAddr(2, 0).StoreImm(0, 42, 1).LoadAddr(3, 0);
+  pb.ObserveReg(0, 2).ObserveReg(0, 3);
+  const ExploreResult result = RunProgram(pb.Build());
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes.begin()->second.regs[0], 41u);
+  EXPECT_EQ(result.outcomes.begin()->second.regs[1], 42u);
+}
+
+TEST(PromisingSemantics, CoherenceForbidsNewThenOldAcrossThreads) {
+  // CoRR at the machine level with three reads.
+  ProgramBuilder pb("corr3");
+  auto& w = pb.NewThread();
+  w.StoreImm(0, 1, 1);
+  auto& r = pb.NewThread();
+  r.LoadAddr(0, 0).LoadAddr(1, 0).LoadAddr(2, 0);
+  pb.ObserveReg(1, 0).ObserveReg(1, 1).ObserveReg(1, 2);
+  const ExploreResult result = RunProgram(pb.Build());
+  for (const auto& [key, o] : result.outcomes) {
+    (void)key;
+    // Once 1 is observed, later reads must keep observing 1.
+    EXPECT_TRUE(o.regs[0] <= o.regs[1] && o.regs[1] <= o.regs[2])
+        << o.ToString(pb.Build());
+  }
+}
+
+TEST(PromisingSemantics, HaltWithUnfulfilledPromiseIsPruned) {
+  // A conditional store: the thread may be tempted to promise it, but paths
+  // where the branch skips the store cannot fulfil — certification must keep
+  // the outcome set exact.
+  ProgramBuilder pb("cond-store");
+  pb.MemSize(2);
+  auto& t0 = pb.NewThread();
+  t0.LoadAddr(0, 1).Cbz(0, "skip").StoreImm(0, 7, 2).Label("skip").Halt();
+  auto& t1 = pb.NewThread();
+  t1.LoadAddr(0, 0);
+  pb.ObserveReg(1, 0).ObserveLoc(0);
+  const ExploreResult result = RunProgram(pb.Build());
+  for (const auto& [key, o] : result.outcomes) {
+    (void)key;
+    // [1] is never written, so t0 never stores: cell 0 stays 0 and t1 reads 0.
+    EXPECT_EQ(o.regs[0], 0u);
+    EXPECT_EQ(o.locs[0], 0u);
+  }
+}
+
+TEST(PromisingSemantics, FetchAddIsAtomic) {
+  // Two increments never lose an update.
+  ProgramBuilder pb("faa");
+  pb.MemSize(1);
+  for (int i = 0; i < 2; ++i) {
+    pb.NewThread().FetchAddAddr(0, 0, 1);
+  }
+  pb.ObserveLoc(0).ObserveReg(0, 0).ObserveReg(1, 0);
+  const ExploreResult result = RunProgram(pb.Build());
+  for (const auto& [key, o] : result.outcomes) {
+    (void)key;
+    EXPECT_EQ(o.locs[0], 2u) << o.ToString(pb.Build());
+    // The two RMWs observe distinct values 0 and 1.
+    EXPECT_EQ(o.regs[0] + o.regs[1], 1u);
+  }
+}
+
+TEST(PromisingSemantics, ThreeThreadFetchAddStillAtomic) {
+  ProgramBuilder pb("faa3");
+  pb.MemSize(1);
+  for (int i = 0; i < 3; ++i) {
+    pb.NewThread().FetchAddAddr(0, 0, 1);
+  }
+  pb.ObserveLoc(0);
+  const ExploreResult result = RunProgram(pb.Build());
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes.begin()->second.locs[0], 3u);
+}
+
+TEST(PromisingSemantics, IsbOrdersReadsAfterControl) {
+  // MP with a control dependency + ISB on the reader: forbidden on Armv8
+  // (ctrl+isb orders reads), so the machine must forbid it too.
+  ProgramBuilder pb("mp-ctrl-isb");
+  pb.MemSize(2);
+  auto& w = pb.NewThread();
+  w.StoreImm(0, 1, 2).Dmb(BarrierKind::kSy).StoreImm(1, 1, 3);
+  auto& r = pb.NewThread();
+  r.LoadAddr(0, 1).Cbz(0, "end").Isb().LoadAddr(1, 0).Label("end").Halt();
+  pb.ObserveReg(1, 0).ObserveReg(1, 1);
+  const ExploreResult result = RunProgram(pb.Build());
+  const auto relaxed = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 0; };
+  EXPECT_FALSE(AnyOutcome(result, relaxed)) << result.Describe(pb.Build());
+}
+
+TEST(PromisingSemantics, ControlDependencyAloneDoesNotOrderReads) {
+  // Same shape without the ISB: allowed (read speculation past branches).
+  ProgramBuilder pb("mp-ctrl");
+  pb.MemSize(2);
+  auto& w = pb.NewThread();
+  w.StoreImm(0, 1, 2).Dmb(BarrierKind::kSy).StoreImm(1, 1, 3);
+  auto& r = pb.NewThread();
+  r.LoadAddr(0, 1).Cbz(0, "end").LoadAddr(1, 0).Label("end").Halt();
+  pb.ObserveReg(1, 0).ObserveReg(1, 1);
+  const ExploreResult result = RunProgram(pb.Build());
+  const auto relaxed = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 0; };
+  EXPECT_TRUE(AnyOutcome(result, relaxed)) << result.Describe(pb.Build());
+}
+
+TEST(PromisingSemantics, ControlDependencyOrdersWrites) {
+  // No speculative writes: LB with a control dependency into the write on both
+  // sides is forbidden.
+  ProgramBuilder pb("lb-ctrl");
+  pb.MemSize(2);
+  for (int i = 0; i < 2; ++i) {
+    const Addr mine = i == 0 ? 1 : 0;
+    const Addr other = i == 0 ? 0 : 1;
+    auto& t = pb.NewThread();
+    t.LoadAddr(0, other).Cbz(0, "end").StoreImm(mine, 1, 2).Label("end").Halt();
+  }
+  pb.ObserveReg(0, 0).ObserveReg(1, 0);
+  const ExploreResult result = RunProgram(pb.Build());
+  const auto relaxed = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 1; };
+  EXPECT_FALSE(AnyOutcome(result, relaxed)) << result.Describe(pb.Build());
+}
+
+TEST(PromisingSemantics, DmbStOrdersWritesOnly) {
+  // MP with dmb st on the writer and an address dependency on the reader is
+  // forbidden; with only dmb st and independent reads it stays allowed.
+  {
+    const LitmusTest forbidden = [] {
+      ProgramBuilder pb("mp-st-addr");
+      pb.MemSize(2);
+      auto& w = pb.NewThread();
+      w.StoreImm(0, 1, 2).Dmb(BarrierKind::kSt).StoreImm(1, 1, 3);
+      auto& r = pb.NewThread();
+      r.LoadAddr(0, 1).Eor(2, 0, 0).MovImm(3, 0).Add(3, 3, 2).Load(1, 3);
+      pb.ObserveReg(1, 0).ObserveReg(1, 1);
+      return LitmusTest{pb.Build(), {}, ""};
+    }();
+    const ExploreResult result = RunPromising(forbidden);
+    const auto relaxed = [](const Outcome& o) {
+      return o.regs[0] == 1 && o.regs[1] == 0;
+    };
+    EXPECT_FALSE(AnyOutcome(result, relaxed));
+  }
+  {
+    const LitmusTest allowed = [] {
+      ProgramBuilder pb("mp-st-plain");
+      pb.MemSize(2);
+      auto& w = pb.NewThread();
+      w.StoreImm(0, 1, 2).Dmb(BarrierKind::kSt).StoreImm(1, 1, 3);
+      auto& r = pb.NewThread();
+      r.LoadAddr(0, 1).LoadAddr(1, 0);
+      pb.ObserveReg(1, 0).ObserveReg(1, 1);
+      return LitmusTest{pb.Build(), {}, ""};
+    }();
+    const ExploreResult result = RunPromising(allowed);
+    const auto relaxed = [](const Outcome& o) {
+      return o.regs[0] == 1 && o.regs[1] == 0;
+    };
+    EXPECT_TRUE(AnyOutcome(result, relaxed));
+  }
+}
+
+TEST(PromisingSemantics, MessageCapSetsTruncated) {
+  ModelConfig config;
+  config.max_messages = 1;
+  ProgramBuilder pb("cap");
+  auto& t = pb.NewThread();
+  t.StoreImm(0, 1, 1).StoreImm(1, 1, 2);
+  pb.MemSize(2).ObserveLoc(0).ObserveLoc(1);
+  const ExploreResult result = RunProgram(pb.Build(), config);
+  EXPECT_TRUE(result.stats.truncated);
+}
+
+TEST(PromisingSemantics, StepBudgetSetsTruncated) {
+  ModelConfig config;
+  config.max_steps_per_thread = 3;
+  ProgramBuilder pb("budget");
+  auto& t = pb.NewThread();
+  t.MovImm(0, 1).Label("spin").Cbnz(0, "spin");
+  const ExploreResult result = RunProgram(pb.Build(), config);
+  EXPECT_TRUE(result.stats.truncated);
+  EXPECT_TRUE(result.outcomes.empty());  // the spin never terminates
+}
+
+TEST(PromisingMmu, TranslatedLoadFaultsOnEmptyTable) {
+  MmuConfig mmu;
+  mmu.root = 2;
+  mmu.levels = 1;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+  ProgramBuilder pb("fault");
+  pb.MemSize(4).Mmu(mmu);
+  auto& t = pb.NewThread(/*user=*/true);
+  t.LoadVa(0, 0);
+  pb.ObserveReg(0, 0);
+  const ExploreResult result = RunProgram(pb.Build());
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  const Outcome& o = result.outcomes.begin()->second;
+  EXPECT_EQ(o.regs[0], kFaultValue);
+  EXPECT_EQ(o.faults[0], 1);
+}
+
+TEST(PromisingMmu, TranslatedStoreWritesThroughMapping) {
+  MmuConfig mmu;
+  mmu.root = 2;
+  mmu.levels = 1;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+  ProgramBuilder pb("strv");
+  pb.MemSize(4).Mmu(mmu).MapPage(0, 1);
+  auto& t = pb.NewThread(/*user=*/true);
+  t.MovImm(1, 9);
+  t.StoreVa(0, 1);
+  pb.ObserveLoc(1);
+  const ExploreResult result = RunProgram(pb.Build());
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes.begin()->second.locs[0], 9u);
+}
+
+TEST(PromisingMmu, TlbCachesTranslationAcrossPtChange) {
+  // Two loads; the PTE is rewritten in between by another CPU without TLBI: the
+  // second load may legally still use the cached translation.
+  MmuConfig mmu;
+  mmu.root = 3;
+  mmu.levels = 1;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+  ProgramBuilder pb("tlb-cache");
+  pb.MemSize(5).Mmu(mmu).MapPage(0, 0);
+  pb.Init(0, 5).Init(1, 6);
+  auto& kernel = pb.NewThread();
+  kernel.StoreImm(3, MmuConfig::MakeEntry(1), 2);  // remap page 0 -> frame 1
+  auto& user = pb.NewThread(/*user=*/true);
+  user.LoadVa(0, 0).LoadVa(1, 0);
+  pb.ObserveReg(1, 0).ObserveReg(1, 1);
+  const ExploreResult result = RunProgram(pb.Build());
+  // r0=5 then r1=5 (cached) must be possible even after the remap landed.
+  const auto cached = [](const Outcome& o) { return o.regs[0] == 5 && o.regs[1] == 5; };
+  EXPECT_TRUE(AnyOutcome(result, cached));
+}
+
+}  // namespace
+}  // namespace vrm

@@ -1,0 +1,201 @@
+// Unit tests for the SC machine: instruction semantics, interleaving coverage,
+// MMU behaviour, and the condition monitors.
+
+#include "src/model/sc_machine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/arch/builder.h"
+#include "src/model/explorer.h"
+
+namespace vrm {
+namespace {
+
+ExploreResult RunProgram(const Program& program, ModelConfig config = {}) {
+  ScMachine machine(program, config);
+  return Explore(machine, config);
+}
+
+TEST(ScMachine, SingleThreadIsDeterministic) {
+  ProgramBuilder pb("det");
+  auto& t = pb.NewThread();
+  t.MovImm(0, 2).MovImm(1, 3).Add(2, 0, 1).StoreAddr(0, 2).LoadAddr(3, 0);
+  pb.ObserveReg(0, 3);
+  const ExploreResult result = RunProgram(pb.Build());
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes.begin()->second.regs[0], 5u);
+}
+
+TEST(ScMachine, InterleavingsCoverBothOrders) {
+  // Two writers to one cell: the final value can be either.
+  ProgramBuilder pb("2w");
+  pb.NewThread().StoreImm(0, 1, 1);
+  pb.NewThread().StoreImm(0, 2, 1);
+  pb.ObserveLoc(0);
+  const ExploreResult result = RunProgram(pb.Build());
+  EXPECT_EQ(result.outcomes.size(), 2u);
+}
+
+TEST(ScMachine, SbRelaxedOutcomeImpossible) {
+  ProgramBuilder pb("sb-sc");
+  pb.MemSize(2);
+  for (int i = 0; i < 2; ++i) {
+    auto& t = pb.NewThread();
+    t.StoreImm(i == 0 ? 0 : 1, 1, 2).LoadAddr(0, i == 0 ? 1 : 0);
+  }
+  pb.ObserveReg(0, 0).ObserveReg(1, 0);
+  const ExploreResult result = RunProgram(pb.Build());
+  for (const auto& [key, o] : result.outcomes) {
+    (void)key;
+    EXPECT_FALSE(o.regs[0] == 0 && o.regs[1] == 0);
+  }
+}
+
+TEST(ScMachine, FetchAddAtomic) {
+  ProgramBuilder pb("faa-sc");
+  pb.MemSize(1);
+  for (int i = 0; i < 3; ++i) {
+    pb.NewThread().FetchAddAddr(0, 0, 1);
+  }
+  pb.ObserveLoc(0);
+  const ExploreResult result = RunProgram(pb.Build());
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes.begin()->second.locs[0], 3u);
+}
+
+TEST(ScMachine, BranchesAndLoops) {
+  // Sum 1..5 with a loop.
+  ProgramBuilder pb("loop");
+  auto& t = pb.NewThread();
+  t.MovImm(0, 0).MovImm(1, 5).MovImm(2, 0);
+  t.Label("loop");
+  t.AddImm(2, 2, 1);
+  t.Add(0, 0, 2);
+  t.Bne(2, 1, "loop");
+  pb.ObserveReg(0, 0);
+  const ExploreResult result = RunProgram(pb.Build());
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes.begin()->second.regs[0], 15u);
+}
+
+TEST(ScMachine, PanicIsObservable) {
+  ProgramBuilder pb("panic");
+  pb.NewThread().Panic();
+  const ExploreResult result = RunProgram(pb.Build());
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  EXPECT_EQ(result.outcomes.begin()->second.panics[0], 1);
+}
+
+TEST(ScMachine, MmuWalkAndTlbRefill) {
+  MmuConfig mmu;
+  mmu.root = 3;
+  mmu.levels = 1;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+  ProgramBuilder pb("walk");
+  pb.MemSize(5).Mmu(mmu).MapPage(0, 0);
+  pb.Init(0, 77);
+  auto& t = pb.NewThread(/*user=*/true);
+  t.LoadVa(0, 0);
+  pb.ObserveReg(0, 0).ObserveTlbs();
+  const ExploreResult result = RunProgram(pb.Build());
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  const Outcome& o = result.outcomes.begin()->second;
+  EXPECT_EQ(o.regs[0], 77u);
+  ASSERT_EQ(o.tlbs[0].size(), 1u);  // the walk refilled the TLB
+  EXPECT_EQ(o.tlbs[0][0].first, 0u);
+}
+
+TEST(ScMachine, TlbiClearsAllCpus) {
+  MmuConfig mmu;
+  mmu.root = 3;
+  mmu.levels = 1;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+  ProgramBuilder pb("tlbi");
+  pb.MemSize(5).Mmu(mmu).MapPage(0, 0);
+  auto& user = pb.NewThread(/*user=*/true);
+  user.LoadVa(0, 0);  // fill the TLB
+  auto& kernel = pb.NewThread();
+  kernel.TlbiVa(0);
+  pb.ObserveTlbs();
+  const ExploreResult result = RunProgram(pb.Build());
+  // In the outcome where the TLBI ran last, the user TLB is empty again.
+  bool saw_cleared = false;
+  for (const auto& [key, o] : result.outcomes) {
+    (void)key;
+    if (o.tlbs[0].empty()) {
+      saw_cleared = true;
+    }
+  }
+  EXPECT_TRUE(saw_cleared);
+}
+
+TEST(ScMachine, WriteOnceMonitorFlagsOverwrite) {
+  ModelConfig config;
+  config.write_once_cells = {0};
+  ProgramBuilder pb("wo");
+  pb.Init(0, 3);
+  pb.NewThread().StoreImm(0, 4, 1);
+  const ExploreResult result = RunProgram(pb.Build(), config);
+  EXPECT_TRUE(result.violations.write_once.set);
+}
+
+TEST(ScMachine, WriteOnceMonitorAllowsFillingEmpty) {
+  ModelConfig config;
+  config.write_once_cells = {0};
+  ProgramBuilder pb("wo-ok");
+  pb.NewThread().StoreImm(0, 4, 1);
+  const ExploreResult result = RunProgram(pb.Build(), config);
+  EXPECT_FALSE(result.violations.write_once.set);
+}
+
+TEST(ScMachine, IsolationMonitorFlagsKernelReadOfUserMemory) {
+  ModelConfig config;
+  config.user_cells = {1};
+  ProgramBuilder pb("iso");
+  pb.MemSize(2);
+  pb.NewThread().LoadAddr(0, 1);  // kernel thread reads user cell
+  const ExploreResult result = RunProgram(pb.Build(), config);
+  EXPECT_TRUE(result.violations.isolation.set);
+}
+
+TEST(ScMachine, OracleReadIsExemptFromIsolation) {
+  ModelConfig config;
+  config.user_cells = {1};
+  ProgramBuilder pb("iso-oracle");
+  pb.MemSize(2);
+  pb.NewThread().OracleLoadAddr(0, 1);
+  const ExploreResult result = RunProgram(pb.Build(), config);
+  EXPECT_FALSE(result.violations.isolation.set);
+}
+
+TEST(ScMachine, TlbiSequenceMonitorOnSc) {
+  MmuConfig mmu;
+  mmu.root = 1;
+  mmu.levels = 1;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+  ModelConfig config;
+  config.pt_watch = {{1, 0}};
+  // Unmap without DSB+TLBI: flagged.
+  {
+    ProgramBuilder pb("tlbi-seq-bad");
+    pb.MemSize(3).Mmu(mmu).MapPage(0, 0);
+    pb.NewThread().StoreImm(1, 0, 2);
+    const ExploreResult result = RunProgram(pb.Build(), config);
+    EXPECT_TRUE(result.violations.tlbi.set);
+  }
+  // Unmap; DSB; TLBI: clean.
+  {
+    ProgramBuilder pb("tlbi-seq-good");
+    pb.MemSize(3).Mmu(mmu).MapPage(0, 0);
+    auto& t = pb.NewThread();
+    t.StoreImm(1, 0, 2).Dsb().TlbiVa(0);
+    const ExploreResult result = RunProgram(pb.Build(), config);
+    EXPECT_FALSE(result.violations.tlbi.set);
+  }
+}
+
+}  // namespace
+}  // namespace vrm

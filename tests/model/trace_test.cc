@@ -1,0 +1,107 @@
+// Tests for the execution-trace renderer and the random-walk executor.
+
+#include "src/model/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/arch/builder.h"
+#include "src/model/random_walk.h"
+#include "src/sekvm/tinyarm_primitives.h"
+
+namespace vrm {
+namespace {
+
+TEST(TraceRender, RendersEventKinds) {
+  StepInfo promise;
+  promise.tid = 0;
+  promise.is_promise = true;
+  promise.loc = 3;
+  promise.val = 9;
+  promise.ts = 2;
+  EXPECT_EQ(RenderStep(promise), "CPU 1 promises  [3] := 9   @2");
+
+  StepInfo read;
+  read.tid = 1;
+  read.is_read = true;
+  read.loc = 0;
+  read.val = 1;
+  read.ts = 4;
+  EXPECT_EQ(RenderStep(read), "CPU 2 reads     [0] -> 1   from @4");
+
+  StepInfo write;
+  write.tid = 1;
+  write.is_write = true;
+  write.loc = 0;
+  write.val = 7;
+  write.ts = 5;
+  EXPECT_EQ(RenderStep(write), "CPU 2 writes    [0] := 7   @5");
+
+  StepInfo rmw = write;
+  rmw.is_read = true;
+  EXPECT_EQ(RenderStep(rmw), "CPU 2 rmw       [0] := 7   @5");
+
+  StepInfo pull;
+  pull.tid = 0;
+  pull.op = Op::kPull;
+  pull.region = 0;
+  EXPECT_EQ(RenderStep(pull), "CPU 1 pull region #0 (enters critical section)");
+}
+
+TEST(TraceRender, FiltersLocalStepsByDefault) {
+  ProgramBuilder pb("trace");
+  pb.MemSize(1);
+  auto& t = pb.NewThread();
+  t.MovImm(0, 1).StoreAddr(0, 0);
+  pb.ObserveLoc(0);
+  Program program = pb.Build();
+  ModelConfig config;
+  PromisingMachine machine(program, config);
+  const RandomWalkResult walk = RandomWalk(machine, 1);
+  ASSERT_TRUE(walk.completed);
+
+  const std::string filtered = RenderTrace(program, walk.trace);
+  EXPECT_EQ(filtered.find("mov"), std::string::npos);
+  EXPECT_NE(filtered.find("writes"), std::string::npos);
+
+  TraceRenderOptions verbose;
+  verbose.show_local_steps = true;
+  verbose.show_positions = true;
+  const std::string full = RenderTrace(program, walk.trace, verbose);
+  EXPECT_NE(full.find("mov"), std::string::npos);
+  EXPECT_NE(full.find("@0"), std::string::npos);
+}
+
+TEST(RandomWalk, CompletedWalksMatchExploredOutcomes) {
+  // Every sampled outcome must be in the exhaustively explored set.
+  const KernelSpec spec = GenVmidKernelSpec(true);
+  LitmusTest test{spec.program, spec.base_config, ""};
+  test.config.pushpull = true;
+  const ExploreResult all = RunPromising(test);
+  PromisingMachine machine(test.program, test.config);
+  int completed = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    const RandomWalkResult walk = RandomWalk(machine, seed);
+    if (!walk.completed) {
+      continue;
+    }
+    ++completed;
+    EXPECT_TRUE(all.Contains(walk.outcome))
+        << "seed " << seed << ": " << walk.outcome.ToString(test.program);
+  }
+  EXPECT_GE(completed, 10);
+}
+
+TEST(RandomWalk, SeedsAreDeterministic) {
+  const LockedCounterProgram lc = MakeLockedCounter(1, true);
+  PromisingMachine machine(lc.program, lc.config);
+  const RandomWalkResult a = RandomWalk(machine, 7);
+  const RandomWalkResult b = RandomWalk(machine, 7);
+  ASSERT_EQ(a.completed, b.completed);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  if (a.completed) {
+    EXPECT_EQ(a.outcome.Key(), b.outcome.Key());
+  }
+}
+
+}  // namespace
+}  // namespace vrm

@@ -1,0 +1,148 @@
+// x86-TSO machine tests: the classic TSO verdicts, and the paper's motivating
+// contrast — the bugs VRM targets (Examples 1/3, MP, LB) cannot occur on TSO,
+// while store buffering can.
+
+#include "src/model/tso_machine.h"
+
+#include <gtest/gtest.h>
+
+#include "src/arch/builder.h"
+#include "src/litmus/classics.h"
+#include "src/litmus/paper_examples.h"
+#include "src/model/explorer.h"
+
+namespace vrm {
+namespace {
+
+TEST(TsoMachine, StoreBufferingAllowed) {
+  // The one classic TSO relaxation: both loads read 0.
+  const LitmusTest test = ClassicSb(Strength::kPlain);
+  const ExploreResult tso = RunTso(test);
+  const auto both_zero = [](const Outcome& o) { return o.regs[0] == 0 && o.regs[1] == 0; };
+  EXPECT_TRUE(AnyOutcome(tso, both_zero)) << tso.Describe(test.program);
+}
+
+TEST(TsoMachine, MfenceForbidsStoreBuffering) {
+  const LitmusTest test = ClassicSb(Strength::kDmb);
+  const ExploreResult tso = RunTso(test);
+  const auto both_zero = [](const Outcome& o) { return o.regs[0] == 0 && o.regs[1] == 0; };
+  EXPECT_FALSE(AnyOutcome(tso, both_zero)) << tso.Describe(test.program);
+}
+
+TEST(TsoMachine, MessagePassingForbidden) {
+  // TSO preserves store order and load order: MP needs no barriers at all.
+  const LitmusTest test = ClassicMp(Strength::kPlain, Strength::kPlain);
+  const ExploreResult tso = RunTso(test);
+  const auto relaxed = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 0; };
+  EXPECT_FALSE(AnyOutcome(tso, relaxed)) << tso.Describe(test.program);
+}
+
+TEST(TsoMachine, LoadBufferingForbidden) {
+  const LitmusTest test = ClassicLb(Strength::kPlain);
+  const ExploreResult tso = RunTso(test);
+  const auto relaxed = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 1; };
+  EXPECT_FALSE(AnyOutcome(tso, relaxed)) << tso.Describe(test.program);
+}
+
+TEST(TsoMachine, Example1BugCannotHappenOnTso) {
+  // The paper's Example 1 misbehaves on Arm but not on x86-TSO — the contrast
+  // motivating VRM (local DRF transfers to TSO, not to Arm).
+  const LitmusTest test = Example1OutOfOrderWrite(/*fixed=*/false);
+  const ExploreResult tso = RunTso(test);
+  const auto relaxed = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 1; };
+  EXPECT_FALSE(AnyOutcome(tso, relaxed)) << tso.Describe(test.program);
+}
+
+TEST(TsoMachine, Example3BugCannotHappenOnTso) {
+  const LitmusTest test = Example3VmContextSwitch(/*fixed=*/false);
+  const ExploreResult tso = RunTso(test);
+  const auto stale = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 0; };
+  EXPECT_FALSE(AnyOutcome(tso, stale)) << tso.Describe(test.program);
+}
+
+TEST(TsoMachine, ScIsSubsetOfTsoIsSubsetOfArm) {
+  // Model-strength ordering on the classic relaxations.
+  for (const LitmusTest& test :
+       {ClassicSb(Strength::kPlain), ClassicMp(Strength::kPlain, Strength::kPlain),
+        ClassicLb(Strength::kPlain), Example1OutOfOrderWrite(false)}) {
+    const ExploreResult sc = RunSc(test);
+    const ExploreResult tso = RunTso(test);
+    const ExploreResult rm = RunPromising(test);
+    EXPECT_TRUE(OutcomesBeyond(sc, tso).empty()) << test.program.name;
+    EXPECT_TRUE(OutcomesBeyond(tso, rm).empty()) << test.program.name;
+  }
+}
+
+TEST(TsoMachine, LoadsSnoopOwnStoreBuffer) {
+  ProgramBuilder pb("snoop");
+  pb.MemSize(1);
+  auto& t = pb.NewThread();
+  t.StoreImm(0, 7, 1).LoadAddr(2, 0);  // the store may still be buffered
+  pb.ObserveReg(0, 2);
+  LitmusTest test{pb.Build(), {}, ""};
+  const ExploreResult tso = RunTso(test);
+  for (const auto& [key, o] : tso.outcomes) {
+    (void)key;
+    EXPECT_EQ(o.regs[0], 7u);  // always forwarded from the buffer
+  }
+}
+
+TEST(TsoMachine, BufferedStoreInvisibleToOthersUntilDrain) {
+  ProgramBuilder pb("invisible");
+  pb.MemSize(1);
+  pb.NewThread().StoreImm(0, 1, 1);
+  pb.NewThread().LoadAddr(0, 0);
+  pb.ObserveReg(1, 0);
+  LitmusTest test{pb.Build(), {}, ""};
+  const ExploreResult tso = RunTso(test);
+  // Both orders exist: reader before drain (0) and after drain (1).
+  EXPECT_EQ(tso.outcomes.size(), 2u);
+}
+
+TEST(TsoMachine, LockedRmwDrainsAndIsAtomic) {
+  ProgramBuilder pb("rmw");
+  pb.MemSize(2);
+  for (int i = 0; i < 2; ++i) {
+    auto& t = pb.NewThread();
+    t.StoreImm(1, 5, 2);        // buffered store
+    t.FetchAddAddr(0, 0, 1);    // locked op drains it
+  }
+  pb.ObserveLoc(0).ObserveReg(0, 0).ObserveReg(1, 0);
+  LitmusTest test{pb.Build(), {}, ""};
+  const ExploreResult tso = RunTso(test);
+  for (const auto& [key, o] : tso.outcomes) {
+    (void)key;
+    EXPECT_EQ(o.locs[0], 2u);
+    EXPECT_EQ(o.regs[0] + o.regs[1], 1u);
+  }
+}
+
+TEST(TsoMachine, FinalMemoryReflectsAllStores) {
+  // Terminal states require drained buffers: observed memory is complete.
+  ProgramBuilder pb("drain");
+  pb.MemSize(2);
+  auto& t = pb.NewThread();
+  t.StoreImm(0, 1, 1).StoreImm(1, 2, 2);
+  pb.ObserveLoc(0).ObserveLoc(1);
+  LitmusTest test{pb.Build(), {}, ""};
+  const ExploreResult tso = RunTso(test);
+  ASSERT_EQ(tso.outcomes.size(), 1u);
+  EXPECT_EQ(tso.outcomes.begin()->second.locs[0], 1u);
+  EXPECT_EQ(tso.outcomes.begin()->second.locs[1], 2u);
+}
+
+TEST(TsoMachine, FifoOrderPreserved) {
+  // Two stores to the same location drain in order: final value is the second.
+  ProgramBuilder pb("fifo");
+  pb.MemSize(1);
+  auto& t = pb.NewThread();
+  t.StoreImm(0, 1, 1).StoreImm(0, 2, 2);
+  pb.ObserveLoc(0);
+  LitmusTest test{pb.Build(), {}, ""};
+  const ExploreResult tso = RunTso(test);
+  ASSERT_EQ(tso.outcomes.size(), 1u);
+  EXPECT_EQ(tso.outcomes.begin()->second.locs[0], 2u);
+}
+
+}  // namespace
+}  // namespace vrm

@@ -1,0 +1,203 @@
+// Ed25519 against the RFC 8032 test vectors, plus negative cases and the
+// signature-mode KCore boot protocol.
+
+#include "src/sekvm/crypto/ed25519.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/sekvm/invariants.h"
+#include "src/sekvm/kserv.h"
+
+namespace vrm {
+namespace {
+
+template <size_t N>
+std::array<uint8_t, N> FromHex(const std::string& hex) {
+  std::array<uint8_t, N> out{};
+  EXPECT_EQ(hex.size(), 2 * N);
+  for (size_t i = 0; i < N; ++i) {
+    unsigned byte = 0;
+    std::sscanf(hex.c_str() + 2 * i, "%2x", &byte);
+    out[i] = static_cast<uint8_t>(byte);
+  }
+  return out;
+}
+
+struct Rfc8032Vector {
+  const char* name;
+  const char* secret;
+  const char* public_key;
+  std::string message;  // raw bytes
+  const char* signature;
+};
+
+class Rfc8032 : public ::testing::TestWithParam<Rfc8032Vector> {};
+
+TEST_P(Rfc8032, KeyDerivationSignAndVerify) {
+  const Rfc8032Vector& v = GetParam();
+  const auto secret = FromHex<32>(v.secret);
+  const auto expected_public = FromHex<32>(v.public_key);
+  const auto expected_signature = FromHex<64>(v.signature);
+
+  EXPECT_EQ(Ed25519DerivePublicKey(secret), expected_public);
+  const Ed25519Signature signature =
+      Ed25519Sign(secret, v.message.data(), v.message.size());
+  EXPECT_EQ(signature, expected_signature);
+  EXPECT_TRUE(Ed25519Verify(expected_public, v.message.data(), v.message.size(),
+                            signature));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Vectors, Rfc8032,
+    ::testing::Values(
+        Rfc8032Vector{
+            "empty",
+            "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+            "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a",
+            "",
+            "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+            "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"},
+        Rfc8032Vector{
+            "one_byte",
+            "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+            "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c",
+            std::string("\x72", 1),
+            "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+            "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"},
+        Rfc8032Vector{
+            "two_bytes",
+            "c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+            "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+            std::string("\xaf\x82", 2),
+            "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+            "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"}),
+    [](const ::testing::TestParamInfo<Rfc8032Vector>& info) {
+      return info.param.name;
+    });
+
+TEST(Ed25519Negative, TamperedMessageRejected) {
+  const auto secret = FromHex<32>(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto public_key = Ed25519DerivePublicKey(secret);
+  const std::string message = "vm image bytes";
+  const Ed25519Signature signature =
+      Ed25519Sign(secret, message.data(), message.size());
+  std::string tampered = message;
+  tampered[3] ^= 1;
+  EXPECT_FALSE(Ed25519Verify(public_key, tampered.data(), tampered.size(), signature));
+}
+
+TEST(Ed25519Negative, TamperedSignatureRejected) {
+  const auto secret = FromHex<32>(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto public_key = Ed25519DerivePublicKey(secret);
+  const std::string message = "vm image bytes";
+  Ed25519Signature signature = Ed25519Sign(secret, message.data(), message.size());
+  for (size_t index : {0u, 31u, 32u, 63u}) {
+    Ed25519Signature broken = signature;
+    broken[index] ^= 0x40;
+    EXPECT_FALSE(Ed25519Verify(public_key, message.data(), message.size(), broken))
+        << "flip at byte " << index;
+  }
+}
+
+TEST(Ed25519Negative, WrongKeyRejected) {
+  const auto secret_a = FromHex<32>(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto secret_b = FromHex<32>(
+      "4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb");
+  const std::string message = "vm image bytes";
+  const Ed25519Signature signature =
+      Ed25519Sign(secret_a, message.data(), message.size());
+  EXPECT_FALSE(Ed25519Verify(Ed25519DerivePublicKey(secret_b), message.data(),
+                             message.size(), signature));
+}
+
+TEST(Ed25519Negative, HighSRejected) {
+  // S >= L must be rejected (malleability check). S = L encoded little-endian.
+  const auto secret = FromHex<32>(
+      "9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60");
+  const auto public_key = Ed25519DerivePublicKey(secret);
+  Ed25519Signature signature = Ed25519Sign(secret, "", 0);
+  const auto order = FromHex<32>(
+      "edd3f55c1a631258d69cf7a2def9de1400000000000000000000000000000010");
+  std::copy(order.begin(), order.end(), signature.begin() + 32);
+  EXPECT_FALSE(Ed25519Verify(public_key, "", 0, signature));
+}
+
+TEST(Ed25519Negative, GarbagePublicKeyRejected) {
+  Ed25519PublicKey garbage{};
+  garbage.fill(0xff);  // y >= p with sign bit: not a valid point encoding
+  const Ed25519Signature signature{};
+  EXPECT_FALSE(Ed25519Verify(garbage, "x", 1, signature));
+}
+
+// --- Signature-mode boot protocol -----------------------------------------
+
+KCoreConfig SignedConfig(const Ed25519PublicKey& vendor_key) {
+  KCoreConfig config;
+  config.total_pages = 512;
+  config.kcore_pool_start = 8;
+  config.kcore_pool_pages = 128;
+  config.require_signature = true;
+  config.vendor_key = vendor_key;
+  return config;
+}
+
+TEST(SignedBoot, VendorSignedImageBootsAndRuns) {
+  Ed25519SecretKey vendor_secret{};
+  vendor_secret[0] = 0x42;
+  const Ed25519PublicKey vendor_key = Ed25519DerivePublicKey(vendor_secret);
+
+  PhysMemory mem(512);
+  KCore kcore(&mem, SignedConfig(vendor_key));
+  ASSERT_EQ(kcore.Boot(), HvRet::kOk);
+  KServ kserv(&kcore, &mem);
+  kserv.SetVendorSecret(vendor_secret);
+
+  const auto vmid = kserv.CreateAndBootVm(/*vcpus=*/1, /*image_pages=*/2, 0x51);
+  ASSERT_TRUE(vmid.has_value());
+  EXPECT_EQ(kcore.vm_state(*vmid), VmState::kVerified);
+  EXPECT_EQ(kserv.RunVmOnce(*vmid), HvRet::kOk);
+  EXPECT_TRUE(CheckSecurityInvariants(kcore).ok);
+}
+
+TEST(SignedBoot, UnsignedOrWrongKeyImagesRejected) {
+  Ed25519SecretKey vendor_secret{};
+  vendor_secret[0] = 0x42;
+  const Ed25519PublicKey vendor_key = Ed25519DerivePublicKey(vendor_secret);
+
+  PhysMemory mem(512);
+  KCore kcore(&mem, SignedConfig(vendor_key));
+  ASSERT_EQ(kcore.Boot(), HvRet::kOk);
+  KServ kserv(&kcore, &mem);
+
+  // No signing credentials at all: the boot flow cannot complete.
+  EXPECT_FALSE(kserv.CreateAndBootVm(1, 1, 0x52).has_value());
+
+  // Signed with the wrong key: KCore rejects at verification.
+  Ed25519SecretKey wrong_secret{};
+  wrong_secret[0] = 0x43;
+  kserv.SetVendorSecret(wrong_secret);
+  EXPECT_FALSE(kserv.CreateAndBootVm(1, 1, 0x53).has_value());
+  EXPECT_TRUE(CheckSecurityInvariants(kcore).ok);
+}
+
+TEST(SignedBoot, RegisteringSignatureRequiresSignatureMode) {
+  PhysMemory mem(512);
+  KCoreConfig config;
+  config.total_pages = 512;
+  config.kcore_pool_start = 8;
+  config.kcore_pool_pages = 128;
+  KCore kcore(&mem, config);  // digest mode
+  ASSERT_EQ(kcore.Boot(), HvRet::kOk);
+  VmId vmid = 0;
+  ASSERT_EQ(kcore.RegisterVm(&vmid), HvRet::kOk);
+  EXPECT_EQ(kcore.SetVmImageSignature(vmid, Ed25519Signature{}), HvRet::kInvalidArg);
+}
+
+}  // namespace
+}  // namespace vrm

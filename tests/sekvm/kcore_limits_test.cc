@@ -1,0 +1,117 @@
+// Resource-limit and lifecycle edge cases for KCore: identifier exhaustion,
+// pool exhaustion, boot-protocol ordering violations, and remap-region growth.
+
+#include <gtest/gtest.h>
+
+#include "src/sekvm/invariants.h"
+#include "src/sekvm/kserv.h"
+
+namespace vrm {
+namespace {
+
+KCoreConfig TinyConfig() {
+  KCoreConfig config;
+  config.total_pages = 512;
+  config.kcore_pool_start = 8;
+  config.kcore_pool_pages = 128;
+  return config;
+}
+
+struct System {
+  explicit System(KCoreConfig config = TinyConfig())
+      : mem(config.total_pages), kcore(&mem, config), kserv(&kcore, &mem) {
+    EXPECT_EQ(kcore.Boot(), HvRet::kOk);
+  }
+  PhysMemory mem;
+  KCore kcore;
+  KServ kserv;
+};
+
+TEST(KCoreLimits, VmidSpaceExhausts) {
+  System sys;
+  VmId vmid = 0;
+  for (VmId i = 0; i < kMaxVms; ++i) {
+    ASSERT_EQ(sys.kcore.RegisterVm(&vmid), HvRet::kOk) << i;
+  }
+  EXPECT_EQ(sys.kcore.RegisterVm(&vmid), HvRet::kNoMemory);
+  EXPECT_EQ(sys.kcore.num_vms(), kMaxVms);
+}
+
+TEST(KCoreLimits, VcpuCapPerVm) {
+  System sys;
+  VmId vmid = 0;
+  ASSERT_EQ(sys.kcore.RegisterVm(&vmid), HvRet::kOk);
+  VcpuId vcpuid = 0;
+  for (VcpuId i = 0; i < kMaxVcpusPerVm; ++i) {
+    ASSERT_EQ(sys.kcore.RegisterVcpu(vmid, &vcpuid), HvRet::kOk);
+    EXPECT_EQ(vcpuid, i);
+  }
+  EXPECT_EQ(sys.kcore.RegisterVcpu(vmid, &vcpuid), HvRet::kNoMemory);
+}
+
+TEST(KCoreLimits, BootFailsWhenPoolCannotHoldEl2Table) {
+  // 4-level EL2 table over 512 frames needs a handful of pool pages; 2 are not
+  // enough, and Boot must report the failure rather than die.
+  KCoreConfig config = TinyConfig();
+  config.kcore_pool_pages = 2;
+  PhysMemory mem(config.total_pages);
+  KCore kcore(&mem, config);
+  EXPECT_EQ(kcore.Boot(), HvRet::kNoMemory);
+}
+
+TEST(KCoreLimits, LifecycleOrderingEnforced) {
+  System sys;
+  VmId vmid = 0;
+  ASSERT_EQ(sys.kcore.RegisterVm(&vmid), HvRet::kOk);
+  // Verify before any donation: rejected.
+  EXPECT_EQ(sys.kcore.VerifyVmImage(vmid), HvRet::kBadState);
+  // Donation, then vCPU registration is still allowed (kBooting)...
+  const auto pfn = sys.kserv.AllocPage();
+  ASSERT_TRUE(pfn.has_value());
+  ASSERT_EQ(sys.kcore.SetVmImageHash(vmid, Sha512Digest{}), HvRet::kOk);
+  ASSERT_EQ(sys.kcore.DonateImagePage(vmid, *pfn), HvRet::kOk);
+  VcpuId vcpuid = 0;
+  EXPECT_EQ(sys.kcore.RegisterVcpu(vmid, &vcpuid), HvRet::kOk);
+  // ...but a wrong digest fails verification and the VM stays unrunnable.
+  EXPECT_EQ(sys.kcore.VerifyVmImage(vmid), HvRet::kAuthFailed);
+  EXPECT_EQ(sys.kcore.RunVcpu(vmid, vcpuid, 0, nullptr), HvRet::kBadState);
+}
+
+TEST(KCoreLimits, DonationAfterVerificationRejected) {
+  System sys;
+  const auto vmid = sys.kserv.CreateAndBootVm(1, 1, 0x77);
+  ASSERT_TRUE(vmid.has_value());
+  const auto pfn = sys.kserv.AllocPage();
+  ASSERT_TRUE(pfn.has_value());
+  // The image is sealed once verified.
+  EXPECT_EQ(sys.kcore.DonateImagePage(*vmid, *pfn), HvRet::kBadState);
+}
+
+TEST(KCoreLimits, RemapRegionGrowsAcrossVms) {
+  System sys;
+  // Boot several VMs; each donation consumes fresh EL2 remap slots, and the
+  // write-once table must absorb them all without collisions.
+  for (int i = 0; i < 6; ++i) {
+    const auto vmid = sys.kserv.CreateAndBootVm(1, 3, 100 + i);
+    ASSERT_TRUE(vmid.has_value()) << i;
+  }
+  EXPECT_TRUE(CheckSecurityInvariants(sys.kcore).ok);
+  EXPECT_EQ(sys.kcore.el2_table().stats().rejected_overwrites, 0u);
+}
+
+TEST(KCoreLimits, DoubleBootChecks) {
+  System sys;
+  EXPECT_DEATH(sys.kcore.Boot(), "booted");
+}
+
+TEST(KCoreLimits, OutOfRangePfnRejected) {
+  System sys;
+  VmId vmid = 0;
+  ASSERT_EQ(sys.kcore.RegisterVm(&vmid), HvRet::kOk);
+  EXPECT_EQ(sys.kcore.DonateImagePage(vmid, 100000), HvRet::kInvalidArg);
+  EXPECT_EQ(sys.kcore.MapVmPage(vmid, 0, 100000), HvRet::kInvalidArg);
+  EXPECT_EQ(sys.kcore.MapSmmu(0, 0, 100000), HvRet::kInvalidArg);
+}
+
+}  // namespace
+}  // namespace vrm

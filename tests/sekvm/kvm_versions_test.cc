@@ -1,0 +1,55 @@
+// Section 5.6: the same KCore passes the full check battery across all eight
+// Linux KVM versions and both stage 2 depths.
+
+#include "src/sekvm/kvm_versions.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vrm {
+namespace {
+
+TEST(KvmVersions, EightVersionsInOrder) {
+  const auto& versions = AllKvmVersions();
+  ASSERT_EQ(versions.size(), 8u);
+  const std::vector<std::string> expected = {"4.18", "4.20", "5.0", "5.1",
+                                             "5.2", "5.3", "5.4", "5.5"};
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(versions[i].linux_version, expected[i]);
+  }
+  // 4.18 is the 4-level baseline; every later version supports both depths.
+  EXPECT_FALSE(versions[0].supports_3level);
+  for (size_t i = 1; i < versions.size(); ++i) {
+    EXPECT_TRUE(versions[i].supports_3level);
+    EXPECT_TRUE(versions[i].supports_4level);
+  }
+}
+
+TEST(KvmVersions, ConfigsMatchSupportMatrix) {
+  for (const KvmVersion& version : AllKvmVersions()) {
+    const auto configs = ConfigsFor(version);
+    std::set<int> depths;
+    for (const KCoreConfig& config : configs) {
+      depths.insert(config.s2_levels);
+    }
+    EXPECT_EQ(depths.count(4) != 0, version.supports_4level);
+    EXPECT_EQ(depths.count(3) != 0, version.supports_3level);
+  }
+}
+
+TEST(KvmVersions, WholeMatrixPassesTheBattery) {
+  const auto results = VerifyVersionMatrix();
+  ASSERT_EQ(results.size(), 15u);  // 1 + 7 * 2 configurations
+  for (const VersionCheckResult& result : results) {
+    EXPECT_TRUE(result.boot_ok) << result.linux_version << "/" << result.s2_levels;
+    EXPECT_TRUE(result.lifecycle_ok) << result.linux_version << "/" << result.s2_levels;
+    EXPECT_TRUE(result.invariants_ok) << result.linux_version << "/" << result.s2_levels;
+    EXPECT_TRUE(result.attacks_rejected)
+        << result.linux_version << "/" << result.s2_levels;
+    EXPECT_TRUE(result.AllOk());
+  }
+}
+
+}  // namespace
+}  // namespace vrm

@@ -1,0 +1,153 @@
+// Tests for the page-table mechanism shared by stage 2, SMMU and EL2 tables:
+// set/clear/walk semantics, overwrite refusal, pool behaviour, write-once mode,
+// invalidation logging, and the mapping scanner — across 2/3/4-level depths.
+
+#include "src/sekvm/page_table.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace vrm {
+namespace {
+
+struct PtFixture {
+  PtFixture(int levels, bool write_once = false, Pfn pool_pages = 64)
+      : mem(256), pool(&mem, 16, pool_pages), table(&mem, &pool, levels, write_once) {
+    EXPECT_EQ(table.Init(), HvRet::kOk);
+  }
+  PhysMemory mem;
+  PagePool pool;
+  PageTable table;
+};
+
+class PageTableLevels : public ::testing::TestWithParam<int> {};
+
+TEST_P(PageTableLevels, SetThenWalk) {
+  PtFixture f(GetParam());
+  EXPECT_EQ(f.table.Set(/*gfn=*/5, /*pfn=*/100, Pte::kWritable), HvRet::kOk);
+  const auto walked = f.table.Walk(5);
+  ASSERT_TRUE(walked.has_value());
+  EXPECT_EQ(*walked, 100u);
+  EXPECT_FALSE(f.table.Walk(6).has_value());
+  const auto entry = f.table.WalkEntry(5);
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(Pte::Attrs(*entry), Pte::kWritable);
+}
+
+TEST_P(PageTableLevels, SetRefusesOverwrite) {
+  PtFixture f(GetParam());
+  EXPECT_EQ(f.table.Set(5, 100, 0), HvRet::kOk);
+  EXPECT_EQ(f.table.Set(5, 101, 0), HvRet::kAlreadyMapped);
+  EXPECT_EQ(*f.table.Walk(5), 100u);  // unchanged
+  EXPECT_EQ(f.table.stats().rejected_overwrites, 1u);
+}
+
+TEST_P(PageTableLevels, ClearThenRemapViaEmpty) {
+  PtFixture f(GetParam());
+  EXPECT_EQ(f.table.Set(5, 100, 0), HvRet::kOk);
+  EXPECT_EQ(f.table.Clear(5), HvRet::kOk);
+  EXPECT_FALSE(f.table.Walk(5).has_value());
+  // The table pages are not reclaimed; re-setting reuses them.
+  const uint64_t tables_before = f.table.stats().tables_allocated;
+  EXPECT_EQ(f.table.Set(5, 101, 0), HvRet::kOk);
+  EXPECT_EQ(f.table.stats().tables_allocated, tables_before);
+  EXPECT_EQ(*f.table.Walk(5), 101u);
+}
+
+TEST_P(PageTableLevels, ClearPerformsTlbInvalidation) {
+  PtFixture f(GetParam());
+  EXPECT_EQ(f.table.Set(7, 100, 0), HvRet::kOk);
+  EXPECT_EQ(f.table.Clear(7), HvRet::kOk);
+  ASSERT_EQ(f.table.invalidation_log().size(), 1u);
+  EXPECT_EQ(f.table.invalidation_log()[0], 7u);
+  EXPECT_EQ(f.table.stats().tlb_invalidations, 1u);
+}
+
+TEST_P(PageTableLevels, ClearOfUnmappedFails) {
+  PtFixture f(GetParam());
+  EXPECT_EQ(f.table.Clear(9), HvRet::kNotMapped);
+  EXPECT_TRUE(f.table.invalidation_log().empty());
+}
+
+TEST_P(PageTableLevels, SparseGfnsShareAndSplitTables) {
+  PtFixture f(GetParam());
+  // Adjacent gfns share every level; a distant gfn needs new tables.
+  EXPECT_EQ(f.table.Set(0, 100, 0), HvRet::kOk);
+  const uint64_t after_first = f.table.stats().tables_allocated;
+  EXPECT_EQ(f.table.Set(1, 101, 0), HvRet::kOk);
+  EXPECT_EQ(f.table.stats().tables_allocated, after_first);
+  const Gfn far = 1ull << (9 * (GetParam() - 1));
+  EXPECT_EQ(f.table.Set(far, 102, 0), HvRet::kOk);
+  EXPECT_GT(f.table.stats().tables_allocated, after_first);
+  EXPECT_EQ(*f.table.Walk(0), 100u);
+  EXPECT_EQ(*f.table.Walk(1), 101u);
+  EXPECT_EQ(*f.table.Walk(far), 102u);
+}
+
+TEST_P(PageTableLevels, ForEachMappingEnumeratesAll) {
+  PtFixture f(GetParam());
+  std::map<Gfn, Pfn> expected{{0, 100}, {3, 103}, {17, 117}};
+  for (const auto& [gfn, pfn] : expected) {
+    EXPECT_EQ(f.table.Set(gfn, pfn, 0), HvRet::kOk);
+  }
+  std::map<Gfn, Pfn> found;
+  f.table.ForEachMapping([&](Gfn gfn, Pfn pfn, uint64_t attrs) {
+    (void)attrs;
+    found[gfn] = pfn;
+  });
+  EXPECT_EQ(found, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PageTableLevels, ::testing::Values(2, 3, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::to_string(info.param) + "level";
+                         });
+
+TEST(PageTable, WriteOnceModeRejectsClear) {
+  PtFixture f(/*levels=*/4, /*write_once=*/true);
+  EXPECT_EQ(f.table.Set(5, 100, 0), HvRet::kOk);
+  EXPECT_EQ(f.table.Clear(5), HvRet::kDenied);
+  EXPECT_EQ(*f.table.Walk(5), 100u);
+}
+
+TEST(PageTable, PoolExhaustion) {
+  // Pool of 2 pages: root + one table; a 3-level set needs more.
+  PhysMemory mem(64);
+  PagePool pool(&mem, 16, 2);
+  PageTable table(&mem, &pool, /*levels=*/3);
+  EXPECT_EQ(table.Init(), HvRet::kOk);
+  EXPECT_EQ(table.Set(0, 50, 0), HvRet::kNoMemory);
+}
+
+TEST(PageTable, PoolScrubsAtInit) {
+  PhysMemory mem(64);
+  mem.FillPattern(20, 99);
+  PagePool pool(&mem, 16, 8);  // covers pfn 20
+  for (uint64_t off = 0; off < kPageBytes; off += 8) {
+    EXPECT_EQ(mem.ReadU64(20, off), 0u);
+  }
+  EXPECT_TRUE(pool.Contains(20));
+  EXPECT_FALSE(pool.Contains(24));
+}
+
+TEST(PageTable, PteEncodingRoundTrip) {
+  const uint64_t entry = Pte::Make(0x1234, Pte::kWritable);
+  EXPECT_TRUE(Pte::Valid(entry));
+  EXPECT_EQ(Pte::Frame(entry), 0x1234u);
+  EXPECT_EQ(Pte::Attrs(entry), Pte::kWritable);
+  EXPECT_FALSE(Pte::Valid(0));
+}
+
+TEST(PhysMemory, ReadWritePatternAndZero) {
+  PhysMemory mem(4);
+  mem.WriteU64(2, 16, 0xdeadbeef);
+  EXPECT_EQ(mem.ReadU64(2, 16), 0xdeadbeefu);
+  mem.FillPattern(3, 7);
+  EXPECT_NE(mem.ReadU64(3, 0), 0u);
+  mem.ZeroPage(3);
+  EXPECT_EQ(mem.ReadU64(3, 0), 0u);
+}
+
+}  // namespace
+}  // namespace vrm

@@ -1,0 +1,213 @@
+// VM confidentiality and integrity: adversarial KServ behaviour must be
+// rejected, the security invariants must survive arbitrary hypercall sequences,
+// and secrets must never become reachable by other principals.
+
+#include <gtest/gtest.h>
+
+#include "src/sekvm/invariants.h"
+#include "src/sekvm/kserv.h"
+#include "src/support/rng.h"
+
+namespace vrm {
+namespace {
+
+KCoreConfig Config() {
+  KCoreConfig config;
+  config.total_pages = 512;
+  config.kcore_pool_start = 8;
+  config.kcore_pool_pages = 128;
+  return config;
+}
+
+struct System {
+  System() : mem(Config().total_pages), kcore(&mem, Config()), kserv(&kcore, &mem) {
+    EXPECT_EQ(kcore.Boot(), HvRet::kOk);
+  }
+  PhysMemory mem;
+  KCore kcore;
+  KServ kserv;
+};
+
+TEST(Security, KServCannotMapKCorePages) {
+  System sys;
+  EXPECT_EQ(sys.kserv.TryMapKCorePage(), HvRet::kDenied);
+  EXPECT_TRUE(CheckSecurityInvariants(sys.kcore).ok);
+}
+
+TEST(Security, KServCannotMapVmPages) {
+  System sys;
+  const auto victim = sys.kserv.CreateAndBootVm(1, 2, 77);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(sys.kserv.TryMapVmPage(*victim), HvRet::kDenied);
+  const InvariantReport report = CheckSecurityInvariants(sys.kcore);
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+TEST(Security, DoubleDonationRejected) {
+  System sys;
+  VmId a = 0, b = 0;
+  ASSERT_EQ(sys.kcore.RegisterVm(&a), HvRet::kOk);
+  ASSERT_EQ(sys.kcore.RegisterVm(&b), HvRet::kOk);
+  EXPECT_EQ(sys.kserv.TryDoubleDonate(a, b), HvRet::kDenied);
+}
+
+TEST(Security, SmmuCannotDmaIntoOtherPrincipalsPages) {
+  System sys;
+  const auto victim = sys.kserv.CreateAndBootVm(1, 2, 99);
+  ASSERT_TRUE(victim.has_value());
+  // A KServ-assigned device cannot map the victim's pages.
+  EXPECT_EQ(sys.kserv.TrySmmuSteal(/*unit=*/0, *victim), HvRet::kDenied);
+  // A device assigned to VM B cannot map VM A's pages either.
+  const auto other = sys.kserv.CreateAndBootVm(1, 1, 100);
+  ASSERT_TRUE(other.has_value());
+  ASSERT_EQ(sys.kcore.AssignSmmuDevice(1, *other), HvRet::kOk);
+  EXPECT_EQ(sys.kcore.MapSmmu(1, 0, sys.kcore.vm_image_pfns(*victim)[0]),
+            HvRet::kDenied);
+  EXPECT_TRUE(CheckSecurityInvariants(sys.kcore).ok);
+}
+
+TEST(Security, UnverifiedVmNeverRuns) {
+  System sys;
+  EXPECT_EQ(sys.kserv.TryRunUnverified(), HvRet::kBadState);
+}
+
+TEST(Security, VmImageIntegrityAcrossKServActivity) {
+  System sys;
+  const auto victim = sys.kserv.CreateAndBootVm(1, 3, 1234);
+  ASSERT_TRUE(victim.has_value());
+  const Sha512Digest at_boot = *sys.kcore.vm_verified_hash(*victim);
+
+  // KServ does arbitrary legitimate + adversarial work.
+  const auto other = sys.kserv.CreateAndBootVm(2, 2, 5678);
+  ASSERT_TRUE(other.has_value());
+  (void)sys.kserv.RunVmOnce(*other);
+  (void)sys.kserv.TryMapVmPage(*victim);
+  (void)sys.kserv.TryMapKCorePage();
+  (void)sys.kserv.TrySmmuSteal(0, *victim);
+  (void)sys.kserv.DestroyVm(*other);
+
+  // The victim never ran, so its image must be byte-identical.
+  EXPECT_EQ(RehashVmImage(sys.kcore, *victim), at_boot);
+  EXPECT_TRUE(CheckSecurityInvariants(sys.kcore).ok);
+}
+
+TEST(Security, VmConfidentialityAfterDestroy) {
+  System sys;
+  const auto vmid = sys.kserv.CreateAndBootVm(1, 1, 4242);
+  ASSERT_TRUE(vmid.has_value());
+  // Plant a secret in a VM data page via the guest's own mapping.
+  ASSERT_EQ(sys.kserv.HandleVmFault(*vmid, 30), HvRet::kOk);
+  const auto secret_pfn = sys.kcore.vm_s2_table(*vmid)->Walk(30);
+  ASSERT_TRUE(secret_pfn.has_value());
+  sys.mem.WriteU64(*secret_pfn, 0, 0x5ec4e75ec4e7ull);
+
+  ASSERT_EQ(sys.kcore.DestroyVm(*vmid), HvRet::kOk);
+  // The page is back with KServ but scrubbed: the secret is gone.
+  EXPECT_TRUE(sys.kcore.s2pages().Owner(*secret_pfn) == PageOwner::KServ());
+  EXPECT_EQ(sys.mem.ReadU64(*secret_pfn, 0), 0u);
+}
+
+TEST(Security, NoVmPageEverEntersKServTable) {
+  System sys;
+  const auto vmid = sys.kserv.CreateAndBootVm(2, 3, 31);
+  ASSERT_TRUE(vmid.has_value());
+  // Map some KServ pages legitimately; then audit the KServ table.
+  for (Gfn gfn = 300; gfn < 305; ++gfn) {
+    const auto pfn = sys.kserv.AllocPage();
+    ASSERT_TRUE(pfn.has_value());
+    EXPECT_EQ(sys.kcore.MapKServPage(gfn, *pfn), HvRet::kOk);
+  }
+  sys.kcore.kserv_s2_table().ForEachMapping([&](Gfn gfn, Pfn pfn, uint64_t attrs) {
+    (void)gfn;
+    (void)attrs;
+    EXPECT_TRUE(sys.kcore.s2pages().Owner(pfn) == PageOwner::KServ());
+  });
+}
+
+// Randomized adversarial property test: a seeded mix of legitimate and
+// malicious KServ actions; after every step the security invariants must hold.
+class SecurityFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SecurityFuzz, InvariantsSurviveRandomHypercallSequences) {
+  System sys;
+  Rng rng(GetParam());
+  std::vector<VmId> vms;
+  for (int step = 0; step < 120; ++step) {
+    switch (rng.Below(10)) {
+      case 0:
+        if (vms.size() < 6) {
+          const auto vmid =
+              sys.kserv.CreateAndBootVm(1 + static_cast<int>(rng.Below(2)),
+                                        1 + static_cast<int>(rng.Below(3)), rng.Next());
+          if (vmid) {
+            vms.push_back(*vmid);
+          }
+        }
+        break;
+      case 1:
+        if (!vms.empty()) {
+          (void)sys.kserv.RunVmOnce(vms[rng.Below(vms.size())]);
+        }
+        break;
+      case 2:
+        if (!vms.empty()) {
+          (void)sys.kserv.HandleVmFault(vms[rng.Below(vms.size())],
+                                        40 + rng.Below(20));
+        }
+        break;
+      case 3:
+        if (!vms.empty() && rng.Chance(0.3)) {
+          const size_t index = rng.Below(vms.size());
+          if (sys.kcore.vm_state(vms[index]) != VmState::kDestroyed) {
+            (void)sys.kcore.DestroyVm(vms[index]);
+          }
+        }
+        break;
+      case 4:
+        (void)sys.kserv.TryMapKCorePage();
+        break;
+      case 5:
+        if (!vms.empty()) {
+          const VmId victim = vms[rng.Below(vms.size())];
+          if (sys.kcore.vm_state(victim) != VmState::kDestroyed) {
+            (void)sys.kserv.TryMapVmPage(victim);
+          }
+        }
+        break;
+      case 6:
+        if (!vms.empty()) {
+          const VmId victim = vms[rng.Below(vms.size())];
+          if (sys.kcore.vm_state(victim) != VmState::kDestroyed) {
+            (void)sys.kserv.TrySmmuSteal(static_cast<int>(rng.Below(2)), victim);
+          }
+        }
+        break;
+      case 7:
+        if (!vms.empty()) {
+          const VmId vm = vms[rng.Below(vms.size())];
+          if (sys.kcore.vm_state(vm) != VmState::kDestroyed) {
+            (void)sys.kcore.UnmapVmPage(vm, 40 + rng.Below(20));
+          }
+        }
+        break;
+      case 8: {
+        const auto pfn = sys.kserv.AllocPage();
+        if (pfn) {
+          (void)sys.kcore.MapKServPage(200 + rng.Below(100), *pfn);
+        }
+        break;
+      }
+      default:
+        (void)sys.kserv.TryRunUnverified();
+        break;
+    }
+  }
+  const InvariantReport report = CheckSecurityInvariants(sys.kcore);
+  EXPECT_TRUE(report.ok) << report.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SecurityFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace vrm

@@ -1,0 +1,84 @@
+// SHA-512 against the FIPS 180-4 / NIST CAVP reference vectors.
+
+#include "src/sekvm/crypto/sha512.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace vrm {
+namespace {
+
+std::string HexOf(const std::string& message) {
+  return ToHex(Sha512::Hash(message.data(), message.size()));
+}
+
+TEST(Sha512, EmptyMessage) {
+  EXPECT_EQ(HexOf(""),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+}
+
+TEST(Sha512, Abc) {
+  EXPECT_EQ(HexOf("abc"),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, TwoBlockMessage) {
+  EXPECT_EQ(HexOf("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                  "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu"),
+            "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+            "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, MillionAs) {
+  std::string message(1000000, 'a');
+  EXPECT_EQ(HexOf(message),
+            "e718483d0ce769644e2e42c7bc15b4638e1f98b13b2044285632a803afa973eb"
+            "de0ff244877ea60a4cb0432ce577c31beb009c5c2c49aa2e4eadb217ad8cc09b");
+}
+
+TEST(Sha512, StreamingEqualsOneShot) {
+  const std::string message = "the quick brown fox jumps over the lazy dog, twice, "
+                              "and then some more to cross a block boundary ......";
+  for (size_t chunk : {1, 3, 7, 64, 127, 128, 129}) {
+    Sha512 hasher;
+    for (size_t off = 0; off < message.size(); off += chunk) {
+      hasher.Update(message.data() + off, std::min(chunk, message.size() - off));
+    }
+    EXPECT_EQ(ToHex(hasher.Finish()), HexOf(message)) << "chunk " << chunk;
+  }
+}
+
+TEST(Sha512, BoundaryLengths) {
+  // Padding edge cases: 111, 112, 119, 120, 127, 128 bytes.
+  for (size_t len : {111u, 112u, 119u, 120u, 127u, 128u, 129u}) {
+    std::string message(len, 'x');
+    Sha512 one;
+    one.Update(message.data(), len);
+    Sha512 two;
+    two.Update(message.data(), len / 2);
+    two.Update(message.data() + len / 2, len - len / 2);
+    EXPECT_EQ(ToHex(one.Finish()), ToHex(two.Finish())) << "len " << len;
+  }
+}
+
+TEST(Sha512, DistinctMessagesDistinctDigests) {
+  EXPECT_NE(HexOf("abc"), HexOf("abd"));
+  EXPECT_NE(HexOf(""), HexOf(std::string(1, '\0')));
+}
+
+TEST(Sha512, HexRendering) {
+  Sha512Digest digest{};
+  digest[0] = 0xab;
+  digest[63] = 0x01;
+  const std::string hex = ToHex(digest);
+  EXPECT_EQ(hex.size(), 128u);
+  EXPECT_EQ(hex.substr(0, 2), "ab");
+  EXPECT_EQ(hex.substr(126, 2), "01");
+}
+
+}  // namespace
+}  // namespace vrm

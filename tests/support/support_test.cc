@@ -1,0 +1,156 @@
+// Tests for the support utilities and the model-facing TLB container.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/mmu/tlb.h"
+#include "src/support/hash.h"
+#include "src/support/rng.h"
+#include "src/support/stats.h"
+#include "src/support/table.h"
+
+namespace vrm {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Rng, DoubleInUnitIntervalAndRoughlyUniform) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    sum += rng.NextExp(3.0);
+  }
+  EXPECT_NEAR(sum / 20000, 3.0, 0.15);
+}
+
+TEST(Hash, Fnv1aSeparatesInputs) {
+  std::set<uint64_t> hashes;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    hashes.insert(Fnv1a64(&i, sizeof(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(Hash, SerializerProducesCanonicalBytes) {
+  StateSerializer a;
+  a.U8(1);
+  a.U32(2);
+  a.U64(3);
+  StateSerializer b;
+  b.U8(1);
+  b.U32(2);
+  b.U64(3);
+  EXPECT_EQ(a.bytes(), b.bytes());
+  EXPECT_EQ(a.bytes().size(), 1u + 4u + 8u);
+}
+
+TEST(Table, RenderAlignsAndCsvEscapes) {
+  TextTable table({"Benchmark", "KVM", "SeKVM"});
+  table.AddRow({"Hypercall", FormatWithCommas(2275), FormatWithCommas(4695)});
+  table.AddRow({"I/O User", FormatWithCommas(7864), FormatWithCommas(15501)});
+  const std::string rendered = table.Render();
+  EXPECT_NE(rendered.find("| Hypercall |"), std::string::npos);
+  EXPECT_NE(rendered.find("2,275"), std::string::npos);
+  const std::string csv = table.RenderCsv();
+  EXPECT_NE(csv.find("Hypercall,2275,4695"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(1234567), "1,234,567");
+  EXPECT_EQ(FormatWithCommas(-5021), "-5,021");
+  EXPECT_EQ(FormatDouble(0.123456, 2), "0.12");
+  EXPECT_EQ(FormatDouble(2.0, 3), "2.000");
+}
+
+TEST(Stats, SummaryBasics) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Percentile(50), 0.0);
+  for (double v : {5.0, 1.0, 3.0, 2.0, 4.0}) {
+    s.Add(v);
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(25), 2.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  Summary s;
+  s.Add(0.0);
+  s.Add(10.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 5.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(90), 9.0);
+  // Adding after a percentile query still works (re-sorts lazily).
+  s.Add(20.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 10.0);
+}
+
+TEST(ModelTlb, InsertLookupInvalidate) {
+  Tlb tlb;
+  EXPECT_EQ(tlb.Lookup(3), nullptr);
+  tlb.Insert(3, 77);
+  ASSERT_NE(tlb.Lookup(3), nullptr);
+  EXPECT_EQ(*tlb.Lookup(3), 77u);
+  tlb.Insert(3, 88);  // refresh in place
+  EXPECT_EQ(*tlb.Lookup(3), 88u);
+  tlb.Insert(1, 11);
+  EXPECT_EQ(tlb.entries().size(), 2u);
+  // Entries are kept sorted for canonical serialization.
+  EXPECT_EQ(tlb.entries()[0].first, 1u);
+  tlb.InvalidatePage(3);
+  EXPECT_EQ(tlb.Lookup(3), nullptr);
+  tlb.InvalidateAll();
+  EXPECT_TRUE(tlb.entries().empty());
+}
+
+TEST(ModelTlb, SerializationIsCanonical) {
+  Tlb a;
+  a.Insert(5, 50);
+  a.Insert(2, 20);
+  Tlb b;
+  b.Insert(2, 20);
+  b.Insert(5, 50);
+  StateSerializer sa;
+  a.SerializeInto(&sa);
+  StateSerializer sb;
+  b.SerializeInto(&sb);
+  EXPECT_EQ(sa.bytes(), sb.bytes());
+}
+
+}  // namespace
+}  // namespace vrm

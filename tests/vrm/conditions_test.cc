@@ -1,0 +1,206 @@
+// The Section 5 reproduction: KCore's primitives satisfy the wDRF conditions
+// (and the deliberately broken variants do not), parameterized across the
+// whole verified/unverified matrix.
+
+#include "src/vrm/conditions.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/arch/builder.h"
+#include "src/sekvm/tinyarm_primitives.h"
+
+namespace vrm {
+namespace {
+
+struct PrimitiveCase {
+  const char* name;
+  std::function<KernelSpec()> make;
+  // Expected verdicts; kUnchecked for conditions the spec does not arm.
+  enum Verdict { kHolds, kViolated, kUnchecked };
+  Verdict drf;
+  Verdict barrier;
+  Verdict write_once;
+  Verdict tlbi;
+};
+
+class WdrfConditions : public ::testing::TestWithParam<PrimitiveCase> {};
+
+void ExpectVerdict(const WdrfReport& report, WdrfCondition condition,
+                   PrimitiveCase::Verdict expected) {
+  const ConditionVerdict& verdict = report.Verdict(condition);
+  switch (expected) {
+    case PrimitiveCase::kUnchecked:
+      EXPECT_FALSE(verdict.checked) << ConditionName(condition);
+      break;
+    case PrimitiveCase::kHolds:
+      EXPECT_TRUE(verdict.checked) << ConditionName(condition);
+      EXPECT_TRUE(verdict.holds) << ConditionName(condition) << ": " << verdict.detail;
+      break;
+    case PrimitiveCase::kViolated:
+      EXPECT_TRUE(verdict.checked) << ConditionName(condition);
+      EXPECT_FALSE(verdict.holds) << ConditionName(condition)
+                                  << " unexpectedly holds";
+      break;
+  }
+}
+
+TEST_P(WdrfConditions, PrimitiveMatrix) {
+  const PrimitiveCase& c = GetParam();
+  const WdrfReport report = CheckWdrf(c.make());
+  ExpectVerdict(report, WdrfCondition::kDrfKernel, c.drf);
+  ExpectVerdict(report, WdrfCondition::kNoBarrierMisuse, c.barrier);
+  ExpectVerdict(report, WdrfCondition::kWriteOnceKernelMapping, c.write_once);
+  ExpectVerdict(report, WdrfCondition::kSequentialTlbInvalidation, c.tlbi);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeKvmPrimitives, WdrfConditions,
+    ::testing::Values(
+        // Figure 7's ticket lock: all armed conditions hold.
+        PrimitiveCase{"gen_vmid", [] { return GenVmidKernelSpec(true); },
+                      PrimitiveCase::kHolds, PrimitiveCase::kHolds,
+                      PrimitiveCase::kUnchecked, PrimitiveCase::kUnchecked},
+        // Without acquire/release, the lock misuses barriers.
+        PrimitiveCase{"gen_vmid_unverified", [] { return GenVmidKernelSpec(false); },
+                      PrimitiveCase::kHolds, PrimitiveCase::kViolated,
+                      PrimitiveCase::kUnchecked, PrimitiveCase::kUnchecked},
+        PrimitiveCase{"vcpu_context", [] { return VcpuContextKernelSpec(true); },
+                      PrimitiveCase::kHolds, PrimitiveCase::kHolds,
+                      PrimitiveCase::kUnchecked, PrimitiveCase::kUnchecked},
+        PrimitiveCase{"vcpu_context_unverified",
+                      [] { return VcpuContextKernelSpec(false); },
+                      PrimitiveCase::kHolds, PrimitiveCase::kViolated,
+                      PrimitiveCase::kUnchecked, PrimitiveCase::kUnchecked},
+        PrimitiveCase{"clear_s2pt", [] { return ClearS2ptKernelSpec(true); },
+                      PrimitiveCase::kUnchecked, PrimitiveCase::kUnchecked,
+                      PrimitiveCase::kUnchecked, PrimitiveCase::kHolds},
+        PrimitiveCase{"clear_s2pt_unverified",
+                      [] { return ClearS2ptKernelSpec(false); },
+                      PrimitiveCase::kUnchecked, PrimitiveCase::kUnchecked,
+                      PrimitiveCase::kUnchecked, PrimitiveCase::kViolated},
+        PrimitiveCase{"remap_pfn", [] { return RemapPfnKernelSpec(true); },
+                      PrimitiveCase::kUnchecked, PrimitiveCase::kUnchecked,
+                      PrimitiveCase::kHolds, PrimitiveCase::kUnchecked},
+        PrimitiveCase{"remap_pfn_unverified",
+                      [] { return RemapPfnKernelSpec(false); },
+                      PrimitiveCase::kUnchecked, PrimitiveCase::kUnchecked,
+                      PrimitiveCase::kViolated, PrimitiveCase::kUnchecked}),
+    [](const ::testing::TestParamInfo<PrimitiveCase>& info) {
+      return info.param.name;
+    });
+
+// Ablation: each half of the Figure 7 barrier discipline is necessary.
+// NO-BARRIER-MISUSE fails whenever either the acquire loads or the release
+// store is weakened to plain.
+class LockStrengthSweep : public ::testing::TestWithParam<LockStrength> {};
+
+TEST_P(LockStrengthSweep, BarrierConditionTracksStrength) {
+  const WdrfReport report = CheckWdrf(GenVmidKernelSpecWithStrength(GetParam()));
+  const bool expect_holds = GetParam() == LockStrength::kFull;
+  EXPECT_EQ(report.Verdict(WdrfCondition::kNoBarrierMisuse).holds, expect_holds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strengths, LockStrengthSweep,
+                         ::testing::Values(LockStrength::kFull,
+                                           LockStrength::kAcquireOnly,
+                                           LockStrength::kReleaseOnly,
+                                           LockStrength::kNone),
+                         [](const ::testing::TestParamInfo<LockStrength>& info) {
+                           switch (info.param) {
+                             case LockStrength::kFull:
+                               return std::string("full");
+                             case LockStrength::kAcquireOnly:
+                               return std::string("acquire_only");
+                             case LockStrength::kReleaseOnly:
+                               return std::string("release_only");
+                             case LockStrength::kNone:
+                               return std::string("none");
+                           }
+                           return std::string("unknown");
+                         });
+
+// Raw unsynchronized access to a region: DRF-KERNEL itself is violated (two
+// CPUs own the object simultaneously).
+TEST(WdrfConditionsExtra, UnsynchronizedAccessViolatesDrf) {
+  ProgramBuilder pb("no-lock");
+  pb.MemSize(1);
+  const int region = pb.AddRegion("obj", {0});
+  for (int cpu = 0; cpu < 2; ++cpu) {
+    auto& t = pb.NewThread();
+    t.Dmb(BarrierKind::kSy);  // barriers present, so only ownership can fail
+    t.Pull(region);
+    t.LoadAddr(0, 0);
+    t.AddImm(0, 0, 1);
+    t.StoreAddr(0, 0);
+    t.Push(region);
+    t.Dmb(BarrierKind::kSy);
+  }
+  KernelSpec spec;
+  spec.program = pb.Build();
+  const WdrfReport report = CheckWdrf(spec);
+  EXPECT_FALSE(report.Verdict(WdrfCondition::kDrfKernel).holds);
+}
+
+// Accessing a region without owning it at all is also a DRF violation.
+TEST(WdrfConditionsExtra, AccessWithoutPullViolatesDrf) {
+  ProgramBuilder pb("no-pull");
+  pb.MemSize(1);
+  pb.AddRegion("obj", {0});
+  pb.NewThread().LoadAddr(0, 0);
+  KernelSpec spec;
+  spec.program = pb.Build();
+  const WdrfReport report = CheckWdrf(spec);
+  EXPECT_FALSE(report.Verdict(WdrfCondition::kDrfKernel).holds);
+}
+
+TEST(WdrfConditionsExtra, ReportFormatting) {
+  const WdrfReport report = CheckWdrf(VcpuContextKernelSpec(true));
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("DRF-KERNEL: HOLDS"), std::string::npos);
+  EXPECT_NE(text.find("NO-BARRIER-MISUSE: HOLDS"), std::string::npos);
+  EXPECT_TRUE(report.AllHold());
+}
+
+// The isolation monitor on the Promising machine: Example 7's kernel read.
+TEST(WdrfConditionsExtra, MemoryIsolationVerdicts) {
+  // Kernel reads user memory directly: strong isolation violated.
+  {
+    ProgramBuilder pb("iso-direct");
+    pb.MemSize(1);
+    pb.NewThread().LoadAddr(0, 0);
+    KernelSpec spec;
+    spec.program = pb.Build();
+    spec.user_cells = {0};
+    const WdrfReport report = CheckWdrf(spec);
+    EXPECT_FALSE(report.Verdict(WdrfCondition::kMemoryIsolation).holds);
+  }
+  // Oracle-mediated read: weak isolation holds.
+  {
+    ProgramBuilder pb("iso-oracle");
+    pb.MemSize(1);
+    pb.NewThread().OracleLoadAddr(0, 0);
+    KernelSpec spec;
+    spec.program = pb.Build();
+    spec.user_cells = {0};
+    spec.weak_isolation = true;
+    const WdrfReport report = CheckWdrf(spec);
+    EXPECT_TRUE(report.Verdict(WdrfCondition::kMemoryIsolation).holds);
+  }
+  // User writing kernel memory: violated.
+  {
+    ProgramBuilder pb("iso-user-write");
+    pb.MemSize(2);
+    auto& user = pb.NewThread(/*user=*/true);
+    user.StoreImm(1, 5, 0);
+    KernelSpec spec;
+    spec.program = pb.Build();
+    spec.kernel_cells = {1};
+    const WdrfReport report = CheckWdrf(spec);
+    EXPECT_FALSE(report.Verdict(WdrfCondition::kMemoryIsolation).holds);
+  }
+}
+
+}  // namespace
+}  // namespace vrm

@@ -1,0 +1,108 @@
+// The wDRF theorem, validated empirically (Theorems 1/2/4): every program that
+// satisfies the wDRF conditions refines SC; every buggy variant exhibits
+// RM-only behaviour.
+
+#include "src/vrm/refinement.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "src/litmus/classics.h"
+#include "src/litmus/paper_examples.h"
+#include "src/sekvm/tinyarm_primitives.h"
+#include "src/vrm/conditions.h"
+
+namespace vrm {
+namespace {
+
+struct RefinementCase {
+  const char* name;
+  std::function<LitmusTest()> make;
+  bool expect_refines;
+};
+
+class WdrfTheorem : public ::testing::TestWithParam<RefinementCase> {};
+
+TEST_P(WdrfTheorem, RmRefinesScIffWdrf) {
+  const RefinementCase& c = GetParam();
+  const LitmusTest test = c.make();
+  const RefinementResult result = CheckRefinement(test);
+  EXPECT_EQ(result.refines, c.expect_refines) << result.Describe(test.program);
+}
+
+LitmusTest FromSpec(KernelSpec spec) {
+  LitmusTest test;
+  test.program = std::move(spec.program);
+  test.config = spec.base_config;
+  return test;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Theorem1, WdrfTheorem,
+    ::testing::Values(
+        // wDRF-satisfying programs: refinement holds.
+        RefinementCase{"example1_fixed", [] { return Example1OutOfOrderWrite(true); },
+                       true},
+        RefinementCase{"example3_fixed", [] { return Example3VmContextSwitch(true); },
+                       true},
+        RefinementCase{"example5_transactional",
+                       [] { return Example5PageTableWrites(true); }, true},
+        RefinementCase{"gen_vmid_verified",
+                       [] { return FromSpec(GenVmidKernelSpec(true)); }, true},
+        RefinementCase{"vcpu_context_verified",
+                       [] { return FromSpec(VcpuContextKernelSpec(true)); }, true},
+        RefinementCase{"sb_dmb", [] { return ClassicSb(Strength::kDmb); }, true},
+        RefinementCase{"mp_rel_acq",
+                       [] { return ClassicMp(Strength::kAcqRel, Strength::kAcqRel); },
+                       true},
+        // Condition-violating programs: RM-only behaviours exist.
+        RefinementCase{"example1_buggy", [] { return Example1OutOfOrderWrite(false); },
+                       false},
+        RefinementCase{"example3_buggy", [] { return Example3VmContextSwitch(false); },
+                       false},
+        RefinementCase{"example4_buggy", [] { return Example4PageTableReads(); },
+                       false},
+        RefinementCase{"example5_buggy",
+                       [] { return Example5PageTableWrites(false); }, false},
+        RefinementCase{"gen_vmid_unverified",
+                       [] { return FromSpec(GenVmidKernelSpec(false)); }, false},
+        RefinementCase{"vcpu_context_unverified",
+                       [] { return FromSpec(VcpuContextKernelSpec(false)); }, false},
+        RefinementCase{"sb_plain", [] { return ClassicSb(Strength::kPlain); }, false},
+        RefinementCase{"mp_plain",
+                       [] { return ClassicMp(Strength::kPlain, Strength::kPlain); },
+                       false}),
+    [](const ::testing::TestParamInfo<RefinementCase>& info) {
+      return info.param.name;
+    });
+
+// Consistency: a program whose wDRF check passes must also refine SC — the two
+// sides of the theorem agree on the verified primitives.
+TEST(WdrfTheoremConsistency, CheckedConditionsImplyRefinement) {
+  for (bool verified : {true, false}) {
+    KernelSpec spec = GenVmidKernelSpec(verified);
+    const WdrfReport report = CheckWdrf(spec);
+    const RefinementResult refinement = CheckRefinement(FromSpec(std::move(spec)));
+    if (report.AllHold()) {
+      EXPECT_TRUE(refinement.refines);
+    } else {
+      // The theorem is one-directional; a violated condition does not force a
+      // refinement failure, but for this primitive it does manifest.
+      EXPECT_FALSE(verified);
+    }
+  }
+}
+
+// SC outcomes are always contained in RM outcomes (the models agree on
+// architectural reachability; RM only adds behaviours).
+TEST(WdrfTheoremConsistency, ScIsAlwaysSubsetOfRm) {
+  for (const LitmusTest& test : AllBuggyExamples()) {
+    const ExploreResult sc = RunSc(test);
+    const ExploreResult rm = RunPromising(test);
+    EXPECT_TRUE(OutcomesBeyond(sc, rm).empty()) << test.program.name;
+  }
+}
+
+}  // namespace
+}  // namespace vrm

@@ -1,0 +1,71 @@
+// Section 4.1's SC-execution construction, validated over many sampled RM
+// executions: the replayed SC execution always produces identical results.
+
+#include "src/vrm/sc_construction.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sekvm/tinyarm_primitives.h"
+
+namespace vrm {
+namespace {
+
+class ScConstructionRounds : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScConstructionRounds, ReplayMatchesRmResults) {
+  const LockedCounterProgram lc = MakeLockedCounter(GetParam(), /*verified=*/true);
+  int completed = 0;
+  for (uint64_t seed = 1; seed <= 25; ++seed) {
+    const ScConstructionResult result =
+        ConstructAndReplay(lc.program, lc.config, seed);
+    if (!result.rm_walk_completed) {
+      continue;  // dead-ended sample; documented behaviour, retry via next seed
+    }
+    ++completed;
+    EXPECT_TRUE(result.replay_completed) << "seed " << seed << ": " << result.detail;
+    EXPECT_TRUE(result.results_match) << "seed " << seed << ": " << result.detail;
+    // The final counter value equals the total increments in every execution.
+    ASSERT_EQ(result.rm_outcome.locs.size(), 1u);
+    EXPECT_EQ(result.rm_outcome.locs[0],
+              static_cast<Word>(2 * GetParam()));
+  }
+  EXPECT_GE(completed, 15) << "too many dead-ended walks";
+}
+
+INSTANTIATE_TEST_SUITE_P(CriticalSectionCounts, ScConstructionRounds,
+                         ::testing::Values(1, 2, 3),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::to_string(info.param) + "rounds";
+                         });
+
+TEST(ScConstruction, InstancesAreOrderedByPullPosition) {
+  const LockedCounterProgram lc = MakeLockedCounter(2, /*verified=*/true);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const ScConstructionResult result =
+        ConstructAndReplay(lc.program, lc.config, seed);
+    if (!result.rm_walk_completed) {
+      continue;
+    }
+    // Two CPUs x 2 rounds = 4 critical-section instances, pull positions
+    // strictly increasing, same-region pushes before the next pull.
+    ASSERT_EQ(result.instances.size(), 4u);
+    for (size_t i = 1; i < result.instances.size(); ++i) {
+      EXPECT_LT(result.instances[i - 1].pull_pos, result.instances[i].pull_pos);
+      EXPECT_LT(result.instances[i - 1].push_pos, result.instances[i].pull_pos)
+          << "critical sections of one region must not overlap";
+    }
+  }
+}
+
+TEST(ScConstruction, DeadEndedWalkReportsGracefully) {
+  // An impossible budget dead-ends the walk immediately.
+  LockedCounterProgram lc = MakeLockedCounter(1, /*verified=*/true);
+  lc.config.max_steps_per_thread = 2;
+  const ScConstructionResult result = ConstructAndReplay(lc.program, lc.config, 1);
+  EXPECT_FALSE(result.rm_walk_completed);
+  EXPECT_FALSE(result.results_match);
+  EXPECT_FALSE(result.detail.empty());
+}
+
+}  // namespace
+}  // namespace vrm

@@ -1,0 +1,73 @@
+// The seqlock as Section 3's boundary case: it deliberately violates
+// DRF-KERNEL (readers race with the writer by design), so VRM's wDRF route is
+// unavailable — yet direct RM checking shows the barrier-correct variant never
+// surfaces a torn snapshot, while the barrier-free variant does. "The wDRF
+// conditions are sufficient but not necessary."
+
+#include <gtest/gtest.h>
+
+#include "src/litmus/litmus.h"
+#include "src/sekvm/tinyarm_primitives.h"
+#include "src/vrm/conditions.h"
+
+namespace vrm {
+namespace {
+
+// An accepted snapshot is torn when the two data cells disagree.
+bool TornSnapshot(const Outcome& o) {
+  return o.regs[2] == 1 && o.regs[0] != o.regs[1];
+}
+
+TEST(Seqlock, ViolatesDrfKernelByDesign) {
+  // Both variants race readers against the writer on the data cells.
+  for (bool verified : {true, false}) {
+    const WdrfReport report = CheckWdrf(SeqlockKernelSpec(verified));
+    EXPECT_FALSE(report.Verdict(WdrfCondition::kDrfKernel).holds)
+        << "seqlock readers must show up as a data race (verified=" << verified
+        << ")";
+  }
+}
+
+TEST(Seqlock, BarrierCorrectVariantNeverTearsOnRm) {
+  KernelSpec spec = SeqlockKernelSpec(/*verified=*/true);
+  LitmusTest test{std::move(spec.program), spec.base_config, ""};
+  // Explore architecturally (no ghost protocol: it already failed above, and
+  // the question here is the observable behaviour).
+  const ExploreResult rm = RunPromising(test);
+  EXPECT_FALSE(AnyOutcome(rm, TornSnapshot)) << rm.Describe(test.program);
+  // Readers do accept snapshots in some executions.
+  const auto accepted = [](const Outcome& o) { return o.regs[2] == 1; };
+  EXPECT_TRUE(AnyOutcome(rm, accepted));
+  // Both the before- (0,0) and after- (1,1) snapshots are observable.
+  const auto before = [](const Outcome& o) {
+    return o.regs[2] == 1 && o.regs[0] == 0 && o.regs[1] == 0;
+  };
+  const auto after = [](const Outcome& o) {
+    return o.regs[2] == 1 && o.regs[0] == 1 && o.regs[1] == 1;
+  };
+  EXPECT_TRUE(AnyOutcome(rm, before));
+  EXPECT_TRUE(AnyOutcome(rm, after));
+}
+
+TEST(Seqlock, BarrierFreeVariantTearsOnRm) {
+  KernelSpec spec = SeqlockKernelSpec(/*verified=*/false);
+  LitmusTest test{std::move(spec.program), spec.base_config, ""};
+  const ExploreResult rm = RunPromising(test);
+  EXPECT_TRUE(AnyOutcome(rm, TornSnapshot)) << rm.Describe(test.program);
+}
+
+TEST(Seqlock, NoTearingOnScEitherWay) {
+  // The SC model accepts both variants — exactly why SC-only verification is
+  // not enough for seqlocks on Arm.
+  for (bool verified : {true, false}) {
+    KernelSpec spec = SeqlockKernelSpec(verified);
+    LitmusTest test{std::move(spec.program), spec.base_config, ""};
+    const ExploreResult sc = RunSc(test);
+    EXPECT_FALSE(AnyOutcome(sc, TornSnapshot))
+        << "verified=" << verified << "\n"
+        << sc.Describe(test.program);
+  }
+}
+
+}  // namespace
+}  // namespace vrm

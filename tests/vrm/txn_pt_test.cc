@@ -1,0 +1,198 @@
+// TRANSACTIONAL-PAGE-TABLE checker tests: the Section 5.4 proofs for
+// set_s2pt/clear_s2pt as exhaustive reordering checks, plus negative cases and
+// a property sweep over random write sequences.
+
+#include "src/vrm/txn_pt_checker.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sekvm/tinyarm_primitives.h"
+#include "src/support/rng.h"
+
+namespace vrm {
+namespace {
+
+TEST(WalkSnapshot, WalksAndFaults) {
+  MmuConfig mmu;
+  mmu.enabled = true;
+  mmu.root = 8;
+  mmu.levels = 2;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+  std::map<Addr, Word> memory;
+  EXPECT_TRUE(WalkSnapshot(mmu, memory, 0).fault);  // empty PGD
+  memory[8] = MmuConfig::MakeEntry(10);
+  EXPECT_TRUE(WalkSnapshot(mmu, memory, 0).fault);  // empty leaf
+  memory[10] = MmuConfig::MakeEntry(5);
+  const WalkOutcome ok = WalkSnapshot(mmu, memory, 0);
+  EXPECT_FALSE(ok.fault);
+  EXPECT_EQ(ok.ppage, 5u);
+  EXPECT_TRUE(WalkSnapshot(mmu, memory, 1).fault);  // other leaf still empty
+}
+
+class SetS2ptLevels : public ::testing::TestWithParam<int> {};
+
+TEST_P(SetS2ptLevels, SetS2ptIsTransactional) {
+  const PtWriteSequence seq = SetS2ptWriteSequence(GetParam());
+  const TxnCheckResult result =
+      CheckTransactionalWrites(seq.mmu, seq.initial, seq.writes, seq.probe_vpages);
+  EXPECT_TRUE(result.transactional) << result.detail;
+  // n! permutations for n writes.
+  uint64_t expected = 1;
+  for (uint64_t k = 2; k <= seq.writes.size(); ++k) {
+    expected *= k;
+  }
+  EXPECT_EQ(result.permutations_checked, expected);
+}
+
+TEST_P(SetS2ptLevels, ClearS2ptIsTransactional) {
+  const PtWriteSequence seq = ClearS2ptWriteSequence(GetParam());
+  const TxnCheckResult result =
+      CheckTransactionalWrites(seq.mmu, seq.initial, seq.writes, seq.probe_vpages);
+  EXPECT_TRUE(result.transactional) << result.detail;
+}
+
+INSTANTIATE_TEST_SUITE_P(StageTwoDepths, SetS2ptLevels, ::testing::Values(2, 3),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return std::to_string(info.param) + "level";
+                         });
+
+TEST(TxnChecker, Example5SequenceIsNotTransactional) {
+  const PtWriteSequence seq = NonTransactionalWriteSequence();
+  const TxnCheckResult result =
+      CheckTransactionalWrites(seq.mmu, seq.initial, seq.writes, seq.probe_vpages);
+  EXPECT_FALSE(result.transactional);
+  EXPECT_NE(result.detail.find("vpage 0"), std::string::npos) << result.detail;
+}
+
+TEST(TxnChecker, RemapInPlaceIsNotTransactional) {
+  // Clearing and re-setting a live leaf within one critical section exposes the
+  // intermediate fault... which IS permitted; but re-pointing a live leaf to a
+  // different frame in two writes (old -> EMPTY -> new) stays transactional,
+  // while writing new directly then something else breaks. Check the direct
+  // overwrite case: [leaf := new_frame, sibling := x] where the probe sees a
+  // mapping that is neither before nor after at an intermediate state only if
+  // ordering matters; a single overwrite is trivially transactional.
+  MmuConfig mmu;
+  mmu.enabled = true;
+  mmu.root = 4;
+  mmu.levels = 1;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+  std::map<Addr, Word> initial{{4, MmuConfig::MakeEntry(0)}};
+  // Single write: always transactional.
+  const TxnCheckResult single = CheckTransactionalWrites(
+      mmu, initial, {{4, MmuConfig::MakeEntry(1)}}, {0});
+  EXPECT_TRUE(single.transactional);
+  // Two-step remap via EMPTY: the intermediate is a fault — transactional.
+  const TxnCheckResult two_step = CheckTransactionalWrites(
+      mmu, initial, {{4, MmuConfig::kEmpty}, {4, MmuConfig::MakeEntry(1)}}, {0});
+  EXPECT_TRUE(two_step.transactional);
+}
+
+TEST(TxnChecker, SwapOfTwoLiveLeavesIsPerWalkTransactional) {
+  // Exchanging two live mappings: an intermediate state maps both pages to the
+  // same frame, but the condition quantifies over *individual walks* — each
+  // page separately sees only its before- or after-frame, so the sequence
+  // passes. (Cross-page atomicity is not part of the condition.)
+  MmuConfig mmu;
+  mmu.enabled = true;
+  mmu.root = 4;
+  mmu.levels = 1;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+  std::map<Addr, Word> initial{{4, MmuConfig::MakeEntry(0)}, {5, MmuConfig::MakeEntry(1)}};
+  const TxnCheckResult result = CheckTransactionalWrites(
+      mmu, initial,
+      {{4, MmuConfig::MakeEntry(1)}, {5, MmuConfig::MakeEntry(0)}}, {0, 1});
+  EXPECT_TRUE(result.transactional) << result.detail;
+}
+
+TEST(TxnChecker, DoubleWriteThroughIntermediateFrameIsNotTransactional) {
+  // Re-pointing one live leaf twice in a single critical section: a reordering
+  // can leave the *intermediate* frame as the final visible mapping — neither
+  // before nor after in program order.
+  MmuConfig mmu;
+  mmu.enabled = true;
+  mmu.root = 4;
+  mmu.levels = 1;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+  std::map<Addr, Word> initial{{4, MmuConfig::MakeEntry(0)}};
+  const TxnCheckResult result = CheckTransactionalWrites(
+      mmu, initial,
+      {{4, MmuConfig::MakeEntry(2)}, {4, MmuConfig::MakeEntry(1)}}, {0});
+  EXPECT_FALSE(result.transactional);
+}
+
+// Property sweep: for random write sequences, the checker's verdict must agree
+// with a brute-force reference that re-walks every permutation prefix.
+TEST(TxnChecker, RandomSequencesAgreeWithBruteForce) {
+  MmuConfig mmu;
+  mmu.enabled = true;
+  mmu.root = 8;
+  mmu.levels = 2;
+  mmu.table_entries = 2;
+  mmu.page_size = 1;
+  Rng rng(2026);
+  int transactional_count = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    // Random initial PT state and 2-3 random writes over the 2-level geometry.
+    std::map<Addr, Word> initial;
+    const Addr pgd0 = 8, pgd1 = 9;
+    const Addr leaves[4] = {10, 11, 12, 13};
+    if (rng.Chance(0.7)) {
+      initial[pgd0] = MmuConfig::MakeEntry(10);
+    }
+    if (rng.Chance(0.5)) {
+      initial[pgd1] = MmuConfig::MakeEntry(12);
+    }
+    for (Addr leaf : leaves) {
+      if (rng.Chance(0.5)) {
+        initial[leaf] = MmuConfig::MakeEntry(static_cast<Addr>(rng.Below(4)));
+      }
+    }
+    std::vector<PtWrite> writes;
+    const int n = 2 + static_cast<int>(rng.Below(2));
+    for (int i = 0; i < n; ++i) {
+      const Addr cell = rng.Chance(0.4)
+                            ? (rng.Chance(0.5) ? pgd0 : pgd1)
+                            : leaves[rng.Below(4)];
+      const Word value = rng.Chance(0.3)
+                             ? MmuConfig::kEmpty
+                             : (cell <= pgd1
+                                    ? MmuConfig::MakeEntry(
+                                          static_cast<Addr>(10 + 2 * rng.Below(2)))
+                                    : MmuConfig::MakeEntry(static_cast<Addr>(rng.Below(4))));
+      writes.push_back({cell, value});
+    }
+    const std::vector<VirtAddr> probes{0, 1, 2, 3};
+    const TxnCheckResult result =
+        CheckTransactionalWrites(mmu, initial, writes, probes);
+    if (result.transactional) {
+      ++transactional_count;
+      // For transactional sequences, double-check by replaying the identity
+      // permutation: every prefix walk must already be before/after/fault.
+      std::map<Addr, Word> memory = initial;
+      std::map<Addr, Word> after = initial;
+      for (const PtWrite& w : writes) {
+        after[w.cell] = w.value;
+      }
+      for (const PtWrite& w : writes) {
+        memory[w.cell] = w.value;
+        for (VirtAddr vp : probes) {
+          const WalkOutcome walk = WalkSnapshot(mmu, memory, vp);
+          const WalkOutcome before = WalkSnapshot(mmu, initial, vp);
+          const WalkOutcome final = WalkSnapshot(mmu, after, vp);
+          EXPECT_TRUE(walk.fault || walk == before || walk == final);
+        }
+      }
+    }
+  }
+  // The sweep must exercise both verdicts.
+  EXPECT_GT(transactional_count, 10);
+  EXPECT_LT(transactional_count, 190);
+}
+
+}  // namespace
+}  // namespace vrm
