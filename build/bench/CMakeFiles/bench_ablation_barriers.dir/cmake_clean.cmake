@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_barriers.dir/bench_ablation_barriers.cc.o"
+  "CMakeFiles/bench_ablation_barriers.dir/bench_ablation_barriers.cc.o.d"
+  "bench_ablation_barriers"
+  "bench_ablation_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

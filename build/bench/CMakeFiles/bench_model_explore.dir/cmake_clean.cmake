@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_model_explore.dir/bench_model_explore.cc.o"
+  "CMakeFiles/bench_model_explore.dir/bench_model_explore.cc.o.d"
+  "bench_model_explore"
+  "bench_model_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_model_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

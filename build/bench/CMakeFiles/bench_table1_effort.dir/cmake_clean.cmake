@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_effort.dir/bench_table1_effort.cc.o"
+  "CMakeFiles/bench_table1_effort.dir/bench_table1_effort.cc.o.d"
+  "bench_table1_effort"
+  "bench_table1_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

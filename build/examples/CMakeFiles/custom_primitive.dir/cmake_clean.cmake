@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_primitive.dir/custom_primitive.cpp.o"
+  "CMakeFiles/custom_primitive.dir/custom_primitive.cpp.o.d"
+  "custom_primitive"
+  "custom_primitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_primitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

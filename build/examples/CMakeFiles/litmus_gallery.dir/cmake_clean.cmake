@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_gallery.dir/litmus_gallery.cpp.o"
+  "CMakeFiles/litmus_gallery.dir/litmus_gallery.cpp.o.d"
+  "litmus_gallery"
+  "litmus_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sc_construction_demo.dir/sc_construction_demo.cpp.o"
+  "CMakeFiles/sc_construction_demo.dir/sc_construction_demo.cpp.o.d"
+  "sc_construction_demo"
+  "sc_construction_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sc_construction_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

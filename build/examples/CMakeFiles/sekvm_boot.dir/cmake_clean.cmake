@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sekvm_boot.dir/sekvm_boot.cpp.o"
+  "CMakeFiles/sekvm_boot.dir/sekvm_boot.cpp.o.d"
+  "sekvm_boot"
+  "sekvm_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sekvm_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arch/builder.cc" "src/CMakeFiles/vrm_arch.dir/arch/builder.cc.o" "gcc" "src/CMakeFiles/vrm_arch.dir/arch/builder.cc.o.d"
+  "/root/repo/src/arch/inst.cc" "src/CMakeFiles/vrm_arch.dir/arch/inst.cc.o" "gcc" "src/CMakeFiles/vrm_arch.dir/arch/inst.cc.o.d"
+  "/root/repo/src/arch/program.cc" "src/CMakeFiles/vrm_arch.dir/arch/program.cc.o" "gcc" "src/CMakeFiles/vrm_arch.dir/arch/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vrm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

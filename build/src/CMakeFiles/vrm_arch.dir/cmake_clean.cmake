@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrm_arch.dir/arch/builder.cc.o"
+  "CMakeFiles/vrm_arch.dir/arch/builder.cc.o.d"
+  "CMakeFiles/vrm_arch.dir/arch/inst.cc.o"
+  "CMakeFiles/vrm_arch.dir/arch/inst.cc.o.d"
+  "CMakeFiles/vrm_arch.dir/arch/program.cc.o"
+  "CMakeFiles/vrm_arch.dir/arch/program.cc.o.d"
+  "libvrm_arch.a"
+  "libvrm_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrm_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrm_litmus.dir/litmus/classics.cc.o"
+  "CMakeFiles/vrm_litmus.dir/litmus/classics.cc.o.d"
+  "CMakeFiles/vrm_litmus.dir/litmus/litmus.cc.o"
+  "CMakeFiles/vrm_litmus.dir/litmus/litmus.cc.o.d"
+  "CMakeFiles/vrm_litmus.dir/litmus/paper_examples.cc.o"
+  "CMakeFiles/vrm_litmus.dir/litmus/paper_examples.cc.o.d"
+  "libvrm_litmus.a"
+  "libvrm_litmus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrm_litmus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvrm_litmus.a"
+)

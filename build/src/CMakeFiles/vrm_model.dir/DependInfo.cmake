@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/outcome.cc" "src/CMakeFiles/vrm_model.dir/model/outcome.cc.o" "gcc" "src/CMakeFiles/vrm_model.dir/model/outcome.cc.o.d"
+  "/root/repo/src/model/promising_machine.cc" "src/CMakeFiles/vrm_model.dir/model/promising_machine.cc.o" "gcc" "src/CMakeFiles/vrm_model.dir/model/promising_machine.cc.o.d"
+  "/root/repo/src/model/random_walk.cc" "src/CMakeFiles/vrm_model.dir/model/random_walk.cc.o" "gcc" "src/CMakeFiles/vrm_model.dir/model/random_walk.cc.o.d"
+  "/root/repo/src/model/sc_machine.cc" "src/CMakeFiles/vrm_model.dir/model/sc_machine.cc.o" "gcc" "src/CMakeFiles/vrm_model.dir/model/sc_machine.cc.o.d"
+  "/root/repo/src/model/trace.cc" "src/CMakeFiles/vrm_model.dir/model/trace.cc.o" "gcc" "src/CMakeFiles/vrm_model.dir/model/trace.cc.o.d"
+  "/root/repo/src/model/tso_machine.cc" "src/CMakeFiles/vrm_model.dir/model/tso_machine.cc.o" "gcc" "src/CMakeFiles/vrm_model.dir/model/tso_machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vrm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

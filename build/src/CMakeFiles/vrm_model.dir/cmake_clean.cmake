@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrm_model.dir/model/outcome.cc.o"
+  "CMakeFiles/vrm_model.dir/model/outcome.cc.o.d"
+  "CMakeFiles/vrm_model.dir/model/promising_machine.cc.o"
+  "CMakeFiles/vrm_model.dir/model/promising_machine.cc.o.d"
+  "CMakeFiles/vrm_model.dir/model/random_walk.cc.o"
+  "CMakeFiles/vrm_model.dir/model/random_walk.cc.o.d"
+  "CMakeFiles/vrm_model.dir/model/sc_machine.cc.o"
+  "CMakeFiles/vrm_model.dir/model/sc_machine.cc.o.d"
+  "CMakeFiles/vrm_model.dir/model/trace.cc.o"
+  "CMakeFiles/vrm_model.dir/model/trace.cc.o.d"
+  "CMakeFiles/vrm_model.dir/model/tso_machine.cc.o"
+  "CMakeFiles/vrm_model.dir/model/tso_machine.cc.o.d"
+  "libvrm_model.a"
+  "libvrm_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrm_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

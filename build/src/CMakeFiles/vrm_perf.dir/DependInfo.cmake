@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/perf/app_sim.cc" "src/CMakeFiles/vrm_perf.dir/perf/app_sim.cc.o" "gcc" "src/CMakeFiles/vrm_perf.dir/perf/app_sim.cc.o.d"
+  "/root/repo/src/perf/micro_sim.cc" "src/CMakeFiles/vrm_perf.dir/perf/micro_sim.cc.o" "gcc" "src/CMakeFiles/vrm_perf.dir/perf/micro_sim.cc.o.d"
+  "/root/repo/src/perf/multivm_sim.cc" "src/CMakeFiles/vrm_perf.dir/perf/multivm_sim.cc.o" "gcc" "src/CMakeFiles/vrm_perf.dir/perf/multivm_sim.cc.o.d"
+  "/root/repo/src/perf/platform.cc" "src/CMakeFiles/vrm_perf.dir/perf/platform.cc.o" "gcc" "src/CMakeFiles/vrm_perf.dir/perf/platform.cc.o.d"
+  "/root/repo/src/perf/tlb_model.cc" "src/CMakeFiles/vrm_perf.dir/perf/tlb_model.cc.o" "gcc" "src/CMakeFiles/vrm_perf.dir/perf/tlb_model.cc.o.d"
+  "/root/repo/src/perf/workload.cc" "src/CMakeFiles/vrm_perf.dir/perf/workload.cc.o" "gcc" "src/CMakeFiles/vrm_perf.dir/perf/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vrm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

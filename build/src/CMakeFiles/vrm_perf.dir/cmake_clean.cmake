@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrm_perf.dir/perf/app_sim.cc.o"
+  "CMakeFiles/vrm_perf.dir/perf/app_sim.cc.o.d"
+  "CMakeFiles/vrm_perf.dir/perf/micro_sim.cc.o"
+  "CMakeFiles/vrm_perf.dir/perf/micro_sim.cc.o.d"
+  "CMakeFiles/vrm_perf.dir/perf/multivm_sim.cc.o"
+  "CMakeFiles/vrm_perf.dir/perf/multivm_sim.cc.o.d"
+  "CMakeFiles/vrm_perf.dir/perf/platform.cc.o"
+  "CMakeFiles/vrm_perf.dir/perf/platform.cc.o.d"
+  "CMakeFiles/vrm_perf.dir/perf/tlb_model.cc.o"
+  "CMakeFiles/vrm_perf.dir/perf/tlb_model.cc.o.d"
+  "CMakeFiles/vrm_perf.dir/perf/workload.cc.o"
+  "CMakeFiles/vrm_perf.dir/perf/workload.cc.o.d"
+  "libvrm_perf.a"
+  "libvrm_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrm_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

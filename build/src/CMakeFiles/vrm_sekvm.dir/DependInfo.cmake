@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sekvm/crypto/ed25519.cc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/crypto/ed25519.cc.o" "gcc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/crypto/ed25519.cc.o.d"
+  "/root/repo/src/sekvm/crypto/sha512.cc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/crypto/sha512.cc.o" "gcc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/crypto/sha512.cc.o.d"
+  "/root/repo/src/sekvm/data_oracle.cc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/data_oracle.cc.o" "gcc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/data_oracle.cc.o.d"
+  "/root/repo/src/sekvm/invariants.cc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/invariants.cc.o" "gcc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/invariants.cc.o.d"
+  "/root/repo/src/sekvm/kcore.cc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/kcore.cc.o" "gcc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/kcore.cc.o.d"
+  "/root/repo/src/sekvm/kserv.cc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/kserv.cc.o" "gcc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/kserv.cc.o.d"
+  "/root/repo/src/sekvm/kvm_versions.cc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/kvm_versions.cc.o" "gcc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/kvm_versions.cc.o.d"
+  "/root/repo/src/sekvm/page_table.cc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/page_table.cc.o" "gcc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/page_table.cc.o.d"
+  "/root/repo/src/sekvm/phys_mem.cc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/phys_mem.cc.o" "gcc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/phys_mem.cc.o.d"
+  "/root/repo/src/sekvm/s2page.cc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/s2page.cc.o" "gcc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/s2page.cc.o.d"
+  "/root/repo/src/sekvm/smmu.cc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/smmu.cc.o" "gcc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/smmu.cc.o.d"
+  "/root/repo/src/sekvm/ticket_lock.cc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/ticket_lock.cc.o" "gcc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/ticket_lock.cc.o.d"
+  "/root/repo/src/sekvm/tinyarm_primitives.cc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/tinyarm_primitives.cc.o" "gcc" "src/CMakeFiles/vrm_sekvm.dir/sekvm/tinyarm_primitives.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vrm_vrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrm_sekvm.dir/sekvm/crypto/ed25519.cc.o"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/crypto/ed25519.cc.o.d"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/crypto/sha512.cc.o"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/crypto/sha512.cc.o.d"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/data_oracle.cc.o"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/data_oracle.cc.o.d"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/invariants.cc.o"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/invariants.cc.o.d"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/kcore.cc.o"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/kcore.cc.o.d"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/kserv.cc.o"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/kserv.cc.o.d"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/kvm_versions.cc.o"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/kvm_versions.cc.o.d"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/page_table.cc.o"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/page_table.cc.o.d"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/phys_mem.cc.o"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/phys_mem.cc.o.d"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/s2page.cc.o"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/s2page.cc.o.d"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/smmu.cc.o"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/smmu.cc.o.d"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/ticket_lock.cc.o"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/ticket_lock.cc.o.d"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/tinyarm_primitives.cc.o"
+  "CMakeFiles/vrm_sekvm.dir/sekvm/tinyarm_primitives.cc.o.d"
+  "libvrm_sekvm.a"
+  "libvrm_sekvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrm_sekvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vrm_sekvm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrm_support.dir/support/rng.cc.o"
+  "CMakeFiles/vrm_support.dir/support/rng.cc.o.d"
+  "CMakeFiles/vrm_support.dir/support/stats.cc.o"
+  "CMakeFiles/vrm_support.dir/support/stats.cc.o.d"
+  "CMakeFiles/vrm_support.dir/support/table.cc.o"
+  "CMakeFiles/vrm_support.dir/support/table.cc.o.d"
+  "libvrm_support.a"
+  "libvrm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vrm/conditions.cc" "src/CMakeFiles/vrm_vrm.dir/vrm/conditions.cc.o" "gcc" "src/CMakeFiles/vrm_vrm.dir/vrm/conditions.cc.o.d"
+  "/root/repo/src/vrm/refinement.cc" "src/CMakeFiles/vrm_vrm.dir/vrm/refinement.cc.o" "gcc" "src/CMakeFiles/vrm_vrm.dir/vrm/refinement.cc.o.d"
+  "/root/repo/src/vrm/sc_construction.cc" "src/CMakeFiles/vrm_vrm.dir/vrm/sc_construction.cc.o" "gcc" "src/CMakeFiles/vrm_vrm.dir/vrm/sc_construction.cc.o.d"
+  "/root/repo/src/vrm/txn_pt_checker.cc" "src/CMakeFiles/vrm_vrm.dir/vrm/txn_pt_checker.cc.o" "gcc" "src/CMakeFiles/vrm_vrm.dir/vrm/txn_pt_checker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vrm_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

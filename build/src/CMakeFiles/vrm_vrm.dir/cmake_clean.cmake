@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrm_vrm.dir/vrm/conditions.cc.o"
+  "CMakeFiles/vrm_vrm.dir/vrm/conditions.cc.o.d"
+  "CMakeFiles/vrm_vrm.dir/vrm/refinement.cc.o"
+  "CMakeFiles/vrm_vrm.dir/vrm/refinement.cc.o.d"
+  "CMakeFiles/vrm_vrm.dir/vrm/sc_construction.cc.o"
+  "CMakeFiles/vrm_vrm.dir/vrm/sc_construction.cc.o.d"
+  "CMakeFiles/vrm_vrm.dir/vrm/txn_pt_checker.cc.o"
+  "CMakeFiles/vrm_vrm.dir/vrm/txn_pt_checker.cc.o.d"
+  "libvrm_vrm.a"
+  "libvrm_vrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrm_vrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arch_tests.dir/arch/builder_test.cc.o"
+  "CMakeFiles/arch_tests.dir/arch/builder_test.cc.o.d"
+  "arch_tests"
+  "arch_tests.pdb"
+  "arch_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

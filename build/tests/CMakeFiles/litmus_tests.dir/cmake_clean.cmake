@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/litmus_tests.dir/litmus/classics_test.cc.o"
+  "CMakeFiles/litmus_tests.dir/litmus/classics_test.cc.o.d"
+  "CMakeFiles/litmus_tests.dir/litmus/paper_examples_test.cc.o"
+  "CMakeFiles/litmus_tests.dir/litmus/paper_examples_test.cc.o.d"
+  "litmus_tests"
+  "litmus_tests.pdb"
+  "litmus_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/litmus_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_tests.dir/model/differential_test.cc.o"
+  "CMakeFiles/model_tests.dir/model/differential_test.cc.o.d"
+  "CMakeFiles/model_tests.dir/model/exclusives_test.cc.o"
+  "CMakeFiles/model_tests.dir/model/exclusives_test.cc.o.d"
+  "CMakeFiles/model_tests.dir/model/explorer_test.cc.o"
+  "CMakeFiles/model_tests.dir/model/explorer_test.cc.o.d"
+  "CMakeFiles/model_tests.dir/model/promising_machine_test.cc.o"
+  "CMakeFiles/model_tests.dir/model/promising_machine_test.cc.o.d"
+  "CMakeFiles/model_tests.dir/model/sc_machine_test.cc.o"
+  "CMakeFiles/model_tests.dir/model/sc_machine_test.cc.o.d"
+  "CMakeFiles/model_tests.dir/model/trace_test.cc.o"
+  "CMakeFiles/model_tests.dir/model/trace_test.cc.o.d"
+  "CMakeFiles/model_tests.dir/model/tso_machine_test.cc.o"
+  "CMakeFiles/model_tests.dir/model/tso_machine_test.cc.o.d"
+  "model_tests"
+  "model_tests.pdb"
+  "model_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

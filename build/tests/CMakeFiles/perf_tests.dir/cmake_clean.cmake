@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_tests.dir/perf/perf_test.cc.o"
+  "CMakeFiles/perf_tests.dir/perf/perf_test.cc.o.d"
+  "perf_tests"
+  "perf_tests.pdb"
+  "perf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sekvm/ed25519_test.cc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/ed25519_test.cc.o" "gcc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/ed25519_test.cc.o.d"
+  "/root/repo/tests/sekvm/kcore_limits_test.cc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/kcore_limits_test.cc.o" "gcc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/kcore_limits_test.cc.o.d"
+  "/root/repo/tests/sekvm/kcore_test.cc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/kcore_test.cc.o" "gcc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/kcore_test.cc.o.d"
+  "/root/repo/tests/sekvm/kvm_versions_test.cc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/kvm_versions_test.cc.o" "gcc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/kvm_versions_test.cc.o.d"
+  "/root/repo/tests/sekvm/page_table_test.cc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/page_table_test.cc.o" "gcc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/page_table_test.cc.o.d"
+  "/root/repo/tests/sekvm/s2page_test.cc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/s2page_test.cc.o" "gcc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/s2page_test.cc.o.d"
+  "/root/repo/tests/sekvm/security_test.cc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/security_test.cc.o" "gcc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/security_test.cc.o.d"
+  "/root/repo/tests/sekvm/sha512_test.cc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/sha512_test.cc.o" "gcc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/sha512_test.cc.o.d"
+  "/root/repo/tests/sekvm/ticket_lock_test.cc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/ticket_lock_test.cc.o" "gcc" "tests/CMakeFiles/sekvm_tests.dir/sekvm/ticket_lock_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vrm_sekvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_vrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

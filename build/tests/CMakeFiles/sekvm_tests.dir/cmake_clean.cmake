@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sekvm_tests.dir/sekvm/ed25519_test.cc.o"
+  "CMakeFiles/sekvm_tests.dir/sekvm/ed25519_test.cc.o.d"
+  "CMakeFiles/sekvm_tests.dir/sekvm/kcore_limits_test.cc.o"
+  "CMakeFiles/sekvm_tests.dir/sekvm/kcore_limits_test.cc.o.d"
+  "CMakeFiles/sekvm_tests.dir/sekvm/kcore_test.cc.o"
+  "CMakeFiles/sekvm_tests.dir/sekvm/kcore_test.cc.o.d"
+  "CMakeFiles/sekvm_tests.dir/sekvm/kvm_versions_test.cc.o"
+  "CMakeFiles/sekvm_tests.dir/sekvm/kvm_versions_test.cc.o.d"
+  "CMakeFiles/sekvm_tests.dir/sekvm/page_table_test.cc.o"
+  "CMakeFiles/sekvm_tests.dir/sekvm/page_table_test.cc.o.d"
+  "CMakeFiles/sekvm_tests.dir/sekvm/s2page_test.cc.o"
+  "CMakeFiles/sekvm_tests.dir/sekvm/s2page_test.cc.o.d"
+  "CMakeFiles/sekvm_tests.dir/sekvm/security_test.cc.o"
+  "CMakeFiles/sekvm_tests.dir/sekvm/security_test.cc.o.d"
+  "CMakeFiles/sekvm_tests.dir/sekvm/sha512_test.cc.o"
+  "CMakeFiles/sekvm_tests.dir/sekvm/sha512_test.cc.o.d"
+  "CMakeFiles/sekvm_tests.dir/sekvm/ticket_lock_test.cc.o"
+  "CMakeFiles/sekvm_tests.dir/sekvm/ticket_lock_test.cc.o.d"
+  "sekvm_tests"
+  "sekvm_tests.pdb"
+  "sekvm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sekvm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vrm/conditions_test.cc" "tests/CMakeFiles/vrm_tests.dir/vrm/conditions_test.cc.o" "gcc" "tests/CMakeFiles/vrm_tests.dir/vrm/conditions_test.cc.o.d"
+  "/root/repo/tests/vrm/refinement_test.cc" "tests/CMakeFiles/vrm_tests.dir/vrm/refinement_test.cc.o" "gcc" "tests/CMakeFiles/vrm_tests.dir/vrm/refinement_test.cc.o.d"
+  "/root/repo/tests/vrm/sc_construction_test.cc" "tests/CMakeFiles/vrm_tests.dir/vrm/sc_construction_test.cc.o" "gcc" "tests/CMakeFiles/vrm_tests.dir/vrm/sc_construction_test.cc.o.d"
+  "/root/repo/tests/vrm/seqlock_test.cc" "tests/CMakeFiles/vrm_tests.dir/vrm/seqlock_test.cc.o" "gcc" "tests/CMakeFiles/vrm_tests.dir/vrm/seqlock_test.cc.o.d"
+  "/root/repo/tests/vrm/txn_pt_test.cc" "tests/CMakeFiles/vrm_tests.dir/vrm/txn_pt_test.cc.o" "gcc" "tests/CMakeFiles/vrm_tests.dir/vrm/txn_pt_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vrm_sekvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_perf.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_vrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_litmus.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vrm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

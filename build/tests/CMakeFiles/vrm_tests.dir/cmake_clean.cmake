@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vrm_tests.dir/vrm/conditions_test.cc.o"
+  "CMakeFiles/vrm_tests.dir/vrm/conditions_test.cc.o.d"
+  "CMakeFiles/vrm_tests.dir/vrm/refinement_test.cc.o"
+  "CMakeFiles/vrm_tests.dir/vrm/refinement_test.cc.o.d"
+  "CMakeFiles/vrm_tests.dir/vrm/sc_construction_test.cc.o"
+  "CMakeFiles/vrm_tests.dir/vrm/sc_construction_test.cc.o.d"
+  "CMakeFiles/vrm_tests.dir/vrm/seqlock_test.cc.o"
+  "CMakeFiles/vrm_tests.dir/vrm/seqlock_test.cc.o.d"
+  "CMakeFiles/vrm_tests.dir/vrm/txn_pt_test.cc.o"
+  "CMakeFiles/vrm_tests.dir/vrm/txn_pt_test.cc.o.d"
+  "vrm_tests"
+  "vrm_tests.pdb"
+  "vrm_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vrm_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/arch_tests[1]_include.cmake")
+include("/root/repo/build/tests/model_tests[1]_include.cmake")
+include("/root/repo/build/tests/litmus_tests[1]_include.cmake")
+include("/root/repo/build/tests/vrm_tests[1]_include.cmake")
+include("/root/repo/build/tests/sekvm_tests[1]_include.cmake")
+include("/root/repo/build/tests/perf_tests[1]_include.cmake")
