@@ -1,0 +1,154 @@
+// Parallel-explorer scaling: wall-clock of Explore() at 1/2/4/8 workers on the
+// heaviest routinely-explored workloads, plus the litmus batch runner. Every
+// benchmark times its own 1-thread baseline (outside the measured loop) and
+// reports `speedup` = sequential wall-clock / parallel wall-clock; outcome-set
+// equality with the sequential engine is asserted on every iteration (a scaling
+// win that changed verdicts would be worthless).
+//
+// Wall-clock speedup requires actual hardware parallelism: on a 1-CPU host the
+// workers timeshare and speedup stays ~1.0x (the interesting numbers come from
+// multicore hosts; see EXPERIMENTS.md).
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+
+#include "src/litmus/batch.h"
+#include "src/litmus/classics.h"
+#include "src/litmus/paper_examples.h"
+#include "src/model/explorer.h"
+#include "src/model/promising_machine.h"
+#include "src/model/sc_machine.h"
+#include "src/vrm/refinement.h"
+
+namespace vrm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+template <typename Machine>
+void ExploreScaling(benchmark::State& state, const LitmusTest& test) {
+  ModelConfig sequential = test.config;
+  sequential.num_threads = 1;
+  Machine reference_machine(test.program, sequential);
+  const auto baseline_start = Clock::now();
+  const ExploreResult reference = Explore(reference_machine, sequential);
+  const double baseline_seconds = SecondsSince(baseline_start);
+
+  ModelConfig config = test.config;
+  config.num_threads = static_cast<int>(state.range(0));
+  double total_seconds = 0.0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    const auto start = Clock::now();
+    Machine machine(test.program, config);
+    const ExploreResult result = Explore(machine, config);
+    total_seconds += SecondsSince(start);
+    ++iterations;
+    if (result.outcomes.size() != reference.outcomes.size()) {
+      state.SkipWithError("parallel outcome set diverged from sequential");
+      break;
+    }
+    benchmark::DoNotOptimize(result.outcomes.size());
+  }
+  if (iterations > 0 && total_seconds > 0.0) {
+    state.counters["speedup"] = baseline_seconds / (total_seconds / iterations);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["states"] = static_cast<double>(reference.stats.states);
+}
+
+// The gen_vmid ticket lock (Example 2, fixed form) — the heaviest
+// routinely-explored Promising workload in the tree.
+void BM_ParallelExplore_TicketLock(benchmark::State& state) {
+  ExploreScaling<PromisingMachine>(state, Example2VmBooting(true));
+}
+BENCHMARK(BM_ParallelExplore_TicketLock)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// IRIW with plain readers: four threads, the widest interleaving fan-out of the
+// classics catalog, on the Promising machine.
+void BM_ParallelExplore_Iriw(benchmark::State& state) {
+  ExploreScaling<PromisingMachine>(state, ClassicIriw(Strength::kPlain));
+}
+BENCHMARK(BM_ParallelExplore_Iriw)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Refinement check of the fixed ticket lock: SC and Promising explorations run
+// concurrently with each other, and each goes `threads` wide.
+void BM_ParallelRefinement_TicketLock(benchmark::State& state) {
+  LitmusTest test = Example2VmBooting(true);
+  test.config.num_threads = 1;
+  const auto baseline_start = Clock::now();
+  const ExploreResult sc = RunSc(test);
+  const ExploreResult rm = RunPromising(test);
+  const double baseline_seconds = SecondsSince(baseline_start);
+  benchmark::DoNotOptimize(sc.outcomes.size() + rm.outcomes.size());
+
+  test.config.num_threads = static_cast<int>(state.range(0));
+  double total_seconds = 0.0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    const auto start = Clock::now();
+    const RefinementResult result = CheckRefinement(test);
+    total_seconds += SecondsSince(start);
+    ++iterations;
+    if (!result.refines) {
+      state.SkipWithError("fixed ticket lock must refine SC");
+      break;
+    }
+    benchmark::DoNotOptimize(result.rm.outcomes.size());
+  }
+  if (iterations > 0 && total_seconds > 0.0) {
+    state.counters["speedup"] = baseline_seconds / (total_seconds / iterations);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ParallelRefinement_TicketLock)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The standard litmus suite through the batch runner: test-level parallelism.
+void BM_ParallelBatch_DefaultSuite(benchmark::State& state) {
+  const std::vector<LitmusTest> suite = DefaultLitmusSuite();
+  const auto baseline_start = Clock::now();
+  benchmark::DoNotOptimize(RunLitmusBatch(suite, 1).entries.size());
+  const double baseline_seconds = SecondsSince(baseline_start);
+
+  double total_seconds = 0.0;
+  int64_t iterations = 0;
+  for (auto _ : state) {
+    const auto start = Clock::now();
+    const BatchResult result = RunLitmusBatch(suite, static_cast<int>(state.range(0)));
+    total_seconds += SecondsSince(start);
+    ++iterations;
+    benchmark::DoNotOptimize(result.entries.size());
+  }
+  if (iterations > 0 && total_seconds > 0.0) {
+    state.counters["speedup"] = baseline_seconds / (total_seconds / iterations);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ParallelBatch_DefaultSuite)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace vrm
+
+BENCHMARK_MAIN();

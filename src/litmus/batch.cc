@@ -1,0 +1,83 @@
+#include "src/litmus/batch.h"
+
+#include "src/litmus/classics.h"
+#include "src/litmus/paper_examples.h"
+#include "src/support/thread_pool.h"
+
+namespace vrm {
+
+std::string BatchResult::Summary() const {
+  size_t refines = 0, truncated = 0;
+  for (const BatchEntry& e : entries) {
+    refines += e.rm_refines_sc ? 1 : 0;
+    truncated += e.truncated ? 1 : 0;
+  }
+  std::string out = "batch: " + std::to_string(entries.size()) + " tests, " +
+                    std::to_string(refines) + " refine SC, " +
+                    std::to_string(entries.size() - refines) + " exhibit relaxed-only " +
+                    "behaviour, " + std::to_string(truncated) + " truncated\n";
+  for (const BatchEntry& e : entries) {
+    out += "  " + e.test.program.name + ": RM " +
+           (e.rm_refines_sc ? "⊆" : "⊄") + " SC (" +
+           std::to_string(e.rm.outcomes.size()) + " RM / " +
+           std::to_string(e.sc.outcomes.size()) + " SC outcomes)" +
+           (e.truncated ? " [bounded]" : "") + "\n";
+  }
+  return out;
+}
+
+BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite, int num_threads) {
+  BatchResult result;
+  result.entries.resize(suite.size());
+  for (size_t i = 0; i < suite.size(); ++i) {
+    result.entries[i].test = suite[i];
+  }
+  // One task per (test, model): fine-grained enough that a few heavy Promising
+  // explorations don't serialize the tail of the batch.
+  ParallelFor(num_threads, suite.size() * 2, [&](size_t task) {
+    BatchEntry& entry = result.entries[task / 2];
+    if (task % 2 == 0) {
+      entry.sc = RunSc(entry.test);
+    } else {
+      entry.rm = RunPromising(entry.test);
+    }
+  });
+  for (BatchEntry& entry : result.entries) {
+    entry.rm_refines_sc = RmRefinesSc(entry.rm, entry.sc);
+    entry.truncated = entry.sc.stats.truncated || entry.rm.stats.truncated;
+  }
+  return result;
+}
+
+std::vector<LitmusTest> DefaultLitmusSuite() {
+  std::vector<LitmusTest> suite;
+  suite.push_back(ClassicSb(Strength::kPlain));
+  suite.push_back(ClassicSb(Strength::kDmb));
+  suite.push_back(ClassicSbRelAcq());
+  suite.push_back(ClassicMp(Strength::kPlain, Strength::kPlain));
+  suite.push_back(ClassicMp(Strength::kDmb, Strength::kAddrDep));
+  suite.push_back(ClassicMp(Strength::kDmb, Strength::kAcqRel));
+  suite.push_back(ClassicLb(Strength::kPlain));
+  suite.push_back(ClassicLb(Strength::kDataDep));
+  suite.push_back(ClassicCoRR());
+  suite.push_back(ClassicCoWW());
+  suite.push_back(Classic2Plus2W(Strength::kPlain));
+  suite.push_back(Classic2Plus2W(Strength::kDmb));
+  suite.push_back(ClassicS(Strength::kPlain));
+  suite.push_back(ClassicWrc(Strength::kDmb, Strength::kAddrDep));
+  suite.push_back(ClassicIriw(Strength::kPlain));
+  suite.push_back(ClassicIriw(Strength::kDmb));
+  // Paper examples, except the buggy Example 2 ticket lock: its Promising
+  // exploration is ~10^2x the rest of the suite combined, which would make the
+  // standard suite too slow for routine regression use (it keeps its own tests).
+  suite.push_back(Example1OutOfOrderWrite(false));
+  suite.push_back(Example1OutOfOrderWrite(true));
+  suite.push_back(Example3VmContextSwitch(false));
+  suite.push_back(Example4PageTableReads());
+  suite.push_back(Example5PageTableWrites(false));
+  suite.push_back(Example6TlbInvalidation(false));
+  suite.push_back(Example7UserKernelFlow(false));
+  return suite;
+}
+
+}  // namespace vrm

@@ -1,0 +1,46 @@
+// Parallel batch runner for litmus suites.
+//
+// A suite is a vector of LitmusTests; the runner explores every test on both
+// hardware models, distributing test-level work across a thread pool (and each
+// exploration may itself go wide per its ModelConfig::num_threads). Per-test
+// results are identical to running the test alone — parallelism only reorders
+// wall-clock, never outcomes.
+
+#ifndef SRC_LITMUS_BATCH_H_
+#define SRC_LITMUS_BATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "src/litmus/litmus.h"
+
+namespace vrm {
+
+struct BatchEntry {
+  LitmusTest test;
+  ExploreResult sc;
+  ExploreResult rm;
+  bool rm_refines_sc = false;  // over the explored behaviours
+  bool truncated = false;      // either exploration hit a bound
+};
+
+struct BatchResult {
+  std::vector<BatchEntry> entries;  // parallel to the input suite
+
+  // Counts of refining / non-refining / truncated entries, rendered per test.
+  std::string Summary() const;
+};
+
+// Explores every test on both models using `num_threads` test-level workers
+// (0 = one per hardware thread). The SC and RM explorations of one test are the
+// unit of distribution, so a suite of k tests exposes 2k independent tasks.
+BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite, int num_threads = 0);
+
+// The standard regression suite: the Armv8 classics catalog (SB/MP/LB/CoRR/
+// CoWW/2+2W/S/WRC/IRIW in plain and fixed strengths) plus the paper's Examples
+// in buggy form. Used by the parallel-determinism tests and the batch bench.
+std::vector<LitmusTest> DefaultLitmusSuite();
+
+}  // namespace vrm
+
+#endif  // SRC_LITMUS_BATCH_H_

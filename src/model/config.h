@@ -21,6 +21,14 @@ struct ModelConfig {
   uint64_t max_states = 4'000'000;
   int max_messages = 48;  // Promising machine: global message-list cap
 
+  // Worker threads for Explore(): 1 = the sequential explorer (bit-identical
+  // deterministic path), 0 = one worker per hardware thread, N > 1 = N workers
+  // over work-stealing frontier deques with a sharded visited set. Outcome sets
+  // and violation flags are identical for every value; state/transition counts
+  // match too unless max_states truncates (then *which* states got explored
+  // before the cap is schedule-dependent).
+  int num_threads = 1;
+
   // Promising machine: cap on a thread's outstanding (unfulfilled) promises.
   // Litmus-scale relaxed behaviours need very few simultaneous promises; the cap
   // bounds the search. Raising it widens the explored behaviour set.

@@ -1,4 +1,4 @@
-// Generic exhaustive state-space explorer.
+// Generic exhaustive state-space explorer, sequential and parallel.
 //
 // Both machines expose the same interface:
 //   using State = ...;                       // copyable
@@ -10,40 +10,50 @@
 //   std::string Serialize(const State&) const; // canonical dedup key
 //
 // The explorer runs a worklist search with deduplication keyed by a 128-bit
-// digest of the canonical state serialization (two independent 64-bit FNV-1a
-// passes). At litmus-scale state counts (<= 10^7) the collision probability is
+// digest of the canonical state serialization: one FNV-1a pass and one
+// Mix64Hash pass (xxhash-style lanes + SplitMix64 finalizer) — two structurally
+// independent hash functions, so the halves avalanche independently. At
+// litmus-scale state counts (<= 10^7) the collision probability of the pair is
 // below 10^-24, while keeping the visited-set memory bounded.
+//
+// ModelConfig::num_threads selects the engine. 1 (the default) is the
+// sequential worklist, kept bit-identical to the historical explorer. 0 or
+// N > 1 runs N workers (0 = hardware concurrency) over per-worker frontier
+// deques with work stealing (support/work_steal.h) and a sharded concurrent
+// visited set (support/sharded_set.h); per-worker ExploreResults are merged at
+// join. A state is expanded by exactly one worker (the visited-set insert
+// happens before a state is queued), so outcome sets, violation flags, and —
+// absent max_states truncation — state/transition counts are identical to the
+// sequential engine; only ConditionViolations detail strings (first observation
+// wins) and the identity of the states dropped by truncation are
+// schedule-dependent.
 
 #ifndef SRC_MODEL_EXPLORER_H_
 #define SRC_MODEL_EXPLORER_H_
 
 #include <string>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "src/model/config.h"
 #include "src/model/outcome.h"
 #include "src/support/hash.h"
+#include "src/support/sharded_set.h"
+#include "src/support/thread_pool.h"
+#include "src/support/work_steal.h"
 
 namespace vrm {
 
 // 128-bit digest of a canonical state serialization, packed into a uint64 pair.
-inline std::pair<uint64_t, uint64_t> StateDigest(const std::string& bytes) {
-  const uint64_t a = Fnv1a64(bytes.data(), bytes.size(), 0xcbf29ce484222325ull);
-  const uint64_t b = Fnv1a64(bytes.data(), bytes.size(), 0x9e3779b97f4a7c15ull);
-  return {a, HashCombine(b, bytes.size())};
+inline Digest128 StateDigest(const std::string& bytes) {
+  return {Fnv1a64(bytes.data(), bytes.size()), Mix64Hash(bytes.data(), bytes.size())};
 }
 
-struct DigestHash {
-  size_t operator()(const std::pair<uint64_t, uint64_t>& d) const {
-    return static_cast<size_t>(d.first ^ (d.second * 0x9e3779b97f4a7c15ull));
-  }
-};
-
 template <typename Machine>
-ExploreResult Explore(const Machine& machine, const ModelConfig& config) {
+ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& config) {
   ExploreResult result;
-  std::unordered_set<std::pair<uint64_t, uint64_t>, DigestHash> seen;
+  std::unordered_set<Digest128, DigestHash> seen;
   std::vector<typename Machine::State> stack;
 
   auto visit = [&](typename Machine::State&& state) {
@@ -79,6 +89,81 @@ ExploreResult Explore(const Machine& machine, const ModelConfig& config) {
     }
   }
   return result;
+}
+
+template <typename Machine>
+ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
+                              int num_threads) {
+  // Machines memoize internally (the Promising machine's certification caches),
+  // so each worker drives its own copy; the shared structures are only the
+  // frontier deques and the visited set.
+  std::vector<Machine> machines;
+  machines.reserve(num_threads);
+  for (int w = 0; w < num_threads; ++w) {
+    machines.emplace_back(machine);
+  }
+  std::vector<ExploreResult> partial(num_threads);
+
+  // 8 shards per worker keeps the collision probability of two workers needing
+  // the same shard lock low without materializing thousands of sets.
+  ShardedDigestSet seen(num_threads * 8);
+  WorkStealingQueues<typename Machine::State> frontier(num_threads);
+
+  {
+    typename Machine::State initial = machine.Initial();
+    seen.Insert(StateDigest(machine.Serialize(initial)));
+    frontier.Push(0, std::move(initial));
+  }
+
+  RunWorkers(num_threads, [&](int w) {
+    const Machine& m = machines[w];
+    ExploreResult& result = partial[w];
+    std::vector<typename Machine::State> next;
+    typename Machine::State state;
+    while (frontier.Pop(w, &state)) {
+      if (seen.Size() > config.max_states) {
+        // Past the cap: drain the frontier without expanding so the search
+        // quiesces, exactly as the sequential engine abandons its stack.
+        result.stats.truncated = true;
+        frontier.MarkDone();
+        continue;
+      }
+      ++result.stats.states;
+
+      if (m.IsTerminal(state)) {
+        m.AuditTerminal(state, &result);
+        Outcome outcome = m.Extract(state);
+        result.outcomes.emplace(outcome.Key(), std::move(outcome));
+        frontier.MarkDone();
+        continue;
+      }
+
+      next.clear();
+      m.Successors(state, &next, &result);
+      result.stats.transitions += next.size();
+      for (auto& successor : next) {
+        if (seen.Insert(StateDigest(m.Serialize(successor)))) {
+          frontier.Push(w, std::move(successor));
+        }
+      }
+      frontier.MarkDone();
+    }
+  });
+
+  ExploreResult result = std::move(partial[0]);
+  for (int w = 1; w < num_threads; ++w) {
+    result.Absorb(std::move(partial[w]));
+  }
+  return result;
+}
+
+template <typename Machine>
+ExploreResult Explore(const Machine& machine, const ModelConfig& config) {
+  const int num_threads = EffectiveThreads(config.num_threads);
+  if (num_threads <= 1) {
+    return ExploreSequential(machine, config);
+  }
+  return ExploreParallel(machine, config, num_threads);
 }
 
 }  // namespace vrm

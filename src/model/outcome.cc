@@ -73,6 +73,25 @@ std::string Outcome::ToString(const Program& program) const {
   return out;
 }
 
+void ConditionViolations::Merge(const ConditionViolations& other) {
+  Flag* mine[] = {&drf, &barrier, &write_once, &tlbi, &isolation};
+  const Flag* theirs[] = {&other.drf, &other.barrier, &other.write_once, &other.tlbi,
+                          &other.isolation};
+  for (size_t i = 0; i < 5; ++i) {
+    if (theirs[i]->set) {
+      Note(mine[i], theirs[i]->detail);
+    }
+  }
+}
+
+void ExploreResult::Absorb(ExploreResult&& other) {
+  outcomes.merge(other.outcomes);
+  violations.Merge(other.violations);
+  stats.states += other.stats.states;
+  stats.transitions += other.stats.transitions;
+  stats.truncated = stats.truncated || other.stats.truncated;
+}
+
 std::string ExploreResult::Describe(const Program& program) const {
   std::string out;
   for (const auto& [key, outcome] : outcomes) {

@@ -62,6 +62,10 @@ struct ConditionViolations {
     }
     flag->set = true;
   }
+
+  // Folds another worker's violations in: a flag is set if either side set it;
+  // the receiving side's first observation keeps its detail.
+  void Merge(const ConditionViolations& other);
 };
 
 struct ExploreStats {
@@ -80,6 +84,11 @@ struct ExploreResult {
   bool Contains(const Outcome& outcome) const {
     return outcomes.count(outcome.Key()) != 0;
   }
+
+  // Merges a parallel-exploration partial result into this one: outcome-map
+  // union, violation-flag OR, stat sums, truncation OR. Workers partition the
+  // unique states, so summed stats equal the sequential engine's counts.
+  void Absorb(ExploreResult&& other);
 
   // All outcomes, rendered one per line (sorted by key), for test expectations.
   std::string Describe(const Program& program) const;

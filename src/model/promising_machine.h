@@ -50,6 +50,7 @@
 #include "src/mmu/tlb.h"
 #include "src/model/config.h"
 #include "src/model/outcome.h"
+#include "src/support/hash.h"
 
 namespace vrm {
 
@@ -214,15 +215,10 @@ class PromisingMachine {
   const Program program_;
   const ModelConfig config_;
 
-  // Memoization caches for the solo searches. The machine is not thread-safe.
-  struct PairHash {
-    size_t operator()(const std::pair<uint64_t, uint64_t>& d) const {
-      return static_cast<size_t>(d.first ^ (d.second * 0x9e3779b97f4a7c15ull));
-    }
-  };
-  mutable std::unordered_map<std::pair<uint64_t, uint64_t>, bool, PairHash> cert_cache_;
-  mutable std::unordered_map<std::pair<uint64_t, uint64_t>,
-                             std::vector<std::pair<Addr, Word>>, PairHash>
+  // Memoization caches for the solo searches. One machine instance is not
+  // thread-safe — the parallel explorer gives each worker its own copy.
+  mutable std::unordered_map<Digest128, bool, DigestHash> cert_cache_;
+  mutable std::unordered_map<Digest128, std::vector<std::pair<Addr, Word>>, DigestHash>
       collect_cache_;
 };
 

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vrm {
@@ -26,6 +27,44 @@ inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   a ^= b + 0x9e3779b97f4a7c15ull + (a << 12) + (a >> 4);
   return a;
 }
+
+// SplitMix64 finalizer: a full-avalanche bijection on 64-bit words.
+inline uint64_t Mix64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+// 64-bit hash over a byte range that is structurally independent of Fnv1a64:
+// 8-byte lanes folded through the SplitMix64 finalizer with rotate-multiply
+// chaining (xxhash-style), rather than FNV's byte-at-a-time xor-multiply.
+// Pairing one Fnv1a64 pass with one Mix64Hash pass gives a 128-bit digest whose
+// halves do not share avalanche structure — re-running FNV with a second seed
+// does not, because FNV states from different seeds stay strongly correlated.
+inline uint64_t Mix64Hash(const void* data, size_t len, uint64_t seed = 0x27d4eb2f165667c5ull) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed ^ (static_cast<uint64_t>(len) * 0x9e3779b97f4a7c15ull);
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t lane;
+    std::memcpy(&lane, p + i, sizeof(lane));
+    h = Mix64(h ^ lane) * 0xff51afd7ed558ccdull + 0x52dce729u;
+  }
+  uint64_t tail = 0;
+  for (; i < len; ++i) {
+    tail = (tail << 8) | p[i];
+  }
+  return Mix64(h ^ tail);
+}
+
+// 128-bit state digest, packed into a uint64 pair.
+using Digest128 = std::pair<uint64_t, uint64_t>;
+
+struct DigestHash {
+  size_t operator()(const Digest128& d) const {
+    return static_cast<size_t>(d.first ^ (d.second * 0x9e3779b97f4a7c15ull));
+  }
+};
 
 // Accumulates a canonical byte serialization of explorer states. The serialized
 // form doubles as the exact deduplication key (no reliance on hash uniqueness).

@@ -1,0 +1,69 @@
+// Concurrent visited set for the parallel explorer: a fixed number of
+// independently mutex-guarded digest-set shards, selected by digest bits. With
+// shards >> workers, two workers only contend when their states hash to the
+// same shard, so insertion throughput scales with the worker count while the
+// semantics stay those of one global set (insert-if-absent is atomic per
+// digest, and a digest maps to exactly one shard).
+
+#ifndef SRC_SUPPORT_SHARDED_SET_H_
+#define SRC_SUPPORT_SHARDED_SET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "src/support/hash.h"
+
+namespace vrm {
+
+class ShardedDigestSet {
+ public:
+  // `shards` is rounded up to a power of two (shard selection masks low bits of
+  // the digest's second half — the Mix64Hash lane, whose low bits avalanche).
+  explicit ShardedDigestSet(int shards) {
+    int n = 1;
+    while (n < shards) {
+      n <<= 1;
+    }
+    mask_ = static_cast<uint64_t>(n - 1);
+    shards_.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  // Inserts the digest; returns true when it was not already present.
+  bool Insert(const Digest128& digest) {
+    Shard& shard = *shards_[digest.second & mask_];
+    bool inserted;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      inserted = shard.set.insert(digest).second;
+    }
+    if (inserted) {
+      size_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return inserted;
+  }
+
+  // Total number of distinct digests inserted. Exact once writers quiesce;
+  // monotonic and at most momentarily stale while they race.
+  uint64_t Size() const { return size_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_set<Digest128, DigestHash> set;
+  };
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t mask_ = 0;
+  std::atomic<uint64_t> size_{0};
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SUPPORT_SHARDED_SET_H_

@@ -1,0 +1,49 @@
+#include "src/support/thread_pool.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace vrm {
+
+int EffectiveThreads(int requested) {
+  if (requested > 0) {
+    return requested;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+void RunWorkers(int num_threads, const std::function<void(int)>& fn) {
+  if (num_threads <= 1) {
+    fn(0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads - 1);
+  for (int w = 1; w < num_threads; ++w) {
+    threads.emplace_back(fn, w);
+  }
+  fn(0);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+}
+
+void ParallelFor(int num_threads, size_t count, const std::function<void(size_t)>& fn) {
+  const int n = EffectiveThreads(num_threads);
+  if (n <= 1 || count <= 1) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  RunWorkers(n, [&](int) {
+    for (size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      fn(i);
+    }
+  });
+}
+
+}  // namespace vrm

@@ -1,0 +1,33 @@
+// Minimal threading substrate for the parallel explorer and batch runners.
+//
+// Two primitives are enough for every use in the tree:
+//   * RunWorkers(n, fn) — run fn(worker_id) on n threads (worker 0 on the
+//     caller's thread) and join. The per-worker loop bodies coordinate through
+//     WorkStealingQueues (work_steal.h) and ShardedDigestSet (sharded_set.h).
+//   * ParallelFor(n, count, fn) — distribute fn(i) for i in [0, count) over n
+//     threads via an atomic index (static items, no stealing needed).
+
+#ifndef SRC_SUPPORT_THREAD_POOL_H_
+#define SRC_SUPPORT_THREAD_POOL_H_
+
+#include <functional>
+
+namespace vrm {
+
+// Resolves a requested thread count: 0 means "one per hardware thread",
+// anything else is clamped to >= 1.
+int EffectiveThreads(int requested);
+
+// Runs fn(worker_id) for worker_id in [0, num_threads). Worker 0 runs on the
+// calling thread; the rest each get a std::thread. Returns after all workers
+// finish. fn must not throw.
+void RunWorkers(int num_threads, const std::function<void(int)>& fn);
+
+// Runs fn(i) for every i in [0, count), distributing indices dynamically over
+// EffectiveThreads(num_threads) workers. fn must be safe to call concurrently
+// for distinct i and must not throw.
+void ParallelFor(int num_threads, size_t count, const std::function<void(size_t)>& fn);
+
+}  // namespace vrm
+
+#endif  // SRC_SUPPORT_THREAD_POOL_H_

@@ -1,0 +1,95 @@
+// Per-worker frontier deques with work stealing and quiescence detection.
+//
+// Each worker owns one deque: it pushes and pops at the back (LIFO, so a
+// worker's local search stays depth-first and cache-warm), and idle workers
+// steal from the *front* of a victim's deque — the oldest frontier entries,
+// which in a state-space search sit closest to the root and head the largest
+// unexplored subtrees.
+//
+// Termination: an item counts as "pending" from Push() until the worker that
+// popped it calls MarkDone() — i.e. queued items AND items being processed.
+// Pop() only reports exhaustion once pending == 0, so a momentarily empty set
+// of deques while a peer is still expanding a state (and about to push its
+// successors) never terminates the search early.
+
+#ifndef SRC_SUPPORT_WORK_STEAL_H_
+#define SRC_SUPPORT_WORK_STEAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace vrm {
+
+template <typename T>
+class WorkStealingQueues {
+ public:
+  explicit WorkStealingQueues(int num_workers) {
+    deques_.reserve(num_workers);
+    for (int i = 0; i < num_workers; ++i) {
+      deques_.push_back(std::make_unique<Deque>());
+    }
+  }
+
+  // Enqueues an item on `worker`'s own deque.
+  void Push(int worker, T item) {
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    Deque& d = *deques_[worker];
+    std::lock_guard<std::mutex> lock(d.mu);
+    d.items.push_back(std::move(item));
+  }
+
+  // Dequeues into *out: first from `worker`'s own back, then by stealing from
+  // the front of the other deques. Blocks (yielding) while the deques are empty
+  // but items are still being processed; returns false only once no items are
+  // queued or in flight anywhere.
+  bool Pop(int worker, T* out) {
+    const int n = static_cast<int>(deques_.size());
+    while (true) {
+      {
+        Deque& own = *deques_[worker];
+        std::lock_guard<std::mutex> lock(own.mu);
+        if (!own.items.empty()) {
+          *out = std::move(own.items.back());
+          own.items.pop_back();
+          return true;
+        }
+      }
+      for (int i = 1; i < n; ++i) {
+        Deque& victim = *deques_[(worker + i) % n];
+        std::lock_guard<std::mutex> lock(victim.mu);
+        if (!victim.items.empty()) {
+          *out = std::move(victim.items.front());
+          victim.items.pop_front();
+          return true;
+        }
+      }
+      if (pending_.load(std::memory_order_acquire) == 0) {
+        return false;
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  // Marks one previously popped item fully processed (its successors, if any,
+  // already pushed). Every successful Pop() must be balanced by one MarkDone().
+  void MarkDone() { pending_.fetch_sub(1, std::memory_order_release); }
+
+ private:
+  struct Deque {
+    std::mutex mu;
+    std::deque<T> items;
+  };
+
+  std::vector<std::unique_ptr<Deque>> deques_;
+  std::atomic<uint64_t> pending_{0};
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SUPPORT_WORK_STEAL_H_

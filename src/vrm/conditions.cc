@@ -33,6 +33,15 @@ bool WdrfReport::AllHold() const {
   return true;
 }
 
+bool WdrfReport::AllHoldExhaustively() const {
+  for (const ConditionVerdict& verdict : verdicts) {
+    if (verdict.checked && !verdict.HoldsExhaustively()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 const ConditionVerdict& WdrfReport::Verdict(WdrfCondition condition) const {
   for (const ConditionVerdict& verdict : verdicts) {
     if (verdict.condition == condition) {
@@ -50,8 +59,10 @@ std::string WdrfReport::ToString() const {
     out += ": ";
     if (!verdict.checked) {
       out += "not checked";
+    } else if (!verdict.holds) {
+      out += "VIOLATED";
     } else {
-      out += verdict.holds ? "HOLDS" : "VIOLATED";
+      out += verdict.bounded ? "HOLDS [bounded-pass]" : "HOLDS [exhaustive-pass]";
     }
     if (!verdict.detail.empty()) {
       out += " (" + verdict.detail + ")";
@@ -59,7 +70,7 @@ std::string WdrfReport::ToString() const {
     out += "\n";
   }
   if (truncated) {
-    out += "[exploration truncated: verdicts are bounded]\n";
+    out += "[exploration truncated: positive verdicts hold only up to the explored bound]\n";
   }
   return out;
 }
@@ -82,8 +93,9 @@ WdrfReport CheckWdrf(const KernelSpec& spec) {
 
   auto add = [&](WdrfCondition condition, bool checked, bool violated,
                  std::string detail) {
-    report.verdicts.push_back(
-        {condition, checked && !violated, checked, std::move(detail)});
+    report.verdicts.push_back({condition, checked && !violated, checked,
+                               /*bounded=*/checked && report.truncated,
+                               std::move(detail)});
   };
 
   add(WdrfCondition::kDrfKernel, config.pushpull, v.drf.set, v.drf.detail);

@@ -60,7 +60,15 @@ struct ConditionVerdict {
   WdrfCondition condition;
   bool holds = false;
   bool checked = false;  // false when the spec provides nothing to check
+  // True when the exploration backing this verdict hit a bound: a `holds`
+  // verdict is then a bounded-pass (no violation among the explored behaviours),
+  // not a definitive condition-pass. A violation found under a bound is still a
+  // definitive fail.
+  bool bounded = false;
   std::string detail;
+
+  // Definitive condition-pass: holds AND the exploration was exhaustive.
+  bool HoldsExhaustively() const { return checked && holds && !bounded; }
 };
 
 struct WdrfReport {
@@ -69,6 +77,8 @@ struct WdrfReport {
   bool truncated = false;
 
   bool AllHold() const;
+  // AllHold and no checked verdict is merely a bounded-pass.
+  bool AllHoldExhaustively() const;
   std::string ToString() const;
   const ConditionVerdict& Verdict(WdrfCondition condition) const;
 };

@@ -1,5 +1,6 @@
 #include "src/vrm/refinement.h"
 
+#include <future>
 #include <set>
 
 namespace vrm {
@@ -27,6 +28,11 @@ std::string ProjectKey(const Outcome& outcome) {
 
 std::string RefinementResult::Describe(const Program& program) const {
   std::string out = refines ? "RM ⊆ SC holds" : "RM ⊄ SC";
+  if (refines) {
+    out += truncated ? " [bounded-pass: exploration truncated, inclusion verified "
+                       "only over the explored behaviours]"
+                     : " [exhaustive-pass]";
+  }
   out += " (SC: " + std::to_string(sc.outcomes.size()) +
          " outcomes, RM: " + std::to_string(rm.outcomes.size()) + ")\n";
   for (const Outcome& outcome : rm_only) {
@@ -37,27 +43,33 @@ std::string RefinementResult::Describe(const Program& program) const {
 
 RefinementResult CheckRefinement(const LitmusTest& test) {
   RefinementResult result;
-  result.sc = RunSc(test);
+  // The two explorations share nothing, so overlap them; each one additionally
+  // parallelizes internally per test.config.num_threads.
+  std::future<ExploreResult> sc = std::async(std::launch::async, [&] { return RunSc(test); });
   result.rm = RunPromising(test);
+  result.sc = sc.get();
   result.rm_only = OutcomesBeyond(result.rm, result.sc);
   result.refines = result.rm_only.empty();
+  result.truncated = result.sc.stats.truncated || result.rm.stats.truncated;
   return result;
 }
 
 WeakIsolationResult CheckWeakIsolationRefinement(
     const LitmusTest& kernel_with_user,
     const std::vector<LitmusTest>& kernel_with_havoc) {
+  WeakIsolationResult result;
   std::set<std::string> sc_union;
   for (const LitmusTest& havoc : kernel_with_havoc) {
     ExploreResult sc = RunSc(havoc);
+    result.truncated = result.truncated || sc.stats.truncated;
     for (const auto& [key, outcome] : sc.outcomes) {
       (void)key;
       sc_union.insert(ProjectKey(outcome));
     }
   }
-  WeakIsolationResult result;
   result.covered = true;
   ExploreResult rm = RunPromising(kernel_with_user);
+  result.truncated = result.truncated || rm.stats.truncated;
   for (const auto& [key, outcome] : rm.outcomes) {
     (void)key;
     if (sc_union.count(ProjectKey(outcome)) == 0) {

@@ -2,8 +2,16 @@
 //
 // For a program claimed to satisfy the wDRF conditions, every observable
 // behaviour on the Promising-Arm model must already be observable on the SC
-// model. CheckRefinement explores both models exhaustively (bounded) and reports
-// inclusion plus any counterexample behaviours.
+// model. CheckRefinement explores both models (concurrently with each other,
+// each exhaustively up to the configured bounds) and reports inclusion plus any
+// counterexample behaviours.
+//
+// Verdict soundness under truncation: `refines` only quantifies over the
+// *explored* behaviours. When either exploration hit a bound (`truncated`), a
+// positive verdict is a bounded-pass — some behaviour beyond the bound could
+// still escape SC — so Definitive() and Describe() distinguish exhaustive-pass
+// from bounded-pass. A negative verdict needs no such qualifier: an RM-only
+// outcome found under any bound is a genuine counterexample.
 
 #ifndef SRC_VRM_REFINEMENT_H_
 #define SRC_VRM_REFINEMENT_H_
@@ -16,15 +24,22 @@
 namespace vrm {
 
 struct RefinementResult {
-  bool refines = false;  // RM outcome set ⊆ SC outcome set
+  bool refines = false;   // RM outcome set ⊆ SC outcome set (explored portion)
+  bool truncated = false;  // either exploration hit a bound
   std::vector<Outcome> rm_only;
   ExploreResult sc;
   ExploreResult rm;
 
+  // True only for an exhaustive-pass: inclusion held AND neither exploration
+  // was truncated. A bounded-pass (refines && truncated) is not definitive.
+  bool Definitive() const { return refines && !truncated; }
+
   std::string Describe(const Program& program) const;
 };
 
-// Theorem 2-style check: one program, both models, outcome-set inclusion.
+// Theorem 2-style check: one program, both models, outcome-set inclusion. The
+// SC and Promising explorations run concurrently with each other, and each
+// exploration itself uses test.config.num_threads workers.
 RefinementResult CheckRefinement(const LitmusTest& test);
 
 // Theorem 4-style check: the RM outcome set of `kernel_with_user` (a kernel
@@ -36,6 +51,7 @@ RefinementResult CheckRefinement(const LitmusTest& test);
 // compared.
 struct WeakIsolationResult {
   bool covered = false;
+  bool truncated = false;  // some exploration hit a bound: `covered` is bounded
   std::vector<std::string> uncovered;  // rendered RM-only projections
 };
 WeakIsolationResult CheckWeakIsolationRefinement(

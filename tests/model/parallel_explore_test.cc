@@ -1,0 +1,156 @@
+// Parallel-explorer determinism: the work-stealing engine must produce the same
+// outcome sets, violation flags, and (absent truncation) state/transition
+// counts as the sequential engine, at every worker count, on every workload —
+// the classics/paper suite and a seeded random-program corpus.
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/arch/builder.h"
+#include "src/litmus/batch.h"
+#include "src/model/explorer.h"
+#include "src/model/sc_machine.h"
+#include "src/support/rng.h"
+
+namespace vrm {
+namespace {
+
+std::vector<std::string> OutcomeKeys(const ExploreResult& result) {
+  std::vector<std::string> keys;
+  for (const auto& [key, outcome] : result.outcomes) {
+    (void)outcome;
+    keys.push_back(key);
+  }
+  return keys;  // std::map iteration is already key-sorted
+}
+
+std::tuple<bool, bool, bool, bool, bool> Flags(const ExploreResult& result) {
+  const ConditionViolations& v = result.violations;
+  return {v.drf.set, v.barrier.set, v.write_once.set, v.tlbi.set, v.isolation.set};
+}
+
+void ExpectSameBehaviour(const ExploreResult& sequential, const ExploreResult& parallel,
+                         const std::string& label) {
+  EXPECT_EQ(OutcomeKeys(sequential), OutcomeKeys(parallel)) << label;
+  EXPECT_EQ(Flags(sequential), Flags(parallel)) << label;
+  EXPECT_EQ(sequential.stats.truncated, parallel.stats.truncated) << label;
+  if (!sequential.stats.truncated) {
+    // Workers partition the unique states, so the summed counters must equal
+    // the sequential engine's exactly.
+    EXPECT_EQ(sequential.stats.states, parallel.stats.states) << label;
+    EXPECT_EQ(sequential.stats.transitions, parallel.stats.transitions) << label;
+  }
+}
+
+void ExpectDeterministicAcrossThreadCounts(const LitmusTest& test) {
+  LitmusTest sequential = test;
+  sequential.config.num_threads = 1;
+  const ExploreResult sc1 = RunSc(sequential);
+  const ExploreResult rm1 = RunPromising(sequential);
+  for (int threads : {2, 4, 8}) {
+    LitmusTest parallel = test;
+    parallel.config.num_threads = threads;
+    ExpectSameBehaviour(sc1, RunSc(parallel),
+                        test.program.name + " SC @" + std::to_string(threads));
+    ExpectSameBehaviour(rm1, RunPromising(parallel),
+                        test.program.name + " RM @" + std::to_string(threads));
+  }
+}
+
+TEST(ParallelExplore, DefaultSuiteDeterministicAcrossThreadCounts) {
+  for (const LitmusTest& test : DefaultLitmusSuite()) {
+    ExpectDeterministicAcrossThreadCounts(test);
+  }
+}
+
+// Straight-line random programs: two threads, each a seeded mix of plain /
+// acquire-release loads, stores, fetch-adds and barriers over two shared cells.
+// No branches, so every program terminates and explores exhaustively. Kept
+// small (2 threads x <= 4 instructions) so the Promising exploration of every
+// seed stays sub-second even on one core: the corpus buys shape diversity, the
+// classics/paper suite buys depth.
+Program RandomProgram(uint64_t seed) {
+  Rng rng(seed);
+  ProgramBuilder pb("rand_" + std::to_string(seed));
+  pb.MemSize(2);
+  const int num_threads = 2;
+  Reg next_obs_reg[3] = {0, 0, 0};
+  for (int t = 0; t < num_threads; ++t) {
+    auto& tb = pb.NewThread();
+    const int len = 3 + static_cast<int>(rng.Below(2));
+    for (int i = 0; i < len; ++i) {
+      const Addr loc = static_cast<Addr>(rng.Below(2));
+      const MemOrder order = rng.Chance(0.25)
+                                 ? (rng.Chance(0.5) ? MemOrder::kAcquire : MemOrder::kRelease)
+                                 : MemOrder::kPlain;
+      switch (rng.Below(4)) {
+        case 0:
+          tb.StoreImm(loc, 1 + rng.Below(3), /*scratch=*/kAddrReg - 1,
+                      order == MemOrder::kAcquire ? MemOrder::kPlain : order);
+          break;
+        case 1:
+          if (next_obs_reg[t] < 3) {
+            const Reg rd = next_obs_reg[t]++;
+            tb.LoadAddr(rd, loc, order == MemOrder::kRelease ? MemOrder::kPlain : order);
+            pb.ObserveReg(static_cast<ThreadId>(t), rd);
+          } else {
+            tb.LoadAddr(3, loc);
+          }
+          break;
+        case 2:
+          tb.FetchAddAddr(/*rd=*/4, loc, 1,
+                          rng.Chance(0.5) ? MemOrder::kAcqRel : MemOrder::kPlain);
+          break;
+        default:
+          tb.Dmb(rng.Chance(0.5) ? BarrierKind::kSy
+                                 : (rng.Chance(0.5) ? BarrierKind::kLd : BarrierKind::kSt));
+          break;
+      }
+    }
+  }
+  pb.ObserveLoc(0).ObserveLoc(1);
+  return pb.Build();
+}
+
+TEST(ParallelExplore, RandomCorpusDeterministicAcrossThreadCounts) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    LitmusTest test{RandomProgram(seed), {}, "random corpus"};
+    ExpectDeterministicAcrossThreadCounts(test);
+  }
+}
+
+TEST(ParallelExplore, TruncatedRunStillReportsTruncation) {
+  ProgramBuilder pb("cap_parallel");
+  pb.MemSize(3);
+  for (int i = 0; i < 3; ++i) {
+    auto& t = pb.NewThread();
+    t.StoreImm(static_cast<Addr>(i), 1, 1).StoreImm(static_cast<Addr>(i), 2, 1);
+  }
+  ModelConfig config;
+  config.max_states = 5;
+  config.num_threads = 4;
+  ScMachine machine(pb.Build(), config);
+  const ExploreResult result = Explore(machine, config);
+  EXPECT_TRUE(result.stats.truncated);
+}
+
+TEST(ParallelExplore, BatchRunnerMatchesIndividualRuns) {
+  std::vector<LitmusTest> suite = DefaultLitmusSuite();
+  suite.resize(10);  // the classics prefix is plenty for wiring coverage
+  const BatchResult batch = RunLitmusBatch(suite, 4);
+  ASSERT_EQ(batch.entries.size(), suite.size());
+  for (size_t i = 0; i < suite.size(); ++i) {
+    const ExploreResult sc = RunSc(suite[i]);
+    const ExploreResult rm = RunPromising(suite[i]);
+    ExpectSameBehaviour(sc, batch.entries[i].sc, suite[i].program.name + " batch SC");
+    ExpectSameBehaviour(rm, batch.entries[i].rm, suite[i].program.name + " batch RM");
+    EXPECT_EQ(batch.entries[i].rm_refines_sc, RmRefinesSc(rm, sc)) << suite[i].program.name;
+  }
+  EXPECT_NE(batch.Summary().find("10 tests"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vrm

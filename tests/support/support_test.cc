@@ -2,13 +2,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
+#include <vector>
 
 #include "src/mmu/tlb.h"
 #include "src/support/hash.h"
 #include "src/support/rng.h"
+#include "src/support/sharded_set.h"
 #include "src/support/stats.h"
 #include "src/support/table.h"
+#include "src/support/thread_pool.h"
+#include "src/support/work_steal.h"
 
 namespace vrm {
 namespace {
@@ -68,6 +73,106 @@ TEST(Hash, SerializerProducesCanonicalBytes) {
   b.U64(3);
   EXPECT_EQ(a.bytes(), b.bytes());
   EXPECT_EQ(a.bytes().size(), 1u + 4u + 8u);
+}
+
+TEST(Hash, Mix64HashSeparatesInputsAndDiffersFromFnv) {
+  std::set<uint64_t> hashes;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    hashes.insert(Mix64Hash(&i, sizeof(i)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+  // Length participates even when the extra bytes are zero.
+  const char zeros[2] = {0, 0};
+  EXPECT_NE(Mix64Hash(zeros, 0), Mix64Hash(zeros, 1));
+  EXPECT_NE(Mix64Hash(zeros, 1), Mix64Hash(zeros, 2));
+}
+
+// The two digest halves come from structurally different hash functions, so a
+// single-bit input flip must not flip correlated bit sets. Re-running FNV-1a
+// with a second seed (the old scheme) fails this: the XOR of the two halves was
+// input-independent up to the seed difference's multiplicative diffusion, so the
+// halves' deltas coincided for huge input classes.
+TEST(Hash, DigestHalvesAvalancheIndependently) {
+  std::set<uint64_t> delta_xor;
+  for (uint64_t i = 0; i < 256; ++i) {
+    uint64_t a = 2 * i;      // even, so every (a, b) pair below is distinct
+    uint64_t b = 2 * i ^ 1;  // single-bit flip
+    const uint64_t d_first = Fnv1a64(&a, sizeof(a)) ^ Fnv1a64(&b, sizeof(b));
+    const uint64_t d_second = Mix64Hash(&a, sizeof(a)) ^ Mix64Hash(&b, sizeof(b));
+    delta_xor.insert(d_first ^ d_second);
+  }
+  // If the halves were correlated, the deltas would agree (or cluster) across
+  // inputs; independent hashes give essentially all-distinct combined deltas.
+  EXPECT_GE(delta_xor.size(), 255u);
+}
+
+TEST(ThreadPool, EffectiveThreadsResolvesZeroAndClamps) {
+  EXPECT_GE(EffectiveThreads(0), 1);
+  EXPECT_EQ(EffectiveThreads(1), 1);
+  EXPECT_EQ(EffectiveThreads(6), 6);
+  EXPECT_EQ(EffectiveThreads(-3), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    ParallelFor(threads, hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(ThreadPool, RunWorkersRunsEveryWorkerId) {
+  std::vector<std::atomic<int>> ran(5);
+  RunWorkers(5, [&](int w) { ran[w].fetch_add(1); });
+  for (int w = 0; w < 5; ++w) {
+    EXPECT_EQ(ran[w].load(), 1);
+  }
+}
+
+TEST(ShardedSet, InsertDedupsAcrossShardsAndThreads) {
+  ShardedDigestSet set(8);
+  std::atomic<uint64_t> fresh{0};
+  // Every worker inserts the same 500 digests; each must be fresh exactly once.
+  RunWorkers(4, [&](int) {
+    for (uint64_t i = 0; i < 500; ++i) {
+      const Digest128 d{Mix64(i), Mix64(i + 1000)};
+      if (set.Insert(d)) {
+        fresh.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(fresh.load(), 500u);
+  EXPECT_EQ(set.Size(), 500u);
+}
+
+TEST(WorkSteal, DrainsEverythingAcrossWorkersOnce) {
+  constexpr int kWorkers = 4;
+  constexpr int kSeeds = 64;
+  constexpr int kChildrenPerSeed = 10;
+  WorkStealingQueues<int> queues(kWorkers);
+  for (int i = 0; i < kSeeds; ++i) {
+    queues.Push(i % kWorkers, i);
+  }
+  // Each seed item spawns children (ids >= kSeeds) to exercise in-flight
+  // accounting: the frontier may look empty while a worker is mid-expansion.
+  std::vector<std::atomic<int>> popped(kSeeds * (1 + kChildrenPerSeed));
+  RunWorkers(kWorkers, [&](int w) {
+    int item;
+    while (queues.Pop(w, &item)) {
+      popped[item].fetch_add(1);
+      if (item < kSeeds) {
+        for (int c = 0; c < kChildrenPerSeed; ++c) {
+          queues.Push(w, kSeeds + item * kChildrenPerSeed + c);
+        }
+      }
+      queues.MarkDone();
+    }
+  });
+  for (size_t i = 0; i < popped.size(); ++i) {
+    EXPECT_EQ(popped[i].load(), 1) << "item " << i;
+  }
 }
 
 TEST(Table, RenderAlignsAndCsvEscapes) {
