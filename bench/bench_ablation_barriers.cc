@@ -8,7 +8,9 @@
 // design point).
 
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "src/litmus/classics.h"
 #include "src/litmus/paper_examples.h"
 #include "src/perf/micro_sim.h"
@@ -18,13 +20,18 @@
 namespace vrm {
 namespace {
 
-void Row(TextTable* table, const char* variant, const LitmusTest& test,
-         const OutcomePredicate& relaxed) {
+void Row(TextTable* table, const char* group, const char* variant,
+         const LitmusTest& test, const OutcomePredicate& relaxed) {
   const RefinementResult result = CheckRefinement(test);
   table->AddRow({variant, std::to_string(result.sc.outcomes.size()),
                  std::to_string(result.rm.outcomes.size()),
                  AnyOutcome(result.rm, relaxed) ? "yes" : "no",
                  result.refines ? "yes" : "no"});
+  const std::string bench = std::string("ablation/") + group + "/" + variant;
+  EmitBenchJson(bench, "sc_outcomes", static_cast<double>(result.sc.outcomes.size()));
+  EmitBenchJson(bench, "rm_outcomes", static_cast<double>(result.rm.outcomes.size()));
+  EmitBenchJson(bench, "relaxed_observed", AnyOutcome(result.rm, relaxed) ? 1 : 0);
+  EmitBenchJson(bench, "refines_sc", result.refines ? 1 : 0);
 }
 
 int Main() {
@@ -34,16 +41,16 @@ int Main() {
     TextTable table({"gen_vmid lock variant", "SC outcomes", "RM outcomes",
                      "duplicate vmid?", "RM ⊆ SC"});
     const auto duplicate = [](const Outcome& o) { return o.regs[0] == o.regs[1]; };
-    Row(&table, "plain loads/stores", Example2VmBooting(false), duplicate);
-    Row(&table, "ldar/stlr (Figure 7)", Example2VmBooting(true), duplicate);
+    Row(&table, "example2_vmid", "plain loads/stores", Example2VmBooting(false), duplicate);
+    Row(&table, "example2_vmid", "ldar/stlr (Figure 7)", Example2VmBooting(true), duplicate);
     std::printf("--- Example 2: VM booting ---\n%s\n", table.Render().c_str());
   }
   {
     TextTable table({"vCPU state variant", "SC outcomes", "RM outcomes",
                      "stale context?", "RM ⊆ SC"});
     const auto stale = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 0; };
-    Row(&table, "plain", Example3VmContextSwitch(false), stale);
-    Row(&table, "stlr INACTIVE / ldar check", Example3VmContextSwitch(true), stale);
+    Row(&table, "example3_ctxsw", "plain", Example3VmContextSwitch(false), stale);
+    Row(&table, "example3_ctxsw", "stlr INACTIVE / ldar check", Example3VmContextSwitch(true), stale);
     std::printf("--- Example 3: context switch ---\n%s\n", table.Render().c_str());
   }
   {
@@ -60,20 +67,20 @@ int Main() {
       }
       return false;
     };
-    Row(&table, "str; tlbi", Example6TlbInvalidation(false), stale_tlb);
-    Row(&table, "str; dsb; tlbi; dsb", Example6TlbInvalidation(true), stale_tlb);
+    Row(&table, "example6_tlbi", "str; tlbi", Example6TlbInvalidation(false), stale_tlb);
+    Row(&table, "example6_tlbi", "str; dsb; tlbi; dsb", Example6TlbInvalidation(true), stale_tlb);
     std::printf("--- Example 6: TLB invalidation ---\n%s\n", table.Render().c_str());
   }
   {
     TextTable table({"MP variant", "SC outcomes", "RM outcomes", "r0=1,r1=0?",
                      "RM ⊆ SC"});
     const auto relaxed = [](const Outcome& o) { return o.regs[0] == 1 && o.regs[1] == 0; };
-    Row(&table, "plain+plain", ClassicMp(Strength::kPlain, Strength::kPlain), relaxed);
-    Row(&table, "dmb+plain", ClassicMp(Strength::kDmb, Strength::kPlain), relaxed);
-    Row(&table, "plain+addr", ClassicMp(Strength::kPlain, Strength::kAddrDep), relaxed);
-    Row(&table, "dmb+addr", ClassicMp(Strength::kDmb, Strength::kAddrDep), relaxed);
-    Row(&table, "dmb+dmb.ld", ClassicMp(Strength::kDmb, Strength::kDmbLd), relaxed);
-    Row(&table, "rel+acq", ClassicMp(Strength::kAcqRel, Strength::kAcqRel), relaxed);
+    Row(&table, "mp", "plain+plain", ClassicMp(Strength::kPlain, Strength::kPlain), relaxed);
+    Row(&table, "mp", "dmb+plain", ClassicMp(Strength::kDmb, Strength::kPlain), relaxed);
+    Row(&table, "mp", "plain+addr", ClassicMp(Strength::kPlain, Strength::kAddrDep), relaxed);
+    Row(&table, "mp", "dmb+addr", ClassicMp(Strength::kDmb, Strength::kAddrDep), relaxed);
+    Row(&table, "mp", "dmb+dmb.ld", ClassicMp(Strength::kDmb, Strength::kDmbLd), relaxed);
+    Row(&table, "mp", "rel+acq", ClassicMp(Strength::kAcqRel, Strength::kAcqRel), relaxed);
     std::printf("--- Message passing: one barrier is not enough ---\n%s\n",
                 table.Render().c_str());
   }
@@ -97,6 +104,10 @@ int Main() {
                                                      static_cast<double>(l4.cycles)),
                                   1) +
                          "%"});
+      const std::string bench =
+          std::string("ablation/s2_levels/") + platform.name + "/" + ToString(micro);
+      EmitBenchJson(bench, "sekvm_4level_cycles", static_cast<double>(l4.cycles));
+      EmitBenchJson(bench, "sekvm_3level_cycles", static_cast<double>(l3.cycles));
     }
   }
   std::printf("%s\n", levels.Render().c_str());

@@ -1,0 +1,207 @@
+// The digest-pipeline benchmark: serialize-then-hash (the historical explorer)
+// vs zero-allocation streaming digests (src/model/explorer.h today).
+//
+// LegacyExplore below is a faithful in-binary replica of the pre-streaming
+// sequential explorer: every dedup key is computed by materializing the full
+// canonical serialization as a std::string and hashing it
+// (StateDigest(machine.Serialize(state))), and every expansion allocates a
+// fresh successor vector instead of reusing the slot pool. The streaming
+// engine is the real ExploreSequential. Both are run on the same workloads and
+// the speedup benchmarks time the two engines back to back on separate machine
+// instances (the Promising machine memoizes certification searches, so sharing
+// an instance would hand the second engine warm caches).
+//
+// Outcome-set equality between the engines is asserted on every iteration —
+// a faster explorer that changed verdicts would be worthless.
+//
+// `states_per_sec` counters are the EXPERIMENTS.md acceptance metric: the
+// streaming engine must clear 1.5x legacy states/sec on at least one litmus
+// workload.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_json_gbench.h"
+#include "src/litmus/classics.h"
+#include "src/litmus/paper_examples.h"
+#include "src/model/explorer.h"
+#include "src/model/promising_machine.h"
+#include "src/model/sc_machine.h"
+
+namespace vrm {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// The pre-streaming sequential explorer, reproduced byte for byte where it
+// matters: string-materializing digests and a fresh successor vector per
+// expansion. (The machines' internal scratch reuse is shared with the modern
+// engine — it cannot be switched off — so the measured difference isolates the
+// digest pipeline and the explorer-side allocation behaviour.)
+template <typename Machine>
+ExploreResult LegacyExplore(const Machine& machine, const ModelConfig& config) {
+  ExploreResult result;
+  std::unordered_set<Digest128, DigestHash> seen;
+  std::vector<typename Machine::State> stack;
+
+  stack.push_back(machine.Initial());
+  seen.insert(StateDigest(machine.Serialize(stack.back())));
+
+  while (!stack.empty()) {
+    if (seen.size() >= config.max_states) {
+      result.stats.truncated = true;
+      break;
+    }
+    typename Machine::State state = std::move(stack.back());
+    stack.pop_back();
+    ++result.stats.states;
+
+    if (machine.IsTerminal(state)) {
+      machine.AuditTerminal(state, &result);
+      Outcome outcome = machine.Extract(state);
+      result.outcomes.emplace(outcome.Key(), std::move(outcome));
+      continue;
+    }
+
+    std::vector<typename Machine::State> next;  // fresh allocation, the old way
+    const size_t count = machine.Successors(state, &next, &result);
+    result.stats.transitions += count;
+    for (size_t i = 0; i < count; ++i) {
+      const std::string bytes = machine.Serialize(next[i]);
+      result.stats.digest_bytes += bytes.size();
+      if (seen.insert(StateDigest(bytes)).second) {
+        stack.push_back(std::move(next[i]));
+      }
+    }
+  }
+  return result;
+}
+
+template <typename Machine>
+void EnginePass(benchmark::State& state, const LitmusTest& test, bool streaming) {
+  uint64_t states = 0;
+  for (auto _ : state) {
+    Machine machine(test.program, test.config);
+    const ExploreResult result = streaming ? ExploreSequential(machine, test.config)
+                                           : LegacyExplore(machine, test.config);
+    states = result.stats.states;
+    benchmark::DoNotOptimize(result.outcomes.size());
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// Times legacy and streaming back to back each iteration and reports the
+// states/sec ratio directly, so the acceptance number comes from one process
+// under identical conditions.
+template <typename Machine>
+void SpeedupPass(benchmark::State& state, const LitmusTest& test) {
+  double legacy_seconds = 0.0;
+  double streaming_seconds = 0.0;
+  for (auto _ : state) {
+    Machine legacy_machine(test.program, test.config);
+    const auto legacy_start = Clock::now();
+    const ExploreResult legacy = LegacyExplore(legacy_machine, test.config);
+    legacy_seconds += SecondsSince(legacy_start);
+
+    Machine streaming_machine(test.program, test.config);
+    const auto streaming_start = Clock::now();
+    const ExploreResult fast = ExploreSequential(streaming_machine, test.config);
+    streaming_seconds += SecondsSince(streaming_start);
+
+    if (legacy.outcomes.size() != fast.outcomes.size() ||
+        legacy.stats.states != fast.stats.states) {
+      state.SkipWithError("streaming explorer diverged from legacy explorer");
+      break;
+    }
+    benchmark::DoNotOptimize(fast.outcomes.size());
+  }
+  if (streaming_seconds > 0.0) {
+    state.counters["speedup"] = legacy_seconds / streaming_seconds;
+  }
+}
+
+void BM_DigestPipeline_ScMp(benchmark::State& state) {
+  EnginePass<ScMachine>(state, ClassicMp(Strength::kPlain, Strength::kPlain),
+                        state.range(0) == 1);
+}
+BENCHMARK(BM_DigestPipeline_ScMp)->Arg(0)->Arg(1)->ArgName("streaming");
+
+void BM_DigestPipeline_ScIriw(benchmark::State& state) {
+  EnginePass<ScMachine>(state, ClassicIriw(Strength::kPlain), state.range(0) == 1);
+}
+BENCHMARK(BM_DigestPipeline_ScIriw)->Arg(0)->Arg(1)->ArgName("streaming");
+
+void BM_DigestPipeline_PromisingMp(benchmark::State& state) {
+  EnginePass<PromisingMachine>(state, ClassicMp(Strength::kPlain, Strength::kPlain),
+                               state.range(0) == 1);
+}
+BENCHMARK(BM_DigestPipeline_PromisingMp)->Arg(0)->Arg(1)->ArgName("streaming");
+
+void BM_DigestPipeline_PromisingExample1(benchmark::State& state) {
+  EnginePass<PromisingMachine>(state, Example1OutOfOrderWrite(false),
+                               state.range(0) == 1);
+}
+BENCHMARK(BM_DigestPipeline_PromisingExample1)
+    ->Arg(0)->Arg(1)->ArgName("streaming")->Unit(benchmark::kMillisecond);
+
+void BM_DigestPipeline_PromisingTicketLock(benchmark::State& state) {
+  // The gen_vmid ticket lock — the heaviest routinely-explored workload, and
+  // the one EXPERIMENTS.md tracks for the before/after states/sec comparison
+  // against the pre-streaming bench_model_explore numbers.
+  EnginePass<PromisingMachine>(state, Example2VmBooting(true), state.range(0) == 1);
+}
+BENCHMARK(BM_DigestPipeline_PromisingTicketLock)
+    ->Arg(0)->Arg(1)->ArgName("streaming")->Unit(benchmark::kMillisecond);
+
+// Parallel engine throughput on the streaming path (the legacy explorer was
+// sequential-only, so there is no legacy arm here). On a 1-CPU host the
+// workers timeshare; the interesting numbers come from multicore hosts.
+void BM_DigestPipeline_ParallelTicketLock(benchmark::State& state) {
+  LitmusTest test = Example2VmBooting(true);
+  test.config.num_threads = static_cast<int>(state.range(0));
+  uint64_t states = 0;
+  for (auto _ : state) {
+    PromisingMachine machine(test.program, test.config);
+    const ExploreResult result = Explore(machine, test.config);
+    states = result.stats.states;
+    benchmark::DoNotOptimize(result.outcomes.size());
+  }
+  state.counters["threads"] = static_cast<double>(state.range(0));
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["states_per_sec"] = benchmark::Counter(
+      static_cast<double>(states), benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_DigestPipeline_ParallelTicketLock)
+    ->Arg(1)->Arg(2)->Arg(4)
+    ->ArgName("threads")
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_DigestSpeedup_ScMp(benchmark::State& state) {
+  SpeedupPass<ScMachine>(state, ClassicMp(Strength::kPlain, Strength::kPlain));
+}
+BENCHMARK(BM_DigestSpeedup_ScMp);
+
+void BM_DigestSpeedup_ScIriw(benchmark::State& state) {
+  SpeedupPass<ScMachine>(state, ClassicIriw(Strength::kPlain));
+}
+BENCHMARK(BM_DigestSpeedup_ScIriw);
+
+void BM_DigestSpeedup_PromisingExample1(benchmark::State& state) {
+  SpeedupPass<PromisingMachine>(state, Example1OutOfOrderWrite(false));
+}
+BENCHMARK(BM_DigestSpeedup_PromisingExample1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vrm
+
+int main(int argc, char** argv) { return vrm::RunBenchmarksWithJson(argc, argv); }

@@ -3,7 +3,9 @@
 // and SeKVM in Linux 4.18 and 5.4 on both platforms).
 
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "src/perf/app_sim.h"
 #include "src/support/table.h"
 
@@ -39,6 +41,12 @@ int Main() {
       fig.AddRow({workload.name, FormatDouble(kvm418, 3), FormatDouble(sek418, 3),
                   FormatDouble(kvm54, 3), FormatDouble(sek54, 3),
                   FormatDouble(sek418 / kvm418, 3)});
+      const std::string bench =
+          std::string("fig8/") + platform.name + "/" + workload.name;
+      EmitBenchJson(bench, "kvm_418_normalized", kvm418);
+      EmitBenchJson(bench, "sekvm_418_normalized", sek418);
+      EmitBenchJson(bench, "kvm_54_normalized", kvm54);
+      EmitBenchJson(bench, "sekvm_54_normalized", sek54);
     }
     std::printf("--- %s ---\n%s\n", platform.name.c_str(), fig.Render().c_str());
     std::printf("CSV (%s):\n%s\n", platform.name.c_str(), fig.RenderCsv().c_str());

@@ -3,7 +3,9 @@
 // of one instance. Uses the discrete-event scheduler simulation.
 
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "src/perf/multivm_sim.h"
 #include "src/support/table.h"
 
@@ -29,6 +31,10 @@ int Main() {
                   FormatDouble(sekvm.lock_utilization, 3),
                   FormatDouble(sekvm.backend_utilization, 3),
                   FormatDouble(sekvm.latency_p99 * 1000, 2)});
+      const std::string bench = std::string("fig9/") + workload.name +
+                                "/vms=" + std::to_string(n);
+      EmitBenchJson(bench, "kvm_normalized", kvm.normalized);
+      EmitBenchJson(bench, "sekvm_normalized", sekvm.normalized);
     }
     std::printf("--- %s ---\n%s\n", workload.name.c_str(), fig.Render().c_str());
   }

@@ -1,0 +1,49 @@
+// Machine-readable benchmark output.
+//
+// Every bench binary prints its human-oriented tables/console output as before
+// AND one JSON object per result line on stdout, in the fixed shape
+//
+//   {"bench": "<binary or benchmark name>", "metric": "<what>", "value": <num>}
+//
+// so CI and the EXPERIMENTS.md tooling can scrape numbers without parsing
+// tables: `grep '^{"bench"' out.txt | jq ...`. Snapshots of these lines are
+// checked in as BENCH_*.json at the repository root.
+//
+// This header is dependency-free (plain printf) so the table-regeneration
+// binaries can use it without linking google-benchmark; gbench-based binaries
+// use the reporter in bench/bench_json_gbench.h, which emits the same shape.
+
+#ifndef BENCH_BENCH_JSON_H_
+#define BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <string>
+
+namespace vrm {
+
+// Escapes the two characters that could break the fixed-shape JSON line.
+// Bench and metric names are ASCII identifiers/paths in practice, so this is
+// deliberately minimal rather than a full JSON string encoder.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+// Prints one machine-readable result line. `value` is rendered with %.17g so
+// integers survive round-trips exactly and doubles keep full precision.
+inline void EmitBenchJson(const std::string& bench, const std::string& metric,
+                          double value) {
+  std::printf("{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.17g}\n",
+              JsonEscape(bench).c_str(), JsonEscape(metric).c_str(), value);
+}
+
+}  // namespace vrm
+
+#endif  // BENCH_BENCH_JSON_H_

@@ -1,0 +1,62 @@
+// JSON-line emission for google-benchmark binaries (see bench/bench_json.h for
+// the line shape and rationale).
+//
+// JsonLineReporter wraps the standard console reporter: the human-readable
+// table is printed unchanged, and after each run it appends one JSON line for
+// the per-iteration real time (in nanoseconds, regardless of the benchmark's
+// display unit) plus one line per user counter. gbench binaries replace
+// BENCHMARK_MAIN() with:
+//
+//   int main(int argc, char** argv) { return vrm::RunBenchmarksWithJson(argc, argv); }
+
+#ifndef BENCH_BENCH_JSON_GBENCH_H_
+#define BENCH_BENCH_JSON_GBENCH_H_
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench/bench_json.h"
+
+namespace vrm {
+
+class JsonLineReporter : public benchmark::ConsoleReporter {
+ public:
+  // Tabular but uncolored: the console reporter emits its ANSI reset code
+  // after the row's newline, which would glue an escape sequence onto the
+  // front of the first JSON line and break `grep '^{"bench"'`.
+  JsonLineReporter() : benchmark::ConsoleReporter(OO_Tabular) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.error_occurred) {
+        continue;
+      }
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      EmitBenchJson(run.benchmark_name(), "real_time_ns",
+                    run.real_accumulated_time / iters * 1e9);
+      for (const auto& [name, counter] : run.counters) {
+        EmitBenchJson(run.benchmark_name(), name, counter.value);
+      }
+    }
+  }
+};
+
+// Drop-in replacement for BENCHMARK_MAIN()'s body that routes results through
+// JsonLineReporter. Keeps all standard --benchmark_* flags working.
+inline int RunBenchmarksWithJson(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  JsonLineReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace vrm
+
+#endif  // BENCH_BENCH_JSON_GBENCH_H_

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_json_gbench.h"
 #include "src/litmus/classics.h"
 #include "src/litmus/paper_examples.h"
 #include "src/model/explorer.h"
@@ -112,4 +113,4 @@ BENCHMARK(BM_ScConstruction_LockedCounter)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace vrm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return vrm::RunBenchmarksWithJson(argc, argv); }

@@ -14,6 +14,7 @@
 #include <chrono>
 #include <string>
 
+#include "bench/bench_json_gbench.h"
 #include "src/litmus/batch.h"
 #include "src/litmus/classics.h"
 #include "src/litmus/paper_examples.h"
@@ -151,4 +152,4 @@ BENCHMARK(BM_ParallelBatch_DefaultSuite)
 }  // namespace
 }  // namespace vrm
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return vrm::RunBenchmarksWithJson(argc, argv); }

@@ -7,7 +7,9 @@
 // alongside for the shape check.
 
 #include <cstdio>
+#include <string>
 
+#include "bench/bench_json.h"
 #include "src/perf/micro_sim.h"
 #include "src/support/table.h"
 
@@ -51,6 +53,11 @@ int Main() {
                    FormatWithCommas(static_cast<int64_t>(m_sek.cycles)),
                    FormatWithCommas(static_cast<int64_t>(s_kvm.cycles)),
                    FormatWithCommas(static_cast<int64_t>(s_sek.cycles))});
+    const std::string bench = std::string("table3/") + ToString(row.micro);
+    EmitBenchJson(bench, "m400_kvm_cycles", static_cast<double>(m_kvm.cycles));
+    EmitBenchJson(bench, "m400_sekvm_cycles", static_cast<double>(m_sek.cycles));
+    EmitBenchJson(bench, "seattle_kvm_cycles", static_cast<double>(s_kvm.cycles));
+    EmitBenchJson(bench, "seattle_sekvm_cycles", static_cast<double>(s_sek.cycles));
     reference.AddRow({ToString(row.micro),
                       FormatWithCommas(static_cast<int64_t>(row.m400_kvm)),
                       FormatWithCommas(static_cast<int64_t>(row.m400_sekvm)),

@@ -51,13 +51,19 @@ class Tlb {
 
   const std::vector<std::pair<VirtAddr, Word>>& entries() const { return entries_; }
 
-  void SerializeInto(StateSerializer* s) const {
+  // Sink is StateSerializer (exact bytes) or DigestSink (streaming digest);
+  // both see the identical canonical byte sequence.
+  template <typename Sink>
+  void SerializeInto(Sink* s) const {
     s->U32(static_cast<uint32_t>(entries_.size()));
     for (const auto& [vpage, entry] : entries_) {
       s->U32(vpage);
       s->U64(entry);
     }
   }
+
+  // Serialized length in bytes, for reserve()d serialization.
+  size_t SerializedSize() const { return 4 + entries_.size() * 12; }
 
  private:
   // Sorted by vpage so serialization is canonical.

@@ -1,20 +1,37 @@
 // Generic exhaustive state-space explorer, sequential and parallel.
 //
-// Both machines expose the same interface:
-//   using State = ...;                       // copyable
+// All machines expose the same interface:
+//   using State = ...;                       // copyable, default-constructible
 //   State Initial() const;
 //   bool IsTerminal(const State&) const;     // all threads halted
 //   Outcome Extract(const State&) const;
-//   void Successors(const State&, std::vector<State>* out,
-//                   ExploreResult* agg) const;  // may note violations / truncation
-//   std::string Serialize(const State&) const; // canonical dedup key
+//   size_t Successors(const State&, std::vector<State>* out,
+//                     ExploreResult* agg) const;
+//       // Writes successors into out->[0, n) and returns n, treating `out` as
+//       // a reusable slot pool: existing elements are overwritten by
+//       // copy-assignment (reusing their heap buffers) before the vector is
+//       // grown. The explorer never clears `out` between expansions, so a
+//       // successor that gets rejected by deduplication donates its buffers
+//       // to the next expansion — expanding a state performs no transient
+//       // heap allocations beyond genuinely new frontier states.
+//   template <typename Sink>
+//   void SerializeInto(const State&, Sink*) const;  // canonical byte stream
+//   std::string Serialize(const State&) const;      // the same bytes, materialized
+//
+// SerializeInto() feeds the canonical state serialization to either a
+// StateSerializer (exact bytes, kept for debugging and exact-key verification)
+// or a DigestSink (streaming digest, the hot path) from one code path, so the
+// two can never drift.
 //
 // The explorer runs a worklist search with deduplication keyed by a 128-bit
 // digest of the canonical state serialization: one FNV-1a pass and one
 // Mix64Hash pass (xxhash-style lanes + SplitMix64 finalizer) — two structurally
 // independent hash functions, so the halves avalanche independently. At
 // litmus-scale state counts (<= 10^7) the collision probability of the pair is
-// below 10^-24, while keeping the visited-set memory bounded.
+// below 10^-24, while keeping the visited-set memory bounded. The digest is
+// computed by streaming the serialization through a DigestSink — no
+// intermediate byte string is allocated (StateDigest over Serialize() bytes
+// yields bit-identical digests; tests pin the equivalence).
 //
 // ModelConfig::num_threads selects the engine. 1 (the default) is the
 // sequential worklist, kept bit-identical to the historical explorer. 0 or
@@ -27,6 +44,11 @@
 // sequential engine; only ConditionViolations detail strings (first observation
 // wins) and the identity of the states dropped by truncation are
 // schedule-dependent.
+//
+// max_states is an inclusive upper bound on the visited-set size at which
+// expansion stops: the check is `seen >= max_states`, so no more than
+// max_states states are ever expanded (tests/model/explorer_test.cc pins the
+// boundary).
 
 #ifndef SRC_MODEL_EXPLORER_H_
 #define SRC_MODEL_EXPLORER_H_
@@ -46,8 +68,22 @@
 namespace vrm {
 
 // 128-bit digest of a canonical state serialization, packed into a uint64 pair.
+// Kept for exact-key verification and tests; the explorers stream instead.
 inline Digest128 StateDigest(const std::string& bytes) {
   return {Fnv1a64(bytes.data(), bytes.size()), Mix64Hash(bytes.data(), bytes.size())};
+}
+
+// Streams `state`'s canonical serialization through `sink` and returns the
+// 128-bit digest — bit-identical to StateDigest(machine.Serialize(state)),
+// without allocating the byte string. The sink is Reset() first, so one sink
+// instance serves an entire exploration.
+template <typename Machine>
+Digest128 StreamingStateDigest(const Machine& machine,
+                               const typename Machine::State& state,
+                               DigestSink* sink) {
+  sink->Reset();
+  machine.SerializeInto(state, sink);
+  return sink->Finish();
 }
 
 template <typename Machine>
@@ -55,22 +91,31 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
   ExploreResult result;
   std::unordered_set<Digest128, DigestHash> seen;
   std::vector<typename Machine::State> stack;
+  DigestSink sink;
 
-  auto visit = [&](typename Machine::State&& state) {
-    if (seen.insert(StateDigest(machine.Serialize(state))).second) {
-      stack.push_back(std::move(state));
-    }
+  auto digest = [&](const typename Machine::State& state) {
+    const Digest128 d = StreamingStateDigest(machine, state, &sink);
+    result.stats.digest_bytes += sink.bytes();
+    return d;
   };
 
-  visit(machine.Initial());
+  {
+    typename Machine::State initial = machine.Initial();
+    seen.insert(digest(initial));
+    stack.push_back(std::move(initial));
+    result.stats.peak_frontier = 1;
+  }
 
+  // Reusable per-exploration scratch: `next` is the machines' successor slot
+  // pool, `state` the expansion slot (move-assigned from the stack).
   std::vector<typename Machine::State> next;
+  typename Machine::State state;
   while (!stack.empty()) {
-    if (seen.size() > config.max_states) {
+    if (seen.size() >= config.max_states) {
       result.stats.truncated = true;
       break;
     }
-    typename Machine::State state = std::move(stack.back());
+    state = std::move(stack.back());
     stack.pop_back();
     ++result.stats.states;
 
@@ -81,11 +126,20 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
       continue;
     }
 
-    next.clear();
-    machine.Successors(state, &next, &result);
-    result.stats.transitions += next.size();
-    for (auto& successor : next) {
-      visit(std::move(successor));
+    const size_t cap_before = next.capacity();
+    const size_t count = machine.Successors(state, &next, &result);
+    ++(next.capacity() == cap_before ? result.stats.succ_reused
+                                     : result.stats.succ_grown);
+    result.stats.transitions += count;
+    for (size_t i = 0; i < count; ++i) {
+      if (seen.insert(digest(next[i])).second) {
+        // Genuinely new frontier state: steal its buffers. Duplicates stay in
+        // the pool, so their allocations feed the next expansion.
+        stack.push_back(std::move(next[i]));
+      }
+    }
+    if (stack.size() > result.stats.peak_frontier) {
+      result.stats.peak_frontier = stack.size();
     }
   }
   return result;
@@ -110,18 +164,22 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
   WorkStealingQueues<typename Machine::State> frontier(num_threads);
 
   {
+    DigestSink sink;
     typename Machine::State initial = machine.Initial();
-    seen.Insert(StateDigest(machine.Serialize(initial)));
+    seen.Insert(StreamingStateDigest(machine, initial, &sink));
+    partial[0].stats.digest_bytes += sink.bytes();
+    partial[0].stats.peak_frontier = 1;
     frontier.Push(0, std::move(initial));
   }
 
   RunWorkers(num_threads, [&](int w) {
     const Machine& m = machines[w];
     ExploreResult& result = partial[w];
+    DigestSink sink;
     std::vector<typename Machine::State> next;
     typename Machine::State state;
     while (frontier.Pop(w, &state)) {
-      if (seen.Size() > config.max_states) {
+      if (seen.Size() >= config.max_states) {
         // Past the cap: drain the frontier without expanding so the search
         // quiesces, exactly as the sequential engine abandons its stack.
         result.stats.truncated = true;
@@ -138,13 +196,24 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
         continue;
       }
 
-      next.clear();
-      m.Successors(state, &next, &result);
-      result.stats.transitions += next.size();
-      for (auto& successor : next) {
-        if (seen.Insert(StateDigest(m.Serialize(successor)))) {
-          frontier.Push(w, std::move(successor));
+      const size_t cap_before = next.capacity();
+      const size_t count = m.Successors(state, &next, &result);
+      ++(next.capacity() == cap_before ? result.stats.succ_reused
+                                       : result.stats.succ_grown);
+      result.stats.transitions += count;
+      for (size_t i = 0; i < count; ++i) {
+        sink.Reset();
+        m.SerializeInto(next[i], &sink);
+        result.stats.digest_bytes += sink.bytes();
+        if (seen.Insert(sink.Finish())) {
+          frontier.Push(w, std::move(next[i]));
         }
+      }
+      // Queued + in-flight items approximate the global frontier; Absorb()
+      // takes the max across workers.
+      const uint64_t pending = frontier.ApproxPending();
+      if (pending > result.stats.peak_frontier) {
+        result.stats.peak_frontier = pending;
       }
       frontier.MarkDone();
     }

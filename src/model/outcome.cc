@@ -89,7 +89,28 @@ void ExploreResult::Absorb(ExploreResult&& other) {
   violations.Merge(other.violations);
   stats.states += other.stats.states;
   stats.transitions += other.stats.transitions;
+  stats.digest_bytes += other.stats.digest_bytes;
+  stats.succ_reused += other.stats.succ_reused;
+  stats.succ_grown += other.stats.succ_grown;
+  if (other.stats.peak_frontier > stats.peak_frontier) {
+    stats.peak_frontier = other.stats.peak_frontier;
+  }
   stats.truncated = stats.truncated || other.stats.truncated;
+}
+
+std::string ExploreStats::Describe() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "stats: states=%llu transitions=%llu digest-bytes=%llu "
+                "succ-reuse=%llu/%llu peak-frontier=%llu%s",
+                static_cast<unsigned long long>(states),
+                static_cast<unsigned long long>(transitions),
+                static_cast<unsigned long long>(digest_bytes),
+                static_cast<unsigned long long>(succ_reused),
+                static_cast<unsigned long long>(succ_reused + succ_grown),
+                static_cast<unsigned long long>(peak_frontier),
+                truncated ? " [truncated]" : "");
+  return buf;
 }
 
 std::string ExploreResult::Describe(const Program& program) const {
@@ -99,6 +120,8 @@ std::string ExploreResult::Describe(const Program& program) const {
     out += outcome.ToString(program);
     out += "\n";
   }
+  out += stats.Describe();
+  out += "\n";
   return out;
 }
 

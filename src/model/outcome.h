@@ -71,9 +71,21 @@ struct ConditionViolations {
 struct ExploreStats {
   uint64_t states = 0;
   uint64_t transitions = 0;
+  // Hot-path observability counters, maintained by the explorers to validate
+  // perf work (see DESIGN.md "Digest pipeline"): bytes streamed through the
+  // dedup DigestSink, expansions whose successor buffer was served from
+  // already-allocated slots vs. ones that had to grow it, and the largest
+  // frontier the search ever held (per-worker maximum under ExploreParallel).
+  uint64_t digest_bytes = 0;
+  uint64_t succ_reused = 0;
+  uint64_t succ_grown = 0;
+  uint64_t peak_frontier = 0;
   // True when a bound (state cap, step budget, or message cap) cut exploration
   // short; outcome sets are then under-approximations.
   bool truncated = false;
+
+  // One-line rendering of all counters, e.g. for ExploreResult::Describe().
+  std::string Describe() const;
 };
 
 struct ExploreResult {

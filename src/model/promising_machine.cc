@@ -1,9 +1,7 @@
 #include "src/model/promising_machine.h"
 
 #include <algorithm>
-#include <unordered_set>
 
-#include "src/model/explorer.h"
 #include "src/support/check.h"
 #include "src/support/hash.h"
 
@@ -251,9 +249,8 @@ Word PromisingMachine::PrevValueBefore(const State& state, Addr loc, View ts) co
   return program_.InitValue(loc);
 }
 
-void PromisingMachine::ExecInst(const State& state, ThreadId tid,
-                                std::vector<AnnotatedStep>* out, ExploreResult* agg,
-                                bool ghost) const {
+void PromisingMachine::ExecInst(const State& state, ThreadId tid, StepPool* out,
+                                ExploreResult* agg, bool ghost) const {
   const PromThread& self = state.threads[tid];
   const auto& code = program_.threads[tid].code;
   if (self.halted || self.pc >= static_cast<int>(code.size())) {
@@ -267,10 +264,13 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
   }
   const Inst& inst = code[self.pc];
 
-  // Clones the state, advances pc/steps, and returns the successor + thread.
-  auto fresh = [&]() {
-    AnnotatedStep step;
+  // Acquires a pool slot, clones the state into it (copy-assignment reuses the
+  // slot's buffers), advances pc/steps, and returns the slot. A step that is
+  // never emitted is simply abandoned: the next fresh() reclaims the slot.
+  auto fresh = [&]() -> AnnotatedStep& {
+    AnnotatedStep& step = out->Acquire();
     step.next = state;
+    step.info = StepInfo{};
     step.info.tid = tid;
     step.info.pc = self.pc;
     step.info.op = inst.op;
@@ -281,8 +281,8 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
   };
 
   // Applies ghost-protocol barrier bookkeeping and end-of-thread checks, then
-  // appends the step.
-  auto emit = [&](AnnotatedStep&& step) {
+  // commits the step (which must be the currently acquired pool slot).
+  auto emit = [&](AnnotatedStep& step) {
     PromThread& t = step.next.threads[tid];
     if (config_.pushpull && !ghost) {
       if (IsAcquireBarrierEvent(inst)) {
@@ -306,7 +306,7 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
                              "sequence before the CPU finished");
       }
     }
-    out->push_back(std::move(step));
+    out->Commit();
   };
 
   // Checks region ownership for a physical data access (DRF-Kernel). Returns
@@ -342,10 +342,10 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
       v_pre = Join(v_pre, self.v_rel);
     }
     const View lb = Join(v_pre, self.coh[loc]);
-    std::vector<ReadChoice> choices;
-    ReadableMessages(state, tid, loc, lb, &choices);
-    for (const ReadChoice& choice : choices) {
-      AnnotatedStep step = fresh();
+    read_scratch_.clear();
+    ReadableMessages(state, tid, loc, lb, &read_scratch_);
+    for (const ReadChoice& choice : read_scratch_) {
+      AnnotatedStep& step = fresh();
       PromThread& t = step.next.threads[tid];
       const bool forwarded = self.fwd[loc].first != 0 && self.fwd[loc].first == choice.ts;
       const View v_post = Join(v_pre, forwarded ? self.fwd[loc].second : choice.ts);
@@ -361,7 +361,7 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
       step.info.loc = loc;
       step.info.val = choice.val;
       step.info.ts = choice.ts;
-      emit(std::move(step));
+      emit(step);
     }
   };
 
@@ -380,7 +380,7 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
     }
     const View lb = Join(v_pre, self.coh[loc]);
 
-    auto finish = [&](AnnotatedStep&& step, View ts) {
+    auto finish = [&](AnnotatedStep& step, View ts) {
       PromThread& t = step.next.threads[tid];
       t.coh[loc] = ts;
       t.vw_old = Join(t.vw_old, ts);
@@ -398,24 +398,24 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
       step.info.loc = loc;
       step.info.val = value;
       step.info.ts = ts;
-      emit(std::move(step));
+      emit(step);
     };
 
     // Append a fresh message.
     if (static_cast<int>(state.mem.size()) < config_.max_messages) {
-      AnnotatedStep step = fresh();
+      AnnotatedStep& step = fresh();
       step.next.mem.push_back({loc, value, tid});
-      finish(std::move(step), static_cast<View>(step.next.mem.size()));
+      finish(step, static_cast<View>(step.next.mem.size()));
     } else if (!ghost) {
       agg->stats.truncated = true;
     }
     // Fulfil an outstanding own promise.
     for (View p : self.promises) {
       if (state.mem[p - 1].loc == loc && state.mem[p - 1].val == value && p > lb) {
-        AnnotatedStep step = fresh();
+        AnnotatedStep& step = fresh();
         PromThread& t = step.next.threads[tid];
         t.promises.erase(std::find(t.promises.begin(), t.promises.end(), p));
-        finish(std::move(step), p);
+        finish(step, p);
       }
     }
   };
@@ -426,24 +426,24 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
       emit(fresh());
       return;
     case Op::kMovImm: {
-      AnnotatedStep step = fresh();
+      AnnotatedStep& step = fresh();
       step.next.threads[tid].regs[inst.rd] = static_cast<Word>(inst.imm);
       step.next.threads[tid].rview[inst.rd] = 0;
-      emit(std::move(step));
+      emit(step);
       return;
     }
     case Op::kMov: {
-      AnnotatedStep step = fresh();
+      AnnotatedStep& step = fresh();
       step.next.threads[tid].regs[inst.rd] = self.regs[inst.rs];
       step.next.threads[tid].rview[inst.rd] = self.rview[inst.rs];
-      emit(std::move(step));
+      emit(step);
       return;
     }
     case Op::kAdd:
     case Op::kSub:
     case Op::kAnd:
     case Op::kEor: {
-      AnnotatedStep step = fresh();
+      AnnotatedStep& step = fresh();
       PromThread& t = step.next.threads[tid];
       const Word a = self.regs[inst.rs];
       const Word b = self.regs[inst.rt];
@@ -464,15 +464,15 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
       }
       t.regs[inst.rd] = r;
       t.rview[inst.rd] = Join(self.rview[inst.rs], self.rview[inst.rt]);
-      emit(std::move(step));
+      emit(step);
       return;
     }
     case Op::kAddImm: {
-      AnnotatedStep step = fresh();
+      AnnotatedStep& step = fresh();
       PromThread& t = step.next.threads[tid];
       t.regs[inst.rd] = self.regs[inst.rs] + static_cast<Word>(inst.imm);
       t.rview[inst.rd] = self.rview[inst.rs];
-      emit(std::move(step));
+      emit(step);
       return;
     }
     case Op::kLoad:
@@ -511,9 +511,9 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
         v_pre_r = Join(v_pre_r, self.v_rel);
       }
       const View lb_r = Join(v_pre_r, self.coh[loc]);
-      std::vector<ReadChoice> reads;
-      ReadableMessages(state, tid, loc, lb_r, &reads);
-      for (const ReadChoice& read : reads) {
+      read_scratch_.clear();
+      ReadableMessages(state, tid, loc, lb_r, &read_scratch_);
+      for (const ReadChoice& read : read_scratch_) {
         const bool forwarded =
             self.fwd[loc].first != 0 && self.fwd[loc].first == read.ts;
         const View v_post_r = Join(v_pre_r, forwarded ? self.fwd[loc].second : read.ts);
@@ -535,7 +535,7 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
           return true;
         };
 
-        auto finish_rmw = [&](AnnotatedStep&& step, View wts) {
+        auto finish_rmw = [&](AnnotatedStep& step, View wts) {
           PromThread& t = step.next.threads[tid];
           t.regs[inst.rd] = read.val;
           t.rview[inst.rd] = v_post_r;
@@ -561,16 +561,16 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
           step.info.loc = loc;
           step.info.val = wval;
           step.info.ts = wts;
-          emit(std::move(step));
+          emit(step);
         };
 
         // Append: requires the read to have seen the globally-latest message.
         if (static_cast<int>(state.mem.size()) < config_.max_messages) {
           const View append_ts = static_cast<View>(state.mem.size() + 1);
           if (adjacent(append_ts) && append_ts > lb_w) {
-            AnnotatedStep step = fresh();
+            AnnotatedStep& step = fresh();
             step.next.mem.push_back({loc, wval, tid});
-            finish_rmw(std::move(step), append_ts);
+            finish_rmw(step, append_ts);
           }
         } else if (!ghost) {
           agg->stats.truncated = true;
@@ -579,10 +579,10 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
         for (View p : self.promises) {
           if (state.mem[p - 1].loc == loc && state.mem[p - 1].val == wval &&
               p > lb_w && p > read.ts && adjacent(p)) {
-            AnnotatedStep step = fresh();
+            AnnotatedStep& step = fresh();
             PromThread& t = step.next.threads[tid];
             t.promises.erase(std::find(t.promises.begin(), t.promises.end(), p));
-            finish_rmw(std::move(step), p);
+            finish_rmw(step, p);
           }
         }
       }
@@ -601,10 +601,10 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
         v_pre = Join(v_pre, self.v_rel);
       }
       const View lb = Join(v_pre, self.coh[loc]);
-      std::vector<ReadChoice> choices;
-      ReadableMessages(state, tid, loc, lb, &choices);
-      for (const ReadChoice& choice : choices) {
-        AnnotatedStep step = fresh();
+      read_scratch_.clear();
+      ReadableMessages(state, tid, loc, lb, &read_scratch_);
+      for (const ReadChoice& choice : read_scratch_) {
+        AnnotatedStep& step = fresh();
         PromThread& t = step.next.threads[tid];
         const bool forwarded =
             self.fwd[loc].first != 0 && self.fwd[loc].first == choice.ts;
@@ -624,7 +624,7 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
         step.info.loc = loc;
         step.info.val = choice.val;
         step.info.ts = choice.ts;
-        emit(std::move(step));
+        emit(step);
       }
       return;
     }
@@ -642,12 +642,12 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
       // Failure path: always available when the pair cannot commit; the status
       // register carries no interesting view.
       auto emit_failure = [&]() {
-        AnnotatedStep step = fresh();
+        AnnotatedStep& step = fresh();
         PromThread& t = step.next.threads[tid];
         t.regs[inst.rd] = 1;
         t.rview[inst.rd] = 0;
         t.ex_valid = 0;
-        emit(std::move(step));
+        emit(step);
       };
       if (!armed) {
         emit_failure();
@@ -669,7 +669,7 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
         }
         return true;
       };
-      auto finish_ex = [&](AnnotatedStep&& step, View wts) {
+      auto finish_ex = [&](AnnotatedStep& step, View wts) {
         PromThread& t = step.next.threads[tid];
         t.regs[inst.rd] = 0;
         t.rview[inst.rd] = 0;
@@ -684,7 +684,7 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
         step.info.loc = loc;
         step.info.val = value;
         step.info.ts = wts;
-        emit(std::move(step));
+        emit(step);
       };
 
       bool success_possible = false;
@@ -692,9 +692,9 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
         const View append_ts = static_cast<View>(state.mem.size() + 1);
         if (adjacent(append_ts) && append_ts > lb) {
           success_possible = true;
-          AnnotatedStep step = fresh();
+          AnnotatedStep& step = fresh();
           step.next.mem.push_back({loc, value, tid});
-          finish_ex(std::move(step), append_ts);
+          finish_ex(step, append_ts);
         }
       } else if (!ghost) {
         agg->stats.truncated = true;
@@ -703,10 +703,10 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
         if (state.mem[p - 1].loc == loc && state.mem[p - 1].val == value &&
             p > lb && p > self.ex_ts && adjacent(p)) {
           success_possible = true;
-          AnnotatedStep step = fresh();
+          AnnotatedStep& step = fresh();
           PromThread& t = step.next.threads[tid];
           t.promises.erase(std::find(t.promises.begin(), t.promises.end(), p));
-          finish_ex(std::move(step), p);
+          finish_ex(step, p);
         }
       }
       // Strong LL/SC: the pair fails only when it cannot commit (no spurious
@@ -717,7 +717,7 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
       return;
     }
     case Op::kDmb: {
-      AnnotatedStep step = fresh();
+      AnnotatedStep& step = fresh();
       PromThread& t = step.next.threads[tid];
       switch (inst.barrier) {
         case BarrierKind::kSy:
@@ -732,11 +732,11 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
           t.vw_new = Join(t.vw_new, self.vw_old);
           break;
       }
-      emit(std::move(step));
+      emit(step);
       return;
     }
     case Op::kDsb: {
-      AnnotatedStep step = fresh();
+      AnnotatedStep& step = fresh();
       PromThread& t = step.next.threads[tid];
       const View all = Join(self.vr_old, self.vw_old);
       t.vr_new = Join(t.vr_new, all);
@@ -748,14 +748,14 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
           stage = 1;
         }
       }
-      emit(std::move(step));
+      emit(step);
       return;
     }
     case Op::kIsb: {
-      AnnotatedStep step = fresh();
+      AnnotatedStep& step = fresh();
       PromThread& t = step.next.threads[tid];
       t.vr_new = Join(t.vr_new, self.v_cap);
-      emit(std::move(step));
+      emit(step);
       return;
     }
     case Op::kBeq:
@@ -771,9 +771,9 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
       branch_target = self.regs[inst.rs] != 0 ? inst.target : -1;
       break;
     case Op::kJmp: {
-      AnnotatedStep step = fresh();
+      AnnotatedStep& step = fresh();
       step.next.threads[tid].pc = inst.target;
-      emit(std::move(step));
+      emit(step);
       return;
     }
     case Op::kLoadV:
@@ -782,11 +782,11 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
           static_cast<VirtAddr>(self.regs[inst.rs] + static_cast<Word>(inst.imm));
       const VirtAddr vpage = program_.mmu.PageOf(va);
       const int offset = program_.mmu.OffsetOf(va);
-      std::vector<WalkChoice> walks;
-      EnumerateWalks(state, tid, vpage, &walks);
-      for (const WalkChoice& walk : walks) {
+      walk_scratch_.clear();
+      EnumerateWalks(state, tid, vpage, &walk_scratch_);
+      for (const WalkChoice& walk : walk_scratch_) {
         if (walk.fault) {
-          AnnotatedStep step = fresh();
+          AnnotatedStep& step = fresh();
           PromThread& t = step.next.threads[tid];
           if (inst.op == Op::kLoadV) {
             t.regs[inst.rd] = kFaultValue;
@@ -795,7 +795,7 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
           if (t.faults < 255) {
             ++t.faults;
           }
-          emit(std::move(step));
+          emit(step);
           continue;
         }
         const Addr pa =
@@ -815,11 +815,12 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
         if (inst.op == Op::kLoadV) {
           const View v_pre = Join(fself.vr_new, fself.rview[inst.rs]);
           const View lb = Join(v_pre, fself.coh[pa]);
-          std::vector<ReadChoice> choices;
-          ReadableMessages(filled, tid, pa, lb, &choices);
-          for (const ReadChoice& choice : choices) {
-            AnnotatedStep step;
+          read_scratch_.clear();
+          ReadableMessages(filled, tid, pa, lb, &read_scratch_);
+          for (const ReadChoice& choice : read_scratch_) {
+            AnnotatedStep& step = out->Acquire();
             step.next = filled;
+            step.info = StepInfo{};
             step.info.tid = tid;
             step.info.pc = self.pc;
             step.info.op = inst.op;
@@ -837,7 +838,7 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
             step.info.loc = pa;
             step.info.val = choice.val;
             step.info.ts = choice.ts;
-            emit(std::move(step));
+            emit(step);
           }
         } else {
           const Word value = fself.regs[inst.rt];
@@ -851,8 +852,9 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
           // Append choice.
           if (static_cast<int>(filled.mem.size()) < config_.max_messages) {
             {
-              AnnotatedStep step;
+              AnnotatedStep& step = out->Acquire();
               step.next = filled;
+              step.info = StepInfo{};
               step.info.tid = tid;
               step.info.pc = self.pc;
               step.info.op = inst.op;
@@ -874,7 +876,7 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
               step.info.loc = pa;
               step.info.val = value;
               step.info.ts = ts;
-              emit(std::move(step));
+              emit(step);
             }
           } else if (!ghost) {
             agg->stats.truncated = true;
@@ -883,8 +885,9 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
           for (View p : fself.promises) {
             if (filled.mem[p - 1].loc == pa && filled.mem[p - 1].val == value &&
                 p > lb) {
-              AnnotatedStep step;
+              AnnotatedStep& step = out->Acquire();
               step.next = filled;
+              step.info = StepInfo{};
               step.info.tid = tid;
               step.info.pc = self.pc;
               step.info.op = inst.op;
@@ -905,7 +908,7 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
               step.info.loc = pa;
               step.info.val = value;
               step.info.ts = p;
-              emit(std::move(step));
+              emit(step);
             }
           }
         }
@@ -914,7 +917,7 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
     }
     case Op::kTlbiVa:
     case Op::kTlbiAll: {
-      AnnotatedStep step = fresh();
+      AnnotatedStep& step = fresh();
       const View floor = self.v_dsb;
       if (!ghost && !config_.pt_watch.empty()) {
         PromThread& t = step.next.threads[tid];
@@ -960,11 +963,11 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
         }
         step.next.global_floor = Join(step.next.global_floor, floor);
       }
-      emit(std::move(step));
+      emit(step);
       return;
     }
     case Op::kPull: {
-      AnnotatedStep step = fresh();
+      AnnotatedStep& step = fresh();
       PromThread& t = step.next.threads[tid];
       step.info.region = inst.region;
       if (config_.pushpull && !ghost) {
@@ -989,11 +992,11 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
         owner = static_cast<int8_t>(tid);
         t.acq_clean = false;
       }
-      emit(std::move(step));
+      emit(step);
       return;
     }
     case Op::kPush: {
-      AnnotatedStep step = fresh();
+      AnnotatedStep& step = fresh();
       PromThread& t = step.next.threads[tid];
       step.info.region = inst.region;
       if (!ghost && !config_.pt_watch.empty() && !t.pending_inval.empty()) {
@@ -1017,27 +1020,27 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
         }
         t.push_pending = true;
       }
-      emit(std::move(step));
+      emit(step);
       return;
     }
     case Op::kPanic: {
-      AnnotatedStep step = fresh();
+      AnnotatedStep& step = fresh();
       PromThread& t = step.next.threads[tid];
       t.panicked = true;
       t.halted = true;
-      emit(std::move(step));
+      emit(step);
       return;
     }
     case Op::kHalt: {
-      AnnotatedStep step = fresh();
+      AnnotatedStep& step = fresh();
       step.next.threads[tid].halted = true;
-      emit(std::move(step));
+      emit(step);
       return;
     }
   }
 
   // Conditional branches funnel here: update v_cap with the condition views.
-  AnnotatedStep step = fresh();
+  AnnotatedStep& step = fresh();
   PromThread& t = step.next.threads[tid];
   View cond_view = self.rview[inst.rs];
   if (inst.op == Op::kBeq || inst.op == Op::kBne) {
@@ -1047,64 +1050,14 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid,
   if (branch_target >= 0) {
     t.pc = branch_target;
   }
-  emit(std::move(step));
+  emit(step);
 }
 
 std::pair<uint64_t, uint64_t> PromisingMachine::SoloDigest(const State& state,
                                                            ThreadId tid) const {
-  StateSerializer s;
-  s.U32(static_cast<uint32_t>(state.mem.size()));
-  for (const Msg& msg : state.mem) {
-    s.U32(msg.loc);
-    s.U64(msg.val);
-    s.U8(msg.tid);
-  }
-  const PromThread& thread = state.threads[tid];
-  s.U8(tid);
-  s.U32(static_cast<uint32_t>(thread.pc));
-  s.U32(thread.steps);
-  s.U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0)));
-  for (int r = 0; r < kNumRegs; ++r) {
-    s.U64(thread.regs[r]);
-    s.U32(thread.rview[r]);
-  }
-  for (Addr a = 0; a < thread.coh.size(); ++a) {
-    if (thread.coh[a] != 0) {
-      s.U32(a);
-      s.U32(thread.coh[a]);
-    }
-  }
-  s.U32(0xffffffffu);
-  s.U32(thread.vr_old);
-  s.U32(thread.vr_new);
-  s.U32(thread.vw_old);
-  s.U32(thread.vw_new);
-  s.U32(thread.v_cap);
-  s.U32(thread.v_rel);
-  s.U32(thread.v_dsb);
-  for (Addr a = 0; a < thread.fwd.size(); ++a) {
-    if (thread.fwd[a].first != 0) {
-      s.U32(a);
-      s.U32(thread.fwd[a].first);
-      s.U32(thread.fwd[a].second);
-    }
-  }
-  s.U32(0xffffffffu);
-  s.U32(static_cast<uint32_t>(thread.promises.size()));
-  for (View p : thread.promises) {
-    s.U32(p);
-  }
-  s.U8(thread.ex_valid);
-  s.U32(thread.ex_loc);
-  s.U32(thread.ex_ts);
-  state.tlbs[tid].SerializeInto(&s);
-  s.U32(static_cast<uint32_t>(state.tlb_floor.size()));
-  for (const auto& [vpage, view] : state.tlb_floor) {
-    s.U32(vpage);
-    s.U32(view);
-  }
-  s.U32(state.global_floor);
-  return StateDigest(s.bytes());
+  dedup_sink_.Reset();
+  SoloSerializeInto(state, tid, &dedup_sink_);
+  return dedup_sink_.Finish();
 }
 
 bool PromisingMachine::Certify(const State& state, ThreadId tid) const {
@@ -1115,29 +1068,37 @@ bool PromisingMachine::Certify(const State& state, ThreadId tid) const {
   if (auto it = cert_cache_.find(key); it != cert_cache_.end()) {
     return it->second;
   }
-  std::unordered_set<std::pair<uint64_t, uint64_t>, DigestHash> seen;
-  std::vector<State> stack;
-  stack.push_back(state);
-  seen.insert(StateDigest(Serialize(state)));
+  // Reused scratch (solo_seen_/solo_stack_/solo_pool_): clear() keeps the
+  // containers' storage, and retired pool slots keep their State buffers, so a
+  // warmed-up certification search allocates only for genuinely new frontier
+  // states. Dedup streams the *solo projection* through dedup_sink_ — ghost
+  // steps of `tid` neither read nor depend on anything outside that projection
+  // (which is what makes SoloDigest a sound memoization key in the first
+  // place), so it is also a sound in-search dedup key, and it skips
+  // re-serializing the other threads' constant state on every node.
+  solo_seen_.clear();
+  solo_stack_.clear();
+  solo_stack_.push_back(state);
+  solo_seen_.insert(key);
   ExploreResult scratch;
-  std::vector<AnnotatedStep> steps;
   int nodes = 0;
   bool certified = false;
-  while (!stack.empty()) {
+  while (!solo_stack_.empty()) {
     if (++nodes > kCertNodeCap) {
       break;  // conservative: treat as uncertifiable
     }
-    State current = std::move(stack.back());
-    stack.pop_back();
+    State current = std::move(solo_stack_.back());
+    solo_stack_.pop_back();
     if (current.threads[tid].promises.empty()) {
       certified = true;
       break;
     }
-    steps.clear();
-    ExecInst(current, tid, &steps, &scratch, /*ghost=*/true);
-    for (auto& step : steps) {
-      if (seen.insert(StateDigest(Serialize(step.next))).second) {
-        stack.push_back(std::move(step.next));
+    solo_pool_.Reset();
+    ExecInst(current, tid, &solo_pool_, &scratch, /*ghost=*/true);
+    for (size_t i = 0; i < solo_pool_.size(); ++i) {
+      AnnotatedStep& step = solo_pool_.at(i);
+      if (solo_seen_.insert(SoloDigest(step.next, tid)).second) {
+        solo_stack_.push_back(std::move(step.next));
       }
     }
   }
@@ -1152,20 +1113,21 @@ void PromisingMachine::CollectPromisable(const State& state, ThreadId tid,
     *out = it->second;
     return;
   }
-  std::unordered_set<std::pair<uint64_t, uint64_t>, DigestHash> seen;
-  std::unordered_set<uint64_t> found;
-  std::vector<State> stack;
-  stack.push_back(state);
-  seen.insert(StateDigest(Serialize(state)));
+  // Same reused scratch and solo-projection dedup as Certify() — the two solo
+  // searches never nest.
+  solo_seen_.clear();
+  collect_found_.clear();
+  solo_stack_.clear();
+  solo_stack_.push_back(state);
+  solo_seen_.insert(key);
   ExploreResult scratch;
-  std::vector<AnnotatedStep> steps;
   int nodes = 0;
-  while (!stack.empty()) {
+  while (!solo_stack_.empty()) {
     if (++nodes > kCollectNodeCap) {
       break;
     }
-    State current = std::move(stack.back());
-    stack.pop_back();
+    State current = std::move(solo_stack_.back());
+    solo_stack_.pop_back();
     // Ghost instructions are promise fences: the push/pull Promising model
     // inserts ownership-transfer promises at critical-section boundaries in
     // promise-list order, so a thread must not promise a write that lies beyond
@@ -1181,26 +1143,26 @@ void PromisingMachine::CollectPromisable(const State& state, ThreadId tid,
         }
       }
     }
-    steps.clear();
-    ExecInst(current, tid, &steps, &scratch, /*ghost=*/true);
-    for (auto& step : steps) {
+    solo_pool_.Reset();
+    ExecInst(current, tid, &solo_pool_, &scratch, /*ghost=*/true);
+    for (size_t i = 0; i < solo_pool_.size(); ++i) {
+      AnnotatedStep& step = solo_pool_.at(i);
       if (step.info.is_write) {
-        const uint64_t key =
+        const uint64_t wkey =
             (static_cast<uint64_t>(step.info.loc) << 32) ^ (step.info.val * 0x9e3779b9u);
-        if (found.insert(key).second) {
+        if (collect_found_.insert(wkey).second) {
           out->emplace_back(step.info.loc, step.info.val);
         }
       }
-      if (seen.insert(StateDigest(Serialize(step.next))).second) {
-        stack.push_back(std::move(step.next));
+      if (solo_seen_.insert(SoloDigest(step.next, tid)).second) {
+        solo_stack_.push_back(std::move(step.next));
       }
     }
   }
   collect_cache_.emplace(key, *out);
 }
 
-void PromisingMachine::PromiseSteps(const State& state, ThreadId tid,
-                                    std::vector<AnnotatedStep>* out,
+void PromisingMachine::PromiseSteps(const State& state, ThreadId tid, StepPool* out,
                                     ExploreResult* agg) const {
   const PromThread& self = state.threads[tid];
   if (static_cast<int>(self.promises.size()) >= config_.max_promises_per_thread) {
@@ -1210,29 +1172,30 @@ void PromisingMachine::PromiseSteps(const State& state, ThreadId tid,
     agg->stats.truncated = true;
     return;
   }
-  std::vector<std::pair<Addr, Word>> candidates;
-  CollectPromisable(state, tid, &candidates);
-  for (const auto& [loc, val] : candidates) {
-    AnnotatedStep step;
+  promise_candidates_.clear();
+  CollectPromisable(state, tid, &promise_candidates_);
+  for (const auto& [loc, val] : promise_candidates_) {
+    AnnotatedStep& step = out->Acquire();
     step.next = state;
     step.next.mem.push_back({loc, val, tid});
     const View ts = static_cast<View>(step.next.mem.size());
     PromThread& t = step.next.threads[tid];
     t.promises.push_back(ts);
     std::sort(t.promises.begin(), t.promises.end());
+    step.info = StepInfo{};
     step.info.tid = tid;
     step.info.op = Op::kNop;
     step.info.is_promise = true;
     step.info.loc = loc;
     step.info.val = val;
     step.info.ts = ts;
-    out->push_back(std::move(step));
+    out->Commit();
   }
 }
 
-void PromisingMachine::EnumerateSteps(const State& state, std::vector<AnnotatedStep>* out,
-                                      ExploreResult* agg) const {
-  std::vector<AnnotatedStep> raw;
+size_t PromisingMachine::EnumerateAccepted(const State& state, ExploreResult* agg) const {
+  step_pool_.Reset();
+  accepted_.clear();
   // Partial-order reduction: if some runnable thread's next instruction is
   // local (commutes with everything), expand only that thread. Promise steps of
   // the same thread also commute with its local step, so they can be deferred.
@@ -1244,23 +1207,24 @@ void PromisingMachine::EnumerateSteps(const State& state, std::vector<AnnotatedS
     if (!IsLocalStep(program_.threads[tid].code[thread.pc], config_.pushpull)) {
       continue;
     }
-    ExecInst(state, tid, &raw, agg, /*ghost=*/false);
+    ExecInst(state, tid, &step_pool_, agg, /*ghost=*/false);
     // The local step is deterministic: at most one successor. It must still
     // certify (a halt with outstanding promises is a dead end).
-    if (!raw.empty()) {
-      VRM_CHECK(raw.size() == 1);
-      if (state.threads[tid].promises.empty() || Certify(raw[0].next, tid)) {
-        out->push_back(std::move(raw[0]));
-        return;
+    if (step_pool_.size() != 0) {
+      VRM_CHECK(step_pool_.size() == 1);
+      if (state.threads[tid].promises.empty() || Certify(step_pool_.at(0).next, tid)) {
+        accepted_.push_back(0);
+        return 1;
       }
     }
-    raw.clear();
+    step_pool_.Reset();
   }
   for (ThreadId tid = 0; tid < state.threads.size(); ++tid) {
-    ExecInst(state, tid, &raw, agg, /*ghost=*/false);
-    PromiseSteps(state, tid, &raw, agg);
+    ExecInst(state, tid, &step_pool_, agg, /*ghost=*/false);
+    PromiseSteps(state, tid, &step_pool_, agg);
   }
-  for (auto& step : raw) {
+  for (size_t i = 0; i < step_pool_.size(); ++i) {
+    AnnotatedStep& step = step_pool_.at(i);
     const ThreadId tid = step.info.tid;
     // Certification: the stepping thread must still be able to fulfil its
     // promises solo. TLBI steps can invalidate other threads' certifications
@@ -1282,85 +1246,64 @@ void PromisingMachine::EnumerateSteps(const State& state, std::vector<AnnotatedS
         continue;
       }
     }
-    out->push_back(std::move(step));
+    accepted_.push_back(i);
+  }
+  return accepted_.size();
+}
+
+void PromisingMachine::EnumerateSteps(const State& state, std::vector<AnnotatedStep>* out,
+                                      ExploreResult* agg) const {
+  const size_t n = EnumerateAccepted(state, agg);
+  out->reserve(out->size() + n);
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(std::move(step_pool_.at(accepted_[i])));
   }
 }
 
-void PromisingMachine::Successors(const State& state, std::vector<State>* out,
-                                  ExploreResult* agg) const {
-  std::vector<AnnotatedStep> steps;
-  EnumerateSteps(state, &steps, agg);
-  out->reserve(out->size() + steps.size());
-  for (auto& step : steps) {
-    out->push_back(std::move(step.next));
+size_t PromisingMachine::Successors(const State& state, std::vector<State>* out,
+                                    ExploreResult* agg) const {
+  const size_t n = EnumerateAccepted(state, agg);
+  for (size_t i = 0; i < n; ++i) {
+    // Copy (not move) out of the pool: the explorer's slot reuses its own
+    // buffers for the copy, and the pool slot keeps its buffers warm for the
+    // next expansion.
+    State& src = step_pool_.at(accepted_[i]).next;
+    if (i < out->size()) {
+      (*out)[i] = src;
+    } else {
+      out->push_back(src);
+    }
   }
+  return n;
+}
+
+size_t PromisingMachine::SerializedSize(const State& state) const {
+  size_t n = 4 + state.mem.size() * 13 + state.region_owner.size() + 4 +
+             state.tlb_floor.size() * 8 + 4;
+  for (const auto& thread : state.threads) {
+    n += 63 + kNumRegs * 12 + thread.promises.size() * 4 +
+         thread.pending_inval.size() * 5;
+    for (Addr a = 0; a < thread.coh.size(); ++a) {
+      if (thread.coh[a] != 0) {
+        n += 8;
+      }
+    }
+    for (Addr a = 0; a < thread.fwd.size(); ++a) {
+      if (thread.fwd[a].first != 0) {
+        n += 12;
+      }
+    }
+  }
+  for (const auto& tlb : state.tlbs) {
+    n += tlb.SerializedSize();
+  }
+  return n;
 }
 
 std::string PromisingMachine::Serialize(const State& state) const {
   StateSerializer s;
-  s.U32(static_cast<uint32_t>(state.mem.size()));
-  for (const Msg& msg : state.mem) {
-    s.U32(msg.loc);
-    s.U64(msg.val);
-    s.U8(msg.tid);
-  }
-  for (const auto& thread : state.threads) {
-    s.U32(static_cast<uint32_t>(thread.pc));
-    s.U32(thread.steps);
-    s.U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0) |
-                              (thread.acq_clean ? 4 : 0) | (thread.push_pending ? 8 : 0)));
-    s.U8(thread.faults);
-    for (int r = 0; r < kNumRegs; ++r) {
-      s.U64(thread.regs[r]);
-      s.U32(thread.rview[r]);
-    }
-    for (Addr a = 0; a < thread.coh.size(); ++a) {
-      if (thread.coh[a] != 0) {
-        s.U32(a);
-        s.U32(thread.coh[a]);
-      }
-    }
-    s.U32(0xffffffffu);  // coh terminator
-    s.U32(thread.vr_old);
-    s.U32(thread.vr_new);
-    s.U32(thread.vw_old);
-    s.U32(thread.vw_new);
-    s.U32(thread.v_cap);
-    s.U32(thread.v_rel);
-    s.U32(thread.v_dsb);
-    for (Addr a = 0; a < thread.fwd.size(); ++a) {
-      if (thread.fwd[a].first != 0) {
-        s.U32(a);
-        s.U32(thread.fwd[a].first);
-        s.U32(thread.fwd[a].second);
-      }
-    }
-    s.U32(0xffffffffu);  // fwd terminator
-    s.U32(static_cast<uint32_t>(thread.promises.size()));
-    for (View p : thread.promises) {
-      s.U32(p);
-    }
-    s.U8(thread.ex_valid);
-    s.U32(thread.ex_loc);
-    s.U32(thread.ex_ts);
-    s.U32(static_cast<uint32_t>(thread.pending_inval.size()));
-    for (const auto& [page, stage] : thread.pending_inval) {
-      s.U32(page);
-      s.U8(stage);
-    }
-  }
-  for (int8_t owner : state.region_owner) {
-    s.U8(static_cast<uint8_t>(owner));
-  }
-  for (const auto& tlb : state.tlbs) {
-    tlb.SerializeInto(&s);
-  }
-  s.U32(static_cast<uint32_t>(state.tlb_floor.size()));
-  for (const auto& [vpage, view] : state.tlb_floor) {
-    s.U32(vpage);
-    s.U32(view);
-  }
-  s.U32(state.global_floor);
+  s.Reserve(SerializedSize(state));
+  SerializeInto(state, &s);
   return s.Take();
 }
 

@@ -42,6 +42,7 @@
 #include <array>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -145,7 +146,87 @@ class PromisingMachine {
   // would false-positive on the transient promise+append states of doomed
   // execution prefixes.
   void AuditTerminal(const State& state, ExploreResult* agg) const;
-  void Successors(const State& state, std::vector<State>* out, ExploreResult* agg) const;
+
+  // Slot-pool successor generation (see the interface contract in
+  // src/model/explorer.h): fills out->[0, n) by copy-assignment into existing
+  // slots before growing, and returns n. The machine's internal step pool keeps
+  // its own buffers warm, so in steady state an expansion allocates only for
+  // states the pool has not grown to yet.
+  size_t Successors(const State& state, std::vector<State>* out, ExploreResult* agg) const;
+
+  // Streams the canonical state serialization into `s` — a StateSerializer
+  // (exact bytes) or a DigestSink (streaming digest); both see identical bytes.
+  template <typename Sink>
+  void SerializeInto(const State& state, Sink* s) const {
+    s->U32(static_cast<uint32_t>(state.mem.size()));
+    for (const Msg& msg : state.mem) {
+      s->U32(msg.loc);
+      s->U64(msg.val);
+      s->U8(msg.tid);
+    }
+    for (const auto& thread : state.threads) {
+      s->U32(static_cast<uint32_t>(thread.pc));
+      s->U32(thread.steps);
+      s->U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0) |
+                                 (thread.acq_clean ? 4 : 0) |
+                                 (thread.push_pending ? 8 : 0)));
+      s->U8(thread.faults);
+      for (int r = 0; r < kNumRegs; ++r) {
+        s->U64(thread.regs[r]);
+        s->U32(thread.rview[r]);
+      }
+      for (Addr a = 0; a < thread.coh.size(); ++a) {
+        if (thread.coh[a] != 0) {
+          s->U32(a);
+          s->U32(thread.coh[a]);
+        }
+      }
+      s->U32(0xffffffffu);  // coh terminator
+      s->U32(thread.vr_old);
+      s->U32(thread.vr_new);
+      s->U32(thread.vw_old);
+      s->U32(thread.vw_new);
+      s->U32(thread.v_cap);
+      s->U32(thread.v_rel);
+      s->U32(thread.v_dsb);
+      for (Addr a = 0; a < thread.fwd.size(); ++a) {
+        if (thread.fwd[a].first != 0) {
+          s->U32(a);
+          s->U32(thread.fwd[a].first);
+          s->U32(thread.fwd[a].second);
+        }
+      }
+      s->U32(0xffffffffu);  // fwd terminator
+      s->U32(static_cast<uint32_t>(thread.promises.size()));
+      for (View p : thread.promises) {
+        s->U32(p);
+      }
+      s->U8(thread.ex_valid);
+      s->U32(thread.ex_loc);
+      s->U32(thread.ex_ts);
+      s->U32(static_cast<uint32_t>(thread.pending_inval.size()));
+      for (const auto& [page, stage] : thread.pending_inval) {
+        s->U32(page);
+        s->U8(stage);
+      }
+    }
+    for (int8_t owner : state.region_owner) {
+      s->U8(static_cast<uint8_t>(owner));
+    }
+    for (const auto& tlb : state.tlbs) {
+      tlb.SerializeInto(s);
+    }
+    s->U32(static_cast<uint32_t>(state.tlb_floor.size()));
+    for (const auto& [vpage, view] : state.tlb_floor) {
+      s->U32(vpage);
+      s->U32(view);
+    }
+    s->U32(state.global_floor);
+  }
+
+  // Exact byte length SerializeInto() will produce, for reserve()d serialization.
+  size_t SerializedSize(const State& state) const;
+
   std::string Serialize(const State& state) const;
 
   // Annotated successor enumeration: every valid transition from `state`,
@@ -160,15 +241,44 @@ class PromisingMachine {
   const Program& program() const { return program_; }
 
  private:
+  // Recycling arena for AnnotatedSteps. Acquire() hands out a slot to build the
+  // next step in (re-acquiring without Commit() returns the same slot, which is
+  // how an abandoned step is dropped); Commit() makes the acquired slot live.
+  // Reset() retires all live steps without destroying them, so a retired slot's
+  // State keeps its heap buffers and the next Acquire()+copy-assign reuses them
+  // instead of allocating.
+  class StepPool {
+   public:
+    AnnotatedStep& Acquire() {
+      if (live_ == slots_.size()) {
+        slots_.emplace_back();
+      }
+      return slots_[live_];
+    }
+    void Commit() { ++live_; }
+    AnnotatedStep& at(size_t i) { return slots_[i]; }
+    size_t size() const { return live_; }
+    void Reset() { live_ = 0; }
+
+   private:
+    std::vector<AnnotatedStep> slots_;
+    size_t live_ = 0;
+  };
+
   // Enumerates all architectural next-states for one instruction of `tid`.
   // `ghost` disables condition monitoring (used during certification and
   // promise-candidate collection, which execute hypothetical steps).
-  void ExecInst(const State& state, ThreadId tid, std::vector<AnnotatedStep>* out,
-                ExploreResult* agg, bool ghost) const;
+  void ExecInst(const State& state, ThreadId tid, StepPool* out, ExploreResult* agg,
+                bool ghost) const;
 
   // Promise steps for `tid`: append each certifiable solo-reachable write.
-  void PromiseSteps(const State& state, ThreadId tid, std::vector<AnnotatedStep>* out,
+  void PromiseSteps(const State& state, ThreadId tid, StepPool* out,
                     ExploreResult* agg) const;
+
+  // Shared engine behind Successors()/EnumerateSteps(): fills step_pool_ with
+  // every raw transition, runs the certification filter, and records the
+  // indices of surviving steps in accepted_. Returns accepted_.size().
+  size_t EnumerateAccepted(const State& state, ExploreResult* agg) const;
 
   // True if `tid` can fulfil all its outstanding promises running solo.
   bool Certify(const State& state, ThreadId tid) const;
@@ -204,10 +314,65 @@ class PromisingMachine {
   // value a write at `ts` overwrites in coherence order).
   Word PrevValueBefore(const State& state, Addr loc, View ts) const;
 
-  // Digest of the thread-solo projection of a state: global memory + the
+  // Streams the thread-solo projection of a state: global memory + the
   // thread's own architectural state + its TLB + the invalidation floors.
   // Certification and promise-candidate collection depend on exactly this
-  // projection, so their results are memoized under it.
+  // projection, so their results are memoized under its digest.
+  template <typename Sink>
+  void SoloSerializeInto(const State& state, ThreadId tid, Sink* s) const {
+    s->U32(static_cast<uint32_t>(state.mem.size()));
+    for (const Msg& msg : state.mem) {
+      s->U32(msg.loc);
+      s->U64(msg.val);
+      s->U8(msg.tid);
+    }
+    const PromThread& thread = state.threads[tid];
+    s->U8(tid);
+    s->U32(static_cast<uint32_t>(thread.pc));
+    s->U32(thread.steps);
+    s->U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0)));
+    for (int r = 0; r < kNumRegs; ++r) {
+      s->U64(thread.regs[r]);
+      s->U32(thread.rview[r]);
+    }
+    for (Addr a = 0; a < thread.coh.size(); ++a) {
+      if (thread.coh[a] != 0) {
+        s->U32(a);
+        s->U32(thread.coh[a]);
+      }
+    }
+    s->U32(0xffffffffu);
+    s->U32(thread.vr_old);
+    s->U32(thread.vr_new);
+    s->U32(thread.vw_old);
+    s->U32(thread.vw_new);
+    s->U32(thread.v_cap);
+    s->U32(thread.v_rel);
+    s->U32(thread.v_dsb);
+    for (Addr a = 0; a < thread.fwd.size(); ++a) {
+      if (thread.fwd[a].first != 0) {
+        s->U32(a);
+        s->U32(thread.fwd[a].first);
+        s->U32(thread.fwd[a].second);
+      }
+    }
+    s->U32(0xffffffffu);
+    s->U32(static_cast<uint32_t>(thread.promises.size()));
+    for (View p : thread.promises) {
+      s->U32(p);
+    }
+    s->U8(thread.ex_valid);
+    s->U32(thread.ex_loc);
+    s->U32(thread.ex_ts);
+    state.tlbs[tid].SerializeInto(s);
+    s->U32(static_cast<uint32_t>(state.tlb_floor.size()));
+    for (const auto& [vpage, view] : state.tlb_floor) {
+      s->U32(vpage);
+      s->U32(view);
+    }
+    s->U32(state.global_floor);
+  }
+
   std::pair<uint64_t, uint64_t> SoloDigest(const State& state, ThreadId tid) const;
 
   // Owned copies: machines outlive the expressions that construct them, so
@@ -220,6 +385,26 @@ class PromisingMachine {
   mutable std::unordered_map<Digest128, bool, DigestHash> cert_cache_;
   mutable std::unordered_map<Digest128, std::vector<std::pair<Addr, Word>>, DigestHash>
       collect_cache_;
+
+  // Hot-path scratch, reused across calls so the solo searches and successor
+  // generation run allocation-free in steady state. step_pool_ backs the main
+  // enumeration (EnumerateAccepted); solo_pool_ backs the ghost ExecInst calls
+  // inside Certify()/CollectPromisable() — the two never nest on the same pool.
+  mutable StepPool step_pool_;
+  mutable StepPool solo_pool_;
+  mutable std::vector<size_t> accepted_;
+  mutable DigestSink dedup_sink_;
+  mutable std::unordered_set<Digest128, DigestHash> solo_seen_;
+  mutable std::vector<State> solo_stack_;
+  mutable std::unordered_set<uint64_t> collect_found_;
+  mutable std::vector<std::pair<Addr, Word>> promise_candidates_;
+  // Choice-enumeration scratch for ExecInst. At most one read-choice site and
+  // one walk-choice site are live per ExecInst invocation (one instruction),
+  // and ExecInst never re-enters itself, so a single vector of each suffices.
+  // EnumerateWalks' per-level vectors stay local — the walk recursion holds
+  // one live per level.
+  mutable std::vector<ReadChoice> read_scratch_;
+  mutable std::vector<WalkChoice> walk_scratch_;
 };
 
 }  // namespace vrm

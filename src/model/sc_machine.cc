@@ -413,8 +413,19 @@ bool ScLocalStep(const Inst& inst, bool pushpull) {
 
 }  // namespace
 
-void ScMachine::Successors(const State& state, std::vector<State>* out,
-                           ExploreResult* agg) const {
+size_t ScMachine::Successors(const State& state, std::vector<State>* out,
+                             ExploreResult* agg) const {
+  size_t n = 0;
+  // Copy-assigning `state` into an existing slot reuses the slot's heap
+  // buffers (mem, threads, tlbs); only slots beyond the pool's high-water mark
+  // allocate.
+  auto slot = [&]() -> State& {
+    if (n < out->size()) {
+      return (*out)[n];
+    }
+    out->emplace_back();
+    return out->back();
+  };
   for (ThreadId tid = 0; !config_.disable_por && tid < state.threads.size(); ++tid) {
     const auto& thread = state.threads[tid];
     if (thread.halted || thread.pc >= static_cast<int>(program_.threads[tid].code.size())) {
@@ -423,10 +434,10 @@ void ScMachine::Successors(const State& state, std::vector<State>* out,
     if (!ScLocalStep(program_.threads[tid].code[thread.pc], config_.pushpull)) {
       continue;
     }
-    State next = state;
+    State& next = slot();
+    next = state;
     if (StepThread(&next, tid, agg)) {
-      out->push_back(std::move(next));
-      return;
+      return n + 1;
     }
   }
   for (ThreadId tid = 0; tid < state.threads.size(); ++tid) {
@@ -434,40 +445,30 @@ void ScMachine::Successors(const State& state, std::vector<State>* out,
     if (thread.halted || thread.pc >= static_cast<int>(program_.threads[tid].code.size())) {
       continue;
     }
-    State next = state;
+    State& next = slot();
+    next = state;
     if (StepThread(&next, tid, agg)) {
-      out->push_back(std::move(next));
+      ++n;
     }
   }
+  return n;
+}
+
+size_t ScMachine::SerializedSize(const State& state) const {
+  size_t n = state.mem.size() * 8 + state.region_owner.size();
+  for (const auto& thread : state.threads) {
+    n += 19 + kNumRegs * 8 + thread.pending_inval.size() * 5;
+  }
+  for (const auto& tlb : state.tlbs) {
+    n += tlb.SerializedSize();
+  }
+  return n;
 }
 
 std::string ScMachine::Serialize(const State& state) const {
   StateSerializer s;
-  for (Word w : state.mem) {
-    s.U64(w);
-  }
-  for (const auto& thread : state.threads) {
-    s.U32(static_cast<uint32_t>(thread.pc));
-    s.U32(thread.steps);
-    s.U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0)));
-    s.U8(thread.faults);
-    for (Word r : thread.regs) {
-      s.U64(r);
-    }
-    s.U8(thread.ex_valid ? 1 : 0);
-    s.U32(thread.ex_addr);
-    s.U32(static_cast<uint32_t>(thread.pending_inval.size()));
-    for (const auto& [page, stage] : thread.pending_inval) {
-      s.U32(page);
-      s.U8(stage);
-    }
-  }
-  for (int8_t owner : state.region_owner) {
-    s.U8(static_cast<uint8_t>(owner));
-  }
-  for (const auto& tlb : state.tlbs) {
-    tlb.SerializeInto(&s);
-  }
+  s.Reserve(SerializedSize(state));
+  SerializeInto(state, &s);
   return s.Take();
 }
 

@@ -59,7 +59,45 @@ class ScMachine {
     (void)state;
     (void)agg;
   }
-  void Successors(const State& state, std::vector<State>* out, ExploreResult* agg) const;
+  // Slot-pool successor generation (see the interface contract in
+  // src/model/explorer.h): fills out->[0, n) by copy-assignment into existing
+  // slots before growing, and returns n.
+  size_t Successors(const State& state, std::vector<State>* out, ExploreResult* agg) const;
+
+  // Streams the canonical state serialization into `s` — a StateSerializer
+  // (exact bytes) or a DigestSink (streaming digest); both see identical bytes.
+  template <typename Sink>
+  void SerializeInto(const State& state, Sink* s) const {
+    for (Word w : state.mem) {
+      s->U64(w);
+    }
+    for (const auto& thread : state.threads) {
+      s->U32(static_cast<uint32_t>(thread.pc));
+      s->U32(thread.steps);
+      s->U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0)));
+      s->U8(thread.faults);
+      for (Word r : thread.regs) {
+        s->U64(r);
+      }
+      s->U8(thread.ex_valid ? 1 : 0);
+      s->U32(thread.ex_addr);
+      s->U32(static_cast<uint32_t>(thread.pending_inval.size()));
+      for (const auto& [page, stage] : thread.pending_inval) {
+        s->U32(page);
+        s->U8(stage);
+      }
+    }
+    for (int8_t owner : state.region_owner) {
+      s->U8(static_cast<uint8_t>(owner));
+    }
+    for (const auto& tlb : state.tlbs) {
+      tlb.SerializeInto(s);
+    }
+  }
+
+  // Exact byte length SerializeInto() will produce, for reserve()d serialization.
+  size_t SerializedSize(const State& state) const;
+
   std::string Serialize(const State& state) const;
 
   // Executes one instruction of `tid` in place. Returns false if the step was

@@ -319,8 +319,18 @@ bool TsoMachine::StepThread(State* state, ThreadId tid, ExploreResult* agg) cons
   return true;
 }
 
-void TsoMachine::Successors(const State& state, std::vector<State>* out,
-                            ExploreResult* agg) const {
+size_t TsoMachine::Successors(const State& state, std::vector<State>* out,
+                              ExploreResult* agg) const {
+  size_t n = 0;
+  // Copy-assigning `state` into an existing slot reuses the slot's heap
+  // buffers; only slots beyond the pool's high-water mark allocate.
+  auto slot = [&]() -> State& {
+    if (n < out->size()) {
+      return (*out)[n];
+    }
+    out->emplace_back();
+    return out->back();
+  };
   // Local-step prioritization (see TsoLocalStep).
   for (ThreadId tid = 0; tid < state.threads.size(); ++tid) {
     const auto& thread = state.threads[tid];
@@ -330,54 +340,48 @@ void TsoMachine::Successors(const State& state, std::vector<State>* out,
     if (!TsoLocalStep(program_.threads[tid].code[thread.pc])) {
       continue;
     }
-    State next = state;
+    State& next = slot();
+    next = state;
     if (StepThread(&next, tid, agg)) {
-      out->push_back(std::move(next));
-      return;
+      return n + 1;
     }
   }
   for (ThreadId tid = 0; tid < state.threads.size(); ++tid) {
     const auto& thread = state.threads[tid];
     // Drain step: commit the oldest buffered store to memory.
     if (!thread.store_buffer.empty()) {
-      State next = state;
+      State& next = slot();
+      next = state;
       DrainOne(&next, tid);
-      out->push_back(std::move(next));
+      ++n;
     }
     if (thread.halted || thread.pc >= static_cast<int>(program_.threads[tid].code.size())) {
       continue;
     }
-    State next = state;
+    State& next = slot();
+    next = state;
     if (StepThread(&next, tid, agg)) {
-      out->push_back(std::move(next));
+      ++n;
     }
   }
+  return n;
+}
+
+size_t TsoMachine::SerializedSize(const State& state) const {
+  size_t n = state.mem.size() * 8;
+  for (const auto& thread : state.threads) {
+    n += 19 + kNumRegs * 8 + thread.store_buffer.size() * 12;
+  }
+  for (const auto& tlb : state.tlbs) {
+    n += tlb.SerializedSize();
+  }
+  return n;
 }
 
 std::string TsoMachine::Serialize(const State& state) const {
   StateSerializer s;
-  for (Word w : state.mem) {
-    s.U64(w);
-  }
-  for (const auto& thread : state.threads) {
-    s.U32(static_cast<uint32_t>(thread.pc));
-    s.U32(thread.steps);
-    s.U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0)));
-    s.U8(thread.faults);
-    for (Word r : thread.regs) {
-      s.U64(r);
-    }
-    s.U8(thread.ex_valid ? 1 : 0);
-    s.U32(thread.ex_addr);
-    s.U32(static_cast<uint32_t>(thread.store_buffer.size()));
-    for (const auto& [addr, value] : thread.store_buffer) {
-      s.U32(addr);
-      s.U64(value);
-    }
-  }
-  for (const auto& tlb : state.tlbs) {
-    tlb.SerializeInto(&s);
-  }
+  s.Reserve(SerializedSize(state));
+  SerializeInto(state, &s);
   return s.Take();
 }
 

@@ -41,20 +41,32 @@ inline uint64_t Mix64(uint64_t x) {
 // Pairing one Fnv1a64 pass with one Mix64Hash pass gives a 128-bit digest whose
 // halves do not share avalanche structure — re-running FNV with a second seed
 // does not, because FNV states from different seeds stay strongly correlated.
-inline uint64_t Mix64Hash(const void* data, size_t len, uint64_t seed = 0x27d4eb2f165667c5ull) {
+//
+// The input length is folded in by the finalizer (xxhash's convention) rather
+// than the seed, so the hash can be computed incrementally by DigestSink
+// without knowing the total length up front. Length participation is
+// unchanged: zero-padded inputs of different lengths still hash differently.
+inline constexpr uint64_t kMixLaneMul = 0xff51afd7ed558ccdull;
+inline constexpr uint64_t kMixLaneAdd = 0x52dce729ull;
+inline constexpr uint64_t kMixLenMul = 0x9e3779b97f4a7c15ull;
+inline constexpr uint64_t kMixDefaultSeed = 0x27d4eb2f165667c5ull;
+inline constexpr uint64_t kFnvDefaultSeed = 0xcbf29ce484222325ull;
+
+inline uint64_t Mix64Hash(const void* data, size_t len, uint64_t seed = kMixDefaultSeed) {
   const auto* p = static_cast<const unsigned char*>(data);
-  uint64_t h = seed ^ (static_cast<uint64_t>(len) * 0x9e3779b97f4a7c15ull);
+  uint64_t h = seed;
   size_t i = 0;
   for (; i + 8 <= len; i += 8) {
     uint64_t lane;
     std::memcpy(&lane, p + i, sizeof(lane));
-    h = Mix64(h ^ lane) * 0xff51afd7ed558ccdull + 0x52dce729u;
+    h = Mix64(h ^ lane) * kMixLaneMul + kMixLaneAdd;
   }
   uint64_t tail = 0;
   for (; i < len; ++i) {
     tail = (tail << 8) | p[i];
   }
-  return Mix64(h ^ tail);
+  h = Mix64(h ^ tail);
+  return Mix64(h + static_cast<uint64_t>(len) * kMixLenMul);
 }
 
 // 128-bit state digest, packed into a uint64 pair.
@@ -66,8 +78,107 @@ struct DigestHash {
   }
 };
 
+// Streaming 128-bit digest sink: computes the FNV-1a and Mix64Hash lanes
+// incrementally as bytes are written, without materializing the serialized
+// byte string. Finish() is bit-identical to
+//   {Fnv1a64(bytes), Mix64Hash(bytes)}
+// over the concatenation of everything written since construction/Reset() —
+// the differential tests in tests/support and tests/model pin this.
+//
+// The FNV lane consumes each byte directly; the Mix lane buffers up to 7
+// bytes so writes need not be 8-byte aligned, flushing a full lane whenever
+// the buffer fills. Finish() folds the buffered tail and the total length
+// exactly as the one-shot Mix64Hash does, and is non-destructive: more bytes
+// may be written afterwards and Finish() called again.
+class DigestSink {
+ public:
+  void U8(uint8_t v) {
+    fnv_ = (fnv_ ^ v) * 0x100000001b3ull;
+    buf_[buf_len_++] = v;
+    if (buf_len_ == 8) {
+      FlushLane();
+    }
+    ++len_;
+  }
+
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+
+  void Raw(const void* data, size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    uint64_t f = fnv_;
+    for (size_t i = 0; i < len; ++i) {
+      f = (f ^ p[i]) * 0x100000001b3ull;
+    }
+    fnv_ = f;
+    len_ += len;
+
+    size_t i = 0;
+    if (buf_len_ > 0) {
+      // Top up the partial lane first.
+      while (buf_len_ < 8 && i < len) {
+        buf_[buf_len_++] = p[i++];
+      }
+      if (buf_len_ < 8) {
+        return;
+      }
+      FlushLane();
+    }
+    uint64_t h = mix_;
+    for (; i + 8 <= len; i += 8) {
+      uint64_t lane;
+      std::memcpy(&lane, p + i, sizeof(lane));
+      h = Mix64(h ^ lane) * kMixLaneMul + kMixLaneAdd;
+    }
+    mix_ = h;
+    for (; i < len; ++i) {
+      buf_[buf_len_++] = p[i];
+    }
+  }
+
+  Digest128 Finish() const {
+    uint64_t tail = 0;
+    for (size_t i = 0; i < buf_len_; ++i) {
+      tail = (tail << 8) | buf_[i];
+    }
+    uint64_t h = Mix64(mix_ ^ tail);
+    h = Mix64(h + len_ * kMixLenMul);
+    return {fnv_, h};
+  }
+
+  // Rewinds to the empty-input state so one sink serves many states (the
+  // explorers digest millions; Reset() keeps the hot path allocation-free).
+  void Reset() {
+    fnv_ = kFnvDefaultSeed;
+    mix_ = kMixDefaultSeed;
+    len_ = 0;
+    buf_len_ = 0;
+  }
+
+  // Total bytes written since construction/Reset() — the explorers' stats
+  // counter for digest throughput.
+  uint64_t bytes() const { return len_; }
+
+ private:
+  void FlushLane() {
+    uint64_t lane;
+    std::memcpy(&lane, buf_, sizeof(lane));
+    mix_ = Mix64(mix_ ^ lane) * kMixLaneMul + kMixLaneAdd;
+    buf_len_ = 0;
+  }
+
+  uint64_t fnv_ = kFnvDefaultSeed;
+  uint64_t mix_ = kMixDefaultSeed;
+  uint64_t len_ = 0;
+  unsigned char buf_[8];
+  size_t buf_len_ = 0;
+};
+
 // Accumulates a canonical byte serialization of explorer states. The serialized
 // form doubles as the exact deduplication key (no reliance on hash uniqueness).
+// Shares the U8/U32/U64/Raw sink interface with DigestSink, so a machine's
+// templated SerializeInto() feeds either one from the same code path.
 class StateSerializer {
  public:
   void U8(uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
@@ -80,6 +191,8 @@ class StateSerializer {
     const char* p = static_cast<const char*>(data);
     bytes_.append(p, len);
   }
+
+  void Reserve(size_t n) { bytes_.reserve(n); }
 
   const std::string& bytes() const { return bytes_; }
 

@@ -80,6 +80,10 @@ class WorkStealingQueues {
   // already pushed). Every successful Pop() must be balanced by one MarkDone().
   void MarkDone() { pending_.fetch_sub(1, std::memory_order_release); }
 
+  // Snapshot of queued + in-flight items. Racy by design (a relaxed load, no
+  // deque locks) — suitable for frontier-size statistics, not for control flow.
+  uint64_t ApproxPending() const { return pending_.load(std::memory_order_relaxed); }
+
  private:
   struct Deque {
     std::mutex mu;

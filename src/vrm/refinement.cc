@@ -35,6 +35,10 @@ std::string RefinementResult::Describe(const Program& program) const {
   }
   out += " (SC: " + std::to_string(sc.outcomes.size()) +
          " outcomes, RM: " + std::to_string(rm.outcomes.size()) + ")\n";
+  // Hot-path counters of both explorations (digest throughput, successor-slot
+  // reuse, frontier high-water mark) — see ExploreStats::Describe().
+  out += "  SC " + sc.stats.Describe() + "\n";
+  out += "  RM " + rm.stats.Describe() + "\n";
   for (const Outcome& outcome : rm_only) {
     out += "  RM-only: " + outcome.ToString(program) + "\n";
   }

@@ -25,6 +25,43 @@ TEST(Explorer, StateCapSetsTruncated) {
   EXPECT_TRUE(result.stats.truncated);
 }
 
+TEST(Explorer, StateCapBoundaryIsInclusive) {
+  // Pins the `seen >= max_states` truncation check: no more than max_states
+  // states are ever expanded, and a cap equal to the reachable-state count
+  // still reports truncation (expansion stops with frontier work pending),
+  // while any larger cap explores exhaustively. The historical `>` comparison
+  // expanded one state past the cap and reported clean at the boundary.
+  ProgramBuilder pb("cap-boundary");
+  pb.MemSize(2);
+  pb.NewThread().StoreImm(0, 1, 1).StoreImm(0, 2, 1);
+  pb.NewThread().StoreImm(1, 1, 1).StoreImm(1, 2, 1);
+  pb.ObserveLoc(0).ObserveLoc(1);
+  const Program program = pb.Build();
+
+  ModelConfig config;
+  ScMachine machine(program, config);
+  const ExploreResult full = Explore(machine, config);
+  ASSERT_FALSE(full.stats.truncated);
+  const uint64_t reachable = full.stats.states;
+  ASSERT_GE(reachable, 4u);
+
+  for (uint64_t cap : {uint64_t{1}, uint64_t{2}, reachable - 1, reachable}) {
+    ModelConfig capped;
+    capped.max_states = cap;
+    ScMachine capped_machine(program, capped);
+    const ExploreResult result = Explore(capped_machine, capped);
+    EXPECT_TRUE(result.stats.truncated) << "cap " << cap;
+    EXPECT_LE(result.stats.states, cap) << "cap " << cap;
+  }
+
+  ModelConfig above;
+  above.max_states = reachable + 1;
+  ScMachine above_machine(program, above);
+  const ExploreResult result = Explore(above_machine, above);
+  EXPECT_FALSE(result.stats.truncated);
+  EXPECT_EQ(result.stats.states, reachable);
+}
+
 TEST(Explorer, StateDigestIsStable) {
   const auto a = StateDigest("hello");
   const auto b = StateDigest("hello");

@@ -106,6 +106,122 @@ TEST(Hash, DigestHalvesAvalancheIndependently) {
   EXPECT_GE(delta_xor.size(), 255u);
 }
 
+// One-shot digest of a materialized byte string: the reference DigestSink must
+// reproduce bit for bit (this is StateDigest from src/model/explorer.h, inlined
+// here so the support tests stay free of model headers).
+Digest128 ReferenceDigest(const std::string& bytes) {
+  return {Fnv1a64(bytes.data(), bytes.size()),
+          Mix64Hash(bytes.data(), bytes.size())};
+}
+
+TEST(DigestSink, EmptyInputMatchesOneShot) {
+  DigestSink sink;
+  EXPECT_EQ(sink.Finish(), ReferenceDigest(""));
+  EXPECT_EQ(sink.bytes(), 0u);
+}
+
+TEST(DigestSink, TypedWritesMatchSerializerBytes) {
+  // Every U8/U32/U64/Raw interleaving pattern the machines actually emit:
+  // flags bytes between word runs, raw blobs of non-lane-aligned sizes.
+  const char blob[11] = {'s', 't', 'a', 't', 'e', 0, 1, 2, 3, 4, 5};
+  StateSerializer ser;
+  DigestSink sink;
+  for (int round = 0; round < 3; ++round) {
+    ser.U8(static_cast<uint8_t>(round));
+    sink.U8(static_cast<uint8_t>(round));
+    ser.U32(0xdeadbeefu + round);
+    sink.U32(0xdeadbeefu + round);
+    ser.U8(7);
+    sink.U8(7);
+    ser.U64(0x0123456789abcdefull * (round + 1));
+    sink.U64(0x0123456789abcdefull * (round + 1));
+    ser.Raw(blob, sizeof(blob));
+    sink.Raw(blob, sizeof(blob));
+  }
+  EXPECT_EQ(sink.Finish(), ReferenceDigest(ser.bytes()));
+  EXPECT_EQ(sink.bytes(), ser.bytes().size());
+}
+
+TEST(DigestSink, RawChunkBoundariesMatchOneShot) {
+  // Chunk sizes straddling the 8-byte lane buffer: partial fills, exact fills,
+  // one-past fills, and >8-byte tails after a misaligning prefix.
+  std::string payload;
+  for (int i = 0; i < 64; ++i) {
+    payload += static_cast<char>(i * 37 + 11);
+  }
+  for (size_t first : {0u, 1u, 3u, 7u, 8u, 9u, 15u, 16u, 17u}) {
+    for (size_t second : {0u, 1u, 5u, 8u, 11u, 16u, 23u}) {
+      StateSerializer ser;
+      DigestSink sink;
+      ser.Raw(payload.data(), first);
+      sink.Raw(payload.data(), first);
+      ser.Raw(payload.data() + first, second);
+      sink.Raw(payload.data() + first, second);
+      EXPECT_EQ(sink.Finish(), ReferenceDigest(ser.bytes()))
+          << "chunks " << first << " + " << second;
+    }
+  }
+}
+
+TEST(DigestSink, FinishIsNonDestructiveAndResetRewinds) {
+  DigestSink sink;
+  sink.U64(42);
+  const Digest128 first = sink.Finish();
+  EXPECT_EQ(first, sink.Finish());  // idempotent
+  sink.U8(1);  // writing after Finish() continues the same stream
+  StateSerializer ser;
+  ser.U64(42);
+  ser.U8(1);
+  EXPECT_EQ(sink.Finish(), ReferenceDigest(ser.bytes()));
+  sink.Reset();
+  EXPECT_EQ(sink.Finish(), ReferenceDigest(""));
+  sink.U64(42);
+  EXPECT_EQ(sink.Finish(), first);  // Reset() restores the empty-input state
+}
+
+TEST(DigestSink, FuzzedOpSequencesMatchOneShot) {
+  Rng rng(0xd16e57);
+  for (int round = 0; round < 200; ++round) {
+    StateSerializer ser;
+    DigestSink sink;
+    const int ops = 1 + static_cast<int>(rng.Below(40));
+    for (int op = 0; op < ops; ++op) {
+      switch (rng.Below(4)) {
+        case 0: {
+          const uint8_t v = static_cast<uint8_t>(rng.Below(256));
+          ser.U8(v);
+          sink.U8(v);
+          break;
+        }
+        case 1: {
+          const uint32_t v = static_cast<uint32_t>(rng.Below(1u << 31));
+          ser.U32(v);
+          sink.U32(v);
+          break;
+        }
+        case 2: {
+          const uint64_t v = rng.Next();
+          ser.U64(v);
+          sink.U64(v);
+          break;
+        }
+        default: {
+          char buf[21];
+          const size_t len = rng.Below(sizeof(buf) + 1);
+          for (size_t i = 0; i < len; ++i) {
+            buf[i] = static_cast<char>(rng.Below(256));
+          }
+          ser.Raw(buf, len);
+          sink.Raw(buf, len);
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(sink.Finish(), ReferenceDigest(ser.bytes())) << "round " << round;
+    ASSERT_EQ(sink.bytes(), ser.bytes().size()) << "round " << round;
+  }
+}
+
 TEST(ThreadPool, EffectiveThreadsResolvesZeroAndClamps) {
   EXPECT_GE(EffectiveThreads(0), 1);
   EXPECT_EQ(EffectiveThreads(1), 1);
