@@ -26,12 +26,12 @@ void Row(TextTable* table, const char* group, const char* variant,
   table->AddRow({variant, std::to_string(result.sc.outcomes.size()),
                  std::to_string(result.rm.outcomes.size()),
                  AnyOutcome(result.rm, relaxed) ? "yes" : "no",
-                 result.refines ? "yes" : "no"});
+                 result.status.holds ? "yes" : "no"});
   const std::string bench = std::string("ablation/") + group + "/" + variant;
   EmitBenchJson(bench, "sc_outcomes", static_cast<double>(result.sc.outcomes.size()));
   EmitBenchJson(bench, "rm_outcomes", static_cast<double>(result.rm.outcomes.size()));
   EmitBenchJson(bench, "relaxed_observed", AnyOutcome(result.rm, relaxed) ? 1 : 0);
-  EmitBenchJson(bench, "refines_sc", result.refines ? 1 : 0);
+  EmitBenchJson(bench, "refines_sc", result.status.holds ? 1 : 0);
 }
 
 int Main() {

@@ -1,0 +1,111 @@
+// Engine fusion: one fused walk pair vs the standalone checker walks.
+//
+// The legacy flow verifies a kernel with two independent checker calls —
+// CheckRefinement (one Promising walk + one SC walk) and CheckWdrf (a second
+// Promising walk with monitors armed) — three explorations in all. The fused
+// VerifyKernel performs one armed Promising walk feeding every wDRF pass plus
+// one overlapped SC walk, and derives the identical combined report from that
+// single pair. This bench times both flows on the paper's ticket-lock and
+// Example-1 kernels and reports the speedup plus the states_expanded equality
+// the fusion promises (the headline numbers live in EXPERIMENTS.md and
+// BENCH_engine_fusion.json).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/engine/verify_kernel.h"
+#include "src/engine/wdrf_passes.h"
+#include "src/litmus/paper_examples.h"
+#include "src/sekvm/tinyarm_primitives.h"
+#include "src/support/table.h"
+#include "src/vrm/refinement.h"
+
+namespace vrm {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+KernelSpec Example1KernelSpec(bool fixed) {
+  const LitmusTest test = Example1OutOfOrderWrite(fixed);
+  KernelSpec spec;
+  spec.program = test.program;
+  spec.base_config = test.config;
+  return spec;
+}
+
+void RunCase(TextTable* table, const std::string& name, const KernelSpec& spec,
+             int iters) {
+  // Best-of-N wall clock for each flow: small enough for bench-smoke, stable
+  // enough for the recorded numbers (run with a Release build and iters >= 5).
+  double legacy_ms = 0.0, fused_ms = 0.0;
+  uint64_t legacy_states = 0, fused_states = 0;
+  bool agree = true;
+  for (int i = 0; i < iters; ++i) {
+    const auto legacy_start = std::chrono::steady_clock::now();
+    const RefinementResult refinement =
+        CheckRefinement(LitmusTest{spec.program, WdrfModelConfig(spec), ""});
+    const WdrfReport wdrf = CheckWdrf(spec);
+    const double legacy = MsSince(legacy_start);
+
+    const auto fused_start = std::chrono::steady_clock::now();
+    const KernelVerification fused = VerifyKernel(spec);
+    const double fus = MsSince(fused_start);
+
+    if (i == 0 || legacy < legacy_ms) legacy_ms = legacy;
+    if (i == 0 || fus < fused_ms) fused_ms = fus;
+    legacy_states = wdrf.stats.states;
+    fused_states = fused.refinement.rm.stats.states;
+    agree &= fused.refinement.status == refinement.status &&
+             fused.wdrf.AllHold() == wdrf.AllHold() &&
+             fused_states == legacy_states;
+  }
+
+  const double speedup = legacy_ms / fused_ms;
+  table->AddRow({name, FormatDouble(legacy_ms, 2), FormatDouble(fused_ms, 2),
+                 FormatDouble(speedup, 2) + "x",
+                 std::to_string(fused_states), agree ? "yes" : "NO"});
+
+  const std::string bench = "engine_fusion/" + name;
+  EmitBenchJson(bench, "legacy_ms", legacy_ms);
+  EmitBenchJson(bench, "fused_ms", fused_ms);
+  EmitBenchJson(bench, "speedup", speedup);
+  EmitBenchJson(bench, "rm_states_expanded", static_cast<double>(fused_states));
+  EmitBenchJson(bench, "states_match_standalone",
+                fused_states == legacy_states ? 1 : 0);
+  EmitBenchJson(bench, "reports_agree", agree ? 1 : 0);
+}
+
+int Main(int argc, char** argv) {
+  // bench-smoke runs `bench_engine_fusion 1` (one iteration); measurement runs
+  // use the default 5.
+  const int iters = argc > 1 ? std::atoi(argv[1]) : 5;
+
+  std::printf("== Engine fusion: VerifyKernel vs CheckRefinement + CheckWdrf ==\n");
+  std::printf("(legacy = 2 Promising walks + 1 SC walk; fused = 1 + 1, "
+              "best of %d)\n\n", iters);
+
+  TextTable table({"kernel", "legacy ms", "fused ms", "speedup", "RM states",
+                   "reports agree"});
+  RunCase(&table, "gen_vmid_ticket_lock", GenVmidKernelSpec(true), iters);
+  RunCase(&table, "gen_vmid_llsc", GenVmidLlscKernelSpec(true), iters);
+  RunCase(&table, "example1_fixed", Example1KernelSpec(true), iters);
+  RunCase(&table, "example1_buggy", Example1KernelSpec(false), iters);
+  RunCase(&table, "vcpu_context", VcpuContextKernelSpec(true), iters);
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("The fused flow re-derives every verdict from one walk pair; "
+              "'reports agree' checks verdicts AND states_expanded match the "
+              "standalone checkers exactly.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vrm
+
+int main(int argc, char** argv) { return vrm::Main(argc, argv); }

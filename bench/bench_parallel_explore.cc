@@ -105,7 +105,7 @@ void BM_ParallelRefinement_TicketLock(benchmark::State& state) {
     const RefinementResult result = CheckRefinement(test);
     total_seconds += SecondsSince(start);
     ++iterations;
-    if (!result.refines) {
+    if (!result.status.holds) {
       state.SkipWithError("fixed ticket lock must refine SC");
       break;
     }

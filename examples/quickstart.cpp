@@ -7,10 +7,12 @@
 #include <cstdio>
 
 #include "src/arch/builder.h"
+#include "src/engine/verify_kernel.h"
 #include "src/litmus/litmus.h"
 #include "src/litmus/paper_examples.h"
 #include "src/model/random_walk.h"
 #include "src/model/trace.h"
+#include "src/sekvm/tinyarm_primitives.h"
 
 namespace vrm {
 namespace {
@@ -56,7 +58,15 @@ int Main() {
   const ExploreResult sc_fixed = RunSc(fixed);
   const ExploreResult rm_fixed = RunPromising(fixed);
   std::printf("%s", CompareModels(fixed, rm_fixed, sc_fixed).c_str());
-  return 0;
+
+  // ---------------------------------------------------------------- step 5 --
+  // The one-stop check: VerifyKernel runs a single Promising walk (all wDRF
+  // condition monitors attached as engine passes) plus a single SC walk and
+  // reports refinement, the six conditions, and the txn-PT cases together.
+  std::printf("\nStep 5: fused verification of the Figure-7 ticket lock\n\n");
+  const KernelVerification verification = VerifyKernel(GenVmidKernelSpec(true));
+  std::printf("%s", verification.Describe().c_str());
+  return verification.AllHold() ? 0 : 1;
 }
 
 }  // namespace

@@ -7,11 +7,11 @@
 
 #include <cstdio>
 
+#include "src/engine/verify_kernel.h"
 #include "src/sekvm/invariants.h"
 #include "src/sekvm/kserv.h"
 #include "src/sekvm/kvm_versions.h"
 #include "src/sekvm/tinyarm_primitives.h"
-#include "src/vrm/txn_pt_checker.h"
 
 namespace vrm {
 namespace {
@@ -63,26 +63,42 @@ int Main() {
               "KServ): %s\n\n",
               *vm_b, ToString(kcore.DestroyVm(*vm_b)));
 
-  // ------------------------------------- wDRF condition checks (Section 5) --
-  std::printf("wDRF condition checks over KCore's primitives (Promising-Arm "
-              "exploration):\n\n");
-  for (const auto& [name, spec] :
-       {std::pair<const char*, KernelSpec>{"gen_vmid (Figure 7 lock)",
-                                           GenVmidKernelSpec(true)},
-        {"vCPU context protocol", VcpuContextKernelSpec(true)},
-        {"clear_s2pt (+DSB/TLBI)", ClearS2ptKernelSpec(true)},
-        {"remap_pfn / set_el2_pt", RemapPfnKernelSpec(true)}}) {
-    std::printf("--- %s ---\n%s\n", name, CheckWdrf(spec).ToString().c_str());
-  }
-  for (int levels : {2, 3}) {
-    const PtWriteSequence seq = SetS2ptWriteSequence(levels);
-    const TxnCheckResult txn =
-        CheckTransactionalWrites(seq.mmu, seq.initial, seq.writes, seq.probe_vpages);
-    std::printf("TRANSACTIONAL-PAGE-TABLE, set_s2pt %d-level: %s "
-                "(%llu reorderings, %llu walks)\n",
-                levels, txn.transactional ? "HOLDS" : "VIOLATED",
-                (unsigned long long)txn.permutations_checked,
-                (unsigned long long)txn.walks_checked);
+  // ----------------------------------- fused verification (Section 5) ------
+  // VerifyKernel: one armed Promising walk + one SC walk per primitive, and
+  // every verdict — Theorem-2 refinement, the six wDRF conditions, and the
+  // txn-PT write-sequence cases — falls out of that single pair of walks.
+  std::printf("Fused verification of KCore's primitives (one Promising walk + "
+              "one SC walk each):\n\n");
+  KernelSpec set_s2pt_spec = GenVmidKernelSpec(true);
+  set_s2pt_spec.program.name = "set_s2pt write sequences (over gen_vmid)";
+  set_s2pt_spec.txn_cases = {SetS2ptWriteSequence(2), SetS2ptWriteSequence(3)};
+  // clear_s2pt deliberately races a VM's MMU walk against the unmap — the VM
+  // side is outside the kernel's wDRF discipline (DRF-KERNEL is not even
+  // armed), so Theorem 2's conclusion is not expected for it; only the
+  // SEQUENTIAL-TLB-INVALIDATION condition is. Every other primitive must pass
+  // the whole fused report.
+  struct Entry {
+    const char* name;
+    KernelSpec spec;
+    bool expect_refines;
+  };
+  bool primitives_ok = true;
+  for (const Entry& entry :
+       {Entry{"gen_vmid (Figure 7 lock)", GenVmidKernelSpec(true), true},
+        Entry{"vCPU context protocol", VcpuContextKernelSpec(true), true},
+        Entry{"clear_s2pt (+DSB/TLBI)", ClearS2ptKernelSpec(true), false},
+        Entry{"remap_pfn / set_el2_pt", RemapPfnKernelSpec(true), true},
+        Entry{"set_s2pt {2,3}-level txn cases", set_s2pt_spec, true}}) {
+    const KernelVerification verification = VerifyKernel(entry.spec);
+    std::printf("--- %s ---\n%s", entry.name, verification.Describe().c_str());
+    if (entry.expect_refines) {
+      primitives_ok &= verification.AllHold();
+    } else {
+      std::printf("(racy-by-design VM access: refinement verdict informational, "
+                  "wDRF conditions are the check)\n");
+      primitives_ok &= verification.wdrf.AllHold();
+    }
+    std::printf("\n");
   }
 
   // ------------------------------------------------- Section 5.6 the matrix --
@@ -95,7 +111,7 @@ int Main() {
   }
   std::printf("%d configurations across Linux 4.18-5.5 x {3,4}-level stage 2: %s\n",
               configs, all_ok ? "all pass" : "FAILURES");
-  return all_ok ? 0 : 1;
+  return (all_ok && primitives_ok) ? 0 : 1;
 }
 
 }  // namespace

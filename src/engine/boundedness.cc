@@ -1,0 +1,19 @@
+#include "src/engine/boundedness.h"
+
+namespace vrm {
+
+const char* Boundedness::Qualifier() const {
+  if (!holds) {
+    return "";
+  }
+  return truncated ? " [bounded-pass]" : " [exhaustive-pass]";
+}
+
+std::string Boundedness::Describe() const {
+  if (!holds) {
+    return "VIOLATED";
+  }
+  return std::string("HOLDS") + Qualifier();
+}
+
+}  // namespace vrm

@@ -1,0 +1,43 @@
+// Shared bounded-model-checking verdict semantics.
+//
+// Every checker in this repository explores a state space that may be cut
+// short by a bound (state cap, step budget, message cap). A positive verdict
+// derived from a truncated exploration is therefore only a *bounded-pass*: the
+// property held over the explored behaviours, but some behaviour beyond the
+// bound could still violate it. A negative verdict needs no such qualifier —
+// a counterexample found under any bound is real.
+//
+// Boundedness is that pair, with the verdict calculus in exactly one place:
+// RefinementResult, ConditionVerdict, WeakIsolationResult, and BatchEntry all
+// carry a Boundedness instead of hand-rolled holds/refines/covered ×
+// truncated/bounded bool pairs.
+
+#ifndef SRC_ENGINE_BOUNDEDNESS_H_
+#define SRC_ENGINE_BOUNDEDNESS_H_
+
+#include <string>
+
+namespace vrm {
+
+struct Boundedness {
+  bool holds = false;      // the property held over the explored behaviours
+  bool truncated = false;  // the backing exploration hit a bound
+
+  static Boundedness Judge(bool holds, bool truncated) { return {holds, truncated}; }
+
+  // Definitive (exhaustive) pass: held AND the exploration ran to completion.
+  bool Definitive() const { return holds && !truncated; }
+
+  // " [exhaustive-pass]" / " [bounded-pass]" for positive verdicts, "" for
+  // negative ones (a counterexample is definitive under any bound).
+  const char* Qualifier() const;
+
+  // "HOLDS [exhaustive-pass]" | "HOLDS [bounded-pass]" | "VIOLATED".
+  std::string Describe() const;
+
+  friend bool operator==(const Boundedness&, const Boundedness&) = default;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_ENGINE_BOUNDEDNESS_H_

@@ -1,0 +1,72 @@
+// The engine runner: one walk, many passes.
+//
+// RunEnginePasses adapts a list of type-erased EnginePasses to the explorer's
+// compile-time observer hook and performs a single Explore() over the machine.
+// Every registered pass sees the walk's events and the merged result; the
+// ExploreResult itself is returned so callers can also consume the built-in
+// outcome set — an engine run with an empty pass list is exactly Explore().
+//
+// The observer fans out by plain virtual dispatch. Zero-cost-when-unused is
+// the explorer's property (NullExploreObserver compiles the hook sites away);
+// this header is the pay-when-used side.
+
+#ifndef SRC_ENGINE_ENGINE_H_
+#define SRC_ENGINE_ENGINE_H_
+
+#include <vector>
+
+#include "src/engine/pass.h"
+#include "src/model/explorer.h"
+
+namespace vrm {
+
+// Adapts EnginePasses to the explorer's observer concept, erasing the
+// machine-specific state type (passes see event counts and Outcomes only —
+// exactly the data whose aggregate is worker-schedule independent).
+class PassObserver {
+ public:
+  static constexpr bool kEnabled = true;
+
+  explicit PassObserver(const std::vector<EnginePass*>& passes) : passes_(passes) {}
+
+  template <typename State>
+  void OnVisited(const State&) {
+    for (EnginePass* pass : passes_) {
+      pass->OnVisited();
+    }
+  }
+
+  template <typename State>
+  void OnTransitions(const State&, size_t count) {
+    for (EnginePass* pass : passes_) {
+      pass->OnTransitions(count);
+    }
+  }
+
+  template <typename State>
+  void OnTerminal(const State&, const Outcome& outcome) {
+    for (EnginePass* pass : passes_) {
+      pass->OnTerminal(outcome);
+    }
+  }
+
+ private:
+  const std::vector<EnginePass*>& passes_;
+};
+
+// One exploration of `machine` under `config`, with every pass armed. Passes
+// must outlive the call; they may be reused across runs to aggregate.
+template <typename Machine>
+ExploreResult RunEnginePasses(const Machine& machine, const ModelConfig& config,
+                              const std::vector<EnginePass*>& passes) {
+  PassObserver observer(passes);
+  ExploreResult result = Explore(machine, config, &observer);
+  for (EnginePass* pass : passes) {
+    pass->OnWalkDone(result);
+  }
+  return result;
+}
+
+}  // namespace vrm
+
+#endif  // SRC_ENGINE_ENGINE_H_

@@ -1,0 +1,33 @@
+#include "src/engine/pass.h"
+
+namespace vrm {
+
+std::string ProjectedOutcomeKey(const Outcome& outcome) {
+  std::string key;
+  for (Word w : outcome.regs) {
+    key += std::to_string(w);
+    key += ",";
+  }
+  key += "|";
+  for (Word w : outcome.locs) {
+    key += std::to_string(w);
+    key += ",";
+  }
+  return key;
+}
+
+void ProjectedOutcomePass::OnTerminal(const Outcome& outcome) {
+  std::string key = ProjectedOutcomeKey(outcome);
+  std::lock_guard<std::mutex> lock(mu_);
+  keys_.insert(std::move(key));
+}
+
+RefinementJudgement JudgeRefinement(const ExploreResult& rm, const ExploreResult& sc) {
+  RefinementJudgement judgement;
+  judgement.rm_only = OutcomesBeyond(rm, sc);
+  judgement.status = Boundedness::Judge(
+      judgement.rm_only.empty(), rm.stats.truncated || sc.stats.truncated);
+  return judgement;
+}
+
+}  // namespace vrm

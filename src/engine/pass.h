@@ -1,0 +1,117 @@
+// The pass layer of the verification engine.
+//
+// One state-space walk can feed many analyses: an EnginePass receives the
+// walk's events (unique visited states, transition dispatches, terminal
+// outcomes) plus the merged ExploreResult once the walk quiesces, and distills
+// its own verdict or aggregate from them. RunEnginePasses (engine.h) drives a
+// pass list over a single Explore() via the explorer's compile-time observer
+// hook, so checking N properties costs one walk, not N.
+//
+// Contract:
+//  - Passes observe, they never steer: a pass cannot perturb exploration
+//    order, successor generation, or state digests, so attaching passes can
+//    never change which behaviours a walk finds (tests pin states_expanded
+//    equality between observed and bare walks).
+//  - Event hooks may fire concurrently from engine workers when
+//    ModelConfig::num_threads != 1; implementations must be thread-safe
+//    (atomic counters, mutexed containers). Event *ordering* is
+//    schedule-dependent; event multisets are not (absent truncation), so a
+//    pass whose aggregate is order-insensitive is deterministic at any worker
+//    count.
+//  - OnWalkDone fires exactly once per engine run, in registration order, on
+//    the merged result. A pass may be reused across several engine runs to
+//    aggregate over them (CheckWeakIsolationRefinement unions the projected
+//    SC outcomes of every havoc variant through one ProjectedOutcomePass).
+
+#ifndef SRC_ENGINE_PASS_H_
+#define SRC_ENGINE_PASS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/engine/boundedness.h"
+#include "src/model/outcome.h"
+
+namespace vrm {
+
+class EnginePass {
+ public:
+  virtual ~EnginePass() = default;
+
+  virtual const char* Name() const = 0;
+
+  // Walk events. May fire concurrently (see file comment); defaults ignore.
+  virtual void OnVisited() {}
+  virtual void OnTransitions(size_t count) { (void)count; }
+  virtual void OnTerminal(const Outcome& outcome) { (void)outcome; }
+
+  // The walk has quiesced; `merged` is the full exploration result.
+  virtual void OnWalkDone(const ExploreResult& merged) { (void)merged; }
+};
+
+// Counts walk events with atomics and snapshots the merged ExploreStats —
+// the engine's own observability pass, and the test anchor proving the
+// observer hook fires once per unique state / transition batch / terminal.
+class WalkStatsPass : public EnginePass {
+ public:
+  const char* Name() const override { return "walk-stats"; }
+  void OnVisited() override { visited_.fetch_add(1, std::memory_order_relaxed); }
+  void OnTransitions(size_t count) override {
+    transitions_.fetch_add(count, std::memory_order_relaxed);
+  }
+  void OnTerminal(const Outcome&) override {
+    terminals_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void OnWalkDone(const ExploreResult& merged) override { stats_ = merged.stats; }
+
+  uint64_t visited() const { return visited_.load(std::memory_order_relaxed); }
+  uint64_t transitions() const { return transitions_.load(std::memory_order_relaxed); }
+  uint64_t terminals() const { return terminals_.load(std::memory_order_relaxed); }
+  const ExploreStats& stats() const { return stats_; }
+
+ private:
+  std::atomic<uint64_t> visited_{0};
+  std::atomic<uint64_t> transitions_{0};
+  std::atomic<uint64_t> terminals_{0};
+  ExploreStats stats_;
+};
+
+// Projection of an outcome onto observed register/location values only, so
+// programs with different thread counts can be compared (Theorem 4 composes
+// the kernel piece with different user programs).
+std::string ProjectedOutcomeKey(const Outcome& outcome);
+
+// Collects the projected-outcome set of everything the walk(s) terminate in.
+// Reusable across engine runs: keys accumulate (union semantics).
+class ProjectedOutcomePass : public EnginePass {
+ public:
+  const char* Name() const override { return "projected-outcomes"; }
+  void OnTerminal(const Outcome& outcome) override;
+
+  bool Contains(const Outcome& outcome) const {
+    return keys_.count(ProjectedOutcomeKey(outcome)) != 0;
+  }
+  size_t size() const { return keys_.size(); }
+
+ private:
+  std::mutex mu_;
+  std::set<std::string> keys_;
+};
+
+// The refinement verdict, computed in exactly one place: RM outcome set ⊆ SC
+// outcome set over the explored behaviours, bounded whenever either walk was.
+// CheckRefinement, RunLitmusBatch, RmRefinesSc, and VerifyKernel all route
+// through this.
+struct RefinementJudgement {
+  Boundedness status;
+  std::vector<Outcome> rm_only;  // counterexamples: RM-observable, not SC
+};
+RefinementJudgement JudgeRefinement(const ExploreResult& rm, const ExploreResult& sc);
+
+}  // namespace vrm
+
+#endif  // SRC_ENGINE_PASS_H_

@@ -1,0 +1,97 @@
+#include "src/engine/verify_kernel.h"
+
+#include <cstdio>
+#include <future>
+#include <utility>
+
+#include "src/engine/engine.h"
+#include "src/engine/wdrf_passes.h"
+#include "src/model/promising_machine.h"
+#include "src/model/sc_machine.h"
+
+namespace vrm {
+
+namespace {
+
+// Same fixed shape as bench/bench_json.h, returned instead of printed (the
+// library must not write to stdout). Bench/metric names here are ASCII.
+std::string JsonLine(const std::string& bench, const std::string& metric,
+                     double value) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.17g}\n",
+                bench.c_str(), metric.c_str(), value);
+  return buf;
+}
+
+}  // namespace
+
+bool KernelVerification::AllHold() const {
+  return refinement.status.holds && wdrf.AllHold();
+}
+
+bool KernelVerification::Definitive() const {
+  return refinement.Definitive() && wdrf.AllHoldExhaustively();
+}
+
+std::string KernelVerification::Describe() const {
+  std::string out = "=== VerifyKernel: " + program.name + " ===\n";
+  out += "Refinement (Theorem 2): " + refinement.Describe(program);
+  out += "wDRF conditions (one Promising walk):\n" + wdrf.ToString();
+  out += AllHold() ? std::string("verdict: PASS") + (Definitive() ? "" : " [bounded]")
+                   : "verdict: FAIL";
+  out += "\n";
+  return out;
+}
+
+std::string KernelVerification::ToJsonLines(const std::string& bench) const {
+  std::string out;
+  out += JsonLine(bench, "refinement_holds", refinement.status.holds ? 1 : 0);
+  out += JsonLine(bench, "refinement_definitive", refinement.Definitive() ? 1 : 0);
+  out += JsonLine(bench, "rm_only_outcomes", static_cast<double>(refinement.rm_only.size()));
+  out += JsonLine(bench, "sc_outcomes", static_cast<double>(refinement.sc.outcomes.size()));
+  out += JsonLine(bench, "rm_outcomes", static_cast<double>(refinement.rm.outcomes.size()));
+  out += JsonLine(bench, "rm_states_expanded", static_cast<double>(refinement.rm.stats.states));
+  out += JsonLine(bench, "sc_states_expanded", static_cast<double>(refinement.sc.stats.states));
+  for (const ConditionVerdict& verdict : wdrf.verdicts) {
+    std::string metric = std::string("condition/") + ConditionName(verdict.condition);
+    // -1 unchecked, 0 violated, 1 bounded-pass, 2 exhaustive-pass.
+    const double value = !verdict.checked           ? -1
+                         : !verdict.status.holds    ? 0
+                         : verdict.status.truncated ? 1
+                                                    : 2;
+    out += JsonLine(bench, metric, value);
+  }
+  out += JsonLine(bench, "all_hold", AllHold() ? 1 : 0);
+  out += JsonLine(bench, "definitive", Definitive() ? 1 : 0);
+  return out;
+}
+
+KernelVerification VerifyKernel(const KernelSpec& spec) {
+  const ModelConfig config = WdrfModelConfig(spec);
+
+  // The SC walk shares nothing with the Promising walk: overlap them, exactly
+  // as CheckRefinement does.
+  std::future<ExploreResult> sc = std::async(std::launch::async, [&] {
+    ScMachine machine(spec.program, config);
+    return Explore(machine, config);
+  });
+
+  // The single Promising walk: every wDRF pass rides along.
+  PromisingMachine machine(spec.program, config);
+  WdrfPassSet passes(spec);
+  ExploreResult rm = RunEnginePasses(machine, config, passes.passes());
+
+  KernelVerification v;
+  v.program = spec.program;
+  v.wdrf = passes.Report(rm);
+  v.txn_results = passes.txn_pass().results();
+  v.refinement.rm = std::move(rm);
+  v.refinement.sc = sc.get();
+  RefinementJudgement judgement = JudgeRefinement(v.refinement.rm, v.refinement.sc);
+  v.refinement.rm_only = std::move(judgement.rm_only);
+  v.refinement.status = judgement.status;
+  return v;
+}
+
+}  // namespace vrm

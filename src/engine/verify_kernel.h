@@ -1,0 +1,57 @@
+// Fused kernel verification: one Promising walk, one SC walk, every verdict.
+//
+// The standalone checkers each pay for their own exploration: CheckRefinement
+// walks the Promising space and the SC space, CheckWdrf walks the Promising
+// space again with monitors armed. VerifyKernel performs exactly one Promising
+// exploration (monitors armed, all wDRF passes attached) and one SC
+// exploration, overlapped, and derives the Theorem-2 refinement verdict, all
+// six wDRF condition verdicts, and the txn-PT results from that single pair of
+// walks. The Promising walk is bit-identical to standalone CheckWdrf's on the
+// same spec — same config, same machine, passes cannot perturb it — so
+// states_expanded matches (pinned by tests) and the combined report agrees
+// with the standalone checkers' verdicts exactly.
+
+#ifndef SRC_ENGINE_VERIFY_KERNEL_H_
+#define SRC_ENGINE_VERIFY_KERNEL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/vrm/conditions.h"
+#include "src/vrm/refinement.h"
+
+namespace vrm {
+
+struct KernelVerification {
+  Program program;  // the checked program, for rendering outcomes
+
+  // Theorem 2: RM ⊆ SC over the armed config (WdrfModelConfig(spec)), with
+  // both full exploration results.
+  RefinementResult refinement;
+
+  // The six wDRF conditions, from the same Promising walk refinement.rm is.
+  WdrfReport wdrf;
+
+  // Per-case txn-PT checker output (parallel to spec.txn_cases).
+  std::vector<TxnCheckResult> txn_results;
+
+  // Refinement holds and every checked condition holds (possibly bounded).
+  bool AllHold() const;
+  // AllHold, exhaustively: nothing truncated, nothing merely bounded.
+  bool Definitive() const;
+
+  // Human-readable combined report.
+  std::string Describe() const;
+
+  // bench_json-style machine-readable lines ({"bench": ..., "metric": ...,
+  // "value": ...}, one per verdict/stat), for CI scraping; `bench` names the
+  // report, conventionally "verify_kernel/<program>".
+  std::string ToJsonLines(const std::string& bench) const;
+};
+
+// One Promising walk + one SC walk (overlapped), every checker's verdict.
+KernelVerification VerifyKernel(const KernelSpec& spec);
+
+}  // namespace vrm
+
+#endif  // SRC_ENGINE_VERIFY_KERNEL_H_

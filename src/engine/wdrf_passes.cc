@@ -1,0 +1,115 @@
+#include "src/engine/wdrf_passes.h"
+
+namespace vrm {
+
+ModelConfig WdrfModelConfig(const KernelSpec& spec) {
+  ModelConfig config = spec.base_config;
+  config.pushpull = !spec.program.regions.empty();
+  config.write_once_cells = spec.kernel_pt_cells;
+  config.pt_watch = spec.pt_watch;
+  config.user_cells = spec.user_cells;
+  config.kernel_cells = spec.kernel_cells;
+  return config;
+}
+
+ConditionPass::ConditionPass(WdrfCondition condition, bool checked,
+                             ConditionViolations::Flag ConditionViolations::* flag,
+                             std::string clean_detail)
+    : flag_(flag), clean_detail_(std::move(clean_detail)) {
+  verdict_.condition = condition;
+  verdict_.checked = checked;
+}
+
+const char* ConditionPass::Name() const { return ConditionName(verdict_.condition); }
+
+void ConditionPass::OnWalkDone(const ExploreResult& merged) {
+  const ConditionViolations::Flag* flag =
+      flag_ == nullptr ? nullptr : &(merged.violations.*flag_);
+  const bool violated = flag != nullptr && flag->set;
+  verdict_.status = Boundedness::Judge(verdict_.checked && !violated,
+                                       verdict_.checked && merged.stats.truncated);
+  verdict_.detail =
+      violated && !flag->detail.empty() ? flag->detail : clean_detail_;
+}
+
+TxnPtPass::TxnPtPass(std::vector<TxnPtCase> cases) : cases_(std::move(cases)) {
+  verdict_.condition = WdrfCondition::kTransactionalPageTable;
+  verdict_.checked = !cases_.empty();
+  if (!verdict_.checked) {
+    verdict_.detail = "no write sequences declared (KernelSpec::txn_cases)";
+  }
+}
+
+void TxnPtPass::OnWalkDone(const ExploreResult&) {
+  if (!verdict_.checked) {
+    return;
+  }
+  results_.clear();
+  uint64_t permutations = 0;
+  uint64_t walks = 0;
+  bool transactional = true;
+  std::string detail;
+  for (const TxnPtCase& c : cases_) {
+    results_.push_back(
+        CheckTransactionalWrites(c.mmu, c.initial, c.writes, c.probe_vpages));
+    const TxnCheckResult& r = results_.back();
+    permutations += r.permutations_checked;
+    walks += r.walks_checked;
+    if (!r.transactional && detail.empty()) {
+      detail = r.detail;
+    }
+    transactional = transactional && r.transactional;
+  }
+  // Permutation enumeration is exhaustive, so the verdict is never bounded.
+  verdict_.status = Boundedness::Judge(transactional, /*truncated=*/false);
+  verdict_.detail = transactional ? std::to_string(permutations) + " reorderings, " +
+                                        std::to_string(walks) + " walks checked"
+                                  : detail;
+}
+
+WdrfPassSet::WdrfPassSet(const KernelSpec& spec) {
+  const bool pushpull = !spec.program.regions.empty();
+  auto add = [&](WdrfCondition condition, bool checked,
+                 ConditionViolations::Flag ConditionViolations::* flag,
+                 std::string clean_detail = "") {
+    auto pass = std::make_unique<ConditionPass>(condition, checked, flag,
+                                                std::move(clean_detail));
+    conditions_.push_back(pass.get());
+    passes_.push_back(pass.get());
+    owned_.push_back(std::move(pass));
+  };
+
+  add(WdrfCondition::kDrfKernel, pushpull, &ConditionViolations::drf);
+  add(WdrfCondition::kNoBarrierMisuse, pushpull, &ConditionViolations::barrier);
+  add(WdrfCondition::kWriteOnceKernelMapping, !spec.kernel_pt_cells.empty(),
+      &ConditionViolations::write_once);
+  {
+    auto txn = std::make_unique<TxnPtPass>(spec.txn_cases);
+    txn_ = txn.get();
+    passes_.push_back(txn.get());
+    owned_.push_back(std::move(txn));
+  }
+  add(WdrfCondition::kSequentialTlbInvalidation, !spec.pt_watch.empty(),
+      &ConditionViolations::tlbi);
+  add(WdrfCondition::kMemoryIsolation,
+      !spec.user_cells.empty() || !spec.kernel_cells.empty(),
+      &ConditionViolations::isolation,
+      spec.weak_isolation ? "weak form: oracle reads permitted" : "");
+}
+
+WdrfReport WdrfPassSet::Report(const ExploreResult& merged) const {
+  WdrfReport report;
+  report.stats = merged.stats;
+  report.truncated = merged.stats.truncated;
+  // Enum order: the txn-PT verdict slots in after WRITE-ONCE (conditions_
+  // holds the other five in declaration order, which matches the enum).
+  for (const ConditionPass* pass : conditions_) {
+    report.verdicts.push_back(pass->verdict());
+    if (pass->verdict().condition == WdrfCondition::kWriteOnceKernelMapping) {
+      report.verdicts.push_back(txn_->verdict());
+    }
+  }
+  return report;
+}
+
+}  // namespace vrm

@@ -1,0 +1,97 @@
+// wDRF condition checking as engine passes.
+//
+// CheckWdrf and the fused VerifyKernel share everything here: the armed
+// ModelConfig a KernelSpec induces (WdrfModelConfig), one ConditionPass per
+// wDRF condition that distills a ConditionVerdict from the walk's merged
+// violation flags, a TxnPtPass that discharges TRANSACTIONAL-PAGE-TABLE from
+// the spec's declared write sequences (it quantifies over write reorderings,
+// not executions, so it rides along the walk rather than monitoring it), and
+// a WdrfPassSet bundling all of them into one pass list for RunEnginePasses.
+//
+// Because the monitors live in the machines (armed via ModelConfig) and the
+// passes only read the merged ConditionViolations, attaching the full pass set
+// cannot change which states the walk visits: CheckWdrf and VerifyKernel
+// expand identical state counts on the same spec (pinned by tests).
+
+#ifndef SRC_ENGINE_WDRF_PASSES_H_
+#define SRC_ENGINE_WDRF_PASSES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/pass.h"
+#include "src/model/config.h"
+#include "src/vrm/conditions.h"
+
+namespace vrm {
+
+// The exploration config CheckWdrf has always armed: monitors for every
+// condition the spec declares metadata for, on top of the spec's base bounds.
+ModelConfig WdrfModelConfig(const KernelSpec& spec);
+
+// Distills one condition's verdict from the merged walk result.
+class ConditionPass : public EnginePass {
+ public:
+  // `flag` selects which ConditionViolations member backs the verdict;
+  // nullptr means the condition has no walk-side monitor (verdict defaults to
+  // holds when checked). `clean_detail` is reported when no violation fired.
+  ConditionPass(WdrfCondition condition, bool checked,
+                ConditionViolations::Flag ConditionViolations::* flag,
+                std::string clean_detail = "");
+
+  const char* Name() const override;
+  void OnWalkDone(const ExploreResult& merged) override;
+
+  const ConditionVerdict& verdict() const { return verdict_; }
+
+ private:
+  ConditionViolations::Flag ConditionViolations::* flag_;
+  std::string clean_detail_;
+  ConditionVerdict verdict_;
+};
+
+// Discharges TRANSACTIONAL-PAGE-TABLE over the spec's declared write
+// sequences. Exhaustive permutation enumeration — never bounded, so the
+// verdict's truncated flag stays false regardless of the walk's.
+class TxnPtPass : public EnginePass {
+ public:
+  explicit TxnPtPass(std::vector<TxnPtCase> cases);
+
+  const char* Name() const override { return "txn-pt"; }
+  void OnWalkDone(const ExploreResult& merged) override;
+
+  const ConditionVerdict& verdict() const { return verdict_; }
+  const std::vector<TxnCheckResult>& results() const { return results_; }
+
+ private:
+  std::vector<TxnPtCase> cases_;
+  ConditionVerdict verdict_;
+  std::vector<TxnCheckResult> results_;
+};
+
+// The full wDRF pass set for one KernelSpec: six condition passes (txn-PT
+// included) ready for a single engine walk. Keeps the spec's metadata it
+// needs by value, so the spec may be destroyed after construction.
+class WdrfPassSet {
+ public:
+  explicit WdrfPassSet(const KernelSpec& spec);
+
+  const std::vector<EnginePass*>& passes() const { return passes_; }
+
+  // Assembles the per-condition report from the passes after the walk;
+  // `merged` supplies the walk stats and truncation flag.
+  WdrfReport Report(const ExploreResult& merged) const;
+
+  const TxnPtPass& txn_pass() const { return *txn_; }
+
+ private:
+  std::vector<std::unique_ptr<EnginePass>> owned_;
+  std::vector<EnginePass*> passes_;
+  std::vector<const ConditionPass*> conditions_;  // in WdrfCondition enum order
+  TxnPtPass* txn_ = nullptr;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_ENGINE_WDRF_PASSES_H_

@@ -1,5 +1,8 @@
 #include "src/litmus/batch.h"
 
+#include <utility>
+
+#include "src/engine/pass.h"
 #include "src/litmus/classics.h"
 #include "src/litmus/paper_examples.h"
 #include "src/support/thread_pool.h"
@@ -9,8 +12,8 @@ namespace vrm {
 std::string BatchResult::Summary() const {
   size_t refines = 0, truncated = 0;
   for (const BatchEntry& e : entries) {
-    refines += e.rm_refines_sc ? 1 : 0;
-    truncated += e.truncated ? 1 : 0;
+    refines += e.status.holds ? 1 : 0;
+    truncated += e.status.truncated ? 1 : 0;
   }
   std::string out = "batch: " + std::to_string(entries.size()) + " tests, " +
                     std::to_string(refines) + " refine SC, " +
@@ -18,10 +21,10 @@ std::string BatchResult::Summary() const {
                     "behaviour, " + std::to_string(truncated) + " truncated\n";
   for (const BatchEntry& e : entries) {
     out += "  " + e.test.program.name + ": RM " +
-           (e.rm_refines_sc ? "⊆" : "⊄") + " SC (" +
+           (e.status.holds ? "⊆" : "⊄") + " SC (" +
            std::to_string(e.rm.outcomes.size()) + " RM / " +
            std::to_string(e.sc.outcomes.size()) + " SC outcomes)" +
-           (e.truncated ? " [bounded]" : "") + "\n";
+           (e.status.truncated ? " [bounded]" : "") + "\n";
   }
   return out;
 }
@@ -43,8 +46,11 @@ BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite, int num_threads
     }
   });
   for (BatchEntry& entry : result.entries) {
-    entry.rm_refines_sc = RmRefinesSc(entry.rm, entry.sc);
-    entry.truncated = entry.sc.stats.truncated || entry.rm.stats.truncated;
+    // The shared engine judgement — the same verdict logic CheckRefinement
+    // and VerifyKernel apply.
+    RefinementJudgement judgement = JudgeRefinement(entry.rm, entry.sc);
+    entry.status = judgement.status;
+    entry.rm_only = std::move(judgement.rm_only);
   }
   return result;
 }

@@ -4,7 +4,8 @@
 // hardware models, distributing test-level work across a thread pool (and each
 // exploration may itself go wide per its ModelConfig::num_threads). Per-test
 // results are identical to running the test alone — parallelism only reorders
-// wall-clock, never outcomes.
+// wall-clock, never outcomes. The per-test inclusion verdict is the engine's
+// shared JudgeRefinement, the same judgement CheckRefinement uses.
 
 #ifndef SRC_LITMUS_BATCH_H_
 #define SRC_LITMUS_BATCH_H_
@@ -12,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "src/engine/boundedness.h"
 #include "src/litmus/litmus.h"
 
 namespace vrm {
@@ -20,8 +22,10 @@ struct BatchEntry {
   LitmusTest test;
   ExploreResult sc;
   ExploreResult rm;
-  bool rm_refines_sc = false;  // over the explored behaviours
-  bool truncated = false;      // either exploration hit a bound
+  // status.holds: RM ⊆ SC over the explored behaviours; status.truncated:
+  // either exploration hit a bound.
+  Boundedness status;
+  std::vector<Outcome> rm_only;  // counterexamples, when status.holds is false
 };
 
 struct BatchResult {

@@ -1,5 +1,6 @@
 #include "src/litmus/litmus.h"
 
+#include "src/engine/pass.h"
 #include "src/model/explorer.h"
 #include "src/model/promising_machine.h"
 #include "src/model/sc_machine.h"
@@ -33,7 +34,7 @@ bool AnyOutcome(const ExploreResult& result, const OutcomePredicate& predicate) 
 }
 
 bool RmRefinesSc(const ExploreResult& rm, const ExploreResult& sc) {
-  return OutcomesBeyond(rm, sc).empty();
+  return JudgeRefinement(rm, sc).status.holds;
 }
 
 std::string CompareModels(const LitmusTest& test, const ExploreResult& rm,

@@ -49,6 +49,21 @@
 // expansion stops: the check is `seen >= max_states`, so no more than
 // max_states states are ever expanded (tests/model/explorer_test.cc pins the
 // boundary).
+//
+// Observer hook. Explore()/ExploreSequential()/ExploreParallel() take an
+// optional observer so one walk can feed analyses beyond the built-in outcome
+// set (src/engine/ builds its pass infrastructure on this). An Observer type
+// exposes
+//   static constexpr bool kEnabled;
+//   void OnVisited(const State&);               // unique state dequeued
+//   void OnTransitions(const State&, size_t);   // successors dispatched
+//   void OnTerminal(const State&, const Outcome&);
+// and every hook site is guarded by `if constexpr (Observer::kEnabled)`, so
+// with the default NullExploreObserver the hooks compile away entirely — the
+// hot loop is bit-for-bit the unobserved one. Observers MUST NOT perturb the
+// exploration (they see states by const reference and must not touch the
+// machine); under ExploreParallel the hooks fire concurrently from all
+// workers, so observers must be thread-safe when config.num_threads != 1.
 
 #ifndef SRC_MODEL_EXPLORER_H_
 #define SRC_MODEL_EXPLORER_H_
@@ -66,6 +81,17 @@
 #include "src/support/work_steal.h"
 
 namespace vrm {
+
+// Default (disabled) walk observer: every hook site compiles away.
+struct NullExploreObserver {
+  static constexpr bool kEnabled = false;
+  template <typename State>
+  void OnVisited(const State&) {}
+  template <typename State>
+  void OnTransitions(const State&, size_t) {}
+  template <typename State>
+  void OnTerminal(const State&, const Outcome&) {}
+};
 
 // 128-bit digest of a canonical state serialization, packed into a uint64 pair.
 // Kept for exact-key verification and tests; the explorers stream instead.
@@ -86,8 +112,9 @@ Digest128 StreamingStateDigest(const Machine& machine,
   return sink->Finish();
 }
 
-template <typename Machine>
-ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& config) {
+template <typename Machine, typename Observer = NullExploreObserver>
+ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& config,
+                                Observer* observer = nullptr) {
   ExploreResult result;
   std::unordered_set<Digest128, DigestHash> seen;
   std::vector<typename Machine::State> stack;
@@ -118,10 +145,16 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
     state = std::move(stack.back());
     stack.pop_back();
     ++result.stats.states;
+    if constexpr (Observer::kEnabled) {
+      observer->OnVisited(state);
+    }
 
     if (machine.IsTerminal(state)) {
       machine.AuditTerminal(state, &result);
       Outcome outcome = machine.Extract(state);
+      if constexpr (Observer::kEnabled) {
+        observer->OnTerminal(state, outcome);
+      }
       result.outcomes.emplace(outcome.Key(), std::move(outcome));
       continue;
     }
@@ -131,6 +164,9 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
     ++(next.capacity() == cap_before ? result.stats.succ_reused
                                      : result.stats.succ_grown);
     result.stats.transitions += count;
+    if constexpr (Observer::kEnabled) {
+      observer->OnTransitions(state, count);
+    }
     for (size_t i = 0; i < count; ++i) {
       if (seen.insert(digest(next[i])).second) {
         // Genuinely new frontier state: steal its buffers. Duplicates stay in
@@ -145,9 +181,9 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
   return result;
 }
 
-template <typename Machine>
+template <typename Machine, typename Observer = NullExploreObserver>
 ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
-                              int num_threads) {
+                              int num_threads, Observer* observer = nullptr) {
   // Machines memoize internally (the Promising machine's certification caches),
   // so each worker drives its own copy; the shared structures are only the
   // frontier deques and the visited set.
@@ -187,10 +223,16 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
         continue;
       }
       ++result.stats.states;
+      if constexpr (Observer::kEnabled) {
+        observer->OnVisited(state);
+      }
 
       if (m.IsTerminal(state)) {
         m.AuditTerminal(state, &result);
         Outcome outcome = m.Extract(state);
+        if constexpr (Observer::kEnabled) {
+          observer->OnTerminal(state, outcome);
+        }
         result.outcomes.emplace(outcome.Key(), std::move(outcome));
         frontier.MarkDone();
         continue;
@@ -201,6 +243,9 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
       ++(next.capacity() == cap_before ? result.stats.succ_reused
                                        : result.stats.succ_grown);
       result.stats.transitions += count;
+      if constexpr (Observer::kEnabled) {
+        observer->OnTransitions(state, count);
+      }
       for (size_t i = 0; i < count; ++i) {
         sink.Reset();
         m.SerializeInto(next[i], &sink);
@@ -226,13 +271,14 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
   return result;
 }
 
-template <typename Machine>
-ExploreResult Explore(const Machine& machine, const ModelConfig& config) {
+template <typename Machine, typename Observer = NullExploreObserver>
+ExploreResult Explore(const Machine& machine, const ModelConfig& config,
+                      Observer* observer = nullptr) {
   const int num_threads = EffectiveThreads(config.num_threads);
   if (num_threads <= 1) {
-    return ExploreSequential(machine, config);
+    return ExploreSequential(machine, config, observer);
   }
-  return ExploreParallel(machine, config, num_threads);
+  return ExploreParallel(machine, config, num_threads, observer);
 }
 
 }  // namespace vrm

@@ -193,6 +193,9 @@ KernelSpec ClearS2ptKernelSpec(bool verified) {
   KernelSpec spec;
   spec.program = pb.Build();
   spec.pt_watch = {{kPteCell, 0}};
+  // clear_s2pt's critical-section write sequence, so the fused checkers
+  // discharge TRANSACTIONAL-PAGE-TABLE for this primitive alongside the walk.
+  spec.txn_cases = {ClearS2ptWriteSequence(2)};
   return spec;
 }
 

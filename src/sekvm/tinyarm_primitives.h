@@ -63,12 +63,9 @@ KernelSpec RemapPfnKernelSpec(bool verified);
 // set_s2pt's write sequence for the TRANSACTIONAL-PAGE-TABLE checker: the
 // walk-allocate-link-set order of Section 5.4, parameterized by table depth
 // (2 or 3 TinyArm levels standing for the 3- and 4-level stage 2 configs).
-struct PtWriteSequence {
-  MmuConfig mmu;
-  std::map<Addr, Word> initial;
-  std::vector<PtWrite> writes;
-  std::vector<VirtAddr> probe_vpages;
-};
+// A write sequence IS a TxnPtCase (src/vrm/conditions.h), so the factories'
+// output drops straight into KernelSpec::txn_cases for the fused VerifyKernel.
+using PtWriteSequence = TxnPtCase;
 PtWriteSequence SetS2ptWriteSequence(int levels);
 
 // clear_s2pt's (single) write, for the same checker.

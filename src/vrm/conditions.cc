@@ -1,6 +1,7 @@
 #include "src/vrm/conditions.h"
 
-#include "src/model/explorer.h"
+#include "src/engine/engine.h"
+#include "src/engine/wdrf_passes.h"
 #include "src/model/promising_machine.h"
 #include "src/support/check.h"
 
@@ -26,7 +27,7 @@ const char* ConditionName(WdrfCondition condition) {
 
 bool WdrfReport::AllHold() const {
   for (const ConditionVerdict& verdict : verdicts) {
-    if (verdict.checked && !verdict.holds) {
+    if (verdict.checked && !verdict.status.holds) {
       return false;
     }
   }
@@ -57,13 +58,7 @@ std::string WdrfReport::ToString() const {
   for (const ConditionVerdict& verdict : verdicts) {
     out += ConditionName(verdict.condition);
     out += ": ";
-    if (!verdict.checked) {
-      out += "not checked";
-    } else if (!verdict.holds) {
-      out += "VIOLATED";
-    } else {
-      out += verdict.bounded ? "HOLDS [bounded-pass]" : "HOLDS [exhaustive-pass]";
-    }
+    out += verdict.checked ? verdict.status.Describe() : "not checked";
     if (!verdict.detail.empty()) {
       out += " (" + verdict.detail + ")";
     }
@@ -76,43 +71,20 @@ std::string WdrfReport::ToString() const {
 }
 
 WdrfReport CheckWdrf(const KernelSpec& spec) {
-  ModelConfig config = spec.base_config;
-  config.pushpull = !spec.program.regions.empty();
-  config.write_once_cells = spec.kernel_pt_cells;
-  config.pt_watch = spec.pt_watch;
-  config.user_cells = spec.user_cells;
-  config.kernel_cells = spec.kernel_cells;
-
+  const ModelConfig config = WdrfModelConfig(spec);
   PromisingMachine machine(spec.program, config);
-  ExploreResult result = Explore(machine, config);
+  WdrfPassSet passes(spec);
+  return passes.Report(RunEnginePasses(machine, config, passes.passes()));
+}
 
-  WdrfReport report;
-  report.stats = result.stats;
-  report.truncated = result.stats.truncated;
-  const ConditionViolations& v = result.violations;
-
-  auto add = [&](WdrfCondition condition, bool checked, bool violated,
-                 std::string detail) {
-    report.verdicts.push_back({condition, checked && !violated, checked,
-                               /*bounded=*/checked && report.truncated,
-                               std::move(detail)});
-  };
-
-  add(WdrfCondition::kDrfKernel, config.pushpull, v.drf.set, v.drf.detail);
-  add(WdrfCondition::kNoBarrierMisuse, config.pushpull, v.barrier.set,
-      v.barrier.detail);
-  add(WdrfCondition::kWriteOnceKernelMapping, !spec.kernel_pt_cells.empty(),
-      v.write_once.set, v.write_once.detail);
-  add(WdrfCondition::kTransactionalPageTable, false, false,
-      "checked separately over write reorderings (txn_pt_checker)");
-  add(WdrfCondition::kSequentialTlbInvalidation, !spec.pt_watch.empty(), v.tlbi.set,
-      v.tlbi.detail);
-  add(WdrfCondition::kMemoryIsolation,
-      !spec.user_cells.empty() || !spec.kernel_cells.empty(), v.isolation.set,
-      v.isolation.detail.empty() && spec.weak_isolation
-          ? "weak form: oracle reads permitted"
-          : v.isolation.detail);
-  return report;
+ConditionVerdict CheckTxnPt(const KernelSpec& spec,
+                            std::vector<TxnCheckResult>* results) {
+  TxnPtPass pass(spec.txn_cases);
+  pass.OnWalkDone(ExploreResult{});
+  if (results != nullptr) {
+    *results = pass.results();
+  }
+  return pass.verdict();
 }
 
 }  // namespace vrm

@@ -6,19 +6,33 @@
 // metadata the conditions quantify over (which cells are kernel shared objects,
 // kernel page-table entries, user memory, and user-facing PT entries). CheckWdrf
 // explores every behaviour of the program on the Promising machine with all
-// monitors armed and reports a per-condition verdict.
+// condition passes armed — one engine walk (src/engine/) feeds every monitor —
+// and reports a per-condition verdict.
 
 #ifndef SRC_VRM_CONDITIONS_H_
 #define SRC_VRM_CONDITIONS_H_
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "src/arch/program.h"
+#include "src/engine/boundedness.h"
 #include "src/model/config.h"
 #include "src/model/outcome.h"
+#include "src/vrm/txn_pt_checker.h"
 
 namespace vrm {
+
+// One TRANSACTIONAL-PAGE-TABLE obligation: a critical section's page-table
+// write sequence, the memory it starts from, and the virtual pages a racing
+// MMU walk may probe (txn_pt_checker.h quantifies over write reorderings).
+struct TxnPtCase {
+  MmuConfig mmu;
+  std::map<Addr, Word> initial;
+  std::vector<PtWrite> writes;
+  std::vector<VirtAddr> probe_vpages;
+};
 
 // What a kernel program must declare so the conditions can be checked.
 struct KernelSpec {
@@ -39,6 +53,12 @@ struct KernelSpec {
   std::vector<Addr> user_cells;
   std::vector<Addr> kernel_cells;
 
+  // TRANSACTIONAL-PAGE-TABLE: the critical sections' write sequences. This
+  // condition quantifies over write reorderings rather than executions, so it
+  // is discharged by the txn-PT pass alongside the walk, not by a monitor in
+  // it. Empty = condition not checked.
+  std::vector<TxnPtCase> txn_cases;
+
   // Whether kernel reads of user memory are declared as data-oracle reads
   // (WEAK-MEMORY-ISOLATION). Informational: the program encodes oracle reads as
   // kOracleLoad; this flag selects which isolation condition the report claims.
@@ -58,17 +78,15 @@ const char* ConditionName(WdrfCondition condition);
 
 struct ConditionVerdict {
   WdrfCondition condition;
-  bool holds = false;
   bool checked = false;  // false when the spec provides nothing to check
-  // True when the exploration backing this verdict hit a bound: a `holds`
-  // verdict is then a bounded-pass (no violation among the explored behaviours),
-  // not a definitive condition-pass. A violation found under a bound is still a
-  // definitive fail.
-  bool bounded = false;
+  // status.holds: no violation among the explored behaviours. status.truncated:
+  // the backing exploration hit a bound, so a positive verdict is a
+  // bounded-pass. A violation found under a bound is still a definitive fail.
+  Boundedness status;
   std::string detail;
 
   // Definitive condition-pass: holds AND the exploration was exhaustive.
-  bool HoldsExhaustively() const { return checked && holds && !bounded; }
+  bool HoldsExhaustively() const { return checked && status.Definitive(); }
 };
 
 struct WdrfReport {
@@ -83,11 +101,17 @@ struct WdrfReport {
   const ConditionVerdict& Verdict(WdrfCondition condition) const;
 };
 
-// Explores the kernel program on the Promising-Arm machine with every monitor
-// armed and fills a per-condition report. TRANSACTIONAL-PAGE-TABLE is checked
-// separately (it quantifies over write reorderings, not executions) via
-// CheckTransactionalWrites in txn_pt_checker.h; CheckWdrf marks it unchecked.
+// Explores the kernel program on the Promising-Arm machine — one engine walk
+// with every condition pass armed (src/engine/wdrf_passes.h) — and fills a
+// per-condition report. TRANSACTIONAL-PAGE-TABLE is discharged from
+// spec.txn_cases by the txn-PT pass (unchecked when the spec declares none).
 WdrfReport CheckWdrf(const KernelSpec& spec);
+
+// The TRANSACTIONAL-PAGE-TABLE verdict alone: runs the reordering checker over
+// spec.txn_cases without any exploration. The same pass CheckWdrf/VerifyKernel
+// use; `results` (optional) receives the per-case checker output.
+ConditionVerdict CheckTxnPt(const KernelSpec& spec,
+                            std::vector<TxnCheckResult>* results = nullptr);
 
 }  // namespace vrm
 

@@ -1,38 +1,16 @@
 #include "src/vrm/refinement.h"
 
 #include <future>
-#include <set>
+#include <utility>
+
+#include "src/engine/engine.h"
+#include "src/model/sc_machine.h"
 
 namespace vrm {
 
-namespace {
-
-// Projection of an outcome onto observed register/location values only, so
-// programs with different thread counts can be compared (Theorem 4 composes the
-// kernel with different user programs).
-std::string ProjectKey(const Outcome& outcome) {
-  std::string key;
-  for (Word w : outcome.regs) {
-    key += std::to_string(w);
-    key += ",";
-  }
-  key += "|";
-  for (Word w : outcome.locs) {
-    key += std::to_string(w);
-    key += ",";
-  }
-  return key;
-}
-
-}  // namespace
-
 std::string RefinementResult::Describe(const Program& program) const {
-  std::string out = refines ? "RM ⊆ SC holds" : "RM ⊄ SC";
-  if (refines) {
-    out += truncated ? " [bounded-pass: exploration truncated, inclusion verified "
-                       "only over the explored behaviours]"
-                     : " [exhaustive-pass]";
-  }
+  std::string out = status.holds ? "RM ⊆ SC holds" : "RM ⊄ SC";
+  out += status.Qualifier();
   out += " (SC: " + std::to_string(sc.outcomes.size()) +
          " outcomes, RM: " + std::to_string(rm.outcomes.size()) + ")\n";
   // Hot-path counters of both explorations (digest throughput, successor-slot
@@ -52,9 +30,9 @@ RefinementResult CheckRefinement(const LitmusTest& test) {
   std::future<ExploreResult> sc = std::async(std::launch::async, [&] { return RunSc(test); });
   result.rm = RunPromising(test);
   result.sc = sc.get();
-  result.rm_only = OutcomesBeyond(result.rm, result.sc);
-  result.refines = result.rm_only.empty();
-  result.truncated = result.sc.stats.truncated || result.rm.stats.truncated;
+  RefinementJudgement judgement = JudgeRefinement(result.rm, result.sc);
+  result.rm_only = std::move(judgement.rm_only);
+  result.status = judgement.status;
   return result;
 }
 
@@ -62,25 +40,25 @@ WeakIsolationResult CheckWeakIsolationRefinement(
     const LitmusTest& kernel_with_user,
     const std::vector<LitmusTest>& kernel_with_havoc) {
   WeakIsolationResult result;
-  std::set<std::string> sc_union;
+  // One ProjectedOutcomePass accumulates the SC-outcome union across every
+  // havoc variant's engine run (passes are reusable across runs).
+  ProjectedOutcomePass sc_union;
+  bool truncated = false;
   for (const LitmusTest& havoc : kernel_with_havoc) {
-    ExploreResult sc = RunSc(havoc);
-    result.truncated = result.truncated || sc.stats.truncated;
-    for (const auto& [key, outcome] : sc.outcomes) {
-      (void)key;
-      sc_union.insert(ProjectKey(outcome));
-    }
+    ScMachine machine(havoc.program, havoc.config);
+    const ExploreResult sc =
+        RunEnginePasses(machine, havoc.config, {&sc_union});
+    truncated = truncated || sc.stats.truncated;
   }
-  result.covered = true;
-  ExploreResult rm = RunPromising(kernel_with_user);
-  result.truncated = result.truncated || rm.stats.truncated;
+  const ExploreResult rm = RunPromising(kernel_with_user);
+  truncated = truncated || rm.stats.truncated;
   for (const auto& [key, outcome] : rm.outcomes) {
     (void)key;
-    if (sc_union.count(ProjectKey(outcome)) == 0) {
-      result.covered = false;
+    if (!sc_union.Contains(outcome)) {
       result.uncovered.push_back(outcome.ToString(kernel_with_user.program));
     }
   }
+  result.status = Boundedness::Judge(result.uncovered.empty(), truncated);
   return result;
 }
 

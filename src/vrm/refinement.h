@@ -4,14 +4,17 @@
 // behaviour on the Promising-Arm model must already be observable on the SC
 // model. CheckRefinement explores both models (concurrently with each other,
 // each exhaustively up to the configured bounds) and reports inclusion plus any
-// counterexample behaviours.
+// counterexample behaviours. The inclusion verdict itself is the engine's
+// shared JudgeRefinement (src/engine/pass.h) — RunLitmusBatch and VerifyKernel
+// use the same judgement, so the verdict logic exists exactly once.
 //
-// Verdict soundness under truncation: `refines` only quantifies over the
-// *explored* behaviours. When either exploration hit a bound (`truncated`), a
-// positive verdict is a bounded-pass — some behaviour beyond the bound could
-// still escape SC — so Definitive() and Describe() distinguish exhaustive-pass
-// from bounded-pass. A negative verdict needs no such qualifier: an RM-only
-// outcome found under any bound is a genuine counterexample.
+// Verdict soundness under truncation: status.holds only quantifies over the
+// *explored* behaviours. When either exploration hit a bound
+// (status.truncated), a positive verdict is a bounded-pass — some behaviour
+// beyond the bound could still escape SC — so Definitive() and Describe()
+// distinguish exhaustive-pass from bounded-pass (Boundedness,
+// src/engine/boundedness.h). A negative verdict needs no such qualifier: an
+// RM-only outcome found under any bound is a genuine counterexample.
 
 #ifndef SRC_VRM_REFINEMENT_H_
 #define SRC_VRM_REFINEMENT_H_
@@ -19,20 +22,22 @@
 #include <string>
 #include <vector>
 
+#include "src/engine/boundedness.h"
 #include "src/litmus/litmus.h"
 
 namespace vrm {
 
 struct RefinementResult {
-  bool refines = false;   // RM outcome set ⊆ SC outcome set (explored portion)
-  bool truncated = false;  // either exploration hit a bound
+  // status.holds: RM outcome set ⊆ SC outcome set (explored portion);
+  // status.truncated: either exploration hit a bound.
+  Boundedness status;
   std::vector<Outcome> rm_only;
   ExploreResult sc;
   ExploreResult rm;
 
   // True only for an exhaustive-pass: inclusion held AND neither exploration
-  // was truncated. A bounded-pass (refines && truncated) is not definitive.
-  bool Definitive() const { return refines && !truncated; }
+  // was truncated. A bounded-pass (holds && truncated) is not definitive.
+  bool Definitive() const { return status.Definitive(); }
 
   std::string Describe(const Program& program) const;
 };
@@ -48,10 +53,11 @@ RefinementResult CheckRefinement(const LitmusTest& test);
 // `kernel_with_havoc` variants, each of which composes the same kernel piece
 // with a deterministic user program Q' (Section 4.3's construction). Programs
 // may differ in thread count, so only observed register/location values are
-// compared.
+// compared (the engine's ProjectedOutcomePass).
 struct WeakIsolationResult {
-  bool covered = false;
-  bool truncated = false;  // some exploration hit a bound: `covered` is bounded
+  // status.holds: every projected RM outcome is covered; status.truncated:
+  // some exploration hit a bound, so coverage is bounded.
+  Boundedness status;
   std::vector<std::string> uncovered;  // rendered RM-only projections
 };
 WeakIsolationResult CheckWeakIsolationRefinement(

@@ -1,0 +1,293 @@
+// Engine-layer tests: Boundedness verdict semantics, the observer/pass
+// plumbing (passes see every walk event but cannot perturb the walk), the
+// standard passes, and the fused VerifyKernel report against the standalone
+// checkers — including the states_expanded equality VerifyKernel's design
+// promises (its Promising walk IS CheckWdrf's walk) and report determinism
+// across engine worker counts.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/engine/boundedness.h"
+#include "src/engine/engine.h"
+#include "src/engine/pass.h"
+#include "src/engine/verify_kernel.h"
+#include "src/engine/wdrf_passes.h"
+#include "src/litmus/classics.h"
+#include "src/litmus/litmus.h"
+#include "src/model/promising_machine.h"
+#include "src/model/sc_machine.h"
+#include "src/sekvm/tinyarm_primitives.h"
+#include "src/vrm/refinement.h"
+
+namespace vrm {
+namespace {
+
+std::set<std::string> OutcomeKeys(const ExploreResult& result) {
+  std::set<std::string> keys;
+  for (const auto& [key, outcome] : result.outcomes) {
+    (void)outcome;
+    keys.insert(key);
+  }
+  return keys;
+}
+
+// ---------------------------------------------------------------------------
+// Boundedness
+
+TEST(Boundedness, JudgeAndAccessors) {
+  const Boundedness exhaustive = Boundedness::Judge(true, false);
+  EXPECT_TRUE(exhaustive.holds);
+  EXPECT_TRUE(exhaustive.Definitive());
+  EXPECT_STREQ(exhaustive.Qualifier(), " [exhaustive-pass]");
+  EXPECT_EQ(exhaustive.Describe(), "HOLDS [exhaustive-pass]");
+
+  const Boundedness bounded = Boundedness::Judge(true, true);
+  EXPECT_TRUE(bounded.holds);
+  EXPECT_FALSE(bounded.Definitive());
+  EXPECT_STREQ(bounded.Qualifier(), " [bounded-pass]");
+  EXPECT_EQ(bounded.Describe(), "HOLDS [bounded-pass]");
+
+  // A violation is definitive even under a bound: no qualifier.
+  const Boundedness violated = Boundedness::Judge(false, true);
+  EXPECT_FALSE(violated.holds);
+  EXPECT_FALSE(violated.Definitive());
+  EXPECT_STREQ(violated.Qualifier(), "");
+  EXPECT_EQ(violated.Describe(), "VIOLATED");
+
+  EXPECT_EQ(exhaustive, Boundedness::Judge(true, false));
+  EXPECT_NE(exhaustive, bounded);
+}
+
+// ---------------------------------------------------------------------------
+// Observer / pass plumbing
+
+TEST(EnginePasses, WalkStatsPassCountsEveryEvent) {
+  const LitmusTest test = ClassicMp(Strength::kDmb, Strength::kAddrDep);
+  PromisingMachine machine(test.program, test.config);
+  WalkStatsPass stats;
+  std::vector<EnginePass*> passes = {&stats};
+  const ExploreResult result = RunEnginePasses(machine, test.config, passes);
+
+  // OnVisited fires once per unique state popped; OnTransitions sums the
+  // successor counts — exactly the explorer's own counters.
+  EXPECT_EQ(stats.visited(), result.stats.states);
+  EXPECT_EQ(stats.transitions(), result.stats.transitions);
+  // OnTerminal fires once per terminal *state*; distinct states can collapse
+  // to one outcome, so terminals >= distinct outcomes.
+  EXPECT_GE(stats.terminals(), result.outcomes.size());
+  EXPECT_GT(stats.terminals(), 0u);
+  // OnWalkDone snapshots the merged stats.
+  EXPECT_EQ(stats.stats().states, result.stats.states);
+  EXPECT_FALSE(result.stats.truncated);
+}
+
+TEST(EnginePasses, PassesCannotPerturbTheWalk) {
+  // The same machine explored bare and with the full wDRF pass set attached
+  // must visit the same states and find the same outcomes.
+  const KernelSpec spec = VcpuContextKernelSpec(true);
+  const ModelConfig config = WdrfModelConfig(spec);
+  PromisingMachine machine(spec.program, config);
+
+  const ExploreResult bare = Explore(machine, config);
+  WdrfPassSet pass_set(spec);
+  const ExploreResult observed = RunEnginePasses(machine, config, pass_set.passes());
+
+  EXPECT_EQ(observed.stats.states, bare.stats.states);
+  EXPECT_EQ(observed.stats.transitions, bare.stats.transitions);
+  EXPECT_EQ(OutcomeKeys(observed), OutcomeKeys(bare));
+  EXPECT_FALSE(bare.stats.truncated);
+}
+
+TEST(EnginePasses, ProjectedOutcomePassAccumulatesAcrossRuns) {
+  const LitmusTest mp = ClassicMp(Strength::kDmb, Strength::kAcqRel);
+  const LitmusTest sb = ClassicSb(Strength::kDmb);
+
+  ProjectedOutcomePass projected;
+  std::vector<EnginePass*> passes = {&projected};
+
+  ScMachine mp_machine(mp.program, mp.config);
+  const ExploreResult mp_result = RunEnginePasses(mp_machine, mp.config, passes);
+  const size_t after_mp = projected.size();
+  EXPECT_GT(after_mp, 0u);
+  for (const auto& [key, outcome] : mp_result.outcomes) {
+    (void)key;
+    EXPECT_TRUE(projected.Contains(outcome));
+  }
+
+  // Second run through the SAME pass: union semantics, keys accumulate.
+  ScMachine sb_machine(sb.program, sb.config);
+  const ExploreResult sb_result = RunEnginePasses(sb_machine, sb.config, passes);
+  EXPECT_GE(projected.size(), after_mp);
+  for (const auto& [key, outcome] : sb_result.outcomes) {
+    (void)key;
+    EXPECT_TRUE(projected.Contains(outcome));
+  }
+}
+
+TEST(EnginePasses, JudgeRefinementMatchesOutcomesBeyond) {
+  const LitmusTest test = ClassicSb(Strength::kPlain);  // relaxed-only outcome
+  const ExploreResult rm = RunPromising(test);
+  const ExploreResult sc = RunSc(test);
+
+  const RefinementJudgement judgement = JudgeRefinement(rm, sc);
+  EXPECT_FALSE(judgement.status.holds);
+  EXPECT_EQ(judgement.rm_only.size(), OutcomesBeyond(rm, sc).size());
+
+  const RefinementJudgement self = JudgeRefinement(sc, sc);
+  EXPECT_TRUE(self.status.holds);
+  EXPECT_TRUE(self.status.Definitive());
+  EXPECT_TRUE(self.rm_only.empty());
+}
+
+// ---------------------------------------------------------------------------
+// CheckTxnPt
+
+TEST(CheckTxnPt, UncheckedWithoutCases) {
+  KernelSpec spec = VcpuContextKernelSpec(true);
+  spec.txn_cases.clear();
+  const ConditionVerdict verdict = CheckTxnPt(spec);
+  EXPECT_FALSE(verdict.checked);
+  EXPECT_FALSE(verdict.HoldsExhaustively());
+}
+
+TEST(CheckTxnPt, HoldsForTransactionalSequences) {
+  KernelSpec spec = VcpuContextKernelSpec(true);
+  spec.txn_cases = {SetS2ptWriteSequence(2), ClearS2ptWriteSequence(2)};
+  std::vector<TxnCheckResult> results;
+  const ConditionVerdict verdict = CheckTxnPt(spec, &results);
+  EXPECT_TRUE(verdict.checked);
+  EXPECT_TRUE(verdict.HoldsExhaustively());
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_TRUE(results[0].transactional);
+  EXPECT_TRUE(results[1].transactional);
+}
+
+TEST(CheckTxnPt, RejectsNonTransactionalSequence) {
+  KernelSpec spec = VcpuContextKernelSpec(true);
+  spec.txn_cases = {NonTransactionalWriteSequence()};
+  std::vector<TxnCheckResult> results;
+  const ConditionVerdict verdict = CheckTxnPt(spec, &results);
+  EXPECT_TRUE(verdict.checked);
+  EXPECT_FALSE(verdict.status.holds);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].transactional);
+}
+
+// ---------------------------------------------------------------------------
+// VerifyKernel vs the standalone checkers
+
+TEST(VerifyKernel, StatesExpandedEqualsStandaloneCheckWdrf) {
+  // The acceptance pin: the fused Promising walk is bit-identical to the one
+  // CheckWdrf performs — same config, same machine, passes can't steer.
+  const KernelSpec spec = GenVmidKernelSpec(true);
+  const KernelVerification fused = VerifyKernel(spec);
+  const WdrfReport standalone = CheckWdrf(spec);
+
+  EXPECT_EQ(fused.refinement.rm.stats.states, standalone.stats.states);
+  EXPECT_EQ(fused.refinement.rm.stats.transitions, standalone.stats.transitions);
+  EXPECT_EQ(fused.wdrf.stats.states, standalone.stats.states);
+  EXPECT_EQ(fused.wdrf.truncated, standalone.truncated);
+}
+
+TEST(VerifyKernel, ReportAgreesWithStandaloneCheckers) {
+  const KernelSpec spec = VcpuContextKernelSpec(true);
+  const KernelVerification fused = VerifyKernel(spec);
+
+  const WdrfReport standalone_wdrf = CheckWdrf(spec);
+  ASSERT_EQ(fused.wdrf.verdicts.size(), standalone_wdrf.verdicts.size());
+  for (size_t i = 0; i < fused.wdrf.verdicts.size(); ++i) {
+    const ConditionVerdict& f = fused.wdrf.verdicts[i];
+    const ConditionVerdict& s = standalone_wdrf.verdicts[i];
+    EXPECT_EQ(f.condition, s.condition);
+    EXPECT_EQ(f.checked, s.checked) << ConditionName(f.condition);
+    EXPECT_EQ(f.status, s.status) << ConditionName(f.condition);
+    EXPECT_EQ(f.detail, s.detail) << ConditionName(f.condition);
+  }
+
+  const RefinementResult standalone_ref =
+      CheckRefinement(LitmusTest{spec.program, WdrfModelConfig(spec), ""});
+  EXPECT_EQ(fused.refinement.status, standalone_ref.status);
+  EXPECT_EQ(fused.refinement.rm_only.size(), standalone_ref.rm_only.size());
+  EXPECT_EQ(OutcomeKeys(fused.refinement.rm), OutcomeKeys(standalone_ref.rm));
+  EXPECT_EQ(OutcomeKeys(fused.refinement.sc), OutcomeKeys(standalone_ref.sc));
+
+  EXPECT_TRUE(fused.AllHold());
+  EXPECT_TRUE(fused.Definitive());
+}
+
+TEST(VerifyKernel, TxnCasesFlowIntoTheFusedReport) {
+  // ClearS2ptKernelSpec declares its write sequence as a txn case, so the
+  // fused report discharges TRANSACTIONAL-PAGE-TABLE alongside the walk.
+  const KernelVerification fused = VerifyKernel(ClearS2ptKernelSpec(true));
+  const ConditionVerdict& txn =
+      fused.wdrf.Verdict(WdrfCondition::kTransactionalPageTable);
+  EXPECT_TRUE(txn.checked);
+  EXPECT_TRUE(txn.HoldsExhaustively());
+  ASSERT_EQ(fused.txn_results.size(), 1u);
+  EXPECT_TRUE(fused.txn_results[0].transactional);
+  // And the walk-side TLBI condition from the same report.
+  EXPECT_TRUE(fused.wdrf.Verdict(WdrfCondition::kSequentialTlbInvalidation)
+                  .HoldsExhaustively());
+}
+
+TEST(VerifyKernel, DeterministicAcrossEngineWorkerCounts) {
+  // The exploration is exhaustive for this spec, and every pass aggregate is
+  // order-insensitive, so the whole report must be identical at any worker
+  // count.
+  KernelSpec spec = VcpuContextKernelSpec(true);
+  spec.base_config.num_threads = 1;
+  const KernelVerification baseline = VerifyKernel(spec);
+  ASSERT_FALSE(baseline.refinement.status.truncated);
+
+  for (int workers : {2, 4}) {
+    spec.base_config.num_threads = workers;
+    const KernelVerification run = VerifyKernel(spec);
+    EXPECT_EQ(run.refinement.status, baseline.refinement.status) << workers;
+    EXPECT_EQ(run.refinement.rm.stats.states, baseline.refinement.rm.stats.states)
+        << workers;
+    EXPECT_EQ(run.refinement.rm.stats.transitions,
+              baseline.refinement.rm.stats.transitions)
+        << workers;
+    EXPECT_EQ(OutcomeKeys(run.refinement.rm), OutcomeKeys(baseline.refinement.rm))
+        << workers;
+    EXPECT_EQ(OutcomeKeys(run.refinement.sc), OutcomeKeys(baseline.refinement.sc))
+        << workers;
+    ASSERT_EQ(run.wdrf.verdicts.size(), baseline.wdrf.verdicts.size());
+    for (size_t i = 0; i < run.wdrf.verdicts.size(); ++i) {
+      EXPECT_EQ(run.wdrf.verdicts[i].checked, baseline.wdrf.verdicts[i].checked);
+      EXPECT_EQ(run.wdrf.verdicts[i].status, baseline.wdrf.verdicts[i].status)
+          << ConditionName(run.wdrf.verdicts[i].condition) << " @" << workers;
+    }
+  }
+}
+
+TEST(VerifyKernel, JsonLinesAreWellFormed) {
+  const KernelVerification fused = VerifyKernel(VcpuContextKernelSpec(true));
+  const std::string json = fused.ToJsonLines("verify_kernel/vcpu_context");
+  EXPECT_NE(json.find("{\"bench\": \"verify_kernel/vcpu_context\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"refinement_holds\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"condition/DRF-KERNEL\""), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"all_hold\""), std::string::npos);
+  // Every line is one bench_json object.
+  size_t lines = 0, objects = 0;
+  for (size_t pos = 0; pos < json.size();) {
+    const size_t eol = json.find('\n', pos);
+    const std::string line = json.substr(pos, eol - pos);
+    if (!line.empty()) {
+      ++lines;
+      if (line.front() == '{' && line.back() == '}') ++objects;
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  EXPECT_GT(lines, 10u);
+  EXPECT_EQ(lines, objects);
+}
+
+}  // namespace
+}  // namespace vrm

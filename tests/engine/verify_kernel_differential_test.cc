@@ -1,0 +1,150 @@
+// Fused-vs-standalone differential over a random program corpus: for every
+// corpus program, VerifyKernel's combined report must be bit-identical to what
+// the standalone checkers produce — same outcome sets, same per-condition
+// verdicts, same refinement verdict and counterexamples, and the same
+// states_expanded (the fused Promising walk IS CheckWdrf's walk). A second
+// sweep pins report determinism across engine worker counts (1/2/4).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/engine/verify_kernel.h"
+#include "src/engine/wdrf_passes.h"
+#include "src/litmus/litmus.h"
+#include "src/vrm/conditions.h"
+#include "src/vrm/refinement.h"
+#include "tests/model/random_program_corpus.h"
+
+namespace vrm {
+namespace {
+
+std::set<std::string> OutcomeKeys(const ExploreResult& result) {
+  std::set<std::string> keys;
+  for (const auto& [key, outcome] : result.outcomes) {
+    (void)outcome;
+    keys.insert(key);
+  }
+  return keys;
+}
+
+// Wraps a corpus program as a KernelSpec. Some seeds additionally arm the
+// write-once and isolation monitors over the corpus cells so the differential
+// also covers violated/checked condition verdicts, not just unchecked ones
+// (random stores overwrite freely, so write-once usually trips).
+KernelSpec CorpusKernelSpec(uint64_t seed) {
+  const int threads = 1 + static_cast<int>(seed % 3);
+  const LitmusTest test = corpus::RandomProgram(seed, threads);
+  KernelSpec spec;
+  spec.program = test.program;
+  spec.base_config = test.config;
+  if (seed % 3 == 0) {
+    spec.kernel_pt_cells = {0};
+  }
+  if (seed % 5 == 0) {
+    spec.user_cells = {2};
+    spec.kernel_cells = {1};
+  }
+  return spec;
+}
+
+class VerifyKernelDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VerifyKernelDifferential, FusedMatchesStandaloneCheckers) {
+  // 50 programs per shard x 4 shards = 200 corpus programs.
+  for (uint64_t seed = GetParam(); seed < GetParam() + 50; ++seed) {
+    const KernelSpec spec = CorpusKernelSpec(seed);
+    const KernelVerification fused = VerifyKernel(spec);
+
+    // Standalone wDRF walk: same armed config, so identical state counts and
+    // identical verdicts, field by field.
+    const WdrfReport standalone_wdrf = CheckWdrf(spec);
+    EXPECT_EQ(fused.refinement.rm.stats.states, standalone_wdrf.stats.states)
+        << spec.program.name;
+    EXPECT_EQ(fused.refinement.rm.stats.transitions,
+              standalone_wdrf.stats.transitions)
+        << spec.program.name;
+    EXPECT_EQ(fused.wdrf.truncated, standalone_wdrf.truncated) << spec.program.name;
+    ASSERT_EQ(fused.wdrf.verdicts.size(), standalone_wdrf.verdicts.size());
+    for (size_t i = 0; i < fused.wdrf.verdicts.size(); ++i) {
+      const ConditionVerdict& f = fused.wdrf.verdicts[i];
+      const ConditionVerdict& s = standalone_wdrf.verdicts[i];
+      EXPECT_EQ(f.condition, s.condition);
+      EXPECT_EQ(f.checked, s.checked)
+          << spec.program.name << " " << ConditionName(f.condition);
+      EXPECT_EQ(f.status, s.status)
+          << spec.program.name << " " << ConditionName(f.condition);
+      EXPECT_EQ(f.detail, s.detail)
+          << spec.program.name << " " << ConditionName(f.condition);
+    }
+
+    // Standalone refinement over the same armed config.
+    const RefinementResult standalone_ref =
+        CheckRefinement(LitmusTest{spec.program, WdrfModelConfig(spec), ""});
+    EXPECT_EQ(fused.refinement.status, standalone_ref.status) << spec.program.name;
+    ASSERT_EQ(fused.refinement.rm_only.size(), standalone_ref.rm_only.size())
+        << spec.program.name;
+    for (size_t i = 0; i < fused.refinement.rm_only.size(); ++i) {
+      EXPECT_EQ(fused.refinement.rm_only[i].Key(), standalone_ref.rm_only[i].Key());
+    }
+    EXPECT_EQ(OutcomeKeys(fused.refinement.rm), OutcomeKeys(standalone_ref.rm))
+        << spec.program.name;
+    EXPECT_EQ(OutcomeKeys(fused.refinement.sc), OutcomeKeys(standalone_ref.sc))
+        << spec.program.name;
+
+    if (::testing::Test::HasFailure()) {
+      break;  // one diverging program is enough signal
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifyKernelDifferential,
+                         ::testing::Values(50000, 51000, 52000, 53000));
+
+class VerifyKernelDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(VerifyKernelDeterminism, ReportIdenticalAtOneTwoFourWorkers) {
+  // 10 programs per shard x 2 shards. Worker count must not change any part
+  // of the report as long as the exploration is exhaustive (corpus bounds are
+  // generous; programs that still truncate are schedule-dependent by design
+  // and skipped).
+  for (uint64_t seed = GetParam(); seed < GetParam() + 10; ++seed) {
+    KernelSpec spec = CorpusKernelSpec(seed);
+    spec.base_config.num_threads = 1;
+    const KernelVerification baseline = VerifyKernel(spec);
+    if (baseline.refinement.rm.stats.truncated ||
+        baseline.refinement.sc.stats.truncated) {
+      continue;
+    }
+    for (int workers : {2, 4}) {
+      spec.base_config.num_threads = workers;
+      const KernelVerification run = VerifyKernel(spec);
+      EXPECT_EQ(run.refinement.status, baseline.refinement.status)
+          << spec.program.name << " @" << workers;
+      EXPECT_EQ(run.refinement.rm.stats.states, baseline.refinement.rm.stats.states)
+          << spec.program.name << " @" << workers;
+      EXPECT_EQ(OutcomeKeys(run.refinement.rm), OutcomeKeys(baseline.refinement.rm))
+          << spec.program.name << " @" << workers;
+      EXPECT_EQ(OutcomeKeys(run.refinement.sc), OutcomeKeys(baseline.refinement.sc))
+          << spec.program.name << " @" << workers;
+      ASSERT_EQ(run.wdrf.verdicts.size(), baseline.wdrf.verdicts.size());
+      for (size_t i = 0; i < run.wdrf.verdicts.size(); ++i) {
+        EXPECT_EQ(run.wdrf.verdicts[i].checked, baseline.wdrf.verdicts[i].checked);
+        EXPECT_EQ(run.wdrf.verdicts[i].status, baseline.wdrf.verdicts[i].status)
+            << spec.program.name << " "
+            << ConditionName(run.wdrf.verdicts[i].condition) << " @" << workers;
+      }
+    }
+    if (::testing::Test::HasFailure()) {
+      break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VerifyKernelDeterminism,
+                         ::testing::Values(60000, 60010));
+
+}  // namespace
+}  // namespace vrm

@@ -27,7 +27,7 @@ TEST(Example1, RelaxedOutcomeOnRmOnly) {
 
 TEST(Example1, DmbRestoresScBehaviour) {
   const RefinementResult result = CheckRefinement(Example1OutOfOrderWrite(/*fixed=*/true));
-  EXPECT_TRUE(result.refines) << result.Describe(Example1OutOfOrderWrite(true).program);
+  EXPECT_TRUE(result.status.holds) << result.Describe(Example1OutOfOrderWrite(true).program);
 }
 
 // Example 2: VM booting. The unbarriered ticket lock hands out duplicate vmids
@@ -44,7 +44,7 @@ TEST(Example2, DuplicateVmidsOnRmOnly) {
 TEST(Example2, Figure7LockIsCorrectOnRm) {
   const LitmusTest test = Example2VmBooting(/*fixed=*/true);
   const RefinementResult result = CheckRefinement(test);
-  EXPECT_TRUE(result.refines) << result.Describe(test.program);
+  EXPECT_TRUE(result.status.holds) << result.Describe(test.program);
   // Every RM execution hands out unique vmids 0 and 1.
   for (const auto& [key, outcome] : result.rm.outcomes) {
     (void)key;
@@ -67,7 +67,7 @@ TEST(Example3, StaleContextOnRmOnly) {
 TEST(Example3, ReleaseAcquireRestoresScBehaviour) {
   const LitmusTest test = Example3VmContextSwitch(/*fixed=*/true);
   const RefinementResult result = CheckRefinement(test);
-  EXPECT_TRUE(result.refines) << result.Describe(test.program);
+  EXPECT_TRUE(result.status.holds) << result.Describe(test.program);
   // The restored context is never stale: whenever INACTIVE was observed, the
   // saved value 7 is read.
   for (const auto& [key, outcome] : result.rm.outcomes) {
@@ -106,7 +106,7 @@ TEST(Example5, LeakedPageOnRmOnly) {
 TEST(Example5, TransactionalOrderRefinesSc) {
   const LitmusTest test = Example5PageTableWrites(/*transactional=*/true);
   const RefinementResult result = CheckRefinement(test);
-  EXPECT_TRUE(result.refines) << result.Describe(test.program);
+  EXPECT_TRUE(result.status.holds) << result.Describe(test.program);
   // Every observable result is before (fault: the PGD starts empty) or after.
   for (const auto& [key, outcome] : result.rm.outcomes) {
     (void)key;
@@ -183,7 +183,7 @@ TEST(Example7, WeakMemoryIsolationCoversKernelBehaviours) {
     havoc.push_back(Example7KernelWithHavocUser(z));
   }
   const WeakIsolationResult result = CheckWeakIsolationRefinement(with_user, havoc);
-  EXPECT_TRUE(result.covered);
+  EXPECT_TRUE(result.status.holds);
   for (const std::string& missing : result.uncovered) {
     ADD_FAILURE() << "uncovered RM behaviour: " << missing;
   }
@@ -193,7 +193,7 @@ TEST(Example7, WeakMemoryIsolationCoversKernelBehaviours) {
 TEST(AllExamples, EveryBuggyExampleHasRmOnlyBehaviour) {
   for (const LitmusTest& test : AllBuggyExamples()) {
     const RefinementResult result = CheckRefinement(test);
-    EXPECT_FALSE(result.refines) << test.program.name << " unexpectedly refines SC";
+    EXPECT_FALSE(result.status.holds) << test.program.name << " unexpectedly refines SC";
   }
 }
 

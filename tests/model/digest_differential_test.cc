@@ -13,72 +13,19 @@
 #include <unordered_set>
 #include <vector>
 
-#include "src/arch/builder.h"
 #include "src/litmus/litmus.h"
 #include "src/model/explorer.h"
 #include "src/model/promising_machine.h"
 #include "src/model/sc_machine.h"
 #include "src/model/tso_machine.h"
-#include "src/support/rng.h"
+#include "tests/model/random_program_corpus.h"
 
 namespace vrm {
 namespace {
 
-constexpr Addr kCells = 3;
-
-// Same terminating instruction subset as tests/model/differential_test.cc:
-// no branches, literal addresses in range, plus the barrier/exclusive mix that
-// exercises every serialized field of the Promising machine.
-void EmitRandomInst(ThreadBuilder& t, Rng& rng) {
-  const Reg rd = static_cast<Reg>(rng.Below(4));
-  const Reg rs = static_cast<Reg>(rng.Below(4));
-  const Addr addr = static_cast<Addr>(rng.Below(kCells));
-  switch (rng.Below(8)) {
-    case 0:
-      t.MovImm(rd, rng.Below(4));
-      break;
-    case 1:
-      t.Add(rd, rs, static_cast<Reg>(rng.Below(4)));
-      break;
-    case 2:
-    case 3:
-      t.LoadAddr(rd, addr,
-                 rng.Chance(0.3) ? MemOrder::kAcquire : MemOrder::kPlain);
-      break;
-    case 4:
-    case 5: {
-      const Reg value = static_cast<Reg>(rng.Below(4));
-      t.StoreAddr(addr, value,
-                  rng.Chance(0.3) ? MemOrder::kRelease : MemOrder::kPlain);
-      break;
-    }
-    case 6:
-      t.FetchAddAddr(rd, addr, 1 + static_cast<int64_t>(rng.Below(2)),
-                     rng.Chance(0.5) ? MemOrder::kAcqRel : MemOrder::kPlain);
-      break;
-    default:
-      t.Dmb(rng.Chance(0.5) ? BarrierKind::kSy
-                            : (rng.Chance(0.5) ? BarrierKind::kLd : BarrierKind::kSt));
-      break;
-  }
-}
-
-LitmusTest RandomProgram(uint64_t seed, int threads) {
-  Rng rng(seed);
-  ProgramBuilder pb("digest-diff-" + std::to_string(seed));
-  pb.MemSize(kCells);
-  for (int thread = 0; thread < threads; ++thread) {
-    auto& t = pb.NewThread();
-    const int len = 2 + static_cast<int>(rng.Below(3));
-    for (int i = 0; i < len; ++i) {
-      EmitRandomInst(t, rng);
-    }
-  }
-  LitmusTest test{pb.Build(), {}, "digest differential program"};
-  test.config.max_messages = 40;
-  test.config.max_states = 20000;
-  return test;
-}
+// The corpus generator (shared with the engine differential suite) emits the
+// same terminating instruction subset as tests/model/differential_test.cc.
+using corpus::RandomProgram;
 
 // Walks the machine's full reachable state space and checks the digest
 // equivalence at every state. Returns the number of states checked; gtest

@@ -156,14 +156,14 @@ TEST(Exclusives, MismatchedAddressFails) {
 TEST(LlscTicketLock, VerifiedLockSatisfiesConditionsAndRefines) {
   KernelSpec spec = GenVmidLlscKernelSpec(/*verified=*/true);
   const WdrfReport report = CheckWdrf(spec);
-  EXPECT_TRUE(report.Verdict(WdrfCondition::kDrfKernel).holds)
+  EXPECT_TRUE(report.Verdict(WdrfCondition::kDrfKernel).status.holds)
       << report.ToString();
-  EXPECT_TRUE(report.Verdict(WdrfCondition::kNoBarrierMisuse).holds)
+  EXPECT_TRUE(report.Verdict(WdrfCondition::kNoBarrierMisuse).status.holds)
       << report.ToString();
 
   LitmusTest test{std::move(spec.program), spec.base_config, ""};
   const RefinementResult refinement = CheckRefinement(test);
-  EXPECT_TRUE(refinement.refines) << refinement.Describe(test.program);
+  EXPECT_TRUE(refinement.status.holds) << refinement.Describe(test.program);
   for (const auto& [key, o] : refinement.rm.outcomes) {
     (void)key;
     EXPECT_NE(o.regs[0], o.regs[1]) << "duplicate vmid under the LL/SC lock";
@@ -172,7 +172,7 @@ TEST(LlscTicketLock, VerifiedLockSatisfiesConditionsAndRefines) {
 
 TEST(LlscTicketLock, UnverifiedLockMisusesBarriers) {
   const WdrfReport report = CheckWdrf(GenVmidLlscKernelSpec(/*verified=*/false));
-  EXPECT_FALSE(report.Verdict(WdrfCondition::kNoBarrierMisuse).holds);
+  EXPECT_FALSE(report.Verdict(WdrfCondition::kNoBarrierMisuse).status.holds);
 }
 
 }  // namespace

@@ -147,7 +147,7 @@ TEST(ParallelExplore, BatchRunnerMatchesIndividualRuns) {
     const ExploreResult rm = RunPromising(suite[i]);
     ExpectSameBehaviour(sc, batch.entries[i].sc, suite[i].program.name + " batch SC");
     ExpectSameBehaviour(rm, batch.entries[i].rm, suite[i].program.name + " batch RM");
-    EXPECT_EQ(batch.entries[i].rm_refines_sc, RmRefinesSc(rm, sc)) << suite[i].program.name;
+    EXPECT_EQ(batch.entries[i].status.holds, RmRefinesSc(rm, sc)) << suite[i].program.name;
   }
   EXPECT_NE(batch.Summary().find("10 tests"), std::string::npos);
 }

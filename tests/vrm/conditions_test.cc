@@ -36,11 +36,11 @@ void ExpectVerdict(const WdrfReport& report, WdrfCondition condition,
       break;
     case PrimitiveCase::kHolds:
       EXPECT_TRUE(verdict.checked) << ConditionName(condition);
-      EXPECT_TRUE(verdict.holds) << ConditionName(condition) << ": " << verdict.detail;
+      EXPECT_TRUE(verdict.status.holds) << ConditionName(condition) << ": " << verdict.detail;
       break;
     case PrimitiveCase::kViolated:
       EXPECT_TRUE(verdict.checked) << ConditionName(condition);
-      EXPECT_FALSE(verdict.holds) << ConditionName(condition)
+      EXPECT_FALSE(verdict.status.holds) << ConditionName(condition)
                                   << " unexpectedly holds";
       break;
   }
@@ -99,7 +99,7 @@ class LockStrengthSweep : public ::testing::TestWithParam<LockStrength> {};
 TEST_P(LockStrengthSweep, BarrierConditionTracksStrength) {
   const WdrfReport report = CheckWdrf(GenVmidKernelSpecWithStrength(GetParam()));
   const bool expect_holds = GetParam() == LockStrength::kFull;
-  EXPECT_EQ(report.Verdict(WdrfCondition::kNoBarrierMisuse).holds, expect_holds);
+  EXPECT_EQ(report.Verdict(WdrfCondition::kNoBarrierMisuse).status.holds, expect_holds);
 }
 
 INSTANTIATE_TEST_SUITE_P(Strengths, LockStrengthSweep,
@@ -140,7 +140,7 @@ TEST(WdrfConditionsExtra, UnsynchronizedAccessViolatesDrf) {
   KernelSpec spec;
   spec.program = pb.Build();
   const WdrfReport report = CheckWdrf(spec);
-  EXPECT_FALSE(report.Verdict(WdrfCondition::kDrfKernel).holds);
+  EXPECT_FALSE(report.Verdict(WdrfCondition::kDrfKernel).status.holds);
 }
 
 // Accessing a region without owning it at all is also a DRF violation.
@@ -152,7 +152,7 @@ TEST(WdrfConditionsExtra, AccessWithoutPullViolatesDrf) {
   KernelSpec spec;
   spec.program = pb.Build();
   const WdrfReport report = CheckWdrf(spec);
-  EXPECT_FALSE(report.Verdict(WdrfCondition::kDrfKernel).holds);
+  EXPECT_FALSE(report.Verdict(WdrfCondition::kDrfKernel).status.holds);
 }
 
 TEST(WdrfConditionsExtra, ReportFormatting) {
@@ -174,7 +174,7 @@ TEST(WdrfConditionsExtra, MemoryIsolationVerdicts) {
     spec.program = pb.Build();
     spec.user_cells = {0};
     const WdrfReport report = CheckWdrf(spec);
-    EXPECT_FALSE(report.Verdict(WdrfCondition::kMemoryIsolation).holds);
+    EXPECT_FALSE(report.Verdict(WdrfCondition::kMemoryIsolation).status.holds);
   }
   // Oracle-mediated read: weak isolation holds.
   {
@@ -186,7 +186,7 @@ TEST(WdrfConditionsExtra, MemoryIsolationVerdicts) {
     spec.user_cells = {0};
     spec.weak_isolation = true;
     const WdrfReport report = CheckWdrf(spec);
-    EXPECT_TRUE(report.Verdict(WdrfCondition::kMemoryIsolation).holds);
+    EXPECT_TRUE(report.Verdict(WdrfCondition::kMemoryIsolation).status.holds);
   }
   // User writing kernel memory: violated.
   {
@@ -198,7 +198,7 @@ TEST(WdrfConditionsExtra, MemoryIsolationVerdicts) {
     spec.program = pb.Build();
     spec.kernel_cells = {1};
     const WdrfReport report = CheckWdrf(spec);
-    EXPECT_FALSE(report.Verdict(WdrfCondition::kMemoryIsolation).holds);
+    EXPECT_FALSE(report.Verdict(WdrfCondition::kMemoryIsolation).status.holds);
   }
 }
 

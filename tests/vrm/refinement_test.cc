@@ -28,7 +28,7 @@ TEST_P(WdrfTheorem, RmRefinesScIffWdrf) {
   const RefinementCase& c = GetParam();
   const LitmusTest test = c.make();
   const RefinementResult result = CheckRefinement(test);
-  EXPECT_EQ(result.refines, c.expect_refines) << result.Describe(test.program);
+  EXPECT_EQ(result.status.holds, c.expect_refines) << result.Describe(test.program);
 }
 
 LitmusTest FromSpec(KernelSpec spec) {
@@ -85,7 +85,7 @@ TEST(WdrfTheoremConsistency, CheckedConditionsImplyRefinement) {
     const WdrfReport report = CheckWdrf(spec);
     const RefinementResult refinement = CheckRefinement(FromSpec(std::move(spec)));
     if (report.AllHold()) {
-      EXPECT_TRUE(refinement.refines);
+      EXPECT_TRUE(refinement.status.holds);
     } else {
       // The theorem is one-directional; a violated condition does not force a
       // refinement failure, but for this primitive it does manifest.

@@ -22,7 +22,7 @@ TEST(Seqlock, ViolatesDrfKernelByDesign) {
   // Both variants race readers against the writer on the data cells.
   for (bool verified : {true, false}) {
     const WdrfReport report = CheckWdrf(SeqlockKernelSpec(verified));
-    EXPECT_FALSE(report.Verdict(WdrfCondition::kDrfKernel).holds)
+    EXPECT_FALSE(report.Verdict(WdrfCondition::kDrfKernel).status.holds)
         << "seqlock readers must show up as a data race (verified=" << verified
         << ")";
   }
