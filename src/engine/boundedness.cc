@@ -4,16 +4,13 @@ namespace vrm {
 
 const char* Boundedness::Qualifier() const {
   if (!holds) {
-    return "";
+    return truncated ? " [bounded-fail]" : "";
   }
   return truncated ? " [bounded-pass]" : " [exhaustive-pass]";
 }
 
 std::string Boundedness::Describe() const {
-  if (!holds) {
-    return "VIOLATED";
-  }
-  return std::string("HOLDS") + Qualifier();
+  return std::string(holds ? "HOLDS" : "VIOLATED") + Qualifier();
 }
 
 }  // namespace vrm

@@ -1,11 +1,16 @@
 // Shared bounded-model-checking verdict semantics.
 //
 // Every checker in this repository explores a state space that may be cut
-// short by a bound (state cap, step budget, message cap). A positive verdict
-// derived from a truncated exploration is therefore only a *bounded-pass*: the
-// property held over the explored behaviours, but some behaviour beyond the
-// bound could still violate it. A negative verdict needs no such qualifier —
-// a counterexample found under any bound is real.
+// short by a bound (state cap, step budget, message cap, or a run governor's
+// deadline/memory/cancellation stop). A positive verdict derived from a
+// truncated exploration is therefore only a *bounded-pass*: the property held
+// over the explored behaviours, but some behaviour beyond the bound could
+// still violate it. A negative verdict is usually definitive — a monitored
+// counterexample found under any bound is real — but a *relational* failure
+// whose evidence is itself incomplete (an RM-only outcome judged against a
+// truncated SC outcome set: the "extra" behaviour may simply live beyond the
+// SC walk's bound) is only a *bounded-fail*. Callers decide which failure
+// flavour applies by what they pass as `truncated`.
 //
 // Boundedness is that pair, with the verdict calculus in exactly one place:
 // RefinementResult, ConditionVerdict, WeakIsolationResult, and BatchEntry all
@@ -26,13 +31,18 @@ struct Boundedness {
   static Boundedness Judge(bool holds, bool truncated) { return {holds, truncated}; }
 
   // Definitive (exhaustive) pass: held AND the exploration ran to completion.
+  // A truncated run — state cap, budget expiry, cancellation — is never
+  // definitive.
   bool Definitive() const { return holds && !truncated; }
 
-  // " [exhaustive-pass]" / " [bounded-pass]" for positive verdicts, "" for
-  // negative ones (a counterexample is definitive under any bound).
+  // " [exhaustive-pass]" / " [bounded-pass]" for positive verdicts,
+  // "" / " [bounded-fail]" for negative ones (a monitored counterexample is
+  // definitive under any bound; a relational failure against truncated
+  // evidence is not).
   const char* Qualifier() const;
 
-  // "HOLDS [exhaustive-pass]" | "HOLDS [bounded-pass]" | "VIOLATED".
+  // "HOLDS [exhaustive-pass]" | "HOLDS [bounded-pass]" | "VIOLATED" |
+  // "VIOLATED [bounded-fail]".
   std::string Describe() const;
 
   friend bool operator==(const Boundedness&, const Boundedness&) = default;

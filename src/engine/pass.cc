@@ -25,8 +25,16 @@ void ProjectedOutcomePass::OnTerminal(const Outcome& outcome) {
 RefinementJudgement JudgeRefinement(const ExploreResult& rm, const ExploreResult& sc) {
   RefinementJudgement judgement;
   judgement.rm_only = OutcomesBeyond(rm, sc);
+  const bool holds = judgement.rm_only.empty();
+  // A pass is bounded if either walk was cut short (unexplored behaviour on
+  // either side could break inclusion). A fail is bounded only when the SC
+  // walk was cut short: an RM-only outcome against a *complete* SC set is a
+  // genuine counterexample no matter how truncated the RM walk was, but
+  // against a truncated SC set the "extra" outcome may simply live beyond the
+  // SC bound.
   judgement.status = Boundedness::Judge(
-      judgement.rm_only.empty(), rm.stats.truncated || sc.stats.truncated);
+      holds, holds ? (rm.stats.truncated || sc.stats.truncated)
+                   : sc.stats.truncated);
   return judgement;
 }
 

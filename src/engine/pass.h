@@ -103,9 +103,11 @@ class ProjectedOutcomePass : public EnginePass {
 };
 
 // The refinement verdict, computed in exactly one place: RM outcome set ⊆ SC
-// outcome set over the explored behaviours, bounded whenever either walk was.
-// CheckRefinement, RunLitmusBatch, RmRefinesSc, and VerifyKernel all route
-// through this.
+// outcome set over the explored behaviours. A pass is bounded whenever either
+// walk was truncated; a fail is bounded only when the SC walk was (an RM-only
+// outcome against a complete SC set is a genuine counterexample; against a
+// truncated one it may live beyond the SC bound). CheckRefinement,
+// RunLitmusBatch, RmRefinesSc, and VerifyKernel all route through this.
 struct RefinementJudgement {
   Boundedness status;
   std::vector<Outcome> rm_only;  // counterexamples: RM-observable, not SC

@@ -53,6 +53,12 @@ std::string KernelVerification::ToJsonLines(const std::string& bench) const {
   out += JsonLine(bench, "rm_outcomes", static_cast<double>(refinement.rm.outcomes.size()));
   out += JsonLine(bench, "rm_states_expanded", static_cast<double>(refinement.rm.stats.states));
   out += JsonLine(bench, "sc_states_expanded", static_cast<double>(refinement.sc.stats.states));
+  // StopCause as its numeric value (0 none, 1 states, 2 deadline, 3 memory,
+  // 4 cancelled) so CI can assert on why a governed run stopped.
+  out += JsonLine(bench, "rm_stop_cause",
+                  static_cast<double>(static_cast<int>(refinement.rm.stats.stop_cause)));
+  out += JsonLine(bench, "sc_stop_cause",
+                  static_cast<double>(static_cast<int>(refinement.sc.stats.stop_cause)));
   for (const ConditionVerdict& verdict : wdrf.verdicts) {
     std::string metric = std::string("condition/") + ConditionName(verdict.condition);
     // -1 unchecked, 0 violated, 1 bounded-pass, 2 exhaustive-pass.
@@ -67,8 +73,13 @@ std::string KernelVerification::ToJsonLines(const std::string& bench) const {
   return out;
 }
 
-KernelVerification VerifyKernel(const KernelSpec& spec) {
-  const ModelConfig config = WdrfModelConfig(spec);
+namespace {
+
+// `governor` == nullptr runs ungoverned; otherwise both walks poll the shared
+// governor, so one budget spans the whole verification.
+KernelVerification VerifyKernelImpl(const KernelSpec& spec, RunGovernor* governor) {
+  ModelConfig config = WdrfModelConfig(spec);
+  config.governor = governor;
 
   // The SC walk shares nothing with the Promising walk: overlap them, exactly
   // as CheckRefinement does.
@@ -91,6 +102,23 @@ KernelVerification VerifyKernel(const KernelSpec& spec) {
   RefinementJudgement judgement = JudgeRefinement(v.refinement.rm, v.refinement.sc);
   v.refinement.rm_only = std::move(judgement.rm_only);
   v.refinement.status = judgement.status;
+  return v;
+}
+
+}  // namespace
+
+KernelVerification VerifyKernel(const KernelSpec& spec) {
+  return VerifyKernelImpl(spec, nullptr);
+}
+
+KernelVerification VerifyKernel(const KernelSpec& spec,
+                                const GovernanceOptions& governance) {
+  if (!governance.Enabled()) {
+    return VerifyKernelImpl(spec, nullptr);
+  }
+  RunGovernor governor(governance);
+  KernelVerification v = VerifyKernelImpl(spec, &governor);
+  governor.EmitEnd();
   return v;
 }
 

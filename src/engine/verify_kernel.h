@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/support/governance.h"
 #include "src/vrm/conditions.h"
 #include "src/vrm/refinement.h"
 
@@ -51,6 +52,16 @@ struct KernelVerification {
 
 // One Promising walk + one SC walk (overlapped), every checker's verdict.
 KernelVerification VerifyKernel(const KernelSpec& spec);
+
+// Governed variant: one RunGovernor — wall-clock deadline, soft memory
+// ceiling, cooperative cancellation, heartbeat telemetry — spans BOTH walks
+// (the budget is for the verification run, not per exploration). A stop
+// latched by either walk drains the other one too at its next poll; the
+// result is well-formed, its verdicts bounded (stats.stop_cause says why),
+// and the governor's "end" telemetry event fires after both walks join.
+// With governance.Enabled() false this is exactly VerifyKernel(spec).
+KernelVerification VerifyKernel(const KernelSpec& spec,
+                                const GovernanceOptions& governance);
 
 }  // namespace vrm
 

@@ -26,8 +26,11 @@ void ConditionPass::OnWalkDone(const ExploreResult& merged) {
   const ConditionViolations::Flag* flag =
       flag_ == nullptr ? nullptr : &(merged.violations.*flag_);
   const bool violated = flag != nullptr && flag->set;
-  verdict_.status = Boundedness::Judge(verdict_.checked && !violated,
-                                       verdict_.checked && merged.stats.truncated);
+  // A monitored violation is a concrete execution trace — definitive under
+  // any bound — so only clean verdicts over a truncated walk are bounded.
+  verdict_.status = Boundedness::Judge(
+      verdict_.checked && !violated,
+      verdict_.checked && !violated && merged.stats.truncated);
   verdict_.detail =
       violated && !flag->detail.empty() ? flag->detail : clean_detail_;
 }

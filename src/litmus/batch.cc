@@ -20,16 +20,28 @@ std::string BatchResult::Summary() const {
                     std::to_string(entries.size() - refines) + " exhibit relaxed-only " +
                     "behaviour, " + std::to_string(truncated) + " truncated\n";
   for (const BatchEntry& e : entries) {
+    std::string bound;
+    if (e.status.truncated) {
+      bound = e.stop_cause() == StopCause::kNone
+                  ? " [bounded]"
+                  : std::string(" [bounded: ") + StopCauseName(e.stop_cause()) + "]";
+    }
     out += "  " + e.test.program.name + ": RM " +
            (e.status.holds ? "⊆" : "⊄") + " SC (" +
            std::to_string(e.rm.outcomes.size()) + " RM / " +
-           std::to_string(e.sc.outcomes.size()) + " SC outcomes)" +
-           (e.status.truncated ? " [bounded]" : "") + "\n";
+           std::to_string(e.sc.outcomes.size()) + " SC outcomes)" + bound + "\n";
   }
   return out;
 }
 
-BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite, int num_threads) {
+namespace {
+
+// `governor` == nullptr runs ungoverned. One governor spans the whole suite:
+// every exploration polls it, and tasks that start after a stop has latched
+// are skipped — their entry gets a well-formed empty result marked truncated
+// with the batch's cause, so Summary() and the verdicts stay sound.
+BatchResult RunLitmusBatchImpl(const std::vector<LitmusTest>& suite,
+                               int num_threads, RunGovernor* governor) {
   BatchResult result;
   result.entries.resize(suite.size());
   for (size_t i = 0; i < suite.size(); ++i) {
@@ -39,11 +51,18 @@ BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite, int num_threads
   // explorations don't serialize the tail of the batch.
   ParallelFor(num_threads, suite.size() * 2, [&](size_t task) {
     BatchEntry& entry = result.entries[task / 2];
-    if (task % 2 == 0) {
-      entry.sc = RunSc(entry.test);
-    } else {
-      entry.rm = RunPromising(entry.test);
+    ExploreResult& slot = task % 2 == 0 ? entry.sc : entry.rm;
+    if (governor != nullptr) {
+      const StopCause latched = governor->cause();
+      if (latched != StopCause::kNone) {
+        slot.stats.truncated = true;
+        slot.stats.stop_cause = latched;
+        return;
+      }
     }
+    LitmusTest governed = entry.test;
+    governed.config.governor = governor;
+    slot = task % 2 == 0 ? RunSc(governed) : RunPromising(governed);
   });
   for (BatchEntry& entry : result.entries) {
     // The shared engine judgement — the same verdict logic CheckRefinement
@@ -52,6 +71,23 @@ BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite, int num_threads
     entry.status = judgement.status;
     entry.rm_only = std::move(judgement.rm_only);
   }
+  return result;
+}
+
+}  // namespace
+
+BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite, int num_threads) {
+  return RunLitmusBatchImpl(suite, num_threads, nullptr);
+}
+
+BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite,
+                           const BatchOptions& options) {
+  if (!options.governance.Enabled()) {
+    return RunLitmusBatchImpl(suite, options.num_threads, nullptr);
+  }
+  RunGovernor governor(options.governance);
+  BatchResult result = RunLitmusBatchImpl(suite, options.num_threads, &governor);
+  governor.EmitEnd();
   return result;
 }
 

@@ -15,6 +15,7 @@
 
 #include "src/engine/boundedness.h"
 #include "src/litmus/litmus.h"
+#include "src/support/governance.h"
 
 namespace vrm {
 
@@ -26,19 +27,43 @@ struct BatchEntry {
   // either exploration hit a bound.
   Boundedness status;
   std::vector<Outcome> rm_only;  // counterexamples, when status.holds is false
+
+  // Why this entry's explorations stopped early (first non-none of SC/RM),
+  // kNone when both quiesced. Entries a governed batch never started carry
+  // the batch's latched cause with zero states explored.
+  StopCause stop_cause() const {
+    return sc.stats.stop_cause != StopCause::kNone ? sc.stats.stop_cause
+                                                   : rm.stats.stop_cause;
+  }
 };
 
 struct BatchResult {
   std::vector<BatchEntry> entries;  // parallel to the input suite
 
-  // Counts of refining / non-refining / truncated entries, rendered per test.
+  // Counts of refining / non-refining / truncated entries, rendered per test
+  // (truncated entries carry their stop cause, e.g. "[bounded: deadline]").
   std::string Summary() const;
+};
+
+// Options for a governed batch run. `num_threads` counts test-level workers
+// (0 = one per hardware thread); `governance` is ONE budget for the whole
+// batch — every test's explorations poll the same governor, and once a stop
+// latches, not-yet-started tests are skipped with well-formed empty results
+// (truncated, carrying the cause) rather than explored.
+struct BatchOptions {
+  int num_threads = 0;
+  GovernanceOptions governance;
 };
 
 // Explores every test on both models using `num_threads` test-level workers
 // (0 = one per hardware thread). The SC and RM explorations of one test are the
 // unit of distribution, so a suite of k tests exposes 2k independent tasks.
 BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite, int num_threads = 0);
+
+// Governed batch: same distribution, one RunBudget/CancelToken/telemetry
+// channel spanning the whole suite.
+BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite,
+                           const BatchOptions& options);
 
 // The standard regression suite: the Armv8 classics catalog (SB/MP/LB/CoRR/
 // CoWW/2+2W/S/WRC/IRIW in plain and fixed strengths) plus the paper's Examples

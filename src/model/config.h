@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/arch/types.h"
+#include "src/support/governance.h"
 
 namespace vrm {
 
@@ -28,6 +29,20 @@ struct ModelConfig {
   // match too unless max_states truncates (then *which* states got explored
   // before the cap is schedule-dependent).
   int num_threads = 1;
+
+  // Run governance (src/support/governance.h): wall-clock deadline, soft
+  // memory ceiling, cooperative cancellation, heartbeat telemetry. When
+  // `governor` is set, the exploration polls that externally owned governor
+  // every kGovernorPollStride expansions per worker (src/model/explorer.h) —
+  // several explorations may share one (VerifyKernel's
+  // overlapped walk pair, every test of a governed RunLitmusBatch). Otherwise,
+  // when `governance.Enabled()`, Explore() materializes a run-local governor
+  // from these options (and emits the final telemetry event itself). A run
+  // stopped by the governor is truncated with ExploreStats::stop_cause set;
+  // verdicts derived from it are bounded, never definitive. Default:
+  // ungoverned — the hot loop pays one pointer test per expansion.
+  GovernanceOptions governance;
+  RunGovernor* governor = nullptr;
 
   // Promising machine: cap on a thread's outstanding (unfulfilled) promises.
   // Litmus-scale relaxed behaviours need very few simultaneous promises; the cap

@@ -46,9 +46,28 @@
 // schedule-dependent.
 //
 // max_states is an inclusive upper bound on the visited-set size at which
-// expansion stops: the check is `seen >= max_states`, so no more than
-// max_states states are ever expanded (tests/model/explorer_test.cc pins the
-// boundary).
+// expansion stops: the sequential check is `seen >= max_states`, and the
+// parallel engine gates every expansion on an atomic reservation ticket in
+// ShardedDigestSet (racing workers can read a stale set size, but can never
+// out-race the CAS), so no engine ever expands more than max_states states
+// (tests/model/explorer_test.cc and tests/model/parallel_explore_test.cc pin
+// the boundary, the latter at 4 workers).
+//
+// Run governance. When ModelConfig carries a RunGovernor (directly via
+// config.governor, or materialized by Explore() from config.governance), both
+// engines poll it before the first expansion and then every
+// kGovernorPollStride-th expansion per worker (the clock read dominates the
+// poll's cost; striding keeps governed overhead under 2% even on
+// microsecond-per-state workloads, while bounding stop latency to a few tens
+// of expansions): an expired wall-clock deadline, a crossed soft-memory
+// ceiling (EstimateExplorerRss below), or a tripped CancelToken latches a
+// StopCause, after which every worker drains its frontier without expanding —
+// exactly how the engines already quiesce at the state cap. The partial
+// result is well-formed (outcomes found so far, stats.truncated,
+// stats.stop_cause) and verdicts derived from it are bounded, never
+// definitive. Governed parallel runs also register a telemetry probe so
+// heartbeat events carry per-worker steal counts. Ungoverned runs pay one
+// branch per expansion.
 //
 // Observer hook. Explore()/ExploreSequential()/ExploreParallel() take an
 // optional observer so one walk can feed analyses beyond the built-in outcome
@@ -82,6 +101,14 @@
 
 namespace vrm {
 
+// Governed engines read the governor's clock on the first expansion and then
+// on every kGovernorPollStride-th one per worker. 16 keeps stop latency at a
+// few tens of expansions (microseconds to low milliseconds on real workloads)
+// while amortizing the steady_clock read far below the per-state work.
+// OnExpansion() — a relaxed counter bump — still fires every expansion, so
+// heartbeat progress counters stay exact.
+inline constexpr uint32_t kGovernorPollStride = 16;
+
 // Default (disabled) walk observer: every hook site compiles away.
 struct NullExploreObserver {
   static constexpr bool kEnabled = false;
@@ -112,6 +139,25 @@ Digest128 StreamingStateDigest(const Machine& machine,
   return sink->Finish();
 }
 
+// Soft-memory estimate for a running exploration, derived from the structures
+// the explorer owns: the visited set (one Digest128 plus hash-node and bucket
+// overhead per state) and the frontier slot pools (each queued state retains
+// roughly its serialized footprint in reusable buffers). The walk's own digest
+// stream gives the mean serialized state size — digest_bytes counts one full
+// serialization per dedup probe (transitions + the initial state). This is an
+// estimate feeding RunBudget::soft_memory_bytes, which is explicitly soft; it
+// is not an allocator accounting.
+inline uint64_t EstimateExplorerRss(uint64_t visited, uint64_t frontier,
+                                    const ExploreStats& stats) {
+  constexpr uint64_t kVisitedNodeBytes = 56;    // digest + set node + bucket
+  constexpr uint64_t kStateSlotOverhead = 64;   // deque/vector slot bookkeeping
+  const uint64_t streams = stats.transitions + 1;
+  const uint64_t mean_state_bytes =
+      stats.digest_bytes == 0 ? 256 : stats.digest_bytes / streams;
+  return visited * kVisitedNodeBytes +
+         frontier * (mean_state_bytes + kStateSlotOverhead);
+}
+
 template <typename Machine, typename Observer = NullExploreObserver>
 ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& config,
                                 Observer* observer = nullptr) {
@@ -135,12 +181,33 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
 
   // Reusable per-exploration scratch: `next` is the machines' successor slot
   // pool, `state` the expansion slot (move-assigned from the stack).
+  RunGovernor* const governor = config.governor;
+  uint32_t poll_countdown = 0;  // 0 => poll before this expansion
   std::vector<typename Machine::State> next;
   typename Machine::State state;
   while (!stack.empty()) {
     if (seen.size() >= config.max_states) {
       result.stats.truncated = true;
+      result.stats.stop_cause = StopCause::kStates;
+      if (governor != nullptr) {
+        governor->NoteStop(StopCause::kStates);
+      }
       break;
+    }
+    if (governor != nullptr) {
+      if (poll_countdown == 0) {
+        poll_countdown = kGovernorPollStride;
+        const StopCause cause = governor->Poll(
+            EstimateExplorerRss(seen.size(), stack.size(), result.stats),
+            stack.size());
+        if (cause != StopCause::kNone) {
+          result.stats.truncated = true;
+          result.stats.stop_cause = cause;
+          break;
+        }
+      }
+      --poll_countdown;
+      governor->OnExpansion();
     }
     state = std::move(stack.back());
     stack.pop_back();
@@ -208,19 +275,58 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
     frontier.Push(0, std::move(initial));
   }
 
+  RunGovernor* const governor = config.governor;
+  // Heartbeats from a governed run carry per-worker steal counts; the probe is
+  // unregistered before `frontier` dies.
+  int probe_handle = -1;
+  if (governor != nullptr) {
+    probe_handle = governor->RegisterProbe(
+        [&frontier](std::string* out) { frontier.AppendStealsJson(out); });
+  }
+
   RunWorkers(num_threads, [&](int w) {
     const Machine& m = machines[w];
     ExploreResult& result = partial[w];
     DigestSink sink;
     std::vector<typename Machine::State> next;
     typename Machine::State state;
+    uint32_t poll_countdown = 0;       // 0 => poll before this expansion
+    StopCause stopped = StopCause::kNone;  // latched by a poll: drain-only mode
     while (frontier.Pop(w, &state)) {
-      if (seen.Size() >= config.max_states) {
-        // Past the cap: drain the frontier without expanding so the search
-        // quiesces, exactly as the sequential engine abandons its stack.
+      if (governor != nullptr) {
+        if (stopped == StopCause::kNone && poll_countdown == 0) {
+          poll_countdown = kGovernorPollStride;
+          stopped = governor->Poll(
+              EstimateExplorerRss(seen.Size(), frontier.ApproxPending(),
+                                  result.stats),
+              frontier.ApproxPending());
+        }
+        if (stopped != StopCause::kNone) {
+          // Budget exhausted or cancelled: drain the frontier without
+          // expanding so the search quiesces cooperatively.
+          result.stats.truncated = true;
+          result.stats.stop_cause = stopped;
+          frontier.MarkDone();
+          continue;
+        }
+        --poll_countdown;
+        governor->OnExpansion();
+      }
+      if (!seen.ReserveExpansion(config.max_states)) {
+        // Past the state cap: the atomic reservation (not a racy size read)
+        // guarantees no more than max_states expansions in total; drain the
+        // frontier without expanding, exactly as the sequential engine
+        // abandons its stack.
         result.stats.truncated = true;
+        result.stats.stop_cause = StopCause::kStates;
+        if (governor != nullptr) {
+          governor->NoteStop(StopCause::kStates);
+        }
         frontier.MarkDone();
         continue;
+      }
+      if (governor != nullptr) {
+        governor->OnExpansion();
       }
       ++result.stats.states;
       if constexpr (Observer::kEnabled) {
@@ -262,7 +368,12 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
       }
       frontier.MarkDone();
     }
+    result.stats.steals = frontier.Steals(w);
   });
+
+  if (probe_handle >= 0) {
+    governor->UnregisterProbe(probe_handle);
+  }
 
   ExploreResult result = std::move(partial[0]);
   for (int w = 1; w < num_threads; ++w) {
@@ -275,6 +386,20 @@ template <typename Machine, typename Observer = NullExploreObserver>
 ExploreResult Explore(const Machine& machine, const ModelConfig& config,
                       Observer* observer = nullptr) {
   const int num_threads = EffectiveThreads(config.num_threads);
+  // An externally owned governor (config.governor) spans several explorations;
+  // otherwise, when governance options are set, this run owns its governor and
+  // emits the final telemetry event when the walk finishes.
+  if (config.governor == nullptr && config.governance.Enabled()) {
+    RunGovernor governor(config.governance);
+    ModelConfig governed = config;
+    governed.governor = &governor;
+    ExploreResult result =
+        num_threads <= 1
+            ? ExploreSequential(machine, governed, observer)
+            : ExploreParallel(machine, governed, num_threads, observer);
+    governor.EmitEnd();
+    return result;
+  }
   if (num_threads <= 1) {
     return ExploreSequential(machine, config, observer);
   }

@@ -92,24 +92,37 @@ void ExploreResult::Absorb(ExploreResult&& other) {
   stats.digest_bytes += other.stats.digest_bytes;
   stats.succ_reused += other.stats.succ_reused;
   stats.succ_grown += other.stats.succ_grown;
+  stats.steals += other.stats.steals;
   if (other.stats.peak_frontier > stats.peak_frontier) {
     stats.peak_frontier = other.stats.peak_frontier;
   }
   stats.truncated = stats.truncated || other.stats.truncated;
+  // Workers under one governor all observe the same latched cause; keep the
+  // first non-none one (only cap-vs-governor races can differ, and then any
+  // of the observed causes is a faithful answer).
+  if (stats.stop_cause == StopCause::kNone) {
+    stats.stop_cause = other.stats.stop_cause;
+  }
 }
 
 std::string ExploreStats::Describe() const {
-  char buf[192];
+  char buf[224];
+  std::string trunc;
+  if (truncated) {
+    trunc = stop_cause == StopCause::kNone
+                ? " [truncated]"
+                : std::string(" [truncated: ") + StopCauseName(stop_cause) + "]";
+  }
   std::snprintf(buf, sizeof(buf),
                 "stats: states=%llu transitions=%llu digest-bytes=%llu "
-                "succ-reuse=%llu/%llu peak-frontier=%llu%s",
+                "succ-reuse=%llu/%llu peak-frontier=%llu steals=%llu%s",
                 static_cast<unsigned long long>(states),
                 static_cast<unsigned long long>(transitions),
                 static_cast<unsigned long long>(digest_bytes),
                 static_cast<unsigned long long>(succ_reused),
                 static_cast<unsigned long long>(succ_reused + succ_grown),
                 static_cast<unsigned long long>(peak_frontier),
-                truncated ? " [truncated]" : "");
+                static_cast<unsigned long long>(steals), trunc.c_str());
   return buf;
 }
 

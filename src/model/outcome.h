@@ -18,6 +18,7 @@
 
 #include "src/arch/program.h"
 #include "src/arch/types.h"
+#include "src/support/governance.h"
 
 namespace vrm {
 
@@ -80,9 +81,18 @@ struct ExploreStats {
   uint64_t succ_reused = 0;
   uint64_t succ_grown = 0;
   uint64_t peak_frontier = 0;
-  // True when a bound (state cap, step budget, or message cap) cut exploration
-  // short; outcome sets are then under-approximations.
+  // Parallel engine: states obtained by stealing from a peer's deque (0 on the
+  // sequential path). Summed across workers by Absorb().
+  uint64_t steals = 0;
+  // True when a bound (state cap, step budget, message cap, or the run
+  // governor's budget) cut exploration short; outcome sets are then
+  // under-approximations.
   bool truncated = false;
+  // Why the explorer stopped expanding early: kStates for the max_states cap,
+  // kDeadline/kMemory/kCancelled from the run governor. kNone for runs that
+  // quiesced — and for machine-level bounds (step/message budgets), which
+  // truncate individual paths rather than stopping the walk.
+  StopCause stop_cause = StopCause::kNone;
 
   // One-line rendering of all counters, e.g. for ExploreResult::Describe().
   std::string Describe() const;

@@ -1,0 +1,138 @@
+#include "src/support/governance.h"
+
+#include <cstdio>
+
+namespace vrm {
+
+namespace {
+
+int64_t NowNs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+const char* StopCauseName(StopCause cause) {
+  switch (cause) {
+    case StopCause::kNone:
+      return "none";
+    case StopCause::kStates:
+      return "states";
+    case StopCause::kDeadline:
+      return "deadline";
+    case StopCause::kMemory:
+      return "memory";
+    case StopCause::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+RunGovernor::RunGovernor(const GovernanceOptions& options)
+    : options_(options),
+      start_(std::chrono::steady_clock::now()),
+      next_heartbeat_ns_(0) {}
+
+double RunGovernor::ElapsedSeconds() const {
+  return static_cast<double>(NowNs(start_)) * 1e-9;
+}
+
+void RunGovernor::NoteStop(StopCause cause) {
+  if (cause == StopCause::kNone) {
+    return;
+  }
+  uint8_t expected = static_cast<uint8_t>(StopCause::kNone);
+  cause_.compare_exchange_strong(expected, static_cast<uint8_t>(cause),
+                                 std::memory_order_acq_rel,
+                                 std::memory_order_acquire);
+}
+
+StopCause RunGovernor::Poll(uint64_t rss_bytes, uint64_t frontier) {
+  last_rss_.store(rss_bytes, std::memory_order_relaxed);
+  last_frontier_.store(frontier, std::memory_order_relaxed);
+
+  StopCause latched = cause();
+  if (latched != StopCause::kNone) {
+    return latched;
+  }
+
+  const int64_t now_ns = NowNs(start_);
+  StopCause observed = StopCause::kNone;
+  if (options_.cancel != nullptr && options_.cancel->Cancelled()) {
+    observed = StopCause::kCancelled;
+  } else if (options_.budget.deadline_seconds > 0 &&
+             static_cast<double>(now_ns) * 1e-9 >=
+                 options_.budget.deadline_seconds) {
+    observed = StopCause::kDeadline;
+  } else if (options_.budget.soft_memory_bytes > 0 &&
+             rss_bytes >= options_.budget.soft_memory_bytes) {
+    observed = StopCause::kMemory;
+  }
+  if (observed != StopCause::kNone) {
+    NoteStop(observed);
+    return cause();
+  }
+
+  if (options_.telemetry.sink != nullptr) {
+    // Within budget: maybe emit a heartbeat. The CAS elects exactly one
+    // polling worker per interval crossing.
+    int64_t due = next_heartbeat_ns_.load(std::memory_order_relaxed);
+    const int64_t interval_ns =
+        static_cast<int64_t>(options_.telemetry.interval_seconds * 1e9);
+    if (now_ns >= due && next_heartbeat_ns_.compare_exchange_strong(
+                             due, now_ns + interval_ns,
+                             std::memory_order_acq_rel,
+                             std::memory_order_relaxed)) {
+      Emit("heartbeat");
+    }
+  }
+  return StopCause::kNone;
+}
+
+int RunGovernor::RegisterProbe(ProbeFn probe) {
+  std::lock_guard<std::mutex> lock(probes_mu_);
+  const int handle = next_probe_handle_++;
+  probes_.emplace(handle, std::move(probe));
+  return handle;
+}
+
+void RunGovernor::UnregisterProbe(int handle) {
+  std::lock_guard<std::mutex> lock(probes_mu_);
+  probes_.erase(handle);
+}
+
+void RunGovernor::EmitEnd() {
+  if (options_.telemetry.sink != nullptr) {
+    Emit("end");
+  }
+}
+
+void RunGovernor::Emit(const char* event) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"event\": \"%s\", \"run\": \"%s\", \"elapsed_s\": %.6f, "
+                "\"states\": %llu, \"frontier\": %llu, \"rss_bytes\": %llu, "
+                "\"cause\": \"%s\"",
+                event, options_.telemetry.run_name.c_str(), ElapsedSeconds(),
+                static_cast<unsigned long long>(states()),
+                static_cast<unsigned long long>(
+                    last_frontier_.load(std::memory_order_relaxed)),
+                static_cast<unsigned long long>(
+                    last_rss_.load(std::memory_order_relaxed)),
+                StopCauseName(cause()));
+  std::string line = buf;
+  {
+    std::lock_guard<std::mutex> lock(probes_mu_);
+    for (const auto& [handle, probe] : probes_) {
+      (void)handle;
+      probe(&line);
+    }
+  }
+  line += "}";
+  std::lock_guard<std::mutex> lock(emit_mu_);
+  options_.telemetry.sink(line);
+}
+
+}  // namespace vrm

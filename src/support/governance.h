@@ -1,0 +1,186 @@
+// Run governance: budgets, cooperative cancellation, and run telemetry.
+//
+// A verification run — one exploration, a fused VerifyKernel walk pair, or a
+// whole litmus batch — can be put under a RunBudget: a wall-clock deadline and
+// a soft memory ceiling, alongside the pre-existing ModelConfig state cap. A
+// RunGovernor is the shared per-run object workers poll at expansion
+// granularity; the first poll to observe an exhausted budget (or a tripped
+// CancelToken) latches the StopCause, and every worker then drains
+// cooperatively, exactly the way the explorers already quiesce at the state
+// cap. A governed run that stops early always yields a well-formed partial
+// result: outcome sets found so far, stats.truncated set, and the latched
+// cause in ExploreStats::stop_cause — verdicts derived from it are
+// [bounded-pass]/[bounded-fail], never definitive.
+//
+// Telemetry: when TelemetryConfig::sink is set, the governor emits periodic
+// heartbeat events (one JSON object per line, no trailing newline) from
+// whichever worker's poll crosses the interval, plus one final "end" event:
+//
+//   {"event": "heartbeat", "run": "<name>", "elapsed_s": 0.51,
+//    "states": 12345, "frontier": 18, "rss_bytes": 1048576,
+//    "cause": "none", "steals": [0, 3, 1, 2]}
+//
+// The trailing fields ("steals" above) come from telemetry probes the running
+// exploration registers — the parallel explorer contributes per-worker steal
+// counts from its work-stealing frontier. Sinks are called under a lock, one
+// event at a time, and must not re-enter the governor.
+//
+// Cost model: an ungoverned run (ModelConfig::governor == nullptr and
+// GovernanceOptions disabled) pays a single pointer test per expansion. A
+// governed run pays one relaxed atomic increment per expanded state, plus one
+// steady_clock read and a few compares every kGovernorPollStride expansions
+// per worker (src/model/explorer.h) — amortized far below the per-expansion
+// work (serialization, hashing, successor construction), so measured
+// governance overhead stays under 2% (bench/bench_governance.cc). Striding
+// bounds stop latency to a few tens of expansions per worker.
+
+#ifndef SRC_SUPPORT_GOVERNANCE_H_
+#define SRC_SUPPORT_GOVERNANCE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+namespace vrm {
+
+// Why a governed run stopped expanding. kNone means "still running" (from
+// RunGovernor::Poll) or "ran to quiescence" (in ExploreStats::stop_cause);
+// kStates is the ModelConfig::max_states cap, the remaining causes are the
+// governance layer's.
+enum class StopCause : uint8_t {
+  kNone = 0,
+  kStates,
+  kDeadline,
+  kMemory,
+  kCancelled,
+};
+
+// "none" | "states" | "deadline" | "memory" | "cancelled".
+const char* StopCauseName(StopCause cause);
+
+// Shared cancellation flag. The owner keeps it alive for the duration of every
+// run it governs; any thread may Cancel() at any time, and every governed
+// worker observes it at its next poll. Cancellation is cooperative and
+// idempotent — there is no un-cancel.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool Cancelled() const { return cancelled_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+// Resource budget for one governed run. Zero values mean "unlimited", so a
+// default-constructed budget governs nothing.
+struct RunBudget {
+  // Wall clock, measured from RunGovernor construction. <= 0: unlimited.
+  double deadline_seconds = 0;
+  // Soft ceiling on the run's estimated resident set (visited-set nodes plus
+  // frontier slot pools — see EstimateExplorerRss in src/model/explorer.h).
+  // Soft: the run stops expanding when the estimate crosses the ceiling, it
+  // does not free memory already committed. 0: unlimited.
+  uint64_t soft_memory_bytes = 0;
+
+  bool Limited() const { return deadline_seconds > 0 || soft_memory_bytes > 0; }
+};
+
+// Receives one JSON event per call (no trailing newline). Called under the
+// governor's emission lock from whichever worker crossed the heartbeat
+// interval; must be fast and must not re-enter the governor.
+using TelemetrySink = std::function<void(const std::string& json_event)>;
+
+struct TelemetryConfig {
+  TelemetrySink sink;  // no events when null
+  // Minimum spacing between heartbeat events. 0 emits one per poll — useful
+  // in tests, far too chatty for real runs.
+  double interval_seconds = 1.0;
+  std::string run_name = "run";
+};
+
+// Everything a caller specifies to govern a run. Carried by value in
+// ModelConfig; Explore() materializes a RunGovernor from it when no shared
+// governor was supplied.
+struct GovernanceOptions {
+  RunBudget budget;
+  const CancelToken* cancel = nullptr;  // not owned; may be null
+  TelemetryConfig telemetry;
+
+  bool Enabled() const {
+    return budget.Limited() || cancel != nullptr || telemetry.sink != nullptr;
+  }
+};
+
+// The shared per-run poll point. One governor may span several overlapped
+// explorations (VerifyKernel's walk pair, every test of a litmus batch), so
+// everything here is thread-safe; the stop cause latches once, first observer
+// wins, and stays latched for the governor's lifetime.
+class RunGovernor {
+ public:
+  explicit RunGovernor(const GovernanceOptions& options);
+
+  // One expanded state. Relaxed aggregate feeding the heartbeat "states"
+  // field; call once per state, from any worker.
+  void OnExpansion() { states_.fetch_add(1, std::memory_order_relaxed); }
+
+  // The cooperative poll, called before the first expansion and then every
+  // few expansions per worker (kGovernorPollStride). `rss_bytes` is the
+  // caller's current memory estimate, `frontier` its queued + in-flight state
+  // count (both feed the budget check and the heartbeat). Returns kNone while
+  // the run is within budget; otherwise latches and returns the stop cause.
+  StopCause Poll(uint64_t rss_bytes, uint64_t frontier);
+
+  // Latches a stop cause decided outside the governor (the explorers' state
+  // cap). First cause wins; later calls are no-ops.
+  void NoteStop(StopCause cause);
+
+  // The latched cause, kNone while the run is live.
+  StopCause cause() const {
+    return static_cast<StopCause>(cause_.load(std::memory_order_acquire));
+  }
+
+  uint64_t states() const { return states_.load(std::memory_order_relaxed); }
+  double ElapsedSeconds() const;
+
+  // Telemetry probes: a running exploration registers a callback that appends
+  // extra `, "key": value` JSON fields to each heartbeat (the parallel
+  // explorer contributes its per-worker steal counts). Returns a handle for
+  // Unregister; probes run under the emission lock and must be thread-safe
+  // with respect to the data they read. Unregister before the probed data
+  // dies.
+  using ProbeFn = std::function<void(std::string* json_fields)>;
+  int RegisterProbe(ProbeFn probe);
+  void UnregisterProbe(int handle);
+
+  // Emits the final "end" event (latched cause, last polled totals) to the
+  // sink, if any. The run's owner calls this once, after every governed
+  // exploration has quiesced.
+  void EmitEnd();
+
+ private:
+  void Emit(const char* event);
+
+  GovernanceOptions options_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<uint64_t> states_{0};
+  std::atomic<uint8_t> cause_{static_cast<uint8_t>(StopCause::kNone)};
+  // Last polled progress, for heartbeat/end rendering.
+  std::atomic<uint64_t> last_rss_{0};
+  std::atomic<uint64_t> last_frontier_{0};
+  // Nanoseconds-since-start at which the next heartbeat fires; the polling
+  // worker that CASes it forward owns the emission.
+  std::atomic<int64_t> next_heartbeat_ns_;
+  std::mutex emit_mu_;
+  std::mutex probes_mu_;
+  std::map<int, ProbeFn> probes_;
+  int next_probe_handle_ = 0;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SUPPORT_GOVERNANCE_H_

@@ -21,9 +21,21 @@ namespace vrm {
 
 class ShardedDigestSet {
  public:
-  // `shards` is rounded up to a power of two (shard selection masks low bits of
-  // the digest's second half — the Mix64Hash lane, whose low bits avalanche).
+  // Shard counts above this are clamped: past a few thousand shards the
+  // mutexes stop being contended and the per-shard sets just waste memory —
+  // and an unclamped huge request would overflow the power-of-two rounding.
+  static constexpr int kMaxShards = 1 << 12;
+
+  // `shards` is clamped to [1, kMaxShards] and then rounded up to a power of
+  // two (shard selection masks low bits of the digest's second half — the
+  // Mix64Hash lane, whose low bits avalanche). Non-positive requests get one
+  // shard rather than an empty (or undefined) shard table.
   explicit ShardedDigestSet(int shards) {
+    if (shards < 1) {
+      shards = 1;
+    } else if (shards > kMaxShards) {
+      shards = kMaxShards;
+    }
     int n = 1;
     while (n < shards) {
       n <<= 1;
@@ -53,6 +65,35 @@ class ShardedDigestSet {
   // monotonic and at most momentarily stale while they race.
   uint64_t Size() const { return size_.load(std::memory_order_relaxed); }
 
+  // Atomically grants the right to expand one more state under an inclusive
+  // cap: succeeds only while both the number of grants and the set size are
+  // below `max_states`. The grant counter is what makes the parallel
+  // explorer's state cap exact — N workers can race past a stale Size() read,
+  // but never past the CAS ticket, so a governed or capped run expands at
+  // most `max_states` states in total (tests/model/parallel_explore_test.cc
+  // pins the boundary at 4 workers).
+  bool ReserveExpansion(uint64_t max_states) {
+    if (Size() >= max_states) {
+      return false;
+    }
+    uint64_t granted = expansions_.load(std::memory_order_relaxed);
+    do {
+      if (granted >= max_states) {
+        return false;
+      }
+    } while (!expansions_.compare_exchange_weak(granted, granted + 1,
+                                                std::memory_order_relaxed));
+    return true;
+  }
+
+  // Number of expansion grants handed out so far.
+  uint64_t Expansions() const {
+    return expansions_.load(std::memory_order_relaxed);
+  }
+
+  // Number of shards actually materialized (post clamp + rounding).
+  size_t NumShards() const { return shards_.size(); }
+
  private:
   struct Shard {
     std::mutex mu;
@@ -62,6 +103,7 @@ class ShardedDigestSet {
   std::vector<std::unique_ptr<Shard>> shards_;
   uint64_t mask_ = 0;
   std::atomic<uint64_t> size_{0};
+  std::atomic<uint64_t> expansions_{0};
 };
 
 }  // namespace vrm

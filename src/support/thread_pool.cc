@@ -6,12 +6,22 @@
 
 namespace vrm {
 
-int EffectiveThreads(int requested) {
+int ResolveThreads(int requested, unsigned hardware_concurrency) {
   if (requested > 0) {
     return requested;
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(hw);
+  if (requested < 0) {
+    // Nonsense request: clamp to one worker, never to the hardware width
+    // (a negative count is a caller bug, not a "go wide" ask).
+    return 1;
+  }
+  // requested == 0: one worker per hardware thread, falling back to 1 when
+  // the width is unknown so we never resolve to zero workers.
+  return hardware_concurrency == 0 ? 1 : static_cast<int>(hardware_concurrency);
+}
+
+int EffectiveThreads(int requested) {
+  return ResolveThreads(requested, std::thread::hardware_concurrency());
 }
 
 void RunWorkers(int num_threads, const std::function<void(int)>& fn) {

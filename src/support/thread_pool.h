@@ -14,8 +14,14 @@
 
 namespace vrm {
 
-// Resolves a requested thread count: 0 means "one per hardware thread",
-// anything else is clamped to >= 1.
+// Pure thread-count resolution, split out so the hardware_concurrency() == 0
+// fallback is testable: 0 means "one per hardware thread", negative requests
+// clamp to 1, and an unknown hardware width (the standard permits
+// hardware_concurrency() to return 0; minimal containers exhibit it) resolves
+// to 1 worker instead of spawning zero.
+int ResolveThreads(int requested, unsigned hardware_concurrency);
+
+// ResolveThreads against the live std::thread::hardware_concurrency().
 int EffectiveThreads(int requested);
 
 // Runs fn(worker_id) for worker_id in [0, num_threads). Worker 0 runs on the

@@ -20,6 +20,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -29,9 +30,12 @@ namespace vrm {
 template <typename T>
 class WorkStealingQueues {
  public:
-  explicit WorkStealingQueues(int num_workers) {
+  explicit WorkStealingQueues(int num_workers)
+      : steals_(std::make_unique<std::atomic<uint64_t>[]>(num_workers)),
+        num_workers_(num_workers) {
     deques_.reserve(num_workers);
     for (int i = 0; i < num_workers; ++i) {
+      steals_[i].store(0, std::memory_order_relaxed);
       deques_.push_back(std::make_unique<Deque>());
     }
   }
@@ -66,6 +70,7 @@ class WorkStealingQueues {
         if (!victim.items.empty()) {
           *out = std::move(victim.items.front());
           victim.items.pop_front();
+          steals_[worker].fetch_add(1, std::memory_order_relaxed);
           return true;
         }
       }
@@ -84,6 +89,26 @@ class WorkStealingQueues {
   // deque locks) — suitable for frontier-size statistics, not for control flow.
   uint64_t ApproxPending() const { return pending_.load(std::memory_order_relaxed); }
 
+  // Items `worker` obtained by stealing from a peer's deque (relaxed
+  // snapshot). Feeds ExploreStats::steals and the telemetry heartbeats.
+  uint64_t Steals(int worker) const {
+    return steals_[worker].load(std::memory_order_relaxed);
+  }
+
+  // Appends `, "steals": [w0, w1, ...]` to a JSON fragment — the run
+  // governor's heartbeat probe for per-worker steal counts. Thread-safe
+  // (relaxed snapshots only).
+  void AppendStealsJson(std::string* out) const {
+    *out += ", \"steals\": [";
+    for (int w = 0; w < num_workers_; ++w) {
+      if (w != 0) {
+        *out += ", ";
+      }
+      *out += std::to_string(Steals(w));
+    }
+    *out += "]";
+  }
+
  private:
   struct Deque {
     std::mutex mu;
@@ -91,6 +116,8 @@ class WorkStealingQueues {
   };
 
   std::vector<std::unique_ptr<Deque>> deques_;
+  std::unique_ptr<std::atomic<uint64_t>[]> steals_;
+  int num_workers_;
   std::atomic<uint64_t> pending_{0};
 };
 

@@ -13,8 +13,10 @@
 // (status.truncated), a positive verdict is a bounded-pass — some behaviour
 // beyond the bound could still escape SC — so Definitive() and Describe()
 // distinguish exhaustive-pass from bounded-pass (Boundedness,
-// src/engine/boundedness.h). A negative verdict needs no such qualifier: an
-// RM-only outcome found under any bound is a genuine counterexample.
+// src/engine/boundedness.h). A negative verdict against a *complete* SC set
+// needs no qualifier — an RM-only outcome is then a genuine counterexample —
+// but when the SC walk itself was truncated, the "extra" outcome may simply
+// live beyond the SC bound, so the verdict is a bounded-fail.
 
 #ifndef SRC_VRM_REFINEMENT_H_
 #define SRC_VRM_REFINEMENT_H_

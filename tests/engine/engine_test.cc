@@ -51,12 +51,21 @@ TEST(Boundedness, JudgeAndAccessors) {
   EXPECT_STREQ(bounded.Qualifier(), " [bounded-pass]");
   EXPECT_EQ(bounded.Describe(), "HOLDS [bounded-pass]");
 
-  // A violation is definitive even under a bound: no qualifier.
-  const Boundedness violated = Boundedness::Judge(false, true);
+  // A violation backed by complete evidence carries no qualifier.
+  const Boundedness violated = Boundedness::Judge(false, false);
   EXPECT_FALSE(violated.holds);
   EXPECT_FALSE(violated.Definitive());
   EXPECT_STREQ(violated.Qualifier(), "");
   EXPECT_EQ(violated.Describe(), "VIOLATED");
+
+  // A violation whose evidence is itself truncated (an RM-only outcome judged
+  // against a truncated SC set, or a run the governor stopped) is only a
+  // bounded-fail.
+  const Boundedness bounded_fail = Boundedness::Judge(false, true);
+  EXPECT_FALSE(bounded_fail.holds);
+  EXPECT_FALSE(bounded_fail.Definitive());
+  EXPECT_STREQ(bounded_fail.Qualifier(), " [bounded-fail]");
+  EXPECT_EQ(bounded_fail.Describe(), "VIOLATED [bounded-fail]");
 
   EXPECT_EQ(exhaustive, Boundedness::Judge(true, false));
   EXPECT_NE(exhaustive, bounded);

@@ -1,0 +1,251 @@
+// Governed-run behaviour across the stack: an expired deadline, a crossed
+// memory ceiling, or a tripped CancelToken must stop BOTH explorer engines
+// cooperatively and yield a well-formed partial result — truncated, carrying
+// the exact StopCause, verdicts bounded and never Definitive() — while a
+// governed run whose budget is never hit behaves identically to an ungoverned
+// one at every worker count. The same contract is exercised through Explore(),
+// the governed VerifyKernel overload, and the governed RunLitmusBatch.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/arch/builder.h"
+#include "src/engine/verify_kernel.h"
+#include "src/litmus/batch.h"
+#include "src/litmus/classics.h"
+#include "src/litmus/litmus.h"
+#include "src/model/explorer.h"
+#include "src/model/sc_machine.h"
+#include "src/sekvm/tinyarm_primitives.h"
+#include "src/support/governance.h"
+
+namespace vrm {
+namespace {
+
+// A workload big enough that a governed stop lands mid-run at any worker
+// count: three threads, each two stores (27 unique SC states), scaled up by
+// `cells` if a longer run is needed.
+Program StoreGrid(int cells) {
+  ProgramBuilder pb("store_grid");
+  pb.MemSize(static_cast<Addr>(cells));
+  for (int i = 0; i < cells; ++i) {
+    auto& t = pb.NewThread();
+    t.StoreImm(static_cast<Addr>(i), 1, 1).StoreImm(static_cast<Addr>(i), 2, 1);
+  }
+  return pb.Build();
+}
+
+ExploreResult GovernedScRun(const Program& program, const GovernanceOptions& governance,
+                            int num_threads) {
+  ModelConfig config;
+  config.num_threads = num_threads;
+  config.governance = governance;
+  ScMachine machine(program, config);
+  return Explore(machine, config);
+}
+
+TEST(GovernedExplore, ExpiredDeadlineYieldsBoundedPartialResult) {
+  GovernanceOptions governance;
+  governance.budget.deadline_seconds = 1e-9;  // expired before the first poll
+  for (int threads : {1, 4}) {
+    const ExploreResult result = GovernedScRun(StoreGrid(3), governance, threads);
+    EXPECT_TRUE(result.stats.truncated) << threads << " workers";
+    EXPECT_EQ(result.stats.stop_cause, StopCause::kDeadline) << threads << " workers";
+    // A verdict judged from this walk pair is bounded, never definitive —
+    // whether it holds or not.
+    const Boundedness pass = Boundedness::Judge(true, result.stats.truncated);
+    const Boundedness fail = Boundedness::Judge(false, result.stats.truncated);
+    EXPECT_FALSE(pass.Definitive()) << threads << " workers";
+    EXPECT_FALSE(fail.Definitive()) << threads << " workers";
+    EXPECT_STREQ(pass.Qualifier(), " [bounded-pass]");
+    EXPECT_STREQ(fail.Qualifier(), " [bounded-fail]");
+    // The partial result is well-formed: the stats line renders the cause.
+    EXPECT_NE(result.stats.Describe().find("[truncated: deadline]"),
+              std::string::npos);
+  }
+}
+
+TEST(GovernedExplore, PreCancelledTokenStopsBothEngines) {
+  CancelToken token;
+  token.Cancel();
+  GovernanceOptions governance;
+  governance.cancel = &token;
+  for (int threads : {1, 4}) {
+    const ExploreResult result = GovernedScRun(StoreGrid(3), governance, threads);
+    EXPECT_TRUE(result.stats.truncated) << threads << " workers";
+    EXPECT_EQ(result.stats.stop_cause, StopCause::kCancelled) << threads << " workers";
+  }
+}
+
+TEST(GovernedExplore, MidRunCancellationDrainsCooperatively) {
+  // An external thread cancels while workers are mid-walk. The workload is
+  // big enough (6 threads x 2 stores) that the cancel can land mid-run, and
+  // small enough to finish quickly when it lands late — either way the run
+  // must end with a well-formed result.
+  CancelToken token;
+  GovernanceOptions governance;
+  governance.cancel = &token;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    token.Cancel();
+  });
+  const ExploreResult result = GovernedScRun(StoreGrid(6), governance, 4);
+  canceller.join();
+  if (result.stats.truncated) {
+    EXPECT_EQ(result.stats.stop_cause, StopCause::kCancelled);
+  } else {
+    // The walk quiesced before the cancel landed: a complete result.
+    EXPECT_EQ(result.stats.stop_cause, StopCause::kNone);
+  }
+}
+
+TEST(GovernedExplore, MemoryCeilingStopsTheRun) {
+  GovernanceOptions governance;
+  governance.budget.soft_memory_bytes = 1;  // crossed by the first estimate
+  for (int threads : {1, 4}) {
+    const ExploreResult result = GovernedScRun(StoreGrid(3), governance, threads);
+    EXPECT_TRUE(result.stats.truncated) << threads << " workers";
+    EXPECT_EQ(result.stats.stop_cause, StopCause::kMemory) << threads << " workers";
+  }
+}
+
+TEST(GovernedExplore, GenerousBudgetMatchesUngovernedRunAtEveryWorkerCount) {
+  const Program program = StoreGrid(3);
+  const ExploreResult bare = GovernedScRun(program, GovernanceOptions(), 1);
+  ASSERT_FALSE(bare.stats.truncated);
+
+  GovernanceOptions governance;
+  governance.budget.deadline_seconds = 3600;
+  governance.budget.soft_memory_bytes = 1ull << 40;
+  for (int threads : {1, 2, 4}) {
+    const ExploreResult governed = GovernedScRun(program, governance, threads);
+    EXPECT_FALSE(governed.stats.truncated) << threads << " workers";
+    EXPECT_EQ(governed.stats.stop_cause, StopCause::kNone) << threads << " workers";
+    EXPECT_EQ(governed.stats.states, bare.stats.states) << threads << " workers";
+    std::vector<std::string> bare_keys, governed_keys;
+    for (const auto& [key, outcome] : bare.outcomes) {
+      (void)outcome;
+      bare_keys.push_back(key);
+    }
+    for (const auto& [key, outcome] : governed.outcomes) {
+      (void)outcome;
+      governed_keys.push_back(key);
+    }
+    EXPECT_EQ(bare_keys, governed_keys) << threads << " workers";
+    EXPECT_TRUE(Boundedness::Judge(true, governed.stats.truncated).Definitive());
+  }
+}
+
+TEST(GovernedExplore, HeartbeatsCarryProgressAndParallelSteals) {
+  std::vector<std::string> events;
+  GovernanceOptions governance;
+  governance.budget.deadline_seconds = 3600;
+  governance.telemetry.sink = [&](const std::string& event) { events.push_back(event); };
+  governance.telemetry.interval_seconds = 0;  // heartbeat on every poll
+  governance.telemetry.run_name = "hb";
+  const ExploreResult result = GovernedScRun(StoreGrid(3), governance, 4);
+  EXPECT_FALSE(result.stats.truncated);
+
+  // One heartbeat per expansion poll, plus the final end event from Explore().
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_NE(events.back().find("\"event\": \"end\""), std::string::npos);
+  size_t with_steals = 0;
+  for (const std::string& event : events) {
+    EXPECT_EQ(event.front(), '{');
+    EXPECT_EQ(event.back(), '}');
+    EXPECT_EQ(event.find('\n'), std::string::npos);
+    EXPECT_NE(event.find("\"run\": \"hb\""), std::string::npos);
+    EXPECT_NE(event.find("\"states\": "), std::string::npos);
+    EXPECT_NE(event.find("\"rss_bytes\": "), std::string::npos);
+    with_steals += event.find("\"steals\": [") != std::string::npos ? 1 : 0;
+  }
+  // The parallel explorer's probe was registered for the whole walk, so every
+  // heartbeat (though not necessarily the end event, emitted after the probe
+  // unregisters) carries the per-worker steal array.
+  EXPECT_GE(with_steals, events.size() - 1);
+}
+
+TEST(GovernedVerifyKernel, DeadlineExpiredRunIsBoundedWithCause) {
+  GovernanceOptions governance;
+  governance.budget.deadline_seconds = 1e-9;
+  const KernelVerification v = VerifyKernel(GenVmidKernelSpec(true), governance);
+  // Both walks stopped on the shared governor's deadline.
+  EXPECT_TRUE(v.refinement.rm.stats.truncated);
+  EXPECT_TRUE(v.refinement.sc.stats.truncated);
+  EXPECT_EQ(v.refinement.rm.stats.stop_cause, StopCause::kDeadline);
+  EXPECT_EQ(v.refinement.sc.stats.stop_cause, StopCause::kDeadline);
+  EXPECT_TRUE(v.refinement.status.truncated);
+  EXPECT_FALSE(v.refinement.Definitive());
+  EXPECT_FALSE(v.Definitive());
+  // The cause reaches both the human-readable report and the JSON lines
+  // (numeric StopCause: 2 = deadline).
+  EXPECT_NE(v.Describe().find("[truncated: deadline]"), std::string::npos);
+  const std::string json = v.ToJsonLines("verify_kernel/governed");
+  EXPECT_NE(json.find("\"metric\": \"rm_stop_cause\", \"value\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"metric\": \"sc_stop_cause\", \"value\": 2"), std::string::npos);
+}
+
+TEST(GovernedVerifyKernel, GenerousBudgetMatchesUngovernedVerdicts) {
+  const KernelSpec spec = GenVmidKernelSpec(true);
+  const KernelVerification bare = VerifyKernel(spec);
+  GovernanceOptions governance;
+  governance.budget.deadline_seconds = 3600;
+  const KernelVerification governed = VerifyKernel(spec, governance);
+  EXPECT_EQ(governed.AllHold(), bare.AllHold());
+  EXPECT_EQ(governed.Definitive(), bare.Definitive());
+  EXPECT_EQ(governed.refinement.status, bare.refinement.status);
+  EXPECT_EQ(governed.refinement.rm.stats.states, bare.refinement.rm.stats.states);
+  EXPECT_EQ(governed.refinement.sc.stats.states, bare.refinement.sc.stats.states);
+}
+
+TEST(GovernedBatch, DeadlineSkipsRemainingTestsWithWellFormedEntries) {
+  std::vector<LitmusTest> suite;
+  for (int i = 0; i < 6; ++i) {
+    suite.push_back(ClassicMp(Strength::kDmb, Strength::kAddrDep));
+  }
+  BatchOptions options;
+  options.num_threads = 2;
+  options.governance.budget.deadline_seconds = 1e-9;
+  const BatchResult batch = RunLitmusBatch(suite, options);
+  ASSERT_EQ(batch.entries.size(), suite.size());
+  for (const BatchEntry& entry : batch.entries) {
+    // Every entry — explored-then-stopped or never started — is truncated
+    // with the batch's cause, and its verdict is bounded.
+    EXPECT_TRUE(entry.status.truncated);
+    EXPECT_EQ(entry.stop_cause(), StopCause::kDeadline);
+    EXPECT_FALSE(entry.status.Definitive());
+  }
+  EXPECT_NE(batch.Summary().find("[bounded: deadline]"), std::string::npos);
+}
+
+TEST(GovernedBatch, GenerousBudgetMatchesUngovernedBatch) {
+  std::vector<LitmusTest> suite = DefaultLitmusSuite();
+  suite.resize(6);
+  const BatchResult bare = RunLitmusBatch(suite, 2);
+  BatchOptions options;
+  options.num_threads = 2;
+  options.governance.budget.deadline_seconds = 3600;
+  std::vector<std::string> events;
+  options.governance.telemetry.sink = [&](const std::string& event) {
+    events.push_back(event);
+  };
+  options.governance.telemetry.interval_seconds = 3600;  // end event only
+  const BatchResult governed = RunLitmusBatch(suite, options);
+  ASSERT_EQ(governed.entries.size(), bare.entries.size());
+  for (size_t i = 0; i < bare.entries.size(); ++i) {
+    EXPECT_EQ(governed.entries[i].status, bare.entries[i].status) << i;
+    EXPECT_EQ(governed.entries[i].rm.stats.states, bare.entries[i].rm.stats.states) << i;
+    EXPECT_EQ(governed.entries[i].sc.stats.states, bare.entries[i].sc.stats.states) << i;
+  }
+  // The batch owns one governor: exactly one end event after the whole suite.
+  ASSERT_GE(events.size(), 1u);
+  EXPECT_NE(events.back().find("\"event\": \"end\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vrm

@@ -135,6 +135,38 @@ TEST(ParallelExplore, TruncatedRunStillReportsTruncation) {
   ScMachine machine(pb.Build(), config);
   const ExploreResult result = Explore(machine, config);
   EXPECT_TRUE(result.stats.truncated);
+  EXPECT_EQ(result.stats.stop_cause, StopCause::kStates);
+}
+
+// The overshoot regression: with a racy `Size() >= max_states` gate, four
+// workers could each pass the check at size = cap-1 and expand cap+3 states.
+// The atomic reservation must hold every worker count to the cap exactly, at
+// every cap across the search's growth curve.
+TEST(ParallelExplore, MaxStatesIsNeverOvershotAcrossWorkerCounts) {
+  ProgramBuilder pb("cap_boundary");
+  pb.MemSize(3);
+  for (int i = 0; i < 3; ++i) {
+    auto& t = pb.NewThread();
+    t.StoreImm(static_cast<Addr>(i), 1, 1).StoreImm(static_cast<Addr>(i), 2, 1);
+  }
+  const Program program = pb.Build();
+  // The workload has 27 unique states (each thread's PC determines its cell),
+  // so every cap below stays truncating.
+  for (uint64_t cap : {1u, 2u, 5u, 9u, 17u}) {
+    for (int threads : {2, 4, 8}) {
+      ModelConfig config;
+      config.max_states = cap;
+      config.num_threads = threads;
+      ScMachine machine(program, config);
+      const ExploreResult result = Explore(machine, config);
+      EXPECT_LE(result.stats.states, cap)
+          << "cap " << cap << " @" << threads << " workers";
+      EXPECT_TRUE(result.stats.truncated)
+          << "cap " << cap << " @" << threads << " workers";
+      EXPECT_EQ(result.stats.stop_cause, StopCause::kStates)
+          << "cap " << cap << " @" << threads << " workers";
+    }
+  }
 }
 
 TEST(ParallelExplore, BatchRunnerMatchesIndividualRuns) {

@@ -3,10 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "src/mmu/tlb.h"
+#include "src/support/governance.h"
 #include "src/support/hash.h"
 #include "src/support/rng.h"
 #include "src/support/sharded_set.h"
@@ -229,6 +233,19 @@ TEST(ThreadPool, EffectiveThreadsResolvesZeroAndClamps) {
   EXPECT_EQ(EffectiveThreads(-3), 1);
 }
 
+TEST(ThreadPool, ResolveThreadsNeverReturnsZeroWorkers) {
+  // hardware_concurrency() may legitimately return 0 ("unknown"); a request
+  // for "one per hardware thread" must then fall back to 1, never 0 (a
+  // zero-worker exploration would silently explore nothing).
+  EXPECT_EQ(ResolveThreads(0, 0), 1);
+  EXPECT_EQ(ResolveThreads(0, 1), 1);
+  EXPECT_EQ(ResolveThreads(0, 8), 8);
+  // Explicit requests pass through; negative requests clamp to 1 regardless
+  // of the hardware width (a caller bug, not a "go wide" ask).
+  EXPECT_EQ(ResolveThreads(3, 0), 3);
+  EXPECT_EQ(ResolveThreads(-1, 64), 1);
+}
+
 TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
   for (int threads : {1, 2, 4, 8}) {
     std::vector<std::atomic<int>> hits(257);
@@ -263,6 +280,71 @@ TEST(ShardedSet, InsertDedupsAcrossShardsAndThreads) {
   EXPECT_EQ(set.Size(), 500u);
 }
 
+TEST(ShardedSet, ConstructorClampsDegenerateShardCounts) {
+  // Non-positive requests must not yield an empty (or undefined) shard table.
+  EXPECT_EQ(ShardedDigestSet(0).NumShards(), 1u);
+  EXPECT_EQ(ShardedDigestSet(-5).NumShards(), 1u);
+  EXPECT_EQ(ShardedDigestSet(1).NumShards(), 1u);
+  // Rounded up to a power of two.
+  EXPECT_EQ(ShardedDigestSet(3).NumShards(), 4u);
+  EXPECT_EQ(ShardedDigestSet(8).NumShards(), 8u);
+  // Huge requests clamp instead of overflowing the power-of-two rounding.
+  EXPECT_EQ(ShardedDigestSet(1 << 30).NumShards(),
+            static_cast<size_t>(ShardedDigestSet::kMaxShards));
+  // A clamped set still dedups correctly.
+  ShardedDigestSet set(-1);
+  EXPECT_TRUE(set.Insert({1, 2}));
+  EXPECT_FALSE(set.Insert({1, 2}));
+  EXPECT_EQ(set.Size(), 1u);
+}
+
+TEST(ShardedSet, ReserveExpansionIsExactUnderRacingWorkers) {
+  // The parallel explorer's state cap: N workers hammer the reservation
+  // ticket; exactly `cap` grants may succeed no matter how the stale Size()
+  // reads race (this is the max_states overshoot fix).
+  constexpr uint64_t kCap = 1000;
+  ShardedDigestSet set(8);
+  std::atomic<uint64_t> granted{0};
+  RunWorkers(4, [&](int) {
+    for (int i = 0; i < 2000; ++i) {
+      if (set.ReserveExpansion(kCap)) {
+        granted.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(granted.load(), kCap);
+  EXPECT_EQ(set.Expansions(), kCap);
+  // Once the set itself reaches the cap, reservations fail even with tickets
+  // nominally left (mirrors the sequential `seen >= max_states` check).
+  ShardedDigestSet full(4);
+  for (uint64_t i = 0; i < 10; ++i) {
+    full.Insert({i, i});
+  }
+  EXPECT_FALSE(full.ReserveExpansion(10));
+  EXPECT_TRUE(full.ReserveExpansion(11));
+}
+
+TEST(WorkSteal, StealCountersTrackCrossWorkerPops) {
+  WorkStealingQueues<int> queues(2);
+  for (int i = 0; i < 4; ++i) {
+    queues.Push(0, i);  // everything lands on worker 0's deque
+  }
+  int item;
+  // Worker 1 can only obtain items by stealing.
+  ASSERT_TRUE(queues.Pop(1, &item));
+  queues.MarkDone();
+  ASSERT_TRUE(queues.Pop(1, &item));
+  queues.MarkDone();
+  // Worker 0 pops locally: not a steal.
+  ASSERT_TRUE(queues.Pop(0, &item));
+  queues.MarkDone();
+  EXPECT_EQ(queues.Steals(0), 0u);
+  EXPECT_EQ(queues.Steals(1), 2u);
+  std::string json;
+  queues.AppendStealsJson(&json);
+  EXPECT_EQ(json, ", \"steals\": [0, 2]");
+}
+
 TEST(WorkSteal, DrainsEverythingAcrossWorkersOnce) {
   constexpr int kWorkers = 4;
   constexpr int kSeeds = 64;
@@ -288,6 +370,116 @@ TEST(WorkSteal, DrainsEverythingAcrossWorkersOnce) {
   });
   for (size_t i = 0; i < popped.size(); ++i) {
     EXPECT_EQ(popped[i].load(), 1) << "item " << i;
+  }
+}
+
+TEST(Governance, StopCauseNamesAndCancelToken) {
+  EXPECT_STREQ(StopCauseName(StopCause::kNone), "none");
+  EXPECT_STREQ(StopCauseName(StopCause::kStates), "states");
+  EXPECT_STREQ(StopCauseName(StopCause::kDeadline), "deadline");
+  EXPECT_STREQ(StopCauseName(StopCause::kMemory), "memory");
+  EXPECT_STREQ(StopCauseName(StopCause::kCancelled), "cancelled");
+
+  CancelToken token;
+  EXPECT_FALSE(token.Cancelled());
+  token.Cancel();
+  EXPECT_TRUE(token.Cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.Cancelled());
+}
+
+TEST(Governance, OptionsEnabledOnlyWhenSomethingIsSet) {
+  GovernanceOptions options;
+  EXPECT_FALSE(options.Enabled());
+  options.budget.deadline_seconds = 1.0;
+  EXPECT_TRUE(options.Enabled());
+  options = GovernanceOptions();
+  options.budget.soft_memory_bytes = 1;
+  EXPECT_TRUE(options.Enabled());
+  options = GovernanceOptions();
+  CancelToken token;
+  options.cancel = &token;
+  EXPECT_TRUE(options.Enabled());
+  options = GovernanceOptions();
+  options.telemetry.sink = [](const std::string&) {};
+  EXPECT_TRUE(options.Enabled());
+}
+
+TEST(Governance, DeadlineLatchesAndStaysSticky) {
+  GovernanceOptions options;
+  options.budget.deadline_seconds = 1e-9;  // expires effectively immediately
+  RunGovernor governor(options);
+  // The clock needs to advance at least one tick past construction.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(governor.Poll(0, 0), StopCause::kDeadline);
+  EXPECT_EQ(governor.cause(), StopCause::kDeadline);
+  // A later, different stop cannot overwrite the latched cause.
+  governor.NoteStop(StopCause::kStates);
+  EXPECT_EQ(governor.cause(), StopCause::kDeadline);
+  EXPECT_EQ(governor.Poll(0, 0), StopCause::kDeadline);
+}
+
+TEST(Governance, MemoryCeilingAndCancellation) {
+  GovernanceOptions options;
+  options.budget.soft_memory_bytes = 1 << 20;
+  CancelToken token;
+  options.cancel = &token;
+  RunGovernor governor(options);
+  EXPECT_EQ(governor.Poll(1 << 19, 5), StopCause::kNone);
+  EXPECT_EQ(governor.Poll((1 << 20) + 1, 5), StopCause::kMemory);
+  EXPECT_EQ(governor.cause(), StopCause::kMemory);
+
+  RunGovernor cancelled(options);
+  token.Cancel();
+  EXPECT_EQ(cancelled.Poll(0, 0), StopCause::kCancelled);
+  EXPECT_EQ(cancelled.cause(), StopCause::kCancelled);
+}
+
+TEST(Governance, NoteStopFirstCauseWinsAcrossThreads) {
+  GovernanceOptions options;
+  options.budget.deadline_seconds = 3600;  // effectively unlimited
+  RunGovernor governor(options);
+  RunWorkers(4, [&](int w) {
+    governor.NoteStop(w % 2 == 0 ? StopCause::kStates : StopCause::kCancelled);
+  });
+  const StopCause cause = governor.cause();
+  EXPECT_TRUE(cause == StopCause::kStates || cause == StopCause::kCancelled);
+  EXPECT_EQ(governor.Poll(0, 0), cause);  // latched, not re-derived
+}
+
+TEST(Governance, HeartbeatsAndEndEventAreWellFormedJson) {
+  std::vector<std::string> events;
+  GovernanceOptions options;
+  options.telemetry.sink = [&](const std::string& event) { events.push_back(event); };
+  options.telemetry.interval_seconds = 0;  // one heartbeat per poll
+  options.telemetry.run_name = "unit";
+  RunGovernor governor(options);
+  int probe = governor.RegisterProbe([](std::string* out) { *out += ", \"extra\": 7"; });
+  governor.OnExpansion();
+  governor.OnExpansion();
+  EXPECT_EQ(governor.Poll(4096, 3), StopCause::kNone);
+  governor.UnregisterProbe(probe);
+  EXPECT_EQ(governor.Poll(8192, 1), StopCause::kNone);
+  governor.EmitEnd();
+
+  ASSERT_EQ(events.size(), 3u);
+  // First heartbeat: probed fields present, no trailing newline.
+  EXPECT_NE(events[0].find("\"event\": \"heartbeat\""), std::string::npos);
+  EXPECT_NE(events[0].find("\"run\": \"unit\""), std::string::npos);
+  EXPECT_NE(events[0].find("\"states\": 2"), std::string::npos);
+  EXPECT_NE(events[0].find("\"frontier\": 3"), std::string::npos);
+  EXPECT_NE(events[0].find("\"rss_bytes\": 4096"), std::string::npos);
+  EXPECT_NE(events[0].find("\"cause\": \"none\""), std::string::npos);
+  EXPECT_NE(events[0].find("\"extra\": 7"), std::string::npos);
+  EXPECT_EQ(events[0].back(), '}');
+  // Second heartbeat: probe gone after UnregisterProbe.
+  EXPECT_EQ(events[1].find("\"extra\""), std::string::npos);
+  // End event.
+  EXPECT_NE(events[2].find("\"event\": \"end\""), std::string::npos);
+  for (const std::string& event : events) {
+    EXPECT_EQ(event.front(), '{');
+    EXPECT_EQ(event.back(), '}');
+    EXPECT_EQ(event.find('\n'), std::string::npos);
   }
 }
 
