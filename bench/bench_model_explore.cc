@@ -68,7 +68,7 @@ BENCHMARK(BM_PromisingExplore_TicketLock)->Unit(benchmark::kMillisecond);
 void BM_PromisingExplore_PorAblation(benchmark::State& state) {
   // state.range(0) == 1 disables the partial-order reduction.
   LitmusTest test = Example1OutOfOrderWrite(false);
-  test.config.disable_por = state.range(0) == 1;
+  test.config.reduction = state.range(0) == 1 ? Reduction::kNone : Reduction::kPor;
   uint64_t states = 0;
   for (auto _ : state) {
     PromisingMachine machine(test.program, test.config);

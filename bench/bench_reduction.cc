@@ -1,0 +1,218 @@
+// State-space reduction: ample-set POR + thread-symmetry vs the unreduced
+// explorer, and the suite-level parallel scheduler.
+//
+// Part 1 runs four representative workloads — SB and MP with their fixes,
+// IRIW+dmb (the 4-thread classic, the symmetry showcase), and the paper's
+// fixed Example 2 ticket lock — under ModelConfig::reduction none / por /
+// por+symmetry on both hardware models, recording states expanded, states
+// pruned, and wall clock. State counts are host-independent: they, not the
+// timings, are the numbers the ISSUE acceptance gates on (>= 2x fewer states
+// on the ticket lock and a classic at por+symmetry). Every mode must project
+// the identical outcome set — the run aborts with outcomes_agree=0 otherwise.
+//
+// Part 2 times RunLitmusBatch over the default suite at 1/2/4 test-level
+// workers (the suite scheduler: sequential explorer per test, LPT dispatch).
+// On a multicore host the 4-worker run should be >= 1.5x the 1-worker run;
+// on a single-core CI box the speedup degrades to ~1x and only the agreement
+// checks are meaningful. Recorded numbers live in BENCH_reduction.json and
+// EXPERIMENTS.md.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/arch/builder.h"
+#include "src/litmus/batch.h"
+#include "src/litmus/classics.h"
+#include "src/litmus/litmus.h"
+#include "src/litmus/paper_examples.h"
+#include "src/model/reduction.h"
+#include "src/support/table.h"
+
+namespace vrm {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+std::vector<std::string> OutcomeKeys(const ExploreResult& result) {
+  std::vector<std::string> keys;
+  for (const auto& [key, outcome] : result.outcomes) {
+    (void)outcome;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+constexpr Reduction kModes[] = {Reduction::kNone, Reduction::kPor,
+                                Reduction::kPorSymmetry};
+
+struct ModeRun {
+  uint64_t sc_states = 0, rm_states = 0;
+  uint64_t sc_pruned = 0, rm_pruned = 0;
+  double sc_ms = 0.0, rm_ms = 0.0;
+  std::vector<std::string> sc_keys, rm_keys;
+};
+
+ModeRun RunMode(const LitmusTest& base, Reduction mode, int iters) {
+  LitmusTest test = base;
+  test.config.reduction = mode;
+  test.config.num_threads = 1;  // the sequential engine: what the batch runs
+  ModeRun run;
+  for (int i = 0; i < iters; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    const ExploreResult sc = RunSc(test);
+    const double sc_t = MsSince(start);
+    start = std::chrono::steady_clock::now();
+    const ExploreResult rm = RunPromising(test);
+    const double rm_t = MsSince(start);
+    if (i == 0 || sc_t < run.sc_ms) run.sc_ms = sc_t;
+    if (i == 0 || rm_t < run.rm_ms) run.rm_ms = rm_t;
+    run.sc_states = sc.stats.states;
+    run.rm_states = rm.stats.states;
+    run.sc_pruned = sc.stats.states_pruned;
+    run.rm_pruned = rm.stats.states_pruned;
+    run.sc_keys = OutcomeKeys(sc);
+    run.rm_keys = OutcomeKeys(rm);
+  }
+  return run;
+}
+
+void BenchWorkload(const std::string& short_name, const LitmusTest& test,
+                   TextTable* table, int iters) {
+  ModeRun runs[3];
+  for (int m = 0; m < 3; ++m) {
+    runs[m] = RunMode(test, kModes[m], iters);
+  }
+  const ModeRun& none = runs[0];
+  bool agree = true;
+  for (int m = 1; m < 3; ++m) {
+    agree &= runs[m].sc_keys == none.sc_keys && runs[m].rm_keys == none.rm_keys;
+  }
+  const std::string bench = "reduction/" + short_name;
+  for (int m = 0; m < 3; ++m) {
+    const ModeRun& run = runs[m];
+    const std::string mode = ReductionName(kModes[m]);
+    table->AddRow({short_name, mode, std::to_string(run.sc_states),
+                   std::to_string(run.rm_states), std::to_string(run.sc_pruned),
+                   std::to_string(run.rm_pruned), FormatDouble(run.sc_ms, 2),
+                   FormatDouble(run.rm_ms, 2)});
+    const std::string prefix = mode == "por+symmetry" ? "por_symmetry" : mode;
+    EmitBenchJson(bench, prefix + "_sc_states", static_cast<double>(run.sc_states));
+    EmitBenchJson(bench, prefix + "_rm_states", static_cast<double>(run.rm_states));
+    EmitBenchJson(bench, prefix + "_sc_wall_ms", run.sc_ms);
+    EmitBenchJson(bench, prefix + "_rm_wall_ms", run.rm_ms);
+    if (m > 0) {
+      EmitBenchJson(bench, prefix + "_sc_reduction_factor",
+                    static_cast<double>(none.sc_states) /
+                        static_cast<double>(run.sc_states));
+      EmitBenchJson(bench, prefix + "_rm_reduction_factor",
+                    static_cast<double>(none.rm_states) /
+                        static_cast<double>(run.rm_states));
+    }
+  }
+  EmitBenchJson(bench, "outcomes_agree", agree ? 1 : 0);
+  if (!agree) {
+    std::printf("!! %s: reduced outcome sets DIVERGE from the unreduced walk\n",
+                short_name.c_str());
+  }
+}
+
+// Where the ample layer itself earns its keep: the classics above are all
+// contention (every access shared, so only machine-POR and symmetry bite),
+// but real kernel threads interleave private work with shared handoffs. Three
+// identical threads each run a private load/store chain on their own cell,
+// then fetch-add a shared counter: the private accesses are sole-accessor
+// invisible steps and the explorer expands one thread's chain at a time.
+LitmusTest PrivateWorkSharedCounter() {
+  ProgramBuilder pb("private_work_shared_counter");
+  constexpr int kThreads = 3;
+  constexpr Addr kCounter = kThreads;  // cells 0..2 private, 3 shared
+  pb.MemSize(kThreads + 1);
+  for (int t = 0; t < kThreads; ++t) {
+    auto& tb = pb.NewThread();
+    const Addr mine = static_cast<Addr>(t);
+    tb.StoreAddr(mine, 0, MemOrder::kPlain);
+    tb.LoadAddr(1, mine, MemOrder::kPlain);
+    tb.FetchAddAddr(0, kCounter, 1, MemOrder::kAcqRel);
+    pb.ObserveReg(static_cast<ThreadId>(t), 0);
+  }
+  pb.ObserveLoc(kCounter);
+  return LitmusTest{pb.Build(), {}, "ample-set showcase"};
+}
+
+// The suite scheduler: same suite, same per-test sequential explorer, more
+// test-level workers. Agreement = every entry's verdict and outcome counts
+// match the 1-worker run exactly (parallelism reorders wall clock only).
+void BenchSuiteScheduler(int iters) {
+  const std::vector<LitmusTest> suite = DefaultLitmusSuite();
+  const std::string bench = "reduction/suite_scheduler";
+  BatchResult baseline;
+  double baseline_ms = 0.0;
+  TextTable table({"workers", "wall ms", "speedup", "verdicts agree"});
+  for (int workers : {1, 2, 4}) {
+    double best_ms = 0.0;
+    bool agree = true;
+    for (int i = 0; i < iters; ++i) {
+      const auto start = std::chrono::steady_clock::now();
+      const BatchResult batch = RunLitmusBatch(suite, workers);
+      const double t = MsSince(start);
+      if (i == 0 || t < best_ms) best_ms = t;
+      if (workers == 1) {
+        baseline = batch;
+      } else {
+        for (size_t e = 0; e < batch.entries.size(); ++e) {
+          agree &= batch.entries[e].status == baseline.entries[e].status &&
+                   batch.entries[e].sc.outcomes.size() ==
+                       baseline.entries[e].sc.outcomes.size() &&
+                   batch.entries[e].rm.outcomes.size() ==
+                       baseline.entries[e].rm.outcomes.size();
+        }
+      }
+    }
+    if (workers == 1) baseline_ms = best_ms;
+    const double speedup = baseline_ms / best_ms;
+    table.AddRow({std::to_string(workers), FormatDouble(best_ms, 2),
+                  FormatDouble(speedup, 2) + "x", agree ? "yes" : "NO"});
+    const std::string prefix = "workers_" + std::to_string(workers);
+    EmitBenchJson(bench, prefix + "_wall_ms", best_ms);
+    if (workers > 1) {
+      EmitBenchJson(bench, prefix + "_speedup", speedup);
+      EmitBenchJson(bench, prefix + "_verdicts_agree", agree ? 1 : 0);
+    }
+  }
+  std::printf("== Suite scheduler: default suite (%zu tests), LPT dispatch ==\n%s\n",
+              suite.size(), table.Render().c_str());
+}
+
+int Main(int argc, char** argv) {
+  // bench-smoke runs `bench_reduction 1`; measurement runs use the default 3.
+  const int iters = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  std::printf("== State-space reduction: none / por / por+symmetry ==\n");
+  std::printf("(sequential explorer, both models, best of %d; state counts "
+              "are host-independent)\n\n", iters);
+  TextTable table({"workload", "mode", "SC states", "RM states", "SC pruned",
+                   "RM pruned", "SC ms", "RM ms"});
+  BenchWorkload("sb_dmb", ClassicSb(Strength::kDmb), &table, iters);
+  BenchWorkload("mp_dmb_acqrel",
+                ClassicMp(Strength::kDmb, Strength::kAcqRel), &table, iters);
+  BenchWorkload("iriw_dmb", ClassicIriw(Strength::kDmb), &table, iters);
+  BenchWorkload("private_work", PrivateWorkSharedCounter(), &table, iters);
+  BenchWorkload("ticket_lock", Example2VmBooting(true), &table, iters);
+  std::printf("%s\n", table.Render().c_str());
+
+  BenchSuiteScheduler(iters);
+  return 0;
+}
+
+}  // namespace
+}  // namespace vrm
+
+int main(int argc, char** argv) { return vrm::Main(argc, argv); }

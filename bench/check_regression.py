@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Flags benchmark regressions against the committed BENCH_*.json snapshots.
+
+Every bench binary emits one JSON object per result on stdout in the fixed
+shape ``{"bench": ..., "metric": ..., "value": ...}`` (bench/bench_json.h);
+snapshots of those lines are checked in at the repository root. This script
+re-runs a bench binary (or reads a capture) and compares each metric to the
+snapshot, failing (exit 1) on any regression beyond the threshold
+(default 20%).
+
+Metric direction is inferred from the name:
+
+* higher is better -- ``*reduction_factor*``, ``*speedup*``, ``*throughput*``,
+  ``*states_per_sec*``;
+* lower is better  -- ``*_ms``, ``*wall*``, ``*_states``, ``*states_expanded*``,
+  ``*_bytes``, ``*heartbeats*``;
+* exact-hold booleans -- ``*agree*``, ``*holds*``, ``*definitive*``,
+  ``*stopped_on*``, ``*bounded*``: any change from a passing snapshot fails;
+* everything else is reported informationally and never gates.
+
+Timing metrics (the lower-is-better ``*_ms``/``*wall*`` group) are noisy on
+shared CI hosts, so they only gate under ``--include-timings``; the default
+gate covers host-independent state counts, reduction factors, and agreement
+flags. Stdlib only -- no third-party imports.
+
+Usage:
+  check_regression.py --baseline BENCH_reduction.json --run ./bench_reduction 1
+  check_regression.py --baseline BENCH_reduction.json --current capture.txt
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def parse_lines(text):
+    """Returns {(bench, metric): value} from bench_json-shaped output lines."""
+    results = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line.startswith('{"bench"'):
+            continue
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if {"bench", "metric", "value"} <= obj.keys():
+            results[(obj["bench"], obj["metric"])] = float(obj["value"])
+    return results
+
+
+HIGHER_BETTER = ("reduction_factor", "speedup", "throughput", "states_per_sec")
+LOWER_BETTER = ("_ms", "wall", "_states", "states_expanded", "_bytes",
+                "heartbeats")
+EXACT_HOLD = ("agree", "holds", "definitive", "stopped_on", "bounded")
+
+
+def classify(metric):
+    name = metric.lower()
+    if any(k in name for k in EXACT_HOLD):
+        return "exact"
+    if any(k in name for k in HIGHER_BETTER):
+        return "higher"
+    if any(k in name for k in LOWER_BETTER):
+        return "lower"
+    return "info"
+
+
+def is_timing(metric):
+    name = metric.lower()
+    return name.endswith("_ms") or "wall" in name
+
+
+def compare(baseline, current, threshold, include_timings):
+    """Returns (regressions, notes): gating failures and informational lines."""
+    regressions, notes = [], []
+    for key, base in sorted(baseline.items()):
+        bench, metric = key
+        if key not in current:
+            regressions.append(f"{bench}/{metric}: missing from current run "
+                               f"(baseline {base:g})")
+            continue
+        cur = current[key]
+        kind = classify(metric)
+        if kind == "exact":
+            if base >= 1 and cur < base:
+                regressions.append(f"{bench}/{metric}: {base:g} -> {cur:g} "
+                                   "(agreement/verdict flag dropped)")
+            continue
+        if kind == "info" or base <= 0:
+            notes.append(f"{bench}/{metric}: {base:g} -> {cur:g} (not gated)")
+            continue
+        if kind == "lower" and is_timing(metric) and not include_timings:
+            notes.append(f"{bench}/{metric}: {base:g} -> {cur:g} "
+                         "(timing, not gated; use --include-timings)")
+            continue
+        ratio = cur / base
+        if kind == "higher" and ratio < 1 - threshold:
+            regressions.append(f"{bench}/{metric}: {base:g} -> {cur:g} "
+                               f"({(1 - ratio) * 100:.1f}% worse)")
+        elif kind == "lower" and ratio > 1 + threshold:
+            regressions.append(f"{bench}/{metric}: {base:g} -> {cur:g} "
+                               f"({(ratio - 1) * 100:.1f}% worse)")
+    return regressions, notes
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True,
+                        help="committed BENCH_*.json snapshot to gate against")
+    parser.add_argument("--current",
+                        help="file with the fresh run's output (JSON lines "
+                             "mixed with tables is fine)")
+    parser.add_argument("--run", nargs=argparse.REMAINDER,
+                        help="bench binary (plus args) to execute and capture")
+    parser.add_argument("--threshold", type=float, default=0.2,
+                        help="allowed relative slack (default 0.2 = 20%%)")
+    parser.add_argument("--include-timings", action="store_true",
+                        help="also gate *_ms / wall-clock metrics")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print non-gated metric movements")
+    args = parser.parse_args()
+
+    if bool(args.current) == bool(args.run):
+        parser.error("exactly one of --current or --run is required")
+
+    with open(args.baseline, encoding="utf-8") as f:
+        baseline = parse_lines(f.read())
+    if not baseline:
+        print(f"error: no bench JSON lines in baseline {args.baseline}",
+              file=sys.stderr)
+        return 2
+
+    if args.run:
+        proc = subprocess.run(args.run, capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(f"error: bench run exited {proc.returncode}", file=sys.stderr)
+            sys.stderr.write(proc.stderr)
+            return 2
+        current = parse_lines(proc.stdout)
+    else:
+        with open(args.current, encoding="utf-8") as f:
+            current = parse_lines(f.read())
+
+    regressions, notes = compare(baseline, current, args.threshold,
+                                 args.include_timings)
+    if args.verbose:
+        for note in notes:
+            print(f"note: {note}")
+    gated = len(baseline) - len(notes)
+    if regressions:
+        print(f"{len(regressions)} regression(s) vs {args.baseline} "
+              f"(threshold {args.threshold * 100:.0f}%):")
+        for regression in regressions:
+            print(f"  REGRESSION {regression}")
+        return 1
+    print(f"ok: {gated} gated metrics within {args.threshold * 100:.0f}% of "
+          f"{args.baseline} ({len(notes)} informational)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,16 @@ std::string KernelVerification::ToJsonLines(const std::string& bench) const {
   out += JsonLine(bench, "rm_outcomes", static_cast<double>(refinement.rm.outcomes.size()));
   out += JsonLine(bench, "rm_states_expanded", static_cast<double>(refinement.rm.stats.states));
   out += JsonLine(bench, "sc_states_expanded", static_cast<double>(refinement.sc.stats.states));
+  // Reduction observability: the active mode (0 none, 1 por, 2 por+symmetry)
+  // and how much the ample-set pruning saved on each walk.
+  out += JsonLine(bench, "reduction_mode",
+                  static_cast<double>(static_cast<int>(refinement.rm.stats.reduction)));
+  out += JsonLine(bench, "rm_states_pruned",
+                  static_cast<double>(refinement.rm.stats.states_pruned));
+  out += JsonLine(bench, "sc_states_pruned",
+                  static_cast<double>(refinement.sc.stats.states_pruned));
+  out += JsonLine(bench, "rm_ample_hits",
+                  static_cast<double>(refinement.rm.stats.ample_hits));
   // StopCause as its numeric value (0 none, 1 states, 2 deadline, 3 memory,
   // 4 cancelled) so CI can assert on why a governed run stopped.
   out += JsonLine(bench, "rm_stop_cause",

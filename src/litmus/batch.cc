@@ -1,24 +1,31 @@
 #include "src/litmus/batch.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <utility>
 
 #include "src/engine/pass.h"
 #include "src/litmus/classics.h"
 #include "src/litmus/paper_examples.h"
+#include "src/model/footprint.h"
 #include "src/support/thread_pool.h"
 
 namespace vrm {
 
 std::string BatchResult::Summary() const {
   size_t refines = 0, truncated = 0;
+  uint64_t pruned = 0;
   for (const BatchEntry& e : entries) {
     refines += e.status.holds ? 1 : 0;
     truncated += e.status.truncated ? 1 : 0;
+    pruned += e.sc.stats.states_pruned + e.rm.stats.states_pruned;
   }
   std::string out = "batch: " + std::to_string(entries.size()) + " tests, " +
                     std::to_string(refines) + " refine SC, " +
                     std::to_string(entries.size() - refines) + " exhibit relaxed-only " +
-                    "behaviour, " + std::to_string(truncated) + " truncated\n";
+                    "behaviour, " + std::to_string(truncated) + " truncated, " +
+                    std::to_string(pruned) + " states pruned\n";
   for (const BatchEntry& e : entries) {
     std::string bound;
     if (e.status.truncated) {
@@ -48,8 +55,26 @@ BatchResult RunLitmusBatchImpl(const std::vector<LitmusTest>& suite,
     result.entries[i].test = suite[i];
   }
   // One task per (test, model): fine-grained enough that a few heavy Promising
-  // explorations don't serialize the tail of the batch.
-  ParallelFor(num_threads, suite.size() * 2, [&](size_t task) {
+  // explorations don't serialize the tail of the batch. Tasks are dispatched
+  // heaviest-first (longest-processing-time order over the static state-space
+  // estimate, Promising weighted above SC) so a big exploration starts early
+  // instead of landing on the tail and serializing the join.
+  std::vector<size_t> order(suite.size() * 2);
+  std::vector<uint64_t> cost(order.size());
+  for (size_t task = 0; task < order.size(); ++task) {
+    order[task] = task;
+    const LitmusTest& test = suite[task / 2];
+    const uint64_t est = EstimatedInterleavings(test.program, test.config);
+    // Promising explorations of the same program run far more transitions per
+    // milestone (read choices, promises); weight them above their SC twin.
+    cost[task] = task % 2 == 0                                       ? est
+                 : est > std::numeric_limits<uint64_t>::max() / 8    ? est
+                                                                     : est * 8;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&cost](size_t a, size_t b) { return cost[a] > cost[b]; });
+  ParallelFor(num_threads, order.size(), [&](size_t idx) {
+    const size_t task = order[idx];
     BatchEntry& entry = result.entries[task / 2];
     ExploreResult& slot = task % 2 == 0 ? entry.sc : entry.rm;
     if (governor != nullptr) {
@@ -62,6 +87,11 @@ BatchResult RunLitmusBatchImpl(const std::vector<LitmusTest>& suite,
     }
     LitmusTest governed = entry.test;
     governed.config.governor = governor;
+    // Suite-level parallelism replaces intra-test threading: each test runs
+    // the sequential explorer (deterministic, zero work-stealing overhead) and
+    // the batch goes wide across tests — the configuration BENCH_reduction.json
+    // shows parallelizing where intra-test work stealing loses.
+    governed.config.num_threads = 1;
     slot = task % 2 == 0 ? RunSc(governed) : RunPromising(governed);
   });
   for (BatchEntry& entry : result.entries) {

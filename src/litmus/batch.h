@@ -1,11 +1,15 @@
-// Parallel batch runner for litmus suites.
+// Parallel batch runner for litmus suites — the suite-level scheduler.
 //
 // A suite is a vector of LitmusTests; the runner explores every test on both
-// hardware models, distributing test-level work across a thread pool (and each
-// exploration may itself go wide per its ModelConfig::num_threads). Per-test
-// results are identical to running the test alone — parallelism only reorders
-// wall-clock, never outcomes. The per-test inclusion verdict is the engine's
-// shared JudgeRefinement, the same judgement CheckRefinement uses.
+// hardware models, distributing (test, model) tasks across a thread pool in
+// longest-first order. Each task runs the *sequential* explorer (the runner
+// overrides ModelConfig::num_threads to 1): litmus-scale state spaces are too
+// small for intra-test work stealing to pay (BENCH_parallel_explore.json
+// measured 1.04–1.58x overhead), while independent tests parallelize
+// perfectly. Per-test results are identical to running the test alone —
+// parallelism only reorders wall-clock, never outcomes. The per-test inclusion
+// verdict is the engine's shared JudgeRefinement, the same judgement
+// CheckRefinement uses.
 
 #ifndef SRC_LITMUS_BATCH_H_
 #define SRC_LITMUS_BATCH_H_

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "src/arch/types.h"
+#include "src/model/reduction.h"
 #include "src/support/governance.h"
 
 namespace vrm {
@@ -53,10 +54,14 @@ struct ModelConfig {
   // checking). Programs must declare regions and contain kPull/kPush.
   bool pushpull = false;
 
-  // Disables the local-step partial-order reduction (ablation only: the
-  // explorer then interleaves register-local steps too). Outcome sets are
-  // identical either way; state counts and runtime are not.
-  bool disable_por = false;
+  // State-space reduction mode (src/model/reduction.h): kNone interleaves
+  // everything (ablation baseline), kPor (default) enables the machines'
+  // local-step singleton ample sets plus the explorers' footprint-based
+  // ample-set pruning, kPorSymmetry additionally canonicalizes states under
+  // thread symmetry and closes outcome sets under the symmetry group. Outcome
+  // sets, violation flags, and verdicts are identical for every mode (the
+  // reduction differential suite pins this); state counts and runtime are not.
+  Reduction reduction = Reduction::kPor;
 
   // Write-once monitoring (Write-Once-Kernel-Mapping): stores to these cells must
   // only ever overwrite the EMPTY value.

@@ -83,6 +83,26 @@
 // exploration (they see states by const reference and must not touch the
 // machine); under ExploreParallel the hooks fire concurrently from all
 // workers, so observers must be thread-safe when config.num_threads != 1.
+//
+// State-space reduction (config.reduction; DESIGN.md "State-space reduction").
+// When the machine provides the four-argument Successors() overload with
+// per-successor independence footprints, both engines run ample-set
+// partial-order reduction (src/model/footprint.h): if every enabled step of
+// some thread is invisible to all other threads, only that thread's successors
+// are expanded. Pruning is applied after generation, so condition violations
+// noted while generating a pruned successor are kept (they witness real
+// execution prefixes), and pruned-but-still-enabled visible steps of other
+// threads fire from the expanded successor instead — outcome sets and
+// violation flags are invariant; stats.states_pruned/ample_hits count the
+// savings. At Reduction::kPorSymmetry, machines whose program has a
+// nontrivial thread-symmetry group additionally deduplicate by
+// CanonicalDigest() (one representative per orbit) and the engines close the
+// extracted outcome set under the symmetry group at the end. Symmetry is
+// restricted to unobserved walks — an observer would see representatives, not
+// every reachable state — and forces the ample choice to be equivariant
+// (AmpleReduce's unique_thread flag), keeping parallel state/transition counts
+// identical to the sequential engine's. Pruning never hides a bound: budgets
+// mark stats.truncated at successor generation, before anything is discarded.
 
 #ifndef SRC_MODEL_EXPLORER_H_
 #define SRC_MODEL_EXPLORER_H_
@@ -93,6 +113,7 @@
 #include <vector>
 
 #include "src/model/config.h"
+#include "src/model/footprint.h"
 #include "src/model/outcome.h"
 #include "src/support/hash.h"
 #include "src/support/sharded_set.h"
@@ -100,6 +121,28 @@
 #include "src/support/work_steal.h"
 
 namespace vrm {
+
+// Capability probes: machines opt into the reduction layer by providing the
+// footprint Successors() overload (with access_map()) and the symmetry surface
+// (CanonicalDigest()/SymmetryActive()/CloseOutcomesUnderSymmetry()). Machines
+// without them (e.g. the TSO machine) explore exactly as before.
+template <typename Machine>
+inline constexpr bool kHasFootprints =
+    requires(const Machine& m, const typename Machine::State& s,
+             std::vector<typename Machine::State>* out, ExploreResult* agg,
+             std::vector<StepFootprint>* fps) {
+      m.Successors(s, out, agg, fps);
+      m.access_map();
+    };
+
+template <typename Machine>
+inline constexpr bool kHasSymmetry =
+    requires(const Machine& m, const typename Machine::State& s, DigestSink* sink,
+             std::map<std::string, Outcome>* outcomes) {
+      m.SymmetryActive();
+      m.CanonicalDigest(s, sink);
+      m.CloseOutcomesUnderSymmetry(outcomes);
+    };
 
 // Governed engines read the governor's clock on the first expansion and then
 // on every kGovernorPollStride-th one per worker. 16 keeps stop latency at a
@@ -162,11 +205,26 @@ template <typename Machine, typename Observer = NullExploreObserver>
 ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& config,
                                 Observer* observer = nullptr) {
   ExploreResult result;
+  result.stats.reduction = config.reduction;
   std::unordered_set<Digest128, DigestHash> seen;
   std::vector<typename Machine::State> stack;
   DigestSink sink;
 
+  // Symmetry canonicalization only on unobserved walks: observers must see
+  // every reachable state, not one representative per orbit.
+  bool use_sym = false;
+  if constexpr (kHasSymmetry<Machine> && !Observer::kEnabled) {
+    use_sym = config.reduction == Reduction::kPorSymmetry && machine.SymmetryActive();
+  }
+
   auto digest = [&](const typename Machine::State& state) {
+    if constexpr (kHasSymmetry<Machine>) {
+      if (use_sym) {
+        machine.CanonicalDigest(state, &sink);
+        result.stats.digest_bytes += sink.bytes();
+        return sink.Finish();
+      }
+    }
     const Digest128 d = StreamingStateDigest(machine, state, &sink);
     result.stats.digest_bytes += sink.bytes();
     return d;
@@ -184,6 +242,8 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
   RunGovernor* const governor = config.governor;
   uint32_t poll_countdown = 0;  // 0 => poll before this expansion
   std::vector<typename Machine::State> next;
+  std::vector<StepFootprint> fps;
+  const bool reduce = config.reduction != Reduction::kNone;
   typename Machine::State state;
   while (!stack.empty()) {
     if (seen.size() >= config.max_states) {
@@ -227,7 +287,18 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
     }
 
     const size_t cap_before = next.capacity();
-    const size_t count = machine.Successors(state, &next, &result);
+    size_t count;
+    if constexpr (kHasFootprints<Machine>) {
+      if (reduce) {
+        count = machine.Successors(state, &next, &result, &fps);
+        count = AmpleReduce(machine.access_map(), fps, &next, count,
+                            /*unique_thread=*/use_sym, &result.stats);
+      } else {
+        count = machine.Successors(state, &next, &result);
+      }
+    } else {
+      count = machine.Successors(state, &next, &result);
+    }
     ++(next.capacity() == cap_before ? result.stats.succ_reused
                                      : result.stats.succ_grown);
     result.stats.transitions += count;
@@ -245,6 +316,13 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
       result.stats.peak_frontier = stack.size();
     }
   }
+  if constexpr (kHasSymmetry<Machine>) {
+    if (use_sym) {
+      // The walk extracted one outcome per visited orbit representative; the
+      // true outcome set is the closure under the symmetry group.
+      machine.CloseOutcomesUnderSymmetry(&result.outcomes);
+    }
+  }
   return result;
 }
 
@@ -260,6 +338,15 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
     machines.emplace_back(machine);
   }
   std::vector<ExploreResult> partial(num_threads);
+  for (ExploreResult& p : partial) {
+    p.stats.reduction = config.reduction;
+  }
+
+  // Symmetry canonicalization only on unobserved walks (see ExploreSequential).
+  bool use_sym = false;
+  if constexpr (kHasSymmetry<Machine> && !Observer::kEnabled) {
+    use_sym = config.reduction == Reduction::kPorSymmetry && machine.SymmetryActive();
+  }
 
   // 8 shards per worker keeps the collision probability of two workers needing
   // the same shard lock low without materializing thousands of sets.
@@ -269,7 +356,16 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
   {
     DigestSink sink;
     typename Machine::State initial = machine.Initial();
-    seen.Insert(StreamingStateDigest(machine, initial, &sink));
+    if constexpr (kHasSymmetry<Machine>) {
+      if (use_sym) {
+        machine.CanonicalDigest(initial, &sink);
+      } else {
+        StreamingStateDigest(machine, initial, &sink);
+      }
+    } else {
+      StreamingStateDigest(machine, initial, &sink);
+    }
+    seen.Insert(sink.Finish());
     partial[0].stats.digest_bytes += sink.bytes();
     partial[0].stats.peak_frontier = 1;
     frontier.Push(0, std::move(initial));
@@ -289,6 +385,8 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
     ExploreResult& result = partial[w];
     DigestSink sink;
     std::vector<typename Machine::State> next;
+    std::vector<StepFootprint> fps;
+    const bool reduce = config.reduction != Reduction::kNone;
     typename Machine::State state;
     uint32_t poll_countdown = 0;       // 0 => poll before this expansion
     StopCause stopped = StopCause::kNone;  // latched by a poll: drain-only mode
@@ -345,7 +443,18 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
       }
 
       const size_t cap_before = next.capacity();
-      const size_t count = m.Successors(state, &next, &result);
+      size_t count;
+      if constexpr (kHasFootprints<Machine>) {
+        if (reduce) {
+          count = m.Successors(state, &next, &result, &fps);
+          count = AmpleReduce(m.access_map(), fps, &next, count,
+                              /*unique_thread=*/use_sym, &result.stats);
+        } else {
+          count = m.Successors(state, &next, &result);
+        }
+      } else {
+        count = m.Successors(state, &next, &result);
+      }
       ++(next.capacity() == cap_before ? result.stats.succ_reused
                                        : result.stats.succ_grown);
       result.stats.transitions += count;
@@ -353,8 +462,17 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
         observer->OnTransitions(state, count);
       }
       for (size_t i = 0; i < count; ++i) {
-        sink.Reset();
-        m.SerializeInto(next[i], &sink);
+        if constexpr (kHasSymmetry<Machine>) {
+          if (use_sym) {
+            m.CanonicalDigest(next[i], &sink);
+          } else {
+            sink.Reset();
+            m.SerializeInto(next[i], &sink);
+          }
+        } else {
+          sink.Reset();
+          m.SerializeInto(next[i], &sink);
+        }
         result.stats.digest_bytes += sink.bytes();
         if (seen.Insert(sink.Finish())) {
           frontier.Push(w, std::move(next[i]));
@@ -379,13 +497,28 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
   for (int w = 1; w < num_threads; ++w) {
     result.Absorb(std::move(partial[w]));
   }
+  if constexpr (kHasSymmetry<Machine>) {
+    if (use_sym) {
+      machine.CloseOutcomesUnderSymmetry(&result.outcomes);
+    }
+  }
   return result;
 }
 
 template <typename Machine, typename Observer = NullExploreObserver>
 ExploreResult Explore(const Machine& machine, const ModelConfig& config,
                       Observer* observer = nullptr) {
-  const int num_threads = EffectiveThreads(config.num_threads);
+  int num_threads = EffectiveThreads(config.num_threads);
+  // Tiny state spaces lose to work-stealing overhead (1.04–1.58x measured on
+  // litmus-scale tests): below the kParallelMinStates estimate, run the
+  // sequential engine regardless of the requested worker count. Suite-level
+  // parallelism (litmus/batch.cc) recovers the concurrency where it pays.
+  if constexpr (requires { machine.program(); }) {
+    if (num_threads > 1 &&
+        EstimatedInterleavings(machine.program(), config) < kParallelMinStates) {
+      num_threads = 1;
+    }
+  }
   // An externally owned governor (config.governor) spans several explorations;
   // otherwise, when governance options are set, this run owns its governor and
   // emits the final telemetry event when the walk finishes.

@@ -1,0 +1,105 @@
+#include "src/model/footprint.h"
+
+#include <limits>
+
+namespace vrm {
+
+namespace {
+
+// Resolves the physical address of the access at `pc` when the builder's
+// literal-address idiom applies: the immediately preceding instruction is a
+// MovImm into the access's base register, and no branch in the thread targets
+// the access itself (so the MovImm always executes right before it). Returns
+// -1 when unresolvable.
+int64_t ResolveStaticAddr(const std::vector<Inst>& code, size_t pc,
+                          const std::vector<bool>& branch_target) {
+  if (pc == 0 || branch_target[pc]) {
+    return -1;
+  }
+  const Inst& access = code[pc];
+  const Inst& prev = code[pc - 1];
+  if (prev.op != Op::kMovImm || prev.rd != access.rs) {
+    return -1;
+  }
+  // Only plain loads/stores address [rs + imm]. FetchAdd's imm is the addend
+  // and the exclusives take no displacement — all three address bare [rs].
+  const bool displaced = access.op == Op::kLoad || access.op == Op::kStore ||
+                         access.op == Op::kOracleLoad;
+  return prev.imm + (displaced ? access.imm : 0);
+}
+
+}  // namespace
+
+AccessMap AccessMap::Build(const Program& program) {
+  AccessMap map;
+  map.accessors_.assign(program.mem_size, 0);
+  const int n = program.num_threads();
+  if (n > 32) {
+    map.poisoned_ = ~0u;
+    return map;
+  }
+  for (int t = 0; t < n; ++t) {
+    const std::vector<Inst>& code = program.threads[t].code;
+    std::vector<bool> branch_target(code.size() + 1, false);
+    for (const Inst& inst : code) {
+      if (inst.IsBranch() && inst.target >= 0 &&
+          inst.target <= static_cast<int>(code.size())) {
+        branch_target[inst.target] = true;
+      }
+    }
+    const uint32_t bit = 1u << t;
+    for (size_t pc = 0; pc < code.size(); ++pc) {
+      const Inst& inst = code[pc];
+      if (!inst.IsLoadLike() && !inst.IsStoreLike()) {
+        continue;
+      }
+      if (inst.op == Op::kLoadV || inst.op == Op::kStoreV) {
+        // Translated accesses reach page tables and whatever they map.
+        map.poisoned_ |= bit;
+        continue;
+      }
+      const int64_t addr = ResolveStaticAddr(code, pc, branch_target);
+      if (addr < 0 || addr >= static_cast<int64_t>(program.mem_size)) {
+        map.poisoned_ |= bit;
+        continue;
+      }
+      map.accessors_[static_cast<size_t>(addr)] |= bit;
+    }
+  }
+  return map;
+}
+
+uint64_t EstimatedInterleavings(const Program& program, const ModelConfig& config) {
+  uint64_t est = 1;
+  for (const ThreadCode& tc : program.threads) {
+    bool loops = false;
+    for (size_t pc = 0; pc < tc.code.size(); ++pc) {
+      const Inst& inst = tc.code[pc];
+      if (inst.IsBranch() && inst.target >= 0 &&
+          inst.target <= static_cast<int>(pc)) {
+        loops = true;
+        break;
+      }
+    }
+    uint64_t milestones;
+    if (loops) {
+      milestones = static_cast<uint64_t>(config.max_steps_per_thread) + 1;
+    } else {
+      uint64_t nonlocal = 0;
+      for (const Inst& inst : tc.code) {
+        if (!IsLocalOp(inst, config.pushpull)) {
+          ++nonlocal;
+        }
+      }
+      milestones = nonlocal + 1;
+    }
+    if (milestones != 0 &&
+        est > std::numeric_limits<uint64_t>::max() / milestones) {
+      return std::numeric_limits<uint64_t>::max();
+    }
+    est *= milestones;
+  }
+  return est;
+}
+
+}  // namespace vrm

@@ -1,0 +1,199 @@
+// Independence footprints for the explorers' ample-set partial-order
+// reduction (DESIGN.md "State-space reduction").
+//
+// Machines annotate each successor with a StepFootprint: which thread stepped,
+// whether the step was thread-local, whether it is conservatively visible
+// (synchronizing), and — for plain data accesses — which physical cell it
+// touched. The explorer combines footprints with a whole-program AccessMap
+// (which threads may ever reach each cell, resolved statically from the
+// builder's literal-address idiom) to detect steps that are *invisible* to
+// every other thread: local steps, and plain accesses to a cell no other
+// thread can reach. When every enabled step of some thread is invisible, that
+// thread's successors form a valid ample set and the explorer prunes the rest.
+//
+// Soundness (the ample conditions, specialized to this state graph):
+//  * C0 — the ample set is nonempty and a subset of the enabled steps (it is
+//    exactly one thread's successor list as produced by the machine).
+//  * C1 — every pruned step is independent of every step in the ample set,
+//    now and along any future path: invisible steps touch only the stepping
+//    thread's private state and cells the AccessMap proves no other thread
+//    can ever access, so they commute with every other thread's transitions
+//    and never enable/disable them.
+//  * C2 — invisibility: footprints mark every potentially synchronizing step
+//    visible — RMWs and exclusives, translated (MMU) accesses, TLBI, promise
+//    creation, any access to a monitored cell (write-once / pt-watch / user /
+//    kernel), and everything under the push/pull protocol. Unresolvable access
+//    patterns poison the AccessMap conservatively (the thread is assumed to
+//    reach every cell), falling back to full expansion.
+//  * C3 — the cycle proviso holds vacuously: every step increments the
+//    stepping thread's serialized `steps` counter, so the state graph is a
+//    DAG and no reduced search can close a cycle of deferred steps.
+//
+// Pruning never hides a bound: step budgets and caps mark stats.truncated at
+// successor *generation*, which runs before the explorer discards anything,
+// so a bounded run stays bounded and its verdicts stay [bounded-*].
+
+#ifndef SRC_MODEL_FOOTPRINT_H_
+#define SRC_MODEL_FOOTPRINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/arch/inst.h"
+#include "src/arch/program.h"
+#include "src/arch/types.h"
+#include "src/model/config.h"
+#include "src/model/outcome.h"
+
+namespace vrm {
+
+// Per-successor independence annotation, parallel to the successor list.
+struct StepFootprint {
+  ThreadId tid = 0;
+  // Physical cell a plain data access touched; -1 when the step is local or
+  // touches no single statically meaningful cell.
+  int32_t loc = -1;
+  // Pure thread-private step (register op, branch, barrier, halt); commutes
+  // with every transition of every other thread.
+  bool local = false;
+  // Conservatively synchronizing: never part of an ample set.
+  bool visible = true;
+};
+
+// An instruction is "local" when it touches no shared structure (memory,
+// ownership map, TLBs): pure register ops, branches, barriers (they only
+// raise the thread's own views), halt/panic, and push/pull when the ghost
+// protocol is disabled. Shared by both machines' singleton-ample reduction,
+// the footprint classification, and the state-space size estimate.
+inline bool IsLocalOp(const Inst& inst, bool pushpull) {
+  switch (inst.op) {
+    case Op::kNop:
+    case Op::kMovImm:
+    case Op::kMov:
+    case Op::kAdd:
+    case Op::kAddImm:
+    case Op::kSub:
+    case Op::kAnd:
+    case Op::kEor:
+    case Op::kDmb:
+    case Op::kDsb:
+    case Op::kIsb:
+    case Op::kBeq:
+    case Op::kBne:
+    case Op::kCbz:
+    case Op::kCbnz:
+    case Op::kJmp:
+    case Op::kPanic:
+    case Op::kHalt:
+      return true;
+    case Op::kPull:
+    case Op::kPush:
+      return !pushpull;
+    default:
+      return false;
+  }
+}
+
+// Static may-access map: for each physical cell, the set of threads whose code
+// can reach it. Addresses are resolved from the builder's literal-address
+// idiom (a MovImm into the access's base register immediately before it, with
+// no branch targeting the access); a thread with any unresolvable access is
+// poisoned — treated as able to reach every cell — so SoleAccessor() can only
+// ever under-approximate privacy, never over-claim it. Translated (kLoadV/
+// kStoreV) accesses are always unresolvable (they reach page tables and
+// mapped pages). Programs with more than 32 threads are fully poisoned.
+class AccessMap {
+ public:
+  AccessMap() = default;
+
+  static AccessMap Build(const Program& program);
+
+  // True when no thread other than `tid` can ever access `loc`, so tid's
+  // plain accesses to it are invisible to every other thread.
+  bool SoleAccessor(Addr loc, ThreadId tid) const {
+    if (loc >= accessors_.size()) {
+      return false;
+    }
+    const uint32_t others = (accessors_[loc] | poisoned_) & ~(1u << tid);
+    return others == 0;
+  }
+
+ private:
+  std::vector<uint32_t> accessors_;  // per cell: bitmask of accessing threads
+  uint32_t poisoned_ = 0;            // threads with unresolvable access sets
+};
+
+// Ample-set selection over one expansion's successors. `fps[0..count)` is
+// parallel to `next->[0..count)`. If some thread's every enabled step is
+// invisible (local, or a non-visible access to a cell it solely owns), keeps
+// only that thread's successors — compacted to next->[0..kept) by swapping,
+// which preserves the slot pool's buffers — and returns kept; otherwise
+// returns count unchanged (conservative full expansion). `unique_thread`
+// restricts the reduction to expansions where exactly one thread qualifies:
+// required under symmetry canonicalization, where a lowest-tid choice among
+// several qualifying threads would not be equivariant across the members of
+// an orbit (different representatives could explore different subgraphs).
+template <typename State>
+size_t AmpleReduce(const AccessMap& amap, const std::vector<StepFootprint>& fps,
+                   std::vector<State>* next, size_t count, bool unique_thread,
+                   ExploreStats* stats) {
+  if (count < 2) {
+    return count;
+  }
+  uint32_t seen = 0;
+  uint32_t bad = 0;
+  for (size_t i = 0; i < count; ++i) {
+    const StepFootprint& fp = fps[i];
+    if (fp.tid >= 32) {
+      return count;
+    }
+    const uint32_t bit = 1u << fp.tid;
+    seen |= bit;
+    const bool invisible =
+        fp.local || (!fp.visible && fp.loc >= 0 &&
+                     amap.SoleAccessor(static_cast<Addr>(fp.loc), fp.tid));
+    if (!invisible) {
+      bad |= bit;
+    }
+  }
+  const uint32_t good = seen & ~bad;
+  if (good == 0 || (unique_thread && (good & (good - 1)) != 0)) {
+    return count;
+  }
+  ThreadId chosen = 0;
+  while ((good & (1u << chosen)) == 0) {
+    ++chosen;
+  }
+  size_t kept = 0;
+  for (size_t i = 0; i < count; ++i) {
+    if (fps[i].tid == chosen) {
+      if (i != kept) {
+        std::swap((*next)[kept], (*next)[i]);
+      }
+      ++kept;
+    }
+  }
+  if (kept == count) {
+    return count;
+  }
+  stats->states_pruned += count - kept;
+  ++stats->ample_hits;
+  return kept;
+}
+
+// Below this estimated state-space size, Explore() runs the sequential engine
+// even when config.num_threads asks for more: work-stealing overhead measured
+// 1.04–1.58x on tiny litmus tests (BENCH_parallel_explore.json), and spaces
+// this small finish in microseconds either way.
+inline constexpr uint64_t kParallelMinStates = 2048;
+
+// Coarse static estimate of a program's interleaving count: the product over
+// threads of (non-local instructions + 1) — each thread contributes roughly
+// one milestone per shared-memory access — with looping threads (any backward
+// branch) counted at the full step budget. Saturates at UINT64_MAX. This is a
+// scheduling heuristic (compare against kParallelMinStates), not a bound.
+uint64_t EstimatedInterleavings(const Program& program, const ModelConfig& config);
+
+}  // namespace vrm
+
+#endif  // SRC_MODEL_FOOTPRINT_H_

@@ -93,6 +93,8 @@ void ExploreResult::Absorb(ExploreResult&& other) {
   stats.succ_reused += other.stats.succ_reused;
   stats.succ_grown += other.stats.succ_grown;
   stats.steals += other.stats.steals;
+  stats.states_pruned += other.stats.states_pruned;
+  stats.ample_hits += other.stats.ample_hits;
   if (other.stats.peak_frontier > stats.peak_frontier) {
     stats.peak_frontier = other.stats.peak_frontier;
   }
@@ -106,7 +108,7 @@ void ExploreResult::Absorb(ExploreResult&& other) {
 }
 
 std::string ExploreStats::Describe() const {
-  char buf[224];
+  char buf[288];
   std::string trunc;
   if (truncated) {
     trunc = stop_cause == StopCause::kNone
@@ -115,14 +117,17 @@ std::string ExploreStats::Describe() const {
   }
   std::snprintf(buf, sizeof(buf),
                 "stats: states=%llu transitions=%llu digest-bytes=%llu "
-                "succ-reuse=%llu/%llu peak-frontier=%llu steals=%llu%s",
+                "succ-reuse=%llu/%llu peak-frontier=%llu steals=%llu "
+                "reduction=%s pruned=%llu ample=%llu%s",
                 static_cast<unsigned long long>(states),
                 static_cast<unsigned long long>(transitions),
                 static_cast<unsigned long long>(digest_bytes),
                 static_cast<unsigned long long>(succ_reused),
                 static_cast<unsigned long long>(succ_reused + succ_grown),
                 static_cast<unsigned long long>(peak_frontier),
-                static_cast<unsigned long long>(steals), trunc.c_str());
+                static_cast<unsigned long long>(steals), ReductionName(reduction),
+                static_cast<unsigned long long>(states_pruned),
+                static_cast<unsigned long long>(ample_hits), trunc.c_str());
   return buf;
 }
 

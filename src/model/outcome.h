@@ -18,6 +18,7 @@
 
 #include "src/arch/program.h"
 #include "src/arch/types.h"
+#include "src/model/reduction.h"
 #include "src/support/governance.h"
 
 namespace vrm {
@@ -84,6 +85,15 @@ struct ExploreStats {
   // Parallel engine: states obtained by stealing from a peer's deque (0 on the
   // sequential path). Summed across workers by Absorb().
   uint64_t steals = 0;
+  // Partial-order reduction (src/model/footprint.h): successors discarded by
+  // ample-set pruning, and expansions where the pruning fired. Both zero at
+  // Reduction::kNone. The machines' own singleton-ample local steps are not
+  // counted here — those successors are never generated in the first place.
+  uint64_t states_pruned = 0;
+  uint64_t ample_hits = 0;
+  // The reduction mode the exploration actually ran with (config.reduction),
+  // recorded so results are self-describing.
+  Reduction reduction = Reduction::kPor;
   // True when a bound (state cap, step budget, message cap, or the run
   // governor's budget) cut exploration short; outcome sets are then
   // under-approximations.

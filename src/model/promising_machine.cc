@@ -34,42 +34,6 @@ bool IsAcquireBarrierEvent(const Inst& inst) {
   }
 }
 
-// A step is "local" when it touches no shared structure (memory, ownership map,
-// TLBs): pure register ops, branches, barriers (they only raise the thread's own
-// views), halt/panic, and push/pull when the ghost protocol is disabled. Local
-// steps are deterministic and commute with every transition of every other
-// thread, so the explorer prioritizes them (a persistent-set partial-order
-// reduction): when some thread's next instruction is local, only that thread is
-// expanded.
-bool IsLocalStep(const Inst& inst, bool pushpull) {
-  switch (inst.op) {
-    case Op::kNop:
-    case Op::kMovImm:
-    case Op::kMov:
-    case Op::kAdd:
-    case Op::kAddImm:
-    case Op::kSub:
-    case Op::kAnd:
-    case Op::kEor:
-    case Op::kDmb:
-    case Op::kDsb:
-    case Op::kIsb:
-    case Op::kBeq:
-    case Op::kBne:
-    case Op::kCbz:
-    case Op::kCbnz:
-    case Op::kJmp:
-    case Op::kPanic:
-    case Op::kHalt:
-      return true;
-    case Op::kPull:
-    case Op::kPush:
-      return !pushpull;
-    default:
-      return false;
-  }
-}
-
 bool IsReleaseBarrierEvent(const Inst& inst) {
   switch (inst.op) {
     case Op::kStore:
@@ -91,6 +55,12 @@ bool IsReleaseBarrierEvent(const Inst& inst) {
 PromisingMachine::PromisingMachine(const Program& program, const ModelConfig& config)
     : program_(program), config_(config) {
   program_.Validate();
+  if (config_.reduction != Reduction::kNone) {
+    access_map_ = AccessMap::Build(program_);
+  }
+  if (config_.reduction == Reduction::kPorSymmetry) {
+    symmetry_ = ThreadSymmetry::Build(program_, config_);
+  }
 }
 
 PromisingMachine::State PromisingMachine::Initial() const {
@@ -1199,12 +1169,13 @@ size_t PromisingMachine::EnumerateAccepted(const State& state, ExploreResult* ag
   // Partial-order reduction: if some runnable thread's next instruction is
   // local (commutes with everything), expand only that thread. Promise steps of
   // the same thread also commute with its local step, so they can be deferred.
-  for (ThreadId tid = 0; !config_.disable_por && tid < state.threads.size(); ++tid) {
+  const bool por = config_.reduction != Reduction::kNone;
+  for (ThreadId tid = 0; por && tid < state.threads.size(); ++tid) {
     const PromThread& thread = state.threads[tid];
     if (thread.halted || thread.pc >= static_cast<int>(program_.threads[tid].code.size())) {
       continue;
     }
-    if (!IsLocalStep(program_.threads[tid].code[thread.pc], config_.pushpull)) {
+    if (!IsLocalOp(program_.threads[tid].code[thread.pc], config_.pushpull)) {
       continue;
     }
     ExecInst(state, tid, &step_pool_, agg, /*ghost=*/false);
@@ -1260,21 +1231,110 @@ void PromisingMachine::EnumerateSteps(const State& state, std::vector<AnnotatedS
   }
 }
 
+StepFootprint PromisingMachine::ClassifyStep(const State& state,
+                                             const StepInfo& info) const {
+  StepFootprint fp;
+  fp.tid = info.tid;
+  if (info.is_promise || info.pc < 0) {
+    return fp;  // promises append to the message list: always visible
+  }
+  const Inst& inst = program_.threads[info.tid].code[info.pc];
+  if (IsLocalOp(inst, config_.pushpull)) {
+    fp.local = true;
+    fp.visible = false;
+    return fp;
+  }
+  if (config_.pushpull) {
+    return fp;
+  }
+  // Only promise-free plain/acquire loads can be invisible here: a store's
+  // message earns a timestamp whose position depends on what other threads
+  // appended first, and a promising thread's certification can be invalidated
+  // by other threads' steps. A read of a sole-accessor unmonitored cell by a
+  // promise-free thread commutes with everything: the only messages for that
+  // cell are the thread's own (or the initial value), and the read changes
+  // only the thread's private views.
+  if ((info.op == Op::kLoad || info.op == Op::kOracleLoad) && info.is_read &&
+      !info.is_write && state.threads[info.tid].promises.empty()) {
+    const Addr loc = info.loc;
+    if (!config_.IsWriteOnceCell(loc) && config_.WatchedPage(loc) < 0 &&
+        !config_.IsUserCell(loc) && !config_.IsKernelCell(loc)) {
+      fp.loc = static_cast<int32_t>(loc);
+      fp.visible = false;
+    }
+  }
+  return fp;
+}
+
 size_t PromisingMachine::Successors(const State& state, std::vector<State>* out,
-                                    ExploreResult* agg) const {
+                                    ExploreResult* agg,
+                                    std::vector<StepFootprint>* fps) const {
   const size_t n = EnumerateAccepted(state, agg);
+  if (fps != nullptr) {
+    fps->clear();
+  }
   for (size_t i = 0; i < n; ++i) {
     // Copy (not move) out of the pool: the explorer's slot reuses its own
     // buffers for the copy, and the pool slot keeps its buffers warm for the
     // next expansion.
-    State& src = step_pool_.at(accepted_[i]).next;
+    AnnotatedStep& src = step_pool_.at(accepted_[i]);
     if (i < out->size()) {
-      (*out)[i] = src;
+      (*out)[i] = src.next;
     } else {
-      out->push_back(src);
+      out->push_back(src.next);
+    }
+    if (fps != nullptr) {
+      fps->push_back(ClassifyStep(state, src.info));
     }
   }
   return n;
+}
+
+void PromisingMachine::CanonicalDigest(const State& state, DigestSink* sink) const {
+  sink->Reset();
+  if (!symmetry_.active()) {
+    SerializeInto(state, sink);
+    return;
+  }
+  // Blocks first: the message stream below needs each thread's canonical
+  // position to relabel Msg::tid.
+  const size_t n = state.threads.size();
+  sym_blocks_.resize(n);
+  sym_order_.resize(n);
+  for (size_t t = 0; t < n; ++t) {
+    sym_blocks_[t].Clear();
+    SerializeThreadBlock(state, t, &sym_blocks_[t]);
+    sym_order_[t] = static_cast<int>(t);
+  }
+  for (const std::vector<ThreadId>& cls : symmetry_.classes()) {
+    sym_cls_.assign(cls.begin(), cls.end());
+    SortBlockIndices(sym_blocks_, sym_cls_.data(), sym_cls_.data() + sym_cls_.size());
+    for (size_t i = 0; i < cls.size(); ++i) {
+      sym_order_[cls[i]] = sym_cls_[i];
+    }
+  }
+  sym_pos_.resize(n);
+  for (size_t p = 0; p < n; ++p) {
+    sym_pos_[sym_order_[p]] = static_cast<uint8_t>(p);
+  }
+  // Global prefix. Message order (and hence every view and timestamp) is
+  // unchanged by a thread permutation; only the tid labels move.
+  sink->U32(static_cast<uint32_t>(state.mem.size()));
+  for (const Msg& msg : state.mem) {
+    sink->U32(msg.loc);
+    sink->U64(msg.val);
+    sink->U8(sym_pos_[msg.tid]);
+  }
+  for (int8_t owner : state.region_owner) {
+    sink->U8(static_cast<uint8_t>(owner));
+  }
+  sink->U32(static_cast<uint32_t>(state.tlb_floor.size()));
+  for (const auto& [vpage, view] : state.tlb_floor) {
+    sink->U32(vpage);
+    sink->U32(view);
+  }
+  sink->U32(state.global_floor);
+  StreamBlocks(sink, sym_blocks_, sym_order_.data(), n);
 }
 
 size_t PromisingMachine::SerializedSize(const State& state) const {

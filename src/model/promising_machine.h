@@ -50,7 +50,9 @@
 #include "src/arch/types.h"
 #include "src/mmu/tlb.h"
 #include "src/model/config.h"
+#include "src/model/footprint.h"
 #include "src/model/outcome.h"
+#include "src/model/symmetry.h"
 #include "src/support/hash.h"
 
 namespace vrm {
@@ -151,8 +153,40 @@ class PromisingMachine {
   // src/model/explorer.h): fills out->[0, n) by copy-assignment into existing
   // slots before growing, and returns n. The machine's internal step pool keeps
   // its own buffers warm, so in steady state an expansion allocates only for
-  // states the pool has not grown to yet.
-  size_t Successors(const State& state, std::vector<State>* out, ExploreResult* agg) const;
+  // states the pool has not grown to yet. The four-argument overload
+  // additionally fills fps->[0, n) with per-successor independence footprints
+  // for the explorer's ample-set reduction (src/model/footprint.h): only
+  // promise-free plain/acquire loads are ever invisible on this machine —
+  // stores append to the global message list (their timestamps do not commute)
+  // and promise steps are always visible.
+  size_t Successors(const State& state, std::vector<State>* out, ExploreResult* agg) const {
+    return Successors(state, out, agg, nullptr);
+  }
+
+  size_t Successors(const State& state, std::vector<State>* out, ExploreResult* agg,
+                    std::vector<StepFootprint>* fps) const;
+
+  // Static may-access map for ample-set pruning, built once at construction.
+  const AccessMap& access_map() const { return access_map_; }
+
+  // True when thread-symmetry canonicalization applies to this program
+  // (Reduction::kPorSymmetry and the program has a nontrivial symmetry group).
+  bool SymmetryActive() const { return symmetry_.active(); }
+
+  // Streams a canonical digest of `state`: the plain serialization when
+  // symmetry is inactive, otherwise a form invariant under the program's
+  // thread-symmetry group — per-thread blocks sorted within each class, and
+  // message tids relabeled to the writing thread's canonical position (the
+  // semantics never read Msg::tid, so the label is pure bookkeeping). The sink
+  // is Reset() first.
+  void CanonicalDigest(const State& state, DigestSink* sink) const;
+
+  // Closes an extracted outcome set under the symmetry group (no-op when
+  // symmetry is inactive) — the walk visits one representative per orbit, so
+  // the true outcome set is the group closure of what it extracts.
+  void CloseOutcomesUnderSymmetry(std::map<std::string, Outcome>* outcomes) const {
+    symmetry_.CloseOutcomes(program_, outcomes);
+  }
 
   // Streams the canonical state serialization into `s` — a StateSerializer
   // (exact bytes) or a DigestSink (streaming digest); both see identical bytes.
@@ -375,10 +409,70 @@ class PromisingMachine {
 
   std::pair<uint64_t, uint64_t> SoloDigest(const State& state, ThreadId tid) const;
 
+  // One thread's canonical block for CanonicalDigest(): the thread record plus
+  // its TLB — everything in the state that is indexed by thread id. Views and
+  // promise timestamps index the message list, whose order a thread
+  // permutation does not change, so blocks are permutation-portable.
+  template <typename Sink>
+  void SerializeThreadBlock(const State& state, size_t t, Sink* s) const {
+    const PromThread& thread = state.threads[t];
+    s->U32(static_cast<uint32_t>(thread.pc));
+    s->U32(thread.steps);
+    s->U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0) |
+                               (thread.acq_clean ? 4 : 0) |
+                               (thread.push_pending ? 8 : 0)));
+    s->U8(thread.faults);
+    for (int r = 0; r < kNumRegs; ++r) {
+      s->U64(thread.regs[r]);
+      s->U32(thread.rview[r]);
+    }
+    for (Addr a = 0; a < thread.coh.size(); ++a) {
+      if (thread.coh[a] != 0) {
+        s->U32(a);
+        s->U32(thread.coh[a]);
+      }
+    }
+    s->U32(0xffffffffu);  // coh terminator
+    s->U32(thread.vr_old);
+    s->U32(thread.vr_new);
+    s->U32(thread.vw_old);
+    s->U32(thread.vw_new);
+    s->U32(thread.v_cap);
+    s->U32(thread.v_rel);
+    s->U32(thread.v_dsb);
+    for (Addr a = 0; a < thread.fwd.size(); ++a) {
+      if (thread.fwd[a].first != 0) {
+        s->U32(a);
+        s->U32(thread.fwd[a].first);
+        s->U32(thread.fwd[a].second);
+      }
+    }
+    s->U32(0xffffffffu);  // fwd terminator
+    s->U32(static_cast<uint32_t>(thread.promises.size()));
+    for (View p : thread.promises) {
+      s->U32(p);
+    }
+    s->U8(thread.ex_valid);
+    s->U32(thread.ex_loc);
+    s->U32(thread.ex_ts);
+    s->U32(static_cast<uint32_t>(thread.pending_inval.size()));
+    for (const auto& [page, stage] : thread.pending_inval) {
+      s->U32(page);
+      s->U8(stage);
+    }
+    state.tlbs[t].SerializeInto(s);
+  }
+
+  // Independence footprint for accepted step `info`, classified against the
+  // *source* state (promise-freedom is a source-state property).
+  StepFootprint ClassifyStep(const State& state, const StepInfo& info) const;
+
   // Owned copies: machines outlive the expressions that construct them, so
   // holding references would dangle when callers pass temporaries.
   const Program program_;
   const ModelConfig config_;
+  AccessMap access_map_;
+  ThreadSymmetry symmetry_;
 
   // Memoization caches for the solo searches. One machine instance is not
   // thread-safe — the parallel explorer gives each worker its own copy.
@@ -405,6 +499,11 @@ class PromisingMachine {
   // one live per level.
   mutable std::vector<ReadChoice> read_scratch_;
   mutable std::vector<WalkChoice> walk_scratch_;
+  // Canonicalization scratch for CanonicalDigest().
+  mutable std::vector<StateSerializer> sym_blocks_;
+  mutable std::vector<int> sym_order_;
+  mutable std::vector<int> sym_cls_;
+  mutable std::vector<uint8_t> sym_pos_;
 };
 
 }  // namespace vrm

@@ -1,0 +1,51 @@
+// State-space reduction modes (see DESIGN.md "State-space reduction").
+//
+// kNone explores the full interleaving graph — every runnable thread is
+// expanded at every state, including register-local steps. Ablation baseline.
+//
+// kPor enables partial-order reduction at two layers: the machines' local-step
+// singleton ample sets (a thread whose next instruction touches no shared
+// structure is expanded alone), and the explorers' ample-set pruning over
+// per-successor independence footprints (a thread whose every enabled step is
+// invisible to all other threads — local, or a plain access to a cell no other
+// thread can reach — is expanded alone). Outcome sets and condition verdicts
+// are identical to kNone; state and transition counts are not.
+//
+// kPorSymmetry additionally canonicalizes states under thread symmetry:
+// threads with identical code are interchangeable, so the explorer
+// deduplicates by a canonical digest whose per-thread blocks are sorted within
+// each symmetry class, and closes the outcome set under the symmetry group
+// after the walk. A no-op (falling back to kPor behaviour) for asymmetric
+// programs, for push/pull configurations, and for observed walks (engine
+// passes see states one representative per orbit, so symmetry is restricted
+// to unobserved explorations).
+
+#ifndef SRC_MODEL_REDUCTION_H_
+#define SRC_MODEL_REDUCTION_H_
+
+#include <cstdint>
+
+namespace vrm {
+
+enum class Reduction : uint8_t {
+  kNone = 0,
+  kPor = 1,
+  kPorSymmetry = 2,
+};
+
+// "none" | "por" | "por+symmetry".
+inline const char* ReductionName(Reduction r) {
+  switch (r) {
+    case Reduction::kNone:
+      return "none";
+    case Reduction::kPor:
+      return "por";
+    case Reduction::kPorSymmetry:
+      return "por+symmetry";
+  }
+  return "?";
+}
+
+}  // namespace vrm
+
+#endif  // SRC_MODEL_REDUCTION_H_

@@ -8,6 +8,12 @@ namespace vrm {
 ScMachine::ScMachine(const Program& program, const ModelConfig& config)
     : program_(program), config_(config) {
   program_.Validate();
+  if (config_.reduction != Reduction::kNone) {
+    access_map_ = AccessMap::Build(program_);
+  }
+  if (config_.reduction == Reduction::kPorSymmetry) {
+    symmetry_ = ThreadSymmetry::Build(program_, config_);
+  }
 }
 
 ScMachine::State ScMachine::Initial() const {
@@ -375,47 +381,44 @@ bool ScMachine::StepThread(State* state, ThreadId tid, ExploreResult* agg) const
   return true;
 }
 
-namespace {
-
-// A step is "local" when it touches no shared structure: pure register ops,
-// branches, barriers (no-ops on SC), halt/panic, and push/pull when the ghost
-// protocol is disabled. Local steps are deterministic and commute with every
-// other thread's transitions, so the explorer expands only the first thread
-// whose next instruction is local (persistent-set partial-order reduction).
-bool ScLocalStep(const Inst& inst, bool pushpull) {
-  switch (inst.op) {
-    case Op::kNop:
-    case Op::kMovImm:
-    case Op::kMov:
-    case Op::kAdd:
-    case Op::kAddImm:
-    case Op::kSub:
-    case Op::kAnd:
-    case Op::kEor:
-    case Op::kDmb:
-    case Op::kDsb:
-    case Op::kIsb:
-    case Op::kBeq:
-    case Op::kBne:
-    case Op::kCbz:
-    case Op::kCbnz:
-    case Op::kJmp:
-    case Op::kPanic:
-    case Op::kHalt:
-      return true;
-    case Op::kPull:
-    case Op::kPush:
-      return !pushpull;
-    default:
-      return false;
+StepFootprint ScMachine::ClassifyStep(const State& state, ThreadId tid) const {
+  StepFootprint fp;
+  fp.tid = tid;
+  const Inst& inst = program_.threads[tid].code[state.threads[tid].pc];
+  if (IsLocalOp(inst, config_.pushpull)) {
+    fp.local = true;
+    fp.visible = false;
+    return fp;
   }
+  if (config_.pushpull) {
+    return fp;  // ownership transfers make every access protocol-relevant
+  }
+  // On SC, a plain load or store to an unmonitored cell no other thread can
+  // reach commutes with every other thread's transitions: there is no message
+  // list, and monitors on the cell (exclusives, write-once, pt-watch,
+  // isolation) could only have been armed by an access to it.
+  if (inst.op == Op::kLoad || inst.op == Op::kOracleLoad || inst.op == Op::kStore) {
+    const int64_t addr =
+        static_cast<int64_t>(state.threads[tid].regs[inst.rs]) + inst.imm;
+    if (addr >= 0 && addr < static_cast<int64_t>(state.mem.size()) &&
+        !config_.IsWriteOnceCell(static_cast<Addr>(addr)) &&
+        config_.WatchedPage(static_cast<Addr>(addr)) < 0 &&
+        !config_.IsUserCell(static_cast<Addr>(addr)) &&
+        !config_.IsKernelCell(static_cast<Addr>(addr))) {
+      fp.loc = static_cast<int32_t>(addr);
+      fp.visible = false;
+    }
+  }
+  return fp;
 }
 
-}  // namespace
-
 size_t ScMachine::Successors(const State& state, std::vector<State>* out,
-                             ExploreResult* agg) const {
+                             ExploreResult* agg,
+                             std::vector<StepFootprint>* fps) const {
   size_t n = 0;
+  if (fps != nullptr) {
+    fps->clear();
+  }
   // Copy-assigning `state` into an existing slot reuses the slot's heap
   // buffers (mem, threads, tlbs); only slots beyond the pool's high-water mark
   // allocate.
@@ -426,17 +429,21 @@ size_t ScMachine::Successors(const State& state, std::vector<State>* out,
     out->emplace_back();
     return out->back();
   };
-  for (ThreadId tid = 0; !config_.disable_por && tid < state.threads.size(); ++tid) {
+  const bool por = config_.reduction != Reduction::kNone;
+  for (ThreadId tid = 0; por && tid < state.threads.size(); ++tid) {
     const auto& thread = state.threads[tid];
     if (thread.halted || thread.pc >= static_cast<int>(program_.threads[tid].code.size())) {
       continue;
     }
-    if (!ScLocalStep(program_.threads[tid].code[thread.pc], config_.pushpull)) {
+    if (!IsLocalOp(program_.threads[tid].code[thread.pc], config_.pushpull)) {
       continue;
     }
     State& next = slot();
     next = state;
     if (StepThread(&next, tid, agg)) {
+      if (fps != nullptr) {
+        fps->push_back({tid, -1, true, false});
+      }
       return n + 1;
     }
   }
@@ -445,13 +452,55 @@ size_t ScMachine::Successors(const State& state, std::vector<State>* out,
     if (thread.halted || thread.pc >= static_cast<int>(program_.threads[tid].code.size())) {
       continue;
     }
+    StepFootprint fp;
+    if (fps != nullptr) {
+      fp = ClassifyStep(state, tid);  // classify before the step mutates state
+    }
     State& next = slot();
     next = state;
     if (StepThread(&next, tid, agg)) {
+      if (fps != nullptr) {
+        fps->push_back(fp);
+      }
       ++n;
     }
   }
   return n;
+}
+
+void ScMachine::CanonicalDigest(const State& state, DigestSink* sink) const {
+  sink->Reset();
+  if (!symmetry_.active()) {
+    SerializeInto(state, sink);
+    return;
+  }
+  // Global prefix: everything not indexed by thread id. (Region owners do name
+  // threads, but symmetry deactivates under push/pull, so they stay -1 here.)
+  for (Word w : state.mem) {
+    sink->U64(w);
+  }
+  for (int8_t owner : state.region_owner) {
+    sink->U8(static_cast<uint8_t>(owner));
+  }
+  const size_t n = state.threads.size();
+  sym_blocks_.resize(n);
+  sym_order_.resize(n);
+  for (size_t t = 0; t < n; ++t) {
+    sym_blocks_[t].Clear();
+    SerializeThreadBlock(state, t, &sym_blocks_[t]);
+    sym_order_[t] = static_cast<int>(t);
+  }
+  // Sort each symmetry class's block positions by block bytes; threads outside
+  // every class stay in place, so the digest is invariant exactly under the
+  // program's symmetry group.
+  for (const std::vector<ThreadId>& cls : symmetry_.classes()) {
+    sym_cls_.assign(cls.begin(), cls.end());
+    SortBlockIndices(sym_blocks_, sym_cls_.data(), sym_cls_.data() + sym_cls_.size());
+    for (size_t i = 0; i < cls.size(); ++i) {
+      sym_order_[cls[i]] = sym_cls_[i];
+    }
+  }
+  StreamBlocks(sink, sym_blocks_, sym_order_.data(), n);
 }
 
 size_t ScMachine::SerializedSize(const State& state) const {

@@ -19,7 +19,10 @@
 #include "src/arch/types.h"
 #include "src/mmu/tlb.h"
 #include "src/model/config.h"
+#include "src/model/footprint.h"
 #include "src/model/outcome.h"
+#include "src/model/symmetry.h"
+#include "src/support/hash.h"
 
 namespace vrm {
 
@@ -61,8 +64,38 @@ class ScMachine {
   }
   // Slot-pool successor generation (see the interface contract in
   // src/model/explorer.h): fills out->[0, n) by copy-assignment into existing
-  // slots before growing, and returns n.
-  size_t Successors(const State& state, std::vector<State>* out, ExploreResult* agg) const;
+  // slots before growing, and returns n. The four-argument overload
+  // additionally fills fps->[0, n) with per-successor independence footprints
+  // for the explorer's ample-set reduction (src/model/footprint.h).
+  size_t Successors(const State& state, std::vector<State>* out, ExploreResult* agg) const {
+    return Successors(state, out, agg, nullptr);
+  }
+
+  size_t Successors(const State& state, std::vector<State>* out, ExploreResult* agg,
+                    std::vector<StepFootprint>* fps) const;
+
+  // Static may-access map for ample-set pruning, built once at construction.
+  const AccessMap& access_map() const { return access_map_; }
+
+  // True when thread-symmetry canonicalization applies to this program
+  // (Reduction::kPorSymmetry and the program has a nontrivial symmetry group).
+  bool SymmetryActive() const { return symmetry_.active(); }
+
+  // Streams a canonical digest of `state`: the plain serialization when
+  // symmetry is inactive, otherwise a form invariant under the program's
+  // thread-symmetry group (per-thread blocks sorted within each class). The
+  // sink is Reset() first. Canonical digests index a different key space than
+  // plain ones and are never mixed with them within one exploration.
+  void CanonicalDigest(const State& state, DigestSink* sink) const;
+
+  // Closes an extracted outcome set under the symmetry group (no-op when
+  // symmetry is inactive) — the walk visits one representative per orbit, so
+  // the true outcome set is the group closure of what it extracts.
+  void CloseOutcomesUnderSymmetry(std::map<std::string, Outcome>* outcomes) const {
+    symmetry_.CloseOutcomes(program_, outcomes);
+  }
+
+  const Program& program() const { return program_; }
 
   // Streams the canonical state serialization into `s` — a StateSerializer
   // (exact bytes) or a DigestSink (streaming digest); both see identical bytes.
@@ -113,10 +146,43 @@ class ScMachine {
   bool CheckRegionAccess(const State& state, ThreadId tid, Addr addr,
                          ExploreResult* agg) const;
 
+  // Independence footprint of thread `tid`'s next instruction in `state`
+  // (the program counter is valid and the thread is runnable).
+  StepFootprint ClassifyStep(const State& state, ThreadId tid) const;
+
+  // One thread's canonical block for CanonicalDigest(): the thread record plus
+  // its TLB — everything in the state that is indexed by thread id.
+  template <typename Sink>
+  void SerializeThreadBlock(const State& state, size_t t, Sink* s) const {
+    const ScThread& thread = state.threads[t];
+    s->U32(static_cast<uint32_t>(thread.pc));
+    s->U32(thread.steps);
+    s->U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0)));
+    s->U8(thread.faults);
+    for (Word r : thread.regs) {
+      s->U64(r);
+    }
+    s->U8(thread.ex_valid ? 1 : 0);
+    s->U32(thread.ex_addr);
+    s->U32(static_cast<uint32_t>(thread.pending_inval.size()));
+    for (const auto& [page, stage] : thread.pending_inval) {
+      s->U32(page);
+      s->U8(stage);
+    }
+    state.tlbs[t].SerializeInto(s);
+  }
+
   // Owned copies: machines outlive the expressions that construct them, so
   // holding references would dangle when callers pass temporaries.
   const Program program_;
   const ModelConfig config_;
+  AccessMap access_map_;
+  ThreadSymmetry symmetry_;
+  // Canonicalization scratch (per machine instance; the parallel explorer
+  // copies the machine per worker, so no sharing).
+  mutable std::vector<StateSerializer> sym_blocks_;
+  mutable std::vector<int> sym_order_;
+  mutable std::vector<int> sym_cls_;
 };
 
 }  // namespace vrm

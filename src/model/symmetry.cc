@@ -1,0 +1,194 @@
+#include "src/model/symmetry.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vrm {
+
+namespace {
+
+bool SameInst(const Inst& a, const Inst& b) {
+  return a.op == b.op && a.rd == b.rd && a.rs == b.rs && a.rt == b.rt &&
+         a.imm == b.imm && a.order == b.order && a.barrier == b.barrier &&
+         a.target == b.target && a.region == b.region;
+}
+
+bool SameCode(const ThreadCode& a, const ThreadCode& b) {
+  if (a.user != b.user || a.code.size() != b.code.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.code.size(); ++i) {
+    if (!SameInst(a.code[i], b.code[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+uint64_t Factorial(size_t n) {
+  uint64_t f = 1;
+  for (size_t i = 2; i <= n; ++i) {
+    f *= i;
+  }
+  return f;
+}
+
+}  // namespace
+
+ThreadSymmetry ThreadSymmetry::Build(const Program& program,
+                                     const ModelConfig& config) {
+  ThreadSymmetry sym;
+  const int n = program.num_threads();
+  if (config.pushpull || n < 2 || n > 32) {
+    return sym;
+  }
+
+  // Group threads by identical code.
+  std::vector<int> cls(n, -1);
+  std::vector<std::vector<ThreadId>> classes;
+  for (int t = 0; t < n; ++t) {
+    for (size_t c = 0; c < classes.size(); ++c) {
+      if (SameCode(program.threads[t], program.threads[classes[c][0]])) {
+        cls[t] = static_cast<int>(c);
+        classes[c].push_back(static_cast<ThreadId>(t));
+        break;
+      }
+    }
+    if (cls[t] < 0) {
+      cls[t] = static_cast<int>(classes.size());
+      classes.push_back({static_cast<ThreadId>(t)});
+    }
+  }
+
+  // Per-thread observed-register sets, for the observation-symmetry check and
+  // the obs_pos_ table.
+  std::vector<std::vector<int>> obs_pos(n, std::vector<int>(kNumRegs, -1));
+  for (size_t i = 0; i < program.observed_regs.size(); ++i) {
+    const ObservedReg& o = program.observed_regs[i];
+    obs_pos[o.tid][o.reg] = static_cast<int>(i);
+  }
+
+  // Keep only classes of size >= 2 whose members observe the same registers —
+  // otherwise a permutation would move values in or out of the observation
+  // window and the closure could not reconstruct the true outcome set.
+  uint64_t group = 1;
+  std::vector<std::vector<ThreadId>> kept;
+  for (std::vector<ThreadId>& members : classes) {
+    if (members.size() < 2) {
+      continue;
+    }
+    bool obs_symmetric = true;
+    for (Reg r = 0; r < kNumRegs && obs_symmetric; ++r) {
+      const bool first = obs_pos[members[0]][r] >= 0;
+      for (size_t i = 1; i < members.size(); ++i) {
+        if ((obs_pos[members[i]][r] >= 0) != first) {
+          obs_symmetric = false;
+          break;
+        }
+      }
+    }
+    if (!obs_symmetric) {
+      continue;
+    }
+    group *= Factorial(members.size());
+    if (group > kMaxGroupSize) {
+      return sym;  // closure would be too expensive; stay at plain por
+    }
+    kept.push_back(std::move(members));
+  }
+  if (kept.empty()) {
+    return sym;
+  }
+
+  sym.active_ = true;
+  sym.classes_ = std::move(kept);
+  sym.obs_pos_ = std::move(obs_pos);
+  return sym;
+}
+
+Outcome ThreadSymmetry::Permute(const Program& program,
+                                const std::vector<ThreadId>& perm,
+                                const std::vector<ThreadId>& inv,
+                                const Outcome& o) const {
+  Outcome image;
+  image.locs = o.locs;  // memory observations are thread-independent
+  image.regs.resize(o.regs.size());
+  for (size_t i = 0; i < program.observed_regs.size(); ++i) {
+    const ObservedReg& obs = program.observed_regs[i];
+    // The value observed at (tid, reg) in the image came from the thread that
+    // maps onto tid. Observation symmetry guarantees the source index exists.
+    image.regs[i] = o.regs[obs_pos_[inv[obs.tid]][obs.reg]];
+  }
+  const size_t n = perm.size();
+  image.faults.resize(o.faults.size());
+  image.panics.resize(o.panics.size());
+  for (size_t t = 0; t < n; ++t) {
+    if (t < o.faults.size()) {
+      image.faults[perm[t]] = o.faults[t];
+    }
+    if (t < o.panics.size()) {
+      image.panics[perm[t]] = o.panics[t];
+    }
+  }
+  if (!o.tlbs.empty()) {
+    image.tlbs.resize(o.tlbs.size());
+    for (size_t t = 0; t < n && t < o.tlbs.size(); ++t) {
+      image.tlbs[perm[t]] = o.tlbs[t];
+    }
+  }
+  return image;
+}
+
+void ThreadSymmetry::CloseOutcomes(const Program& program,
+                                   std::map<std::string, Outcome>* outcomes) const {
+  if (!active_ || outcomes->empty()) {
+    return;
+  }
+  const int n = program.num_threads();
+
+  // Snapshot: closure only needs the representatives the walk extracted (the
+  // group is closed, so images of images add nothing new).
+  std::vector<Outcome> reps;
+  reps.reserve(outcomes->size());
+  for (const auto& [key, o] : *outcomes) {
+    reps.push_back(o);
+  }
+
+  // Enumerate the full group as a product of per-class permutations.
+  std::vector<ThreadId> perm(n);
+  for (int t = 0; t < n; ++t) {
+    perm[t] = static_cast<ThreadId>(t);
+  }
+  std::vector<std::vector<ThreadId>> images(classes_.size());
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    images[c] = classes_[c];  // start at identity (members are sorted)
+  }
+  std::vector<ThreadId> inv(n);
+  for (;;) {
+    // Advance to the next group element (odometer over per-class perms).
+    size_t c = 0;
+    while (c < images.size() &&
+           !std::next_permutation(images[c].begin(), images[c].end())) {
+      // images[c] wrapped back to identity; carry into the next class.
+      ++c;
+    }
+    if (c == images.size()) {
+      break;  // every class wrapped: full group enumerated
+    }
+    for (size_t k = 0; k < classes_.size(); ++k) {
+      for (size_t i = 0; i < classes_[k].size(); ++i) {
+        perm[classes_[k][i]] = images[k][i];
+      }
+    }
+    for (int t = 0; t < n; ++t) {
+      inv[perm[t]] = static_cast<ThreadId>(t);
+    }
+    for (const Outcome& o : reps) {
+      Outcome image = Permute(program, perm, inv, o);
+      std::string key = image.Key();
+      outcomes->emplace(std::move(key), std::move(image));
+    }
+  }
+}
+
+}  // namespace vrm

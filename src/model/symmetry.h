@@ -1,0 +1,83 @@
+// Thread-symmetry reduction (Reduction::kPorSymmetry; DESIGN.md "State-space
+// reduction").
+//
+// Threads with byte-identical code and interchangeable observation sets are
+// permutable: permuting them in any reachable state yields another reachable
+// state with the permuted observable behaviour. The machines exploit this by
+// deduplicating states under a *canonical digest* — per-thread state blocks
+// sorted within each symmetry class — so the explorer visits one representative
+// per orbit. Because only representatives are visited, the outcome set the walk
+// extracts is a set of representatives too; CloseOutcomes() restores the full
+// set by applying every group element to every extracted outcome (for any true
+// outcome t there is a g with g·t extracted, hence t = g⁻¹·(g·t) is in the
+// closure).
+//
+// Symmetry is conservative about what counts as interchangeable:
+//  * identical instruction sequences (every Inst field) and user flag;
+//  * observation-symmetric registers: a register observed for any member of a
+//    class is observed for all members (otherwise permuting threads would move
+//    values in or out of the observation window);
+//  * push/pull programs are never symmetric (region ownership names CPUs);
+//  * classes are capped so the closure's group enumeration stays cheap.
+//
+// Interaction with ample sets: under canonicalization the explorer's ample
+// choice must be equivariant — two states in one orbit must reduce to the same
+// subgraph. AmpleReduce's `unique_thread` flag enforces this (the reduction
+// fires only when exactly one thread qualifies, a property preserved by any
+// permutation). Observed walks (engine passes) never use symmetry: an observer
+// would see one representative per orbit, not every reachable state.
+
+#ifndef SRC_MODEL_SYMMETRY_H_
+#define SRC_MODEL_SYMMETRY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/arch/program.h"
+#include "src/arch/types.h"
+#include "src/model/config.h"
+#include "src/model/outcome.h"
+
+namespace vrm {
+
+class ThreadSymmetry {
+ public:
+  // Detects symmetry classes of `program`. The result is inactive (active()
+  // false, everything a no-op) for push/pull configurations, fewer than two
+  // threads, programs with no class of size >= 2, and groups larger than
+  // kMaxGroupSize (closure cost is the group order).
+  static ThreadSymmetry Build(const Program& program, const ModelConfig& config);
+
+  bool active() const { return active_; }
+
+  // Symmetry classes of size >= 2, each a sorted list of thread ids. Threads
+  // not listed are in singleton classes (never permuted).
+  const std::vector<std::vector<ThreadId>>& classes() const { return classes_; }
+
+  // Closes `outcomes` under the symmetry group: for every outcome and every
+  // non-identity group element, inserts the permuted outcome. Restores the
+  // full outcome set from the representative set a canonicalized walk extracts.
+  void CloseOutcomes(const Program& program,
+                     std::map<std::string, Outcome>* outcomes) const;
+
+  // Largest group order the closure will enumerate; larger groups deactivate
+  // the reduction (nothing is lost — the walk just runs at plain por).
+  static constexpr uint64_t kMaxGroupSize = 1024;
+
+ private:
+  // Applies one permutation (new_tid = perm[old_tid]) to an outcome.
+  Outcome Permute(const Program& program, const std::vector<ThreadId>& perm,
+                  const std::vector<ThreadId>& inv, const Outcome& o) const;
+
+  bool active_ = false;
+  std::vector<std::vector<ThreadId>> classes_;
+  // obs_pos_[tid][reg] = index into Program::observed_regs / Outcome::regs for
+  // the (tid, reg) observation, or -1 when unobserved.
+  std::vector<std::vector<int>> obs_pos_;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_MODEL_SYMMETRY_H_

@@ -107,6 +107,8 @@ class TsoMachine {
 
   std::string Serialize(const State& state) const;
 
+  const Program& program() const { return program_; }
+
  private:
   // Executes the next instruction of `tid` in place; returns false when the
   // step is invalid (budget exhausted). Buffered stores are NOT drained here.

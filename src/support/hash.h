@@ -3,6 +3,7 @@
 #ifndef SRC_SUPPORT_HASH_H_
 #define SRC_SUPPORT_HASH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -194,6 +195,10 @@ class StateSerializer {
 
   void Reserve(size_t n) { bytes_.reserve(n); }
 
+  // Rewinds to empty keeping the buffer's capacity, so one serializer can be
+  // reused across states (the symmetry canonicalization scratch does this).
+  void Clear() { bytes_.clear(); }
+
   const std::string& bytes() const { return bytes_; }
 
   std::string Take() { return std::move(bytes_); }
@@ -201,6 +206,35 @@ class StateSerializer {
  private:
   std::string bytes_;
 };
+
+// Canonical-digest support for thread-symmetry reduction (src/model/symmetry.h).
+// A state decomposes into a global prefix (streamed by the machine directly)
+// plus one serialized block per thread; sorting the block order within each
+// symmetry class makes the digest invariant under the class's permutations.
+
+// Stable-sorts the index range [begin, end) by the referenced blocks' bytes,
+// tie-breaking on the index itself so the order (and anything derived from it,
+// like the Promising machine's message-tid relabeling) is deterministic.
+inline void SortBlockIndices(const std::vector<StateSerializer>& blocks, int* begin,
+                             int* end) {
+  std::sort(begin, end, [&blocks](int a, int b) {
+    const std::string& ba = blocks[a].bytes();
+    const std::string& bb = blocks[b].bytes();
+    return ba != bb ? ba < bb : a < b;
+  });
+}
+
+// Streams blocks[order[0..n)] into the sink, each length-prefixed. The length
+// prefix keeps the concatenation unambiguous (blocks are variable-length, so
+// raw concatenation could make distinct block sequences collide byte-for-byte).
+inline void StreamBlocks(DigestSink* sink, const std::vector<StateSerializer>& blocks,
+                         const int* order, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const std::string& b = blocks[order[i]].bytes();
+    sink->U32(static_cast<uint32_t>(b.size()));
+    sink->Raw(b.data(), b.size());
+  }
+}
 
 }  // namespace vrm
 

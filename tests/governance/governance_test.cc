@@ -148,7 +148,10 @@ TEST(GovernedExplore, HeartbeatsCarryProgressAndParallelSteals) {
   governance.telemetry.sink = [&](const std::string& event) { events.push_back(event); };
   governance.telemetry.interval_seconds = 0;  // heartbeat on every poll
   governance.telemetry.run_name = "hb";
-  const ExploreResult result = GovernedScRun(StoreGrid(3), governance, 4);
+  // StoreGrid(7) estimates 3^7 = 2187 interleavings, above kParallelMinStates,
+  // so Explore() keeps the parallel engine (and its steal probe) engaged
+  // instead of downgrading the run to the sequential explorer.
+  const ExploreResult result = GovernedScRun(StoreGrid(7), governance, 4);
   EXPECT_FALSE(result.stats.truncated);
 
   // One heartbeat per expansion poll, plus the final end event from Explore().

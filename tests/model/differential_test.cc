@@ -140,7 +140,7 @@ TEST(PartialOrderReduction, OutcomeSetsIdenticalWithAndWithoutPor) {
       LitmusTest test = RandomProgram(seed, threads, /*fenced=*/false);
       const ExploreResult with_por_sc = RunSc(test);
       const ExploreResult with_por_rm = RunPromising(test);
-      test.config.disable_por = true;
+      test.config.reduction = Reduction::kNone;
       const ExploreResult without_por_sc = RunSc(test);
       const ExploreResult without_por_rm = RunPromising(test);
       EXPECT_TRUE(OutcomesBeyond(with_por_sc, without_por_sc).empty());

@@ -1,0 +1,284 @@
+// State-space reduction soundness: ample-set POR and thread-symmetry
+// canonicalization must never change what a walk OBSERVES — only how many
+// states it expands to observe it. Every test here compares projected outcome
+// sets and refinement verdicts across ModelConfig::reduction modes (none /
+// por / por+symmetry) on both hardware models, pins the never-reduce
+// guarantees (RMWs and fence-separated accesses stay fully interleaved, an
+// asymmetric program gets no symmetry), and checks the reduced parallel
+// explorer stays deterministic across worker counts.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/arch/builder.h"
+#include "src/litmus/litmus.h"
+#include "src/model/explorer.h"
+#include "src/model/footprint.h"
+#include "src/model/promising_machine.h"
+#include "src/model/sc_machine.h"
+#include "tests/model/random_program_corpus.h"
+
+namespace vrm {
+namespace {
+
+std::vector<std::string> OutcomeKeys(const ExploreResult& result) {
+  std::vector<std::string> keys;
+  for (const auto& [key, outcome] : result.outcomes) {
+    (void)outcome;
+    keys.push_back(key);
+  }
+  return keys;  // std::map iteration is already key-sorted
+}
+
+LitmusTest WithReduction(const LitmusTest& test, Reduction reduction) {
+  LitmusTest configured = test;
+  configured.config.reduction = reduction;
+  return configured;
+}
+
+// The shared random corpus declares no observations (its original consumers
+// compare digests, not outcomes). A reduction differential needs full
+// observability — every register a program can write plus every cell — so a
+// pruned interleaving that changes anything architecturally visible changes
+// the projected outcome set.
+LitmusTest ObservedCorpusProgram(uint64_t seed, int threads) {
+  LitmusTest test = corpus::RandomProgram(seed, threads);
+  for (ThreadId tid = 0; tid < static_cast<ThreadId>(threads); ++tid) {
+    for (Reg reg = 0; reg < 4; ++reg) {
+      test.program.observed_regs.push_back({tid, reg});
+    }
+  }
+  for (Addr a = 0; a < corpus::kCells; ++a) {
+    test.program.observed_locs.push_back(a);
+  }
+  // The corpus default (20000 states) exists for digest comparisons that
+  // tolerate truncation. A reduction differential needs exhaustive walks in
+  // EVERY mode — a truncated baseline would make the comparison vacuous (the
+  // reduced walk gets further on the same budget and legitimately sees more).
+  test.config.max_states = 2'000'000;
+  return test;
+}
+
+// The correctness anchor: across a 200-program random corpus (100 seeds x
+// {2,3} threads, sharded into blocks of 20 seeds so each ctest entry stays
+// fast), every reduction mode must project the exact same outcome set and the
+// exact same refinement verdict as the unreduced walk, on both models.
+class ReductionCorpusSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReductionCorpusSweep, OutcomesInvariantAcrossModes) {
+  const uint64_t block = GetParam();
+  for (uint64_t seed = block * 20 + 1; seed <= block * 20 + 20; ++seed) {
+    for (int threads : {2, 3}) {
+      const LitmusTest test = ObservedCorpusProgram(seed * 97, threads);
+      const ExploreResult sc_none = RunSc(WithReduction(test, Reduction::kNone));
+      const ExploreResult rm_none =
+          RunPromising(WithReduction(test, Reduction::kNone));
+      ASSERT_FALSE(sc_none.stats.truncated) << test.program.name;
+      ASSERT_FALSE(rm_none.stats.truncated) << test.program.name;
+      const bool verdict_none = RmRefinesSc(rm_none, sc_none);
+      for (Reduction mode : {Reduction::kPor, Reduction::kPorSymmetry}) {
+        const std::string label = test.program.name + "/" +
+                                  std::to_string(threads) + "t/" +
+                                  ReductionName(mode);
+        const ExploreResult sc = RunSc(WithReduction(test, mode));
+        const ExploreResult rm = RunPromising(WithReduction(test, mode));
+        EXPECT_EQ(OutcomeKeys(sc_none), OutcomeKeys(sc)) << label;
+        EXPECT_EQ(OutcomeKeys(rm_none), OutcomeKeys(rm)) << label;
+        EXPECT_EQ(verdict_none, RmRefinesSc(rm, sc)) << label;
+        // Reduction must never shrink coverage silently into a bound: the
+        // corpus programs are loop-free and explore exhaustively in every mode.
+        EXPECT_FALSE(sc.stats.truncated) << label;
+        EXPECT_FALSE(rm.stats.truncated) << label;
+        EXPECT_EQ(sc.stats.reduction, mode) << label;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Blocks, ReductionCorpusSweep,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+// Two threads, each touching only its own private cell — the ideal ample-set
+// workload — but through RMWs separated by full fences. RMWs are read+write
+// steps and must never be classified invisible (on SC their interleaving with
+// any later sharing is what the exclusives/ticket-lock proofs rest on; on
+// Promising their message insertion never commutes), so the explorer must
+// fall back to full expansion at every state.
+TEST(ReductionDifferential, RmwsAreNeverAmpleReduced) {
+  ProgramBuilder pb("private_rmws");
+  pb.MemSize(2);
+  for (int t = 0; t < 2; ++t) {
+    auto& tb = pb.NewThread();
+    tb.FetchAddAddr(0, static_cast<Addr>(t), 1, MemOrder::kPlain);
+    tb.Dmb(BarrierKind::kSy);
+    tb.FetchAddAddr(1, static_cast<Addr>(t), 1, MemOrder::kPlain);
+    pb.ObserveReg(static_cast<ThreadId>(t), 0);
+    pb.ObserveReg(static_cast<ThreadId>(t), 1);
+  }
+  pb.ObserveLoc(0).ObserveLoc(1);
+  LitmusTest test{pb.Build(), {}, "rmws stay fully interleaved"};
+  test.config.reduction = Reduction::kPor;
+  const ExploreResult sc = RunSc(test);
+  const ExploreResult rm = RunPromising(test);
+  EXPECT_EQ(sc.stats.ample_hits, 0u);
+  EXPECT_EQ(sc.stats.states_pruned, 0u);
+  EXPECT_EQ(rm.stats.ample_hits, 0u);
+  EXPECT_EQ(rm.stats.states_pruned, 0u);
+}
+
+// The contrast: the same private-cell shape through plain loads and stores IS
+// ample-reducible — the knob must actually fire somewhere, or the zero
+// counters above would pass vacuously.
+TEST(ReductionDifferential, PrivatePlainAccessesAreAmpleReduced) {
+  ProgramBuilder pb("private_plain");
+  pb.MemSize(2);
+  for (int t = 0; t < 2; ++t) {
+    auto& tb = pb.NewThread();
+    tb.StoreAddr(static_cast<Addr>(t), 0, MemOrder::kPlain);
+    tb.LoadAddr(0, static_cast<Addr>(t), MemOrder::kPlain);
+    pb.ObserveReg(static_cast<ThreadId>(t), 0);
+  }
+  pb.ObserveLoc(0).ObserveLoc(1);
+  LitmusTest test{pb.Build(), {}, "private plain accesses prune"};
+  test.config.reduction = Reduction::kPor;
+  const ExploreResult sc = RunSc(test);
+  const ExploreResult rm = RunPromising(test);
+  EXPECT_GT(sc.stats.ample_hits, 0u);
+  EXPECT_GT(sc.stats.states_pruned, 0u);
+  // On Promising only the loads qualify (stores insert messages and never
+  // commute), but private promise-free loads are enough to prune.
+  EXPECT_GT(rm.stats.ample_hits, 0u);
+  const ExploreResult sc_none = RunSc(WithReduction(test, Reduction::kNone));
+  const ExploreResult rm_none = RunPromising(WithReduction(test, Reduction::kNone));
+  EXPECT_EQ(OutcomeKeys(sc_none), OutcomeKeys(sc));
+  EXPECT_EQ(OutcomeKeys(rm_none), OutcomeKeys(rm));
+  EXPECT_LT(sc.stats.states, sc_none.stats.states);
+}
+
+// A deliberately asymmetric program — same length, different access patterns —
+// must make symmetry canonicalization a no-op: por+symmetry expands exactly
+// the states por does, and the machine reports the group as inactive.
+TEST(ReductionDifferential, AsymmetricProgramMakesSymmetryANoOp) {
+  ProgramBuilder pb("asymmetric");
+  pb.MemSize(2);
+  auto& t0 = pb.NewThread();
+  t0.StoreAddr(0, 0, MemOrder::kPlain).LoadAddr(1, 1, MemOrder::kPlain);
+  auto& t1 = pb.NewThread();
+  t1.StoreAddr(1, 0, MemOrder::kPlain).LoadAddr(1, 0, MemOrder::kPlain);
+  pb.ObserveReg(0, 1).ObserveReg(1, 1);
+  pb.ObserveLoc(0).ObserveLoc(1);
+  LitmusTest test{pb.Build(), {}, "asymmetric threads"};
+
+  ScMachine machine(test.program, WithReduction(test, Reduction::kPorSymmetry).config);
+  EXPECT_FALSE(machine.SymmetryActive());
+
+  const ExploreResult por = RunSc(WithReduction(test, Reduction::kPor));
+  const ExploreResult sym = RunSc(WithReduction(test, Reduction::kPorSymmetry));
+  EXPECT_EQ(por.stats.states, sym.stats.states);
+  EXPECT_EQ(por.stats.transitions, sym.stats.transitions);
+  EXPECT_EQ(OutcomeKeys(por), OutcomeKeys(sym));
+}
+
+// Two identical threads contending on one cell through RMWs: POR can prune
+// nothing (everything is shared and read-write), but the two threads are
+// interchangeable, so symmetry canonicalization must merge mirror-image states
+// and the outcome closure must reconstruct the full projected set.
+TEST(ReductionDifferential, SymmetricContentionShrinksUnderSymmetryOnly) {
+  ProgramBuilder pb("symmetric_contention");
+  pb.MemSize(1);
+  for (int t = 0; t < 2; ++t) {
+    auto& tb = pb.NewThread();
+    tb.FetchAddAddr(0, 0, 1, MemOrder::kPlain);
+    tb.LoadAddr(1, 0, MemOrder::kPlain);
+    pb.ObserveReg(static_cast<ThreadId>(t), 0);
+    pb.ObserveReg(static_cast<ThreadId>(t), 1);
+  }
+  pb.ObserveLoc(0);
+  LitmusTest test{pb.Build(), {}, "symmetric RMW contention"};
+
+  ScMachine machine(test.program, WithReduction(test, Reduction::kPorSymmetry).config);
+  EXPECT_TRUE(machine.SymmetryActive());
+
+  const ExploreResult none = RunSc(WithReduction(test, Reduction::kNone));
+  const ExploreResult por = RunSc(WithReduction(test, Reduction::kPor));
+  const ExploreResult sym = RunSc(WithReduction(test, Reduction::kPorSymmetry));
+  // Every access is shared and read-write: the ample layer never fires (por
+  // still collapses local register steps, which is machine-level POR, not
+  // ample pruning) — the further shrink below is symmetry's alone.
+  EXPECT_EQ(por.stats.ample_hits, 0u);
+  EXPECT_LT(sym.stats.states, por.stats.states);
+  EXPECT_EQ(OutcomeKeys(none), OutcomeKeys(por));
+  EXPECT_EQ(OutcomeKeys(none), OutcomeKeys(sym));
+
+  const ExploreResult rm_none = RunPromising(WithReduction(test, Reduction::kNone));
+  const ExploreResult rm_sym = RunPromising(WithReduction(test, Reduction::kPorSymmetry));
+  EXPECT_LT(rm_sym.stats.states, rm_none.stats.states);
+  EXPECT_EQ(OutcomeKeys(rm_none), OutcomeKeys(rm_sym));
+}
+
+// The reduced parallel explorer: ample pruning and canonical digests are pure
+// functions of the state, so the work-stealing engine must reach the same
+// reduced state set and outcome closure at every worker count. Calls
+// ExploreParallel directly — Explore() would (correctly) downgrade these
+// litmus-scale spaces to the sequential engine.
+TEST(ReductionDifferential, ReducedParallelExplorerDeterministicAcrossWorkerCounts) {
+  ProgramBuilder pb("reduced_parallel");
+  pb.MemSize(4);
+  for (int t = 0; t < 3; ++t) {
+    auto& tb = pb.NewThread();
+    tb.StoreAddr(static_cast<Addr>(t), 0, MemOrder::kPlain);
+    tb.FetchAddAddr(0, 3, 1, MemOrder::kPlain);
+    tb.LoadAddr(1, static_cast<Addr>(t), MemOrder::kPlain);
+    pb.ObserveReg(static_cast<ThreadId>(t), 0);
+    pb.ObserveReg(static_cast<ThreadId>(t), 1);
+  }
+  pb.ObserveLoc(3);
+  const Program program = pb.Build();
+
+  for (Reduction mode : {Reduction::kPor, Reduction::kPorSymmetry}) {
+    ModelConfig config;
+    config.reduction = mode;
+    ScMachine machine(program, config);
+    const ExploreResult sequential = ExploreSequential(machine, config);
+    EXPECT_GT(sequential.stats.states_pruned, 0u) << ReductionName(mode);
+    for (int workers : {1, 2, 4}) {
+      const ExploreResult parallel = ExploreParallel(machine, config, workers);
+      const std::string label =
+          std::string(ReductionName(mode)) + " @" + std::to_string(workers);
+      EXPECT_EQ(OutcomeKeys(sequential), OutcomeKeys(parallel)) << label;
+      EXPECT_EQ(sequential.stats.states, parallel.stats.states) << label;
+      EXPECT_EQ(sequential.stats.transitions, parallel.stats.transitions) << label;
+      EXPECT_EQ(sequential.stats.states_pruned, parallel.stats.states_pruned)
+          << label;
+    }
+  }
+}
+
+// The static estimate behind the parallel→sequential downgrade and the batch
+// scheduler's LPT order: straight-line programs multiply per-thread milestone
+// counts (non-local instructions + 1); a backward branch makes the thread
+// step-bounded instead.
+TEST(ReductionDifferential, EstimatedInterleavingsTracksProgramShape) {
+  ProgramBuilder straight("straight");
+  straight.MemSize(2);
+  for (int t = 0; t < 2; ++t) {
+    auto& tb = straight.NewThread();
+    tb.StoreAddr(0, 0, MemOrder::kPlain).StoreAddr(1, 0, MemOrder::kPlain);
+  }
+  ModelConfig config;
+  // Two non-local accesses per thread (the MovImm halves of the literal-address
+  // idiom are local): (2 + 1)^2.
+  EXPECT_EQ(EstimatedInterleavings(straight.Build(), config), 9u);
+
+  ProgramBuilder loopy("loopy");
+  loopy.MemSize(1);
+  auto& tb = loopy.NewThread();
+  tb.Label("again").FetchAddAddr(0, 0, 1, MemOrder::kPlain).Jmp("again");
+  config.max_steps_per_thread = 10;
+  EXPECT_EQ(EstimatedInterleavings(loopy.Build(), config), 11u);
+}
+
+}  // namespace
+}  // namespace vrm
