@@ -11,11 +11,15 @@ snapshot, failing (exit 1) on any regression beyond the threshold
 Metric direction is inferred from the name:
 
 * higher is better -- ``*reduction_factor*``, ``*speedup*``, ``*throughput*``,
-  ``*states_per_sec*``;
+  ``*states_per_sec*``, ``*programs_per_sec*``;
 * lower is better  -- ``*_ms``, ``*wall*``, ``*_states``, ``*states_expanded*``,
   ``*_bytes``, ``*heartbeats*``;
 * exact-hold booleans -- ``*agree*``, ``*holds*``, ``*definitive*``,
   ``*stopped_on*``, ``*bounded*``: any change from a passing snapshot fails;
+* zero-hold counters -- ``*failures*``, ``*disagreements*``: any increase over
+  the snapshot fails (a clean fuzz campaign must stay clean);
+* exact-equal codes -- ``*stop_cause*``: any change fails (an ungoverned smoke
+  that suddenly reports a budget stop is a contract break, not noise);
 * everything else is reported informationally and never gates.
 
 Timing metrics (the lower-is-better ``*_ms``/``*wall*`` group) are noisy on
@@ -50,14 +54,21 @@ def parse_lines(text):
     return results
 
 
-HIGHER_BETTER = ("reduction_factor", "speedup", "throughput", "states_per_sec")
+HIGHER_BETTER = ("reduction_factor", "speedup", "throughput", "states_per_sec",
+                 "programs_per_sec")
 LOWER_BETTER = ("_ms", "wall", "_states", "states_expanded", "_bytes",
                 "heartbeats")
 EXACT_HOLD = ("agree", "holds", "definitive", "stopped_on", "bounded")
+ZERO_HOLD = ("failures", "disagreements")
+EXACT_EQUAL = ("stop_cause",)
 
 
 def classify(metric):
     name = metric.lower()
+    if any(k in name for k in EXACT_EQUAL):
+        return "equal"
+    if any(k in name for k in ZERO_HOLD):
+        return "zero"
     if any(k in name for k in EXACT_HOLD):
         return "exact"
     if any(k in name for k in HIGHER_BETTER):
@@ -83,6 +94,16 @@ def compare(baseline, current, threshold, include_timings):
             continue
         cur = current[key]
         kind = classify(metric)
+        if kind == "equal":
+            if cur != base:
+                regressions.append(f"{bench}/{metric}: {base:g} -> {cur:g} "
+                                   "(stop-cause code changed)")
+            continue
+        if kind == "zero":
+            if cur > base:
+                regressions.append(f"{bench}/{metric}: {base:g} -> {cur:g} "
+                                   "(new failures/disagreements)")
+            continue
         if kind == "exact":
             if base >= 1 and cur < base:
                 regressions.append(f"{bench}/{metric}: {base:g} -> {cur:g} "

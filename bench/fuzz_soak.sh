@@ -1,0 +1,56 @@
+#!/bin/sh
+# Nightly differential-fuzzing soak.
+#
+# Runs a long governed vrm_fuzz campaign, appends the machine-readable
+# telemetry to a JSON-lines log, and fails loudly when the campaign finds an
+# oracle disagreement (the minimized, replayable artifacts land in
+# ARTIFACT_DIR). The deadline keeps the job bounded on slow hosts: a
+# deadline-stopped run is still a success, and the emitted stop_cause line
+# records which way it ended.
+#
+# Usage: bench/fuzz_soak.sh [BUILD_DIR] [PROGRAMS] [DEADLINE_SECONDS]
+#   BUILD_DIR         build tree containing src/vrm_fuzz     (default: build)
+#   PROGRAMS          campaign size                          (default: 10000)
+#   DEADLINE_SECONDS  governed wall-clock budget             (default: 5400)
+# Environment:
+#   SOAK_SEED         master seed                            (default: 1)
+#   SOAK_LOG          JSON-lines telemetry log  (default: fuzz_soak.jsonl in .)
+#   ARTIFACT_DIR      where disagreement artifacts are written
+#                                             (default: fuzz_artifacts in .)
+set -eu
+
+BUILD_DIR="${1:-build}"
+PROGRAMS="${2:-10000}"
+DEADLINE="${3:-5400}"
+SEED="${SOAK_SEED:-1}"
+LOG="${SOAK_LOG:-fuzz_soak.jsonl}"
+ARTIFACTS="${ARTIFACT_DIR:-fuzz_artifacts}"
+
+FUZZ="$BUILD_DIR/src/vrm_fuzz"
+if [ ! -x "$FUZZ" ]; then
+  echo "error: $FUZZ not found or not executable (build first)" >&2
+  exit 2
+fi
+mkdir -p "$ARTIFACTS"
+
+echo "fuzz soak: $PROGRAMS programs, seed $SEED, deadline ${DEADLINE}s" >&2
+OUT="$(mktemp)"
+trap 'rm -f "$OUT"' EXIT
+
+# vrm_fuzz exits 0 on a clean campaign, 1 on an oracle disagreement. Either
+# way the telemetry lines are worth keeping.
+STATUS=0
+"$FUZZ" --programs "$PROGRAMS" --seed "$SEED" --deadline "$DEADLINE" \
+  --artifact-dir "$ARTIFACTS" --json fuzz_soak --quiet \
+  > "$OUT" 2>&1 || STATUS=$?
+
+cat "$OUT" >&2
+grep '^{"bench"' "$OUT" >> "$LOG" || true
+
+if [ "$STATUS" -eq 1 ]; then
+  echo "SOAK FAILURE: oracle disagreement — artifacts in $ARTIFACTS" >&2
+  ls "$ARTIFACTS" >&2 || true
+elif [ "$STATUS" -ne 0 ]; then
+  echo "SOAK ERROR: vrm_fuzz exited $STATUS" >&2
+fi
+exit "$STATUS"

@@ -1,0 +1,801 @@
+#include "src/fuzz/artifact.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+#include <vector>
+
+#include "src/testing/random_program.h"
+
+namespace vrm {
+namespace fuzz {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON model: just enough for artifacts we render ourselves. Number
+// text is kept raw so uint64 seeds survive without double rounding.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  std::string text;  // raw number text, or decoded string contents
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> fields;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [name, value] : fields) {
+      if (name == key) {
+        return &value;
+      }
+    }
+    return nullptr;
+  }
+
+  double Num() const { return std::strtod(text.c_str(), nullptr); }
+  uint64_t U64() const { return std::strtoull(text.c_str(), nullptr, 10); }
+  int64_t I64() const { return std::strtoll(text.c_str(), nullptr, 10); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& input) : input_(input) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    if (!Value(out)) {
+      char where[64];
+      std::snprintf(where, sizeof(where), " at offset %zu", pos_);
+      *error = error_ + where;
+      return false;
+    }
+    Ws();
+    if (pos_ != input_.size()) {
+      *error = "trailing content after JSON value";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void Ws() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::char_traits<char>::length(word);
+    if (input_.compare(pos_, len, word) != 0) {
+      error_ = std::string("expected '") + word + "'";
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool String(std::string* out) {
+    if (pos_ >= input_.size() || input_[pos_] != '"') {
+      error_ = "expected string";
+      return false;
+    }
+    ++pos_;
+    out->clear();
+    while (pos_ < input_.size() && input_[pos_] != '"') {
+      char c = input_[pos_++];
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= input_.size()) {
+        error_ = "dangling escape";
+        return false;
+      }
+      char esc = input_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'n': *out += '\n'; break;
+        case 't': *out += '\t'; break;
+        case 'r': *out += '\r'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'u': {
+          // Artifacts only escape control characters below 0x20, so the
+          // parser handles exactly that subset (one UTF-16 code unit < 0x80).
+          if (pos_ + 4 > input_.size()) {
+            error_ = "truncated \\u escape";
+            return false;
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = input_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else { error_ = "bad \\u escape"; return false; }
+          }
+          if (code >= 0x80) {
+            error_ = "non-ASCII \\u escape unsupported";
+            return false;
+          }
+          *out += static_cast<char>(code);
+          break;
+        }
+        default:
+          error_ = "unknown escape";
+          return false;
+      }
+    }
+    if (pos_ >= input_.size()) {
+      error_ = "unterminated string";
+      return false;
+    }
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool Value(JsonValue* out) {
+    Ws();
+    if (pos_ >= input_.size()) {
+      error_ = "unexpected end of input";
+      return false;
+    }
+    const char c = input_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::kObject;
+      Ws();
+      if (pos_ < input_.size() && input_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        Ws();
+        std::string key;
+        if (!String(&key)) return false;
+        Ws();
+        if (pos_ >= input_.size() || input_[pos_] != ':') {
+          error_ = "expected ':'";
+          return false;
+        }
+        ++pos_;
+        JsonValue value;
+        if (!Value(&value)) return false;
+        out->fields.emplace_back(std::move(key), std::move(value));
+        Ws();
+        if (pos_ < input_.size() && input_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < input_.size() && input_[pos_] == '}') {
+          ++pos_;
+          return true;
+        }
+        error_ = "expected ',' or '}'";
+        return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::kArray;
+      Ws();
+      if (pos_ < input_.size() && input_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      while (true) {
+        JsonValue item;
+        if (!Value(&item)) return false;
+        out->items.push_back(std::move(item));
+        Ws();
+        if (pos_ < input_.size() && input_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        if (pos_ < input_.size() && input_[pos_] == ']') {
+          ++pos_;
+          return true;
+        }
+        error_ = "expected ',' or ']'";
+        return false;
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::kString;
+      return String(&out->text);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::kBool;
+      out->boolean = true;
+      return Literal("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::kBool;
+      out->boolean = false;
+      return Literal("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::kNull;
+      return Literal("null");
+    }
+    // Number.
+    const size_t start = pos_;
+    if (c == '-') ++pos_;
+    while (pos_ < input_.size() &&
+           (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
+            input_[pos_] == '.' || input_[pos_] == 'e' || input_[pos_] == 'E' ||
+            input_[pos_] == '+' || input_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      error_ = "expected value";
+      return false;
+    }
+    out->kind = JsonValue::kNumber;
+    out->text = input_.substr(start, pos_ - start);
+    return true;
+  }
+
+  const std::string& input_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  *out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+  *out += '"';
+}
+
+std::string U64Str(uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string I64Str(int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+std::string DoubleStr(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+void RenderProgram(std::string* out, const Program& program, const char* indent) {
+  const std::string in(indent);
+  *out += "{\n";
+  *out += in + "  \"name\": ";
+  AppendEscaped(out, program.name);
+  *out += ",\n" + in + "  \"mem_size\": " + U64Str(program.mem_size) + ",\n";
+  *out += in + "  \"init\": [";
+  bool first = true;
+  for (const auto& [addr, value] : program.init) {
+    if (!first) *out += ", ";
+    first = false;
+    *out += "[" + U64Str(addr) + ", " + U64Str(value) + "]";
+  }
+  *out += "],\n";
+  *out += in + "  \"mmu\": {\"enabled\": " +
+          std::string(program.mmu.enabled ? "true" : "false") +
+          ", \"root\": " + U64Str(program.mmu.root) +
+          ", \"levels\": " + I64Str(program.mmu.levels) +
+          ", \"table_entries\": " + I64Str(program.mmu.table_entries) +
+          ", \"page_size\": " + I64Str(program.mmu.page_size) + "},\n";
+  *out += in + "  \"regions\": [";
+  first = true;
+  for (const Region& region : program.regions) {
+    if (!first) *out += ", ";
+    first = false;
+    *out += "{\"name\": ";
+    AppendEscaped(out, region.name);
+    *out += ", \"locs\": [";
+    for (size_t i = 0; i < region.locs.size(); ++i) {
+      if (i) *out += ", ";
+      *out += U64Str(region.locs[i]);
+    }
+    *out += "]}";
+  }
+  *out += "],\n";
+  *out += in + "  \"threads\": [\n";
+  for (size_t t = 0; t < program.threads.size(); ++t) {
+    const ThreadCode& thread = program.threads[t];
+    *out += in + "    {\"user\": " + (thread.user ? "true" : "false") +
+            ", \"code\": [\n";
+    for (size_t i = 0; i < thread.code.size(); ++i) {
+      const Inst& inst = thread.code[i];
+      // [op, rd, rs, rt, imm, order, barrier, target, region] — enum values
+      // are stable within the repo; ToString(inst) is appended as a trailing
+      // comment field for human readers.
+      *out += in + "      [" + I64Str(static_cast<int>(inst.op)) + ", " +
+              I64Str(inst.rd) + ", " + I64Str(inst.rs) + ", " + I64Str(inst.rt) +
+              ", " + I64Str(inst.imm) + ", " + I64Str(static_cast<int>(inst.order)) +
+              ", " + I64Str(static_cast<int>(inst.barrier)) + ", " +
+              I64Str(inst.target) + ", " + I64Str(inst.region) + ", ";
+      AppendEscaped(out, ToString(inst));
+      *out += "]";
+      *out += i + 1 < thread.code.size() ? ",\n" : "\n";
+    }
+    *out += in + "    ]}";
+    *out += t + 1 < program.threads.size() ? ",\n" : "\n";
+  }
+  *out += in + "  ],\n";
+  *out += in + "  \"observed_regs\": [";
+  for (size_t i = 0; i < program.observed_regs.size(); ++i) {
+    if (i) *out += ", ";
+    *out += "[" + I64Str(program.observed_regs[i].tid) + ", " +
+            I64Str(program.observed_regs[i].reg) + "]";
+  }
+  *out += "],\n";
+  *out += in + "  \"observed_locs\": [";
+  for (size_t i = 0; i < program.observed_locs.size(); ++i) {
+    if (i) *out += ", ";
+    *out += U64Str(program.observed_locs[i]);
+  }
+  *out += "],\n";
+  *out += in + "  \"observe_tlbs\": " +
+          std::string(program.observe_tlbs ? "true" : "false") + "\n";
+  *out += in + "}";
+}
+
+void RenderSwarm(std::string* out, const SwarmConfig& swarm, const char* indent) {
+  const std::string in(indent);
+  *out += "{\n";
+  *out += in + "  \"name\": ";
+  AppendEscaped(out, swarm.name);
+  *out += ",\n";
+  auto num = [&](const char* key, const std::string& value, bool last = false) {
+    *out += in + "  \"" + key + "\": " + value + (last ? "\n" : ",\n");
+  };
+  num("min_threads", I64Str(swarm.min_threads));
+  num("max_threads", I64Str(swarm.max_threads));
+  num("min_len", I64Str(swarm.min_len));
+  num("max_len", I64Str(swarm.max_len));
+  num("cells", I64Str(swarm.cells));
+  num("w_mov", DoubleStr(swarm.w_mov));
+  num("w_arith", DoubleStr(swarm.w_arith));
+  num("w_load", DoubleStr(swarm.w_load));
+  num("w_store", DoubleStr(swarm.w_store));
+  num("w_fetchadd", DoubleStr(swarm.w_fetchadd));
+  num("w_exclusive", DoubleStr(swarm.w_exclusive));
+  num("w_barrier", DoubleStr(swarm.w_barrier));
+  num("w_translated", DoubleStr(swarm.w_translated));
+  num("p_acquire", DoubleStr(swarm.p_acquire));
+  num("p_release", DoubleStr(swarm.p_release));
+  num("p_acqrel", DoubleStr(swarm.p_acqrel));
+  num("p_dmb_sy", DoubleStr(swarm.p_dmb_sy));
+  num("p_dmb_ld", DoubleStr(swarm.p_dmb_ld));
+  num("p_dsb", DoubleStr(swarm.p_dsb));
+  num("max_states", "\"" + U64Str(swarm.max_states) + "\"");
+  num("max_messages", I64Str(swarm.max_messages), /*last=*/true);
+  *out += in + "}";
+}
+
+bool StopCauseFromName(const std::string& name, StopCause* cause) {
+  for (StopCause candidate : {StopCause::kNone, StopCause::kStates,
+                              StopCause::kDeadline, StopCause::kMemory,
+                              StopCause::kCancelled}) {
+    if (name == StopCauseName(candidate)) {
+      *cause = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing helpers
+// ---------------------------------------------------------------------------
+
+bool GetNum(const JsonValue& obj, const char* key, double* out, std::string* error) {
+  const JsonValue* v = obj.Find(key);
+  // Large integers are rendered as strings (see header); accept both.
+  if (v == nullptr || (v->kind != JsonValue::kNumber && v->kind != JsonValue::kString)) {
+    *error = std::string("missing numeric field '") + key + "'";
+    return false;
+  }
+  *out = v->Num();
+  return true;
+}
+
+bool GetU64(const JsonValue& obj, const char* key, uint64_t* out, std::string* error) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || (v->kind != JsonValue::kNumber && v->kind != JsonValue::kString)) {
+    *error = std::string("missing numeric field '") + key + "'";
+    return false;
+  }
+  *out = v->U64();
+  return true;
+}
+
+bool GetInt(const JsonValue& obj, const char* key, int* out, std::string* error) {
+  double d;
+  if (!GetNum(obj, key, &d, error)) return false;
+  *out = static_cast<int>(d);
+  return true;
+}
+
+bool GetBool(const JsonValue& obj, const char* key, bool* out, std::string* error) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::kBool) {
+    *error = std::string("missing bool field '") + key + "'";
+    return false;
+  }
+  *out = v->boolean;
+  return true;
+}
+
+bool GetString(const JsonValue& obj, const char* key, std::string* out,
+               std::string* error) {
+  const JsonValue* v = obj.Find(key);
+  if (v == nullptr || v->kind != JsonValue::kString) {
+    *error = std::string("missing string field '") + key + "'";
+    return false;
+  }
+  *out = v->text;
+  return true;
+}
+
+bool ParseProgram(const JsonValue& node, Program* program, std::string* error) {
+  if (node.kind != JsonValue::kObject) {
+    *error = "program is not an object";
+    return false;
+  }
+  uint64_t mem_size;
+  if (!GetString(node, "name", &program->name, error) ||
+      !GetU64(node, "mem_size", &mem_size, error)) {
+    return false;
+  }
+  program->mem_size = static_cast<Addr>(mem_size);
+  const JsonValue* init = node.Find("init");
+  if (init == nullptr || init->kind != JsonValue::kArray) {
+    *error = "missing init array";
+    return false;
+  }
+  for (const JsonValue& pair : init->items) {
+    if (pair.kind != JsonValue::kArray || pair.items.size() != 2) {
+      *error = "malformed init pair";
+      return false;
+    }
+    program->init[static_cast<Addr>(pair.items[0].U64())] = pair.items[1].U64();
+  }
+  const JsonValue* mmu = node.Find("mmu");
+  if (mmu == nullptr || mmu->kind != JsonValue::kObject) {
+    *error = "missing mmu object";
+    return false;
+  }
+  uint64_t root;
+  if (!GetBool(*mmu, "enabled", &program->mmu.enabled, error) ||
+      !GetU64(*mmu, "root", &root, error) ||
+      !GetInt(*mmu, "levels", &program->mmu.levels, error) ||
+      !GetInt(*mmu, "table_entries", &program->mmu.table_entries, error) ||
+      !GetInt(*mmu, "page_size", &program->mmu.page_size, error)) {
+    return false;
+  }
+  program->mmu.root = static_cast<Addr>(root);
+  const JsonValue* regions = node.Find("regions");
+  if (regions == nullptr || regions->kind != JsonValue::kArray) {
+    *error = "missing regions array";
+    return false;
+  }
+  for (const JsonValue& rnode : regions->items) {
+    Region region;
+    if (!GetString(rnode, "name", &region.name, error)) return false;
+    const JsonValue* locs = rnode.Find("locs");
+    if (locs == nullptr || locs->kind != JsonValue::kArray) {
+      *error = "region missing locs";
+      return false;
+    }
+    for (const JsonValue& loc : locs->items) {
+      region.locs.push_back(static_cast<Addr>(loc.U64()));
+    }
+    program->regions.push_back(std::move(region));
+  }
+  const JsonValue* threads = node.Find("threads");
+  if (threads == nullptr || threads->kind != JsonValue::kArray) {
+    *error = "missing threads array";
+    return false;
+  }
+  for (const JsonValue& tnode : threads->items) {
+    ThreadCode thread;
+    if (!GetBool(tnode, "user", &thread.user, error)) return false;
+    const JsonValue* code = tnode.Find("code");
+    if (code == nullptr || code->kind != JsonValue::kArray) {
+      *error = "thread missing code";
+      return false;
+    }
+    for (const JsonValue& row : code->items) {
+      // Trailing human-readable rendering (field 9) is ignored on parse.
+      if (row.kind != JsonValue::kArray || row.items.size() < 9) {
+        *error = "malformed instruction row";
+        return false;
+      }
+      Inst inst;
+      inst.op = static_cast<Op>(row.items[0].I64());
+      inst.rd = static_cast<Reg>(row.items[1].I64());
+      inst.rs = static_cast<Reg>(row.items[2].I64());
+      inst.rt = static_cast<Reg>(row.items[3].I64());
+      inst.imm = row.items[4].I64();
+      inst.order = static_cast<MemOrder>(row.items[5].I64());
+      inst.barrier = static_cast<BarrierKind>(row.items[6].I64());
+      inst.target = static_cast<int>(row.items[7].I64());
+      inst.region = static_cast<int>(row.items[8].I64());
+      thread.code.push_back(inst);
+    }
+    program->threads.push_back(std::move(thread));
+  }
+  const JsonValue* oregs = node.Find("observed_regs");
+  if (oregs == nullptr || oregs->kind != JsonValue::kArray) {
+    *error = "missing observed_regs";
+    return false;
+  }
+  for (const JsonValue& pair : oregs->items) {
+    if (pair.kind != JsonValue::kArray || pair.items.size() != 2) {
+      *error = "malformed observed_regs pair";
+      return false;
+    }
+    program->observed_regs.push_back(
+        ObservedReg{static_cast<ThreadId>(pair.items[0].I64()),
+                    static_cast<Reg>(pair.items[1].I64())});
+  }
+  const JsonValue* olocs = node.Find("observed_locs");
+  if (olocs == nullptr || olocs->kind != JsonValue::kArray) {
+    *error = "missing observed_locs";
+    return false;
+  }
+  for (const JsonValue& loc : olocs->items) {
+    program->observed_locs.push_back(static_cast<Addr>(loc.U64()));
+  }
+  if (!GetBool(node, "observe_tlbs", &program->observe_tlbs, error)) return false;
+  return true;
+}
+
+bool ParseSwarm(const JsonValue& node, SwarmConfig* swarm, std::string* error) {
+  if (node.kind != JsonValue::kObject) {
+    *error = "swarm is not an object";
+    return false;
+  }
+  return GetString(node, "name", &swarm->name, error) &&
+         GetInt(node, "min_threads", &swarm->min_threads, error) &&
+         GetInt(node, "max_threads", &swarm->max_threads, error) &&
+         GetInt(node, "min_len", &swarm->min_len, error) &&
+         GetInt(node, "max_len", &swarm->max_len, error) &&
+         GetInt(node, "cells", &swarm->cells, error) &&
+         GetNum(node, "w_mov", &swarm->w_mov, error) &&
+         GetNum(node, "w_arith", &swarm->w_arith, error) &&
+         GetNum(node, "w_load", &swarm->w_load, error) &&
+         GetNum(node, "w_store", &swarm->w_store, error) &&
+         GetNum(node, "w_fetchadd", &swarm->w_fetchadd, error) &&
+         GetNum(node, "w_exclusive", &swarm->w_exclusive, error) &&
+         GetNum(node, "w_barrier", &swarm->w_barrier, error) &&
+         GetNum(node, "w_translated", &swarm->w_translated, error) &&
+         GetNum(node, "p_acquire", &swarm->p_acquire, error) &&
+         GetNum(node, "p_release", &swarm->p_release, error) &&
+         GetNum(node, "p_acqrel", &swarm->p_acqrel, error) &&
+         GetNum(node, "p_dmb_sy", &swarm->p_dmb_sy, error) &&
+         GetNum(node, "p_dmb_ld", &swarm->p_dmb_ld, error) &&
+         GetNum(node, "p_dsb", &swarm->p_dsb, error) &&
+         GetU64(node, "max_states", &swarm->max_states, error) &&
+         GetInt(node, "max_messages", &swarm->max_messages, error);
+}
+
+}  // namespace
+
+std::string RenderArtifact(const FailureArtifact& artifact) {
+  std::string out;
+  out += "{\n";
+  out += "  \"format\": 1,\n";
+  out += "  \"kind\": \"oracle-failure\",\n";
+  out += "  \"seed\": \"" + U64Str(artifact.seed) + "\",\n";
+  out += "  \"swarm\": ";
+  RenderSwarm(&out, artifact.swarm, "  ");
+  out += ",\n";
+  out += "  \"original_digest\": ";
+  AppendEscaped(&out, artifact.original_digest);
+  out += ",\n";
+  out += "  \"oracles\": {\"mask\": " + U64Str(artifact.oracle_mask) +
+         ", \"walk_seeds\": " + I64Str(artifact.walk_seeds) +
+         ", \"monitor_variant\": " + I64Str(artifact.monitor_variant) +
+         ", \"fault\": \"" + FaultInjectionName(artifact.fault) + "\"},\n";
+  out += "  \"stop_cause\": \"" + std::string(StopCauseName(artifact.stop_cause)) +
+         "\",\n";
+  out += "  \"failure\": {\n    \"oracle\": \"" +
+         std::string(OracleName(artifact.failure.oracle)) + "\",\n    \"detail\": ";
+  AppendEscaped(&out, artifact.failure.detail);
+  out += ",\n    \"expected\": ";
+  AppendEscaped(&out, artifact.failure.expected);
+  out += ",\n    \"actual\": ";
+  AppendEscaped(&out, artifact.failure.actual);
+  out += "\n  },\n";
+  out += "  \"minimize\": {\"probes\": " + I64Str(artifact.minimize_probes) +
+         ", \"accepted\": " + I64Str(artifact.minimize_accepted) +
+         ", \"initial_insts\": " + I64Str(artifact.initial_insts) +
+         ", \"final_insts\": " + I64Str(artifact.final_insts) + ", \"converged\": " +
+         (artifact.minimize_converged ? "true" : "false") + "},\n";
+  out += "  \"config\": {\"max_states\": \"" + U64Str(artifact.minimized.config.max_states) +
+         "\", \"max_messages\": " + I64Str(artifact.minimized.config.max_messages) +
+         "},\n";
+  out += "  \"program\": ";
+  RenderProgram(&out, artifact.minimized.program, "  ");
+  out += ",\n";
+  out += "  \"program_digest\": ";
+  AppendEscaped(&out, artifact.minimized_digest);
+  out += "\n}\n";
+  return out;
+}
+
+bool ParseArtifact(const std::string& json, FailureArtifact* artifact,
+                   std::string* error) {
+  JsonValue root;
+  JsonParser parser(json);
+  if (!parser.Parse(&root, error)) {
+    return false;
+  }
+  if (root.kind != JsonValue::kObject) {
+    *error = "artifact is not a JSON object";
+    return false;
+  }
+  int format;
+  if (!GetInt(root, "format", &format, error)) return false;
+  if (format != 1) {
+    *error = "unsupported artifact format " + std::to_string(format);
+    return false;
+  }
+  if (!GetU64(root, "seed", &artifact->seed, error)) return false;
+  const JsonValue* swarm = root.Find("swarm");
+  if (swarm == nullptr || !ParseSwarm(*swarm, &artifact->swarm, error)) {
+    return false;
+  }
+  if (!GetString(root, "original_digest", &artifact->original_digest, error)) {
+    return false;
+  }
+  const JsonValue* oracles = root.Find("oracles");
+  if (oracles == nullptr || oracles->kind != JsonValue::kObject) {
+    *error = "missing oracles object";
+    return false;
+  }
+  uint64_t mask;
+  std::string fault_name;
+  if (!GetU64(*oracles, "mask", &mask, error) ||
+      !GetInt(*oracles, "walk_seeds", &artifact->walk_seeds, error) ||
+      !GetInt(*oracles, "monitor_variant", &artifact->monitor_variant, error) ||
+      !GetString(*oracles, "fault", &fault_name, error)) {
+    return false;
+  }
+  artifact->oracle_mask = static_cast<uint32_t>(mask);
+  if (!FaultInjectionFromName(fault_name, &artifact->fault)) {
+    *error = "unknown fault injection '" + fault_name + "'";
+    return false;
+  }
+  std::string cause_name;
+  if (!GetString(root, "stop_cause", &cause_name, error)) return false;
+  if (!StopCauseFromName(cause_name, &artifact->stop_cause)) {
+    *error = "unknown stop cause '" + cause_name + "'";
+    return false;
+  }
+  const JsonValue* failure = root.Find("failure");
+  if (failure == nullptr || failure->kind != JsonValue::kObject) {
+    *error = "missing failure object";
+    return false;
+  }
+  std::string oracle_name;
+  if (!GetString(*failure, "oracle", &oracle_name, error) ||
+      !GetString(*failure, "detail", &artifact->failure.detail, error) ||
+      !GetString(*failure, "expected", &artifact->failure.expected, error) ||
+      !GetString(*failure, "actual", &artifact->failure.actual, error)) {
+    return false;
+  }
+  if (!OracleFromName(oracle_name, &artifact->failure.oracle)) {
+    *error = "unknown oracle '" + oracle_name + "'";
+    return false;
+  }
+  const JsonValue* minimize = root.Find("minimize");
+  if (minimize == nullptr ||
+      !GetInt(*minimize, "probes", &artifact->minimize_probes, error) ||
+      !GetInt(*minimize, "accepted", &artifact->minimize_accepted, error) ||
+      !GetInt(*minimize, "initial_insts", &artifact->initial_insts, error) ||
+      !GetInt(*minimize, "final_insts", &artifact->final_insts, error) ||
+      !GetBool(*minimize, "converged", &artifact->minimize_converged, error)) {
+    return false;
+  }
+  const JsonValue* config = root.Find("config");
+  if (config == nullptr ||
+      !GetU64(*config, "max_states", &artifact->minimized.config.max_states, error) ||
+      !GetInt(*config, "max_messages", &artifact->minimized.config.max_messages,
+              error)) {
+    return false;
+  }
+  const JsonValue* program = root.Find("program");
+  if (program == nullptr ||
+      !ParseProgram(*program, &artifact->minimized.program, error)) {
+    return false;
+  }
+  if (!GetString(root, "program_digest", &artifact->minimized_digest, error)) {
+    return false;
+  }
+  artifact->minimized.description = "replayed failure artifact";
+  artifact->minimized.program.Validate();
+  return true;
+}
+
+bool ReplayArtifact(const FailureArtifact& artifact, std::string* detail) {
+  // 1. Provenance: the generator must still produce the original program.
+  if (!artifact.original_digest.empty()) {
+    const LitmusTest original = GenerateProgram(artifact.seed, artifact.swarm);
+    const std::string digest = DigestHex(ProgramDigest(original.program));
+    if (digest != artifact.original_digest) {
+      *detail = "generator drift: (seed, swarm) now yields digest " + digest +
+                ", artifact recorded " + artifact.original_digest;
+      return false;
+    }
+  }
+  // 2. The stored minimized program must hash to what the artifact claims.
+  const std::string digest =
+      DigestHex(ProgramDigest(artifact.minimized.program));
+  if (!artifact.minimized_digest.empty() && digest != artifact.minimized_digest) {
+    *detail = "artifact corrupt: stored program hashes to " + digest +
+              ", artifact recorded " + artifact.minimized_digest;
+    return false;
+  }
+  // 3. Re-run the battery with the stored oracle configuration.
+  OracleOptions options;
+  options.mask = artifact.oracle_mask;
+  options.walk_seeds = artifact.walk_seeds;
+  options.monitor_variant = artifact.monitor_variant;
+  options.fault = artifact.fault;
+  const BatteryResult result = RunOracleBattery(artifact.minimized, options);
+  for (const OracleFailure& failure : result.failures) {
+    if (failure.oracle != artifact.failure.oracle) {
+      continue;
+    }
+    if (failure.detail == artifact.failure.detail &&
+        failure.expected == artifact.failure.expected &&
+        failure.actual == artifact.failure.actual) {
+      *detail = "reproduced bit-identically";
+      return true;
+    }
+    *detail = std::string("failure from oracle ") + OracleName(failure.oracle) +
+              " reproduced but renders differently:\n--- recorded expected\n" +
+              artifact.failure.expected + "--- replayed expected\n" +
+              failure.expected + "--- recorded actual\n" + artifact.failure.actual +
+              "--- replayed actual\n" + failure.actual;
+    return false;
+  }
+  *detail = std::string("oracle ") + OracleName(artifact.failure.oracle) +
+            " did not fail on replay (battery " +
+            (result.complete ? "completed" : "was cut short") + ", stop cause " +
+            StopCauseName(result.stop_cause) + ")";
+  return false;
+}
+
+}  // namespace fuzz
+}  // namespace vrm

@@ -1,0 +1,87 @@
+// Replayable failure artifacts.
+//
+// When an oracle disagrees, the fuzzer minimizes the program and writes one
+// self-contained JSON object holding everything a later `vrm_fuzz --replay`
+// needs to re-execute the failure deterministically:
+//
+//   * the generator provenance (program seed + full SwarmConfig), so the
+//     original un-minimized program can be regenerated and digest-checked;
+//   * the oracle configuration (mask, walk seeds, monitor variant, fault
+//     injection), so the battery re-runs with identical comparisons;
+//   * the minimized program itself, serialized instruction by instruction —
+//     replay does NOT re-minimize, it re-runs the battery on this program and
+//     compares the failure's expected/actual renderings byte-for-byte;
+//   * the observed failure and minimization statistics;
+//   * the run's stop cause — ALWAYS present, including "none", so a consumer
+//     can distinguish "no disagreement" from "budget expired before the
+//     oracles finished" without guessing from absent fields (governed runs
+//     stopping on deadline/memory previously surfaced this only on stderr).
+//
+// Numbers that can exceed 2^53 (seeds, digests) are rendered as JSON strings
+// so they survive double-precision JSON pipelines; the parser accepts either
+// form.
+
+#ifndef SRC_FUZZ_ARTIFACT_H_
+#define SRC_FUZZ_ARTIFACT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/fuzz/minimize.h"
+#include "src/fuzz/oracles.h"
+#include "src/fuzz/swarm.h"
+#include "src/litmus/litmus.h"
+
+namespace vrm {
+namespace fuzz {
+
+struct FailureArtifact {
+  // Generator provenance.
+  uint64_t seed = 0;
+  SwarmConfig swarm;
+  std::string original_digest;  // DigestHex of the regenerated (seed, swarm) program
+
+  // Oracle configuration (OracleOptions minus the governor, which is runtime).
+  uint32_t oracle_mask = 0xffffffffu;
+  int walk_seeds = 3;
+  int monitor_variant = 0;
+  FaultInjection fault = FaultInjection::kNone;
+
+  // Why the run that produced this artifact stopped ("none" for quiesced).
+  StopCause stop_cause = StopCause::kNone;
+
+  // The first observed disagreement (canonical renderings, byte-comparable).
+  OracleFailure failure;
+
+  // Minimization statistics.
+  int minimize_probes = 0;
+  int minimize_accepted = 0;
+  int initial_insts = 0;
+  int final_insts = 0;
+  bool minimize_converged = false;
+
+  // The minimized program and the exploration bounds it ran under.
+  LitmusTest minimized;
+  std::string minimized_digest;  // DigestHex(ProgramDigest(minimized.program))
+};
+
+// Renders the artifact as one pretty-printed JSON object.
+std::string RenderArtifact(const FailureArtifact& artifact);
+
+// Parses an artifact rendered by RenderArtifact. On failure returns false and
+// sets *error to a position-bearing message. The parsed minimized program is
+// Validate()'d before returning.
+bool ParseArtifact(const std::string& json, FailureArtifact* artifact,
+                   std::string* error);
+
+// Re-executes the artifact: regenerates the (seed, swarm) program and checks
+// its digest, re-runs the oracle battery on the minimized program with the
+// stored configuration, and compares the resulting failure's oracle, expected,
+// and actual fields byte-for-byte against the stored ones. Returns true when
+// everything reproduces; *detail explains the first divergence otherwise.
+bool ReplayArtifact(const FailureArtifact& artifact, std::string* detail);
+
+}  // namespace fuzz
+}  // namespace vrm
+
+#endif  // SRC_FUZZ_ARTIFACT_H_

@@ -1,0 +1,293 @@
+#include "src/fuzz/fuzzer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <unordered_set>
+
+#include "src/support/check.h"
+#include "src/support/hash.h"
+#include "src/testing/random_program.h"
+
+namespace vrm {
+namespace fuzz {
+namespace {
+
+constexpr int kEvolveEvery = 32;  // programs between population-evolution steps
+
+std::string JsonLine(const std::string& bench, const std::string& metric,
+                     double value) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.17g}\n",
+                bench.c_str(), metric.c_str(), value);
+  return buf;
+}
+
+struct PopulationEntry {
+  SwarmConfig config;
+  uint64_t runs = 0;
+  uint64_t credit = 0;  // coverage-novel programs this config produced
+};
+
+// Fitness-proportional pick over 1 + credit, deterministic in `rng`.
+size_t PickConfig(const std::vector<PopulationEntry>& population, Rng* rng) {
+  uint64_t total = 0;
+  for (const PopulationEntry& entry : population) {
+    total += 1 + entry.credit;
+  }
+  uint64_t point = rng->Below(total);
+  for (size_t i = 0; i < population.size(); ++i) {
+    const uint64_t weight = 1 + population[i].credit;
+    if (point < weight) {
+      return i;
+    }
+    point -= weight;
+  }
+  return population.size() - 1;
+}
+
+FailureArtifact BuildArtifact(const LitmusTest& generated, uint64_t seed,
+                              const SwarmConfig& swarm, const OracleOptions& oracles,
+                              const OracleFailure& first_failure) {
+  FailureArtifact artifact;
+  artifact.seed = seed;
+  artifact.swarm = swarm;
+  artifact.original_digest = DigestHex(ProgramDigest(generated.program));
+  artifact.oracle_mask = oracles.mask;
+  artifact.walk_seeds = oracles.walk_seeds;
+  artifact.monitor_variant = oracles.monitor_variant;
+  artifact.fault = oracles.fault;
+
+  // Governor-free predicate: minimization probes must be pure functions of the
+  // candidate program or replay diverges.
+  OracleOptions probe_options = oracles;
+  probe_options.governor = nullptr;
+  const OracleId chased = first_failure.oracle;
+  const auto reproduces = [&](const LitmusTest& candidate) {
+    const BatteryResult probe = RunOracleBattery(candidate, probe_options);
+    if (!probe.complete) {
+      return false;  // a shrink that blows the state cap is not a reproduction
+    }
+    for (const OracleFailure& failure : probe.failures) {
+      if (failure.oracle == chased) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  const MinimizeResult minimized = Minimize(generated, reproduces);
+  artifact.minimize_probes = minimized.probes;
+  artifact.minimize_accepted = minimized.accepted;
+  artifact.initial_insts = minimized.initial_insts;
+  artifact.final_insts = minimized.final_insts;
+  artifact.minimize_converged = minimized.converged;
+  artifact.minimized = minimized.test;
+  artifact.minimized_digest = DigestHex(ProgramDigest(minimized.test.program));
+
+  // The stored failure is the minimized program's own rendering — that is what
+  // ReplayArtifact compares byte-for-byte.
+  const BatteryResult final_run = RunOracleBattery(minimized.test, probe_options);
+  bool rerendered = false;
+  for (const OracleFailure& failure : final_run.failures) {
+    if (failure.oracle == chased) {
+      artifact.failure = failure;
+      rerendered = true;
+      break;
+    }
+  }
+  VRM_CHECK_MSG(rerendered, "minimized program no longer reproduces its failure");
+  return artifact;
+}
+
+}  // namespace
+
+uint64_t CoverageSignature(const CoverageFeatures& features) {
+  DigestSink sink;
+  sink.U64(features.rm_outcome_digest);
+  sink.U64(features.sc_outcome_digest);
+  sink.U32(features.rm_outcomes);
+  sink.U32(features.sc_outcomes);
+  sink.U32(features.rm_states_log2);
+  sink.U32(features.violation_bits);
+  sink.U32((features.ample_fired ? 1u : 0) | (features.symmetry_active ? 2u : 0) |
+           (features.any_fault ? 4u : 0) | (features.any_panic ? 8u : 0));
+  return sink.Finish().first;
+}
+
+FuzzReport RunFuzz(const FuzzOptions& options, ProgressFn progress) {
+  FuzzReport report;
+  Rng rng(options.master_seed);
+  std::vector<PopulationEntry> population;
+  for (const SwarmConfig& config :
+       options.population.empty() ? DefaultSwarmPopulation() : options.population) {
+    population.push_back(PopulationEntry{config});
+  }
+  VRM_CHECK_MSG(!population.empty(), "fuzz campaign needs a swarm population");
+
+  // Campaign budget tracking. One shared RunGovernor is the wrong tool here:
+  // the explorer latches a per-program kStates truncation into its governor,
+  // and a latched cause short-circuits Poll, so one oversized program would
+  // either abort the campaign or mask a later deadline expiry. Each program
+  // instead gets a fresh governor carrying the campaign's remaining budget.
+  const bool governed = options.governance.Enabled();
+  RunGovernor campaign_clock(options.governance);
+
+  std::unordered_set<uint64_t> coverage;
+  int generation = 0;
+
+  for (int i = 0; i < options.programs; ++i) {
+    GovernanceOptions slice = options.governance;
+    if (governed) {
+      if (options.governance.cancel != nullptr &&
+          options.governance.cancel->Cancelled()) {
+        report.stop_cause = StopCause::kCancelled;
+        break;
+      }
+      if (options.governance.budget.deadline_seconds > 0) {
+        const double remaining = options.governance.budget.deadline_seconds -
+                                 campaign_clock.ElapsedSeconds();
+        if (remaining <= 0) {
+          report.stop_cause = StopCause::kDeadline;
+          break;
+        }
+        slice.budget.deadline_seconds = remaining;
+      }
+    }
+    RunGovernor slice_governor(slice);
+    const size_t pick = PickConfig(population, &rng);
+    const uint64_t seed = rng.Next();
+    PopulationEntry& entry = population[pick];
+    ++entry.runs;
+
+    const LitmusTest test = GenerateProgram(seed, entry.config);
+    OracleOptions oracles;
+    oracles.mask = options.oracle_mask;
+    oracles.walk_seeds = options.walk_seeds;
+    oracles.monitor_variant = options.fixed_monitor_variant >= 0
+                                  ? options.fixed_monitor_variant
+                                  : i % 4;
+    oracles.fault = options.fault;
+    oracles.governor = governed ? &slice_governor : nullptr;
+
+    const BatteryResult battery = RunOracleBattery(test, oracles);
+    ++report.programs_run;
+    report.states_explored += battery.states_explored;
+
+    if (!battery.complete) {
+      ++report.skipped_truncated;
+      if (battery.stop_cause == StopCause::kDeadline ||
+          battery.stop_cause == StopCause::kMemory ||
+          battery.stop_cause == StopCause::kCancelled) {
+        report.stop_cause = battery.stop_cause;
+        break;
+      }
+      continue;  // state-cap truncation: program too big for its bounds
+    }
+    ++report.programs_complete;
+
+    if (coverage.insert(CoverageSignature(battery.coverage)).second) {
+      ++entry.credit;
+      if (progress != nullptr) {
+        char line[160];
+        std::snprintf(line, sizeof(line),
+                      "new coverage: program %d (swarm %s, seed %llu), %zu signatures",
+                      i, entry.config.name.c_str(),
+                      static_cast<unsigned long long>(seed), coverage.size());
+        progress(line);
+      }
+    }
+
+    if (!battery.failures.empty()) {
+      if (progress != nullptr) {
+        progress(std::string("ORACLE DISAGREEMENT: ") +
+                 OracleName(battery.failures.front().oracle) + " — " +
+                 battery.failures.front().detail + " (minimizing)");
+      }
+      FailureArtifact artifact = BuildArtifact(test, seed, entry.config, oracles,
+                                               battery.failures.front());
+      artifact.stop_cause = report.stop_cause;
+      report.artifacts.push_back(std::move(artifact));
+      if (options.max_failures > 0 &&
+          static_cast<int>(report.artifacts.size()) >= options.max_failures) {
+        break;
+      }
+    }
+
+    // Evolution step: clone-and-mutate the best into the worst's slot. The
+    // legacy config is exempt from replacement so the historical mix always
+    // stays in the pool.
+    if ((i + 1) % kEvolveEvery == 0 && population.size() > 2) {
+      ++generation;
+      size_t best = 0, worst = 0;
+      for (size_t j = 1; j < population.size(); ++j) {
+        if (population[j].credit > population[best].credit) best = j;
+        if (population[j].config.name != "legacy" &&
+            (population[worst].config.name == "legacy" ||
+             population[j].credit < population[worst].credit)) {
+          worst = j;
+        }
+      }
+      if (best != worst) {
+        population[worst] = PopulationEntry{
+            MutateSwarm(population[best].config, &rng, generation)};
+      }
+    }
+  }
+
+  report.coverage_signatures = coverage.size();
+  for (const PopulationEntry& entry : population) {
+    report.config_runs.emplace_back(entry.config.name, entry.runs);
+  }
+  return report;
+}
+
+std::string FuzzReport::Summary() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "fuzz campaign: %llu programs (%llu complete, %llu truncated), "
+      "%llu states explored, %llu coverage signatures, %zu failure(s), "
+      "stop cause %s\n",
+      static_cast<unsigned long long>(programs_run),
+      static_cast<unsigned long long>(programs_complete),
+      static_cast<unsigned long long>(skipped_truncated),
+      static_cast<unsigned long long>(states_explored),
+      static_cast<unsigned long long>(coverage_signatures), artifacts.size(),
+      StopCauseName(stop_cause));
+  std::string out = buf;
+  for (const auto& [name, runs] : config_runs) {
+    std::snprintf(buf, sizeof(buf), "  swarm %-24s %llu programs\n", name.c_str(),
+                  static_cast<unsigned long long>(runs));
+    out += buf;
+  }
+  for (const FailureArtifact& artifact : artifacts) {
+    std::snprintf(buf, sizeof(buf),
+                  "  failure: %s seed=%llu minimized %d -> %d insts (%d probes)\n",
+                  OracleName(artifact.failure.oracle),
+                  static_cast<unsigned long long>(artifact.seed),
+                  artifact.initial_insts, artifact.final_insts,
+                  artifact.minimize_probes);
+    out += buf;
+  }
+  return out;
+}
+
+std::string FuzzReport::ToJsonLines(const std::string& bench) const {
+  std::string out;
+  out += JsonLine(bench, "programs_run", static_cast<double>(programs_run));
+  out += JsonLine(bench, "programs_complete", static_cast<double>(programs_complete));
+  out += JsonLine(bench, "skipped_truncated", static_cast<double>(skipped_truncated));
+  out += JsonLine(bench, "states_explored", static_cast<double>(states_explored));
+  out += JsonLine(bench, "coverage_signatures",
+                  static_cast<double>(coverage_signatures));
+  out += JsonLine(bench, "failures", static_cast<double>(artifacts.size()));
+  // StopCause as its numeric value (0 none, 1 states, 2 deadline, 3 memory,
+  // 4 cancelled) — always present, so "no failures" and "budget expired" are
+  // machine-distinguishable (see FuzzReport::stop_cause).
+  out += JsonLine(bench, "stop_cause", static_cast<double>(static_cast<int>(stop_cause)));
+  return out;
+}
+
+}  // namespace fuzz
+}  // namespace vrm

@@ -1,0 +1,99 @@
+// The coverage-guided differential fuzzing loop.
+//
+// One campaign = one master seed. Every decision — program seeds, swarm
+// selection, population evolution — is drawn from a single Rng chain, so a
+// campaign is a pure function of (FuzzOptions minus the governor): re-running
+// with the same options visits the same programs in the same order. Wall-clock
+// enters only through the optional run governor, which can stop the campaign
+// early but never changes what any individual program's battery computes
+// (batteries cut short by the governor are discarded as incomplete, not
+// compared).
+//
+// Coverage feedback: each battery's CoverageFeatures are folded into a 64-bit
+// signature; a signature never seen before is "new behaviour" credited to the
+// swarm config that generated the program. Selection is fitness-proportional
+// over 1 + credit, and every kEvolveEvery programs the lowest-credit config is
+// replaced by a mutation of the highest-credit one (swarm testing with a hill
+// climb on behavioural novelty).
+//
+// Failures: when a battery reports oracle disagreements on a complete
+// (untruncated) run, the first failure is minimized with a governor-free
+// predicate (determinism again) and packaged as a FailureArtifact, ready for
+// RenderArtifact / ReplayArtifact.
+
+#ifndef SRC_FUZZ_FUZZER_H_
+#define SRC_FUZZ_FUZZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/fuzz/artifact.h"
+#include "src/fuzz/minimize.h"
+#include "src/fuzz/oracles.h"
+#include "src/fuzz/swarm.h"
+#include "src/support/governance.h"
+
+namespace vrm {
+namespace fuzz {
+
+struct FuzzOptions {
+  uint64_t master_seed = 1;
+  // Campaign length in programs (each program runs the full oracle battery).
+  int programs = 1000;
+  // Stop after this many minimized failures (0 = never stop on failures).
+  int max_failures = 1;
+
+  // Oracle battery configuration. The fused-engine monitor arming cycles
+  // through variants 0..3 per program unless fixed_monitor_variant >= 0.
+  uint32_t oracle_mask = 0xffffffffu;
+  int walk_seeds = 3;
+  int fixed_monitor_variant = -1;
+  FaultInjection fault = FaultInjection::kNone;
+
+  // Whole-campaign resource budget (deadline / soft memory / cancellation).
+  GovernanceOptions governance;
+
+  MinimizeOptions minimize;
+
+  // Swarm population; empty = DefaultSwarmPopulation().
+  std::vector<SwarmConfig> population;
+};
+
+struct FuzzReport {
+  uint64_t programs_run = 0;       // batteries started
+  uint64_t programs_complete = 0;  // batteries whose comparisons all ran
+  uint64_t skipped_truncated = 0;  // complete=false: state caps or governor
+  uint64_t states_explored = 0;    // summed over every walk of every battery
+  uint64_t coverage_signatures = 0;  // distinct behaviour signatures seen
+  // Why the campaign stopped: kNone for "ran all programs", otherwise the
+  // governed cause. ALWAYS rendered in ToJsonLines — consumers must be able to
+  // tell "zero failures" from "budget expired before the oracles finished".
+  StopCause stop_cause = StopCause::kNone;
+  std::vector<FailureArtifact> artifacts;  // one per minimized failure
+  // Per swarm-config name: programs generated from it (selection telemetry).
+  std::vector<std::pair<std::string, uint64_t>> config_runs;
+
+  bool Clean() const { return artifacts.empty(); }
+
+  // Human-oriented campaign summary.
+  std::string Summary() const;
+
+  // bench_json-shaped lines ({"bench", "metric", "value"}) covering programs,
+  // completion, coverage, failures, and stop cause.
+  std::string ToJsonLines(const std::string& bench) const;
+};
+
+// Runs the campaign. `progress` (optional) receives one line per
+// coverage-novel program and per failure, for CLI verbosity.
+using ProgressFn = void (*)(const std::string& line);
+FuzzReport RunFuzz(const FuzzOptions& options, ProgressFn progress = nullptr);
+
+// Folds the battery coverage features into the 64-bit novelty signature used
+// by the campaign's coverage map. Exposed for tests.
+uint64_t CoverageSignature(const CoverageFeatures& features);
+
+}  // namespace fuzz
+}  // namespace vrm
+
+#endif  // SRC_FUZZ_FUZZER_H_

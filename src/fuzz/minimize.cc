@@ -1,0 +1,151 @@
+#include "src/fuzz/minimize.h"
+
+#include <algorithm>
+
+#include "src/arch/builder.h"  // kAddrReg
+#include "src/support/check.h"
+
+namespace vrm {
+namespace fuzz {
+namespace {
+
+bool HasBranch(const ThreadCode& thread) {
+  for (const Inst& inst : thread.code) {
+    if (inst.IsBranch()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Candidate with thread `tid` removed and the observation spec remapped onto
+// the surviving thread ids.
+LitmusTest WithoutThread(const LitmusTest& test, int tid) {
+  LitmusTest candidate = test;
+  candidate.program.threads.erase(candidate.program.threads.begin() + tid);
+  std::vector<ObservedReg> regs;
+  for (const ObservedReg& observed : candidate.program.observed_regs) {
+    if (observed.tid == static_cast<ThreadId>(tid)) {
+      continue;
+    }
+    ObservedReg kept = observed;
+    if (kept.tid > static_cast<ThreadId>(tid)) {
+      --kept.tid;
+    }
+    regs.push_back(kept);
+  }
+  candidate.program.observed_regs = std::move(regs);
+  return candidate;
+}
+
+LitmusTest WithoutUnit(const LitmusTest& test, int tid, int first, int last) {
+  LitmusTest candidate = test;
+  auto& code = candidate.program.threads[tid].code;
+  code.erase(code.begin() + first, code.begin() + last + 1);
+  return candidate;
+}
+
+}  // namespace
+
+std::vector<std::pair<int, int>> RemovalUnits(const ThreadCode& thread) {
+  const auto& code = thread.code;
+  const int n = static_cast<int>(code.size());
+  std::vector<std::pair<int, int>> units;
+  auto is_addr_setup = [&](int i) {
+    return code[i].op == Op::kMovImm && code[i].rd == kAddrReg;
+  };
+  int i = 0;
+  while (i < n) {
+    int last = i;
+    if (is_addr_setup(i) && i + 1 < n) {
+      last = i + 1;  // the setup belongs to the access it feeds
+      if (code[i + 1].op == Op::kLoadEx) {
+        // Exclusive pair: extend through the matching store-exclusive (and its
+        // own address setup) so shrinking never orphans the monitor arm.
+        for (int j = i + 2; j < n; ++j) {
+          if (code[j].op == Op::kStoreEx) {
+            last = j;
+            break;
+          }
+        }
+      }
+    }
+    units.emplace_back(i, last);
+    i = last + 1;
+  }
+  return units;
+}
+
+int CountInsts(const Program& program) {
+  int count = 0;
+  for (const ThreadCode& thread : program.threads) {
+    count += static_cast<int>(thread.code.size());
+  }
+  return count;
+}
+
+MinimizeResult Minimize(const LitmusTest& failing, const ReproPredicate& pred,
+                        const MinimizeOptions& options) {
+  MinimizeResult result;
+  result.test = failing;
+  result.initial_insts = CountInsts(failing.program);
+  VRM_CHECK_MSG(pred(result.test), "minimizer given a non-reproducing program");
+  ++result.probes;
+
+  auto probe = [&](const LitmusTest& candidate) {
+    if (result.probes >= options.max_probes) {
+      return false;
+    }
+    ++result.probes;
+    if (!pred(candidate)) {
+      return false;
+    }
+    result.test = candidate;
+    ++result.accepted;
+    return true;
+  };
+
+  bool changed = true;
+  while (changed && result.probes < options.max_probes) {
+    changed = false;
+
+    // Thread pass, last to first: dropping a whole thread removes the most
+    // instructions per probe, so it runs before the fine-grained pass.
+    for (int tid = result.test.program.num_threads() - 1; tid >= 0; --tid) {
+      if (result.test.program.num_threads() <= 1) {
+        break;
+      }
+      if (probe(WithoutThread(result.test, tid))) {
+        changed = true;
+      }
+    }
+
+    // Instruction-unit pass, last unit to first within each thread. Units are
+    // recomputed after every accepted removal (indices shift).
+    for (int tid = 0; tid < result.test.program.num_threads(); ++tid) {
+      if (HasBranch(result.test.program.threads[tid])) {
+        continue;  // removal would invalidate branch targets; swarm programs
+                   // are branch-free, so this only guards hand-fed inputs
+      }
+      bool thread_changed = true;
+      while (thread_changed && result.probes < options.max_probes) {
+        thread_changed = false;
+        const auto units = RemovalUnits(result.test.program.threads[tid]);
+        for (int u = static_cast<int>(units.size()) - 1; u >= 0; --u) {
+          if (probe(WithoutUnit(result.test, tid, units[u].first, units[u].second))) {
+            changed = true;
+            thread_changed = true;
+            break;  // indices are stale; recompute units
+          }
+        }
+      }
+    }
+  }
+
+  result.final_insts = CountInsts(result.test.program);
+  result.converged = !changed && result.probes < options.max_probes;
+  return result;
+}
+
+}  // namespace fuzz
+}  // namespace vrm

@@ -1,0 +1,72 @@
+// ddmin-style counterexample minimization for oracle failures.
+//
+// Given a failing program and a reproduction predicate, the minimizer shrinks
+// in two alternating passes until a fixpoint:
+//
+//   thread pass       remove whole threads (last to first), remapping the
+//                     observed-register spec to the surviving thread ids;
+//   instruction pass  remove one *unit* at a time within each thread.
+//
+// A removal unit is the smallest instruction run that keeps the program
+// well-formed: a literal-addressed access is its `MovImm kAddrReg` setup plus
+// the access itself, and an exclusive pair (ldxr..stxr, including both address
+// setups) is one indivisible unit — removing half of it would orphan the
+// monitor arm and change the failure being chased into a different program
+// shape. Observed memory locations are never dropped: the outcome space only
+// shrinks through code removal, so a minimized failure is comparable to the
+// original under the same oracles. Both invariants are pinned by
+// tests/fuzz/minimize_test.cc.
+//
+// Minimization is deterministic: pass order is fixed, the predicate is assumed
+// pure, and no randomness is consulted — replaying a minimization from an
+// artifact reproduces the identical minimized program.
+
+#ifndef SRC_FUZZ_MINIMIZE_H_
+#define SRC_FUZZ_MINIMIZE_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "src/litmus/litmus.h"
+
+namespace vrm {
+namespace fuzz {
+
+// Returns true when the candidate still exhibits the failure being minimized
+// (conventionally: the oracle battery reports a failure from the same oracle).
+using ReproPredicate = std::function<bool(const LitmusTest&)>;
+
+struct MinimizeOptions {
+  // Upper bound on predicate evaluations; minimization stops (keeping the best
+  // candidate so far) when exhausted. Each probe is a full oracle battery, so
+  // this is the minimizer's real cost knob.
+  int max_probes = 400;
+};
+
+struct MinimizeResult {
+  LitmusTest test;        // smallest reproducing program found
+  int probes = 0;         // predicate evaluations spent
+  int accepted = 0;       // removals that kept the failure alive
+  int initial_insts = 0;  // instruction count before / after, across threads
+  int final_insts = 0;
+  bool converged = false;  // fixpoint reached within max_probes
+};
+
+// Requires pred(failing) to be true (VRM_CHECK'd: minimizing a program that
+// does not reproduce would "converge" to an unrelated shrink).
+MinimizeResult Minimize(const LitmusTest& failing, const ReproPredicate& pred,
+                        const MinimizeOptions& options = {});
+
+// The indivisible removal units of one thread, as [first, last] inclusive
+// instruction-index ranges covering the whole code vector in order. Exposed for
+// the invariant tests.
+std::vector<std::pair<int, int>> RemovalUnits(const ThreadCode& thread);
+
+// Total instruction count across all threads.
+int CountInsts(const Program& program);
+
+}  // namespace fuzz
+}  // namespace vrm
+
+#endif  // SRC_FUZZ_MINIMIZE_H_

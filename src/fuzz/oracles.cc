@@ -1,0 +1,438 @@
+#include "src/fuzz/oracles.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/engine/verify_kernel.h"
+#include "src/model/explorer.h"
+#include "src/model/promising_machine.h"
+#include "src/model/random_walk.h"
+#include "src/model/sc_machine.h"
+#include "src/model/trace.h"
+#include "src/support/hash.h"
+#include "src/testing/random_program.h"
+#include "src/vrm/conditions.h"
+
+namespace vrm {
+namespace fuzz {
+namespace {
+
+// A walk stopped by the run governor poisons every later comparison (the
+// remaining walks would truncate immediately too), so the battery aborts; a
+// walk truncated by a state/step/message bound just makes its own comparisons
+// vacuous, so they are skipped while the battery continues.
+bool GovernedStop(StopCause cause) {
+  return cause == StopCause::kDeadline || cause == StopCause::kMemory ||
+         cause == StopCause::kCancelled;
+}
+
+LitmusTest Configure(const LitmusTest& test, Reduction reduction,
+                     RunGovernor* governor) {
+  LitmusTest configured = test;
+  configured.config.reduction = reduction;
+  configured.config.governor = governor;
+  configured.config.num_threads = 1;
+  return configured;
+}
+
+std::string RenderVerdict(const WdrfReport& report) {
+  std::string out;
+  for (const ConditionVerdict& verdict : report.verdicts) {
+    out += ConditionName(verdict.condition);
+    out += verdict.checked ? (verdict.status.holds ? "=pass" : "=FAIL") : "=unchecked";
+    out += verdict.status.truncated ? "(bounded) " : " ";
+  }
+  char stats[64];
+  std::snprintf(stats, sizeof(stats), "states=%llu transitions=%llu",
+                static_cast<unsigned long long>(report.stats.states),
+                static_cast<unsigned long long>(report.stats.transitions));
+  out += stats;
+  return out;
+}
+
+uint32_t ViolationBits(const ConditionViolations& v) {
+  return (v.drf.set ? 1u : 0) | (v.barrier.set ? 2u : 0) |
+         (v.write_once.set ? 4u : 0) | (v.tlbi.set ? 8u : 0) |
+         (v.isolation.set ? 16u : 0);
+}
+
+std::string RenderViolationBits(uint32_t bits) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "viol=%#x", bits);
+  return buf;
+}
+
+uint64_t KeySetDigest(const ExploreResult& result) {
+  DigestSink sink;
+  for (const auto& [key, outcome] : result.outcomes) {  // std::map: sorted
+    (void)outcome;
+    sink.U32(static_cast<uint32_t>(key.size()));
+    sink.Raw(key.data(), key.size());
+  }
+  return sink.Finish().first;
+}
+
+uint32_t Log2Bucket(uint64_t n) {
+  uint32_t bucket = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+bool ProgramHasDecorations(const Program& program) {
+  for (const ThreadCode& thread : program.threads) {
+    for (const Inst& inst : thread.code) {
+      if (inst.order != MemOrder::kPlain) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool ProgramHasFetchAdd(const Program& program) {
+  for (const ThreadCode& thread : program.threads) {
+    for (const Inst& inst : thread.code) {
+      if (inst.op == Op::kFetchAdd) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+struct Walks {
+  ExploreResult sc_none, sc_por, sc_sym;
+  ExploreResult rm_none, rm_por, rm_sym;
+  ExploreResult tso;
+};
+
+}  // namespace
+
+const char* OracleName(OracleId id) {
+  switch (id) {
+    case OracleId::kModelStrengthOrder:
+      return "model-strength-order";
+    case OracleId::kReductionInvariance:
+      return "reduction-invariance";
+    case OracleId::kParallelDeterminism:
+      return "parallel-determinism";
+    case OracleId::kFusedEngine:
+      return "fused-engine";
+    case OracleId::kWalkContainment:
+      return "walk-containment";
+  }
+  return "unknown";
+}
+
+bool OracleFromName(const std::string& name, OracleId* id) {
+  for (OracleId candidate :
+       {OracleId::kModelStrengthOrder, OracleId::kReductionInvariance,
+        OracleId::kParallelDeterminism, OracleId::kFusedEngine,
+        OracleId::kWalkContainment}) {
+    if (name == OracleName(candidate)) {
+      *id = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+const char* FaultInjectionName(FaultInjection fault) {
+  switch (fault) {
+    case FaultInjection::kNone:
+      return "none";
+    case FaultInjection::kFetchAddDisagreement:
+      return "fetchadd";
+  }
+  return "none";
+}
+
+bool FaultInjectionFromName(const std::string& name, FaultInjection* fault) {
+  if (name == "none") {
+    *fault = FaultInjection::kNone;
+    return true;
+  }
+  if (name == "fetchadd") {
+    *fault = FaultInjection::kFetchAddDisagreement;
+    return true;
+  }
+  return false;
+}
+
+std::string RenderOutcomeKeys(const ExploreResult& result) {
+  std::string out;
+  for (const auto& [key, outcome] : result.outcomes) {
+    (void)outcome;
+    // Keys are canonical binary serializations; hex-encode for JSON safety.
+    for (unsigned char c : key) {
+      char hex[3];
+      std::snprintf(hex, sizeof(hex), "%02x", c);
+      out += hex;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+BatteryResult RunOracleBattery(const LitmusTest& test, const OracleOptions& options) {
+  BatteryResult result;
+  RunGovernor* const governor = options.governor;
+  Walks walks;
+
+  // Baseline walks feed several oracles and the coverage features, so they run
+  // unconditionally. Order matters for governed runs: the RM walks are the
+  // expensive ones, so a budget that only covers part of the battery still
+  // tends to produce RM coverage.
+  struct WalkPlan {
+    ExploreResult* slot;
+    Reduction reduction;
+    int model;  // 0 = SC, 1 = RM, 2 = TSO
+  };
+  const WalkPlan plan[] = {
+      {&walks.rm_por, Reduction::kPor, 1},
+      {&walks.sc_por, Reduction::kPor, 0},
+      {&walks.rm_none, Reduction::kNone, 1},
+      {&walks.sc_none, Reduction::kNone, 0},
+      {&walks.rm_sym, Reduction::kPorSymmetry, 1},
+      {&walks.sc_sym, Reduction::kPorSymmetry, 0},
+      {&walks.tso, Reduction::kPor, 2},
+  };
+  bool truncated = false;
+  for (const WalkPlan& step : plan) {
+    const LitmusTest configured = Configure(test, step.reduction, governor);
+    *step.slot = step.model == 0   ? RunSc(configured)
+                 : step.model == 1 ? RunPromising(configured)
+                                   : RunTso(configured);
+    result.states_explored += step.slot->stats.states;
+    if (GovernedStop(step.slot->stats.stop_cause)) {
+      result.complete = false;
+      result.stop_cause = step.slot->stats.stop_cause;
+      break;
+    }
+    if (step.slot->stats.truncated) {
+      truncated = true;
+      if (result.stop_cause == StopCause::kNone) {
+        result.stop_cause = step.slot->stats.stop_cause != StopCause::kNone
+                                ? step.slot->stats.stop_cause
+                                : StopCause::kStates;
+      }
+    }
+  }
+
+  // Coverage features come from whatever the baseline walks saw, truncated or
+  // not — a truncated walk's partial outcome set is still behaviour reached.
+  result.coverage.rm_outcome_digest = KeySetDigest(walks.rm_por);
+  result.coverage.sc_outcome_digest = KeySetDigest(walks.sc_por);
+  result.coverage.rm_outcomes = static_cast<uint32_t>(walks.rm_por.outcomes.size());
+  result.coverage.sc_outcomes = static_cast<uint32_t>(walks.sc_por.outcomes.size());
+  result.coverage.rm_states_log2 = Log2Bucket(walks.rm_por.stats.states);
+  result.coverage.violation_bits = ViolationBits(walks.rm_por.violations);
+  result.coverage.ample_fired = walks.rm_por.stats.states_pruned > 0 ||
+                                walks.sc_por.stats.states_pruned > 0;
+  result.coverage.stop_cause = result.stop_cause;
+  for (const auto& [key, outcome] : walks.rm_por.outcomes) {
+    (void)key;
+    for (uint8_t f : outcome.faults) {
+      result.coverage.any_fault |= f != 0;
+    }
+    for (uint8_t p : outcome.panics) {
+      result.coverage.any_panic |= p != 0;
+    }
+  }
+  {
+    const PromisingMachine probe(test.program,
+                                 Configure(test, Reduction::kPorSymmetry, nullptr).config);
+    result.coverage.symmetry_active = probe.SymmetryActive();
+  }
+
+  if (!result.complete || truncated) {
+    // Under-approximated outcome sets make every comparison vacuous.
+    if (truncated) {
+      result.complete = false;
+    }
+    return result;
+  }
+
+  auto fail = [&](OracleId oracle, std::string detail, std::string expected,
+                  std::string actual) {
+    result.failures.push_back(OracleFailure{oracle, std::move(detail),
+                                            std::move(expected), std::move(actual)});
+  };
+
+  // --- model-strength-order -------------------------------------------------
+  if (options.Enabled(OracleId::kModelStrengthOrder)) {
+    if (!OutcomesBeyond(walks.sc_por, walks.tso).empty()) {
+      fail(OracleId::kModelStrengthOrder, "SC outcome missing on TSO",
+           RenderOutcomeKeys(walks.sc_por), RenderOutcomeKeys(walks.tso));
+    }
+    if (!OutcomesBeyond(walks.sc_por, walks.rm_por).empty()) {
+      fail(OracleId::kModelStrengthOrder, "SC outcome missing on Promising-Arm",
+           RenderOutcomeKeys(walks.sc_por), RenderOutcomeKeys(walks.rm_por));
+    }
+    if (!ProgramHasDecorations(test.program) &&
+        !OutcomesBeyond(walks.tso, walks.rm_por).empty()) {
+      fail(OracleId::kModelStrengthOrder,
+           "TSO outcome missing on Promising-Arm (undecorated program)",
+           RenderOutcomeKeys(walks.tso), RenderOutcomeKeys(walks.rm_por));
+    }
+    // The debug-only seeded fault: fabricate a containment failure keyed on
+    // program content so minimization and replay both reproduce it.
+    if (options.fault == FaultInjection::kFetchAddDisagreement &&
+        ProgramHasFetchAdd(test.program)) {
+      fail(OracleId::kModelStrengthOrder,
+           "injected fault: fetch-add outcome declared missing on SC",
+           RenderOutcomeKeys(walks.rm_por),
+           RenderOutcomeKeys(walks.rm_por) + "<injected-missing>\n");
+    }
+  }
+
+  // --- reduction-invariance -------------------------------------------------
+  if (options.Enabled(OracleId::kReductionInvariance)) {
+    const struct {
+      const char* label;
+      const ExploreResult* base;
+      const ExploreResult* reduced;
+    } pairs[] = {
+        {"SC por", &walks.sc_none, &walks.sc_por},
+        {"SC por+symmetry", &walks.sc_none, &walks.sc_sym},
+        {"RM por", &walks.rm_none, &walks.rm_por},
+        {"RM por+symmetry", &walks.rm_none, &walks.rm_sym},
+    };
+    for (const auto& pair : pairs) {
+      const std::string expected = RenderOutcomeKeys(*pair.base);
+      const std::string actual = RenderOutcomeKeys(*pair.reduced);
+      if (expected != actual) {
+        fail(OracleId::kReductionInvariance,
+             std::string("outcome set changed under reduction mode ") + pair.label,
+             expected, actual);
+      }
+      const uint32_t base_bits = ViolationBits(pair.base->violations);
+      const uint32_t reduced_bits = ViolationBits(pair.reduced->violations);
+      if (base_bits != reduced_bits) {
+        fail(OracleId::kReductionInvariance,
+             std::string("violation flags changed under reduction mode ") + pair.label,
+             RenderViolationBits(base_bits), RenderViolationBits(reduced_bits));
+      }
+    }
+  }
+
+  // --- parallel-determinism -------------------------------------------------
+  if (options.Enabled(OracleId::kParallelDeterminism)) {
+    const LitmusTest configured = Configure(test, Reduction::kPor, governor);
+    const ScMachine sc_machine(configured.program, configured.config);
+    const PromisingMachine rm_machine(configured.program, configured.config);
+    for (int workers : {2, 4}) {
+      ExploreResult sc_par = ExploreParallel(sc_machine, configured.config, workers);
+      ExploreResult rm_par = ExploreParallel(rm_machine, configured.config, workers);
+      result.states_explored += sc_par.stats.states + rm_par.stats.states;
+      if (GovernedStop(sc_par.stats.stop_cause) ||
+          GovernedStop(rm_par.stats.stop_cause)) {
+        result.complete = false;
+        result.stop_cause = GovernedStop(sc_par.stats.stop_cause)
+                                ? sc_par.stats.stop_cause
+                                : rm_par.stats.stop_cause;
+        return result;
+      }
+      const std::string workers_label = std::to_string(workers) + " workers";
+      if (RenderOutcomeKeys(sc_par) != RenderOutcomeKeys(walks.sc_por)) {
+        fail(OracleId::kParallelDeterminism, "SC parallel outcome drift at " + workers_label,
+             RenderOutcomeKeys(walks.sc_por), RenderOutcomeKeys(sc_par));
+      }
+      if (RenderOutcomeKeys(rm_par) != RenderOutcomeKeys(walks.rm_por)) {
+        fail(OracleId::kParallelDeterminism, "RM parallel outcome drift at " + workers_label,
+             RenderOutcomeKeys(walks.rm_por), RenderOutcomeKeys(rm_par));
+      }
+      if (ViolationBits(sc_par.violations) != ViolationBits(walks.sc_por.violations) ||
+          ViolationBits(rm_par.violations) != ViolationBits(walks.rm_por.violations)) {
+        fail(OracleId::kParallelDeterminism,
+             "violation flags drift at " + workers_label,
+             RenderViolationBits(ViolationBits(walks.rm_por.violations)),
+             RenderViolationBits(ViolationBits(rm_par.violations)));
+      }
+    }
+  }
+
+  // --- fused-engine ---------------------------------------------------------
+  if (options.Enabled(OracleId::kFusedEngine)) {
+    KernelSpec spec;
+    spec.program = test.program;
+    spec.base_config = Configure(test, Reduction::kPor, governor).config;
+    if (options.monitor_variant == 1 || options.monitor_variant == 3) {
+      spec.kernel_pt_cells = {0};
+    }
+    if (options.monitor_variant == 2 || options.monitor_variant == 3) {
+      spec.user_cells = {static_cast<Addr>(test.program.mem_size > 2 ? 2 : 0)};
+      spec.kernel_cells = {1};
+    }
+    const KernelVerification fused = VerifyKernel(spec);
+    const WdrfReport standalone = CheckWdrf(spec);
+    result.states_explored += fused.refinement.rm.stats.states +
+                              fused.refinement.sc.stats.states +
+                              standalone.stats.states;
+    for (StopCause cause :
+         {fused.refinement.rm.stats.stop_cause, fused.refinement.sc.stats.stop_cause,
+          standalone.stats.stop_cause}) {
+      if (GovernedStop(cause)) {
+        result.complete = false;
+        result.stop_cause = cause;
+        return result;
+      }
+    }
+    const std::string expected = RenderVerdict(standalone);
+    const std::string actual = RenderVerdict(fused.wdrf);
+    if (expected != actual || fused.refinement.rm.stats.states != standalone.stats.states) {
+      fail(OracleId::kFusedEngine,
+           "fused VerifyKernel report diverges from standalone CheckWdrf",
+           expected + " / states=" + std::to_string(standalone.stats.states),
+           actual + " / states=" + std::to_string(fused.refinement.rm.stats.states));
+    }
+    // The fused refinement verdict must equal the judgement over its own
+    // walks — a drift here means VerifyKernel wired the engine passes wrong.
+    const bool recomputed =
+        OutcomesBeyond(fused.refinement.rm, fused.refinement.sc).empty();
+    if (fused.refinement.status.holds != recomputed) {
+      fail(OracleId::kFusedEngine, "fused refinement verdict inconsistent",
+           recomputed ? "holds" : "fails",
+           fused.refinement.status.holds ? "holds" : "fails");
+    }
+  }
+
+  // --- walk-containment -----------------------------------------------------
+  if (options.Enabled(OracleId::kWalkContainment)) {
+    const LitmusTest configured = Configure(test, Reduction::kPor, nullptr);
+    const PromisingMachine machine(configured.program, configured.config);
+    const uint64_t base = ProgramDigest(test.program).first;
+    for (int k = 0; k < options.walk_seeds; ++k) {
+      const uint64_t walk_seed = base ^ (0x9e3779b97f4a7c15ull * (k + 1));
+      const RandomWalkResult walk = RandomWalk(machine, walk_seed);
+      if (!walk.completed) {
+        continue;  // dead ends are legitimate (certification-pruned promises)
+      }
+      if (walks.rm_por.outcomes.count(walk.outcome.Key()) == 0) {
+        fail(OracleId::kWalkContainment,
+             "random-walk outcome outside the exhaustive RM outcome set (seed " +
+                 std::to_string(walk_seed) + ")",
+             RenderOutcomeKeys(walks.rm_por),
+             walk.outcome.ToString(test.program) + "\n");
+      }
+      const std::string rendered =
+          RenderTrace(test.program, walk.trace,
+                      TraceRenderOptions{.show_local_steps = true});
+      const size_t lines =
+          static_cast<size_t>(std::count(rendered.begin(), rendered.end(), '\n'));
+      if (lines != walk.trace.size()) {
+        fail(OracleId::kWalkContainment,
+             "trace render line count mismatch (seed " + std::to_string(walk_seed) + ")",
+             std::to_string(walk.trace.size()), std::to_string(lines));
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace fuzz
+}  // namespace vrm

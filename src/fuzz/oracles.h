@@ -1,0 +1,136 @@
+// The differential oracle battery: everything the repo claims must agree,
+// checked per generated program.
+//
+// Each oracle compares two computations whose observable results the paper's
+// argument (or this reproduction's engineering contracts) require to agree:
+//
+//   model-strength-order   SC ⊆ TSO and SC ⊆ RM always; TSO ⊆ RM additionally,
+//                          but only for programs with no acquire/release
+//                          decorations. The guard is itself a fuzzing result:
+//                          TSO treats stlr/ldar as plain accesses while
+//                          Promising-Arm orders them (RCsc), so a decorated
+//                          store-buffering program is TSO-observable but not
+//                          RM-observable — the models are incomparable there.
+//   reduction-invariance   none / por / por+symmetry produce bit-identical
+//                          outcome sets and violation flags on both machines.
+//   parallel-determinism   2- and 4-worker ExploreParallel equals the
+//                          sequential walk (outcomes + violations), SC and RM.
+//   fused-engine           VerifyKernel's combined report agrees with the
+//                          standalone CheckWdrf walk: same per-condition
+//                          verdicts, same state/transition counts.
+//   walk-containment       every completed RandomWalk outcome is a member of
+//                          the exhaustive RM outcome set, and its trace
+//                          renders (one line per recorded event).
+//
+// Verdict soundness: oracles only compare exhaustive explorations. If any walk
+// truncates (state cap, or a governed stop), the battery records the cause and
+// skips the comparisons that walk feeds — a truncated outcome set is an
+// under-approximation, so "disagreement" against it would be noise. A governed
+// stop (deadline/memory/cancel) aborts the rest of the battery.
+
+#ifndef SRC_FUZZ_ORACLES_H_
+#define SRC_FUZZ_ORACLES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/litmus/litmus.h"
+#include "src/support/governance.h"
+
+namespace vrm {
+namespace fuzz {
+
+enum class OracleId : uint8_t {
+  kModelStrengthOrder = 0,
+  kReductionInvariance,
+  kParallelDeterminism,
+  kFusedEngine,
+  kWalkContainment,
+};
+
+// "model-strength-order" | "reduction-invariance" | ... (artifact JSON names).
+const char* OracleName(OracleId id);
+
+// Parses an OracleName back; returns false on unknown names (replay of an
+// artifact from a newer format).
+bool OracleFromName(const std::string& name, OracleId* id);
+
+// One observed disagreement. `expected` and `actual` are canonical renderings
+// (sorted outcome keys, verdict fields) — replay compares them byte-for-byte.
+struct OracleFailure {
+  OracleId oracle;
+  std::string detail;    // human-oriented: which comparison, which mode/worker
+  std::string expected;  // canonical rendering of the reference computation
+  std::string actual;    // canonical rendering of the disagreeing computation
+};
+
+// Debug-only fault injection, used by tests and `vrm_fuzz --selftest` to prove
+// the catch → minimize → replay pipeline end to end. kFetchAddDisagreement
+// fabricates a model-strength failure on any program containing a fetch-add —
+// content-keyed, so the fault survives minimization down to a single
+// instruction and reproduces bit-identically on replay.
+enum class FaultInjection : uint8_t {
+  kNone = 0,
+  kFetchAddDisagreement,
+};
+
+const char* FaultInjectionName(FaultInjection fault);
+bool FaultInjectionFromName(const std::string& name, FaultInjection* fault);
+
+struct OracleOptions {
+  // Bitmask over OracleId (1 << id). Default: every oracle.
+  uint32_t mask = 0xffffffffu;
+  // RandomWalk seeds checked for containment per program.
+  int walk_seeds = 3;
+  // How the fused-engine oracle arms the KernelSpec monitors: 0 = none,
+  // 1 = kernel-PT write-once on cell 0, 2 = isolation (user cell 2 / kernel
+  // cell 1), 3 = both. Persisted in artifacts so replay arms identically.
+  int monitor_variant = 0;
+  FaultInjection fault = FaultInjection::kNone;
+  // Shared governor for every exploration the battery runs (may be null).
+  RunGovernor* governor = nullptr;
+
+  bool Enabled(OracleId id) const {
+    return (mask & (1u << static_cast<uint32_t>(id))) != 0;
+  }
+};
+
+// Coverage features extracted from the battery's baseline walks, mixed into
+// one signature by the fuzzer's coverage map (src/fuzz/fuzzer.h).
+struct CoverageFeatures {
+  uint64_t rm_outcome_digest = 0;  // digest of the sorted RM outcome key set
+  uint64_t sc_outcome_digest = 0;
+  uint32_t rm_outcomes = 0;
+  uint32_t sc_outcomes = 0;
+  uint32_t rm_states_log2 = 0;  // bucketized states_expanded
+  uint32_t violation_bits = 0;  // drf/barrier/write_once/tlbi/isolation
+  bool ample_fired = false;     // states_pruned > 0 on the reduced walk
+  bool symmetry_active = false;
+  bool any_fault = false;  // some outcome carries a page fault
+  bool any_panic = false;
+  StopCause stop_cause = StopCause::kNone;
+};
+
+struct BatteryResult {
+  // False when a governed stop (or a truncated walk) cut the battery short;
+  // comparisons were then skipped, not failed.
+  bool complete = true;
+  StopCause stop_cause = StopCause::kNone;
+  std::vector<OracleFailure> failures;
+  CoverageFeatures coverage;
+  uint64_t states_explored = 0;  // total across every walk the battery ran
+};
+
+// Runs every enabled oracle on `test`. The program must carry its observation
+// spec (the swarm generator's output always does).
+BatteryResult RunOracleBattery(const LitmusTest& test, const OracleOptions& options);
+
+// Canonical rendering of an outcome set: sorted keys, one per line — the
+// byte-comparable form used in failures and artifacts.
+std::string RenderOutcomeKeys(const ExploreResult& result);
+
+}  // namespace fuzz
+}  // namespace vrm
+
+#endif  // SRC_FUZZ_ORACLES_H_

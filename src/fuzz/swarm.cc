@@ -1,0 +1,316 @@
+#include "src/fuzz/swarm.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/arch/builder.h"
+#include "src/support/check.h"
+
+namespace vrm {
+namespace fuzz {
+namespace {
+
+// Instruction-unit categories, in cumulative-weight order.
+enum Category {
+  kCatMov = 0,
+  kCatArith,
+  kCatLoad,
+  kCatStore,
+  kCatFetchAdd,
+  kCatExclusive,
+  kCatBarrier,
+  kCatTranslated,
+  kNumCategories,
+};
+
+Category PickCategory(const SwarmConfig& swarm, Rng* rng) {
+  const double weights[kNumCategories] = {
+      swarm.w_mov,      swarm.w_arith,     swarm.w_load,    swarm.w_store,
+      swarm.w_fetchadd, swarm.w_exclusive, swarm.w_barrier, swarm.w_translated,
+  };
+  double total = 0;
+  for (double w : weights) {
+    total += std::max(0.0, w);
+  }
+  VRM_CHECK_MSG(total > 0, "swarm config has no positive feature weight");
+  double point = rng->NextDouble() * total;
+  for (int c = 0; c < kNumCategories; ++c) {
+    point -= std::max(0.0, weights[c]);
+    if (point < 0) {
+      return static_cast<Category>(c);
+    }
+  }
+  return kCatBarrier;  // floating-point edge: the draw landed exactly on total
+}
+
+void EmitBarrier(ThreadBuilder& t, const SwarmConfig& swarm, Rng* rng) {
+  if (rng->Chance(swarm.p_dsb)) {
+    t.Dsb();
+    return;
+  }
+  if (rng->Chance(swarm.p_dmb_sy)) {
+    t.Dmb(BarrierKind::kSy);
+  } else {
+    t.Dmb(rng->Chance(swarm.p_dmb_ld) ? BarrierKind::kLd : BarrierKind::kSt);
+  }
+}
+
+// One instruction unit. Exclusive pairs are emitted adjacently — the pair is
+// also the minimizer's atomic removal unit (src/fuzz/minimize.h), so shrinking
+// never orphans a monitor arm.
+void EmitUnit(ThreadBuilder& t, const SwarmConfig& swarm, Rng* rng,
+              int translated_vas) {
+  const Reg rd = static_cast<Reg>(rng->Below(4));
+  const Reg rs = static_cast<Reg>(rng->Below(4));
+  const Addr addr = static_cast<Addr>(rng->Below(static_cast<uint64_t>(swarm.cells)));
+  switch (PickCategory(swarm, rng)) {
+    case kCatMov:
+      t.MovImm(rd, rng->Below(4));
+      break;
+    case kCatArith:
+      t.Add(rd, rs, static_cast<Reg>(rng->Below(4)));
+      break;
+    case kCatLoad:
+      t.LoadAddr(rd, addr,
+                 rng->Chance(swarm.p_acquire) ? MemOrder::kAcquire : MemOrder::kPlain);
+      break;
+    case kCatStore:
+      t.StoreAddr(addr, rs,
+                  rng->Chance(swarm.p_release) ? MemOrder::kRelease : MemOrder::kPlain);
+      break;
+    case kCatFetchAdd:
+      t.FetchAddAddr(rd, addr, 1 + static_cast<int64_t>(rng->Below(2)),
+                     rng->Chance(swarm.p_acqrel) ? MemOrder::kAcqRel : MemOrder::kPlain);
+      break;
+    case kCatExclusive: {
+      // ldxr rd, [addr]; stxr status, value, [addr] — status lands in rd's
+      // neighbour so the outcome observes both the loaded value and success.
+      // The builder requires status, value, and rd pairwise distinct from each
+      // other where they collide architecturally; dodge the clash by bumping
+      // the value register off the status slot.
+      const Reg status = static_cast<Reg>((rd + 1) % 4);
+      const Reg value = rs == status ? static_cast<Reg>((status + 1) % 4) : rs;
+      t.LoadExAddr(rd, addr,
+                   rng->Chance(swarm.p_acquire) ? MemOrder::kAcquire : MemOrder::kPlain);
+      t.StoreExAddr(status, addr, value,
+                    rng->Chance(swarm.p_release) ? MemOrder::kRelease : MemOrder::kPlain);
+      break;
+    }
+    case kCatBarrier:
+      EmitBarrier(t, swarm, rng);
+      break;
+    case kCatTranslated: {
+      const VirtAddr va = static_cast<VirtAddr>(rng->Below(translated_vas));
+      if (rng->Chance(0.5)) {
+        t.LoadVa(rd, va);
+      } else {
+        t.StoreVa(va, rs);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+LitmusTest GenerateProgram(uint64_t seed, const SwarmConfig& swarm) {
+  VRM_CHECK_MSG(swarm.min_threads >= 1 && swarm.max_threads >= swarm.min_threads,
+                "swarm thread range");
+  VRM_CHECK_MSG(swarm.min_len >= 1 && swarm.max_len >= swarm.min_len,
+                "swarm len range");
+  VRM_CHECK_MSG(swarm.cells >= 1, "swarm cells");
+  Rng rng(seed);
+  ProgramBuilder pb("swarm-" + swarm.name + "-" + std::to_string(seed));
+
+  // MMU geometry: one-level table directly above the data cells. vpage v maps
+  // to physical page v while the page fits inside the data cells; the
+  // remaining table entries stay EMPTY so translated accesses can fault.
+  const bool mmu = swarm.w_translated > 0;
+  int translated_vas = 1;
+  if (mmu) {
+    MmuConfig geometry;
+    geometry.enabled = true;
+    geometry.levels = 1;
+    geometry.table_entries = 4;
+    geometry.page_size = 2;
+    geometry.root = static_cast<Addr>(swarm.cells);
+    pb.MemSize(static_cast<Addr>(swarm.cells + geometry.table_entries));
+    pb.Mmu(geometry);
+    const int mapped_pages =
+        std::min(geometry.table_entries, swarm.cells / geometry.page_size);
+    for (int v = 0; v < mapped_pages; ++v) {
+      pb.MapPage(static_cast<VirtAddr>(v), static_cast<Addr>(v));
+    }
+    translated_vas = geometry.table_entries * geometry.page_size;
+  } else {
+    pb.MemSize(static_cast<Addr>(swarm.cells));
+  }
+
+  const int threads =
+      swarm.min_threads +
+      static_cast<int>(rng.Below(swarm.max_threads - swarm.min_threads + 1));
+  for (int thread = 0; thread < threads; ++thread) {
+    // Translated accesses only fire through the MMU on user threads, so an
+    // MMU-enabled swarm makes every thread a user thread.
+    auto& t = pb.NewThread(/*user=*/mmu);
+    const int len = swarm.min_len +
+                    static_cast<int>(rng.Below(swarm.max_len - swarm.min_len + 1));
+    for (int i = 0; i < len; ++i) {
+      EmitUnit(t, swarm, &rng, translated_vas);
+    }
+  }
+
+  // Full observability: any divergence between two explorations of this
+  // program that is architecturally visible shows up in the outcome set.
+  for (ThreadId tid = 0; tid < static_cast<ThreadId>(threads); ++tid) {
+    for (Reg reg = 0; reg < 4; ++reg) {
+      pb.ObserveReg(tid, reg);
+    }
+  }
+  for (Addr a = 0; a < static_cast<Addr>(swarm.cells); ++a) {
+    pb.ObserveLoc(a);
+  }
+
+  LitmusTest test{pb.Build(), {}, "swarm program (" + swarm.name + ")"};
+  test.config.max_states = swarm.max_states;
+  test.config.max_messages = swarm.max_messages;
+  return test;
+}
+
+std::vector<SwarmConfig> DefaultSwarmPopulation() {
+  std::vector<SwarmConfig> population;
+
+  SwarmConfig relaxed;
+  relaxed.name = "relaxed";
+  relaxed.w_barrier = 0.2;
+  relaxed.p_acquire = 0.1;
+  relaxed.p_release = 0.1;
+  population.push_back(relaxed);
+
+  SwarmConfig barriers;
+  barriers.name = "barriers";
+  barriers.w_barrier = 3.0;
+  barriers.p_dsb = 0.2;
+  population.push_back(barriers);
+
+  SwarmConfig acqrel;
+  acqrel.name = "acqrel";
+  acqrel.p_acquire = 0.8;
+  acqrel.p_release = 0.8;
+  acqrel.p_acqrel = 0.9;
+  population.push_back(acqrel);
+
+  SwarmConfig exclusives;
+  exclusives.name = "exclusives";
+  exclusives.w_exclusive = 3.0;
+  exclusives.w_fetchadd = 2.0;
+  exclusives.w_load = 1.0;
+  exclusives.w_store = 1.0;
+  population.push_back(exclusives);
+
+  SwarmConfig translated;
+  translated.name = "translated";
+  translated.w_translated = 2.0;
+  translated.w_store = 1.0;
+  translated.max_states = 400000;
+  population.push_back(translated);
+
+  SwarmConfig wide;
+  wide.name = "wide";
+  wide.min_threads = 3;
+  wide.max_threads = 4;
+  wide.min_len = 2;
+  wide.max_len = 3;
+  population.push_back(wide);
+
+  SwarmConfig deep;
+  deep.name = "deep";
+  deep.min_threads = 2;
+  deep.max_threads = 2;
+  deep.min_len = 5;
+  deep.max_len = 7;
+  population.push_back(deep);
+
+  population.push_back(LegacySwarm());
+  return population;
+}
+
+SwarmConfig LegacySwarm() {
+  SwarmConfig legacy;
+  legacy.name = "legacy";
+  legacy.min_threads = 2;
+  legacy.max_threads = 3;
+  legacy.min_len = 2;
+  legacy.max_len = 4;
+  legacy.w_mov = 1.0;
+  legacy.w_arith = 1.0;
+  legacy.w_load = 2.0;
+  legacy.w_store = 2.0;
+  legacy.w_fetchadd = 1.0;
+  legacy.w_exclusive = 0.0;
+  legacy.w_barrier = 1.0;
+  legacy.w_translated = 0.0;
+  return legacy;
+}
+
+SwarmConfig MutateSwarm(const SwarmConfig& base, Rng* rng, int generation) {
+  SwarmConfig mutant = base;
+  mutant.name = base.name + "+g" + std::to_string(generation);
+  auto jitter = [&](double* w, double ceiling) {
+    if (rng->Chance(0.15)) {
+      *w = 0;  // drop the feature: swarm testing's core move
+    } else if (rng->Chance(0.15)) {
+      *w = ceiling * rng->NextDouble();  // revive / rescale
+    } else {
+      *w = std::min(ceiling, std::max(0.0, *w * (0.5 + rng->NextDouble())));
+    }
+  };
+  jitter(&mutant.w_mov, 3.0);
+  jitter(&mutant.w_arith, 3.0);
+  jitter(&mutant.w_load, 4.0);
+  jitter(&mutant.w_store, 4.0);
+  jitter(&mutant.w_fetchadd, 3.0);
+  jitter(&mutant.w_exclusive, 3.0);
+  jitter(&mutant.w_barrier, 3.0);
+  jitter(&mutant.w_translated, 2.0);
+  auto clamp01 = [&](double* p) {
+    *p = std::min(1.0, std::max(0.0, *p + (rng->NextDouble() - 0.5) * 0.4));
+  };
+  clamp01(&mutant.p_acquire);
+  clamp01(&mutant.p_release);
+  clamp01(&mutant.p_acqrel);
+  clamp01(&mutant.p_dmb_sy);
+  clamp01(&mutant.p_dmb_ld);
+  clamp01(&mutant.p_dsb);
+  // Shape mutations stay small: litmus-scale programs are where exhaustive
+  // oracles remain affordable.
+  if (rng->Chance(0.2)) {
+    mutant.max_threads = 2 + static_cast<int>(rng->Below(3));
+    mutant.min_threads = std::min(mutant.min_threads, mutant.max_threads);
+  }
+  if (rng->Chance(0.2)) {
+    mutant.max_len = 3 + static_cast<int>(rng->Below(4));
+    mutant.min_len = std::min(mutant.min_len, mutant.max_len);
+  }
+  // A mutant must keep at least one memory-touching feature, or every program
+  // degenerates to register noise.
+  if (mutant.w_load + mutant.w_store + mutant.w_fetchadd + mutant.w_exclusive +
+          mutant.w_translated <=
+      0) {
+    mutant.w_load = 1.0;
+    mutant.w_store = 1.0;
+  }
+  if (mutant.w_mov + mutant.w_arith + mutant.w_load + mutant.w_store +
+          mutant.w_fetchadd + mutant.w_exclusive + mutant.w_barrier +
+          mutant.w_translated <=
+      0) {
+    mutant = base;
+    mutant.name = base.name + "+g" + std::to_string(generation);
+  }
+  return mutant;
+}
+
+}  // namespace fuzz
+}  // namespace vrm

@@ -1,0 +1,95 @@
+// Swarm-configured random program generation for the differential fuzzer.
+//
+// Swarm testing (Groce et al., ISSTA'12): instead of one fixed feature mix, the
+// fuzzer maintains a population of configurations, each enabling/weighting a
+// different subset of TinyArm features — barriers, acquire/release decorations,
+// exclusives, fetch-add, MMU-translated accesses, thread counts. Feature-poor
+// configs reach behaviours that feature-rich ones drown out (a program with no
+// barriers explores far more relaxed executions per instruction), and the
+// coverage feedback in src/fuzz/fuzzer.h biases selection toward configs that
+// keep finding new behaviour.
+//
+// Generation is deterministic: (seed, SwarmConfig) always yields the same
+// program, which is what makes minimized-failure artifacts replayable. The
+// legacy fixed-mix corpus (src/testing/random_program.h) remains untouched;
+// LegacySwarm() reproduces its instruction mix through the knobs.
+
+#ifndef SRC_FUZZ_SWARM_H_
+#define SRC_FUZZ_SWARM_H_
+
+#include <string>
+#include <vector>
+
+#include "src/litmus/litmus.h"
+#include "src/support/rng.h"
+
+namespace vrm {
+namespace fuzz {
+
+// Feature-mix knobs. Weights are relative (>= 0, not all zero); probabilities
+// are in [0, 1]. Every field round-trips through the artifact JSON
+// (src/fuzz/artifact.h) so a failure's generator configuration is replayable.
+struct SwarmConfig {
+  std::string name = "baseline";
+
+  // Program shape.
+  int min_threads = 2;
+  int max_threads = 3;
+  int min_len = 2;    // instruction units per thread (an exclusive pair is one
+  int max_len = 4;    // unit of two instructions)
+  int cells = 3;      // shared data cells [0, cells)
+
+  // Instruction-mix weights.
+  double w_mov = 1.0;
+  double w_arith = 1.0;
+  double w_load = 2.0;
+  double w_store = 2.0;
+  double w_fetchadd = 1.0;
+  double w_exclusive = 0.0;   // ldxr/stxr pair to one cell
+  double w_barrier = 1.0;
+  double w_translated = 0.0;  // kLoadV/kStoreV through the MMU (see below)
+
+  // Decoration probabilities.
+  double p_acquire = 0.3;  // loads (ldar) and the ldaxr half of exclusives
+  double p_release = 0.3;  // stores (stlr) and the stlxr half of exclusives
+  double p_acqrel = 0.5;   // fetch-add strength
+
+  // Barrier flavour split: DSB with p_dsb, otherwise DMB; a DMB is SY with
+  // p_dmb_sy, else LD with p_dmb_ld (ST for the remainder).
+  double p_dmb_sy = 0.5;
+  double p_dmb_ld = 0.5;
+  double p_dsb = 0.0;
+
+  // Exploration bounds stamped into the generated LitmusTest's ModelConfig.
+  uint64_t max_states = 200000;
+  int max_messages = 40;
+};
+
+// Generates the (seed, swarm)-deterministic program, fully observed: every
+// data register of every thread plus every data cell, so any architecturally
+// visible divergence between two explorations changes the outcome set. When
+// w_translated > 0 the program gets a one-level page table above the data
+// cells (vpage v -> physical page v for the pages that fit; higher vpages
+// fault), so translated accesses alias the plain-access cells.
+LitmusTest GenerateProgram(uint64_t seed, const SwarmConfig& swarm);
+
+// The seed population: a diverse hand-picked set — plain/relaxed, barrier-
+// heavy, acquire/release, exclusive-heavy, fetchadd contention, translated
+// accesses, wide (4 threads), and long (6-8 units) — that the fuzzer's
+// coverage feedback then mutates and reweights.
+std::vector<SwarmConfig> DefaultSwarmPopulation();
+
+// The legacy fixed corpus mix expressed through the knobs (2-3 threads, 2-4
+// instructions, loads/stores at weight 2, no exclusives/MMU).
+SwarmConfig LegacySwarm();
+
+// Returns a jittered copy of `base`: each weight/probability is nudged by a
+// bounded random factor and occasionally zeroed or revived, which is how the
+// swarm explores configuration space around its best performers. Deterministic
+// in `rng`.
+SwarmConfig MutateSwarm(const SwarmConfig& base, Rng* rng, int generation);
+
+}  // namespace fuzz
+}  // namespace vrm
+
+#endif  // SRC_FUZZ_SWARM_H_

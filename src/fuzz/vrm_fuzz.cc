@@ -1,0 +1,236 @@
+// vrm_fuzz — the coverage-guided differential fuzzing CLI.
+//
+// Modes:
+//   (default)       run a fuzz campaign:
+//                     vrm_fuzz --programs 10000 --seed 1 --deadline 600
+//   --replay FILE   re-execute a failure artifact and verify it reproduces
+//                   bit-identically (exit 0) or report the divergence (exit 1)
+//   --selftest      prove the catch -> minimize -> replay pipeline end to end
+//                   with the debug fault injection: a seeded disagreement must
+//                   be caught, minimized to a handful of instructions, round-
+//                   tripped through artifact JSON, and replayed byte-for-byte.
+//
+// Campaign exit status: 0 clean, 1 oracle disagreement(s) found, 2 usage or
+// replay-parse error. The campaign always prints machine-readable summary
+// lines (FuzzReport::ToJsonLines) including the stop cause, so CI can tell a
+// clean run from one whose budget expired.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/fuzz/artifact.h"
+#include "src/fuzz/fuzzer.h"
+
+namespace vrm {
+namespace fuzz {
+namespace {
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: vrm_fuzz [--programs N] [--seed N] [--deadline SECONDS]\n"
+               "                [--memory-mb N] [--walk-seeds N] [--max-failures N]\n"
+               "                [--oracles name,name,...] [--monitor-variant N]\n"
+               "                [--artifact-dir DIR] [--fault none|fetchadd]\n"
+               "                [--json BENCH] [--quiet]\n"
+               "       vrm_fuzz --replay ARTIFACT.json\n"
+               "       vrm_fuzz --selftest\n"
+               "oracle names: model-strength-order reduction-invariance\n"
+               "              parallel-determinism fused-engine walk-containment\n");
+}
+
+void Progress(const std::string& line) { std::printf("%s\n", line.c_str()); }
+
+bool ParseOracleMask(const std::string& csv, uint32_t* mask) {
+  *mask = 0;
+  std::stringstream stream(csv);
+  std::string name;
+  while (std::getline(stream, name, ',')) {
+    OracleId id;
+    if (!OracleFromName(name, &id)) {
+      std::fprintf(stderr, "vrm_fuzz: unknown oracle '%s'\n", name.c_str());
+      return false;
+    }
+    *mask |= 1u << static_cast<uint32_t>(id);
+  }
+  return *mask != 0;
+}
+
+int WriteArtifacts(const FuzzReport& report, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best-effort; ofstream reports
+  for (const FailureArtifact& artifact : report.artifacts) {
+    const std::string path = dir + "/fuzz-" + OracleName(artifact.failure.oracle) +
+                             "-" + std::to_string(artifact.seed) + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "vrm_fuzz: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    out << RenderArtifact(artifact);
+    std::printf("artifact written: %s\n", path.c_str());
+  }
+  return 0;
+}
+
+int RunReplay(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "vrm_fuzz: cannot read %s\n", path);
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  FailureArtifact artifact;
+  std::string error;
+  if (!ParseArtifact(buffer.str(), &artifact, &error)) {
+    std::fprintf(stderr, "vrm_fuzz: %s: %s\n", path, error.c_str());
+    return 2;
+  }
+  std::string detail;
+  const bool ok = ReplayArtifact(artifact, &detail);
+  std::printf("replay %s: %s\n", ok ? "OK" : "FAILED", detail.c_str());
+  return ok ? 0 : 1;
+}
+
+int RunSelftest() {
+  // A seeded fault on fetch-add programs: the campaign must catch it, minimize
+  // it to a handful of instructions, and the artifact must replay
+  // byte-for-byte after a JSON round-trip.
+  FuzzOptions options;
+  options.master_seed = 7;
+  options.programs = 200;
+  options.fault = FaultInjection::kFetchAddDisagreement;
+  options.max_failures = 1;
+  const FuzzReport report = RunFuzz(options, Progress);
+  std::printf("%s", report.Summary().c_str());
+  if (report.artifacts.empty()) {
+    std::fprintf(stderr, "selftest: seeded fault was NOT caught\n");
+    return 1;
+  }
+  const FailureArtifact& artifact = report.artifacts.front();
+  if (artifact.final_insts > 8) {
+    std::fprintf(stderr, "selftest: minimized to %d instructions, want <= 8\n",
+                 artifact.final_insts);
+    return 1;
+  }
+  const std::string rendered = RenderArtifact(artifact);
+  FailureArtifact parsed;
+  std::string error;
+  if (!ParseArtifact(rendered, &parsed, &error)) {
+    std::fprintf(stderr, "selftest: artifact does not round-trip: %s\n",
+                 error.c_str());
+    return 1;
+  }
+  std::string detail;
+  if (!ReplayArtifact(parsed, &detail)) {
+    std::fprintf(stderr, "selftest: replay diverged: %s\n", detail.c_str());
+    return 1;
+  }
+  std::printf(
+      "selftest OK: fault caught, minimized %d -> %d insts, replay %s\n",
+      artifact.initial_insts, artifact.final_insts, detail.c_str());
+  return 0;
+}
+
+int Main(int argc, char** argv) {
+  FuzzOptions options;
+  std::string artifact_dir;
+  std::string json_bench;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "vrm_fuzz: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--replay") {
+      const char* path = next();
+      return path ? RunReplay(path) : 2;
+    } else if (arg == "--selftest") {
+      return RunSelftest();
+    } else if (arg == "--programs") {
+      const char* v = next();
+      if (!v) return 2;
+      options.programs = std::atoi(v);
+    } else if (arg == "--seed") {
+      const char* v = next();
+      if (!v) return 2;
+      options.master_seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--deadline") {
+      const char* v = next();
+      if (!v) return 2;
+      options.governance.budget.deadline_seconds = std::atof(v);
+    } else if (arg == "--memory-mb") {
+      const char* v = next();
+      if (!v) return 2;
+      options.governance.budget.soft_memory_bytes =
+          std::strtoull(v, nullptr, 10) * 1024 * 1024;
+    } else if (arg == "--walk-seeds") {
+      const char* v = next();
+      if (!v) return 2;
+      options.walk_seeds = std::atoi(v);
+    } else if (arg == "--max-failures") {
+      const char* v = next();
+      if (!v) return 2;
+      options.max_failures = std::atoi(v);
+    } else if (arg == "--monitor-variant") {
+      const char* v = next();
+      if (!v) return 2;
+      options.fixed_monitor_variant = std::atoi(v);
+    } else if (arg == "--oracles") {
+      const char* v = next();
+      if (!v || !ParseOracleMask(v, &options.oracle_mask)) return 2;
+    } else if (arg == "--fault") {
+      const char* v = next();
+      if (!v || !FaultInjectionFromName(v, &options.fault)) {
+        std::fprintf(stderr, "vrm_fuzz: unknown fault '%s'\n", v ? v : "");
+        return 2;
+      }
+    } else if (arg == "--artifact-dir") {
+      const char* v = next();
+      if (!v) return 2;
+      artifact_dir = v;
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (!v) return 2;
+      json_bench = v;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "vrm_fuzz: unknown argument '%s'\n", arg.c_str());
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  const FuzzReport report = RunFuzz(options, quiet ? nullptr : Progress);
+  std::printf("%s", report.Summary().c_str());
+  if (!json_bench.empty()) {
+    std::printf("%s", report.ToJsonLines(json_bench).c_str());
+  }
+  if (!artifact_dir.empty()) {
+    const int status = WriteArtifacts(report, artifact_dir);
+    if (status != 0) {
+      return status;
+    }
+  }
+  return report.Clean() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace vrm
+
+int main(int argc, char** argv) { return vrm::fuzz::Main(argc, argv); }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <limits>
 #include <utility>
 
@@ -38,6 +39,51 @@ std::string BatchResult::Summary() const {
            std::to_string(e.rm.outcomes.size()) + " RM / " +
            std::to_string(e.sc.outcomes.size()) + " SC outcomes)" + bound + "\n";
   }
+  return out;
+}
+
+StopCause BatchResult::stop_cause() const {
+  StopCause states = StopCause::kNone;
+  for (const BatchEntry& e : entries) {
+    const StopCause cause = e.stop_cause();
+    if (cause == StopCause::kDeadline || cause == StopCause::kMemory ||
+        cause == StopCause::kCancelled) {
+      return cause;  // governed causes dominate: they explain skipped entries
+    }
+    if (cause == StopCause::kStates) {
+      states = cause;
+    }
+  }
+  return states;
+}
+
+std::string BatchResult::ToJsonLines(const std::string& bench) const {
+  auto line = [](const std::string& b, const std::string& metric, double value) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"bench\": \"%s\", \"metric\": \"%s\", \"value\": %.17g}\n",
+                  b.c_str(), metric.c_str(), value);
+    return std::string(buf);
+  };
+  std::string out;
+  size_t refines = 0, truncated = 0;
+  for (const BatchEntry& e : entries) {
+    const std::string name = bench + "/" + e.test.program.name;
+    out += line(name, "refines", e.status.holds ? 1 : 0);
+    out += line(name, "truncated", e.status.truncated ? 1 : 0);
+    out += line(name, "rm_outcomes", static_cast<double>(e.rm.outcomes.size()));
+    out += line(name, "sc_outcomes", static_cast<double>(e.sc.outcomes.size()));
+    // Numeric StopCause (0 none, 1 states, 2 deadline, 3 memory, 4 cancelled),
+    // emitted for every entry so governed skips are visible per test.
+    out += line(name, "stop_cause",
+                static_cast<double>(static_cast<int>(e.stop_cause())));
+    refines += e.status.holds ? 1 : 0;
+    truncated += e.status.truncated ? 1 : 0;
+  }
+  out += line(bench, "tests", static_cast<double>(entries.size()));
+  out += line(bench, "refines", static_cast<double>(refines));
+  out += line(bench, "truncated", static_cast<double>(truncated));
+  out += line(bench, "stop_cause", static_cast<double>(static_cast<int>(stop_cause())));
   return out;
 }
 

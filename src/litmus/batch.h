@@ -47,6 +47,19 @@ struct BatchResult {
   // Counts of refining / non-refining / truncated entries, rendered per test
   // (truncated entries carry their stop cause, e.g. "[bounded: deadline]").
   std::string Summary() const;
+
+  // Why the batch stopped: the first governed cause (deadline/memory/
+  // cancelled) any entry latched, else kStates if any entry hit its state
+  // cap, else kNone. This is what ToJsonLines reports as the run-level cause.
+  StopCause stop_cause() const;
+
+  // bench_json-shaped lines ({"bench", "metric", "value"}): per-entry verdict,
+  // outcome counts, and stop cause, plus run-level totals. The run-level
+  // `stop_cause` line is ALWAYS emitted — including 0 (none) — so a consumer
+  // of a governed batch can distinguish "all tests explored" from "budget
+  // expired partway" without inferring it from missing entries. `bench` names
+  // the run; entries are reported as "<bench>/<program name>".
+  std::string ToJsonLines(const std::string& bench) const;
 };
 
 // Options for a governed batch run. `num_threads` counts test-level workers

@@ -1,0 +1,100 @@
+// Random TinyArm program corpus — the reusable generator library.
+//
+// Promoted from tests/model/random_program_corpus.h so that the differential
+// test suites and the fuzzing subsystem (src/fuzz/) draw programs from one
+// implementation. The legacy corpus::RandomProgram(seed, threads) emission is
+// kept bit-identical to the original header: both digest-differential and
+// fused-engine suites rely on a given (seed, threads) pair always producing
+// the same program, and tests/fuzz/corpus_golden_test.cc pins the emitted
+// programs by digest so any accidental drift fails loudly.
+//
+// The generator emits a terminating instruction subset — no branches, literal
+// addresses over a small cell range, plus the barrier/acquire/release/
+// exclusive mix that exercises every serialized field of the Promising
+// machine. The swarm-configurable generalization (feature-mix knobs, MMU
+// setup, exclusives) lives in src/fuzz/swarm.h and builds on the same
+// primitives.
+
+#ifndef SRC_TESTING_RANDOM_PROGRAM_H_
+#define SRC_TESTING_RANDOM_PROGRAM_H_
+
+#include <string>
+
+#include "src/arch/builder.h"
+#include "src/litmus/litmus.h"
+#include "src/support/hash.h"
+#include "src/support/rng.h"
+
+namespace vrm {
+namespace corpus {
+
+constexpr Addr kCells = 3;
+
+inline void EmitRandomInst(ThreadBuilder& t, Rng& rng) {
+  const Reg rd = static_cast<Reg>(rng.Below(4));
+  const Reg rs = static_cast<Reg>(rng.Below(4));
+  const Addr addr = static_cast<Addr>(rng.Below(kCells));
+  switch (rng.Below(8)) {
+    case 0:
+      t.MovImm(rd, rng.Below(4));
+      break;
+    case 1:
+      t.Add(rd, rs, static_cast<Reg>(rng.Below(4)));
+      break;
+    case 2:
+    case 3:
+      t.LoadAddr(rd, addr,
+                 rng.Chance(0.3) ? MemOrder::kAcquire : MemOrder::kPlain);
+      break;
+    case 4:
+    case 5: {
+      const Reg value = static_cast<Reg>(rng.Below(4));
+      t.StoreAddr(addr, value,
+                  rng.Chance(0.3) ? MemOrder::kRelease : MemOrder::kPlain);
+      break;
+    }
+    case 6:
+      t.FetchAddAddr(rd, addr, 1 + static_cast<int64_t>(rng.Below(2)),
+                     rng.Chance(0.5) ? MemOrder::kAcqRel : MemOrder::kPlain);
+      break;
+    default:
+      t.Dmb(rng.Chance(0.5) ? BarrierKind::kSy
+                            : (rng.Chance(0.5) ? BarrierKind::kLd : BarrierKind::kSt));
+      break;
+  }
+}
+
+inline LitmusTest RandomProgram(uint64_t seed, int threads) {
+  Rng rng(seed);
+  ProgramBuilder pb("corpus-" + std::to_string(seed));
+  pb.MemSize(kCells);
+  for (int thread = 0; thread < threads; ++thread) {
+    auto& t = pb.NewThread();
+    const int len = 2 + static_cast<int>(rng.Below(3));
+    for (int i = 0; i < len; ++i) {
+      EmitRandomInst(t, rng);
+    }
+  }
+  LitmusTest test{pb.Build(), {}, "random corpus program"};
+  test.config.max_messages = 40;
+  test.config.max_states = 20000;
+  return test;
+}
+
+}  // namespace corpus
+
+// 128-bit digest over every generator-visible field of a Program: memory
+// geometry, initial values, per-thread code (all instruction fields), MMU
+// configuration, and the observation spec. Two programs with equal digests are
+// byte-for-byte identical as far as the machines are concerned, so the golden
+// corpus test and the fuzz artifacts' bit-identical-replay check both key on
+// this.
+Digest128 ProgramDigest(const Program& program);
+
+// Lower-case hex rendering "xxxxxxxxxxxxxxxx:yyyyyyyyyyyyyyyy" of a digest,
+// used by golden pins and artifact JSON.
+std::string DigestHex(Digest128 digest);
+
+}  // namespace vrm
+
+#endif  // SRC_TESTING_RANDOM_PROGRAM_H_

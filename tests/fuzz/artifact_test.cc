@@ -1,0 +1,109 @@
+// Artifact JSON round-trip and deterministic replay.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/fuzz/artifact.h"
+#include "src/fuzz/fuzzer.h"
+#include "src/support/check.h"
+#include "src/testing/random_program.h"
+
+namespace vrm {
+namespace fuzz {
+namespace {
+
+// One minimized failure from the seeded fault, shared across tests (building
+// it runs a small campaign plus minimization, so do it once).
+const FailureArtifact& SampleArtifact() {
+  static const FailureArtifact* artifact = [] {
+    FuzzOptions options;
+    options.master_seed = 7;
+    options.programs = 200;
+    options.fault = FaultInjection::kFetchAddDisagreement;
+    options.max_failures = 1;
+    FuzzReport report = RunFuzz(options);
+    VRM_CHECK_MSG(!report.artifacts.empty(), "seeded fault not caught");
+    return new FailureArtifact(report.artifacts.front());
+  }();
+  return *artifact;
+}
+
+TEST(Artifact, RoundTripsThroughJson) {
+  const FailureArtifact& original = SampleArtifact();
+  const std::string rendered = RenderArtifact(original);
+  FailureArtifact parsed;
+  std::string error;
+  ASSERT_TRUE(ParseArtifact(rendered, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.seed, original.seed);
+  EXPECT_EQ(parsed.swarm.name, original.swarm.name);
+  EXPECT_EQ(parsed.swarm.max_states, original.swarm.max_states);
+  EXPECT_EQ(parsed.oracle_mask, original.oracle_mask);
+  EXPECT_EQ(parsed.monitor_variant, original.monitor_variant);
+  EXPECT_EQ(parsed.fault, original.fault);
+  EXPECT_EQ(parsed.stop_cause, original.stop_cause);
+  EXPECT_EQ(parsed.failure.oracle, original.failure.oracle);
+  EXPECT_EQ(parsed.failure.detail, original.failure.detail);
+  EXPECT_EQ(parsed.failure.expected, original.failure.expected);
+  EXPECT_EQ(parsed.failure.actual, original.failure.actual);
+  EXPECT_EQ(parsed.minimized_digest, original.minimized_digest);
+  EXPECT_EQ(ProgramDigest(parsed.minimized.program),
+            ProgramDigest(original.minimized.program));
+  // Render -> parse -> render is a fixpoint: the byte form is canonical.
+  EXPECT_EQ(RenderArtifact(parsed), rendered);
+}
+
+TEST(Artifact, ReplayReproducesBitIdentically) {
+  const FailureArtifact& original = SampleArtifact();
+  const std::string rendered = RenderArtifact(original);
+  FailureArtifact parsed;
+  std::string error;
+  ASSERT_TRUE(ParseArtifact(rendered, &parsed, &error)) << error;
+  std::string detail;
+  EXPECT_TRUE(ReplayArtifact(parsed, &detail)) << detail;
+  EXPECT_EQ(detail, "reproduced bit-identically");
+}
+
+TEST(Artifact, ReplayDetectsTamperedProgram) {
+  FailureArtifact tampered = SampleArtifact();
+  ASSERT_FALSE(tampered.minimized.program.threads.empty());
+  ASSERT_FALSE(tampered.minimized.program.threads[0].code.empty());
+  tampered.minimized.program.threads[0].code[0].imm ^= 1;
+  std::string detail;
+  EXPECT_FALSE(ReplayArtifact(tampered, &detail));
+  EXPECT_NE(detail.find("artifact corrupt"), std::string::npos) << detail;
+}
+
+TEST(Artifact, ReplayDetectsGeneratorDrift) {
+  FailureArtifact drifted = SampleArtifact();
+  drifted.seed ^= 1;  // different seed regenerates a different program
+  std::string detail;
+  EXPECT_FALSE(ReplayArtifact(drifted, &detail));
+  EXPECT_NE(detail.find("generator drift"), std::string::npos) << detail;
+}
+
+TEST(Artifact, ParseRejectsMalformedInput) {
+  FailureArtifact parsed;
+  std::string error;
+  EXPECT_FALSE(ParseArtifact("", &parsed, &error));
+  EXPECT_FALSE(ParseArtifact("{\"format\": 1", &parsed, &error));
+  EXPECT_FALSE(ParseArtifact("{\"format\": 2}", &parsed, &error));
+  EXPECT_FALSE(ParseArtifact("[1, 2, 3]", &parsed, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Artifact, SeedsSurviveDoubleHostileRoundTrip) {
+  // Seeds above 2^53 must not lose precision through render/parse.
+  FailureArtifact artifact = SampleArtifact();
+  artifact.seed = 0xfedcba9876543210ull;
+  artifact.original_digest.clear();  // seed no longer matches the program
+  const std::string rendered = RenderArtifact(artifact);
+  FailureArtifact parsed;
+  std::string error;
+  ASSERT_TRUE(ParseArtifact(rendered, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.seed, 0xfedcba9876543210ull);
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace vrm

@@ -1,0 +1,95 @@
+// Pins the legacy random corpus emissions by digest.
+//
+// The corpus was promoted from tests/model/random_program_corpus.h into the
+// reusable src/testing/ library; every differential suite and the fuzz
+// artifacts' provenance checks depend on (seed, threads) -> program being
+// bit-stable across that move and forever after. These goldens were captured
+// from the pre-promotion emission: if any of them changes, the generator's
+// Rng consumption order changed, and every digest-pinned suite in the repo is
+// comparing different programs than it was written against.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "src/support/hash.h"
+#include "src/testing/random_program.h"
+
+namespace vrm {
+namespace {
+
+struct GoldenDigest {
+  uint64_t seed;
+  int threads;
+  const char* digest;
+};
+
+TEST(CorpusGolden, SpotPins) {
+  const GoldenDigest goldens[] = {
+      {0ull, 2, "1b91eb9e967c85b2:d7c3caa23236c2cc"},
+      {0ull, 3, "81144906b55f6330:883cb2d8faea4208"},
+      {1ull, 2, "389f48a4467d93e0:b764a43dcbff538d"},
+      {1ull, 3, "c20eba021120fd7c:87e7ed589b65f34e"},
+      {7ull, 2, "3595f40047bc249f:3139e8b0d534780d"},
+      {7ull, 3, "0de93f0b85148481:11e815f5fd01a1d7"},
+      {42ull, 2, "1e233d21279498c3:8d4913523e8aefa9"},
+      {42ull, 3, "b36442e11f61c309:27989ee9ed9b6a4c"},
+      {123ull, 2, "4cb083a81b9bb5b5:e3d0353a01eee131"},
+      {123ull, 3, "c0695b4cf9c0f0d1:e7feac0dffc875d1"},
+      {9999ull, 2, "a9773bfd46997a00:bf9cc0e1f1f61ddf"},
+      {9999ull, 3, "5161224582e309c5:af6ae1ac9a726d99"},
+  };
+  for (const GoldenDigest& golden : goldens) {
+    const LitmusTest test = corpus::RandomProgram(golden.seed, golden.threads);
+    EXPECT_EQ(DigestHex(ProgramDigest(test.program)), golden.digest)
+        << "corpus emission drifted for seed " << golden.seed << ", "
+        << golden.threads << " threads";
+  }
+}
+
+// The spot pins can miss a drift that only shows up at other seeds; the
+// rolling digest covers the whole regression range the differential suites
+// draw from (seeds 0..63, 2-3 threads) in one comparison.
+TEST(CorpusGolden, RollingSweepPin) {
+  DigestSink sink;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    for (int threads = 2; threads <= 3; ++threads) {
+      const LitmusTest test = corpus::RandomProgram(seed, threads);
+      const Digest128 digest = ProgramDigest(test.program);
+      sink.U64(digest.first);
+      sink.U64(digest.second);
+    }
+  }
+  EXPECT_EQ(DigestHex(sink.Finish()), "40b0b23580b81999:2301540de9e23fe7");
+}
+
+// ProgramDigest must react to every generator-visible field — a digest that
+// ignores a field would pin nothing about it.
+TEST(CorpusGolden, DigestSeesProgramFields) {
+  const LitmusTest base = corpus::RandomProgram(3, 2);
+  const Digest128 base_digest = ProgramDigest(base.program);
+
+  Program renamed = base.program;
+  renamed.name += "x";
+  EXPECT_NE(ProgramDigest(renamed), base_digest);
+
+  Program retyped = base.program;
+  ASSERT_FALSE(retyped.threads[0].code.empty());
+  retyped.threads[0].code[0].order = MemOrder::kAcquire;
+  EXPECT_NE(ProgramDigest(retyped), base_digest);
+
+  Program reobserved = base.program;
+  reobserved.observed_locs.push_back(0);
+  EXPECT_NE(ProgramDigest(reobserved), base_digest);
+
+  Program reinit = base.program;
+  reinit.init[0] = 7;
+  EXPECT_NE(ProgramDigest(reinit), base_digest);
+
+  Program remapped = base.program;
+  remapped.mmu.enabled = true;
+  EXPECT_NE(ProgramDigest(remapped), base_digest);
+}
+
+}  // namespace
+}  // namespace vrm

@@ -1,0 +1,212 @@
+// Oracle battery, coverage signatures, campaign determinism, and the governed
+// stop-cause reporting contract (fuzz reports and batch JSON alike).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/fuzz/fuzzer.h"
+#include "src/fuzz/oracles.h"
+#include "src/fuzz/swarm.h"
+#include "src/litmus/batch.h"
+#include "src/support/governance.h"
+#include "src/testing/random_program.h"
+
+namespace vrm {
+namespace fuzz {
+namespace {
+
+TEST(Swarm, GenerationIsDeterministic) {
+  for (const SwarmConfig& swarm : DefaultSwarmPopulation()) {
+    const LitmusTest a = GenerateProgram(17, swarm);
+    const LitmusTest b = GenerateProgram(17, swarm);
+    EXPECT_EQ(ProgramDigest(a.program), ProgramDigest(b.program)) << swarm.name;
+    const LitmusTest c = GenerateProgram(18, swarm);
+    EXPECT_NE(ProgramDigest(a.program), ProgramDigest(c.program)) << swarm.name;
+  }
+}
+
+TEST(Swarm, GeneratedProgramsValidateAndObserveEverything) {
+  for (const SwarmConfig& swarm : DefaultSwarmPopulation()) {
+    for (uint64_t seed = 0; seed < 8; ++seed) {
+      const LitmusTest test = GenerateProgram(seed, swarm);
+      test.program.Validate();
+      EXPECT_GE(test.program.num_threads(), swarm.min_threads);
+      EXPECT_LE(test.program.num_threads(), swarm.max_threads);
+      // Full observability: 4 regs per thread plus every data cell.
+      EXPECT_EQ(test.program.observed_regs.size(),
+                static_cast<size_t>(4 * test.program.num_threads()));
+      EXPECT_EQ(test.program.observed_locs.size(), static_cast<size_t>(swarm.cells));
+    }
+  }
+}
+
+TEST(Swarm, MutationStaysWellFormed) {
+  Rng rng(5);
+  SwarmConfig config = DefaultSwarmPopulation().front();
+  for (int generation = 1; generation <= 50; ++generation) {
+    config = MutateSwarm(config, &rng, generation);
+    EXPECT_GE(config.min_threads, 1);
+    EXPECT_LE(config.min_threads, config.max_threads);
+    EXPECT_LE(config.min_len, config.max_len);
+    // A mutant must keep some memory-touching feature.
+    EXPECT_GT(config.w_load + config.w_store + config.w_fetchadd +
+                  config.w_exclusive + config.w_translated,
+              0.0)
+        << "generation " << generation;
+    // Every generated program must build.
+    GenerateProgram(static_cast<uint64_t>(generation), config).program.Validate();
+  }
+}
+
+TEST(OracleBattery, CleanOnDefaultSwarms) {
+  // A handful of programs per swarm config; any failure here is a real oracle
+  // disagreement (no fault injection) and must be investigated, not rerolled.
+  for (const SwarmConfig& swarm : DefaultSwarmPopulation()) {
+    for (uint64_t seed = 0; seed < 3; ++seed) {
+      const LitmusTest test = GenerateProgram(seed, swarm);
+      const BatteryResult result = RunOracleBattery(test, OracleOptions{});
+      if (!result.complete) {
+        continue;  // state-capped program; comparisons were skipped, not failed
+      }
+      EXPECT_TRUE(result.failures.empty())
+          << swarm.name << " seed " << seed << ": "
+          << result.failures.front().detail;
+      EXPECT_GT(result.states_explored, 0u);
+    }
+  }
+}
+
+TEST(OracleBattery, FaultInjectionFiresOnlyOnFetchAdd) {
+  SwarmConfig swarm;
+  swarm.name = "fetchadd-only";
+  swarm.w_mov = 0;
+  swarm.w_arith = 0;
+  swarm.w_load = 0;
+  swarm.w_store = 0;
+  swarm.w_barrier = 0;
+  swarm.w_fetchadd = 1.0;
+  swarm.min_len = 1;
+  swarm.max_len = 1;
+  swarm.min_threads = 2;
+  swarm.max_threads = 2;
+  OracleOptions options;
+  options.fault = FaultInjection::kFetchAddDisagreement;
+  const LitmusTest with = GenerateProgram(1, swarm);
+  const BatteryResult faulted = RunOracleBattery(with, options);
+  ASSERT_TRUE(faulted.complete);
+  ASSERT_FALSE(faulted.failures.empty());
+  EXPECT_EQ(faulted.failures.front().oracle, OracleId::kModelStrengthOrder);
+  // Same program, no injection: clean.
+  const BatteryResult clean = RunOracleBattery(with, OracleOptions{});
+  ASSERT_TRUE(clean.complete);
+  EXPECT_TRUE(clean.failures.empty());
+}
+
+TEST(OracleBattery, MaskDisablesOracles) {
+  const LitmusTest test = GenerateProgram(2, DefaultSwarmPopulation().front());
+  OracleOptions options;
+  options.mask = 0;  // no oracle enabled: baseline walks only, no failures
+  options.fault = FaultInjection::kFetchAddDisagreement;
+  const BatteryResult result = RunOracleBattery(test, options);
+  EXPECT_TRUE(result.failures.empty());
+}
+
+TEST(CoverageSignature, DistinguishesFeatureChanges) {
+  CoverageFeatures a;
+  a.rm_outcome_digest = 1;
+  CoverageFeatures b = a;
+  EXPECT_EQ(CoverageSignature(a), CoverageSignature(b));
+  b.rm_outcomes = 5;
+  EXPECT_NE(CoverageSignature(a), CoverageSignature(b));
+  CoverageFeatures c = a;
+  c.ample_fired = true;
+  EXPECT_NE(CoverageSignature(a), CoverageSignature(c));
+}
+
+TEST(Fuzzer, CampaignIsDeterministic) {
+  FuzzOptions options;
+  options.master_seed = 11;
+  options.programs = 6;
+  const FuzzReport a = RunFuzz(options);
+  const FuzzReport b = RunFuzz(options);
+  EXPECT_EQ(a.programs_run, b.programs_run);
+  EXPECT_EQ(a.programs_complete, b.programs_complete);
+  EXPECT_EQ(a.states_explored, b.states_explored);
+  EXPECT_EQ(a.coverage_signatures, b.coverage_signatures);
+  EXPECT_EQ(a.Summary(), b.Summary());
+}
+
+TEST(Fuzzer, SeededFaultIsCaughtAndMinimized) {
+  FuzzOptions options;
+  options.master_seed = 7;
+  options.programs = 200;
+  options.fault = FaultInjection::kFetchAddDisagreement;
+  options.max_failures = 1;
+  const FuzzReport report = RunFuzz(options);
+  ASSERT_EQ(report.artifacts.size(), 1u);
+  const FailureArtifact& artifact = report.artifacts.front();
+  EXPECT_EQ(artifact.failure.oracle, OracleId::kModelStrengthOrder);
+  EXPECT_LE(artifact.final_insts, 8) << "acceptance bound";
+  EXPECT_LE(artifact.final_insts, artifact.initial_insts);
+  EXPECT_FALSE(artifact.failure.expected.empty());
+  EXPECT_FALSE(artifact.failure.actual.empty());
+  EXPECT_NE(artifact.failure.expected, artifact.failure.actual);
+}
+
+// The stop-cause reporting contract, fuzz side: a governed campaign that stops
+// on its budget must say so in the machine-readable lines — including the
+// degenerate 1-byte-memory budget, which stops at the very first poll (the
+// 1-expansion boundary).
+TEST(Fuzzer, OneExpansionMemoryBudgetReportsStopCause) {
+  FuzzOptions options;
+  options.master_seed = 3;
+  options.programs = 50;
+  options.governance.budget.soft_memory_bytes = 1;
+  const FuzzReport report = RunFuzz(options);
+  EXPECT_EQ(report.stop_cause, StopCause::kMemory);
+  EXPECT_LT(report.programs_run, 50u);
+  const std::string json = report.ToJsonLines("boundary");
+  EXPECT_NE(json.find("\"metric\": \"stop_cause\", \"value\": 3"), std::string::npos)
+      << json;
+}
+
+TEST(Fuzzer, UngovernedReportStillEmitsStopCause) {
+  FuzzOptions options;
+  options.master_seed = 3;
+  options.programs = 2;
+  const FuzzReport report = RunFuzz(options);
+  EXPECT_EQ(report.stop_cause, StopCause::kNone);
+  // "value": 0 must be present — absence of the line is indistinguishable
+  // from a consumer never checking.
+  EXPECT_NE(report.ToJsonLines("clean").find("\"metric\": \"stop_cause\", \"value\": 0"),
+            std::string::npos);
+}
+
+// The same contract, batch side: BatchResult::ToJsonLines always carries the
+// run-level stop cause, governed or not.
+TEST(BatchJson, StopCauseAlwaysEmitted) {
+  std::vector<LitmusTest> suite = {DefaultLitmusSuite()[0], DefaultLitmusSuite()[1]};
+  const BatchResult clean = RunLitmusBatch(suite, 1);
+  EXPECT_EQ(clean.stop_cause(), StopCause::kNone);
+  const std::string clean_json = clean.ToJsonLines("batch");
+  EXPECT_NE(clean_json.find("\"bench\": \"batch\", \"metric\": \"stop_cause\", \"value\": 0"),
+            std::string::npos)
+      << clean_json;
+
+  BatchOptions governed;
+  governed.num_threads = 1;
+  governed.governance.budget.soft_memory_bytes = 1;  // 1-expansion boundary
+  const BatchResult stopped = RunLitmusBatch(suite, governed);
+  EXPECT_EQ(stopped.stop_cause(), StopCause::kMemory);
+  const std::string json = stopped.ToJsonLines("batch");
+  EXPECT_NE(json.find("\"bench\": \"batch\", \"metric\": \"stop_cause\", \"value\": 3"),
+            std::string::npos)
+      << json;
+  // Per-entry causes are present too.
+  EXPECT_NE(json.find("\"metric\": \"stop_cause\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace vrm

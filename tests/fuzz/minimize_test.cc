@@ -1,0 +1,182 @@
+// Minimizer invariants over a seeded injected-failure batch.
+//
+// The two structural invariants (header contract of src/fuzz/minimize.h):
+//   1. shrinking never orphans an exclusive load/store pair — every surviving
+//      kLoadEx still has a following kStoreEx and vice versa;
+//   2. the observation spec's memory locations are never dropped, so the
+//      minimized program's outcome space is comparable to the original's.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/arch/builder.h"
+#include "src/fuzz/minimize.h"
+#include "src/fuzz/oracles.h"
+#include "src/fuzz/swarm.h"
+
+namespace vrm {
+namespace fuzz {
+namespace {
+
+bool ExclusivesPaired(const Program& program) {
+  for (const ThreadCode& thread : program.threads) {
+    int armed = 0;  // outstanding kLoadEx without a kStoreEx yet
+    for (const Inst& inst : thread.code) {
+      if (inst.op == Op::kLoadEx) {
+        if (armed != 0) {
+          return false;  // two loads armed back to back
+        }
+        armed = 1;
+      } else if (inst.op == Op::kStoreEx) {
+        if (armed != 1) {
+          return false;  // store-exclusive with no armed load
+        }
+        armed = 0;
+      }
+    }
+    if (armed != 0) {
+      return false;  // load-exclusive left dangling at thread end
+    }
+  }
+  return true;
+}
+
+int CountOp(const Program& program, Op op) {
+  int count = 0;
+  for (const ThreadCode& thread : program.threads) {
+    for (const Inst& inst : thread.code) {
+      count += inst.op == op ? 1 : 0;
+    }
+  }
+  return count;
+}
+
+SwarmConfig ExclusiveHeavySwarm() {
+  SwarmConfig swarm;
+  swarm.name = "minimize-test";
+  swarm.w_exclusive = 3.0;
+  swarm.w_fetchadd = 2.0;
+  swarm.min_len = 3;
+  swarm.max_len = 5;
+  return swarm;
+}
+
+TEST(RemovalUnits, CoverEveryInstructionInOrder) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const LitmusTest test = GenerateProgram(seed, ExclusiveHeavySwarm());
+    for (const ThreadCode& thread : test.program.threads) {
+      const auto units = RemovalUnits(thread);
+      int expect_next = 0;
+      for (const auto& [first, last] : units) {
+        EXPECT_EQ(first, expect_next);
+        EXPECT_GE(last, first);
+        expect_next = last + 1;
+      }
+      EXPECT_EQ(expect_next, static_cast<int>(thread.code.size()));
+    }
+  }
+}
+
+TEST(RemovalUnits, ExclusivePairIsOneUnit) {
+  ProgramBuilder pb("exclusive-pair");
+  pb.MemSize(2);
+  auto& t = pb.NewThread();
+  t.MovImm(0, 1);
+  t.LoadExAddr(1, 0);        // MovImm kAddrReg + kLoadEx
+  t.StoreExAddr(2, 0, 0);    // MovImm kAddrReg + kStoreEx
+  t.LoadAddr(3, 1);          // MovImm kAddrReg + kLoad
+  pb.ObserveReg(0, 1);
+  const Program program = pb.Build();
+  const auto units = RemovalUnits(program.threads[0]);
+  // Units: [MovImm], [MovImm+LoadEx+MovImm+StoreEx], [MovImm+Load].
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_EQ(units[0], std::make_pair(0, 0));
+  EXPECT_EQ(units[1], std::make_pair(1, 4));
+  EXPECT_EQ(units[2], std::make_pair(5, 6));
+}
+
+// The seeded injected-failure batch: minimize under the content-keyed fault
+// (any program containing a fetch-add "fails"), which mirrors how vrm_fuzz
+// --selftest drives the minimizer, and check both invariants on every result.
+TEST(Minimize, InvariantsOverInjectedFailureBatch) {
+  const SwarmConfig swarm = ExclusiveHeavySwarm();
+  int minimized_runs = 0;
+  for (uint64_t seed = 0; seed < 24 && minimized_runs < 8; ++seed) {
+    const LitmusTest test = GenerateProgram(seed, swarm);
+    if (CountOp(test.program, Op::kFetchAdd) == 0) {
+      continue;  // the injected fault needs a fetch-add to key on
+    }
+    ++minimized_runs;
+    ASSERT_TRUE(ExclusivesPaired(test.program)) << "generator emitted orphan";
+    const std::vector<Addr> observed_before = test.program.observed_locs;
+
+    // Structural predicate, no exploration: fast, and exactly as content-keyed
+    // as FaultInjection::kFetchAddDisagreement.
+    const auto still_fails = [](const LitmusTest& candidate) {
+      return CountOp(candidate.program, Op::kFetchAdd) > 0;
+    };
+    const MinimizeResult result = Minimize(test, still_fails);
+
+    EXPECT_TRUE(still_fails(result.test));
+    EXPECT_TRUE(result.converged);
+    EXPECT_LE(result.final_insts, result.initial_insts);
+    // Invariant 1: no orphaned exclusive halves, however much was removed.
+    EXPECT_TRUE(ExclusivesPaired(result.test.program)) << "seed " << seed;
+    // Invariant 2: monitored locations survive minimization untouched.
+    EXPECT_EQ(result.test.program.observed_locs, observed_before) << "seed " << seed;
+    // A content-keyed single-instruction failure must shrink hard: one
+    // fetch-add plus its address setup.
+    EXPECT_LE(result.final_insts, 2) << "seed " << seed;
+    EXPECT_EQ(result.test.program.num_threads(), 1) << "seed " << seed;
+  }
+  ASSERT_GE(minimized_runs, 4) << "swarm produced too few fetch-add programs";
+}
+
+// Minimization with a real oracle predicate: drive the battery's fault
+// injection end to end, as the fuzzer does, on one seed.
+TEST(Minimize, OracleBatteryPredicate) {
+  const SwarmConfig swarm = ExclusiveHeavySwarm();
+  for (uint64_t seed = 0; seed < 24; ++seed) {
+    const LitmusTest test = GenerateProgram(seed, swarm);
+    if (CountOp(test.program, Op::kFetchAdd) == 0) {
+      continue;
+    }
+    OracleOptions options;
+    options.fault = FaultInjection::kFetchAddDisagreement;
+    // Only the model-strength oracle carries the injection; restricting the
+    // mask keeps the probe cheap.
+    options.mask = 1u << static_cast<uint32_t>(OracleId::kModelStrengthOrder);
+    const auto reproduces = [&](const LitmusTest& candidate) {
+      const BatteryResult probe = RunOracleBattery(candidate, options);
+      if (!probe.complete) {
+        return false;
+      }
+      for (const OracleFailure& failure : probe.failures) {
+        if (failure.oracle == OracleId::kModelStrengthOrder) {
+          return true;
+        }
+      }
+      return false;
+    };
+    if (!reproduces(test)) {
+      continue;  // battery truncated on this seed; pick another
+    }
+    const MinimizeResult result = Minimize(test, reproduces);
+    EXPECT_TRUE(ExclusivesPaired(result.test.program));
+    EXPECT_LE(result.final_insts, 8) << "acceptance bound: <= 8 instructions";
+    EXPECT_TRUE(reproduces(result.test));
+    return;  // one full-battery minimization keeps the test fast
+  }
+  FAIL() << "no seed produced a reproducible injected failure";
+}
+
+TEST(Minimize, ChecksNonReproducingInput) {
+  const LitmusTest test = GenerateProgram(1, ExclusiveHeavySwarm());
+  const auto never = [](const LitmusTest&) { return false; };
+  EXPECT_DEATH(Minimize(test, never), "non-reproducing");
+}
+
+}  // namespace
+}  // namespace fuzz
+}  // namespace vrm

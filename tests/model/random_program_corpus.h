@@ -1,80 +1,12 @@
-// Random TinyArm program corpus shared by the differential test suites.
-//
-// The generator emits a terminating instruction subset — no branches, literal
-// addresses over a small cell range, plus the barrier/acquire/release/
-// exclusive mix that exercises every serialized field of the Promising
-// machine. tests/model/digest_differential_test.cc uses it to cross-check the
-// streaming digest pipeline; tests/engine/verify_kernel_differential_test.cc
-// uses it to pin the fused VerifyKernel report against the standalone
-// checkers. Keep the emission logic seed-stable: both suites rely on a given
-// (seed, threads) pair always producing the same program.
+// Forwarder: the shared random program corpus now lives in the reusable
+// src/testing/ library (consumed by the differential suites here AND by the
+// fuzzing subsystem, src/fuzz/). The emission logic is unchanged and
+// seed-stable — tests/fuzz/corpus_golden_test.cc pins the legacy
+// (seed, threads) programs by digest.
 
 #ifndef TESTS_MODEL_RANDOM_PROGRAM_CORPUS_H_
 #define TESTS_MODEL_RANDOM_PROGRAM_CORPUS_H_
 
-#include <string>
-
-#include "src/arch/builder.h"
-#include "src/litmus/litmus.h"
-#include "src/support/rng.h"
-
-namespace vrm {
-namespace corpus {
-
-constexpr Addr kCells = 3;
-
-inline void EmitRandomInst(ThreadBuilder& t, Rng& rng) {
-  const Reg rd = static_cast<Reg>(rng.Below(4));
-  const Reg rs = static_cast<Reg>(rng.Below(4));
-  const Addr addr = static_cast<Addr>(rng.Below(kCells));
-  switch (rng.Below(8)) {
-    case 0:
-      t.MovImm(rd, rng.Below(4));
-      break;
-    case 1:
-      t.Add(rd, rs, static_cast<Reg>(rng.Below(4)));
-      break;
-    case 2:
-    case 3:
-      t.LoadAddr(rd, addr,
-                 rng.Chance(0.3) ? MemOrder::kAcquire : MemOrder::kPlain);
-      break;
-    case 4:
-    case 5: {
-      const Reg value = static_cast<Reg>(rng.Below(4));
-      t.StoreAddr(addr, value,
-                  rng.Chance(0.3) ? MemOrder::kRelease : MemOrder::kPlain);
-      break;
-    }
-    case 6:
-      t.FetchAddAddr(rd, addr, 1 + static_cast<int64_t>(rng.Below(2)),
-                     rng.Chance(0.5) ? MemOrder::kAcqRel : MemOrder::kPlain);
-      break;
-    default:
-      t.Dmb(rng.Chance(0.5) ? BarrierKind::kSy
-                            : (rng.Chance(0.5) ? BarrierKind::kLd : BarrierKind::kSt));
-      break;
-  }
-}
-
-inline LitmusTest RandomProgram(uint64_t seed, int threads) {
-  Rng rng(seed);
-  ProgramBuilder pb("corpus-" + std::to_string(seed));
-  pb.MemSize(kCells);
-  for (int thread = 0; thread < threads; ++thread) {
-    auto& t = pb.NewThread();
-    const int len = 2 + static_cast<int>(rng.Below(3));
-    for (int i = 0; i < len; ++i) {
-      EmitRandomInst(t, rng);
-    }
-  }
-  LitmusTest test{pb.Build(), {}, "random corpus program"};
-  test.config.max_messages = 40;
-  test.config.max_states = 20000;
-  return test;
-}
-
-}  // namespace corpus
-}  // namespace vrm
+#include "src/testing/random_program.h"  // IWYU pragma: export
 
 #endif  // TESTS_MODEL_RANDOM_PROGRAM_CORPUS_H_

@@ -1,0 +1,112 @@
+// Direct unit tests for the RandomWalk sampler — previously exercised only
+// indirectly through the SC-construction suite.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "src/litmus/classics.h"
+#include "src/model/promising_machine.h"
+#include "src/model/random_walk.h"
+#include "src/model/trace.h"
+#include "src/testing/random_program.h"
+
+namespace vrm {
+namespace {
+
+// Same (machine, seed) must yield the same execution: outcome, trace length,
+// and rendered trace, byte for byte.
+TEST(RandomWalk, SeedDeterminism) {
+  const LitmusTest test = ClassicSb(Strength::kPlain);
+  const PromisingMachine machine(test.program, test.config);
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    const RandomWalkResult a = RandomWalk(machine, seed);
+    const RandomWalkResult b = RandomWalk(machine, seed);
+    ASSERT_EQ(a.completed, b.completed) << "seed " << seed;
+    ASSERT_EQ(a.trace.size(), b.trace.size()) << "seed " << seed;
+    EXPECT_EQ(RenderTrace(test.program, a.trace, {.show_local_steps = true}),
+              RenderTrace(test.program, b.trace, {.show_local_steps = true}));
+    if (a.completed) {
+      EXPECT_EQ(a.outcome.Key(), b.outcome.Key()) << "seed " << seed;
+    }
+  }
+}
+
+// Different seeds must eventually sample different executions — a sampler that
+// ignores its seed would still pass determinism.
+TEST(RandomWalk, SeedsActuallyVary) {
+  const LitmusTest test = ClassicSb(Strength::kPlain);
+  const PromisingMachine machine(test.program, test.config);
+  std::string first_render;
+  bool varied = false;
+  for (uint64_t seed = 1; seed <= 32 && !varied; ++seed) {
+    const RandomWalkResult walk = RandomWalk(machine, seed);
+    const std::string render =
+        RenderTrace(test.program, walk.trace, {.show_local_steps = true});
+    if (first_render.empty()) {
+      first_render = render;
+    } else if (render != first_render) {
+      varied = true;
+    }
+  }
+  EXPECT_TRUE(varied);
+}
+
+// With show_local_steps, RenderTrace emits exactly one line per recorded step
+// — the property the fuzz walk-containment oracle asserts on every program.
+TEST(RandomWalk, RenderTraceOneLinePerStep) {
+  const LitmusTest test = ClassicMp(Strength::kDmb, Strength::kAcqRel);
+  const PromisingMachine machine(test.program, test.config);
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const RandomWalkResult walk = RandomWalk(machine, seed);
+    ASSERT_FALSE(walk.trace.empty());
+    const std::string rendered =
+        RenderTrace(test.program, walk.trace, {.show_local_steps = true});
+    EXPECT_EQ(static_cast<size_t>(std::count(rendered.begin(), rendered.end(), '\n')),
+              walk.trace.size())
+        << "seed " << seed;
+  }
+}
+
+// Soundness: every completed walk outcome must be a member of the exhaustive
+// Promising outcome set (a walk is one path of the same transition system).
+TEST(RandomWalk, WalkedOutcomesInsideExhaustiveSet) {
+  for (uint64_t program_seed = 0; program_seed < 12; ++program_seed) {
+    const LitmusTest test = corpus::RandomProgram(program_seed, 2);
+    const ExploreResult exhaustive = RunPromising(test);
+    ASSERT_FALSE(exhaustive.stats.truncated) << "program seed " << program_seed;
+    const PromisingMachine machine(test.program, test.config);
+    int completed = 0;
+    for (uint64_t walk_seed = 1; walk_seed <= 10; ++walk_seed) {
+      const RandomWalkResult walk = RandomWalk(machine, walk_seed);
+      if (!walk.completed) {
+        continue;  // promise-heavy prefixes can dead-end; that is legitimate
+      }
+      ++completed;
+      EXPECT_TRUE(exhaustive.Contains(walk.outcome))
+          << "program seed " << program_seed << " walk seed " << walk_seed
+          << ": walked outcome " << walk.outcome.ToString(test.program)
+          << " missing from the exhaustive set";
+    }
+    EXPECT_GT(completed, 0) << "program seed " << program_seed;
+  }
+}
+
+// The promise bias knob must not break soundness at its extremes.
+TEST(RandomWalk, PromiseBiasExtremesStaySound) {
+  const LitmusTest test = ClassicSb(Strength::kPlain);
+  const ExploreResult exhaustive = RunPromising(test);
+  const PromisingMachine machine(test.program, test.config);
+  for (double bias : {0.0, 1.0}) {
+    for (uint64_t seed = 1; seed <= 8; ++seed) {
+      const RandomWalkResult walk = RandomWalk(machine, seed, bias);
+      if (walk.completed) {
+        EXPECT_TRUE(exhaustive.Contains(walk.outcome)) << "bias " << bias;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vrm
