@@ -1,0 +1,142 @@
+// Memoized exploration front door: cold vs warm pass over the shared random
+// corpus.
+//
+// The workload is the same 200-program corpus (100 seeds x {2,3} threads,
+// fully observed) the memo and reduction differential suites sweep. Pass 1
+// (cold) runs every program's Promising + SC walk through ExploreMemoized
+// against an empty store — every request is a miss and explores for real.
+// Pass 2 (warm) repeats the identical requests against the now-populated
+// store — every request must be a hit.
+//
+// Host-independent numbers, which the regression gate rides on: the warm-pass
+// hit rate (exactly 1.0 — a drop means keying or admission broke), the
+// cold-pass hit rate (exactly 0 on this duplicate-free corpus), state-count
+// agreement between passes, and the store's byte footprint. warm_speedup
+// (cold wall / warm wall) is the motivating number but is host-dependent, so
+// its gate runs with a very wide threshold: it only fails when memoization
+// has effectively stopped working (speedup collapsing toward 1x). Recorded
+// numbers live in BENCH_memo_cache.json and EXPERIMENTS.md.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_json.h"
+#include "src/litmus/litmus.h"
+#include "src/memo/memo.h"
+#include "src/testing/random_program.h"
+
+namespace vrm {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+// Fully observed corpus program, identical to the differential suites': every
+// register and cell observable, state budget high enough that the corpus
+// explores exhaustively (only Definitive results are cacheable).
+LitmusTest ObservedCorpusProgram(uint64_t seed, int threads) {
+  LitmusTest test = corpus::RandomProgram(seed, threads);
+  for (ThreadId tid = 0; tid < static_cast<ThreadId>(threads); ++tid) {
+    for (Reg reg = 0; reg < 4; ++reg) {
+      test.program.observed_regs.push_back({tid, reg});
+    }
+  }
+  for (Addr a = 0; a < corpus::kCells; ++a) {
+    test.program.observed_locs.push_back(a);
+  }
+  test.config.max_states = 2'000'000;
+  return test;
+}
+
+struct PassStats {
+  double ms = 0.0;
+  uint64_t requests = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t states = 0;
+};
+
+PassStats RunPass(const std::vector<LitmusTest>& suite, memo::MemoStore* store) {
+  PassStats pass;
+  const auto start = std::chrono::steady_clock::now();
+  for (const LitmusTest& test : suite) {
+    for (memo::MachineKind machine :
+         {memo::MachineKind::kPromising, memo::MachineKind::kSc}) {
+      memo::ExploreRequest request;
+      request.program = &test.program;
+      request.config = test.config;
+      request.machine = machine;
+      request.store = store;
+      const ExploreResult result = memo::ExploreMemoized(request);
+      ++pass.requests;
+      pass.hits += result.stats.memo_hits;
+      pass.misses += result.stats.memo_misses;
+      pass.states += result.stats.states;
+    }
+  }
+  pass.ms = MsSince(start);
+  return pass;
+}
+
+int Main(int argc, char** argv) {
+  int seeds = argc > 1 ? std::atoi(argv[1]) : 100;
+  if (seeds < 1) {
+    seeds = 1;
+  }
+  std::vector<LitmusTest> suite;
+  for (uint64_t seed = 1; seed <= static_cast<uint64_t>(seeds); ++seed) {
+    for (int threads : {2, 3}) {
+      suite.push_back(ObservedCorpusProgram(seed * 97, threads));
+    }
+  }
+
+  memo::MemoStore store(memo::MemoStore::kGlobalCapacityBytes);
+  const PassStats cold = RunPass(suite, &store);
+  const PassStats warm = RunPass(suite, &store);
+
+  const double cold_rate = static_cast<double>(cold.hits) / cold.requests;
+  const double warm_rate = static_cast<double>(warm.hits) / warm.requests;
+  const double speedup = cold.ms / (warm.ms > 1e-6 ? warm.ms : 1e-6);
+
+  std::printf(
+      "memo cache: %zu programs, %llu requests/pass\n"
+      "  cold: %8.1f ms, %llu hits (rate %.3f), %llu states\n"
+      "  warm: %8.1f ms, %llu hits (rate %.3f), %llu states\n"
+      "  warm speedup %.1fx, store %llu entries / %llu bytes / %llu evictions\n",
+      suite.size(), static_cast<unsigned long long>(cold.requests), cold.ms,
+      static_cast<unsigned long long>(cold.hits), cold_rate,
+      static_cast<unsigned long long>(cold.states), warm.ms,
+      static_cast<unsigned long long>(warm.hits), warm_rate,
+      static_cast<unsigned long long>(warm.states), speedup,
+      static_cast<unsigned long long>(store.entries()),
+      static_cast<unsigned long long>(store.bytes()),
+      static_cast<unsigned long long>(store.evictions()));
+
+  EmitBenchJson("memo_cache", "programs", static_cast<double>(suite.size()));
+  EmitBenchJson("memo_cache", "requests", static_cast<double>(cold.requests));
+  EmitBenchJson("memo_cache", "cold_ms", cold.ms);
+  EmitBenchJson("memo_cache", "warm_ms", warm.ms);
+  EmitBenchJson("memo_cache", "warm_speedup", speedup);
+  EmitBenchJson("memo_cache", "cold_hit_rate", cold_rate);
+  EmitBenchJson("memo_cache", "warm_hit_rate", warm_rate);
+  // Cached results must be indistinguishable from fresh ones: the exact-hold
+  // agreement flag trips on any cold/warm divergence in total states.
+  EmitBenchJson("memo_cache", "passes_agree",
+                cold.states == warm.states ? 1.0 : 0.0);
+  EmitBenchJson("memo_cache", "store_bytes", static_cast<double>(store.bytes()));
+  EmitBenchJson("memo_cache", "store_entries",
+                static_cast<double>(store.entries()));
+  EmitBenchJson("memo_cache", "store_evictions",
+                static_cast<double>(store.evictions()));
+  return cold.states == warm.states && warm.hits == warm.requests ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace vrm
+
+int main(int argc, char** argv) { return vrm::Main(argc, argv); }

@@ -18,8 +18,10 @@ Metric direction is inferred from the name:
   ``*stopped_on*``, ``*bounded*``: any change from a passing snapshot fails;
 * zero-hold counters -- ``*failures*``, ``*disagreements*``: any increase over
   the snapshot fails (a clean fuzz campaign must stay clean);
-* exact-equal codes -- ``*stop_cause*``: any change fails (an ungoverned smoke
-  that suddenly reports a budget stop is a contract break, not noise);
+* exact-equal codes -- ``*stop_cause*``, ``*hit_rate*``: any change fails (an
+  ungoverned smoke that suddenly reports a budget stop is a contract break,
+  and a deterministic memo-cache hit rate that moves means the keying or the
+  admission rules changed -- neither is noise);
 * everything else is reported informationally and never gates.
 
 Timing metrics (the lower-is-better ``*_ms``/``*wall*`` group) are noisy on
@@ -60,7 +62,7 @@ LOWER_BETTER = ("_ms", "wall", "_states", "states_expanded", "_bytes",
                 "heartbeats")
 EXACT_HOLD = ("agree", "holds", "definitive", "stopped_on", "bounded")
 ZERO_HOLD = ("failures", "disagreements")
-EXACT_EQUAL = ("stop_cause",)
+EXACT_EQUAL = ("stop_cause", "hit_rate")
 
 
 def classify(metric):

@@ -1,0 +1,66 @@
+#include "src/arch/program_digest.h"
+
+#include <cstdio>
+
+namespace vrm {
+
+Digest128 ProgramDigest(const Program& program) {
+  DigestSink sink;
+  sink.U32(static_cast<uint32_t>(program.name.size()));
+  sink.Raw(program.name.data(), program.name.size());
+  sink.U32(program.mem_size);
+  sink.U32(static_cast<uint32_t>(program.init.size()));
+  for (const auto& [addr, value] : program.init) {
+    sink.U32(addr);
+    sink.U64(value);
+  }
+  sink.U32(static_cast<uint32_t>(program.threads.size()));
+  for (const ThreadCode& thread : program.threads) {
+    sink.U8(thread.user ? 1 : 0);
+    sink.U32(static_cast<uint32_t>(thread.code.size()));
+    for (const Inst& inst : thread.code) {
+      sink.U8(static_cast<uint8_t>(inst.op));
+      sink.U8(inst.rd);
+      sink.U8(inst.rs);
+      sink.U8(inst.rt);
+      sink.U64(static_cast<uint64_t>(inst.imm));
+      sink.U8(static_cast<uint8_t>(inst.order));
+      sink.U8(static_cast<uint8_t>(inst.barrier));
+      sink.U32(static_cast<uint32_t>(inst.target));
+      sink.U32(static_cast<uint32_t>(inst.region));
+    }
+  }
+  sink.U8(program.mmu.enabled ? 1 : 0);
+  sink.U32(program.mmu.root);
+  sink.U32(static_cast<uint32_t>(program.mmu.levels));
+  sink.U32(static_cast<uint32_t>(program.mmu.table_entries));
+  sink.U32(static_cast<uint32_t>(program.mmu.page_size));
+  sink.U32(static_cast<uint32_t>(program.regions.size()));
+  for (const Region& region : program.regions) {
+    sink.U32(static_cast<uint32_t>(region.locs.size()));
+    for (Addr a : region.locs) {
+      sink.U32(a);
+    }
+  }
+  sink.U32(static_cast<uint32_t>(program.observed_regs.size()));
+  for (const ObservedReg& obs : program.observed_regs) {
+    sink.U8(obs.tid);
+    sink.U8(obs.reg);
+  }
+  sink.U32(static_cast<uint32_t>(program.observed_locs.size()));
+  for (Addr a : program.observed_locs) {
+    sink.U32(a);
+  }
+  sink.U8(program.observe_tlbs ? 1 : 0);
+  return sink.Finish();
+}
+
+std::string DigestHex(Digest128 digest) {
+  char buf[36];
+  std::snprintf(buf, sizeof(buf), "%016llx:%016llx",
+                static_cast<unsigned long long>(digest.first),
+                static_cast<unsigned long long>(digest.second));
+  return std::string(buf);
+}
+
+}  // namespace vrm

@@ -1,0 +1,33 @@
+// Canonical 128-bit program fingerprints.
+//
+// Promoted from src/testing/random_program.h so that layers below the litmus
+// harness (the memoized exploration front door in src/memo/ keys cache entries
+// by program content) can digest programs without pulling in the test-corpus
+// generator. The digest covers every generator-visible field of a Program:
+// memory geometry, initial values, per-thread code (all instruction fields),
+// MMU configuration, and the observation spec. Two programs with equal digests
+// are byte-for-byte identical as far as the machines are concerned, so the
+// golden corpus test, the fuzz artifacts' bit-identical-replay check, and the
+// exploration memo store all key on this. The emission order is frozen: the
+// golden digests in tests/fuzz/corpus_golden_test.cc pin it.
+
+#ifndef SRC_ARCH_PROGRAM_DIGEST_H_
+#define SRC_ARCH_PROGRAM_DIGEST_H_
+
+#include <string>
+
+#include "src/arch/program.h"
+#include "src/support/hash.h"
+
+namespace vrm {
+
+// 128-bit digest over every machine-visible field of `program`.
+Digest128 ProgramDigest(const Program& program);
+
+// Lower-case hex rendering "xxxxxxxxxxxxxxxx:yyyyyyyyyyyyyyyy" of a digest,
+// used by golden pins and artifact JSON.
+std::string DigestHex(Digest128 digest);
+
+}  // namespace vrm
+
+#endif  // SRC_ARCH_PROGRAM_DIGEST_H_

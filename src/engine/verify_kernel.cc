@@ -6,8 +6,8 @@
 
 #include "src/engine/engine.h"
 #include "src/engine/wdrf_passes.h"
+#include "src/memo/memo.h"
 #include "src/model/promising_machine.h"
-#include "src/model/sc_machine.h"
 
 namespace vrm {
 
@@ -92,10 +92,18 @@ KernelVerification VerifyKernelImpl(const KernelSpec& spec, RunGovernor* governo
   config.governor = governor;
 
   // The SC walk shares nothing with the Promising walk: overlap them, exactly
-  // as CheckRefinement does.
+  // as CheckRefinement does. It is unobserved, so it goes through the memoized
+  // front door — re-verifying a spec (or a fuzz battery running VerifyKernel
+  // right after the battery's own SC walk under the same config) reuses the
+  // cached result. The Promising walk below carries the wDRF observers and
+  // must bypass the store.
   std::future<ExploreResult> sc = std::async(std::launch::async, [&] {
-    ScMachine machine(spec.program, config);
-    return Explore(machine, config);
+    memo::ExploreRequest request;
+    request.program = &spec.program;
+    request.config = config;
+    request.machine = memo::MachineKind::kSc;
+    request.store = &memo::MemoStore::Global();
+    return memo::ExploreMemoized(request);
   });
 
   // The single Promising walk: every wDRF pass rides along.

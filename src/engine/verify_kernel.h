@@ -9,7 +9,9 @@
 // walks. The Promising walk is bit-identical to standalone CheckWdrf's on the
 // same spec — same config, same machine, passes cannot perturb it — so
 // states_expanded matches (pinned by tests) and the combined report agrees
-// with the standalone checkers' verdicts exactly.
+// with the standalone checkers' verdicts exactly. The SC walk is unobserved
+// and goes through the memoized exploration front door (src/memo/memo.h);
+// the observer-armed Promising walk always runs for real.
 
 #ifndef SRC_ENGINE_VERIFY_KERNEL_H_
 #define SRC_ENGINE_VERIFY_KERNEL_H_

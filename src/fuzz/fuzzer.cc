@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <unordered_set>
 
+#include "src/memo/memo.h"
 #include "src/support/check.h"
 #include "src/support/hash.h"
 #include "src/testing/random_program.h"
@@ -133,6 +135,14 @@ FuzzReport RunFuzz(const FuzzOptions& options, ProgressFn progress) {
   const bool governed = options.governance.Enabled();
   RunGovernor campaign_clock(options.governance);
 
+  // Campaign-local memo store: batteries share walks across oracles (and
+  // across byte-identical programs the swarm regenerates) without the
+  // process-global store leaking state between campaigns.
+  std::unique_ptr<memo::MemoStore> memo_store;
+  if (options.memo_bytes > 0) {
+    memo_store = std::make_unique<memo::MemoStore>(options.memo_bytes);
+  }
+
   std::unordered_set<uint64_t> coverage;
   int generation = 0;
 
@@ -169,10 +179,13 @@ FuzzReport RunFuzz(const FuzzOptions& options, ProgressFn progress) {
                                   : i % 4;
     oracles.fault = options.fault;
     oracles.governor = governed ? &slice_governor : nullptr;
+    oracles.memo = memo_store.get();
 
     const BatteryResult battery = RunOracleBattery(test, oracles);
     ++report.programs_run;
     report.states_explored += battery.states_explored;
+    report.memo_hits += battery.memo_hits;
+    report.memo_misses += battery.memo_misses;
 
     if (!battery.complete) {
       ++report.skipped_truncated;
@@ -236,6 +249,10 @@ FuzzReport RunFuzz(const FuzzOptions& options, ProgressFn progress) {
   }
 
   report.coverage_signatures = coverage.size();
+  if (memo_store != nullptr) {
+    report.memo_bytes = memo_store->bytes();
+    report.memo_evictions = memo_store->evictions();
+  }
   for (const PopulationEntry& entry : population) {
     report.config_runs.emplace_back(entry.config.name, entry.runs);
   }
@@ -256,6 +273,16 @@ std::string FuzzReport::Summary() const {
       static_cast<unsigned long long>(coverage_signatures), artifacts.size(),
       StopCauseName(stop_cause));
   std::string out = buf;
+  if (memo_hits + memo_misses > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  memo: %llu/%llu walk requests served from cache, "
+                  "%llu bytes, %llu evictions\n",
+                  static_cast<unsigned long long>(memo_hits),
+                  static_cast<unsigned long long>(memo_hits + memo_misses),
+                  static_cast<unsigned long long>(memo_bytes),
+                  static_cast<unsigned long long>(memo_evictions));
+    out += buf;
+  }
   for (const auto& [name, runs] : config_runs) {
     std::snprintf(buf, sizeof(buf), "  swarm %-24s %llu programs\n", name.c_str(),
                   static_cast<unsigned long long>(runs));
@@ -286,6 +313,13 @@ std::string FuzzReport::ToJsonLines(const std::string& bench) const {
   // 4 cancelled) — always present, so "no failures" and "budget expired" are
   // machine-distinguishable (see FuzzReport::stop_cause).
   out += JsonLine(bench, "stop_cause", static_cast<double>(static_cast<int>(stop_cause)));
+  // Memoized-exploration accounting. Informational for hits/misses/evictions;
+  // memo_bytes rides the generic lower-better "_bytes" gate and is
+  // deterministic for a fixed seed and program count.
+  out += JsonLine(bench, "memo_hits", static_cast<double>(memo_hits));
+  out += JsonLine(bench, "memo_misses", static_cast<double>(memo_misses));
+  out += JsonLine(bench, "memo_bytes", static_cast<double>(memo_bytes));
+  out += JsonLine(bench, "memo_evictions", static_cast<double>(memo_evictions));
   return out;
 }
 

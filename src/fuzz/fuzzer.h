@@ -54,6 +54,13 @@ struct FuzzOptions {
   // Whole-campaign resource budget (deadline / soft memory / cancellation).
   GovernanceOptions governance;
 
+  // Capacity of the campaign-local memoized-exploration store shared by every
+  // battery in the run (0 disables — every walk request explores for real,
+  // `vrm_fuzz --memo-bytes 0`). Campaign-local rather than process-global so a
+  // campaign stays a pure function of its options: two campaigns with the same
+  // options start equally cold and report identical counters.
+  size_t memo_bytes = 64ull << 20;
+
   MinimizeOptions minimize;
 
   // Swarm population; empty = DefaultSwarmPopulation().
@@ -70,6 +77,14 @@ struct FuzzReport {
   // governed cause. ALWAYS rendered in ToJsonLines — consumers must be able to
   // tell "zero failures" from "budget expired before the oracles finished".
   StopCause stop_cause = StopCause::kNone;
+  // Memoized-exploration accounting: front-door walk requests served from /
+  // missed in the campaign store (zero when memo_bytes == 0), plus the
+  // store's end-of-run byte footprint and eviction count. Cached requests
+  // never change verdicts or states_explored — only wall-clock.
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+  uint64_t memo_bytes = 0;
+  uint64_t memo_evictions = 0;
   std::vector<FailureArtifact> artifacts;  // one per minimized failure
   // Per swarm-config name: programs generated from it (selection telemetry).
   std::vector<std::pair<std::string, uint64_t>> config_runs;

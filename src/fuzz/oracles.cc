@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
+#include <utility>
 
 #include "src/engine/verify_kernel.h"
 #include "src/model/explorer.h"
@@ -103,12 +105,6 @@ bool ProgramHasFetchAdd(const Program& program) {
   return false;
 }
 
-struct Walks {
-  ExploreResult sc_none, sc_por, sc_sym;
-  ExploreResult rm_none, rm_por, rm_sym;
-  ExploreResult tso;
-};
-
 }  // namespace
 
 const char* OracleName(OracleId id) {
@@ -180,60 +176,93 @@ std::string RenderOutcomeKeys(const ExploreResult& result) {
 BatteryResult RunOracleBattery(const LitmusTest& test, const OracleOptions& options) {
   BatteryResult result;
   RunGovernor* const governor = options.governor;
-  Walks walks;
 
-  // Baseline walks feed several oracles and the coverage features, so they run
-  // unconditionally. Order matters for governed runs: the RM walks are the
-  // expensive ones, so a budget that only covers part of the battery still
-  // tends to produce RM coverage.
-  struct WalkPlan {
-    ExploreResult* slot;
-    Reduction reduction;
-    int model;  // 0 = SC, 1 = RM, 2 = TSO
-  };
-  const WalkPlan plan[] = {
-      {&walks.rm_por, Reduction::kPor, 1},
-      {&walks.sc_por, Reduction::kPor, 0},
-      {&walks.rm_none, Reduction::kNone, 1},
-      {&walks.sc_none, Reduction::kNone, 0},
-      {&walks.rm_sym, Reduction::kPorSymmetry, 1},
-      {&walks.sc_sym, Reduction::kPorSymmetry, 0},
-      {&walks.tso, Reduction::kPor, 2},
-  };
-  bool truncated = false;
-  for (const WalkPlan& step : plan) {
-    const LitmusTest configured = Configure(test, step.reduction, governor);
-    *step.slot = step.model == 0   ? RunSc(configured)
-                 : step.model == 1 ? RunPromising(configured)
-                                   : RunTso(configured);
-    result.states_explored += step.slot->stats.states;
-    if (GovernedStop(step.slot->stats.stop_cause)) {
+  // Every sequential walk an oracle needs is requested through this one
+  // fetch: a memoized front-door exploration (options.memo may be null —
+  // then every request explores for real). States are accounted per REQUEST,
+  // and a cached walk reports the same state count as a recomputation, so
+  // states_explored is identical with the store enabled, disabled, warm, or
+  // cold.
+  //
+  // Governed requests bypass the store's lookup (src/memo/memo.h), so with a
+  // store attached a governed battery reuses its own walks battery-locally:
+  // within one battery the program and per-(model, reduction) config are
+  // fixed, making this exactly the sharing the store gives ungoverned runs —
+  // without ever serving a governed request from another run's cache.
+  std::map<std::pair<int, int>, ExploreResult> local;
+  const bool reuse_local = governor != nullptr && options.memo != nullptr;
+  bool aborted = false;  // governed stop latched: nothing further may run
+  auto note = [&](const ExploreStats& stats) {
+    result.states_explored += stats.states;
+    if (GovernedStop(stats.stop_cause)) {
       result.complete = false;
-      result.stop_cause = step.slot->stats.stop_cause;
-      break;
-    }
-    if (step.slot->stats.truncated) {
-      truncated = true;
+      result.stop_cause = stats.stop_cause;
+      aborted = true;
+    } else if (stats.truncated) {
+      // A capped walk under-approximates its outcome set, so comparisons
+      // against it are vacuous; the battery is marked incomplete and every
+      // oracle not yet run is skipped.
+      result.complete = false;
       if (result.stop_cause == StopCause::kNone) {
-        result.stop_cause = step.slot->stats.stop_cause != StopCause::kNone
-                                ? step.slot->stats.stop_cause
+        result.stop_cause = stats.stop_cause != StopCause::kNone
+                                ? stats.stop_cause
                                 : StopCause::kStates;
       }
     }
-  }
+  };
+  // model: 0 = SC, 1 = RM (Promising), 2 = TSO.
+  auto fetch = [&](int model, Reduction reduction) -> ExploreResult {
+    if (aborted) {
+      return ExploreResult{};
+    }
+    const auto local_key = std::make_pair(model, static_cast<int>(reduction));
+    if (reuse_local) {
+      auto it = local.find(local_key);
+      if (it != local.end()) {
+        result.states_explored += it->second.stats.states;
+        ++result.memo_hits;
+        return it->second;
+      }
+    }
+    const LitmusTest configured = Configure(test, reduction, governor);
+    memo::ExploreRequest request;
+    request.program = &configured.program;
+    request.config = configured.config;
+    request.machine = model == 0   ? memo::MachineKind::kSc
+                      : model == 1 ? memo::MachineKind::kPromising
+                                   : memo::MachineKind::kTso;
+    request.store = options.memo;
+    ExploreResult walk = memo::ExploreMemoized(request);
+    result.memo_hits += walk.stats.memo_hits;
+    result.memo_misses += walk.stats.memo_misses;
+    note(walk.stats);
+    if (reuse_local) {
+      ++result.memo_misses;  // governed bypass stamps neither; count locally
+      if (!walk.stats.truncated) {
+        local.emplace(local_key, walk);
+      }
+    }
+    return walk;
+  };
 
-  // Coverage features come from whatever the baseline walks saw, truncated or
-  // not — a truncated walk's partial outcome set is still behaviour reached.
-  result.coverage.rm_outcome_digest = KeySetDigest(walks.rm_por);
-  result.coverage.sc_outcome_digest = KeySetDigest(walks.sc_por);
-  result.coverage.rm_outcomes = static_cast<uint32_t>(walks.rm_por.outcomes.size());
-  result.coverage.sc_outcomes = static_cast<uint32_t>(walks.sc_por.outcomes.size());
-  result.coverage.rm_states_log2 = Log2Bucket(walks.rm_por.stats.states);
-  result.coverage.violation_bits = ViolationBits(walks.rm_por.violations);
-  result.coverage.ample_fired = walks.rm_por.stats.states_pruned > 0 ||
-                                walks.sc_por.stats.states_pruned > 0;
+  // Baseline walks feed the coverage features. RM first: it is the expensive
+  // walk, so a governed budget that only covers part of the battery still
+  // tends to produce RM coverage. A governed stop on the RM walk skips the SC
+  // walk (fetch short-circuits); a mere state-cap truncation still runs it —
+  // a truncated walk's partial outcome set is still behaviour reached.
+  const ExploreResult rm_por = fetch(1, Reduction::kPor);
+  const ExploreResult sc_por = fetch(0, Reduction::kPor);
+
+  result.coverage.rm_outcome_digest = KeySetDigest(rm_por);
+  result.coverage.sc_outcome_digest = KeySetDigest(sc_por);
+  result.coverage.rm_outcomes = static_cast<uint32_t>(rm_por.outcomes.size());
+  result.coverage.sc_outcomes = static_cast<uint32_t>(sc_por.outcomes.size());
+  result.coverage.rm_states_log2 = Log2Bucket(rm_por.stats.states);
+  result.coverage.violation_bits = ViolationBits(rm_por.violations);
+  result.coverage.ample_fired = rm_por.stats.states_pruned > 0 ||
+                                sc_por.stats.states_pruned > 0;
   result.coverage.stop_cause = result.stop_cause;
-  for (const auto& [key, outcome] : walks.rm_por.outcomes) {
+  for (const auto& [key, outcome] : rm_por.outcomes) {
     (void)key;
     for (uint8_t f : outcome.faults) {
       result.coverage.any_fault |= f != 0;
@@ -248,11 +277,8 @@ BatteryResult RunOracleBattery(const LitmusTest& test, const OracleOptions& opti
     result.coverage.symmetry_active = probe.SymmetryActive();
   }
 
-  if (!result.complete || truncated) {
+  if (!result.complete) {
     // Under-approximated outcome sets make every comparison vacuous.
-    if (truncated) {
-      result.complete = false;
-    }
     return result;
   }
 
@@ -263,68 +289,92 @@ BatteryResult RunOracleBattery(const LitmusTest& test, const OracleOptions& opti
   };
 
   // --- model-strength-order -------------------------------------------------
-  if (options.Enabled(OracleId::kModelStrengthOrder)) {
-    if (!OutcomesBeyond(walks.sc_por, walks.tso).empty()) {
-      fail(OracleId::kModelStrengthOrder, "SC outcome missing on TSO",
-           RenderOutcomeKeys(walks.sc_por), RenderOutcomeKeys(walks.tso));
-    }
-    if (!OutcomesBeyond(walks.sc_por, walks.rm_por).empty()) {
-      fail(OracleId::kModelStrengthOrder, "SC outcome missing on Promising-Arm",
-           RenderOutcomeKeys(walks.sc_por), RenderOutcomeKeys(walks.rm_por));
-    }
-    if (!ProgramHasDecorations(test.program) &&
-        !OutcomesBeyond(walks.tso, walks.rm_por).empty()) {
-      fail(OracleId::kModelStrengthOrder,
-           "TSO outcome missing on Promising-Arm (undecorated program)",
-           RenderOutcomeKeys(walks.tso), RenderOutcomeKeys(walks.rm_por));
-    }
-    // The debug-only seeded fault: fabricate a containment failure keyed on
-    // program content so minimization and replay both reproduce it.
-    if (options.fault == FaultInjection::kFetchAddDisagreement &&
-        ProgramHasFetchAdd(test.program)) {
-      fail(OracleId::kModelStrengthOrder,
-           "injected fault: fetch-add outcome declared missing on SC",
-           RenderOutcomeKeys(walks.rm_por),
-           RenderOutcomeKeys(walks.rm_por) + "<injected-missing>\n");
+  if (result.complete && options.Enabled(OracleId::kModelStrengthOrder)) {
+    const ExploreResult sc = fetch(0, Reduction::kPor);
+    const ExploreResult tso = fetch(2, Reduction::kPor);
+    const ExploreResult rm = fetch(1, Reduction::kPor);
+    if (result.complete) {
+      if (!OutcomesBeyond(sc, tso).empty()) {
+        fail(OracleId::kModelStrengthOrder, "SC outcome missing on TSO",
+             RenderOutcomeKeys(sc), RenderOutcomeKeys(tso));
+      }
+      if (!OutcomesBeyond(sc, rm).empty()) {
+        fail(OracleId::kModelStrengthOrder, "SC outcome missing on Promising-Arm",
+             RenderOutcomeKeys(sc), RenderOutcomeKeys(rm));
+      }
+      if (!ProgramHasDecorations(test.program) &&
+          !OutcomesBeyond(tso, rm).empty()) {
+        fail(OracleId::kModelStrengthOrder,
+             "TSO outcome missing on Promising-Arm (undecorated program)",
+             RenderOutcomeKeys(tso), RenderOutcomeKeys(rm));
+      }
+      // The debug-only seeded fault: fabricate a containment failure keyed on
+      // program content so minimization and replay both reproduce it.
+      if (options.fault == FaultInjection::kFetchAddDisagreement &&
+          ProgramHasFetchAdd(test.program)) {
+        fail(OracleId::kModelStrengthOrder,
+             "injected fault: fetch-add outcome declared missing on SC",
+             RenderOutcomeKeys(rm),
+             RenderOutcomeKeys(rm) + "<injected-missing>\n");
+      }
     }
   }
 
   // --- reduction-invariance -------------------------------------------------
-  if (options.Enabled(OracleId::kReductionInvariance)) {
-    const struct {
-      const char* label;
-      const ExploreResult* base;
-      const ExploreResult* reduced;
-    } pairs[] = {
-        {"SC por", &walks.sc_none, &walks.sc_por},
-        {"SC por+symmetry", &walks.sc_none, &walks.sc_sym},
-        {"RM por", &walks.rm_none, &walks.rm_por},
-        {"RM por+symmetry", &walks.rm_none, &walks.rm_sym},
-    };
-    for (const auto& pair : pairs) {
-      const std::string expected = RenderOutcomeKeys(*pair.base);
-      const std::string actual = RenderOutcomeKeys(*pair.reduced);
-      if (expected != actual) {
-        fail(OracleId::kReductionInvariance,
-             std::string("outcome set changed under reduction mode ") + pair.label,
-             expected, actual);
-      }
-      const uint32_t base_bits = ViolationBits(pair.base->violations);
-      const uint32_t reduced_bits = ViolationBits(pair.reduced->violations);
-      if (base_bits != reduced_bits) {
-        fail(OracleId::kReductionInvariance,
-             std::string("violation flags changed under reduction mode ") + pair.label,
-             RenderViolationBits(base_bits), RenderViolationBits(reduced_bits));
+  if (result.complete && options.Enabled(OracleId::kReductionInvariance)) {
+    // Six independently explored state spaces: the key includes the reduction
+    // mode, so a symmetry-closed cached walk can never stand in for an
+    // unreduced one — this oracle always compares three real explorations per
+    // machine (modulo sharing with identically-configured earlier requests).
+    const ExploreResult sc_none = fetch(0, Reduction::kNone);
+    const ExploreResult sc_red = fetch(0, Reduction::kPor);
+    const ExploreResult sc_sym = fetch(0, Reduction::kPorSymmetry);
+    const ExploreResult rm_none = fetch(1, Reduction::kNone);
+    const ExploreResult rm_red = fetch(1, Reduction::kPor);
+    const ExploreResult rm_sym = fetch(1, Reduction::kPorSymmetry);
+    if (result.complete) {
+      const struct {
+        const char* label;
+        const ExploreResult* base;
+        const ExploreResult* reduced;
+      } pairs[] = {
+          {"SC por", &sc_none, &sc_red},
+          {"SC por+symmetry", &sc_none, &sc_sym},
+          {"RM por", &rm_none, &rm_red},
+          {"RM por+symmetry", &rm_none, &rm_sym},
+      };
+      for (const auto& pair : pairs) {
+        const std::string expected = RenderOutcomeKeys(*pair.base);
+        const std::string actual = RenderOutcomeKeys(*pair.reduced);
+        if (expected != actual) {
+          fail(OracleId::kReductionInvariance,
+               std::string("outcome set changed under reduction mode ") + pair.label,
+               expected, actual);
+        }
+        const uint32_t base_bits = ViolationBits(pair.base->violations);
+        const uint32_t reduced_bits = ViolationBits(pair.reduced->violations);
+        if (base_bits != reduced_bits) {
+          fail(OracleId::kReductionInvariance,
+               std::string("violation flags changed under reduction mode ") + pair.label,
+               RenderViolationBits(base_bits), RenderViolationBits(reduced_bits));
+        }
       }
     }
   }
 
   // --- parallel-determinism -------------------------------------------------
-  if (options.Enabled(OracleId::kParallelDeterminism)) {
+  if (result.complete && options.Enabled(OracleId::kParallelDeterminism)) {
+    const ExploreResult sc_ref = fetch(0, Reduction::kPor);
+    const ExploreResult rm_ref = fetch(1, Reduction::kPor);
     const LitmusTest configured = Configure(test, Reduction::kPor, governor);
     const ScMachine sc_machine(configured.program, configured.config);
     const PromisingMachine rm_machine(configured.program, configured.config);
     for (int workers : {2, 4}) {
+      if (!result.complete) {
+        break;
+      }
+      // The parallel walks are the computation under test, so they must
+      // exercise the real parallel engine every time — never the memo store.
       ExploreResult sc_par = ExploreParallel(sc_machine, configured.config, workers);
       ExploreResult rm_par = ExploreParallel(rm_machine, configured.config, workers);
       result.states_explored += sc_par.stats.states + rm_par.stats.states;
@@ -337,26 +387,26 @@ BatteryResult RunOracleBattery(const LitmusTest& test, const OracleOptions& opti
         return result;
       }
       const std::string workers_label = std::to_string(workers) + " workers";
-      if (RenderOutcomeKeys(sc_par) != RenderOutcomeKeys(walks.sc_por)) {
+      if (RenderOutcomeKeys(sc_par) != RenderOutcomeKeys(sc_ref)) {
         fail(OracleId::kParallelDeterminism, "SC parallel outcome drift at " + workers_label,
-             RenderOutcomeKeys(walks.sc_por), RenderOutcomeKeys(sc_par));
+             RenderOutcomeKeys(sc_ref), RenderOutcomeKeys(sc_par));
       }
-      if (RenderOutcomeKeys(rm_par) != RenderOutcomeKeys(walks.rm_por)) {
+      if (RenderOutcomeKeys(rm_par) != RenderOutcomeKeys(rm_ref)) {
         fail(OracleId::kParallelDeterminism, "RM parallel outcome drift at " + workers_label,
-             RenderOutcomeKeys(walks.rm_por), RenderOutcomeKeys(rm_par));
+             RenderOutcomeKeys(rm_ref), RenderOutcomeKeys(rm_par));
       }
-      if (ViolationBits(sc_par.violations) != ViolationBits(walks.sc_por.violations) ||
-          ViolationBits(rm_par.violations) != ViolationBits(walks.rm_por.violations)) {
+      if (ViolationBits(sc_par.violations) != ViolationBits(sc_ref.violations) ||
+          ViolationBits(rm_par.violations) != ViolationBits(rm_ref.violations)) {
         fail(OracleId::kParallelDeterminism,
              "violation flags drift at " + workers_label,
-             RenderViolationBits(ViolationBits(walks.rm_por.violations)),
+             RenderViolationBits(ViolationBits(rm_ref.violations)),
              RenderViolationBits(ViolationBits(rm_par.violations)));
       }
     }
   }
 
   // --- fused-engine ---------------------------------------------------------
-  if (options.Enabled(OracleId::kFusedEngine)) {
+  if (result.complete && options.Enabled(OracleId::kFusedEngine)) {
     KernelSpec spec;
     spec.program = test.program;
     spec.base_config = Configure(test, Reduction::kPor, governor).config;
@@ -401,21 +451,22 @@ BatteryResult RunOracleBattery(const LitmusTest& test, const OracleOptions& opti
   }
 
   // --- walk-containment -----------------------------------------------------
-  if (options.Enabled(OracleId::kWalkContainment)) {
+  if (result.complete && options.Enabled(OracleId::kWalkContainment)) {
+    const ExploreResult rm_ref = fetch(1, Reduction::kPor);
     const LitmusTest configured = Configure(test, Reduction::kPor, nullptr);
     const PromisingMachine machine(configured.program, configured.config);
     const uint64_t base = ProgramDigest(test.program).first;
-    for (int k = 0; k < options.walk_seeds; ++k) {
+    for (int k = 0; result.complete && k < options.walk_seeds; ++k) {
       const uint64_t walk_seed = base ^ (0x9e3779b97f4a7c15ull * (k + 1));
       const RandomWalkResult walk = RandomWalk(machine, walk_seed);
       if (!walk.completed) {
         continue;  // dead ends are legitimate (certification-pruned promises)
       }
-      if (walks.rm_por.outcomes.count(walk.outcome.Key()) == 0) {
+      if (rm_ref.outcomes.count(walk.outcome.Key()) == 0) {
         fail(OracleId::kWalkContainment,
              "random-walk outcome outside the exhaustive RM outcome set (seed " +
                  std::to_string(walk_seed) + ")",
-             RenderOutcomeKeys(walks.rm_por),
+             RenderOutcomeKeys(rm_ref),
              walk.outcome.ToString(test.program) + "\n");
       }
       const std::string rendered =

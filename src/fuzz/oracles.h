@@ -24,9 +24,17 @@
 //
 // Verdict soundness: oracles only compare exhaustive explorations. If any walk
 // truncates (state cap, or a governed stop), the battery records the cause and
-// skips the comparisons that walk feeds — a truncated outcome set is an
+// skips every remaining comparison — a truncated outcome set is an
 // under-approximation, so "disagreement" against it would be noise. A governed
 // stop (deadline/memory/cancel) aborts the rest of the battery.
+//
+// Walk sharing: each oracle requests the walks it needs through the memoized
+// exploration front door (src/memo/memo.h) using OracleOptions::memo. With a
+// store attached, the first oracle to request a (model, reduction) walk pays
+// for it and later oracles hit the cache; with the store disabled every
+// request explores for real — which is exactly what `vrm_fuzz --memo-bytes 0`
+// measures. Symmetry-closed walks are keyed by reduction mode, so the
+// invariance oracle always compares three independently explored state spaces.
 
 #ifndef SRC_FUZZ_ORACLES_H_
 #define SRC_FUZZ_ORACLES_H_
@@ -36,6 +44,7 @@
 #include <vector>
 
 #include "src/litmus/litmus.h"
+#include "src/memo/memo.h"
 #include "src/support/governance.h"
 
 namespace vrm {
@@ -90,6 +99,16 @@ struct OracleOptions {
   FaultInjection fault = FaultInjection::kNone;
   // Shared governor for every exploration the battery runs (may be null).
   RunGovernor* governor = nullptr;
+  // Memo store for the battery's sequential walk requests (null = disabled:
+  // every oracle's requests explore for real). Each oracle states the walks it
+  // needs through the ExploreMemoized front door; with a store attached, a
+  // walk another oracle already requested is served from cache, so the battery
+  // does each distinct (model, reduction) exploration once. The fuzzer passes
+  // its campaign-local store (never the process-global one) so campaigns stay
+  // pure functions of their options. Raw ExploreParallel calls (the
+  // parallel-determinism oracle) and observer-armed engine walks never touch
+  // it.
+  memo::MemoStore* memo = nullptr;
 
   bool Enabled(OracleId id) const {
     return (mask & (1u << static_cast<uint32_t>(id))) != 0;
@@ -119,7 +138,14 @@ struct BatteryResult {
   StopCause stop_cause = StopCause::kNone;
   std::vector<OracleFailure> failures;
   CoverageFeatures coverage;
-  uint64_t states_explored = 0;  // total across every walk the battery ran
+  // Total states over every walk request the battery performed. A request
+  // served from the memo store contributes the cached walk's state count —
+  // the number is a property of the request, not of who computed it — so this
+  // total is identical with the store enabled, disabled, warm, or cold.
+  uint64_t states_explored = 0;
+  // Front-door accounting over the battery's sequential walk requests.
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
 };
 
 // Runs every enabled oracle on `test`. The program must carry its observation

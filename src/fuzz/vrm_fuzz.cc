@@ -36,11 +36,14 @@ void PrintUsage() {
                "                [--memory-mb N] [--walk-seeds N] [--max-failures N]\n"
                "                [--oracles name,name,...] [--monitor-variant N]\n"
                "                [--artifact-dir DIR] [--fault none|fetchadd]\n"
-               "                [--json BENCH] [--quiet]\n"
+               "                [--memo-bytes N] [--json BENCH] [--quiet]\n"
                "       vrm_fuzz --replay ARTIFACT.json\n"
                "       vrm_fuzz --selftest\n"
                "oracle names: model-strength-order reduction-invariance\n"
-               "              parallel-determinism fused-engine walk-containment\n");
+               "              parallel-determinism fused-engine walk-containment\n"
+               "--memo-bytes: capacity of the campaign-local memoized-exploration\n"
+               "              store in bytes (default 64 MiB; 0 disables — every\n"
+               "              walk request explores for real)\n");
 }
 
 void Progress(const std::string& line) { std::printf("%s\n", line.c_str()); }
@@ -195,6 +198,10 @@ int Main(int argc, char** argv) {
         std::fprintf(stderr, "vrm_fuzz: unknown fault '%s'\n", v ? v : "");
         return 2;
       }
+    } else if (arg == "--memo-bytes") {
+      const char* v = next();
+      if (!v) return 2;
+      options.memo_bytes = std::strtoull(v, nullptr, 10);
     } else if (arg == "--artifact-dir") {
       const char* v = next();
       if (!v) return 2;

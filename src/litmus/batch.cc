@@ -16,17 +16,25 @@ namespace vrm {
 
 std::string BatchResult::Summary() const {
   size_t refines = 0, truncated = 0;
-  uint64_t pruned = 0;
+  uint64_t pruned = 0, memo_hits = 0, memo_requests = 0;
   for (const BatchEntry& e : entries) {
     refines += e.status.holds ? 1 : 0;
     truncated += e.status.truncated ? 1 : 0;
     pruned += e.sc.stats.states_pruned + e.rm.stats.states_pruned;
+    memo_hits += e.sc.stats.memo_hits + e.rm.stats.memo_hits;
+    memo_requests += e.sc.stats.memo_hits + e.sc.stats.memo_misses +
+                     e.rm.stats.memo_hits + e.rm.stats.memo_misses;
   }
   std::string out = "batch: " + std::to_string(entries.size()) + " tests, " +
                     std::to_string(refines) + " refine SC, " +
                     std::to_string(entries.size() - refines) + " exhibit relaxed-only " +
                     "behaviour, " + std::to_string(truncated) + " truncated, " +
-                    std::to_string(pruned) + " states pruned\n";
+                    std::to_string(pruned) + " states pruned";
+  if (memo_requests > 0) {
+    out += ", memo " + std::to_string(memo_hits) + "/" +
+           std::to_string(memo_requests) + " hits";
+  }
+  out += "\n";
   for (const BatchEntry& e : entries) {
     std::string bound;
     if (e.status.truncated) {
@@ -84,6 +92,22 @@ std::string BatchResult::ToJsonLines(const std::string& bench) const {
   out += line(bench, "refines", static_cast<double>(refines));
   out += line(bench, "truncated", static_cast<double>(truncated));
   out += line(bench, "stop_cause", static_cast<double>(static_cast<int>(stop_cause())));
+  // Memoized-exploration accounting across the whole run: how many of the 2k
+  // front-door requests were served from the store, plus the store's post-run
+  // byte/eviction snapshot (largest seen across entries).
+  uint64_t memo_hits = 0, memo_misses = 0, memo_bytes = 0, memo_evictions = 0;
+  for (const BatchEntry& e : entries) {
+    memo_hits += e.sc.stats.memo_hits + e.rm.stats.memo_hits;
+    memo_misses += e.sc.stats.memo_misses + e.rm.stats.memo_misses;
+    for (const ExploreStats* stats : {&e.sc.stats, &e.rm.stats}) {
+      if (stats->memo_bytes > memo_bytes) memo_bytes = stats->memo_bytes;
+      if (stats->memo_evictions > memo_evictions) memo_evictions = stats->memo_evictions;
+    }
+  }
+  out += line(bench, "memo_hits", static_cast<double>(memo_hits));
+  out += line(bench, "memo_misses", static_cast<double>(memo_misses));
+  out += line(bench, "memo_bytes", static_cast<double>(memo_bytes));
+  out += line(bench, "memo_evictions", static_cast<double>(memo_evictions));
   return out;
 }
 
@@ -151,10 +175,6 @@ BatchResult RunLitmusBatchImpl(const std::vector<LitmusTest>& suite,
 }
 
 }  // namespace
-
-BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite, int num_threads) {
-  return RunLitmusBatchImpl(suite, num_threads, nullptr);
-}
 
 BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite,
                            const BatchOptions& options) {

@@ -46,6 +46,8 @@ struct BatchResult {
 
   // Counts of refining / non-refining / truncated entries, rendered per test
   // (truncated entries carry their stop cause, e.g. "[bounded: deadline]").
+  // When any entry's exploration went through the memo store, the header line
+  // also reports hits/requests.
   std::string Summary() const;
 
   // Why the batch stopped: the first governed cause (deadline/memory/
@@ -72,15 +74,24 @@ struct BatchOptions {
   GovernanceOptions governance;
 };
 
-// Explores every test on both models using `num_threads` test-level workers
-// (0 = one per hardware thread). The SC and RM explorations of one test are the
-// unit of distribution, so a suite of k tests exposes 2k independent tasks.
-BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite, int num_threads = 0);
-
-// Governed batch: same distribution, one RunBudget/CancelToken/telemetry
-// channel spanning the whole suite.
+// The single batch entry point: explores every test on both models using
+// BatchOptions::num_threads test-level workers (0 = one per hardware thread).
+// The SC and RM explorations of one test are the unit of distribution, so a
+// suite of k tests exposes 2k independent tasks, each routed through the
+// memoized exploration front door. With governance enabled, one
+// RunBudget/CancelToken/telemetry channel spans the whole suite.
 BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite,
                            const BatchOptions& options);
+
+// Convenience forwarder for ungoverned runs: `num_threads` test-level workers,
+// default governance (disabled). Kept as a thin shim so every caller shares
+// the one governed code path above.
+inline BatchResult RunLitmusBatch(const std::vector<LitmusTest>& suite,
+                                  int num_threads = 0) {
+  BatchOptions options;
+  options.num_threads = num_threads;
+  return RunLitmusBatch(suite, options);
+}
 
 // The standard regression suite: the Armv8 classics catalog (SB/MP/LB/CoRR/
 // CoWW/2+2W/S/WRC/IRIW in plain and fixed strengths) plus the paper's Examples

@@ -1,26 +1,39 @@
 #include "src/litmus/litmus.h"
 
 #include "src/engine/pass.h"
-#include "src/model/explorer.h"
-#include "src/model/promising_machine.h"
-#include "src/model/sc_machine.h"
-#include "src/model/tso_machine.h"
+#include "src/memo/memo.h"
 
 namespace vrm {
 
+namespace {
+
+// All three Run* helpers are the memoized front door over the process-global
+// store (src/memo/memo.h): repeated explorations of the same (program, model,
+// config) — refinement checks re-running suite entries, fuzz minimization
+// probes, overlapping batch suites — are served from cache. The memo layer
+// owns the correctness rules: bounded results are never admitted, governed
+// requests always run for real.
+ExploreResult RunMemoized(const LitmusTest& test, memo::MachineKind machine) {
+  memo::ExploreRequest request;
+  request.program = &test.program;
+  request.config = test.config;
+  request.machine = machine;
+  request.store = &memo::MemoStore::Global();
+  return memo::ExploreMemoized(request);
+}
+
+}  // namespace
+
 ExploreResult RunSc(const LitmusTest& test) {
-  ScMachine machine(test.program, test.config);
-  return Explore(machine, test.config);
+  return RunMemoized(test, memo::MachineKind::kSc);
 }
 
 ExploreResult RunPromising(const LitmusTest& test) {
-  PromisingMachine machine(test.program, test.config);
-  return Explore(machine, test.config);
+  return RunMemoized(test, memo::MachineKind::kPromising);
 }
 
 ExploreResult RunTso(const LitmusTest& test) {
-  TsoMachine machine(test.program, test.config);
-  return Explore(machine, test.config);
+  return RunMemoized(test, memo::MachineKind::kTso);
 }
 
 bool AnyOutcome(const ExploreResult& result, const OutcomePredicate& predicate) {

@@ -23,14 +23,20 @@ struct LitmusTest {
   std::string description;
 };
 
-// Exhaustively explores the test on the SC model.
+// Exhaustively explores the test on the SC model. All three Run* helpers go
+// through the memoized exploration front door (src/memo/memo.h) over the
+// process-global store: a repeated (program, model, config) request returns
+// the cached definitive result (stats.memo_hits = 1) instead of re-walking.
+// Governed requests and bounded results are never served from cache.
 ExploreResult RunSc(const LitmusTest& test);
 
-// Exhaustively explores the test on the Promising-Arm model.
+// Exhaustively explores the test on the Promising-Arm model (memoized, see
+// RunSc).
 ExploreResult RunPromising(const LitmusTest& test);
 
-// Exhaustively explores the test on the x86-TSO model (store buffers). Used by
-// the model-comparison tests and the paper's TSO-vs-Arm motivation.
+// Exhaustively explores the test on the x86-TSO model (store buffers; memoized,
+// see RunSc). Used by the model-comparison tests and the paper's TSO-vs-Arm
+// motivation.
 ExploreResult RunTso(const LitmusTest& test);
 
 // Convenience predicate evaluation over an outcome set.

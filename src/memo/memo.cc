@@ -1,0 +1,223 @@
+#include "src/memo/memo.h"
+
+#include "src/model/explorer.h"
+#include "src/model/promising_machine.h"
+#include "src/model/sc_machine.h"
+#include "src/model/tso_machine.h"
+#include "src/support/thread_pool.h"
+
+namespace vrm {
+namespace memo {
+
+const char* MachineKindName(MachineKind kind) {
+  switch (kind) {
+    case MachineKind::kSc:
+      return "sc";
+    case MachineKind::kTso:
+      return "tso";
+    case MachineKind::kPromising:
+      return "promising";
+  }
+  return "unknown";
+}
+
+uint64_t FingerprintConfig(const ModelConfig& config) {
+  DigestSink sink;
+  sink.U32(static_cast<uint32_t>(config.max_steps_per_thread));
+  sink.U64(config.max_states);
+  sink.U32(static_cast<uint32_t>(config.max_messages));
+  // The worker count is fingerprinted after ResolveThreads: num_threads = 0
+  // ("one per hardware thread") and an explicit num_threads equal to the host
+  // width are the same exploration. Outcome sets are worker-count-invariant,
+  // but the hot-path stats (peak_frontier, steals, digest_bytes) are not, and
+  // a cached result must be indistinguishable from a fresh run.
+  sink.U32(static_cast<uint32_t>(EffectiveThreads(config.num_threads)));
+  sink.U32(static_cast<uint32_t>(config.max_promises_per_thread));
+  sink.U8(config.pushpull ? 1 : 0);
+  sink.U8(static_cast<uint8_t>(config.reduction));
+  sink.U32(static_cast<uint32_t>(config.write_once_cells.size()));
+  for (Addr a : config.write_once_cells) {
+    sink.U32(a);
+  }
+  sink.U32(static_cast<uint32_t>(config.pt_watch.size()));
+  for (const ModelConfig::PtWatch& watch : config.pt_watch) {
+    sink.U32(watch.cell);
+    sink.U32(watch.vpage);
+  }
+  sink.U32(static_cast<uint32_t>(config.user_cells.size()));
+  for (Addr a : config.user_cells) {
+    sink.U32(a);
+  }
+  sink.U32(static_cast<uint32_t>(config.kernel_cells.size()));
+  for (Addr a : config.kernel_cells) {
+    sink.U32(a);
+  }
+  // Governance (config.governance, config.governor) is deliberately absent:
+  // budgets bound wall-clock, not semantics, and bounded results never enter
+  // the store.
+  const Digest128 digest = sink.Finish();
+  return digest.first ^ Mix64(digest.second);
+}
+
+ExplorationKey MakeKey(const Program& program, MachineKind machine,
+                       const ModelConfig& config) {
+  ExplorationKey key;
+  key.program = ProgramDigest(program);
+  key.machine = machine;
+  key.config = FingerprintConfig(config);
+  return key;
+}
+
+size_t EstimateResultBytes(const ExploreResult& result) {
+  // Entry bookkeeping: the key, the list node, the index slot, the stats.
+  size_t bytes = sizeof(ExploreResult) + sizeof(ExplorationKey) + 96;
+  for (const auto& [key, outcome] : result.outcomes) {
+    // The map stores the serialized key once; the node + Outcome headers and
+    // small-vector payloads dominate litmus-scale entries.
+    bytes += key.size() + sizeof(Outcome) + 64;
+    bytes += outcome.regs.size() * sizeof(Word);
+    bytes += outcome.locs.size() * sizeof(Word);
+    bytes += outcome.faults.size() + outcome.panics.size();
+    for (const auto& tlb : outcome.tlbs) {
+      bytes += sizeof(tlb) + tlb.size() * (sizeof(VirtAddr) + sizeof(Word));
+    }
+  }
+  const ConditionViolations& v = result.violations;
+  bytes += v.drf.detail.size() + v.barrier.detail.size() +
+           v.write_once.detail.size() + v.tlbi.detail.size() +
+           v.isolation.detail.size();
+  return bytes;
+}
+
+MemoStore::MemoStore(size_t capacity_bytes, int shards)
+    : capacity_(capacity_bytes),
+      shard_capacity_(capacity_bytes / (shards < 1 ? 1 : shards)),
+      shards_(shards < 1 ? 1 : shards) {}
+
+bool MemoStore::Lookup(const ExplorationKey& key, ExploreResult* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->result;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void MemoStore::Insert(const ExplorationKey& key, const ExploreResult& result) {
+  const size_t entry_bytes = EstimateResultBytes(result);
+  if (entry_bytes > shard_capacity_) {
+    return;  // would evict a whole shard for one entry
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  while (!shard.lru.empty() && shard.bytes + entry_bytes > shard_capacity_) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  shard.lru.push_front(Entry{key, result, entry_bytes});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += entry_bytes;
+}
+
+void MemoStore::Clear() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+uint64_t MemoStore::bytes() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.bytes;
+  }
+  return total;
+}
+
+uint64_t MemoStore::entries() const {
+  uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.index.size();
+  }
+  return total;
+}
+
+MemoStore& MemoStore::Global() {
+  static MemoStore* store = new MemoStore(kGlobalCapacityBytes);
+  return *store;
+}
+
+namespace {
+
+ExploreResult RunRequest(const ExploreRequest& request) {
+  switch (request.machine) {
+    case MachineKind::kSc: {
+      ScMachine machine(*request.program, request.config);
+      return Explore(machine, request.config);
+    }
+    case MachineKind::kTso: {
+      TsoMachine machine(*request.program, request.config);
+      return Explore(machine, request.config);
+    }
+    case MachineKind::kPromising: {
+      PromisingMachine machine(*request.program, request.config);
+      return Explore(machine, request.config);
+    }
+  }
+  return ExploreResult{};
+}
+
+}  // namespace
+
+ExploreResult ExploreMemoized(const ExploreRequest& request) {
+  MemoStore* const store = request.store;
+  if (store == nullptr) {
+    return RunRequest(request);
+  }
+  const bool governed = request.config.governor != nullptr ||
+                        request.config.governance.Enabled();
+  ExplorationKey key = MakeKey(*request.program, request.machine, request.config);
+  if (!governed) {
+    ExploreResult cached;
+    if (store->Lookup(key, &cached)) {
+      cached.stats.memo_hits = 1;
+      cached.stats.memo_bytes = store->bytes();
+      cached.stats.memo_evictions = store->evictions();
+      return cached;
+    }
+  }
+  ExploreResult result = RunRequest(request);
+  if (!result.stats.truncated) {
+    // The Definitive rule: only complete outcome sets are admitted. The copy
+    // inserted carries zero memo_* counters — they describe a request, not a
+    // result.
+    store->Insert(key, result);
+  }
+  if (!governed) {
+    result.stats.memo_misses = 1;
+  }
+  result.stats.memo_bytes = store->bytes();
+  result.stats.memo_evictions = store->evictions();
+  return result;
+}
+
+}  // namespace memo
+}  // namespace vrm

@@ -1,0 +1,199 @@
+// The exploration front door: content-addressed memoization of state-space
+// walks.
+//
+// Every verification layer — CheckRefinement, VerifyKernel's SC walk,
+// RunLitmusBatch, the fuzz oracle battery — needs the same primitive: the full
+// exploration result of (program, machine, config). Those explorations are
+// pure functions of their inputs (the explorers are deterministic; wall-clock
+// enters only through run governance), so their results are cacheable by
+// content: an ExplorationKey is the canonical 128-bit program digest × the
+// machine kind × a fingerprint of every result-relevant ModelConfig field.
+// ExploreMemoized(request) is the single entry point; raw Explore() calls
+// remain only where memoization is unsound or pointless (see below).
+//
+// Correctness rules, in force at this layer rather than at call sites:
+//
+//   * Never cache bounded results. A truncated or governor-stopped exploration
+//     is an under-approximation; serving it later as "the" outcome set would
+//     corrupt every downstream verdict. Only Definitive results (not
+//     stats.truncated) are admitted to the store.
+//
+//   * Governed requests bypass the lookup. A request carrying a RunGovernor or
+//     enabled GovernanceOptions exists to observe real resource consumption
+//     against a budget; serving a cached result would make the budget
+//     accounting meaningless and break forced-truncation expectations (a
+//     1e-9-second deadline must stop a real walk, not be hidden by a warm
+//     cache). Governed runs that complete cleanly still insert — the result is
+//     the same pure function value.
+//
+//   * Observer-armed walks never come here. RunEnginePasses and everything
+//     built on it (CheckWdrf, VerifyKernel's Promising walk) feed per-state
+//     observers whose side effects a cached ExploreResult cannot replay; those
+//     call sites keep their raw Explore().
+//
+//   * The reduction mode is part of the key. kPorSymmetry outcome sets are
+//     symmetry-closed by construction, so they are keyed separately from kPor
+//     and kNone walks — the fuzz invariance oracle still compares three real,
+//     independently explored walks, never one walk against its own cache copy.
+//
+// The store itself is thread-safe (per-shard mutex), sharded by key hash, and
+// byte-bounded with LRU eviction per shard. Hit/miss/byte/eviction counters
+// surface through ExploreStats (memo_* fields), batch Summary, and the fuzz
+// JSON lines.
+
+#ifndef SRC_MEMO_MEMO_H_
+#define SRC_MEMO_MEMO_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/arch/program.h"
+#include "src/arch/program_digest.h"
+#include "src/model/config.h"
+#include "src/model/outcome.h"
+#include "src/support/hash.h"
+
+namespace vrm {
+namespace memo {
+
+// Which hardware model a request explores. Part of the key: the same program
+// under the same config has three distinct state spaces.
+enum class MachineKind : uint8_t {
+  kSc = 0,
+  kTso = 1,
+  kPromising = 2,
+};
+
+const char* MachineKindName(MachineKind kind);
+
+// Fingerprint over every ModelConfig field that can change an exploration's
+// observable result: step/state/message bounds, effective worker count,
+// promise cap, push/pull protocol, reduction mode, and all four monitor
+// specs (write-once cells, PT watches, user/kernel cells). Governance fields
+// (budget, cancel token, telemetry, external governor) are deliberately
+// excluded — they bound wall-clock, not semantics, and bounded results are
+// never cached anyway. Monitor cell lists are digested in declaration order:
+// permuted lists fingerprint differently, which costs a miss, never a wrong
+// hit.
+uint64_t FingerprintConfig(const ModelConfig& config);
+
+struct ExplorationKey {
+  Digest128 program = {0, 0};  // ProgramDigest of the explored program
+  MachineKind machine = MachineKind::kSc;
+  uint64_t config = 0;  // FingerprintConfig of the exploration config
+
+  bool operator==(const ExplorationKey& other) const {
+    return program == other.program && machine == other.machine &&
+           config == other.config;
+  }
+};
+
+struct ExplorationKeyHash {
+  size_t operator()(const ExplorationKey& key) const {
+    uint64_t h = key.program.first;
+    h = HashCombine(h, key.program.second);
+    h = HashCombine(h, static_cast<uint64_t>(key.machine));
+    h = HashCombine(h, key.config);
+    return static_cast<size_t>(Mix64(h));
+  }
+};
+
+ExplorationKey MakeKey(const Program& program, MachineKind machine,
+                       const ModelConfig& config);
+
+// Deterministic accounting estimate of an ExploreResult's resident footprint
+// in the store (outcome map keys + payload vectors + violation details + entry
+// bookkeeping). Used for the byte bound; deterministic so capacity behaviour
+// (and therefore eviction counts in fixed-seed campaigns) is reproducible.
+size_t EstimateResultBytes(const ExploreResult& result);
+
+// Thread-safe, sharded, byte-bounded LRU store of definitive ExploreResults.
+class MemoStore {
+ public:
+  // `capacity_bytes` bounds the sum of EstimateResultBytes over all shards.
+  // Results larger than one shard's share are simply never admitted (they
+  // would evict an entire shard for a single entry).
+  explicit MemoStore(size_t capacity_bytes, int shards = kDefaultShards);
+  MemoStore(const MemoStore&) = delete;
+  MemoStore& operator=(const MemoStore&) = delete;
+
+  // Copies the cached result into *out and refreshes its LRU position.
+  // Counts one hit or one miss.
+  bool Lookup(const ExplorationKey& key, ExploreResult* out);
+
+  // Admits a copy of `result`, evicting least-recently-used entries of the
+  // shard until it fits. Re-inserting an existing key refreshes the entry.
+  // Callers must enforce the Definitive rule; ExploreMemoized does.
+  void Insert(const ExplorationKey& key, const ExploreResult& result);
+
+  void Clear();
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const { return evictions_.load(std::memory_order_relaxed); }
+  uint64_t bytes() const;    // current resident estimate, summed over shards
+  uint64_t entries() const;  // current entry count, summed over shards
+  size_t capacity() const { return capacity_; }
+
+  // The process-wide store behind RunSc/RunPromising/RunTso and VerifyKernel's
+  // SC walk (kGlobalCapacityBytes). Fuzz campaigns use their own store so a
+  // campaign stays a pure function of its options (src/fuzz/fuzzer.h).
+  static MemoStore& Global();
+
+  static constexpr int kDefaultShards = 8;
+  static constexpr size_t kGlobalCapacityBytes = 64ull << 20;  // 64 MiB
+
+ private:
+  struct Entry {
+    ExplorationKey key;
+    ExploreResult result;
+    size_t bytes = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<ExplorationKey, std::list<Entry>::iterator,
+                       ExplorationKeyHash>
+        index;
+    size_t bytes = 0;
+  };
+
+  Shard& ShardFor(const ExplorationKey& key) {
+    return shards_[ExplorationKeyHash{}(key) % shards_.size()];
+  }
+
+  const size_t capacity_;
+  const size_t shard_capacity_;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+// One memoizable exploration. `store == nullptr` disables memoization (the
+// request degenerates to a raw Explore()); stats.memo_* are then all zero.
+struct ExploreRequest {
+  const Program* program = nullptr;
+  ModelConfig config;
+  MachineKind machine = MachineKind::kSc;
+  MemoStore* store = nullptr;
+};
+
+// The front door. Ungoverned requests consult the store first (hit: returns
+// the cached definitive result with stats.memo_hits = 1); on a miss the walk
+// runs for real and, if definitive, is admitted. Governed requests (an
+// external config.governor or enabled config.governance) always run for real
+// — see the header comment — but still admit definitive results. The returned
+// stats carry the store's current byte/eviction counters as a snapshot.
+ExploreResult ExploreMemoized(const ExploreRequest& request);
+
+}  // namespace memo
+}  // namespace vrm
+
+#endif  // SRC_MEMO_MEMO_H_

@@ -98,6 +98,16 @@ void ExploreResult::Absorb(ExploreResult&& other) {
   if (other.stats.peak_frontier > stats.peak_frontier) {
     stats.peak_frontier = other.stats.peak_frontier;
   }
+  stats.memo_hits += other.stats.memo_hits;
+  stats.memo_misses += other.stats.memo_misses;
+  // Byte/eviction counters are store snapshots, not per-walk work: keep the
+  // latest (largest) one rather than summing.
+  if (other.stats.memo_bytes > stats.memo_bytes) {
+    stats.memo_bytes = other.stats.memo_bytes;
+  }
+  if (other.stats.memo_evictions > stats.memo_evictions) {
+    stats.memo_evictions = other.stats.memo_evictions;
+  }
   stats.truncated = stats.truncated || other.stats.truncated;
   // Workers under one governor all observe the same latched cause; keep the
   // first non-none one (only cap-vs-governor races can differ, and then any
@@ -110,10 +120,18 @@ void ExploreResult::Absorb(ExploreResult&& other) {
 std::string ExploreStats::Describe() const {
   char buf[288];
   std::string trunc;
+  if (memo_hits + memo_misses > 0) {
+    // Only memoized requests render the memo segment, so raw explorations
+    // keep their historical one-line shape.
+    std::snprintf(buf, sizeof(buf), " memo=%llu/%llu",
+                  static_cast<unsigned long long>(memo_hits),
+                  static_cast<unsigned long long>(memo_hits + memo_misses));
+    trunc = buf;
+  }
   if (truncated) {
-    trunc = stop_cause == StopCause::kNone
-                ? " [truncated]"
-                : std::string(" [truncated: ") + StopCauseName(stop_cause) + "]";
+    trunc += stop_cause == StopCause::kNone
+                 ? " [truncated]"
+                 : std::string(" [truncated: ") + StopCauseName(stop_cause) + "]";
   }
   std::snprintf(buf, sizeof(buf),
                 "stats: states=%llu transitions=%llu digest-bytes=%llu "

@@ -94,6 +94,17 @@ struct ExploreStats {
   // The reduction mode the exploration actually ran with (config.reduction),
   // recorded so results are self-describing.
   Reduction reduction = Reduction::kPor;
+  // Memoized-exploration accounting (src/memo/memo.h). Set only on results
+  // returned by ExploreMemoized with a store attached: a request served from
+  // the store carries memo_hits = 1 (and the cached walk's own counters), a
+  // request that had to explore carries memo_misses = 1. memo_bytes and
+  // memo_evictions snapshot the store after the request. Raw Explore() and
+  // governed-bypass requests leave hits/misses zero. Absorb() sums hits and
+  // misses (batch totals) and keeps the largest byte/eviction snapshot.
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+  uint64_t memo_bytes = 0;
+  uint64_t memo_evictions = 0;
   // True when a bound (state cap, step budget, message cap, or the run
   // governor's budget) cut exploration short; outcome sets are then
   // under-approximations.

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "src/arch/builder.h"
+#include "src/arch/program_digest.h"  // IWYU pragma: export
 #include "src/litmus/litmus.h"
 #include "src/support/hash.h"
 #include "src/support/rng.h"
@@ -83,17 +84,10 @@ inline LitmusTest RandomProgram(uint64_t seed, int threads) {
 
 }  // namespace corpus
 
-// 128-bit digest over every generator-visible field of a Program: memory
-// geometry, initial values, per-thread code (all instruction fields), MMU
-// configuration, and the observation spec. Two programs with equal digests are
-// byte-for-byte identical as far as the machines are concerned, so the golden
-// corpus test and the fuzz artifacts' bit-identical-replay check both key on
-// this.
-Digest128 ProgramDigest(const Program& program);
-
-// Lower-case hex rendering "xxxxxxxxxxxxxxxx:yyyyyyyyyyyyyyyy" of a digest,
-// used by golden pins and artifact JSON.
-std::string DigestHex(Digest128 digest);
+// ProgramDigest / DigestHex moved to src/arch/program_digest.h (exported by
+// the include above) so that the exploration memo store, which sits below the
+// litmus layer, can key cache entries by program content. The emission stays
+// bit-identical — the golden corpus pins verify that.
 
 }  // namespace vrm
 

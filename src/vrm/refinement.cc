@@ -26,7 +26,11 @@ std::string RefinementResult::Describe(const Program& program) const {
 RefinementResult CheckRefinement(const LitmusTest& test) {
   RefinementResult result;
   // The two explorations share nothing, so overlap them; each one additionally
-  // parallelizes internally per test.config.num_threads.
+  // parallelizes internally per test.config.num_threads. Both walks are the
+  // memoized front door (RunSc/RunPromising, src/memo/memo.h): re-checking a
+  // test — or checking one whose walks a batch or fuzz battery already ran —
+  // is served from the store. The store is thread-safe, so the overlapped
+  // lookups are fine.
   std::future<ExploreResult> sc = std::async(std::launch::async, [&] { return RunSc(test); });
   result.rm = RunPromising(test);
   result.sc = sc.get();

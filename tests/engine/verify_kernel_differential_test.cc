@@ -16,7 +16,7 @@
 #include "src/litmus/litmus.h"
 #include "src/vrm/conditions.h"
 #include "src/vrm/refinement.h"
-#include "tests/model/random_program_corpus.h"
+#include "src/testing/random_program.h"
 
 namespace vrm {
 namespace {

@@ -1,0 +1,405 @@
+// The memoized exploration front door (src/memo/memo.h): key derivation must
+// cover exactly the result-relevant ModelConfig fields (governance never
+// changes a key), the store must obey its byte bound with LRU recency, the
+// Definitive rule must keep every bounded result out of the cache, governed
+// requests must bypass the lookup path, and — the acceptance differential —
+// cold and warm runs over the shared random corpus must be bit-identical in
+// outcome sets, refinement verdicts, and violation flags at every worker
+// count.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/arch/builder.h"
+#include "src/litmus/litmus.h"
+#include "src/memo/memo.h"
+#include "src/support/governance.h"
+#include "src/support/thread_pool.h"
+#include "src/testing/random_program.h"
+
+namespace vrm {
+namespace {
+
+std::vector<std::string> OutcomeKeys(const ExploreResult& result) {
+  std::vector<std::string> keys;
+  for (const auto& [key, outcome] : result.outcomes) {
+    (void)outcome;
+    keys.push_back(key);
+  }
+  return keys;  // std::map iteration is already key-sorted
+}
+
+uint32_t ViolationMask(const ExploreResult& result) {
+  const ConditionViolations& v = result.violations;
+  return (v.drf.set ? 1u : 0) | (v.barrier.set ? 2u : 0) |
+         (v.write_once.set ? 4u : 0) | (v.tlbi.set ? 8u : 0) |
+         (v.isolation.set ? 16u : 0);
+}
+
+// Fully observed corpus program (same construction as the reduction
+// differential suite): every register and cell observable, and a state budget
+// the corpus explores exhaustively in every mode, so cold/warm comparisons
+// never ride on a truncated (schedule-dependent) prefix.
+LitmusTest ObservedCorpusProgram(uint64_t seed, int threads) {
+  LitmusTest test = corpus::RandomProgram(seed, threads);
+  for (ThreadId tid = 0; tid < static_cast<ThreadId>(threads); ++tid) {
+    for (Reg reg = 0; reg < 4; ++reg) {
+      test.program.observed_regs.push_back({tid, reg});
+    }
+  }
+  for (Addr a = 0; a < corpus::kCells; ++a) {
+    test.program.observed_locs.push_back(a);
+  }
+  test.config.max_states = 2'000'000;
+  return test;
+}
+
+memo::ExplorationKey KeyOf(uint64_t n) {
+  memo::ExplorationKey key;
+  key.program = {n, 0x9e3779b97f4a7c15ull};
+  return key;
+}
+
+// --- ExplorationKey ---------------------------------------------------------
+
+TEST(ExplorationKey, ResultRelevantConfigFieldsChangeTheFingerprint) {
+  const ModelConfig base;
+  const uint64_t fp = memo::FingerprintConfig(base);
+  auto with = [&](auto mutate) {
+    ModelConfig config = base;
+    mutate(config);
+    return memo::FingerprintConfig(config);
+  };
+  EXPECT_NE(with([](ModelConfig& c) { c.reduction = Reduction::kNone; }), fp);
+  EXPECT_NE(with([](ModelConfig& c) { c.reduction = Reduction::kPorSymmetry; }), fp);
+  EXPECT_NE(with([](ModelConfig& c) { c.max_states = 123; }), fp);
+  EXPECT_NE(with([](ModelConfig& c) { ++c.max_steps_per_thread; }), fp);
+  EXPECT_NE(with([](ModelConfig& c) { ++c.max_messages; }), fp);
+  EXPECT_NE(with([](ModelConfig& c) { ++c.max_promises_per_thread; }), fp);
+  EXPECT_NE(with([](ModelConfig& c) { c.pushpull = true; }), fp);
+  EXPECT_NE(with([](ModelConfig& c) { c.write_once_cells = {0}; }), fp);
+  EXPECT_NE(with([](ModelConfig& c) { c.pt_watch = {{0, 1}}; }), fp);
+  EXPECT_NE(with([](ModelConfig& c) { c.user_cells = {2}; }), fp);
+  EXPECT_NE(with([](ModelConfig& c) { c.kernel_cells = {1}; }), fp);
+  // The worker count enters post-resolution: an explicit count fingerprints
+  // like itself, and 0 ("one per hardware thread") like the resolved width.
+  EXPECT_NE(with([](ModelConfig& c) { c.num_threads = 7; }), fp);
+  EXPECT_EQ(with([](ModelConfig& c) { c.num_threads = 0; }),
+            with([](ModelConfig& c) { c.num_threads = EffectiveThreads(0); }));
+}
+
+TEST(ExplorationKey, GovernanceNeverChangesTheFingerprint) {
+  const ModelConfig base;
+  const uint64_t fp = memo::FingerprintConfig(base);
+
+  ModelConfig governed = base;
+  governed.governance.budget.deadline_seconds = 3600;
+  EXPECT_EQ(memo::FingerprintConfig(governed), fp);
+  governed.governance.budget.soft_memory_bytes = 1 << 20;
+  EXPECT_EQ(memo::FingerprintConfig(governed), fp);
+  CancelToken token;
+  governed.governance.cancel = &token;
+  EXPECT_EQ(memo::FingerprintConfig(governed), fp);
+  RunGovernor governor(governed.governance);
+  governed.governor = &governor;
+  EXPECT_EQ(memo::FingerprintConfig(governed), fp);
+}
+
+TEST(ExplorationKey, MachineKindAndProgramContentDisambiguate) {
+  const LitmusTest a = corpus::RandomProgram(1, 2);
+  const LitmusTest b = corpus::RandomProgram(2, 2);
+  auto key = [](const LitmusTest& t, memo::MachineKind machine) {
+    return memo::MakeKey(t.program, machine, t.config);
+  };
+  EXPECT_TRUE(key(a, memo::MachineKind::kSc) == key(a, memo::MachineKind::kSc));
+  EXPECT_FALSE(key(a, memo::MachineKind::kSc) == key(a, memo::MachineKind::kTso));
+  EXPECT_FALSE(key(a, memo::MachineKind::kSc) ==
+               key(a, memo::MachineKind::kPromising));
+  EXPECT_FALSE(key(a, memo::MachineKind::kSc) == key(b, memo::MachineKind::kSc));
+}
+
+// --- MemoStore --------------------------------------------------------------
+
+TEST(MemoStore, LruEvictionRespectsByteCapAndRecency) {
+  const ExploreResult payload;
+  const size_t base = memo::EstimateResultBytes(payload);
+  memo::MemoStore store(4 * base, /*shards=*/1);  // one shard: global LRU order
+  for (uint64_t n = 1; n <= 4; ++n) {
+    store.Insert(KeyOf(n), payload);
+  }
+  EXPECT_EQ(store.entries(), 4u);
+  EXPECT_EQ(store.evictions(), 0u);
+
+  ExploreResult out;
+  EXPECT_TRUE(store.Lookup(KeyOf(2), &out));  // refresh: 2 is now most recent
+  store.Insert(KeyOf(5), payload);            // evicts 1 (least recent)
+  store.Insert(KeyOf(6), payload);            // evicts 3 (2 was refreshed)
+  EXPECT_EQ(store.evictions(), 2u);
+  EXPECT_LE(store.bytes(), store.capacity());
+  EXPECT_FALSE(store.Lookup(KeyOf(1), &out));
+  EXPECT_FALSE(store.Lookup(KeyOf(3), &out));
+  EXPECT_TRUE(store.Lookup(KeyOf(2), &out));
+  EXPECT_TRUE(store.Lookup(KeyOf(4), &out));
+  EXPECT_TRUE(store.Lookup(KeyOf(5), &out));
+  EXPECT_TRUE(store.Lookup(KeyOf(6), &out));
+}
+
+TEST(MemoStore, EntriesLargerThanAShardAreNeverAdmitted) {
+  const ExploreResult payload;
+  const size_t base = memo::EstimateResultBytes(payload);
+  memo::MemoStore store(base - 1, /*shards=*/1);
+  store.Insert(KeyOf(1), payload);
+  EXPECT_EQ(store.entries(), 0u);
+  EXPECT_EQ(store.bytes(), 0u);
+}
+
+TEST(MemoStore, ClearDropsEverything) {
+  const ExploreResult payload;
+  memo::MemoStore store(1 << 20);
+  store.Insert(KeyOf(1), payload);
+  store.Insert(KeyOf(2), payload);
+  EXPECT_EQ(store.entries(), 2u);
+  store.Clear();
+  EXPECT_EQ(store.entries(), 0u);
+  EXPECT_EQ(store.bytes(), 0u);
+  ExploreResult out;
+  EXPECT_FALSE(store.Lookup(KeyOf(1), &out));
+}
+
+// Concurrent lookups, inserts, and evictions on a deliberately tiny store.
+// The interesting assertions are the ones tsan makes; the arithmetic below
+// just pins that every operation was counted.
+TEST(MemoStore, ConcurrentLookupInsertHammer) {
+  memo::MemoStore store(16 * 1024, /*shards=*/2);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&store, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const memo::ExplorationKey key = KeyOf(
+            static_cast<uint64_t>((t * 131 + i) % 37) * 17 + i % 13);
+        ExploreResult out;
+        store.Lookup(key, &out);
+        store.Insert(key, ExploreResult{});
+      }
+    });
+  }
+  for (std::thread& worker : workers) {
+    worker.join();
+  }
+  EXPECT_EQ(store.hits() + store.misses(),
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_LE(store.bytes(), store.capacity());
+}
+
+// --- ExploreMemoized --------------------------------------------------------
+
+TEST(ExploreMemoized, MissThenHitReturnsTheIdenticalResult) {
+  memo::MemoStore store(1 << 20);
+  const LitmusTest test = ObservedCorpusProgram(97, 2);
+  memo::ExploreRequest request;
+  request.program = &test.program;
+  request.config = test.config;
+  request.machine = memo::MachineKind::kPromising;
+  request.store = &store;
+
+  const ExploreResult cold = memo::ExploreMemoized(request);
+  ASSERT_FALSE(cold.stats.truncated);
+  EXPECT_EQ(cold.stats.memo_hits, 0u);
+  EXPECT_EQ(cold.stats.memo_misses, 1u);
+  EXPECT_EQ(store.entries(), 1u);
+
+  const ExploreResult warm = memo::ExploreMemoized(request);
+  EXPECT_EQ(warm.stats.memo_hits, 1u);
+  EXPECT_EQ(warm.stats.memo_misses, 0u);
+  EXPECT_EQ(OutcomeKeys(cold), OutcomeKeys(warm));
+  EXPECT_EQ(cold.stats.states, warm.stats.states);
+  EXPECT_EQ(cold.stats.transitions, warm.stats.transitions);
+  EXPECT_EQ(ViolationMask(cold), ViolationMask(warm));
+}
+
+TEST(ExploreMemoized, NullStoreDegeneratesToARawWalk) {
+  const LitmusTest test = ObservedCorpusProgram(97, 2);
+  memo::ExploreRequest request;
+  request.program = &test.program;
+  request.config = test.config;
+  request.machine = memo::MachineKind::kSc;
+  request.store = nullptr;
+  const ExploreResult result = memo::ExploreMemoized(request);
+  EXPECT_EQ(result.stats.memo_hits, 0u);
+  EXPECT_EQ(result.stats.memo_misses, 0u);
+  EXPECT_GT(result.stats.states, 0u);
+}
+
+TEST(ExploreMemoized, ReductionModesAreDistinctEntries) {
+  memo::MemoStore store(1 << 20);
+  LitmusTest test = ObservedCorpusProgram(42, 2);
+  auto run = [&](Reduction reduction) {
+    LitmusTest configured = test;
+    configured.config.reduction = reduction;
+    memo::ExploreRequest request;
+    request.program = &configured.program;
+    request.config = configured.config;
+    request.machine = memo::MachineKind::kPromising;
+    request.store = &store;
+    return memo::ExploreMemoized(request);
+  };
+  const ExploreResult por = run(Reduction::kPor);
+  EXPECT_EQ(por.stats.memo_misses, 1u);
+  // A symmetry-closed request must never be served from the kPor entry (or
+  // vice versa): the invariance oracle depends on comparing real walks.
+  const ExploreResult sym = run(Reduction::kPorSymmetry);
+  EXPECT_EQ(sym.stats.memo_hits, 0u);
+  EXPECT_EQ(sym.stats.memo_misses, 1u);
+  EXPECT_EQ(store.entries(), 2u);
+  EXPECT_EQ(OutcomeKeys(por), OutcomeKeys(sym));  // reduction soundness
+}
+
+// The Definitive rule, pinned: a truncated exploration must never enter the
+// store, so re-requesting it re-explores every time.
+TEST(ExploreMemoized, BoundedResultsAreNeverCached) {
+  memo::MemoStore store(1 << 20);
+  LitmusTest test = corpus::RandomProgram(42, 3);
+  test.config.max_states = 2;  // guaranteed truncation
+  memo::ExploreRequest request;
+  request.program = &test.program;
+  request.config = test.config;
+  request.machine = memo::MachineKind::kPromising;
+  request.store = &store;
+
+  const ExploreResult first = memo::ExploreMemoized(request);
+  ASSERT_TRUE(first.stats.truncated);
+  EXPECT_EQ(store.entries(), 0u);
+
+  const ExploreResult second = memo::ExploreMemoized(request);
+  EXPECT_TRUE(second.stats.truncated);
+  EXPECT_EQ(second.stats.memo_hits, 0u);
+  EXPECT_EQ(second.stats.memo_misses, 1u);
+  EXPECT_EQ(store.hits(), 0u);
+  EXPECT_EQ(store.misses(), 2u);
+  EXPECT_EQ(store.entries(), 0u);
+}
+
+// Governed requests bypass the lookup: a warm cache must never hide a forced
+// truncation, and the bounded result must not displace the definitive entry.
+TEST(ExploreMemoized, GovernedRequestsBypassLookupAndKeepTheStoreSound) {
+  memo::MemoStore store(1 << 20);
+  // The governance suite's store-grid workload: big enough that an expired
+  // deadline lands mid-run at any worker count.
+  ProgramBuilder pb("memo_governed_grid");
+  pb.MemSize(3);
+  for (int i = 0; i < 3; ++i) {
+    auto& t = pb.NewThread();
+    t.StoreImm(static_cast<Addr>(i), 1, 1).StoreImm(static_cast<Addr>(i), 2, 1);
+  }
+  const Program program = pb.Build();
+
+  memo::ExploreRequest request;
+  request.program = &program;
+  request.machine = memo::MachineKind::kSc;
+  request.store = &store;
+  const ExploreResult warm = memo::ExploreMemoized(request);
+  ASSERT_FALSE(warm.stats.truncated);
+  EXPECT_EQ(warm.stats.memo_misses, 1u);
+  ASSERT_EQ(store.entries(), 1u);
+
+  memo::ExploreRequest governed = request;
+  governed.config.governance.budget.deadline_seconds = 1e-9;  // pre-expired
+  const ExploreResult bounded = memo::ExploreMemoized(governed);
+  EXPECT_TRUE(bounded.stats.truncated);
+  EXPECT_EQ(bounded.stats.stop_cause, StopCause::kDeadline);
+  EXPECT_EQ(bounded.stats.memo_hits, 0u);
+  EXPECT_EQ(bounded.stats.memo_misses, 0u);
+  EXPECT_EQ(store.hits(), 0u);  // the lookup path was never consulted
+
+  // An ungoverned request still hits the original definitive walk.
+  const ExploreResult hit = memo::ExploreMemoized(request);
+  EXPECT_EQ(hit.stats.memo_hits, 1u);
+  EXPECT_FALSE(hit.stats.truncated);
+  EXPECT_EQ(OutcomeKeys(hit), OutcomeKeys(warm));
+}
+
+// A governed request that completes within budget still inserts: the result
+// is the same pure function value an ungoverned walk computes.
+TEST(ExploreMemoized, GovernedRunsWithinBudgetStillInsert) {
+  memo::MemoStore store(1 << 20);
+  const LitmusTest test = ObservedCorpusProgram(7, 2);
+  memo::ExploreRequest request;
+  request.program = &test.program;
+  request.config = test.config;
+  request.machine = memo::MachineKind::kSc;
+  request.store = &store;
+  request.config.governance.budget.deadline_seconds = 3600;  // generous
+  const ExploreResult governed = memo::ExploreMemoized(request);
+  ASSERT_FALSE(governed.stats.truncated);
+  EXPECT_EQ(governed.stats.memo_hits, 0u);
+  EXPECT_EQ(governed.stats.memo_misses, 0u);  // bypass stamps neither
+  EXPECT_EQ(store.entries(), 1u);
+
+  memo::ExploreRequest ungoverned = request;
+  ungoverned.config.governance = GovernanceOptions{};
+  const ExploreResult hit = memo::ExploreMemoized(ungoverned);
+  EXPECT_EQ(hit.stats.memo_hits, 1u);
+  EXPECT_EQ(OutcomeKeys(hit), OutcomeKeys(governed));
+}
+
+// --- the acceptance differential -------------------------------------------
+
+// Cold vs warm over the shared 200-program corpus (100 seeds x {2,3}
+// threads), at 1/2/4 exploration workers: outcome key sets, refinement
+// verdicts, violation flags, and state counts must be bit-identical, and
+// every warm request must be a hit. Every 10th seed additionally
+// cross-checks the memoized cold run against a store-less raw walk.
+class MemoColdWarmSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemoColdWarmSweep, ColdAndWarmRunsAreBitIdentical) {
+  const int workers = GetParam();
+  memo::MemoStore store(memo::MemoStore::kGlobalCapacityBytes);
+  for (uint64_t seed = 1; seed <= 100; ++seed) {
+    for (int threads : {2, 3}) {
+      LitmusTest test = ObservedCorpusProgram(seed * 97, threads);
+      test.config.num_threads = workers;
+      auto run = [&](memo::MachineKind machine, memo::MemoStore* s) {
+        memo::ExploreRequest request;
+        request.program = &test.program;
+        request.config = test.config;
+        request.machine = machine;
+        request.store = s;
+        return memo::ExploreMemoized(request);
+      };
+      const std::string label =
+          test.program.name + "/" + std::to_string(threads) + "t";
+      const ExploreResult rm_cold = run(memo::MachineKind::kPromising, &store);
+      const ExploreResult sc_cold = run(memo::MachineKind::kSc, &store);
+      ASSERT_FALSE(rm_cold.stats.truncated) << label;
+      ASSERT_FALSE(sc_cold.stats.truncated) << label;
+      const ExploreResult rm_warm = run(memo::MachineKind::kPromising, &store);
+      const ExploreResult sc_warm = run(memo::MachineKind::kSc, &store);
+      EXPECT_EQ(rm_warm.stats.memo_hits, 1u) << label;
+      EXPECT_EQ(sc_warm.stats.memo_hits, 1u) << label;
+      EXPECT_EQ(OutcomeKeys(rm_cold), OutcomeKeys(rm_warm)) << label;
+      EXPECT_EQ(OutcomeKeys(sc_cold), OutcomeKeys(sc_warm)) << label;
+      EXPECT_EQ(RmRefinesSc(rm_cold, sc_cold), RmRefinesSc(rm_warm, sc_warm))
+          << label;
+      EXPECT_EQ(ViolationMask(rm_cold), ViolationMask(rm_warm)) << label;
+      EXPECT_EQ(ViolationMask(sc_cold), ViolationMask(sc_warm)) << label;
+      EXPECT_EQ(rm_cold.stats.states, rm_warm.stats.states) << label;
+      EXPECT_EQ(sc_cold.stats.states, sc_warm.stats.states) << label;
+      if (seed % 10 == 0) {
+        const ExploreResult rm_raw = run(memo::MachineKind::kPromising, nullptr);
+        EXPECT_EQ(OutcomeKeys(rm_raw), OutcomeKeys(rm_cold)) << label;
+        EXPECT_EQ(rm_raw.stats.states, rm_cold.stats.states) << label;
+      }
+    }
+  }
+  EXPECT_EQ(store.evictions(), 0u);  // 64 MiB holds the whole corpus
+}
+
+INSTANTIATE_TEST_SUITE_P(Workers, MemoColdWarmSweep, ::testing::Values(1, 2, 4));
+
+}  // namespace
+}  // namespace vrm

@@ -18,7 +18,7 @@
 #include "src/model/footprint.h"
 #include "src/model/promising_machine.h"
 #include "src/model/sc_machine.h"
-#include "tests/model/random_program_corpus.h"
+#include "src/testing/random_program.h"
 
 namespace vrm {
 namespace {
