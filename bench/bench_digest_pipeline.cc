@@ -66,7 +66,7 @@ ExploreResult LegacyExplore(const Machine& machine, const ModelConfig& config) {
     if (machine.IsTerminal(state)) {
       machine.AuditTerminal(state, &result);
       Outcome outcome = machine.Extract(state);
-      result.outcomes.emplace(outcome.Key(), std::move(outcome));
+      result.outcomes.Add(std::move(outcome));
       continue;
     }
 

@@ -1,0 +1,183 @@
+// Flat-state memory layout: the states/sec and visited-set-RSS acceptance
+// numbers for the SmallVec + DigestSet + outcome-interning work (DESIGN.md
+// "State memory layout").
+//
+// Part 1 runs the ticket-lock Promising walk (Reduction::kPor, the heaviest
+// routinely-explored workload) on the sequential engine and reports wall
+// clock, states/sec, and the layout counters ExploreStats now carries:
+// state_allocs (heap allocations still held by admitted states — 0 when every
+// inline capacity fits) and mean_state_bytes (struct + spilled buffers per
+// admitted state).
+//
+// Part 2 measures visited-set bytes per state at the walk's actual unique-
+// state count: the flat DigestSet's exact slot-array footprint against an
+// in-binary replica of the pre-flat dedup container
+// (std::unordered_set<Digest128, DigestHash>, what the sequential explorer's
+// `seen` was), filled with the same number of keys and measured through the
+// allocator (glibc mallinfo2), so node and bucket overhead are counted for
+// real rather than modeled. The headline `visited_bytes_reduction_factor` is
+// the legacy/flat ratio; the committed snapshot gates it.
+//
+// Part 3 re-runs the same walk under the parallel engine at 1/2/4 workers and
+// requires the outcome sets to be BIT-IDENTICAL to the sequential render
+// (every outcome's ToString in sorted-key order — registers, locations,
+// faults; the schedule-dependent stats line is excluded) — a faster layout
+// that perturbed outcomes would be worthless. Any divergence zeroes the
+// workers_N_outcomes_agree metric, which the regression gate holds exactly.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_set>
+
+#if defined(__GLIBC__)
+#include <malloc.h>
+#endif
+
+#include "bench/bench_json.h"
+#include "src/litmus/litmus.h"
+#include "src/litmus/paper_examples.h"
+#include "src/model/reduction.h"
+#include "src/support/digest_table.h"
+#include "src/support/hash.h"
+
+namespace vrm {
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+// Bytes currently handed out by the allocator (arena + mmap), for measuring
+// the legacy container's true footprint including node and bucket overhead.
+uint64_t AllocatorBytes() {
+#if defined(__GLIBC__)
+  struct mallinfo2 mi = mallinfo2();
+  return static_cast<uint64_t>(mi.uordblks) + static_cast<uint64_t>(mi.hblkhd);
+#else
+  return 0;
+#endif
+}
+
+// Every outcome rendered in sorted-key order — the bit-identity witness for
+// the worker-agreement checks. (ExploreResult::Describe also prints the stats
+// line, whose steal/frontier counters are legitimately schedule-dependent.)
+std::string RenderOutcomes(const ExploreResult& result, const Program& program) {
+  std::string out;
+  for (const auto& [key, outcome] : result.outcomes) {
+    (void)key;
+    out += outcome.ToString(program);
+    out += '\n';
+  }
+  return out;
+}
+
+// Synthetic digests with the entropy real state digests have (both lanes are
+// hash outputs); the tables' footprint depends only on the key count.
+Digest128 NthDigest(uint64_t n) {
+  return {Mix64(n * 2 + 1), Mix64(n * 0x9e3779b97f4a7c15ull + 0x1234567)};
+}
+
+// Visited-set bytes/state at `states` keys: flat DigestSet (exact, from the
+// slot array) vs the pre-flat std::unordered_set replica (allocator-measured;
+// falls back to the ~48 B node + bucket-pointer model off glibc).
+void BenchVisitedFootprint(const std::string& bench, uint64_t states) {
+  DigestSet flat;
+  for (uint64_t i = 0; i < states; ++i) {
+    flat.Insert(NthDigest(i));
+  }
+  const double flat_bps =
+      static_cast<double>(flat.MemoryBytes()) / static_cast<double>(states);
+
+  double legacy_bps;
+  {
+    const uint64_t before = AllocatorBytes();
+    auto* legacy = new std::unordered_set<Digest128, DigestHash>();
+    for (uint64_t i = 0; i < states; ++i) {
+      legacy->insert(NthDigest(i));
+    }
+    const uint64_t after = AllocatorBytes();
+    if (after > before) {
+      legacy_bps = static_cast<double>(after - before) / static_cast<double>(states);
+    } else {
+      legacy_bps = 48.0 + static_cast<double>(legacy->bucket_count() * sizeof(void*)) /
+                              static_cast<double>(states);
+    }
+    delete legacy;
+  }
+
+  EmitBenchJson(bench, "flat_visited_bytes_per_state", flat_bps);
+  EmitBenchJson(bench, "legacy_visited_bytes_per_state", legacy_bps);
+  EmitBenchJson(bench, "visited_bytes_reduction_factor", legacy_bps / flat_bps);
+  std::printf("visited set at %llu states: flat %.1f B/state, "
+              "legacy unordered_set %.1f B/state (%.2fx)\n",
+              static_cast<unsigned long long>(states), flat_bps, legacy_bps,
+              legacy_bps / flat_bps);
+}
+
+int Main(int argc, char** argv) {
+  // bench-smoke runs `bench_state_layout 1`; measurement runs default to 3.
+  const int iters = argc > 1 ? std::atoi(argv[1]) : 3;
+
+  LitmusTest test = Example2VmBooting(true);
+  test.config.reduction = Reduction::kPor;
+  test.config.num_threads = 1;
+  const std::string bench = "state_layout/ticket_lock";
+
+  // Part 1: sequential throughput + layout counters.
+  std::printf("== Flat-state layout: ticket-lock Promising walk (por) ==\n");
+  ExploreResult seq;
+  double best_ms = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    ExploreResult r = RunPromising(test);
+    const double t = MsSince(start);
+    if (i == 0 || t < best_ms) best_ms = t;
+    seq = std::move(r);
+  }
+  const double states_per_sec =
+      static_cast<double>(seq.stats.states) / (best_ms / 1000.0);
+  EmitBenchJson(bench, "states", static_cast<double>(seq.stats.states));
+  EmitBenchJson(bench, "wall_ms", best_ms);
+  EmitBenchJson(bench, "states_per_sec", states_per_sec);
+  EmitBenchJson(bench, "state_allocs", static_cast<double>(seq.stats.state_allocs));
+  EmitBenchJson(bench, "mean_state_bytes",
+                static_cast<double>(seq.stats.MeanStateBytes()));
+  std::printf("%llu states in %.1f ms (best of %d) = %.0f states/sec; "
+              "%llu state allocs, mean state %llu B\n",
+              static_cast<unsigned long long>(seq.stats.states), best_ms, iters,
+              states_per_sec,
+              static_cast<unsigned long long>(seq.stats.state_allocs),
+              static_cast<unsigned long long>(seq.stats.MeanStateBytes()));
+
+  // Part 2: visited-set footprint at this walk's unique-state count.
+  BenchVisitedFootprint(bench, seq.stats.states);
+
+  // Part 3: worker-count agreement, bit-identical outcome renders.
+  const std::string seq_render = RenderOutcomes(seq, test.program);
+  for (int workers : {1, 2, 4}) {
+    LitmusTest par = test;
+    par.config.num_threads = workers;
+    const ExploreResult r = RunPromising(par);
+    const bool agree = r.stats.states == seq.stats.states &&
+                       r.outcomes.size() == seq.outcomes.size() &&
+                       RenderOutcomes(r, par.program) == seq_render;
+    EmitBenchJson(bench, "workers_" + std::to_string(workers) + "_outcomes_agree",
+                  agree ? 1 : 0);
+    if (!agree) {
+      std::printf("!! %d-worker walk DIVERGES from the sequential render\n", workers);
+      return 1;
+    }
+  }
+  std::printf("1/2/4-worker outcome renders bit-identical to sequential\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace vrm
+
+int main(int argc, char** argv) { return vrm::Main(argc, argv); }

@@ -17,6 +17,7 @@ namespace vrm {
 std::string BatchResult::Summary() const {
   size_t refines = 0, truncated = 0;
   uint64_t pruned = 0, memo_hits = 0, memo_requests = 0;
+  uint64_t state_allocs = 0, state_bytes = 0, state_samples = 0;
   for (const BatchEntry& e : entries) {
     refines += e.status.holds ? 1 : 0;
     truncated += e.status.truncated ? 1 : 0;
@@ -24,6 +25,11 @@ std::string BatchResult::Summary() const {
     memo_hits += e.sc.stats.memo_hits + e.rm.stats.memo_hits;
     memo_requests += e.sc.stats.memo_hits + e.sc.stats.memo_misses +
                      e.rm.stats.memo_hits + e.rm.stats.memo_misses;
+    for (const ExploreStats* stats : {&e.sc.stats, &e.rm.stats}) {
+      state_allocs += stats->state_allocs;
+      state_bytes += stats->state_bytes;
+      state_samples += stats->state_samples;
+    }
   }
   std::string out = "batch: " + std::to_string(entries.size()) + " tests, " +
                     std::to_string(refines) + " refine SC, " +
@@ -33,6 +39,12 @@ std::string BatchResult::Summary() const {
   if (memo_requests > 0) {
     out += ", memo " + std::to_string(memo_hits) + "/" +
            std::to_string(memo_requests) + " hits";
+  }
+  if (state_samples > 0) {
+    // State-layout accounting (see DESIGN.md "State memory layout"): heap
+    // allocations held by admitted states, and mean bytes per admitted state.
+    out += ", " + std::to_string(state_allocs) + " state allocs, mean state " +
+           std::to_string(state_bytes / state_samples) + " B";
   }
   out += "\n";
   for (const BatchEntry& e : entries) {
@@ -108,6 +120,22 @@ std::string BatchResult::ToJsonLines(const std::string& bench) const {
   out += line(bench, "memo_misses", static_cast<double>(memo_misses));
   out += line(bench, "memo_bytes", static_cast<double>(memo_bytes));
   out += line(bench, "memo_evictions", static_cast<double>(memo_evictions));
+  // State-layout accounting across the run: total heap allocations held by
+  // admitted states and the mean serialized footprint of one admitted state
+  // (0 when no machine in the run exposes the layout hooks).
+  uint64_t state_allocs = 0, state_bytes = 0, state_samples = 0;
+  for (const BatchEntry& e : entries) {
+    for (const ExploreStats* stats : {&e.sc.stats, &e.rm.stats}) {
+      state_allocs += stats->state_allocs;
+      state_bytes += stats->state_bytes;
+      state_samples += stats->state_samples;
+    }
+  }
+  out += line(bench, "state_allocs", static_cast<double>(state_allocs));
+  out += line(bench, "mean_state_bytes",
+              state_samples > 0
+                  ? static_cast<double>(state_bytes) / static_cast<double>(state_samples)
+                  : 0.0);
   return out;
 }
 

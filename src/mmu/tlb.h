@@ -10,16 +10,21 @@
 #define SRC_MMU_TLB_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <utility>
-#include <vector>
 
 #include "src/arch/types.h"
 #include "src/support/hash.h"
+#include "src/support/small_vec.h"
 
 namespace vrm {
 
 class Tlb {
  public:
+  // Litmus-scale programs touch a handful of virtual pages (the corpus tops
+  // out around 4 mapped pages per CPU); 4 inline entries keep the whole TLB
+  // inside the state object for every shipped example.
+  using EntryList = SmallVec<std::pair<VirtAddr, Word>, 4>;
   // Returns the cached leaf entry for vpage, or nullptr on a miss.
   const Word* Lookup(VirtAddr vpage) const {
     for (const auto& e : entries_) {
@@ -49,7 +54,7 @@ class Tlb {
 
   void InvalidateAll() { entries_.clear(); }
 
-  const std::vector<std::pair<VirtAddr, Word>>& entries() const { return entries_; }
+  const EntryList& entries() const { return entries_; }
 
   // Sink is StateSerializer (exact bytes) or DigestSink (streaming digest);
   // both see the identical canonical byte sequence.
@@ -65,9 +70,13 @@ class Tlb {
   // Serialized length in bytes, for reserve()d serialization.
   size_t SerializedSize() const { return 4 + entries_.size() * 12; }
 
+  // State-layout accounting (ExploreStats::state_allocs / mean_state_bytes).
+  size_t HeapAllocs() const { return entries_.spilled() ? 1 : 0; }
+  size_t HeapBytes() const { return entries_.heap_bytes(); }
+
  private:
   // Sorted by vpage so serialization is canonical.
-  std::vector<std::pair<VirtAddr, Word>> entries_;
+  EntryList entries_;
 };
 
 }  // namespace vrm

@@ -108,13 +108,13 @@
 #define SRC_MODEL_EXPLORER_H_
 
 #include <string>
-#include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "src/model/config.h"
 #include "src/model/footprint.h"
 #include "src/model/outcome.h"
+#include "src/support/digest_table.h"
 #include "src/support/hash.h"
 #include "src/support/sharded_set.h"
 #include "src/support/thread_pool.h"
@@ -138,11 +138,37 @@ inline constexpr bool kHasFootprints =
 template <typename Machine>
 inline constexpr bool kHasSymmetry =
     requires(const Machine& m, const typename Machine::State& s, DigestSink* sink,
-             std::map<std::string, Outcome>* outcomes) {
+             OutcomeSet* outcomes) {
       m.SymmetryActive();
       m.CanonicalDigest(s, sink);
       m.CloseOutcomesUnderSymmetry(outcomes);
     };
+
+// Machines that report their states' flat-layout footprint (SmallVec spill
+// count + in-memory bytes) feed the state_allocs/mean_state_bytes counters;
+// anything else is sampled as its struct size.
+template <typename Machine>
+inline constexpr bool kHasStateLayout =
+    requires(const typename Machine::State& s) {
+      Machine::StateHeapAllocs(s);
+      Machine::StateMemoryBytes(s);
+    };
+
+// Frontier-admission sampling: called exactly once per unique admitted state
+// (the only place a state durably enters explorer-owned memory), so the sums
+// are schedule- and worker-count-independent. A handful of adds per admission
+// — noise against the digest stream the admission already paid for.
+template <typename Machine>
+inline void NoteStateAdmitted(const typename Machine::State& state,
+                              ExploreStats* stats) {
+  if constexpr (kHasStateLayout<Machine>) {
+    stats->state_allocs += Machine::StateHeapAllocs(state);
+    stats->state_bytes += Machine::StateMemoryBytes(state);
+  } else {
+    stats->state_bytes += sizeof(state);
+  }
+  ++stats->state_samples;
+}
 
 // Governed engines read the governor's clock on the first expansion and then
 // on every kGovernorPollStride-th one per worker. 16 keeps stop latency at a
@@ -183,21 +209,34 @@ Digest128 StreamingStateDigest(const Machine& machine,
 }
 
 // Soft-memory estimate for a running exploration, derived from the structures
-// the explorer owns: the visited set (one Digest128 plus hash-node and bucket
-// overhead per state) and the frontier slot pools (each queued state retains
-// roughly its serialized footprint in reusable buffers). The walk's own digest
-// stream gives the mean serialized state size — digest_bytes counts one full
-// serialization per dedup probe (transitions + the initial state). This is an
-// estimate feeding RunBudget::soft_memory_bytes, which is explicitly soft; it
-// is not an allocator accounting.
+// the explorer owns: the visited set and the frontier slot pools (each queued
+// state retains roughly its serialized footprint in reusable buffers). The
+// walk's own digest stream gives the mean serialized state size —
+// digest_bytes counts one full serialization per dedup probe (transitions +
+// the initial state). This is an estimate feeding
+// RunBudget::soft_memory_bytes, which is explicitly soft; it is not an
+// allocator accounting.
+//
+// Visited-set model: the open-addressed DigestSet stores one 16-byte
+// Digest128 per slot and doubles past a 0.7 load factor, so a table holding
+// `visited` keys occupies between 16/0.7 ≈ 23 and 16/0.35 ≈ 46 bytes per key.
+// The estimate charges the load-factor ceiling (23 B) — the steady-state
+// bound the table converges to, and what BENCH_state_layout.json pins
+// empirically. (The node-based std::unordered_set this replaced modeled at
+// 56 B per key: digest + list node + bucket pointer.)
 inline uint64_t EstimateExplorerRss(uint64_t visited, uint64_t frontier,
                                     const ExploreStats& stats) {
-  constexpr uint64_t kVisitedNodeBytes = 56;    // digest + set node + bucket
+  constexpr uint64_t kVisitedSlotBytes = sizeof(Digest128);  // flat table slot
+  // Slots per key = 15/7: the worst point of the DigestSet growth ladder
+  // (load factor 0.7/1.5 right after a 1.5x growth), so the estimate upper-
+  // bounds the table through the whole cycle.
+  constexpr uint64_t kVisitedLoadNum = 15;
+  constexpr uint64_t kVisitedLoadDen = 7;
   constexpr uint64_t kStateSlotOverhead = 64;   // deque/vector slot bookkeeping
   const uint64_t streams = stats.transitions + 1;
   const uint64_t mean_state_bytes =
       stats.digest_bytes == 0 ? 256 : stats.digest_bytes / streams;
-  return visited * kVisitedNodeBytes +
+  return visited * kVisitedSlotBytes * kVisitedLoadNum / kVisitedLoadDen +
          frontier * (mean_state_bytes + kStateSlotOverhead);
 }
 
@@ -206,7 +245,7 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
                                 Observer* observer = nullptr) {
   ExploreResult result;
   result.stats.reduction = config.reduction;
-  std::unordered_set<Digest128, DigestHash> seen;
+  DigestSet seen;
   std::vector<typename Machine::State> stack;
   DigestSink sink;
 
@@ -232,7 +271,8 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
 
   {
     typename Machine::State initial = machine.Initial();
-    seen.insert(digest(initial));
+    seen.Insert(digest(initial));
+    NoteStateAdmitted<Machine>(initial, &result.stats);
     stack.push_back(std::move(initial));
     result.stats.peak_frontier = 1;
   }
@@ -246,7 +286,7 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
   const bool reduce = config.reduction != Reduction::kNone;
   typename Machine::State state;
   while (!stack.empty()) {
-    if (seen.size() >= config.max_states) {
+    if (seen.Size() >= config.max_states) {
       result.stats.truncated = true;
       result.stats.stop_cause = StopCause::kStates;
       if (governor != nullptr) {
@@ -258,7 +298,7 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
       if (poll_countdown == 0) {
         poll_countdown = kGovernorPollStride;
         const StopCause cause = governor->Poll(
-            EstimateExplorerRss(seen.size(), stack.size(), result.stats),
+            EstimateExplorerRss(seen.Size(), stack.size(), result.stats),
             stack.size());
         if (cause != StopCause::kNone) {
           result.stats.truncated = true;
@@ -282,7 +322,7 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
       if constexpr (Observer::kEnabled) {
         observer->OnTerminal(state, outcome);
       }
-      result.outcomes.emplace(outcome.Key(), std::move(outcome));
+      result.outcomes.Add(std::move(outcome));
       continue;
     }
 
@@ -306,9 +346,10 @@ ExploreResult ExploreSequential(const Machine& machine, const ModelConfig& confi
       observer->OnTransitions(state, count);
     }
     for (size_t i = 0; i < count; ++i) {
-      if (seen.insert(digest(next[i])).second) {
+      if (seen.Insert(digest(next[i]))) {
         // Genuinely new frontier state: steal its buffers. Duplicates stay in
         // the pool, so their allocations feed the next expansion.
+        NoteStateAdmitted<Machine>(next[i], &result.stats);
         stack.push_back(std::move(next[i]));
       }
     }
@@ -368,6 +409,7 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
     seen.Insert(sink.Finish());
     partial[0].stats.digest_bytes += sink.bytes();
     partial[0].stats.peak_frontier = 1;
+    NoteStateAdmitted<Machine>(initial, &partial[0].stats);
     frontier.Push(0, std::move(initial));
   }
 
@@ -437,7 +479,7 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
         if constexpr (Observer::kEnabled) {
           observer->OnTerminal(state, outcome);
         }
-        result.outcomes.emplace(outcome.Key(), std::move(outcome));
+        result.outcomes.Add(std::move(outcome));
         frontier.MarkDone();
         continue;
       }
@@ -475,6 +517,7 @@ ExploreResult ExploreParallel(const Machine& machine, const ModelConfig& config,
         }
         result.stats.digest_bytes += sink.bytes();
         if (seen.Insert(sink.Finish())) {
+          NoteStateAdmitted<Machine>(next[i], &result.stats);
           frontier.Push(w, std::move(next[i]));
         }
       }

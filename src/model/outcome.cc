@@ -1,36 +1,91 @@
 #include "src/model/outcome.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "src/support/hash.h"
 
 namespace vrm {
+namespace {
+
+// One canonical key layout, streamed into either sink: StateSerializer for
+// the exact byte string (Key()), DigestSink for the 128-bit interning digest
+// (KeyDigest()). DigestSink over a byte stream is bit-identical to hashing
+// the materialized string, so the two views of an outcome always agree.
+template <typename Sink>
+void KeyInto(const Outcome& o, Sink* s) {
+  s->U32(static_cast<uint32_t>(o.regs.size()));
+  for (Word w : o.regs) {
+    s->U64(w);
+  }
+  s->U32(static_cast<uint32_t>(o.locs.size()));
+  for (Word w : o.locs) {
+    s->U64(w);
+  }
+  for (uint8_t f : o.faults) {
+    s->U8(f);
+  }
+  for (uint8_t p : o.panics) {
+    s->U8(p);
+  }
+  s->U32(static_cast<uint32_t>(o.tlbs.size()));
+  for (const auto& tlb : o.tlbs) {
+    s->U32(static_cast<uint32_t>(tlb.size()));
+    for (const auto& [vpage, entry] : tlb) {
+      s->U32(vpage);
+      s->U64(entry);
+    }
+  }
+}
+
+}  // namespace
 
 std::string Outcome::Key() const {
   StateSerializer s;
-  s.U32(static_cast<uint32_t>(regs.size()));
-  for (Word w : regs) {
-    s.U64(w);
-  }
-  s.U32(static_cast<uint32_t>(locs.size()));
-  for (Word w : locs) {
-    s.U64(w);
-  }
-  for (uint8_t f : faults) {
-    s.U8(f);
-  }
-  for (uint8_t p : panics) {
-    s.U8(p);
-  }
-  s.U32(static_cast<uint32_t>(tlbs.size()));
-  for (const auto& tlb : tlbs) {
-    s.U32(static_cast<uint32_t>(tlb.size()));
-    for (const auto& [vpage, entry] : tlb) {
-      s.U32(vpage);
-      s.U64(entry);
-    }
-  }
+  KeyInto(*this, &s);
   return s.Take();
+}
+
+Digest128 Outcome::KeyDigest() const {
+  DigestSink sink;
+  KeyInto(*this, &sink);
+  return sink.Finish();
+}
+
+bool OutcomeSet::AddWithDigest(const Digest128& digest, Outcome&& outcome) {
+  auto [slot, fresh] = index_.TryEmplace(digest);
+  if (!fresh) {
+    return false;
+  }
+  *slot = static_cast<uint32_t>(items_.size());
+  items_.push_back(std::move(outcome));
+  digests_.push_back(digest);
+  return true;
+}
+
+bool OutcomeSet::Add(Outcome&& outcome) {
+  return AddWithDigest(outcome.KeyDigest(), std::move(outcome));
+}
+
+void OutcomeSet::Absorb(OutcomeSet&& other) {
+  if (items_.empty()) {
+    *this = std::move(other);
+    return;
+  }
+  for (size_t i = 0; i < other.items_.size(); ++i) {
+    AddWithDigest(other.digests_[i], std::move(other.items_[i]));
+  }
+  other = OutcomeSet();
+}
+
+OutcomeSet::const_iterator OutcomeSet::begin() const {
+  auto view = std::make_shared<const_iterator::View>();
+  view->reserve(items_.size());
+  for (size_t i = 0; i < items_.size(); ++i) {
+    view->emplace_back(items_[i].Key(), static_cast<uint32_t>(i));
+  }
+  std::sort(view->begin(), view->end());  // keys are unique: no tie-break
+  return const_iterator(&items_, std::move(view), 0);
 }
 
 std::string Outcome::ToString(const Program& program) const {
@@ -85,7 +140,7 @@ void ConditionViolations::Merge(const ConditionViolations& other) {
 }
 
 void ExploreResult::Absorb(ExploreResult&& other) {
-  outcomes.merge(other.outcomes);
+  outcomes.Absorb(std::move(other.outcomes));
   violations.Merge(other.violations);
   stats.states += other.stats.states;
   stats.transitions += other.stats.transitions;
@@ -95,6 +150,9 @@ void ExploreResult::Absorb(ExploreResult&& other) {
   stats.steals += other.stats.steals;
   stats.states_pruned += other.stats.states_pruned;
   stats.ample_hits += other.stats.ample_hits;
+  stats.state_allocs += other.stats.state_allocs;
+  stats.state_bytes += other.stats.state_bytes;
+  stats.state_samples += other.stats.state_samples;
   if (other.stats.peak_frontier > stats.peak_frontier) {
     stats.peak_frontier = other.stats.peak_frontier;
   }
@@ -118,7 +176,7 @@ void ExploreResult::Absorb(ExploreResult&& other) {
 }
 
 std::string ExploreStats::Describe() const {
-  char buf[288];
+  char buf[352];
   std::string trunc;
   if (memo_hits + memo_misses > 0) {
     // Only memoized requests render the memo segment, so raw explorations
@@ -136,7 +194,8 @@ std::string ExploreStats::Describe() const {
   std::snprintf(buf, sizeof(buf),
                 "stats: states=%llu transitions=%llu digest-bytes=%llu "
                 "succ-reuse=%llu/%llu peak-frontier=%llu steals=%llu "
-                "reduction=%s pruned=%llu ample=%llu%s",
+                "reduction=%s pruned=%llu ample=%llu state-allocs=%llu "
+                "mean-state-bytes=%llu%s",
                 static_cast<unsigned long long>(states),
                 static_cast<unsigned long long>(transitions),
                 static_cast<unsigned long long>(digest_bytes),
@@ -145,7 +204,9 @@ std::string ExploreStats::Describe() const {
                 static_cast<unsigned long long>(peak_frontier),
                 static_cast<unsigned long long>(steals), ReductionName(reduction),
                 static_cast<unsigned long long>(states_pruned),
-                static_cast<unsigned long long>(ample_hits), trunc.c_str());
+                static_cast<unsigned long long>(ample_hits),
+                static_cast<unsigned long long>(state_allocs),
+                static_cast<unsigned long long>(MeanStateBytes()), trunc.c_str());
   return buf;
 }
 

@@ -11,7 +11,7 @@
 #define SRC_MODEL_OUTCOME_H_
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,7 +19,9 @@
 #include "src/arch/program.h"
 #include "src/arch/types.h"
 #include "src/model/reduction.h"
+#include "src/support/digest_table.h"
 #include "src/support/governance.h"
+#include "src/support/hash.h"
 
 namespace vrm {
 
@@ -34,8 +36,107 @@ struct Outcome {
   // Canonical byte key: equal outcomes have equal keys.
   std::string Key() const;
 
+  // 128-bit digest of the canonical key bytes, streamed without materializing
+  // the string: bit-identical to DigestSink over Key() (OutcomeSet interns by
+  // this, so the hot aggregation path never serializes).
+  Digest128 KeyDigest() const;
+
   // Human-readable form, e.g. "1:r0=1 1:r1=0 [x]=2 T0:fault".
   std::string ToString(const Program& program) const;
+};
+
+// Digest-interned outcome set: the aggregation container behind
+// ExploreResult. The walk loops Add() outcomes by their 128-bit key digest
+// into a flat DigestMap (no key strings, no tree nodes, no rebalancing); the
+// canonical keys the old std::map<std::string, Outcome> was sorted by are
+// rendered lazily, only when somebody iterates. Iteration yields
+// (key, outcome) pairs in ascending key-byte order — exactly the old map's
+// order, so Describe(), the fuzz coverage signatures, and the symmetry
+// closure all stay bit-identical. Two distinct keys colliding in all 128
+// digest bits would alias (probability ~2^-128 per pair); state dedup has
+// accepted the same bound since the digest pipeline landed.
+class OutcomeSet {
+ public:
+  // Interns the outcome; returns true when it was not already present.
+  bool Add(Outcome&& outcome);
+  bool Add(const Outcome& outcome) {
+    Outcome copy = outcome;
+    return Add(std::move(copy));
+  }
+
+  bool Contains(const Outcome& outcome) const {
+    return index_.Contains(outcome.KeyDigest());
+  }
+
+  // Membership by canonical key bytes (Outcome::Key()), map-style.
+  size_t count(const std::string& key) const {
+    DigestSink sink;
+    sink.Raw(key.data(), key.size());
+    return index_.Contains(sink.Finish()) ? 1 : 0;
+  }
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+
+  // Insertion-order access without key materialization (hot-path consumers:
+  // the symmetry closure snapshot, byte estimators).
+  const std::vector<Outcome>& Items() const { return items_; }
+
+  // Folds `other` in; the receiving side keeps its copy of duplicates.
+  void Absorb(OutcomeSet&& other);
+
+  // Sorted-by-key iteration. begin() materializes every key and sorts — cold
+  // rendering/diffing cost, paid per call (no cached state, so concurrent
+  // readers of one set never race). The iterator owns the sorted view;
+  // dereferencing yields pair<const std::string&, const Outcome&> like the
+  // old map's value_type.
+  class const_iterator {
+   public:
+    using value_type = std::pair<const std::string&, const Outcome&>;
+
+    value_type operator*() const {
+      const auto& entry = (*view_)[i_];
+      return {entry.first, (*items_)[entry.second]};
+    }
+
+    // operator-> proxy so `it->first` / `it->second` keep working.
+    struct Arrow {
+      value_type pair;
+      const value_type* operator->() const { return &pair; }
+    };
+    Arrow operator->() const { return Arrow{**this}; }
+
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+
+    bool operator==(const const_iterator& o) const {
+      return items_ == o.items_ && i_ == o.i_;
+    }
+    bool operator!=(const const_iterator& o) const { return !(*this == o); }
+
+   private:
+    friend class OutcomeSet;
+    using View = std::vector<std::pair<std::string, uint32_t>>;
+    const_iterator(const std::vector<Outcome>* items,
+                   std::shared_ptr<const View> view, size_t i)
+        : items_(items), view_(std::move(view)), i_(i) {}
+
+    const std::vector<Outcome>* items_;
+    std::shared_ptr<const View> view_;
+    size_t i_;
+  };
+
+  const_iterator begin() const;
+  const_iterator end() const { return const_iterator(&items_, nullptr, items_.size()); }
+
+ private:
+  bool AddWithDigest(const Digest128& digest, Outcome&& outcome);
+
+  std::vector<Outcome> items_;       // insertion order
+  std::vector<Digest128> digests_;   // parallel to items_
+  DigestMap<uint32_t> index_;        // key digest -> index into items_
 };
 
 // Violations of the wDRF side conditions observed during exploration. These are
@@ -91,6 +192,22 @@ struct ExploreStats {
   // counted here — those successors are never generated in the first place.
   uint64_t states_pruned = 0;
   uint64_t ample_hits = 0;
+  // Flat-state layout accounting (src/support/small_vec.h), sampled once per
+  // frontier-admitted state: how many of the state's inline aggregates had
+  // spilled to the heap (state_allocs — 0 on the steady path), the state's
+  // total in-memory footprint (struct + spilled buffers, summed into
+  // state_bytes), and the number of states sampled (state_samples, the mean's
+  // divisor). Admission happens exactly once per unique state at any worker
+  // count, so all three are schedule-independent.
+  uint64_t state_allocs = 0;
+  uint64_t state_bytes = 0;
+  uint64_t state_samples = 0;
+
+  // Mean in-memory bytes per admitted state, the capacity-tuning signal for
+  // the SmallVec inline sizes (see DESIGN.md "State memory layout").
+  uint64_t MeanStateBytes() const {
+    return state_samples == 0 ? 0 : state_bytes / state_samples;
+  }
   // The reduction mode the exploration actually ran with (config.reduction),
   // recorded so results are self-describing.
   Reduction reduction = Reduction::kPor;
@@ -120,12 +237,12 @@ struct ExploreStats {
 };
 
 struct ExploreResult {
-  std::map<std::string, Outcome> outcomes;  // keyed by Outcome::Key()
+  OutcomeSet outcomes;  // interned by Outcome::KeyDigest()
   ConditionViolations violations;
   ExploreStats stats;
 
   bool Contains(const Outcome& outcome) const {
-    return outcomes.count(outcome.Key()) != 0;
+    return outcomes.Contains(outcome);
   }
 
   // Merges a parallel-exploration partial result into this one: outcome-map

@@ -119,7 +119,7 @@ Outcome PromisingMachine::Extract(const State& state) const {
   }
   if (program_.observe_tlbs) {
     for (const auto& tlb : state.tlbs) {
-      outcome.tlbs.push_back(tlb.entries());
+      outcome.tlbs.emplace_back(tlb.entries().begin(), tlb.entries().end());
     }
   }
   return outcome;
@@ -1026,7 +1026,31 @@ void PromisingMachine::ExecInst(const State& state, ThreadId tid, StepPool* out,
 std::pair<uint64_t, uint64_t> PromisingMachine::SoloDigest(const State& state,
                                                            ThreadId tid) const {
   dedup_sink_.Reset();
-  SoloSerializeInto(state, tid, &dedup_sink_);
+  for (const Msg& msg : state.mem) {
+    dedup_sink_.U32(msg.loc);
+    dedup_sink_.U64(msg.val);
+    dedup_sink_.U8(msg.tid);
+  }
+  // Snapshot for SoloDigestTail(): the sink state over exactly the root's
+  // messages, before the terminator.
+  solo_base_sink_ = dedup_sink_;
+  solo_base_mem_ = state.mem.size();
+  dedup_sink_.U32(0xffffffffu);  // message-list terminator
+  SoloSerializeThread(state, tid, &dedup_sink_);
+  return dedup_sink_.Finish();
+}
+
+std::pair<uint64_t, uint64_t> PromisingMachine::SoloDigestTail(const State& state,
+                                                               ThreadId tid) const {
+  dedup_sink_ = solo_base_sink_;
+  for (size_t i = solo_base_mem_; i < state.mem.size(); ++i) {
+    const Msg& msg = state.mem[i];
+    dedup_sink_.U32(msg.loc);
+    dedup_sink_.U64(msg.val);
+    dedup_sink_.U8(msg.tid);
+  }
+  dedup_sink_.U32(0xffffffffu);  // message-list terminator
+  SoloSerializeThread(state, tid, &dedup_sink_);
   return dedup_sink_.Finish();
 }
 
@@ -1035,8 +1059,8 @@ bool PromisingMachine::Certify(const State& state, ThreadId tid) const {
     return true;
   }
   const auto key = SoloDigest(state, tid);
-  if (auto it = cert_cache_.find(key); it != cert_cache_.end()) {
-    return it->second;
+  if (const uint8_t* cached = cert_cache_.Find(key)) {
+    return *cached != 0;
   }
   // Reused scratch (solo_seen_/solo_stack_/solo_pool_): clear() keeps the
   // containers' storage, and retired pool slots keep their State buffers, so a
@@ -1046,10 +1070,10 @@ bool PromisingMachine::Certify(const State& state, ThreadId tid) const {
   // (which is what makes SoloDigest a sound memoization key in the first
   // place), so it is also a sound in-search dedup key, and it skips
   // re-serializing the other threads' constant state on every node.
-  solo_seen_.clear();
+  solo_seen_.Clear();
   solo_stack_.clear();
   solo_stack_.push_back(state);
-  solo_seen_.insert(key);
+  solo_seen_.Insert(key);
   ExploreResult scratch;
   int nodes = 0;
   bool certified = false;
@@ -1067,29 +1091,29 @@ bool PromisingMachine::Certify(const State& state, ThreadId tid) const {
     ExecInst(current, tid, &solo_pool_, &scratch, /*ghost=*/true);
     for (size_t i = 0; i < solo_pool_.size(); ++i) {
       AnnotatedStep& step = solo_pool_.at(i);
-      if (solo_seen_.insert(SoloDigest(step.next, tid)).second) {
+      if (solo_seen_.Insert(SoloDigestTail(step.next, tid))) {
         solo_stack_.push_back(std::move(step.next));
       }
     }
   }
-  cert_cache_.emplace(key, certified);
+  cert_cache_[key] = certified ? 1 : 0;
   return certified;
 }
 
 void PromisingMachine::CollectPromisable(const State& state, ThreadId tid,
                                          std::vector<std::pair<Addr, Word>>* out) const {
   const auto key = SoloDigest(state, tid);
-  if (auto it = collect_cache_.find(key); it != collect_cache_.end()) {
-    *out = it->second;
+  if (const auto* cached = collect_cache_.Find(key)) {
+    *out = *cached;
     return;
   }
   // Same reused scratch and solo-projection dedup as Certify() — the two solo
   // searches never nest.
-  solo_seen_.clear();
+  solo_seen_.Clear();
   collect_found_.clear();
   solo_stack_.clear();
   solo_stack_.push_back(state);
-  solo_seen_.insert(key);
+  solo_seen_.Insert(key);
   ExploreResult scratch;
   int nodes = 0;
   while (!solo_stack_.empty()) {
@@ -1124,12 +1148,12 @@ void PromisingMachine::CollectPromisable(const State& state, ThreadId tid,
           out->emplace_back(step.info.loc, step.info.val);
         }
       }
-      if (solo_seen_.insert(SoloDigest(step.next, tid)).second) {
+      if (solo_seen_.Insert(SoloDigestTail(step.next, tid))) {
         solo_stack_.push_back(std::move(step.next));
       }
     }
   }
-  collect_cache_.emplace(key, *out);
+  collect_cache_[key] = *out;
 }
 
 void PromisingMachine::PromiseSteps(const State& state, ThreadId tid, StepPool* out,
@@ -1341,8 +1365,12 @@ size_t PromisingMachine::SerializedSize(const State& state) const {
   size_t n = 4 + state.mem.size() * 13 + state.region_owner.size() + 4 +
              state.tlb_floor.size() * 8 + 4;
   for (const auto& thread : state.threads) {
-    n += 63 + kNumRegs * 12 + thread.promises.size() * 4 +
-         thread.pending_inval.size() * 5;
+    n += 64 + thread.promises.size() * 4 + thread.pending_inval.size() * 5;
+    for (int r = 0; r < kNumRegs; ++r) {
+      if (thread.regs[r] != 0 || thread.rview[r] != 0) {
+        n += 13;  // sparse reg entry: index tag + value + view
+      }
+    }
     for (Addr a = 0; a < thread.coh.size(); ++a) {
       if (thread.coh[a] != 0) {
         n += 8;

@@ -41,7 +41,6 @@
 
 #include <array>
 #include <string>
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 #include <vector>
@@ -53,7 +52,9 @@
 #include "src/model/footprint.h"
 #include "src/model/outcome.h"
 #include "src/model/symmetry.h"
+#include "src/support/digest_table.h"
 #include "src/support/hash.h"
+#include "src/support/small_vec.h"
 
 namespace vrm {
 
@@ -73,7 +74,11 @@ struct PromThread {
   std::array<Word, kNumRegs> regs{};
   std::array<View, kNumRegs> rview{};  // dependency view of each register
 
-  std::vector<View> coh;  // per-location coherence view (indexed by Addr)
+  // Inline capacities (see DESIGN.md "State memory layout"): coh/fwd are
+  // indexed by Addr and sized to Program::mem_size — the litmus corpus runs
+  // 1-6 cells (worst shipped case 14, which spills) — while promises and
+  // pending_inval hold at most a couple of live entries on any explored path.
+  SmallVec<View, 8> coh;  // per-location coherence view (indexed by Addr)
   View vr_old = 0;        // join of all read post-views (DMB LD source)
   View vr_new = 0;        // lower bound on future read pre-views
   View vw_old = 0;        // join of all write timestamps (DMB ST source)
@@ -86,9 +91,9 @@ struct PromThread {
   // thread's latest write. A read satisfied by its own forwarded write takes the
   // write's view, not its timestamp (the paper's note that forwarded reads need
   // no barrier protection).
-  std::vector<std::pair<View, View>> fwd;
+  SmallVec<std::pair<View, View>, 8> fwd;
 
-  std::vector<View> promises;  // outstanding promise timestamps, sorted
+  SmallVec<View, 4> promises;  // outstanding promise timestamps, sorted
 
   // Exclusive monitor (ldxr/stxr): location and the timestamp the load-exclusive
   // read from. A store-exclusive succeeds only coherence-adjacent to it.
@@ -103,17 +108,21 @@ struct PromThread {
   // Sequential-TLB-Invalidation monitor: pages whose watched PT entry this
   // thread unmapped/remapped and that still await (stage 0) a DSB or (stage 1)
   // a covering TLBI.
-  std::vector<std::pair<VirtAddr, uint8_t>> pending_inval;
+  SmallVec<std::pair<VirtAddr, uint8_t>, 4> pending_inval;
 };
 
 struct PromState {
-  std::vector<Msg> mem;
-  std::vector<PromThread> threads;
-  std::vector<int8_t> region_owner;  // -1 = free
-  std::vector<Tlb> tlbs;
+  // The message list grows one entry per committed write along a path; the
+  // litmus corpus terminates under ~8 messages on most paths and spills
+  // gracefully on the deep ticket-lock interleavings. Threads/tlbs are sized
+  // for the 2-4 CPUs every shipped program uses.
+  SmallVec<Msg, 8> mem;
+  SmallVec<PromThread, 4> threads;
+  SmallVec<int8_t, 8> region_owner;  // -1 = free
+  SmallVec<Tlb, 4> tlbs;
   // TLB invalidation floors: walks of vpage must not read PTE messages
   // superseded at or before max(global_floor, floor[vpage]).
-  std::vector<std::pair<VirtAddr, View>> tlb_floor;  // sorted by vpage
+  SmallVec<std::pair<VirtAddr, View>, 4> tlb_floor;  // sorted by vpage
   View global_floor = 0;                             // raised by TLBI-all
 };
 
@@ -184,7 +193,7 @@ class PromisingMachine {
   // Closes an extracted outcome set under the symmetry group (no-op when
   // symmetry is inactive) — the walk visits one representative per orbit, so
   // the true outcome set is the group closure of what it extracts.
-  void CloseOutcomesUnderSymmetry(std::map<std::string, Outcome>* outcomes) const {
+  void CloseOutcomesUnderSymmetry(OutcomeSet* outcomes) const {
     symmetry_.CloseOutcomes(program_, outcomes);
   }
 
@@ -205,10 +214,17 @@ class PromisingMachine {
                                  (thread.acq_clean ? 4 : 0) |
                                  (thread.push_pending ? 8 : 0)));
       s->U8(thread.faults);
+      // Registers stream sparsely: litmus programs live in r0-r3, so tagging
+      // live entries (index, value, view) and terminating with 0xff beats 12
+      // dense slots. Injective: tags ascend and are never 0xff.
       for (int r = 0; r < kNumRegs; ++r) {
-        s->U64(thread.regs[r]);
-        s->U32(thread.rview[r]);
+        if (thread.regs[r] != 0 || thread.rview[r] != 0) {
+          s->U8(static_cast<uint8_t>(r));
+          s->U64(thread.regs[r]);
+          s->U32(thread.rview[r]);
+        }
       }
+      s->U8(0xff);  // reg terminator
       for (Addr a = 0; a < thread.coh.size(); ++a) {
         if (thread.coh[a] != 0) {
           s->U32(a);
@@ -262,6 +278,38 @@ class PromisingMachine {
   size_t SerializedSize(const State& state) const;
 
   std::string Serialize(const State& state) const;
+
+  // State-layout accounting for ExploreStats (explorer.h NoteStateAdmitted):
+  // the number of live heap blocks behind one state and the bytes it occupies
+  // (the object itself plus those blocks). StateHeapAllocs == 0 means a copy
+  // of this state is pure memcpy-sized work with no allocator traffic — the
+  // condition the SmallVec inline capacities above are tuned for.
+  static uint64_t StateHeapAllocs(const State& s) {
+    uint64_t n = s.mem.spilled() + s.threads.spilled() + s.region_owner.spilled() +
+                 s.tlbs.spilled() + s.tlb_floor.spilled();
+    for (const PromThread& t : s.threads) {
+      n += t.coh.spilled() + t.fwd.spilled() + t.promises.spilled() +
+           t.pending_inval.spilled();
+    }
+    for (const Tlb& tlb : s.tlbs) {
+      n += tlb.HeapAllocs();
+    }
+    return n;
+  }
+
+  static uint64_t StateMemoryBytes(const State& s) {
+    uint64_t b = sizeof(State) + s.mem.heap_bytes() + s.threads.heap_bytes() +
+                 s.region_owner.heap_bytes() + s.tlbs.heap_bytes() +
+                 s.tlb_floor.heap_bytes();
+    for (const PromThread& t : s.threads) {
+      b += t.coh.heap_bytes() + t.fwd.heap_bytes() + t.promises.heap_bytes() +
+           t.pending_inval.heap_bytes();
+    }
+    for (const Tlb& tlb : s.tlbs) {
+      b += tlb.HeapBytes();
+    }
+    return b;
+  }
 
   // Annotated successor enumeration: every valid transition from `state`,
   // including promise steps, with its StepInfo. Used by RandomWalkExecutor.
@@ -354,21 +402,39 @@ class PromisingMachine {
   // projection, so their results are memoized under its digest.
   template <typename Sink>
   void SoloSerializeInto(const State& state, ThreadId tid, Sink* s) const {
-    s->U32(static_cast<uint32_t>(state.mem.size()));
+    // The message list is streamed first and closed with the 0xffffffff
+    // terminator (a loc, which indexes physical memory, never reaches ~0 —
+    // the same convention as the coh/fwd streams). Putting the open-ended
+    // list up front lets the solo searches snapshot the sink after the root
+    // state's messages and re-stream only the ghost-appended suffix per node
+    // (SoloDigestTail below): along a ghost path mem is append-only, so every
+    // search node shares the root's prefix byte-for-byte.
     for (const Msg& msg : state.mem) {
       s->U32(msg.loc);
       s->U64(msg.val);
       s->U8(msg.tid);
     }
+    s->U32(0xffffffffu);  // message-list terminator
+    SoloSerializeThread(state, tid, s);
+  }
+
+  // Everything after the message list: the solo thread's architectural state,
+  // its TLB, and the invalidation floors.
+  template <typename Sink>
+  void SoloSerializeThread(const State& state, ThreadId tid, Sink* s) const {
     const PromThread& thread = state.threads[tid];
     s->U8(tid);
     s->U32(static_cast<uint32_t>(thread.pc));
     s->U32(thread.steps);
     s->U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0)));
     for (int r = 0; r < kNumRegs; ++r) {
-      s->U64(thread.regs[r]);
-      s->U32(thread.rview[r]);
+      if (thread.regs[r] != 0 || thread.rview[r] != 0) {  // sparse (see SerializeInto)
+        s->U8(static_cast<uint8_t>(r));
+        s->U64(thread.regs[r]);
+        s->U32(thread.rview[r]);
+      }
     }
+    s->U8(0xff);  // reg terminator
     for (Addr a = 0; a < thread.coh.size(); ++a) {
       if (thread.coh[a] != 0) {
         s->U32(a);
@@ -409,6 +475,13 @@ class PromisingMachine {
 
   std::pair<uint64_t, uint64_t> SoloDigest(const State& state, ThreadId tid) const;
 
+  // In-search variant: restores the sink snapshot SoloDigest() took after the
+  // root state's messages, then streams only the ghost-appended message
+  // suffix and the thread part. Byte-identical to SoloDigest(state, tid)
+  // whenever state.mem extends the root's message list — which every node of
+  // a solo search does.
+  std::pair<uint64_t, uint64_t> SoloDigestTail(const State& state, ThreadId tid) const;
+
   // One thread's canonical block for CanonicalDigest(): the thread record plus
   // its TLB — everything in the state that is indexed by thread id. Views and
   // promise timestamps index the message list, whose order a thread
@@ -423,9 +496,13 @@ class PromisingMachine {
                                (thread.push_pending ? 8 : 0)));
     s->U8(thread.faults);
     for (int r = 0; r < kNumRegs; ++r) {
-      s->U64(thread.regs[r]);
-      s->U32(thread.rview[r]);
+      if (thread.regs[r] != 0 || thread.rview[r] != 0) {  // sparse (see SerializeInto)
+        s->U8(static_cast<uint8_t>(r));
+        s->U64(thread.regs[r]);
+        s->U32(thread.rview[r]);
+      }
     }
+    s->U8(0xff);  // reg terminator
     for (Addr a = 0; a < thread.coh.size(); ++a) {
       if (thread.coh[a] != 0) {
         s->U32(a);
@@ -474,11 +551,14 @@ class PromisingMachine {
   AccessMap access_map_;
   ThreadSymmetry symmetry_;
 
-  // Memoization caches for the solo searches. One machine instance is not
+  // Memoization caches for the solo searches, digest-keyed flat tables
+  // (src/support/digest_table.h): the keys are already hashes, the caches only
+  // grow within a walk, and the flat layout drops the per-entry node+bucket
+  // overhead of unordered_map. uint8_t rather than bool so Find() can return a
+  // plain pointer into the value array. One machine instance is not
   // thread-safe — the parallel explorer gives each worker its own copy.
-  mutable std::unordered_map<Digest128, bool, DigestHash> cert_cache_;
-  mutable std::unordered_map<Digest128, std::vector<std::pair<Addr, Word>>, DigestHash>
-      collect_cache_;
+  mutable DigestMap<uint8_t> cert_cache_;
+  mutable DigestMap<std::vector<std::pair<Addr, Word>>> collect_cache_;
 
   // Hot-path scratch, reused across calls so the solo searches and successor
   // generation run allocation-free in steady state. step_pool_ backs the main
@@ -488,7 +568,11 @@ class PromisingMachine {
   mutable StepPool solo_pool_;
   mutable std::vector<size_t> accepted_;
   mutable DigestSink dedup_sink_;
-  mutable std::unordered_set<Digest128, DigestHash> solo_seen_;
+  // Snapshot of dedup_sink_ after the root state's message list, plus that
+  // list's length — SoloDigestTail() resumes from here (see SoloSerializeInto).
+  mutable DigestSink solo_base_sink_;
+  mutable size_t solo_base_mem_ = 0;
+  mutable DigestSet solo_seen_;
   mutable std::vector<State> solo_stack_;
   mutable std::unordered_set<uint64_t> collect_found_;
   mutable std::vector<std::pair<Addr, Word>> promise_candidates_;

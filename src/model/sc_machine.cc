@@ -54,7 +54,7 @@ Outcome ScMachine::Extract(const State& state) const {
   }
   if (program_.observe_tlbs) {
     for (const auto& tlb : state.tlbs) {
-      outcome.tlbs.push_back(tlb.entries());
+      outcome.tlbs.emplace_back(tlb.entries().begin(), tlb.entries().end());
     }
   }
   return outcome;
@@ -506,7 +506,12 @@ void ScMachine::CanonicalDigest(const State& state, DigestSink* sink) const {
 size_t ScMachine::SerializedSize(const State& state) const {
   size_t n = state.mem.size() * 8 + state.region_owner.size();
   for (const auto& thread : state.threads) {
-    n += 19 + kNumRegs * 8 + thread.pending_inval.size() * 5;
+    n += 20 + thread.pending_inval.size() * 5;
+    for (Word r : thread.regs) {
+      if (r != 0) {
+        n += 9;  // sparse reg entry: index tag + value
+      }
+    }
   }
   for (const auto& tlb : state.tlbs) {
     n += tlb.SerializedSize();

@@ -23,6 +23,7 @@
 #include "src/model/outcome.h"
 #include "src/model/symmetry.h"
 #include "src/support/hash.h"
+#include "src/support/small_vec.h"
 
 namespace vrm {
 
@@ -38,14 +39,17 @@ struct ScThread {
   Addr ex_addr = 0;
   // Sequential-TLB-Invalidation monitor: pages whose watched PT entry this
   // thread unmapped/remapped, awaiting (stage 0) a DSB or (stage 1) a TLBI.
-  std::vector<std::pair<VirtAddr, uint8_t>> pending_inval;
+  SmallVec<std::pair<VirtAddr, uint8_t>, 4> pending_inval;
 };
 
+// Inline capacities (see DESIGN.md "State memory layout"): mem is sized to
+// Program::mem_size (1-6 cells across the litmus corpus, worst shipped case
+// 14), threads/tlbs to the 2-4 CPUs every shipped program uses.
 struct ScState {
-  std::vector<Word> mem;
-  std::vector<ScThread> threads;
-  std::vector<int8_t> region_owner;  // -1 = free
-  std::vector<Tlb> tlbs;             // per thread
+  SmallVec<Word, 8> mem;
+  SmallVec<ScThread, 4> threads;
+  SmallVec<int8_t, 8> region_owner;  // -1 = free
+  SmallVec<Tlb, 4> tlbs;             // per thread
 };
 
 class ScMachine {
@@ -91,7 +95,7 @@ class ScMachine {
   // Closes an extracted outcome set under the symmetry group (no-op when
   // symmetry is inactive) — the walk visits one representative per orbit, so
   // the true outcome set is the group closure of what it extracts.
-  void CloseOutcomesUnderSymmetry(std::map<std::string, Outcome>* outcomes) const {
+  void CloseOutcomesUnderSymmetry(OutcomeSet* outcomes) const {
     symmetry_.CloseOutcomes(program_, outcomes);
   }
 
@@ -109,9 +113,15 @@ class ScMachine {
       s->U32(thread.steps);
       s->U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0)));
       s->U8(thread.faults);
-      for (Word r : thread.regs) {
-        s->U64(r);
+      // Sparse registers, as on the promising machine: (index, value) for
+      // live regs, 0xff terminator.
+      for (int r = 0; r < kNumRegs; ++r) {
+        if (thread.regs[r] != 0) {
+          s->U8(static_cast<uint8_t>(r));
+          s->U64(thread.regs[r]);
+        }
       }
+      s->U8(0xff);  // reg terminator
       s->U8(thread.ex_valid ? 1 : 0);
       s->U32(thread.ex_addr);
       s->U32(static_cast<uint32_t>(thread.pending_inval.size()));
@@ -132,6 +142,31 @@ class ScMachine {
   size_t SerializedSize(const State& state) const;
 
   std::string Serialize(const State& state) const;
+
+  // State-layout accounting for ExploreStats (explorer.h NoteStateAdmitted).
+  static uint64_t StateHeapAllocs(const State& s) {
+    uint64_t n = s.mem.spilled() + s.threads.spilled() + s.region_owner.spilled() +
+                 s.tlbs.spilled();
+    for (const ScThread& t : s.threads) {
+      n += t.pending_inval.spilled();
+    }
+    for (const Tlb& tlb : s.tlbs) {
+      n += tlb.HeapAllocs();
+    }
+    return n;
+  }
+
+  static uint64_t StateMemoryBytes(const State& s) {
+    uint64_t b = sizeof(State) + s.mem.heap_bytes() + s.threads.heap_bytes() +
+                 s.region_owner.heap_bytes() + s.tlbs.heap_bytes();
+    for (const ScThread& t : s.threads) {
+      b += t.pending_inval.heap_bytes();
+    }
+    for (const Tlb& tlb : s.tlbs) {
+      b += tlb.HeapBytes();
+    }
+    return b;
+  }
 
   // Executes one instruction of `tid` in place. Returns false if the step was
   // invalid (budget exhausted or a condition violation, noted in `agg`). Exposed
@@ -159,9 +194,13 @@ class ScMachine {
     s->U32(thread.steps);
     s->U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0)));
     s->U8(thread.faults);
-    for (Word r : thread.regs) {
-      s->U64(r);
+    for (int r = 0; r < kNumRegs; ++r) {
+      if (thread.regs[r] != 0) {  // sparse (see SerializeInto)
+        s->U8(static_cast<uint8_t>(r));
+        s->U64(thread.regs[r]);
+      }
     }
+    s->U8(0xff);  // reg terminator
     s->U8(thread.ex_valid ? 1 : 0);
     s->U32(thread.ex_addr);
     s->U32(static_cast<uint32_t>(thread.pending_inval.size()));

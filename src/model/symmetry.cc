@@ -140,19 +140,16 @@ Outcome ThreadSymmetry::Permute(const Program& program,
 }
 
 void ThreadSymmetry::CloseOutcomes(const Program& program,
-                                   std::map<std::string, Outcome>* outcomes) const {
+                                   OutcomeSet* outcomes) const {
   if (!active_ || outcomes->empty()) {
     return;
   }
   const int n = program.num_threads();
 
   // Snapshot: closure only needs the representatives the walk extracted (the
-  // group is closed, so images of images add nothing new).
-  std::vector<Outcome> reps;
-  reps.reserve(outcomes->size());
-  for (const auto& [key, o] : *outcomes) {
-    reps.push_back(o);
-  }
+  // group is closed, so images of images add nothing new). Insertion order is
+  // fine — the interned set dedups images regardless of visit order.
+  std::vector<Outcome> reps(outcomes->Items());
 
   // Enumerate the full group as a product of per-class permutations.
   std::vector<ThreadId> perm(n);
@@ -184,9 +181,7 @@ void ThreadSymmetry::CloseOutcomes(const Program& program,
       inv[perm[t]] = static_cast<ThreadId>(t);
     }
     for (const Outcome& o : reps) {
-      Outcome image = Permute(program, perm, inv, o);
-      std::string key = image.Key();
-      outcomes->emplace(std::move(key), std::move(image));
+      outcomes->Add(Permute(program, perm, inv, o));
     }
   }
 }

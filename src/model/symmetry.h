@@ -59,8 +59,7 @@ class ThreadSymmetry {
   // Closes `outcomes` under the symmetry group: for every outcome and every
   // non-identity group element, inserts the permuted outcome. Restores the
   // full outcome set from the representative set a canonicalized walk extracts.
-  void CloseOutcomes(const Program& program,
-                     std::map<std::string, Outcome>* outcomes) const;
+  void CloseOutcomes(const Program& program, OutcomeSet* outcomes) const;
 
   // Largest group order the closure will enumerate; larger groups deactivate
   // the reduction (nothing is lost — the walk just runs at plain por).

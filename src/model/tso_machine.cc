@@ -81,7 +81,7 @@ Outcome TsoMachine::Extract(const State& state) const {
   }
   if (program_.observe_tlbs) {
     for (const auto& tlb : state.tlbs) {
-      outcome.tlbs.push_back(tlb.entries());
+      outcome.tlbs.emplace_back(tlb.entries().begin(), tlb.entries().end());
     }
   }
   return outcome;
@@ -370,7 +370,12 @@ size_t TsoMachine::Successors(const State& state, std::vector<State>* out,
 size_t TsoMachine::SerializedSize(const State& state) const {
   size_t n = state.mem.size() * 8;
   for (const auto& thread : state.threads) {
-    n += 19 + kNumRegs * 8 + thread.store_buffer.size() * 12;
+    n += 20 + thread.store_buffer.size() * 12;
+    for (Word r : thread.regs) {
+      if (r != 0) {
+        n += 9;  // sparse reg entry: index tag + value
+      }
+    }
   }
   for (const auto& tlb : state.tlbs) {
     n += tlb.SerializedSize();

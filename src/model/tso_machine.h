@@ -33,6 +33,7 @@
 #include "src/mmu/tlb.h"
 #include "src/model/config.h"
 #include "src/model/outcome.h"
+#include "src/support/small_vec.h"
 
 namespace vrm {
 
@@ -46,14 +47,17 @@ struct TsoThread {
   // Exclusive monitor: armed address, cleared by any committed store to it.
   bool ex_valid = false;
   Addr ex_addr = 0;
-  // FIFO store buffer: oldest first.
-  std::vector<std::pair<Addr, Word>> store_buffer;
+  // FIFO store buffer: oldest first. Drains are enumerated nondeterministically,
+  // so buffers stay short — 4 inline entries cover the corpus.
+  SmallVec<std::pair<Addr, Word>, 4> store_buffer;
 };
 
+// Inline capacities as on the other machines (DESIGN.md "State memory
+// layout"): mem sized to Program::mem_size, threads/tlbs to 2-4 CPUs.
 struct TsoState {
-  std::vector<Word> mem;
-  std::vector<TsoThread> threads;
-  std::vector<Tlb> tlbs;
+  SmallVec<Word, 8> mem;
+  SmallVec<TsoThread, 4> threads;
+  SmallVec<Tlb, 4> tlbs;
 };
 
 class TsoMachine {
@@ -86,9 +90,15 @@ class TsoMachine {
       s->U32(thread.steps);
       s->U8(static_cast<uint8_t>((thread.halted ? 1 : 0) | (thread.panicked ? 2 : 0)));
       s->U8(thread.faults);
-      for (Word r : thread.regs) {
-        s->U64(r);
+      // Sparse registers, as on the promising machine: (index, value) for
+      // live regs, 0xff terminator.
+      for (int r = 0; r < kNumRegs; ++r) {
+        if (thread.regs[r] != 0) {
+          s->U8(static_cast<uint8_t>(r));
+          s->U64(thread.regs[r]);
+        }
       }
+      s->U8(0xff);  // reg terminator
       s->U8(thread.ex_valid ? 1 : 0);
       s->U32(thread.ex_addr);
       s->U32(static_cast<uint32_t>(thread.store_buffer.size()));
@@ -106,6 +116,30 @@ class TsoMachine {
   size_t SerializedSize(const State& state) const;
 
   std::string Serialize(const State& state) const;
+
+  // State-layout accounting for ExploreStats (explorer.h NoteStateAdmitted).
+  static uint64_t StateHeapAllocs(const State& s) {
+    uint64_t n = s.mem.spilled() + s.threads.spilled() + s.tlbs.spilled();
+    for (const TsoThread& t : s.threads) {
+      n += t.store_buffer.spilled();
+    }
+    for (const Tlb& tlb : s.tlbs) {
+      n += tlb.HeapAllocs();
+    }
+    return n;
+  }
+
+  static uint64_t StateMemoryBytes(const State& s) {
+    uint64_t b = sizeof(State) + s.mem.heap_bytes() + s.threads.heap_bytes() +
+                 s.tlbs.heap_bytes();
+    for (const TsoThread& t : s.threads) {
+      b += t.store_buffer.heap_bytes();
+    }
+    for (const Tlb& tlb : s.tlbs) {
+      b += tlb.HeapBytes();
+    }
+    return b;
+  }
 
   const Program& program() const { return program_; }
 

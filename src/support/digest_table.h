@@ -1,0 +1,313 @@
+// Open-addressing flat hash set/map specialized for Digest128 keys.
+//
+// The explorers dedup states by their 128-bit digest. A
+// std::unordered_set<Digest128> pays roughly 56 bytes per 16-byte digest —
+// a heap node (16 B payload + next pointer + allocator header) plus a bucket
+// pointer — and a pointer chase per probe. But a Digest128 is *already* a
+// high-quality hash (an FNV-1a lane and a Mix64Hash lane over the serialized
+// state): there is nothing left to hash and no clustering adversary, so the
+// textbook flat table applies with no secondary hash at all. DigestSet stores
+// the digests directly in one flat array, probes linearly from a bucket
+// derived from the Mix64 lane, and grows 1.5x at 0.7 load factor: the load
+// factor stays in [0.47, 0.7], i.e. 23-34 bytes per visited state at any
+// size (vs the 2x-growth ladder's post-doubling dip to 0.35 = 46 B/state),
+// with at most a couple of contiguous probes per lookup.
+//
+// The 1.5x ladder means capacities are not powers of two, so the probe start
+// is the multiply-shift range mapping (Lemire's fastrange):
+// (d.second * cap) >> 64 via 128-bit multiply — one mulhi, no modulo. The
+// start is dominated by the lane's HIGH bits; ShardedDigestSet selects shards
+// by the same lane's LOW bits, so the two partitions stay independent and
+// each shard's table uniformly loaded.
+//
+// {0, 0} is the reserved empty-slot sentinel. A genuine all-zero digest is
+// astronomically unlikely (2^-128) but not impossible, so it is handled
+// exactly via a has_zero side flag rather than excluded by fiat.
+//
+// No erase, hence no tombstones: visited sets and the promising machine's
+// certification caches only ever grow within a walk and are dropped or
+// clear()ed wholesale. (The memo store, which genuinely evicts, stays on
+// std::unordered_map.)
+
+#ifndef SRC_SUPPORT_DIGEST_TABLE_H_
+#define SRC_SUPPORT_DIGEST_TABLE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/support/hash.h"
+
+namespace vrm {
+
+namespace digest_table_internal {
+
+inline constexpr Digest128 kEmpty{0, 0};
+
+// Smallest capacity on the 1.5x growth ladder holding `n` keys under the 0.7
+// load factor, at least `floor`. Using the inequality 10*n > 7*cap to test
+// the load factor keeps everything integral.
+inline size_t CapacityFor(size_t n, size_t floor) {
+  size_t cap = floor;
+  while (10 * n > 7 * cap) {
+    cap += cap / 2;
+  }
+  return cap;
+}
+
+// Next capacity on the growth ladder.
+inline size_t Grow(size_t cap) { return cap + cap / 2; }
+
+// Multiply-shift range mapping (fastrange): a uniform uint64 onto [0, cap)
+// without requiring cap to be a power of two. The probe start is dominated by
+// the lane's high bits (see file comment).
+inline size_t Bucket(uint64_t x, size_t cap) {
+  return static_cast<size_t>(
+      (static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(cap)) >> 64);
+}
+
+}  // namespace digest_table_internal
+
+// Flat set of Digest128. See file comment for the design.
+class DigestSet {
+ public:
+  static constexpr size_t kMinCapacity = 16;
+
+  DigestSet() = default;
+
+  // Pre-sizes the table for `n` keys without exceeding the load factor, so
+  // explorations with a known state-count cap skip the doubling ladder.
+  void Reserve(size_t n) {
+    const size_t cap = digest_table_internal::CapacityFor(n, kMinCapacity);
+    if (cap > slots_.size()) {
+      Rehash(cap);
+    }
+  }
+
+  // Inserts the digest; returns true when it was not already present.
+  bool Insert(const Digest128& d) {
+    if (d == digest_table_internal::kEmpty) {
+      const bool fresh = !has_zero_;
+      has_zero_ = true;
+      size_ += fresh ? 1 : 0;
+      return fresh;
+    }
+    if (10 * (filled_ + 1) > 7 * slots_.size()) {
+      Rehash(slots_.empty() ? kMinCapacity
+                            : digest_table_internal::Grow(slots_.size()));
+    }
+    const size_t cap = slots_.size();
+    size_t i = digest_table_internal::Bucket(d.second, cap);
+    while (slots_[i] != digest_table_internal::kEmpty) {
+      if (slots_[i] == d) {
+        return false;
+      }
+      if (++i == cap) i = 0;
+    }
+    slots_[i] = d;
+    ++filled_;
+    ++size_;
+    return true;
+  }
+
+  bool Contains(const Digest128& d) const {
+    if (d == digest_table_internal::kEmpty) {
+      return has_zero_;
+    }
+    if (slots_.empty()) {
+      return false;
+    }
+    const size_t cap = slots_.size();
+    size_t i = digest_table_internal::Bucket(d.second, cap);
+    while (slots_[i] != digest_table_internal::kEmpty) {
+      if (slots_[i] == d) {
+        return true;
+      }
+      if (++i == cap) i = 0;
+    }
+    return false;
+  }
+
+  uint64_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+  // Keeps the capacity (the common reuse pattern: the promising machine's
+  // per-certification scratch set clears between searches of similar size).
+  void Clear() {
+    std::fill(slots_.begin(), slots_.end(), digest_table_internal::kEmpty);
+    filled_ = 0;
+    size_ = 0;
+    has_zero_ = false;
+  }
+
+  size_t Capacity() const { return slots_.size(); }
+
+  // Bytes held by the slot array — the explorers' visited-set RSS accounting
+  // (EstimateExplorerRss mirrors this analytically).
+  uint64_t MemoryBytes() const { return slots_.size() * sizeof(Digest128); }
+
+ private:
+  void Rehash(size_t cap) {
+    std::vector<Digest128> old = std::move(slots_);
+    slots_.assign(cap, digest_table_internal::kEmpty);
+    filled_ = 0;
+    for (const Digest128& d : old) {
+      if (d == digest_table_internal::kEmpty) {
+        continue;
+      }
+      size_t i = digest_table_internal::Bucket(d.second, cap);
+      while (slots_[i] != digest_table_internal::kEmpty) {
+        if (++i == cap) i = 0;
+      }
+      slots_[i] = d;
+      ++filled_;
+    }
+  }
+
+  std::vector<Digest128> slots_;
+  size_t filled_ = 0;   // non-empty slots (excludes the zero-key flag)
+  uint64_t size_ = 0;   // distinct keys incl. the zero key
+  bool has_zero_ = false;
+};
+
+// Flat map from Digest128 to V, same probing scheme as DigestSet. Keys and
+// values live in parallel arrays so the key probe stays dense regardless of
+// sizeof(V). Insert-or-find only (no erase, no tombstones).
+template <typename V>
+class DigestMap {
+ public:
+  static constexpr size_t kMinCapacity = 16;
+
+  DigestMap() = default;
+
+  void Reserve(size_t n) {
+    const size_t cap = digest_table_internal::CapacityFor(n, kMinCapacity);
+    if (cap > keys_.size()) {
+      Rehash(cap);
+    }
+  }
+
+  // Returns the value slot for `d`, default-constructing it on first access
+  // (the unordered_map::operator[] idiom the promising caches rely on).
+  V& operator[](const Digest128& d) {
+    bool fresh;
+    return Slot(d, &fresh);
+  }
+
+  // Returns {&value, inserted}: emplaces a default V when absent. The pointer
+  // stays valid until the next mutating call.
+  std::pair<V*, bool> TryEmplace(const Digest128& d) {
+    bool fresh;
+    V& v = Slot(d, &fresh);
+    return {&v, fresh};
+  }
+
+  const V* Find(const Digest128& d) const {
+    if (d == digest_table_internal::kEmpty) {
+      return has_zero_ ? &zero_value_ : nullptr;
+    }
+    if (keys_.empty()) {
+      return nullptr;
+    }
+    const size_t cap = keys_.size();
+    size_t i = digest_table_internal::Bucket(d.second, cap);
+    while (keys_[i] != digest_table_internal::kEmpty) {
+      if (keys_[i] == d) {
+        return &values_[i];
+      }
+      if (++i == cap) i = 0;
+    }
+    return nullptr;
+  }
+
+  V* Find(const Digest128& d) {
+    return const_cast<V*>(static_cast<const DigestMap*>(this)->Find(d));
+  }
+
+  bool Contains(const Digest128& d) const { return Find(d) != nullptr; }
+
+  uint64_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+
+  void Clear() {
+    std::fill(keys_.begin(), keys_.end(), digest_table_internal::kEmpty);
+    for (V& v : values_) {
+      v = V();
+    }
+    filled_ = 0;
+    size_ = 0;
+    has_zero_ = false;
+    zero_value_ = V();
+  }
+
+  size_t Capacity() const { return keys_.size(); }
+
+  uint64_t MemoryBytes() const {
+    return keys_.size() * (sizeof(Digest128) + sizeof(V));
+  }
+
+ private:
+  V& Slot(const Digest128& d, bool* fresh) {
+    if (d == digest_table_internal::kEmpty) {
+      *fresh = !has_zero_;
+      if (!has_zero_) {
+        has_zero_ = true;
+        ++size_;
+      }
+      return zero_value_;
+    }
+    if (10 * (filled_ + 1) > 7 * keys_.size()) {
+      Rehash(keys_.empty() ? kMinCapacity
+                           : digest_table_internal::Grow(keys_.size()));
+    }
+    const size_t cap = keys_.size();
+    size_t i = digest_table_internal::Bucket(d.second, cap);
+    while (keys_[i] != digest_table_internal::kEmpty) {
+      if (keys_[i] == d) {
+        *fresh = false;
+        return values_[i];
+      }
+      if (++i == cap) i = 0;
+    }
+    keys_[i] = d;
+    ++filled_;
+    ++size_;
+    *fresh = true;
+    return values_[i];
+  }
+
+  void Rehash(size_t cap) {
+    std::vector<Digest128> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    keys_.assign(cap, digest_table_internal::kEmpty);
+    values_.clear();
+    values_.resize(cap);
+    filled_ = 0;
+    for (size_t j = 0; j < old_keys.size(); ++j) {
+      const Digest128& d = old_keys[j];
+      if (d == digest_table_internal::kEmpty) {
+        continue;
+      }
+      size_t i = digest_table_internal::Bucket(d.second, cap);
+      while (keys_[i] != digest_table_internal::kEmpty) {
+        if (++i == cap) i = 0;
+      }
+      keys_[i] = d;
+      values_[i] = std::move(old_values[j]);
+      ++filled_;
+    }
+  }
+
+  std::vector<Digest128> keys_;
+  std::vector<V> values_;
+  size_t filled_ = 0;
+  uint64_t size_ = 0;
+  bool has_zero_ = false;
+  V zero_value_{};
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SUPPORT_DIGEST_TABLE_H_

@@ -12,9 +12,9 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <unordered_set>
 #include <vector>
 
+#include "src/support/digest_table.h"
 #include "src/support/hash.h"
 
 namespace vrm {
@@ -48,12 +48,18 @@ class ShardedDigestSet {
   }
 
   // Inserts the digest; returns true when it was not already present.
+  //
+  // Shard selection consumes the LOW bits of digest.second; the flat shard
+  // probes on the same lane's bits but every key in a shard shares the masked
+  // low bits, so within one shard the table still sees the lane's full
+  // avalanche (identical low bits shift the start bucket uniformly, they do
+  // not cluster the probe sequence).
   bool Insert(const Digest128& digest) {
     Shard& shard = *shards_[digest.second & mask_];
     bool inserted;
     {
       std::lock_guard<std::mutex> lock(shard.mu);
-      inserted = shard.set.insert(digest).second;
+      inserted = shard.set.Insert(digest);
     }
     if (inserted) {
       size_.fetch_add(1, std::memory_order_relaxed);
@@ -97,7 +103,7 @@ class ShardedDigestSet {
  private:
   struct Shard {
     std::mutex mu;
-    std::unordered_set<Digest128, DigestHash> set;
+    DigestSet set;
   };
 
   std::vector<std::unique_ptr<Shard>> shards_;

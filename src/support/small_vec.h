@@ -1,0 +1,310 @@
+// Inline-capacity vector for explorer state aggregates.
+//
+// The hot cost of exhaustive exploration is copying machine states: every
+// admitted successor copies a PromState/ScState/TsoState into the frontier,
+// and with std::vector members each copy performs one heap allocation per
+// aggregate (per-thread coherence views, forwarding entries, promise lists,
+// the message list, TLB contents, ...). Litmus-scale programs keep all of
+// these tiny — a handful of elements — so SmallVec stores up to N elements
+// inline in the state object itself and only spills to the heap past N.
+// On the steady path a state copy is then a flat memcpy-sized operation with
+// zero allocator traffic; ExploreStats::state_allocs counts how often the
+// spill path was taken at all (see DESIGN.md "State memory layout" for the
+// per-aggregate capacity choices).
+//
+// Deliberately minimal: exactly the operation set the machines use. No
+// exception guarantees beyond what the explorers need (element types here are
+// trivially copyable or themselves SmallVec aggregates), no allocator
+// customization, iterators are raw pointers (contiguous storage), and erase
+// keeps order (the machines' promise/invalidation lists are order-sensitive).
+
+#ifndef SRC_SUPPORT_SMALL_VEC_H_
+#define SRC_SUPPORT_SMALL_VEC_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+#include <iterator>
+#include <new>
+#include <utility>
+
+namespace vrm {
+
+template <typename T, size_t N>
+class SmallVec {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+  using reverse_iterator = std::reverse_iterator<T*>;
+  using const_reverse_iterator = std::reverse_iterator<const T*>;
+
+  static_assert(N > 0, "inline capacity must be positive");
+
+  SmallVec() = default;
+
+  SmallVec(const SmallVec& other) { AppendRange(other.begin(), other.end()); }
+
+  SmallVec(SmallVec&& other) noexcept { MoveFrom(std::move(other)); }
+
+  template <typename It>
+  SmallVec(It first, It last) {
+    AppendRange(first, last);
+  }
+
+  SmallVec(std::initializer_list<T> init) { AppendRange(init.begin(), init.end()); }
+
+  ~SmallVec() { Destroy(); }
+
+  SmallVec& operator=(const SmallVec& other) {
+    if (this == &other) {
+      return *this;
+    }
+    AssignRange(other.begin(), other.end());
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& other) noexcept {
+    if (this == &other) {
+      return *this;
+    }
+    Destroy();
+    data_ = InlineData();
+    size_ = 0;
+    capacity_ = N;
+    MoveFrom(std::move(other));
+    return *this;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  // True when the elements live on the heap (inline capacity exceeded at some
+  // point): the explorers' state_allocs counter sums this over the state's
+  // aggregates at frontier admission.
+  bool spilled() const { return data_ != InlineData(); }
+
+  // Heap bytes owned by this vector (0 while inline) — feeds the explorers'
+  // mean_state_bytes counter.
+  size_t heap_bytes() const { return spilled() ? capacity_ * sizeof(T) : 0; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  iterator begin() { return data_; }
+  const_iterator begin() const { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator end() const { return data_ + size_; }
+  reverse_iterator rbegin() { return reverse_iterator(end()); }
+  const_reverse_iterator rbegin() const { return const_reverse_iterator(end()); }
+  reverse_iterator rend() { return reverse_iterator(begin()); }
+  const_reverse_iterator rend() const { return const_reverse_iterator(begin()); }
+
+  void clear() {
+    DestroyElements();
+    size_ = 0;
+  }
+
+  void reserve(size_t n) {
+    if (n > capacity_) {
+      Grow(n);
+    }
+  }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) {
+      GrowForPush(&v);
+      return;
+    }
+    ::new (static_cast<void*>(data_ + size_)) T(v);
+    ++size_;
+  }
+
+  void push_back(T&& v) {
+    if (size_ == capacity_) {
+      T moved(std::move(v));  // v may alias an element; grow invalidates it
+      Grow(capacity_ * 2);
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(moved));
+      ++size_;
+      return;
+    }
+    ::new (static_cast<void*>(data_ + size_)) T(std::move(v));
+    ++size_;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) {
+      T built(std::forward<Args>(args)...);
+      Grow(capacity_ * 2);
+      ::new (static_cast<void*>(data_ + size_)) T(std::move(built));
+      return data_[size_++];
+    }
+    ::new (static_cast<void*>(data_ + size_)) T(std::forward<Args>(args)...);
+    return data_[size_++];
+  }
+
+  void pop_back() {
+    --size_;
+    data_[size_].~T();
+  }
+
+  void resize(size_t n) {
+    if (n < size_) {
+      for (size_t i = n; i < size_; ++i) {
+        data_[i].~T();
+      }
+    } else {
+      reserve(n);
+      for (size_t i = size_; i < n; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T();
+      }
+    }
+    size_ = n;
+  }
+
+  void assign(size_t n, const T& v) {
+    clear();
+    reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      ::new (static_cast<void*>(data_ + i)) T(v);
+    }
+    size_ = n;
+  }
+
+  template <typename It>
+  void assign(It first, It last) {
+    AssignRange(first, last);
+  }
+
+  iterator erase(iterator pos) { return erase(pos, pos + 1); }
+
+  iterator erase(iterator first, iterator last) {
+    iterator tail = std::move(last, end(), first);
+    for (iterator it = tail; it != end(); ++it) {
+      it->~T();
+    }
+    size_ -= static_cast<size_t>(last - first);
+    return first;
+  }
+
+  iterator insert(iterator pos, const T& v) {
+    const size_t at = static_cast<size_t>(pos - begin());
+    push_back(v);  // may reallocate; re-derive the position afterwards
+    std::rotate(begin() + at, end() - 1, end());
+    return begin() + at;
+  }
+
+  friend bool operator==(const SmallVec& a, const SmallVec& b) {
+    return a.size_ == b.size_ && std::equal(a.begin(), a.end(), b.begin());
+  }
+
+  friend bool operator!=(const SmallVec& a, const SmallVec& b) { return !(a == b); }
+
+ private:
+  T* InlineData() { return reinterpret_cast<T*>(inline_); }
+  const T* InlineData() const { return reinterpret_cast<const T*>(inline_); }
+
+  void DestroyElements() {
+    for (size_t i = 0; i < size_; ++i) {
+      data_[i].~T();
+    }
+  }
+
+  void Destroy() {
+    DestroyElements();
+    if (spilled()) {
+      ::operator delete(data_);
+    }
+  }
+
+  // Moves the other vector's storage in: steals the heap buffer when spilled,
+  // element-moves when inline. The source is left empty (inline, size 0).
+  void MoveFrom(SmallVec&& other) {
+    if (other.spilled()) {
+      data_ = other.data_;
+      size_ = other.size_;
+      capacity_ = other.capacity_;
+    } else {
+      for (size_t i = 0; i < other.size_; ++i) {
+        ::new (static_cast<void*>(data_ + i)) T(std::move(other.data_[i]));
+      }
+      size_ = other.size_;
+      other.DestroyElements();
+    }
+    other.data_ = other.InlineData();
+    other.size_ = 0;
+    other.capacity_ = N;
+  }
+
+  template <typename It>
+  void AppendRange(It first, It last) {
+    for (; first != last; ++first) {
+      push_back(*first);
+    }
+  }
+
+  // Copy-assign over the live prefix, then construct/destroy the remainder:
+  // cheaper than clear()+rebuild for the dominant same-shape state copies.
+  template <typename It>
+  void AssignRange(It first, It last) {
+    const size_t n = static_cast<size_t>(std::distance(first, last));
+    if (n > capacity_) {
+      clear();
+      Grow(n);
+    }
+    size_t i = 0;
+    for (; i < size_ && i < n; ++i, ++first) {
+      data_[i] = *first;
+    }
+    for (; i < n; ++i, ++first) {
+      ::new (static_cast<void*>(data_ + i)) T(*first);
+    }
+    for (size_t j = n; j < size_; ++j) {
+      data_[j].~T();
+    }
+    size_ = n;
+  }
+
+  void GrowForPush(const T* v) {
+    T copy(*v);  // v may alias an element about to be relocated
+    Grow(capacity_ * 2);
+    ::new (static_cast<void*>(data_ + size_)) T(std::move(copy));
+    ++size_;
+  }
+
+  void Grow(size_t min_capacity) {
+    size_t cap = capacity_;
+    while (cap < min_capacity) {
+      cap *= 2;
+    }
+    T* fresh = static_cast<T*>(::operator new(cap * sizeof(T)));
+    for (size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(fresh + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (spilled()) {
+      ::operator delete(data_);
+    }
+    data_ = fresh;
+    capacity_ = cap;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = InlineData();
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace vrm
+
+#endif  // SRC_SUPPORT_SMALL_VEC_H_

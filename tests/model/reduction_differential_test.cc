@@ -29,7 +29,21 @@ std::vector<std::string> OutcomeKeys(const ExploreResult& result) {
     (void)outcome;
     keys.push_back(key);
   }
-  return keys;  // std::map iteration is already key-sorted
+  return keys;  // OutcomeSet iteration is key-sorted, like the old std::map
+}
+
+// The outcome section of ExploreResult::Describe — every outcome's ToString in
+// sorted-key order. The cross-worker differentials compare this render
+// bit-for-bit; Describe()'s trailing stats line is excluded there because its
+// steal/frontier counters are legitimately schedule-dependent.
+std::string OutcomeRender(const ExploreResult& result, const Program& program) {
+  std::string out;
+  for (const auto& [key, outcome] : result.outcomes) {
+    (void)key;
+    out += outcome.ToString(program);
+    out += "\n";
+  }
+  return out;
 }
 
 LitmusTest WithReduction(const LitmusTest& test, Reduction reduction) {
@@ -92,6 +106,35 @@ TEST_P(ReductionCorpusSweep, OutcomesInvariantAcrossModes) {
         EXPECT_FALSE(sc.stats.truncated) << label;
         EXPECT_FALSE(rm.stats.truncated) << label;
         EXPECT_EQ(sc.stats.reduction, mode) << label;
+      }
+      // Flat-layout worker differential (DESIGN.md "State memory layout"):
+      // the inline-capacity states, flat digest tables, and interned outcome
+      // sets must render bit-identically at every worker count. Calls
+      // ExploreParallel directly — Explore() would downgrade these
+      // litmus-scale spaces to the sequential engine.
+      {
+        const LitmusTest por = WithReduction(test, Reduction::kPor);
+        ScMachine sc_machine(por.program, por.config);
+        PromisingMachine rm_machine(por.program, por.config);
+        const ExploreResult sc_seq = ExploreSequential(sc_machine, por.config);
+        const ExploreResult rm_seq = ExploreSequential(rm_machine, por.config);
+        const std::string sc_render = OutcomeRender(sc_seq, por.program);
+        const std::string rm_render = OutcomeRender(rm_seq, por.program);
+        for (int workers : {1, 2, 4}) {
+          const std::string label = test.program.name + "/" +
+                                    std::to_string(threads) + "t/workers=" +
+                                    std::to_string(workers);
+          const ExploreResult sc_par =
+              ExploreParallel(sc_machine, por.config, workers);
+          const ExploreResult rm_par =
+              ExploreParallel(rm_machine, por.config, workers);
+          EXPECT_EQ(OutcomeKeys(sc_par), OutcomeKeys(sc_seq)) << label;
+          EXPECT_EQ(OutcomeKeys(rm_par), OutcomeKeys(rm_seq)) << label;
+          EXPECT_EQ(OutcomeRender(sc_par, por.program), sc_render) << label;
+          EXPECT_EQ(OutcomeRender(rm_par, por.program), rm_render) << label;
+          EXPECT_EQ(sc_par.stats.states, sc_seq.stats.states) << label;
+          EXPECT_EQ(rm_par.stats.states, rm_seq.stats.states) << label;
+        }
       }
     }
   }

@@ -1,0 +1,312 @@
+// SmallVec: inline<->heap spill, copy/move/self-assign, the exact operation
+// set the machine states use. Runs under the tsan and sanitizer labels so the
+// placement-new/manual-destroy storage management is ASan/UBSan-swept.
+
+#include "src/support/small_vec.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace vrm {
+namespace {
+
+TEST(SmallVecTest, StartsInlineAndEmpty) {
+  SmallVec<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), 4u);
+  EXPECT_FALSE(v.spilled());
+  EXPECT_EQ(v.heap_bytes(), 0u);
+}
+
+TEST(SmallVecTest, PushBackWithinInlineCapacityDoesNotSpill) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 4; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_FALSE(v.spilled());
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SmallVecTest, SpillsToHeapPastInlineCapacityAndKeepsContents) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_TRUE(v.spilled());
+  EXPECT_GT(v.heap_bytes(), 0u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SmallVecTest, PushBackOfOwnElementSurvivesGrowth) {
+  // v.push_back(v[0]) at exactly full capacity: the reference dies when the
+  // buffer relocates, which is the classic small-vector aliasing bug.
+  SmallVec<int, 2> v;
+  v.push_back(7);
+  v.push_back(8);
+  v.push_back(v[0]);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 7);
+}
+
+TEST(SmallVecTest, CopyConstructCopiesOnlyLiveElements) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(i);
+  }
+  SmallVec<int, 4> copy(v);
+  EXPECT_EQ(copy.size(), 10u);
+  EXPECT_TRUE(std::equal(copy.begin(), copy.end(), v.begin()));
+  copy[0] = 99;
+  EXPECT_EQ(v[0], 0);  // deep copy
+}
+
+TEST(SmallVecTest, CopyAssignShrinksAndGrows) {
+  SmallVec<int, 4> big;
+  for (int i = 0; i < 20; ++i) {
+    big.push_back(i);
+  }
+  SmallVec<int, 4> small;
+  small.push_back(-1);
+
+  SmallVec<int, 4> v;
+  v = big;
+  EXPECT_EQ(v.size(), 20u);
+  v = small;
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], -1);
+  v = big;
+  EXPECT_EQ(v.size(), 20u);
+  EXPECT_EQ(v[19], 19);
+}
+
+TEST(SmallVecTest, SelfCopyAssignIsANoOp) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 6; ++i) {
+    v.push_back(i);
+  }
+  v = *&v;
+  EXPECT_EQ(v.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(v[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SmallVecTest, SelfMoveAssignLeavesAValidObject) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 6; ++i) {
+    v.push_back(i);
+  }
+  SmallVec<int, 2>& alias = v;
+  v = std::move(alias);
+  EXPECT_EQ(v.size(), 6u);
+}
+
+TEST(SmallVecTest, MoveConstructStealsHeapBuffer) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(i);
+  }
+  const int* before = v.data();
+  SmallVec<int, 2> moved(std::move(v));
+  EXPECT_EQ(moved.data(), before);  // heap buffer stolen, not copied
+  EXPECT_EQ(moved.size(), 10u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_FALSE(v.spilled());
+  v.push_back(42);  // moved-from object remains usable
+  EXPECT_EQ(v[0], 42);
+}
+
+TEST(SmallVecTest, MoveConstructInlineMovesElements) {
+  SmallVec<std::string, 4> v;
+  v.push_back("alpha");
+  v.push_back("beta");
+  SmallVec<std::string, 4> moved(std::move(v));
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(moved[0], "alpha");
+  EXPECT_EQ(moved[1], "beta");
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(SmallVecTest, MoveAssignReleasesOldContents) {
+  SmallVec<std::string, 2> target;
+  for (int i = 0; i < 8; ++i) {
+    target.push_back("old" + std::to_string(i));
+  }
+  SmallVec<std::string, 2> source;
+  source.push_back("fresh");
+  target = std::move(source);
+  ASSERT_EQ(target.size(), 1u);
+  EXPECT_EQ(target[0], "fresh");
+}
+
+TEST(SmallVecTest, AssignFillAndRange) {
+  SmallVec<uint32_t, 4> v;
+  v.assign(10, 7u);
+  EXPECT_EQ(v.size(), 10u);
+  EXPECT_TRUE(std::all_of(v.begin(), v.end(), [](uint32_t x) { return x == 7; }));
+
+  std::vector<uint32_t> src(3, 9u);
+  v.assign(src.begin(), src.end());
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 9u);
+}
+
+TEST(SmallVecTest, ResizeGrowsValueInitializedAndShrinksDestroying) {
+  SmallVec<int, 2> v;
+  v.resize(5);
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_TRUE(std::all_of(v.begin(), v.end(), [](int x) { return x == 0; }));
+  v[4] = 4;
+  v.resize(1);
+  EXPECT_EQ(v.size(), 1u);
+  v.resize(3);
+  EXPECT_EQ(v[2], 0);
+}
+
+TEST(SmallVecTest, EraseSingleKeepsOrder) {
+  SmallVec<int, 8> v;
+  for (int i = 0; i < 5; ++i) {
+    v.push_back(i);
+  }
+  auto it = v.erase(v.begin() + 1);
+  EXPECT_EQ(*it, 2);
+  ASSERT_EQ(v.size(), 4u);
+  const int want[] = {0, 2, 3, 4};
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), want));
+}
+
+TEST(SmallVecTest, EraseRangeAndEraseAtEnd) {
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(i);
+  }
+  v.erase(v.begin() + 2, v.begin() + 7);
+  ASSERT_EQ(v.size(), 5u);
+  const int want[] = {0, 1, 7, 8, 9};
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), want));
+  auto it = v.erase(v.end() - 1);
+  EXPECT_EQ(it, v.end());
+  EXPECT_EQ(v.back(), 8);
+}
+
+TEST(SmallVecTest, EraseViaRemoveIfIdiom) {
+  // Tlb::InvalidatePage uses the erase(remove_if) idiom.
+  SmallVec<int, 4> v;
+  for (int i = 0; i < 12; ++i) {
+    v.push_back(i);
+  }
+  v.erase(std::remove_if(v.begin(), v.end(), [](int x) { return x % 2 == 0; }),
+          v.end());
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_TRUE(std::all_of(v.begin(), v.end(), [](int x) { return x % 2 == 1; }));
+}
+
+TEST(SmallVecTest, InsertAtPositionKeepsOrder) {
+  SmallVec<int, 2> v;
+  v.push_back(1);
+  v.push_back(3);
+  v.insert(v.begin() + 1, 2);  // forces a spill at capacity
+  ASSERT_EQ(v.size(), 3u);
+  const int want[] = {1, 2, 3};
+  EXPECT_TRUE(std::equal(v.begin(), v.end(), want));
+}
+
+TEST(SmallVecTest, WorksWithSortFindBinarySearch) {
+  SmallVec<uint32_t, 4> v;
+  for (uint32_t x : {5u, 1u, 4u, 2u, 3u}) {
+    v.push_back(x);
+  }
+  std::sort(v.begin(), v.end());
+  EXPECT_TRUE(std::binary_search(v.begin(), v.end(), 4u));
+  EXPECT_EQ(std::find(v.begin(), v.end(), 3u), v.begin() + 2);
+}
+
+TEST(SmallVecTest, ReverseIterationMatchesVector) {
+  // The TSO machine scans store buffers newest-first via rbegin/rend.
+  SmallVec<int, 4> v;
+  std::vector<int> ref;
+  for (int i = 0; i < 9; ++i) {
+    v.push_back(i);
+    ref.push_back(i);
+  }
+  std::vector<int> got(v.rbegin(), v.rend());
+  std::vector<int> want(ref.rbegin(), ref.rend());
+  EXPECT_EQ(got, want);
+}
+
+TEST(SmallVecTest, EqualityComparesElements) {
+  SmallVec<int, 2> a;
+  SmallVec<int, 2> b;
+  for (int i = 0; i < 5; ++i) {
+    a.push_back(i);
+    b.push_back(i);
+  }
+  EXPECT_EQ(a, b);
+  b.back() = 99;
+  EXPECT_NE(a, b);
+  b.pop_back();
+  EXPECT_NE(a, b);
+}
+
+TEST(SmallVecTest, NestedSmallVecCopies) {
+  // PromState holds SmallVecs of per-thread structs that themselves hold
+  // SmallVecs; state copies must deep-copy the whole tree.
+  using Inner = SmallVec<int, 2>;
+  SmallVec<Inner, 2> outer;
+  for (int i = 0; i < 4; ++i) {
+    Inner in;
+    for (int j = 0; j < 4; ++j) {
+      in.push_back(i * 10 + j);
+    }
+    outer.push_back(in);
+  }
+  SmallVec<Inner, 2> copy = outer;
+  copy[0][0] = -1;
+  EXPECT_EQ(outer[0][0], 0);
+  EXPECT_EQ(copy[3][3], 33);
+}
+
+TEST(SmallVecTest, ClearKeepsCapacityAndSpillState) {
+  SmallVec<int, 2> v;
+  for (int i = 0; i < 10; ++i) {
+    v.push_back(i);
+  }
+  const size_t cap = v.capacity();
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), cap);
+  EXPECT_TRUE(v.spilled());
+}
+
+TEST(SmallVecTest, NonTrivialElementDestructorsRun) {
+  // shared_ptr use-counts observe every missed destroy/double-destroy.
+  auto token = std::make_shared<int>(5);
+  {
+    SmallVec<std::shared_ptr<int>, 2> v;
+    for (int i = 0; i < 7; ++i) {
+      v.push_back(token);
+    }
+    EXPECT_EQ(token.use_count(), 8);
+    v.erase(v.begin(), v.begin() + 3);
+    EXPECT_EQ(token.use_count(), 5);
+    v.resize(1);
+    EXPECT_EQ(token.use_count(), 2);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+}  // namespace
+}  // namespace vrm
